@@ -1,0 +1,466 @@
+//! BlueTree and BlueTree-Smooth: distributed binary multiplexer trees with
+//! blocking-factor arbitration (paper, Section 2).
+//!
+//! Each 2-to-1 node buffers its left (locally high-priority) and right
+//! (locally low-priority) inputs. The static arbitration scheme lets every
+//! α left-side requests be "blocked by at most one request from the
+//! right-hand side": the node serves left until either α consecutive left
+//! grants have occurred with right-side work pending, or left is empty.
+//! With α = 1 the tree degrades to local round-robin. The scheme never
+//! looks at deadlines — the scheduling-scalability flaw BlueScale fixes.
+
+use crate::{charge_fifo, next_pow2};
+use bluescale_interconnect::buffer::{DelayLine, FifoBuffer};
+use bluescale_interconnect::{Interconnect, MemoryRequest, MemoryResponse, ServiceEvent};
+use bluescale_mem::{DramConfig, MemoryController};
+use bluescale_sim::Cycle;
+use std::collections::VecDeque;
+
+/// One 2-to-1 multiplexer node.
+#[derive(Debug)]
+struct MuxNode {
+    left: FifoBuffer<MemoryRequest>,
+    right: FifoBuffer<MemoryRequest>,
+    /// Consecutive left grants since the last right grant.
+    left_streak: u64,
+}
+
+impl MuxNode {
+    fn new(capacity: usize) -> Self {
+        Self {
+            left: FifoBuffer::with_capacity(capacity),
+            right: FifoBuffer::with_capacity(capacity),
+            left_streak: 0,
+        }
+    }
+
+    /// Picks the side to serve under blocking factor `alpha`.
+    fn choose(&self, alpha: u64) -> Option<Side> {
+        match (self.left.is_empty(), self.right.is_empty()) {
+            (true, true) => None,
+            (false, true) => Some(Side::Left),
+            (true, false) => Some(Side::Right),
+            (false, false) => {
+                if self.left_streak >= alpha {
+                    Some(Side::Right)
+                } else {
+                    Some(Side::Left)
+                }
+            }
+        }
+    }
+
+    fn forward(&mut self, side: Side) -> MemoryRequest {
+        let req = match side {
+            Side::Left => {
+                self.left_streak += 1;
+                self.left.pop()
+            }
+            Side::Right => {
+                self.left_streak = 0;
+                self.right.pop()
+            }
+        }
+        .expect("chosen side must be non-empty");
+        // Blocking accounting: anything queued here with an earlier
+        // deadline just waited for a lower-priority transfer.
+        charge_fifo(&mut self.left, req.deadline);
+        charge_fifo(&mut self.right, req.deadline);
+        req
+    }
+
+    fn occupancy(&self) -> usize {
+        self.left.len() + self.right.len()
+    }
+
+    fn buffer_mut(&mut self, side: Side) -> &mut FifoBuffer<MemoryRequest> {
+        match side {
+            Side::Left => &mut self.left,
+            Side::Right => &mut self.right,
+        }
+    }
+
+    fn buffer(&self, side: Side) -> &FifoBuffer<MemoryRequest> {
+        match side {
+            Side::Left => &self.left,
+            Side::Right => &self.right,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Side {
+    Left,
+    Right,
+}
+
+impl Side {
+    fn from_index(i: usize) -> Self {
+        if i.is_multiple_of(2) {
+            Side::Left
+        } else {
+            Side::Right
+        }
+    }
+}
+
+/// The BlueTree distributed memory interconnect.
+///
+/// # Example
+///
+/// ```
+/// use bluescale_baselines::BlueTree;
+/// use bluescale_interconnect::Interconnect;
+///
+/// let tree = BlueTree::new(16, 2, 1);
+/// assert_eq!(tree.num_clients(), 16);
+/// assert_eq!(tree.depth(), 4); // log2(16) multiplexer stages
+/// ```
+#[derive(Debug)]
+pub struct BlueTree {
+    name: &'static str,
+    num_clients: usize,
+    /// `nodes[d]` holds the `2^d` mux nodes of depth `d` (0 = root).
+    nodes: Vec<Vec<MuxNode>>,
+    alpha: u64,
+    controller: MemoryController<MemoryRequest>,
+    response_line: DelayLine<MemoryRequest>,
+    ready: VecDeque<MemoryResponse>,
+    service_events: VecDeque<ServiceEvent>,
+}
+
+impl BlueTree {
+    /// Creates a BlueTree for `num_clients` clients with blocking factor
+    /// `alpha` (the paper's experiments use α = 2), default 2-entry stage
+    /// buffers, and `service_cycles` flat memory service.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_clients` is zero or `alpha` is zero.
+    pub fn new(num_clients: usize, alpha: u64, service_cycles: u64) -> Self {
+        Self::with_buffers(
+            num_clients,
+            alpha,
+            DramConfig::flat(service_cycles),
+            2,
+            "BlueTree",
+        )
+    }
+
+    /// Creates a BlueTree-Smooth: identical arbitration, deeper (8-entry)
+    /// stage buffers that smooth transaction bursts.
+    pub fn smooth(num_clients: usize, alpha: u64, service_cycles: u64) -> Self {
+        Self::with_buffers(
+            num_clients,
+            alpha,
+            DramConfig::flat(service_cycles),
+            8,
+            "BlueTree-Smooth",
+        )
+    }
+
+    /// Creates a BlueTree backed by a full DRAM timing model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_clients` is zero or `alpha` is zero.
+    pub fn with_dram(num_clients: usize, alpha: u64, dram: DramConfig) -> Self {
+        Self::with_buffers(num_clients, alpha, dram, 2, "BlueTree")
+    }
+
+    /// Creates a BlueTree-Smooth backed by a full DRAM timing model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_clients` is zero or `alpha` is zero.
+    pub fn smooth_with_dram(num_clients: usize, alpha: u64, dram: DramConfig) -> Self {
+        Self::with_buffers(num_clients, alpha, dram, 8, "BlueTree-Smooth")
+    }
+
+    fn with_buffers(
+        num_clients: usize,
+        alpha: u64,
+        dram: DramConfig,
+        capacity: usize,
+        name: &'static str,
+    ) -> Self {
+        assert!(num_clients > 0, "at least one client required");
+        assert!(alpha > 0, "blocking factor must be positive");
+        let leaves = next_pow2(num_clients).max(2);
+        let depth = leaves.trailing_zeros() as usize; // log2
+        let nodes = (0..depth)
+            .map(|d| (0..1usize << d).map(|_| MuxNode::new(capacity)).collect())
+            .collect();
+        Self {
+            name,
+            num_clients,
+            nodes,
+            alpha,
+            controller: MemoryController::new(dram),
+            response_line: DelayLine::new(depth as u64),
+            ready: VecDeque::new(),
+            service_events: VecDeque::new(),
+        }
+    }
+
+    /// Number of multiplexer stages between a client and the memory.
+    pub fn depth(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The configured blocking factor α.
+    pub fn alpha(&self) -> u64 {
+        self.alpha
+    }
+}
+
+impl Interconnect for BlueTree {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn num_clients(&self) -> usize {
+        self.num_clients
+    }
+
+    fn inject(&mut self, request: MemoryRequest, _now: Cycle) -> Result<(), MemoryRequest> {
+        let leaf_level = self.nodes.len() - 1;
+        let client = request.client as usize;
+        let node = client / 2;
+        let side = Side::from_index(client);
+        self.nodes[leaf_level][node].buffer_mut(side).try_push(request)
+    }
+
+    fn step(&mut self, now: Cycle) {
+        if let Some(done) = self.controller.poll_complete(now) {
+            self.response_line.push(done, now);
+        }
+        while let Some(request) = self.response_line.pop_ready(now) {
+            self.ready.push_back(MemoryResponse {
+                request,
+                completed_at: now,
+            });
+        }
+        // Root forwards into the memory controller.
+        if self.controller.can_accept() {
+            let root = &mut self.nodes[0][0];
+            if let Some(side) = root.choose(self.alpha) {
+                let req = root.forward(side);
+                let addr = req.addr;
+                let deadline = req.deadline;
+                let duration = self.controller.accept(req, addr, now);
+                self.service_events.push_back(ServiceEvent {
+                    at: now,
+                    deadline,
+                    duration,
+                });
+            }
+        }
+        // Inner nodes forward into their parents, one request per node per
+        // cycle, processed root-to-leaves so movement is one stage/cycle.
+        for depth in 1..self.nodes.len() {
+            let (upper, lower) = self.nodes.split_at_mut(depth);
+            let parents = &mut upper[depth - 1];
+            for (order, node) in lower[0].iter_mut().enumerate() {
+                let parent = &mut parents[order / 2];
+                let side_in_parent = Side::from_index(order);
+                if parent.buffer(side_in_parent).is_full() {
+                    continue;
+                }
+                if let Some(side) = node.choose(self.alpha) {
+                    let req = node.forward(side);
+                    parent
+                        .buffer_mut(side_in_parent)
+                        .try_push(req)
+                        .expect("parent slot checked free");
+                }
+            }
+        }
+    }
+
+    fn pop_response(&mut self) -> Option<MemoryResponse> {
+        self.ready.pop_front()
+    }
+
+    fn pop_service_event(&mut self) -> Option<ServiceEvent> {
+        self.service_events.pop_front()
+    }
+
+    fn pending(&self) -> usize {
+        let buffered: usize = self
+            .nodes
+            .iter()
+            .flatten()
+            .map(MuxNode::occupancy)
+            .sum();
+        buffered
+            + usize::from(!self.controller.can_accept())
+            + self.response_line.len()
+            + self.ready.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bluescale_interconnect::AccessKind;
+
+    fn req(client: u16, id: u64, deadline: u64) -> MemoryRequest {
+        MemoryRequest {
+            id,
+            client,
+            task: 0,
+            addr: id * 64,
+            kind: AccessKind::Read,
+            issued_at: 0,
+            deadline,
+            blocked_cycles: 0,
+        }
+    }
+
+    #[test]
+    fn depth_matches_log2() {
+        assert_eq!(BlueTree::new(4, 2, 1).depth(), 2);
+        assert_eq!(BlueTree::new(16, 2, 1).depth(), 4);
+        assert_eq!(BlueTree::new(64, 2, 1).depth(), 6);
+        // Non-power-of-two rounds up.
+        assert_eq!(BlueTree::new(5, 2, 1).depth(), 3);
+    }
+
+    #[test]
+    fn single_request_completes() {
+        let mut t = BlueTree::new(8, 2, 1);
+        t.inject(req(3, 1, 1000), 0).unwrap();
+        let mut done = None;
+        for now in 0..100 {
+            t.step(now);
+            if let Some(r) = t.pop_response() {
+                done = Some(r);
+                break;
+            }
+        }
+        assert_eq!(done.expect("completes").request.id, 1);
+        assert_eq!(t.pending(), 0);
+    }
+
+    #[test]
+    fn left_side_is_favoured() {
+        // Saturate both children of the root; left (client 0) must get
+        // roughly alpha/(alpha+1) of the bandwidth.
+        let mut t = BlueTree::new(2, 2, 1);
+        let mut id = 0;
+        let (mut left_done, mut right_done) = (0u64, 0u64);
+        for now in 0..600 {
+            id += 1;
+            let _ = t.inject(req(0, id, 1_000_000), now);
+            id += 1;
+            let _ = t.inject(req(1, id, 1), now); // earliest deadline — ignored!
+            t.step(now);
+            while let Some(r) = t.pop_response() {
+                if r.request.client == 0 {
+                    left_done += 1;
+                } else {
+                    right_done += 1;
+                }
+            }
+        }
+        assert!(left_done > right_done, "{left_done} vs {right_done}");
+        // α = 2 → 2:1 split.
+        let ratio = left_done as f64 / right_done as f64;
+        assert!((1.5..=2.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn alpha_one_is_round_robin() {
+        let mut t = BlueTree::new(2, 1, 1);
+        let mut id = 0;
+        let (mut l, mut r) = (0u64, 0u64);
+        for now in 0..400 {
+            id += 1;
+            let _ = t.inject(req(0, id, 1_000_000), now);
+            id += 1;
+            let _ = t.inject(req(1, id, 1_000_000), now);
+            t.step(now);
+            while let Some(resp) = t.pop_response() {
+                if resp.request.client == 0 {
+                    l += 1;
+                } else {
+                    r += 1;
+                }
+            }
+        }
+        let ratio = l as f64 / r as f64;
+        assert!((0.8..=1.25).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn deadline_agnostic_blocking_recorded() {
+        // A deadline-1 request on the right side repeatedly blocked by
+        // later-deadline left traffic must accumulate blocked_cycles.
+        let mut t = BlueTree::smooth(2, 4, 1);
+        for i in 0..4 {
+            t.inject(req(0, 10 + i, 1_000_000), 0).unwrap();
+        }
+        t.inject(req(1, 1, 1), 0).unwrap();
+        let mut victim = None;
+        for now in 0..100 {
+            t.step(now);
+            while let Some(r) = t.pop_response() {
+                if r.request.id == 1 {
+                    victim = Some(r.request.blocked_cycles);
+                }
+            }
+        }
+        assert!(victim.expect("victim completes") >= 2);
+    }
+
+    #[test]
+    fn smooth_with_dram_keeps_name_and_buffers() {
+        let t = BlueTree::smooth_with_dram(4, 2, DramConfig::default());
+        assert_eq!(t.name(), "BlueTree-Smooth");
+        assert_eq!(t.depth(), 2);
+    }
+
+    #[test]
+    fn smooth_variant_has_deeper_buffers() {
+        let mut plain = BlueTree::new(2, 2, 1);
+        let mut smooth = BlueTree::smooth(2, 2, 1);
+        assert_eq!(smooth.name(), "BlueTree-Smooth");
+        // Burst of 8 into one leaf: plain (2-entry) rejects some, smooth
+        // accepts all.
+        let mut plain_accepted = 0;
+        let mut smooth_accepted = 0;
+        for i in 0..8 {
+            if plain.inject(req(0, i, 1000), 0).is_ok() {
+                plain_accepted += 1;
+            }
+            if smooth.inject(req(0, i, 1000), 0).is_ok() {
+                smooth_accepted += 1;
+            }
+        }
+        assert_eq!(plain_accepted, 2);
+        assert_eq!(smooth_accepted, 8);
+    }
+
+    #[test]
+    fn sixty_four_clients_all_complete() {
+        let mut t = BlueTree::new(64, 2, 1);
+        for c in 0..64u16 {
+            t.inject(req(c, c as u64, 100_000), 0).unwrap();
+        }
+        let mut done = 0;
+        for now in 0..5_000 {
+            t.step(now);
+            while t.pop_response().is_some() {
+                done += 1;
+            }
+        }
+        assert_eq!(done, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "blocking factor")]
+    fn zero_alpha_rejected() {
+        let _ = BlueTree::new(4, 0, 1);
+    }
+}

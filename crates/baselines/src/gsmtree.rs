@@ -1,0 +1,379 @@
+//! GSMTree: a globally-arbitrated memory tree with TDM bandwidth
+//! reservation (Gomony et al.).
+//!
+//! A global slot table gates admission into the tree: in slot `s`, only the
+//! client that owns `s` may launch a request toward the memory. The tree
+//! itself is contention-free once a request is admitted (that is the point
+//! of global arbitration), so transit is a fixed pipeline of `depth`
+//! cycles. Two reservation strategies from the paper's setup:
+//!
+//! * **TDM** — equal slots for every client.
+//! * **FBSP** — slots proportional to each client's maximum workload.
+
+use crate::{charge_fifo, next_pow2};
+use bluescale_interconnect::buffer::{DelayLine, FifoBuffer};
+use bluescale_interconnect::{Interconnect, MemoryRequest, MemoryResponse, ServiceEvent};
+use bluescale_mem::{DramConfig, MemoryController};
+use bluescale_sim::Cycle;
+use std::collections::VecDeque;
+
+/// Slot reservation strategy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SlotPolicy {
+    /// One slot per client, round-robin (equal bandwidth).
+    Tdm,
+    /// Slots proportional to the given per-client workload weights
+    /// (frame-based static priority assignment; heavier clients get more
+    /// slots). Weights must be positive.
+    Fbsp(Vec<f64>),
+}
+
+/// The GSMTree baseline.
+///
+/// # Example
+///
+/// ```
+/// use bluescale_baselines::{GsmTree, SlotPolicy};
+/// use bluescale_interconnect::Interconnect;
+///
+/// let tdm = GsmTree::new(16, SlotPolicy::Tdm, 1);
+/// assert_eq!(tdm.name(), "GSMTree-TDM");
+/// assert_eq!(tdm.frame_len(), 16);
+/// ```
+#[derive(Debug)]
+pub struct GsmTree {
+    name: &'static str,
+    num_clients: usize,
+    ports: Vec<FifoBuffer<MemoryRequest>>,
+    /// The slot table: `frame[s]` owns slot `s`.
+    frame: Vec<u16>,
+    /// Fixed transit pipeline through the (contention-free) tree.
+    transit: DelayLine<MemoryRequest>,
+    /// Requests that crossed the tree and wait for the controller.
+    at_root: VecDeque<MemoryRequest>,
+    controller: MemoryController<MemoryRequest>,
+    response_line: DelayLine<MemoryRequest>,
+    ready: VecDeque<MemoryResponse>,
+    service_events: VecDeque<ServiceEvent>,
+}
+
+impl GsmTree {
+    /// Creates a GSMTree for `num_clients` clients under `policy`, with
+    /// `service_cycles` flat memory service and 8-entry port buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_clients` is zero, or if an FBSP weight vector has the
+    /// wrong length or non-positive weights.
+    pub fn new(num_clients: usize, policy: SlotPolicy, service_cycles: u64) -> Self {
+        Self::with_dram(num_clients, policy, DramConfig::flat(service_cycles))
+    }
+
+    /// Creates a GSMTree backed by a full DRAM timing model.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`new`](Self::new).
+    pub fn with_dram(num_clients: usize, policy: SlotPolicy, dram: DramConfig) -> Self {
+        assert!(num_clients > 0, "at least one client required");
+        let (frame, name) = match &policy {
+            SlotPolicy::Tdm => (
+                (0..num_clients as u16).collect::<Vec<_>>(),
+                "GSMTree-TDM",
+            ),
+            SlotPolicy::Fbsp(weights) => {
+                assert_eq!(
+                    weights.len(),
+                    num_clients,
+                    "one FBSP weight per client required"
+                );
+                assert!(
+                    weights.iter().all(|w| *w > 0.0 && w.is_finite()),
+                    "FBSP weights must be positive"
+                );
+                (Self::weighted_frame(weights), "GSMTree-FBSP")
+            }
+        };
+        let depth = next_pow2(num_clients).max(2).trailing_zeros() as u64;
+        Self {
+            name,
+            num_clients,
+            ports: (0..num_clients)
+                .map(|_| FifoBuffer::with_capacity(8))
+                .collect(),
+            frame,
+            transit: DelayLine::new(depth),
+            at_root: VecDeque::new(),
+            controller: MemoryController::new(dram),
+            response_line: DelayLine::new(depth),
+            ready: VecDeque::new(),
+            service_events: VecDeque::new(),
+        }
+    }
+
+    /// Builds a slot frame proportional to `weights` (largest remainder,
+    /// frame length = 2 × clients so granularity is at least half a slot),
+    /// interleaving each client's slots across the frame.
+    fn weighted_frame(weights: &[f64]) -> Vec<u16> {
+        let n = weights.len();
+        let frame_len = 2 * n;
+        let total: f64 = weights.iter().sum();
+        // Integer slot counts, at least one per client.
+        let mut slots: Vec<usize> = weights
+            .iter()
+            .map(|w| ((w / total) * frame_len as f64).floor().max(1.0) as usize)
+            .collect();
+        // Fix the total to frame_len by largest remainder.
+        while slots.iter().sum::<usize>() > frame_len {
+            let i = (0..n).max_by_key(|&i| slots[i]).expect("non-empty");
+            if slots[i] > 1 {
+                slots[i] -= 1;
+            } else {
+                break;
+            }
+        }
+        let mut rema: Vec<(f64, usize)> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, w)| ((w / total) * frame_len as f64 - slots[i] as f64, i))
+            .collect();
+        rema.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite"));
+        let mut deficit = frame_len.saturating_sub(slots.iter().sum::<usize>());
+        for (_, i) in rema {
+            if deficit == 0 {
+                break;
+            }
+            slots[i] += 1;
+            deficit -= 1;
+        }
+        // Interleave: repeatedly grant the client with the highest
+        // remaining share (a simple smooth-WRR).
+        let mut credit: Vec<f64> = vec![0.0; n];
+        let mut frame = Vec::with_capacity(frame_len);
+        for _ in 0..frame_len {
+            for (i, c) in credit.iter_mut().enumerate() {
+                *c += slots[i] as f64;
+            }
+            let best = (0..n)
+                .max_by(|&a, &b| credit[a].partial_cmp(&credit[b]).expect("finite"))
+                .expect("non-empty");
+            credit[best] -= frame_len as f64;
+            frame.push(best as u16);
+        }
+        frame
+    }
+
+    /// Length of the slot frame.
+    pub fn frame_len(&self) -> usize {
+        self.frame.len()
+    }
+
+    /// Number of slots owned by `client` in one frame.
+    pub fn slots_of(&self, client: u16) -> usize {
+        self.frame.iter().filter(|&&c| c == client).count()
+    }
+}
+
+impl Interconnect for GsmTree {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn num_clients(&self) -> usize {
+        self.num_clients
+    }
+
+    fn inject(&mut self, request: MemoryRequest, _now: Cycle) -> Result<(), MemoryRequest> {
+        self.ports[request.client as usize].try_push(request)
+    }
+
+    fn step(&mut self, now: Cycle) {
+        if let Some(done) = self.controller.poll_complete(now) {
+            self.response_line.push(done, now);
+        }
+        while let Some(request) = self.response_line.pop_ready(now) {
+            self.ready.push_back(MemoryResponse {
+                request,
+                completed_at: now,
+            });
+        }
+        while let Some(req) = self.transit.pop_ready(now) {
+            self.at_root.push_back(req);
+        }
+        if self.controller.can_accept() {
+            if let Some(req) = self.at_root.pop_front() {
+                let addr = req.addr;
+                let deadline = req.deadline;
+                let duration = self.controller.accept(req, addr, now);
+                self.service_events.push_back(ServiceEvent {
+                    at: now,
+                    deadline,
+                    duration,
+                });
+            }
+        }
+        // TDM admission: only the slot owner may launch this cycle.
+        let owner = self.frame[(now % self.frame.len() as u64) as usize] as usize;
+        if let Some(req) = self.ports[owner].pop() {
+            let deadline = req.deadline;
+            for p in &mut self.ports {
+                charge_fifo(p, deadline);
+            }
+            self.transit.push(req, now);
+        }
+    }
+
+    fn pop_response(&mut self) -> Option<MemoryResponse> {
+        self.ready.pop_front()
+    }
+
+    fn pop_service_event(&mut self) -> Option<ServiceEvent> {
+        self.service_events.pop_front()
+    }
+
+    fn pending(&self) -> usize {
+        let ports: usize = self.ports.iter().map(FifoBuffer::len).sum();
+        ports
+            + self.transit.len()
+            + self.at_root.len()
+            + usize::from(!self.controller.can_accept())
+            + self.response_line.len()
+            + self.ready.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bluescale_interconnect::AccessKind;
+
+    fn req(client: u16, id: u64, deadline: u64) -> MemoryRequest {
+        MemoryRequest {
+            id,
+            client,
+            task: 0,
+            addr: id * 64,
+            kind: AccessKind::Read,
+            issued_at: 0,
+            deadline,
+            blocked_cycles: 0,
+        }
+    }
+
+    #[test]
+    fn tdm_frame_is_round_robin() {
+        let t = GsmTree::new(8, SlotPolicy::Tdm, 1);
+        assert_eq!(t.frame_len(), 8);
+        for c in 0..8 {
+            assert_eq!(t.slots_of(c), 1);
+        }
+    }
+
+    #[test]
+    fn fbsp_frame_weights_slots() {
+        let t = GsmTree::new(
+            4,
+            SlotPolicy::Fbsp(vec![3.0, 1.0, 1.0, 1.0]),
+            1,
+        );
+        assert_eq!(t.frame_len(), 8);
+        assert!(t.slots_of(0) > t.slots_of(1), "heavy client gets more slots");
+        let total: usize = (0..4).map(|c| t.slots_of(c)).sum();
+        assert_eq!(total, 8);
+        for c in 0..4 {
+            assert!(t.slots_of(c) >= 1, "every client keeps a slot");
+        }
+    }
+
+    #[test]
+    fn single_request_completes() {
+        let mut t = GsmTree::new(4, SlotPolicy::Tdm, 1);
+        t.inject(req(2, 1, 1000), 0).unwrap();
+        let mut done = None;
+        for now in 0..100 {
+            t.step(now);
+            if let Some(r) = t.pop_response() {
+                done = Some((now, r));
+                break;
+            }
+        }
+        let (when, resp) = done.expect("completes");
+        assert_eq!(resp.request.id, 1);
+        // Must wait for client 2's slot (cycle 2) + transit + service.
+        assert!(when >= 4, "completed at {when}");
+    }
+
+    #[test]
+    fn tdm_wastes_unowned_slots() {
+        // Only client 0 has traffic; TDM still burns slots 1..3 → client 0
+        // gets 1/4 of the admission bandwidth.
+        let mut t = GsmTree::new(4, SlotPolicy::Tdm, 1);
+        let mut done = 0;
+        let mut id = 0;
+        for now in 0..400 {
+            id += 1;
+            let _ = t.inject(req(0, id, 1_000_000), now);
+            t.step(now);
+            while t.pop_response().is_some() {
+                done += 1;
+            }
+        }
+        assert!((90..=105).contains(&done), "done = {done}");
+    }
+
+    #[test]
+    fn fbsp_favours_heavy_client() {
+        let mut t = GsmTree::new(2, SlotPolicy::Fbsp(vec![3.0, 1.0]), 1);
+        let mut id = 0;
+        let (mut c0, mut c1) = (0u64, 0u64);
+        for now in 0..800 {
+            id += 1;
+            let _ = t.inject(req(0, id, 1_000_000), now);
+            id += 1;
+            let _ = t.inject(req(1, id, 1_000_000), now);
+            t.step(now);
+            while let Some(r) = t.pop_response() {
+                if r.request.client == 0 {
+                    c0 += 1;
+                } else {
+                    c1 += 1;
+                }
+            }
+        }
+        let ratio = c0 as f64 / c1 as f64;
+        assert!(ratio > 2.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn deadline_agnostic_blocking_recorded() {
+        // An urgent request waits through other clients' slots while their
+        // later-deadline requests are served.
+        let mut t = GsmTree::new(4, SlotPolicy::Tdm, 1);
+        t.inject(req(3, 1, 2), 0).unwrap(); // urgent, but slot 3 is last
+        for c in 0..3u16 {
+            t.inject(req(c, 10 + c as u64, 1_000_000), 0).unwrap();
+        }
+        let mut victim = None;
+        for now in 0..100 {
+            t.step(now);
+            while let Some(r) = t.pop_response() {
+                if r.request.id == 1 {
+                    victim = Some(r.request.blocked_cycles);
+                }
+            }
+        }
+        assert!(victim.expect("completes") >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "one FBSP weight per client")]
+    fn fbsp_wrong_weight_count_panics() {
+        let _ = GsmTree::new(4, SlotPolicy::Fbsp(vec![1.0]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be positive")]
+    fn fbsp_nonpositive_weight_panics() {
+        let _ = GsmTree::new(2, SlotPolicy::Fbsp(vec![1.0, 0.0]), 1);
+    }
+}

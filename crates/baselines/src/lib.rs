@@ -1,0 +1,90 @@
+//! Baseline memory interconnects the paper compares BlueScale against
+//! (Section 6 experimental setup):
+//!
+//! * [`axi::AxiIcRt`] — **AXI-IC^RT** (Jiang et al., RTAS 2021): a
+//!   *centralized* real-time interconnect. A monolithic switch box admits
+//!   one request per cycle; a central arbiter holds a global EDF view.
+//!   Near-optimal scheduling, but admission serializes all clients, client
+//!   ports are FIFO-ordered (AXI ordering → head-of-line blocking) and the
+//!   central arbiter adds pipeline latency that grows with the port count.
+//! * [`bluetree::BlueTree`] — a *distributed* binary multiplexer tree
+//!   (Audsley 2013). Each 2-to-1 node applies a static blocking-factor
+//!   heuristic: every α requests from the high-priority (left) input, at
+//!   most one from the right may pass. Deadline-agnostic by design.
+//! * [`bluetree::BlueTree::smooth`] — **BlueTree-Smooth** (Wang et al.,
+//!   RTAS 2020): BlueTree with deeper stage buffers that smooth bursts.
+//! * [`gsmtree::GsmTree`] — **GSMTree** (Gomony et al., DATE 2015 / TC
+//!   2016): a globally-arbitrated tree using TDM slots. `GSMTree-TDM`
+//!   reserves equal slots for every client; `GSMTree-FBSP` reserves slots
+//!   proportional to each client's workload.
+//!
+//! All baselines implement the same
+//! [`bluescale_interconnect::Interconnect`] trait as BlueScale itself, so
+//! the experiment harness treats them interchangeably.
+
+#![warn(missing_docs)]
+
+pub mod axi;
+pub mod bluetree;
+pub mod gsmtree;
+
+pub use axi::AxiIcRt;
+pub use bluetree::BlueTree;
+pub use gsmtree::{GsmTree, SlotPolicy};
+
+use bluescale_interconnect::buffer::FifoBuffer;
+use bluescale_interconnect::MemoryRequest;
+
+/// Charges one blocked cycle to every request in `fifo` whose deadline is
+/// earlier than the `served_deadline` of the request just forwarded —
+/// shared blocking-latency accounting for all FIFO-based baselines.
+pub(crate) fn charge_fifo(fifo: &mut FifoBuffer<MemoryRequest>, served_deadline: u64) {
+    for r in fifo.iter_mut() {
+        if r.deadline < served_deadline {
+            r.blocked_cycles += 1;
+        }
+    }
+}
+
+/// Smallest power of two ≥ `n` (tree baselines round their leaf count up;
+/// surplus leaves idle).
+pub(crate) fn next_pow2(n: usize) -> usize {
+    n.next_power_of_two()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bluescale_interconnect::AccessKind;
+
+    #[test]
+    fn next_pow2_values() {
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(2), 2);
+        assert_eq!(next_pow2(3), 4);
+        assert_eq!(next_pow2(16), 16);
+        assert_eq!(next_pow2(17), 32);
+        assert_eq!(next_pow2(64), 64);
+    }
+
+    #[test]
+    fn charge_fifo_earlier_deadlines_only() {
+        let mut f = FifoBuffer::with_capacity(4);
+        for (id, dl) in [(1u64, 10u64), (2, 50)] {
+            f.try_push(MemoryRequest {
+                id,
+                client: 0,
+                task: 0,
+                addr: 0,
+                kind: AccessKind::Read,
+                issued_at: 0,
+                deadline: dl,
+                blocked_cycles: 0,
+            })
+            .unwrap();
+        }
+        charge_fifo(&mut f, 30);
+        let blocked: Vec<u64> = f.iter().map(|r| r.blocked_cycles).collect();
+        assert_eq!(blocked, vec![1, 0]);
+    }
+}

@@ -1,0 +1,51 @@
+//! Criterion wrappers over the table/figure generators themselves, so
+//! `cargo bench` exercises every experiment end-to-end (at reduced trial
+//! counts — the binaries produce the full tables).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bluescale_bench::{fig5, fig6, fig7, table1};
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("experiment/table1", |b| b.iter(|| black_box(table1::rows())));
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    c.bench_function("experiment/fig5_sweep", |b| b.iter(|| black_box(fig5::sweep())));
+}
+
+fn bench_fig6_panel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiment");
+    group.sample_size(10);
+    let config = fig6::Fig6Config {
+        clients: 16,
+        trials: 2,
+        horizon: 5_000,
+        seed: 1,
+        phased: false,
+    };
+    group.bench_function("fig6_16clients_2trials", |b| {
+        b.iter(|| black_box(fig6::run(&config)))
+    });
+    group.finish();
+}
+
+fn bench_fig7_point(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiment");
+    group.sample_size(10);
+    let config = fig7::Fig7Config {
+        processors: 16,
+        trials: 2,
+        horizon: 5_000,
+        targets: vec![0.5],
+        seed: 1,
+    };
+    group.bench_function("fig7_16cores_1point_2trials", |b| {
+        b.iter(|| black_box(fig7::run(&config)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1, bench_fig5, bench_fig6_panel, bench_fig7_point);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Criterion micro-benchmarks of the simulated interconnects: per-cycle
+//! stepping cost and end-to-end trial throughput for each architecture.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bluescale_bench::runner::{build, run_trial, InterconnectKind};
+use bluescale_rt::task::{Task, TaskSet};
+use bluescale_sim::rng::SimRng;
+use bluescale_workload::synthetic::{generate, SyntheticConfig};
+
+fn light_sets(n: usize) -> Vec<TaskSet> {
+    (0..n)
+        .map(|_| TaskSet::new(vec![Task::new(0, 400, 2).expect("valid")]).expect("valid"))
+        .collect()
+}
+
+fn bench_step_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("step_1k_cycles_16_clients");
+    let sets = light_sets(16);
+    for kind in InterconnectKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter_batched(
+                    || build(kind, &sets),
+                    |mut ic| {
+                        for now in 0..1000 {
+                            ic.step(black_box(now));
+                        }
+                        ic
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_full_trial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trial_5k_cycles_loaded");
+    group.sample_size(10);
+    let mut rng = SimRng::seed_from(1234);
+    let sets = generate(&SyntheticConfig::fig6(16), &mut rng);
+    for kind in [InterconnectKind::BlueScale, InterconnectKind::AxiIcRt] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| b.iter(|| run_trial(kind, black_box(&sets), 5_000)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_mesh_step(c: &mut Criterion) {
+    use bluescale_noc::mesh::Packet;
+    use bluescale_noc::{Mesh, MeshConfig, NodeId};
+    c.bench_function("noc_mesh_9x9_step_loaded", |b| {
+        b.iter_batched(
+            || {
+                let mut mesh: Mesh<u64> = Mesh::new(MeshConfig {
+                    width: 9,
+                    height: 9,
+                    buffer_capacity: 4,
+                });
+                for i in 0..64u64 {
+                    let src = NodeId::new((i % 8 + 1) as usize, (i / 8 + 1) as usize % 9);
+                    let _ = mesh.inject(
+                        src,
+                        Packet {
+                            dest: NodeId::new(0, 0),
+                            payload: i,
+                        },
+                    );
+                }
+                mesh
+            },
+            |mut mesh| {
+                for _ in 0..100 {
+                    mesh.step();
+                }
+                mesh
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_bluescale_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bluescale_build");
+    for n in [16usize, 64] {
+        let sets = light_sets(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &sets, |b, sets| {
+            b.iter(|| build(InterconnectKind::BlueScale, black_box(sets)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_step_cycle,
+    bench_full_trial,
+    bench_mesh_step,
+    bench_bluescale_scaling
+);
+criterion_main!(benches);

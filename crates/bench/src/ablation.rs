@@ -1,0 +1,229 @@
+//! Ablation studies over BlueScale's design choices (DESIGN.md §5):
+//!
+//! 1. **Nested queues** — low-level EDF random-access buffers vs plain
+//!    FIFO stage buffers.
+//! 2. **Budget gating** — strictly budget-gated scheduling vs the
+//!    work-conserving variant that grants idle provider cycles.
+//! 3. **Fan-in** — quadtree (branch 4) vs binary tree (branch 2) vs flat
+//!    16-ary fan-in.
+//! 4. **Analysis margin** — how the leaf deadline-deflation factor trades
+//!    admission rate against run-time misses.
+
+use bluescale::rab::QueuePolicy;
+use bluescale::{BlueScaleConfig, BlueScaleInterconnect};
+use bluescale_interconnect::system::System;
+use bluescale_interconnect::Interconnect;
+use bluescale_sim::rng::SimRng;
+use bluescale_sim::stats::OnlineStats;
+use bluescale_sim::Cycle;
+use bluescale_workload::synthetic::{generate, SyntheticConfig};
+
+/// One BlueScale variant under ablation.
+#[derive(Debug, Clone)]
+pub struct Variant {
+    /// Label printed in the report.
+    pub name: &'static str,
+    /// The configuration (minus the client count, set per experiment).
+    pub configure: fn(&mut BlueScaleConfig),
+}
+
+/// The ablation grid.
+pub fn variants() -> Vec<Variant> {
+    fn baseline(c: &mut BlueScaleConfig) {
+        c.work_conserving = true;
+    }
+    fn fifo_low_level(c: &mut BlueScaleConfig) {
+        c.work_conserving = true;
+        c.low_level_policy = QueuePolicy::Fifo;
+    }
+    fn strict_gating(c: &mut BlueScaleConfig) {
+        c.work_conserving = false;
+    }
+    fn binary_fanin(c: &mut BlueScaleConfig) {
+        c.work_conserving = true;
+        c.branch = 2;
+    }
+    fn flat_fanin(c: &mut BlueScaleConfig) {
+        c.work_conserving = true;
+        c.branch = 16;
+    }
+    fn no_margin(c: &mut BlueScaleConfig) {
+        c.work_conserving = true;
+        c.analysis_margin = 1.0;
+    }
+    fn deep_margin(c: &mut BlueScaleConfig) {
+        c.work_conserving = true;
+        c.analysis_margin = 0.75;
+    }
+    vec![
+        Variant { name: "BlueScale (default)", configure: baseline },
+        Variant { name: "low-level FIFO", configure: fifo_low_level },
+        Variant { name: "strict budget gating", configure: strict_gating },
+        Variant { name: "binary fan-in (branch 2)", configure: binary_fanin },
+        Variant { name: "flat fan-in (branch 16)", configure: flat_fanin },
+        Variant { name: "margin 1.0 (bare analysis)", configure: no_margin },
+        Variant { name: "margin 0.75", configure: deep_margin },
+    ]
+}
+
+/// Aggregated result of one variant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationRow {
+    /// Variant label.
+    pub name: &'static str,
+    /// Mean deadline miss ratio across trials.
+    pub miss_ratio: f64,
+    /// Mean blocking latency (cycles).
+    pub blocking: f64,
+    /// Mean end-to-end latency (cycles).
+    pub latency: f64,
+    /// Fraction of trials the composition admitted (`schedulable`).
+    pub admitted: f64,
+}
+
+/// Configuration of the ablation experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AblationConfig {
+    /// Clients (traffic generators).
+    pub clients: usize,
+    /// Trials per variant.
+    pub trials: u64,
+    /// Horizon per trial.
+    pub horizon: Cycle,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for AblationConfig {
+    fn default() -> Self {
+        Self {
+            clients: 16,
+            trials: 40,
+            horizon: 20_000,
+            seed: 0xAB1A,
+        }
+    }
+}
+
+/// Runs the full ablation grid on Fig 6-style synthetic workloads.
+pub fn run(config: &AblationConfig) -> Vec<AblationRow> {
+    let variant_list = variants();
+    let mut miss = vec![OnlineStats::new(); variant_list.len()];
+    let mut blocking = vec![OnlineStats::new(); variant_list.len()];
+    let mut latency = vec![OnlineStats::new(); variant_list.len()];
+    let mut admitted = vec![0u64; variant_list.len()];
+    let mut master = SimRng::seed_from(config.seed);
+    for _ in 0..config.trials {
+        let mut rng = master.fork();
+        let sets = generate(&SyntheticConfig::fig6(config.clients), &mut rng);
+        for (i, variant) in variant_list.iter().enumerate() {
+            let mut bs = BlueScaleConfig::for_clients(config.clients);
+            (variant.configure)(&mut bs);
+            let ic = BlueScaleInterconnect::new(bs, &sets)
+                .expect("construction succeeds for every variant");
+            if ic.composition().schedulable {
+                admitted[i] += 1;
+            }
+            let mut system =
+                System::new(Box::new(ic) as Box<dyn Interconnect>, &sets);
+            let m = system.run(config.horizon);
+            miss[i].push(m.miss_ratio());
+            blocking[i].push(m.mean_blocking());
+            latency[i].push(m.mean_latency());
+        }
+    }
+    variant_list
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| AblationRow {
+            name: v.name,
+            miss_ratio: miss[i].mean(),
+            blocking: blocking[i].mean(),
+            latency: latency[i].mean(),
+            admitted: admitted[i] as f64 / config.trials as f64,
+        })
+        .collect()
+}
+
+/// Renders the ablation table.
+pub fn render(config: &AblationConfig, rows: &[AblationRow]) -> String {
+    let mut s = format!(
+        "# Ablation: BlueScale design choices ({} clients, {} trials, {} cycles)\n\n",
+        config.clients, config.trials, config.horizon
+    );
+    s.push_str("| Variant | Miss ratio | Blocking (cy) | Latency (cy) | Admission rate |\n");
+    s.push_str("|---|---:|---:|---:|---:|\n");
+    for r in rows {
+        s.push_str(&format!(
+            "| {} | {:.2}% | {:.1} | {:.1} | {:.0}% |\n",
+            r.name,
+            100.0 * r.miss_ratio,
+            r.blocking,
+            r.latency,
+            100.0 * r.admitted,
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> AblationConfig {
+        AblationConfig {
+            clients: 16,
+            trials: 3,
+            horizon: 8_000,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn grid_covers_all_variants() {
+        let rows = run(&tiny());
+        assert_eq!(rows.len(), variants().len());
+        assert!(rows.iter().all(|r| (0.0..=1.0).contains(&r.admitted)));
+    }
+
+    #[test]
+    fn fifo_low_level_is_never_better_on_misses() {
+        let rows = run(&AblationConfig {
+            trials: 5,
+            ..tiny()
+        });
+        let get = |name: &str| {
+            rows.iter()
+                .find(|r| r.name.contains(name))
+                .expect("variant present")
+                .clone()
+        };
+        let edf = get("default");
+        let fifo = get("FIFO");
+        assert!(
+            edf.miss_ratio <= fifo.miss_ratio + 0.01,
+            "EDF {} vs FIFO {}",
+            edf.miss_ratio,
+            fifo.miss_ratio
+        );
+    }
+
+    #[test]
+    fn strict_gating_increases_latency() {
+        let rows = run(&AblationConfig {
+            trials: 4,
+            ..tiny()
+        });
+        let get = |name: &str| rows.iter().find(|r| r.name.contains(name)).unwrap().clone();
+        assert!(get("strict").latency >= get("default").latency);
+    }
+
+    #[test]
+    fn render_lists_variants() {
+        let cfg = tiny();
+        let text = render(&cfg, &run(&cfg));
+        for v in variants() {
+            assert!(text.contains(v.name));
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Extension experiment: analytic admission rate vs offered utilization.
+//!
+//! A schedulability curve in the classic real-time-systems style: for each
+//! total utilization, what fraction of random task systems does the
+//! BlueScale composition admit (`CompositionReport::schedulable`)? Also
+//! reported: the bandwidth the composition allocates at the root —
+//! the *abstraction overhead* of compositional scheduling (allocated
+//! bandwidth minus real utilization), which is exactly what the
+//! minimum-bandwidth interface selection of Section 5 minimizes.
+
+use bluescale::{BlueScaleConfig, BlueScaleInterconnect};
+use bluescale_rt::edp::select_interface_edp;
+use bluescale_rt::interface::{select_interface, SelectionContext};
+use bluescale_sim::rng::SimRng;
+use bluescale_sim::stats::OnlineStats;
+use bluescale_workload::synthetic::{generate, SyntheticConfig};
+use bluescale_workload::total_utilization;
+
+/// Configuration of the admission-rate sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionConfig {
+    /// Clients per system.
+    pub clients: usize,
+    /// Utilization points to sweep.
+    pub utilizations: Vec<f64>,
+    /// Random systems per point.
+    pub trials: u64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        Self {
+            clients: 16,
+            utilizations: (1..=9).map(|i| 0.1 * i as f64).collect(),
+            trials: 100,
+            seed: 0xAD31,
+        }
+    }
+}
+
+/// One sweep point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionPoint {
+    /// Target total utilization.
+    pub utilization: f64,
+    /// Fraction of systems the composition admitted.
+    pub admission_rate: f64,
+    /// Mean allocated root bandwidth among admitted systems (NaN-free:
+    /// 0 when none admitted).
+    pub mean_root_bandwidth: f64,
+    /// Mean realized utilization of the generated systems.
+    pub mean_utilization: f64,
+    /// Mean summed leaf-interface bandwidth under the paper's periodic
+    /// resource model.
+    pub leaf_alloc_periodic: f64,
+    /// Mean summed leaf-interface bandwidth under the EDP extension
+    /// (smaller blackouts → less inflation).
+    pub leaf_alloc_edp: f64,
+}
+
+/// Runs the sweep.
+pub fn run(config: &AdmissionConfig) -> Vec<AdmissionPoint> {
+    let mut master = SimRng::seed_from(config.seed);
+    config
+        .utilizations
+        .iter()
+        .map(|&target| {
+            let mut admitted = 0u64;
+            let mut bandwidth = OnlineStats::new();
+            let mut realized = OnlineStats::new();
+            let mut periodic_alloc = OnlineStats::new();
+            let mut edp_alloc = OnlineStats::new();
+            for _ in 0..config.trials {
+                let mut rng = master.fork();
+                let synthetic = SyntheticConfig {
+                    util_lo: (target - 0.02).max(0.01),
+                    util_hi: target + 0.02,
+                    ..SyntheticConfig::fig6(config.clients)
+                };
+                let sets = generate(&synthetic, &mut rng);
+                realized.push(total_utilization(&sets));
+                // Per-client leaf interfaces under both resource models.
+                let mut periodic_sum = 0.0;
+                let mut edp_sum = 0.0;
+                let mut both_ok = true;
+                for set in &sets {
+                    let ctx = SelectionContext::isolated(set);
+                    match (select_interface(set, &ctx), select_interface_edp(set)) {
+                        (Ok(p), Ok(e)) => {
+                            periodic_sum += p.bandwidth();
+                            edp_sum += e.bandwidth();
+                        }
+                        _ => both_ok = false,
+                    }
+                }
+                if both_ok {
+                    periodic_alloc.push(periodic_sum);
+                    edp_alloc.push(edp_sum);
+                }
+                let mut bs = BlueScaleConfig::for_clients(config.clients);
+                bs.work_conserving = true;
+                let ic = BlueScaleInterconnect::new(bs, &sets)
+                    .expect("construction succeeds");
+                let comp = ic.composition();
+                if comp.schedulable {
+                    admitted += 1;
+                    bandwidth.push(comp.root_bandwidth);
+                }
+            }
+            AdmissionPoint {
+                utilization: target,
+                admission_rate: admitted as f64 / config.trials as f64,
+                mean_root_bandwidth: bandwidth.mean(),
+                mean_utilization: realized.mean(),
+                leaf_alloc_periodic: periodic_alloc.mean(),
+                leaf_alloc_edp: edp_alloc.mean(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the curve as a markdown table.
+pub fn render(config: &AdmissionConfig, points: &[AdmissionPoint]) -> String {
+    let mut s = format!(
+        "# Extension: analytic admission rate vs utilization \
+         ({} clients, {} systems/point)\n\n",
+        config.clients, config.trials
+    );
+    s.push_str(
+        "| Target U | Realized U | Admission rate | Root alloc | Overhead | Leaf alloc (periodic) | Leaf alloc (EDP ext.) |\n",
+    );
+    s.push_str("|---:|---:|---:|---:|---:|---:|---:|\n");
+    for p in points {
+        let overhead = if p.admission_rate > 0.0 {
+            format!("{:.2}×", p.mean_root_bandwidth / p.mean_utilization.max(1e-9))
+        } else {
+            "–".to_owned()
+        };
+        s.push_str(&format!(
+            "| {:.2} | {:.3} | {:.0}% | {:.3} | {} | {:.3} | {:.3} |\n",
+            p.utilization,
+            p.mean_utilization,
+            100.0 * p.admission_rate,
+            p.mean_root_bandwidth,
+            overhead,
+            p.leaf_alloc_periodic,
+            p.leaf_alloc_edp,
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> AdmissionConfig {
+        AdmissionConfig {
+            clients: 16,
+            utilizations: vec![0.2, 0.5, 0.9],
+            trials: 10,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn admission_rate_decreases_with_utilization() {
+        let pts = run(&tiny());
+        assert!(pts[0].admission_rate >= pts[2].admission_rate);
+        assert!(pts[0].admission_rate > 0.8, "low load must be admitted");
+    }
+
+    #[test]
+    fn allocated_bandwidth_covers_utilization() {
+        for p in run(&tiny()) {
+            if p.admission_rate > 0.0 {
+                assert!(p.mean_root_bandwidth >= p.mean_utilization * 0.9);
+                assert!(p.mean_root_bandwidth <= 1.0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn edp_allocation_never_exceeds_periodic() {
+        for p in run(&tiny()) {
+            assert!(
+                p.leaf_alloc_edp <= p.leaf_alloc_periodic + 1e-9,
+                "EDP {} vs periodic {} at U={}",
+                p.leaf_alloc_edp,
+                p.leaf_alloc_periodic,
+                p.utilization
+            );
+        }
+    }
+
+    #[test]
+    fn render_has_overhead_column() {
+        let cfg = tiny();
+        let text = render(&cfg, &run(&cfg));
+        assert!(text.contains("Overhead"));
+    }
+}

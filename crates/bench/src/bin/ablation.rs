@@ -1,0 +1,18 @@
+//! Runs the BlueScale design-choice ablation grid (an extension beyond the
+//! paper; see DESIGN.md §5).
+//!
+//! Usage:
+//! `cargo run --release -p bluescale-bench --bin ablation -- [--clients N] [--trials N] [--horizon N]`
+
+use bluescale_bench::ablation::{render, run, AblationConfig};
+use bluescale_bench::{arg_u64, arg_usize};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut config = AblationConfig::default();
+    config.clients = arg_usize(&args, "--clients", config.clients);
+    config.trials = arg_u64(&args, "--trials", config.trials);
+    config.horizon = arg_u64(&args, "--horizon", config.horizon);
+    let rows = run(&config);
+    println!("{}", render(&config, &rows));
+}

@@ -1,0 +1,16 @@
+//! Runs the analytic admission-rate extension (schedulability curve).
+//!
+//! Usage:
+//! `cargo run --release -p bluescale-bench --bin admission -- [--clients N] [--trials N]`
+
+use bluescale_bench::admission::{render, run, AdmissionConfig};
+use bluescale_bench::{arg_u64, arg_usize};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut config = AdmissionConfig::default();
+    config.clients = arg_usize(&args, "--clients", config.clients);
+    config.trials = arg_u64(&args, "--trials", config.trials);
+    let points = run(&config);
+    println!("{}", render(&config, &points));
+}

@@ -1,0 +1,16 @@
+//! Runs the hierarchical EDP deadline-laxity sweep (extension).
+//!
+//! Usage:
+//! `cargo run --release -p bluescale-bench --bin edp_sweep -- [--clients N] [--trials N]`
+
+use bluescale_bench::edp_sweep::{render, run, EdpSweepConfig};
+use bluescale_bench::{arg_u64, arg_usize};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut config = EdpSweepConfig::default();
+    config.clients = arg_usize(&args, "--clients", config.clients);
+    config.trials = arg_u64(&args, "--trials", config.trials);
+    let points = run(&config);
+    println!("{}", render(&config, &points));
+}

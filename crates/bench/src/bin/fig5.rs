@@ -1,0 +1,7 @@
+//! Regenerates the paper's Fig 5 (area, power, max frequency vs η).
+//!
+//! Usage: `cargo run -p bluescale-bench --bin fig5`
+
+fn main() {
+    print!("{}", bluescale_bench::fig5::render());
+}

@@ -1,0 +1,23 @@
+//! Regenerates the paper's Fig 6 (blocking latency and deadline miss
+//! ratio under synthetic traffic).
+//!
+//! Usage:
+//! `cargo run --release -p bluescale-bench --bin fig6 -- [--clients 16,64] [--trials N] [--horizon N]`
+//!
+//! Paper-scale statistics: `--trials 200`.
+
+use bluescale_bench::fig6::{render, run, Fig6Config};
+use bluescale_bench::{arg_u64, arg_usize_list};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let clients = arg_usize_list(&args, "--clients", &[16, 64]);
+    for n in clients {
+        let mut config = Fig6Config::new(n);
+        config.trials = arg_u64(&args, "--trials", config.trials);
+        config.horizon = arg_u64(&args, "--horizon", config.horizon);
+        config.phased = args.iter().any(|a| a == "--phased");
+        let rows = run(&config);
+        println!("{}", render(&config, &rows));
+    }
+}

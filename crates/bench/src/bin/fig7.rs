@@ -1,0 +1,22 @@
+//! Regenerates the paper's Fig 7 (case-study success ratio vs target
+//! utilization).
+//!
+//! Usage:
+//! `cargo run --release -p bluescale-bench --bin fig7 -- [--processors 16,64] [--trials N] [--horizon N]`
+//!
+//! Paper-scale statistics: `--trials 200`.
+
+use bluescale_bench::fig7::{render, run, Fig7Config};
+use bluescale_bench::{arg_u64, arg_usize_list};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let processors = arg_usize_list(&args, "--processors", &[16, 64]);
+    for n in processors {
+        let mut config = Fig7Config::new(n);
+        config.trials = arg_u64(&args, "--trials", config.trials);
+        config.horizon = arg_u64(&args, "--horizon", config.horizon);
+        let points = run(&config);
+        println!("{}", render(&config, &points));
+    }
+}

@@ -1,0 +1,18 @@
+//! Runs the temporal-isolation extension (rogue client flooding).
+//!
+//! Usage:
+//! `cargo run --release -p bluescale-bench --bin isolation -- [--clients N] [--trials N] [--factor N]`
+
+use bluescale_bench::isolation::{render, run, IsolationConfig};
+use bluescale_bench::{arg_u64, arg_usize};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut config = IsolationConfig::default();
+    config.clients = arg_usize(&args, "--clients", config.clients);
+    config.trials = arg_u64(&args, "--trials", config.trials);
+    config.horizon = arg_u64(&args, "--horizon", config.horizon);
+    config.misbehaviour_factor = arg_u64(&args, "--factor", config.misbehaviour_factor);
+    let rows = run(&config);
+    println!("{}", render(&config, &rows));
+}

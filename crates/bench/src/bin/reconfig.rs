@@ -1,0 +1,16 @@
+//! Runs the reconfiguration-cost extension (the paper's Section 3.2
+//! scheduling-scalability property, quantified).
+//!
+//! Usage:
+//! `cargo run --release -p bluescale-bench --bin reconfig -- [--updates N]`
+
+use bluescale_bench::arg_usize;
+use bluescale_bench::reconfig::{render, run, ReconfigConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut config = ReconfigConfig::default();
+    config.updates = arg_usize(&args, "--updates", config.updates);
+    let points = run(&config);
+    println!("{}", render(&config, &points));
+}

@@ -1,0 +1,16 @@
+//! Runs the scheduling-scalability extension sweep (4→256 clients).
+//!
+//! Usage:
+//! `cargo run --release -p bluescale-bench --bin scalability -- [--trials N] [--horizon N]`
+
+use bluescale_bench::scalability::{render, run, ScalabilityConfig};
+use bluescale_bench::arg_u64;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut config = ScalabilityConfig::default();
+    config.trials = arg_u64(&args, "--trials", config.trials);
+    config.horizon = arg_u64(&args, "--horizon", config.horizon);
+    let points = run(&config);
+    println!("{}", render(&config, &points));
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's Table 1 (hardware overhead at 16 clients).
+//!
+//! Usage: `cargo run -p bluescale-bench --bin table1`
+
+fn main() {
+    print!("{}", bluescale_bench::table1::render());
+}

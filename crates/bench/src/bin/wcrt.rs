@@ -1,0 +1,18 @@
+//! Runs the worst-case-vs-average response time extension (the paper's
+//! motivating "up to 6×" BlueTree measurement).
+//!
+//! Usage:
+//! `cargo run --release -p bluescale-bench --bin wcrt -- [--clients N] [--trials N]`
+
+use bluescale_bench::wcrt::{render, run, WcrtConfig};
+use bluescale_bench::{arg_u64, arg_usize};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut config = WcrtConfig::default();
+    config.clients = arg_usize(&args, "--clients", config.clients);
+    config.trials = arg_u64(&args, "--trials", config.trials);
+    config.horizon = arg_u64(&args, "--horizon", config.horizon);
+    let rows = run(&config);
+    println!("{}", render(&config, &rows));
+}

@@ -1,0 +1,103 @@
+//! Workload utility: generate, save and replay experimental workloads.
+//!
+//! ```text
+//! # Generate a Fig-6-style workload and save it:
+//! cargo run -p bluescale-bench --bin workload -- generate \
+//!     --kind fig6 --clients 16 --seed 42 --out trial.bsw
+//!
+//! # Generate a case-study workload:
+//! cargo run -p bluescale-bench --bin workload -- generate \
+//!     --kind casestudy --clients 16 --target 0.6 --seed 7 --out cs.bsw
+//!
+//! # Replay a saved workload on every interconnect:
+//! cargo run --release -p bluescale-bench --bin workload -- run \
+//!     --file trial.bsw --horizon 20000
+//! ```
+
+use bluescale_bench::runner::{run_trial, InterconnectKind};
+use bluescale_bench::{arg_u64, arg_usize, arg_value};
+use bluescale_sim::rng::SimRng;
+use bluescale_workload::casestudy::{generate as gen_cs, CaseStudyConfig};
+use bluescale_workload::file;
+use bluescale_workload::synthetic::{generate as gen_syn, SyntheticConfig};
+use bluescale_workload::total_utilization;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("generate") => generate(&args),
+        Some("run") => run(&args),
+        _ => {
+            eprintln!("usage: workload <generate|run> [options]");
+            eprintln!("  generate --kind <fig6|casestudy> --clients N [--target U] [--seed N] --out FILE");
+            eprintln!("  run --file FILE [--horizon N]");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn generate(args: &[String]) {
+    let kind = arg_value(args, "--kind").unwrap_or_else(|| "fig6".to_owned());
+    let clients = arg_usize(args, "--clients", 16);
+    let seed = arg_u64(args, "--seed", 1);
+    let out = arg_value(args, "--out").unwrap_or_else(|| "workload.bsw".to_owned());
+    let mut rng = SimRng::seed_from(seed);
+    let sets = match kind.as_str() {
+        "fig6" => gen_syn(&SyntheticConfig::fig6(clients), &mut rng),
+        "casestudy" => {
+            let target = arg_value(args, "--target")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0.6);
+            gen_cs(&CaseStudyConfig::fig7(clients, target), &mut rng)
+        }
+        other => {
+            eprintln!("unknown workload kind `{other}` (use fig6 or casestudy)");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = file::save(&out, &sets) {
+        eprintln!("failed to save {out}: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "saved {} clients, total utilization {:.3} → {}",
+        sets.len(),
+        total_utilization(&sets),
+        out
+    );
+}
+
+fn run(args: &[String]) {
+    let path = arg_value(args, "--file").unwrap_or_else(|| {
+        eprintln!("run requires --file FILE");
+        std::process::exit(2);
+    });
+    let horizon = arg_u64(args, "--horizon", 20_000);
+    let sets = match file::load(&path) {
+        Ok(sets) => sets,
+        Err(e) => {
+            eprintln!("failed to load {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "replaying {path}: {} clients, total utilization {:.3}, {horizon} cycles\n",
+        sets.len(),
+        total_utilization(&sets)
+    );
+    println!(
+        "{:<16} {:>8} {:>8} {:>10} {:>12}",
+        "interconnect", "issued", "missed", "miss ratio", "mean latency"
+    );
+    for kind in InterconnectKind::ALL {
+        let m = run_trial(kind, &sets, horizon);
+        println!(
+            "{:<16} {:>8} {:>8} {:>9.2}% {:>9.1} cy",
+            kind.name(),
+            m.issued(),
+            m.missed(),
+            100.0 * m.miss_ratio(),
+            m.mean_latency()
+        );
+    }
+}

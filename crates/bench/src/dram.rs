@@ -1,0 +1,228 @@
+//! Extension experiment: sensitivity to memory service-time variability.
+//!
+//! The paper's evaluation treats memory service as uniform transaction
+//! time units. Real DRAM is not uniform — a row-buffer conflict costs
+//! several times a hit. This experiment re-runs the Fig 6 methodology
+//! under three memory models:
+//!
+//! * `flat(1)` — the paper's abstraction (one transaction time unit),
+//! * `flat(4)` — uniform but slower service,
+//! * `DRAM` — the open-row model (4-cycle hits, 12-cycle conflicts,
+//!   8 banks), which injects *service-time jitter*,
+//! * `DRAM closed-page` — the real-time controller policy: every access
+//!   pays the full activate cost, restoring service-time determinism.
+//!
+//! Workload utilization is expressed in channel time, so offered load is
+//! comparable across models (the generator target is divided by the
+//! model's mean service time).
+
+use crate::runner::InterconnectKind;
+use bluescale::{BlueScaleConfig, BlueScaleInterconnect};
+use bluescale_baselines::{AxiIcRt, BlueTree, GsmTree, SlotPolicy};
+use bluescale_noc::NocMemoryInterconnect;
+use bluescale_interconnect::system::System;
+use bluescale_interconnect::Interconnect;
+use bluescale_mem::DramConfig;
+use bluescale_rt::task::TaskSet;
+use bluescale_sim::rng::SimRng;
+use bluescale_sim::stats::OnlineStats;
+use bluescale_sim::Cycle;
+use bluescale_workload::synthetic::{generate, SyntheticConfig};
+
+/// A memory model under test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryModel {
+    /// Label for the report.
+    pub name: &'static str,
+    /// The DRAM timing configuration.
+    pub dram: DramConfig,
+    /// Mean service cycles (for load normalization).
+    pub mean_service: f64,
+}
+
+/// The three models of the experiment.
+pub fn models() -> Vec<MemoryModel> {
+    vec![
+        MemoryModel {
+            name: "flat(1)",
+            dram: DramConfig::flat(1),
+            mean_service: 1.0,
+        },
+        MemoryModel {
+            name: "flat(4)",
+            dram: DramConfig::flat(4),
+            mean_service: 4.0,
+        },
+        MemoryModel {
+            name: "DRAM 4/12",
+            dram: DramConfig::default(),
+            // Sequential per-task streams hit often; assume ~2/3 hits.
+            mean_service: 4.0 * (2.0 / 3.0) + 12.0 / 3.0,
+        },
+        MemoryModel {
+            name: "DRAM closed-page",
+            dram: DramConfig::closed_page(),
+            // Every access pays the full activate cost — deterministic.
+            mean_service: 12.0,
+        },
+    ]
+}
+
+fn build(
+    kind: InterconnectKind,
+    sets: &[TaskSet],
+    dram: DramConfig,
+) -> Box<dyn Interconnect> {
+    let n = sets.len();
+    match kind {
+        InterconnectKind::AxiIcRt => Box::new(AxiIcRt::with_dram(n, 8, dram)),
+        InterconnectKind::BlueTree => Box::new(BlueTree::with_dram(n, 2, dram)),
+        InterconnectKind::BlueTreeSmooth => {
+            Box::new(BlueTree::smooth_with_dram(n, 2, dram))
+        }
+        InterconnectKind::GsmTreeTdm => {
+            Box::new(GsmTree::with_dram(n, SlotPolicy::Tdm, dram))
+        }
+        InterconnectKind::GsmTreeFbsp => {
+            let weights: Vec<f64> =
+                sets.iter().map(|s| s.utilization().max(1e-4)).collect();
+            Box::new(GsmTree::with_dram(n, SlotPolicy::Fbsp(weights), dram))
+        }
+        InterconnectKind::BlueScale => {
+            let mut config = BlueScaleConfig::for_clients(n);
+            config.work_conserving = true;
+            config.dram = Some(dram);
+            Box::new(BlueScaleInterconnect::new(config, sets).expect("valid build"))
+        }
+        InterconnectKind::LegacyNoc => {
+            Box::new(NocMemoryInterconnect::with_dram(n, dram))
+        }
+    }
+}
+
+/// Configuration of the sensitivity sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramConfigSweep {
+    /// Clients.
+    pub clients: usize,
+    /// Trials per (model, interconnect) pair.
+    pub trials: u64,
+    /// Horizon per trial.
+    pub horizon: Cycle,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for DramConfigSweep {
+    fn default() -> Self {
+        Self {
+            clients: 16,
+            trials: 30,
+            horizon: 40_000,
+            seed: 0xD2A8,
+        }
+    }
+}
+
+/// One result row: miss ratio per interconnect under one memory model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DramRow {
+    /// Memory model label.
+    pub model: &'static str,
+    /// Mean miss ratio per interconnect, in [`InterconnectKind::EXTENDED`] order.
+    pub miss_ratio: Vec<f64>,
+}
+
+/// Runs the sweep: for each memory model, Fig 6-style trials with load
+/// normalized to ~60 % of the channel capacity.
+pub fn run(config: &DramConfigSweep) -> Vec<DramRow> {
+    let mut master = SimRng::seed_from(config.seed);
+    models()
+        .into_iter()
+        .map(|model| {
+            let mut miss = vec![OnlineStats::new(); InterconnectKind::EXTENDED.len()];
+            for _ in 0..config.trials {
+                let mut rng = master.fork();
+                let synthetic = SyntheticConfig {
+                    util_lo: 0.55 / model.mean_service,
+                    util_hi: 0.65 / model.mean_service,
+                    ..SyntheticConfig::fig6(config.clients)
+                };
+                let sets = generate(&synthetic, &mut rng);
+                for (i, kind) in InterconnectKind::EXTENDED.into_iter().enumerate() {
+                    let ic = build(kind, &sets, model.dram);
+                    let mut system = System::new(ic, &sets);
+                    let m = system.run(config.horizon);
+                    miss[i].push(m.miss_ratio());
+                }
+            }
+            DramRow {
+                model: model.name,
+                miss_ratio: miss.iter().map(OnlineStats::mean).collect(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the sweep as a markdown table.
+pub fn render(config: &DramConfigSweep, rows: &[DramRow]) -> String {
+    let mut s = format!(
+        "# Extension: DRAM service-time sensitivity ({} clients, {} trials, \
+         ~60% channel load)\n\nDeadline miss ratio per memory model:\n\n",
+        config.clients, config.trials
+    );
+    s.push_str("| Memory model |");
+    for k in InterconnectKind::EXTENDED {
+        s.push_str(&format!(" {} |", k.name()));
+    }
+    s.push_str("\n|---|");
+    for _ in InterconnectKind::EXTENDED {
+        s.push_str("---:|");
+    }
+    s.push('\n');
+    for row in rows {
+        s.push_str(&format!("| {} |", row.model));
+        for m in &row.miss_ratio {
+            s.push_str(&format!(" {:.1}% |", 100.0 * m));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> DramConfigSweep {
+        DramConfigSweep {
+            clients: 8,
+            trials: 2,
+            horizon: 10_000,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn covers_all_models_and_interconnects() {
+        let rows = run(&tiny());
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().all(|r| r.miss_ratio.len() == 7));
+    }
+
+    #[test]
+    fn mean_service_estimates_are_ordered() {
+        let m = models();
+        assert!(m[0].mean_service < m[1].mean_service);
+        assert!(m[1].mean_service <= m[2].mean_service + 3.0);
+        assert_eq!(m[3].mean_service, 12.0);
+    }
+
+    #[test]
+    fn render_mentions_models() {
+        let cfg = tiny();
+        let text = render(&cfg, &run(&cfg));
+        assert!(text.contains("flat(1)"));
+        assert!(text.contains("DRAM 4/12"));
+    }
+}

@@ -1,0 +1,202 @@
+//! Fig 6: interconnect-level real-time performance under synthetic traffic
+//! generators — blocking latency and deadline miss ratio for 16 and 64
+//! clients across all six interconnects.
+
+use crate::runner::{build, InterconnectKind};
+use bluescale_interconnect::system::System;
+use bluescale_sim::rng::SimRng;
+use bluescale_sim::stats::OnlineStats;
+use bluescale_sim::Cycle;
+use bluescale_workload::synthetic::{generate, SyntheticConfig};
+
+/// Configuration of one Fig 6 experiment (one panel).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig6Config {
+    /// Number of traffic generators (16 → Fig 6(a), 64 → Fig 6(b)).
+    pub clients: usize,
+    /// Independent trials (the paper runs 200).
+    pub trials: u64,
+    /// Simulation horizon per trial, in cycles.
+    pub horizon: Cycle,
+    /// Master seed; trial `i` uses a derived stream.
+    pub seed: u64,
+    /// Stagger task releases with random phases instead of the paper's
+    /// synchronous worst-case arrival.
+    pub phased: bool,
+}
+
+impl Fig6Config {
+    /// Paper-scale defaults: 200 trials of 20 000 cycles (about a minute
+    /// in release mode; pass `--trials` to trade statistics for speed).
+    pub fn new(clients: usize) -> Self {
+        Self {
+            clients,
+            trials: 200,
+            horizon: 20_000,
+            seed: 0xF166,
+            phased: false,
+        }
+    }
+}
+
+/// Aggregated result for one interconnect in one panel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig6Row {
+    /// The interconnect.
+    pub kind: InterconnectKind,
+    /// Mean blocking latency over trials, in µs at the nominal 100 MHz.
+    pub blocking_mean_us: f64,
+    /// Standard deviation of the per-trial mean blocking latency
+    /// (the paper's "experimental variance").
+    pub blocking_std_us: f64,
+    /// Mean deadline miss ratio over trials.
+    pub miss_ratio_mean: f64,
+    /// Standard deviation of the per-trial miss ratio.
+    pub miss_ratio_std: f64,
+}
+
+/// Runs one Fig 6 panel.
+pub fn run(config: &Fig6Config) -> Vec<Fig6Row> {
+    let mut master = SimRng::seed_from(config.seed);
+    let mut blocking: Vec<OnlineStats> =
+        vec![OnlineStats::new(); InterconnectKind::ALL.len()];
+    let mut misses: Vec<OnlineStats> =
+        vec![OnlineStats::new(); InterconnectKind::ALL.len()];
+    for _ in 0..config.trials {
+        let mut trial_rng = master.fork();
+        let sets = generate(&SyntheticConfig::fig6(config.clients), &mut trial_rng);
+        for (i, kind) in InterconnectKind::ALL.into_iter().enumerate() {
+            let ic = build(kind, &sets);
+            let mut system = if config.phased {
+                System::new_phased(ic, &sets, trial_rng.next_u64())
+            } else {
+                System::new(ic, &sets)
+            };
+            let m = system.run(config.horizon);
+            // Cycles → µs at the nominal 100 MHz clock.
+            blocking[i].push(m.mean_blocking() / 100.0);
+            misses[i].push(m.miss_ratio());
+        }
+    }
+    InterconnectKind::ALL
+        .into_iter()
+        .enumerate()
+        .map(|(i, kind)| Fig6Row {
+            kind,
+            blocking_mean_us: blocking[i].mean(),
+            blocking_std_us: blocking[i].std_dev(),
+            miss_ratio_mean: misses[i].mean(),
+            miss_ratio_std: misses[i].std_dev(),
+        })
+        .collect()
+}
+
+/// Renders one panel as a markdown table.
+pub fn render(config: &Fig6Config, rows: &[Fig6Row]) -> String {
+    let mut s = format!(
+        "# Fig 6: {} traffic generators ({} trials, {} cycles each{})\n\n",
+        config.clients,
+        config.trials,
+        config.horizon,
+        if config.phased { ", phased releases" } else { "" }
+    );
+    s.push_str("| Interconnect | Blocking latency (µs) | ±σ | Deadline miss ratio | ±σ |\n");
+    s.push_str("|---|---:|---:|---:|---:|\n");
+    for r in rows {
+        s.push_str(&format!(
+            "| {} | {:.2} | {:.2} | {:.1}% | {:.1}% |\n",
+            r.kind.name(),
+            r.blocking_mean_us,
+            r.blocking_std_us,
+            100.0 * r.miss_ratio_mean,
+            100.0 * r.miss_ratio_std,
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Fig6Config {
+        Fig6Config {
+            clients: 16,
+            trials: 3,
+            horizon: 8_000,
+            seed: 7,
+            phased: false,
+        }
+    }
+
+    #[test]
+    fn produces_one_row_per_interconnect() {
+        let rows = run(&tiny());
+        assert_eq!(rows.len(), 6);
+    }
+
+    #[test]
+    fn obs4_bluescale_best_blocking_and_misses() {
+        let rows = run(&Fig6Config {
+            trials: 5,
+            ..tiny()
+        });
+        let get = |k: InterconnectKind| {
+            rows.iter().find(|r| r.kind == k).expect("present").clone()
+        };
+        let bs = get(InterconnectKind::BlueScale);
+        let bt = get(InterconnectKind::BlueTree);
+        let tdm = get(InterconnectKind::GsmTreeTdm);
+        // Obs 4(i): shortest blocking and fewest misses vs the heuristic
+        // distributed trees.
+        assert!(
+            bs.blocking_mean_us <= bt.blocking_mean_us,
+            "BlueScale {} vs BlueTree {}",
+            bs.blocking_mean_us,
+            bt.blocking_mean_us
+        );
+        assert!(
+            bs.miss_ratio_mean <= bt.miss_ratio_mean + 0.02,
+            "BlueScale {} vs BlueTree {}",
+            bs.miss_ratio_mean,
+            bt.miss_ratio_mean
+        );
+        assert!(bs.miss_ratio_mean <= tdm.miss_ratio_mean + 0.02);
+    }
+
+    #[test]
+    fn render_lists_all_interconnects() {
+        let cfg = tiny();
+        let rows = run(&cfg);
+        let text = render(&cfg, &rows);
+        for k in InterconnectKind::ALL {
+            assert!(text.contains(k.name()));
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = run(&tiny());
+        let b = run(&tiny());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn phased_releases_reduce_or_match_misses() {
+        let sync = run(&tiny());
+        let phased = run(&Fig6Config {
+            phased: true,
+            ..tiny()
+        });
+        // Synchronous arrival is the worst case: averaged over the panel,
+        // phasing must not increase the total miss mass noticeably.
+        let total =
+            |rows: &[Fig6Row]| rows.iter().map(|r| r.miss_ratio_mean).sum::<f64>();
+        assert!(
+            total(&phased) <= total(&sync) + 0.05,
+            "phased {} vs synchronous {}",
+            total(&phased),
+            total(&sync)
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! Extension experiment: reconfiguration cost when software tasks change.
+//!
+//! The paper's Section 3.2 claims the property that makes BlueScale's
+//! *scheduling* scale: "when a task joins or leaves a client, the system
+//! will only update the parameters of the server tasks on the
+//! corresponding memory request path" — O(tree depth) Scale Elements,
+//! versus a centralized interconnect that "requires recalculation of the
+//! memory bandwidth of all clients if the software tasks on any one
+//! client are altered" (Section 2.2, about TDM/centralized designs).
+//!
+//! This experiment quantifies that: the wall-clock cost of one task-set
+//! change under (a) BlueScale's path-local update and (b) a full
+//! recomputation of every interface (what a global analysis must do), as
+//! the client count scales. SEs touched are also reported — the
+//! architecture-level measure, independent of host speed.
+
+use bluescale::{BlueScaleConfig, BlueScaleInterconnect};
+use bluescale_rt::task::{Task, TaskSet};
+use bluescale_sim::rng::SimRng;
+use bluescale_workload::uunifast::taskset_with_utilization;
+use std::time::Instant;
+
+/// Configuration of the reconfiguration experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReconfigConfig {
+    /// Client counts to sweep.
+    pub client_counts: Vec<usize>,
+    /// Task-set updates measured per point.
+    pub updates: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for ReconfigConfig {
+    fn default() -> Self {
+        Self {
+            client_counts: vec![16, 64, 256, 1024],
+            updates: 20,
+            seed: 0x2ECF,
+        }
+    }
+}
+
+/// One sweep point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReconfigPoint {
+    /// Number of clients.
+    pub clients: usize,
+    /// SEs reprogrammed by one path-local update (= tree depth).
+    pub ses_touched_path: usize,
+    /// SEs reprogrammed by a full recomputation (= all SEs).
+    pub ses_touched_full: usize,
+    /// Mean wall-clock microseconds per path-local update.
+    pub path_update_us: f64,
+    /// Mean wall-clock microseconds per full recomputation.
+    pub full_rebuild_us: f64,
+}
+
+fn light_sets(n: usize, rng: &mut SimRng) -> Vec<TaskSet> {
+    (0..n)
+        .map(|_| taskset_with_utilization(1, (0.5 / n as f64).max(1e-4), 400, 4000, rng))
+        .collect()
+}
+
+/// Runs the sweep.
+pub fn run(config: &ReconfigConfig) -> Vec<ReconfigPoint> {
+    let mut master = SimRng::seed_from(config.seed);
+    config
+        .client_counts
+        .iter()
+        .map(|&clients| {
+            let mut rng = master.fork();
+            let sets = light_sets(clients, &mut rng);
+            let bs_config = BlueScaleConfig::for_clients(clients);
+            let mut ic = BlueScaleInterconnect::new(bs_config.clone(), &sets)
+                .expect("valid build");
+            let ses_touched_full = ic.composition().reprogrammed_elements;
+
+            // Path-local updates.
+            let mut path_total = 0.0;
+            let mut ses_touched_path = 0;
+            for u in 0..config.updates {
+                let client = rng.range_usize(0, clients);
+                let new_tasks = TaskSet::new(vec![Task::new(
+                    0,
+                    400 + 10 * u as u64,
+                    1 + (u as u64 % 4),
+                )
+                .expect("valid task")])
+                .expect("valid set");
+                let start = Instant::now();
+                let report = ic
+                    .update_client_tasks(client, new_tasks)
+                    .expect("update succeeds");
+                path_total += start.elapsed().as_secs_f64() * 1e6;
+                ses_touched_path = report.reprogrammed_elements;
+            }
+
+            // Full recomputations (what a global analysis must redo).
+            let mut full_total = 0.0;
+            for _ in 0..config.updates {
+                let start = Instant::now();
+                let rebuilt = BlueScaleInterconnect::new(bs_config.clone(), &sets)
+                    .expect("valid build");
+                full_total += start.elapsed().as_secs_f64() * 1e6;
+                std::hint::black_box(&rebuilt);
+            }
+
+            ReconfigPoint {
+                clients,
+                ses_touched_path,
+                ses_touched_full,
+                path_update_us: path_total / config.updates as f64,
+                full_rebuild_us: full_total / config.updates as f64,
+            }
+        })
+        .collect()
+}
+
+/// Renders the table.
+pub fn render(config: &ReconfigConfig, points: &[ReconfigPoint]) -> String {
+    let mut s = format!(
+        "# Extension: reconfiguration cost per task-set change \
+         ({} updates/point)\n\n",
+        config.updates
+    );
+    s.push_str(
+        "| Clients | SEs touched (path) | SEs touched (full) | Path update (µs) | Full recompute (µs) | Speed-up |\n",
+    );
+    s.push_str("|---:|---:|---:|---:|---:|---:|\n");
+    for p in points {
+        s.push_str(&format!(
+            "| {} | {} | {} | {:.0} | {:.0} | {:.1}× |\n",
+            p.clients,
+            p.ses_touched_path,
+            p.ses_touched_full,
+            p.path_update_us,
+            p.full_rebuild_us,
+            p.full_rebuild_us / p.path_update_us.max(1e-9),
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ReconfigConfig {
+        ReconfigConfig {
+            client_counts: vec![16, 64],
+            updates: 3,
+            seed: 4,
+        }
+    }
+
+    #[test]
+    fn path_touches_depth_ses_only() {
+        let pts = run(&tiny());
+        assert_eq!(pts[0].ses_touched_path, 2); // 16 clients → depth 2
+        assert_eq!(pts[0].ses_touched_full, 5); // 1 + 4 SEs
+        assert_eq!(pts[1].ses_touched_path, 3); // 64 clients → depth 3
+        assert_eq!(pts[1].ses_touched_full, 21);
+    }
+
+    #[test]
+    fn path_update_scales_with_depth_not_clients() {
+        let pts = run(&tiny());
+        // 4× the clients adds one SE to the path, not 4× the elements.
+        assert_eq!(pts[1].ses_touched_path, pts[0].ses_touched_path + 1);
+        assert!(pts[1].ses_touched_full > 4 * pts[0].ses_touched_path);
+    }
+
+    #[test]
+    fn render_reports_speedup() {
+        let cfg = tiny();
+        let text = render(&cfg, &run(&cfg));
+        assert!(text.contains("Speed-up"));
+        assert!(text.contains("16"));
+    }
+}

@@ -1,0 +1,169 @@
+//! Builds interconnects behind the common trait and runs seeded trials.
+
+use bluescale::{BlueScaleConfig, BlueScaleInterconnect};
+use bluescale_baselines::{AxiIcRt, BlueTree, GsmTree, SlotPolicy};
+use bluescale_noc::NocMemoryInterconnect;
+use bluescale_interconnect::metrics::RunMetrics;
+use bluescale_interconnect::system::System;
+use bluescale_interconnect::Interconnect;
+use bluescale_rt::task::TaskSet;
+use bluescale_sim::Cycle;
+
+/// The six interconnects of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InterconnectKind {
+    /// Centralized real-time interconnect.
+    AxiIcRt,
+    /// Distributed binary tree, blocking factor 2 (the paper's default).
+    BlueTree,
+    /// BlueTree with smoothing buffers.
+    BlueTreeSmooth,
+    /// Globally-arbitrated tree, equal TDM slots.
+    GsmTreeTdm,
+    /// Globally-arbitrated tree, workload-proportional slots.
+    GsmTreeFbsp,
+    /// The proposed architecture.
+    BlueScale,
+    /// Memory routed over the general-purpose mesh NoC (the "Legacy"
+    /// system of Fig 5 — no real-time memory interconnect at all). Not
+    /// part of the paper's Fig 6/7 comparisons; used by the extension
+    /// experiments via [`InterconnectKind::EXTENDED`].
+    LegacyNoc,
+}
+
+impl InterconnectKind {
+    /// All six of the paper's evaluation, in its legend order.
+    pub const ALL: [InterconnectKind; 6] = [
+        InterconnectKind::AxiIcRt,
+        InterconnectKind::BlueTree,
+        InterconnectKind::BlueTreeSmooth,
+        InterconnectKind::GsmTreeTdm,
+        InterconnectKind::GsmTreeFbsp,
+        InterconnectKind::BlueScale,
+    ];
+
+    /// The paper's six plus the legacy memory-over-NoC path.
+    pub const EXTENDED: [InterconnectKind; 7] = [
+        InterconnectKind::AxiIcRt,
+        InterconnectKind::BlueTree,
+        InterconnectKind::BlueTreeSmooth,
+        InterconnectKind::GsmTreeTdm,
+        InterconnectKind::GsmTreeFbsp,
+        InterconnectKind::BlueScale,
+        InterconnectKind::LegacyNoc,
+    ];
+
+    /// Display name matching the paper's legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            InterconnectKind::AxiIcRt => "AXI-IC^RT",
+            InterconnectKind::BlueTree => "BlueTree",
+            InterconnectKind::BlueTreeSmooth => "BlueTree-Smooth",
+            InterconnectKind::GsmTreeTdm => "GSMTree-TDM",
+            InterconnectKind::GsmTreeFbsp => "GSMTree-FBSP",
+            InterconnectKind::BlueScale => "BlueScale",
+            InterconnectKind::LegacyNoc => "Legacy-NoC",
+        }
+    }
+}
+
+/// Builds an interconnect of `kind` for the given per-client task sets
+/// (needed by BlueScale's interface selection and GSMTree-FBSP's slot
+/// weights; the others only use the client count).
+///
+/// All instances use unit memory service so one cycle is one transaction
+/// time unit, and 8-entry port buffers.
+///
+/// # Panics
+///
+/// Panics if `task_sets` is empty.
+pub fn build(kind: InterconnectKind, task_sets: &[TaskSet]) -> Box<dyn Interconnect> {
+    let n = task_sets.len();
+    assert!(n > 0, "at least one client required");
+    match kind {
+        InterconnectKind::AxiIcRt => Box::new(AxiIcRt::new(n, 8, 1)),
+        InterconnectKind::BlueTree => Box::new(BlueTree::new(n, 2, 1)),
+        InterconnectKind::BlueTreeSmooth => Box::new(BlueTree::smooth(n, 2, 1)),
+        InterconnectKind::GsmTreeTdm => Box::new(GsmTree::new(n, SlotPolicy::Tdm, 1)),
+        InterconnectKind::GsmTreeFbsp => {
+            let weights: Vec<f64> = task_sets
+                .iter()
+                .map(|s| s.utilization().max(1e-4))
+                .collect();
+            Box::new(GsmTree::new(n, SlotPolicy::Fbsp(weights), 1))
+        }
+        InterconnectKind::LegacyNoc => Box::new(NocMemoryInterconnect::new(n, 1)),
+        InterconnectKind::BlueScale => {
+            let mut config = BlueScaleConfig::for_clients(n);
+            // Idle provider cycles are granted to the earliest-deadline
+            // pending port (budgets still gate contention). The extra
+            // grant can transiently occupy a downstream slot, so this is
+            // heuristic rather than provably supply-preserving; the
+            // analysis_vs_simulation integration tests verify that
+            // admitted systems stay miss-free in both modes.
+            config.work_conserving = true;
+            Box::new(
+                BlueScaleInterconnect::new(config, task_sets)
+                    .expect("client count matches task sets"),
+            )
+        }
+    }
+}
+
+/// Runs one trial of `kind` on `task_sets` for `horizon` cycles and
+/// returns the collected metrics.
+pub fn run_trial(
+    kind: InterconnectKind,
+    task_sets: &[TaskSet],
+    horizon: Cycle,
+) -> RunMetrics {
+    let ic = build(kind, task_sets);
+    let mut system = System::new(ic, task_sets);
+    system.run(horizon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bluescale_rt::task::Task;
+
+    fn sets(n: usize) -> Vec<TaskSet> {
+        (0..n)
+            .map(|_| TaskSet::new(vec![Task::new(0, 400, 2).unwrap()]).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn builds_all_kinds() {
+        let task_sets = sets(16);
+        for kind in InterconnectKind::EXTENDED {
+            let ic = build(kind, &task_sets);
+            assert_eq!(ic.num_clients(), 16, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> =
+            InterconnectKind::EXTENDED.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 7);
+    }
+
+    #[test]
+    fn light_load_no_misses_for_all_kinds() {
+        let task_sets = sets(16);
+        for kind in InterconnectKind::EXTENDED {
+            let m = run_trial(kind, &task_sets, 4000);
+            assert!(m.issued() > 0, "{}", kind.name());
+            assert!(
+                m.success(),
+                "{} missed {} of {}",
+                kind.name(),
+                m.missed(),
+                m.issued()
+            );
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Extension experiment: *scheduling* scalability at a fixed clock.
+//!
+//! The paper's hardware-scalability argument (Fig 5) is about synthesis:
+//! a centralized arbiter's critical path grows with the port count. This
+//! experiment adds the behavioural side: with the client count scaling
+//! 4 → 256 at a constant per-client load, how do latency and deadline
+//! misses evolve for the centralized AXI-IC^RT (whose admission
+//! serializes and whose arbitration pipeline deepens) versus the
+//! distributed BlueScale (one extra tree level per 4× clients)?
+
+use crate::runner::{run_trial, InterconnectKind};
+use bluescale_sim::rng::SimRng;
+use bluescale_sim::stats::OnlineStats;
+use bluescale_sim::Cycle;
+use bluescale_workload::synthetic::{generate, SyntheticConfig};
+
+/// Configuration of the scalability sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalabilityConfig {
+    /// Client counts to sweep.
+    pub client_counts: Vec<usize>,
+    /// Total interconnect utilization (held constant across sizes).
+    pub utilization: f64,
+    /// Trials per point.
+    pub trials: u64,
+    /// Horizon per trial.
+    pub horizon: Cycle,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for ScalabilityConfig {
+    fn default() -> Self {
+        Self {
+            client_counts: vec![4, 16, 64, 256],
+            utilization: 0.6,
+            trials: 15,
+            horizon: 20_000,
+            seed: 0x5CA1E,
+        }
+    }
+}
+
+/// One sweep point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalabilityPoint {
+    /// Number of clients.
+    pub clients: usize,
+    /// Mean end-to-end latency (cycles) per interconnect, in
+    /// [`InterconnectKind::EXTENDED`] order.
+    pub latency: Vec<f64>,
+    /// Mean deadline-miss ratio per interconnect.
+    pub miss_ratio: Vec<f64>,
+}
+
+/// Runs the sweep.
+pub fn run(config: &ScalabilityConfig) -> Vec<ScalabilityPoint> {
+    let mut master = SimRng::seed_from(config.seed);
+    config
+        .client_counts
+        .iter()
+        .map(|&clients| {
+            let mut latency = vec![OnlineStats::new(); InterconnectKind::EXTENDED.len()];
+            let mut miss = vec![OnlineStats::new(); InterconnectKind::EXTENDED.len()];
+            for _ in 0..config.trials {
+                let mut rng = master.fork();
+                let synthetic = SyntheticConfig {
+                    util_lo: config.utilization - 0.02,
+                    util_hi: config.utilization + 0.02,
+                    ..SyntheticConfig::fig6(clients)
+                };
+                let sets = generate(&synthetic, &mut rng);
+                for (i, kind) in InterconnectKind::EXTENDED.into_iter().enumerate() {
+                    let m = run_trial(kind, &sets, config.horizon);
+                    latency[i].push(m.mean_latency());
+                    miss[i].push(m.miss_ratio());
+                }
+            }
+            ScalabilityPoint {
+                clients,
+                latency: latency.iter().map(OnlineStats::mean).collect(),
+                miss_ratio: miss.iter().map(OnlineStats::mean).collect(),
+            }
+        })
+        .collect()
+}
+
+/// Renders both panels (latency, miss ratio) as markdown tables.
+pub fn render(config: &ScalabilityConfig, points: &[ScalabilityPoint]) -> String {
+    let mut s = format!(
+        "# Extension: scheduling scalability at fixed clock \
+         (U = {:.2}, {} trials/point)\n\n## Mean latency (cycles)\n\n",
+        config.utilization, config.trials
+    );
+    let header = |s: &mut String| {
+        s.push_str("| Clients |");
+        for k in InterconnectKind::EXTENDED {
+            s.push_str(&format!(" {} |", k.name()));
+        }
+        s.push_str("\n|---:|");
+        for _ in InterconnectKind::EXTENDED {
+            s.push_str("---:|");
+        }
+        s.push('\n');
+    };
+    header(&mut s);
+    for p in points {
+        s.push_str(&format!("| {} |", p.clients));
+        for v in &p.latency {
+            s.push_str(&format!(" {v:.1} |"));
+        }
+        s.push('\n');
+    }
+    s.push_str("\n## Deadline miss ratio\n\n");
+    header(&mut s);
+    for p in points {
+        s.push_str(&format!("| {} |", p.clients));
+        for v in &p.miss_ratio {
+            s.push_str(&format!(" {:.1}% |", 100.0 * v));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ScalabilityConfig {
+        ScalabilityConfig {
+            client_counts: vec![4, 16],
+            utilization: 0.5,
+            trials: 2,
+            horizon: 8_000,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn sweep_covers_requested_sizes() {
+        let pts = run(&tiny());
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].clients, 4);
+        assert_eq!(pts[1].clients, 16);
+        assert!(pts.iter().all(|p| p.latency.len() == 7));
+    }
+
+    #[test]
+    fn latencies_are_positive_under_load() {
+        let pts = run(&tiny());
+        for p in &pts {
+            for &l in &p.latency {
+                assert!(l > 0.0, "latency must be positive at {} clients", p.clients);
+            }
+        }
+    }
+
+    #[test]
+    fn render_has_both_panels() {
+        let cfg = tiny();
+        let text = render(&cfg, &run(&cfg));
+        assert!(text.contains("Mean latency"));
+        assert!(text.contains("miss ratio"));
+    }
+}

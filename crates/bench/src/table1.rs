@@ -1,0 +1,139 @@
+//! Table 1: hardware overhead of every system element at 16 clients.
+
+use bluescale_hwcost::{interconnect_cost, processor_cost, Architecture, HardwareCost, Processor};
+
+/// One row of Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Element name as printed in the paper.
+    pub name: &'static str,
+    /// Modelled cost.
+    pub cost: HardwareCost,
+    /// The paper's reported cost (for the paper-vs-measured comparison).
+    pub paper: HardwareCost,
+}
+
+/// The paper's reported numbers, verbatim from Table 1.
+fn paper_cost(name: &str) -> HardwareCost {
+    let (luts, registers, dsps, ram_kb, power_mw) = match name {
+        "AXI-IC^RT" => (3744, 3451, 0, 0, 46.0),
+        "BlueTree" => (1683, 2901, 0, 0, 27.0),
+        "BlueTree-Smooth" => (2349, 3455, 0, 0, 41.0),
+        "GSMTree" => (2443, 3115, 0, 8, 59.0),
+        "MicroBlaze" => (4993, 4295, 6, 256, 369.0),
+        "RISC-V" => (7433, 16544, 21, 512, 583.0),
+        "BlueScale" => (2959, 3312, 0, 10, 67.0),
+        other => unreachable!("unknown element {other}"),
+    };
+    HardwareCost {
+        luts,
+        registers,
+        dsps,
+        ram_kb,
+        power_mw,
+    }
+}
+
+/// Computes all rows of Table 1 (16-client configuration).
+pub fn rows() -> Vec<Row> {
+    let mut out = Vec::new();
+    for arch in [
+        Architecture::AxiIcRt,
+        Architecture::BlueTree,
+        Architecture::BlueTreeSmooth,
+        Architecture::GsmTree,
+    ] {
+        out.push(Row {
+            name: arch.name(),
+            cost: interconnect_cost(arch, 16),
+            paper: paper_cost(arch.name()),
+        });
+    }
+    out.push(Row {
+        name: "MicroBlaze",
+        cost: processor_cost(Processor::MicroBlaze),
+        paper: paper_cost("MicroBlaze"),
+    });
+    out.push(Row {
+        name: "RISC-V",
+        cost: processor_cost(Processor::RiscV),
+        paper: paper_cost("RISC-V"),
+    });
+    out.push(Row {
+        name: "BlueScale",
+        cost: interconnect_cost(Architecture::BlueScale, 16),
+        paper: paper_cost("BlueScale"),
+    });
+    out
+}
+
+/// Renders Table 1 as a markdown table with paper values alongside.
+pub fn render() -> String {
+    let mut s = String::new();
+    s.push_str("# Table 1: Hardware overhead (16 clients; RAM unit: KB, power unit: mW)\n\n");
+    s.push_str("| Element | LUTs | Registers | DSPs | RAMs | Power | (paper: LUTs/Reg/DSP/RAM/Power) |\n");
+    s.push_str("|---|---:|---:|---:|---:|---:|---|\n");
+    for row in rows() {
+        s.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {:.0} | ({}/{}/{}/{}/{:.0}) |\n",
+            row.name,
+            row.cost.luts,
+            row.cost.registers,
+            row.cost.dsps,
+            row.cost.ram_kb,
+            row.cost.power_mw,
+            row.paper.luts,
+            row.paper.registers,
+            row.paper.dsps,
+            row.paper.ram_kb,
+            row.paper.power_mw,
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_rows_in_paper_order() {
+        let r = rows();
+        let names: Vec<&str> = r.iter().map(|row| row.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "AXI-IC^RT",
+                "BlueTree",
+                "BlueTree-Smooth",
+                "GSMTree",
+                "MicroBlaze",
+                "RISC-V",
+                "BlueScale"
+            ]
+        );
+    }
+
+    #[test]
+    fn model_matches_paper_at_anchor() {
+        for row in rows() {
+            assert_eq!(row.cost.luts, row.paper.luts, "{} LUTs", row.name);
+            assert_eq!(row.cost.registers, row.paper.registers, "{} regs", row.name);
+            assert_eq!(row.cost.dsps, row.paper.dsps, "{} DSPs", row.name);
+            assert_eq!(row.cost.ram_kb, row.paper.ram_kb, "{} RAM", row.name);
+            assert!(
+                (row.cost.power_mw - row.paper.power_mw).abs() < 0.5,
+                "{} power",
+                row.name
+            );
+        }
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let text = render();
+        for row in rows() {
+            assert!(text.contains(row.name));
+        }
+    }
+}

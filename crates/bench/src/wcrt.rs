@@ -1,0 +1,188 @@
+//! Extension experiment: worst-case vs average response time.
+//!
+//! The paper motivates BlueScale with a measurement from the literature
+//! (Garside et al., Wang et al.): "in an 8-client BlueTree, the worst-case
+//! response time of a memory transaction is up to 6 times higher than the
+//! average case". This experiment reproduces that ratio for every
+//! interconnect: the observed worst / mean end-to-end latency over many
+//! trials — the *timing variance* BlueScale is designed to remove.
+
+use crate::runner::{build, InterconnectKind};
+use bluescale_interconnect::system::System;
+use bluescale_sim::rng::SimRng;
+use bluescale_sim::stats::OnlineStats;
+use bluescale_sim::Cycle;
+use bluescale_workload::synthetic::{generate, SyntheticConfig};
+
+/// Configuration of the WCRT-ratio experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WcrtConfig {
+    /// Clients (8 matches the quoted BlueTree measurement).
+    pub clients: usize,
+    /// Trials.
+    pub trials: u64,
+    /// Horizon per trial.
+    pub horizon: Cycle,
+    /// Cycles discarded before measuring (the synchronous-release
+    /// transient at t = 0 is identical for every architecture and would
+    /// otherwise dominate the worst case).
+    pub warmup: Cycle,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for WcrtConfig {
+    fn default() -> Self {
+        Self {
+            clients: 8,
+            trials: 50,
+            horizon: 20_000,
+            warmup: 4_000,
+            seed: 0x6C27,
+        }
+    }
+}
+
+/// One interconnect's latency profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WcrtRow {
+    /// The interconnect.
+    pub kind: InterconnectKind,
+    /// Mean latency over all requests and trials (cycles).
+    pub mean: f64,
+    /// Mean 99th-percentile latency across trials (cycles).
+    pub p99: f64,
+    /// Largest observed latency across all trials (cycles).
+    pub worst: f64,
+    /// Worst / mean — the paper's "up to 6×" ratio.
+    pub ratio: f64,
+    /// Worst deadline-normalized response time (1.0 = exactly at the
+    /// deadline; > 1 is a miss). Separates scheduling jitter from burst
+    /// effects.
+    pub worst_normalized: f64,
+}
+
+/// Runs the experiment.
+pub fn run(config: &WcrtConfig) -> Vec<WcrtRow> {
+    let mut master = SimRng::seed_from(config.seed);
+    let mut mean = vec![OnlineStats::new(); InterconnectKind::EXTENDED.len()];
+    let mut p99 = vec![OnlineStats::new(); InterconnectKind::EXTENDED.len()];
+    let mut worst = vec![0.0f64; InterconnectKind::EXTENDED.len()];
+    let mut worst_norm = vec![0.0f64; InterconnectKind::EXTENDED.len()];
+    for _ in 0..config.trials {
+        let mut rng = master.fork();
+        let synthetic = SyntheticConfig {
+            // Moderate load: the quoted 6× is contention jitter, not
+            // overload collapse.
+            util_lo: 0.55,
+            util_hi: 0.70,
+            ..SyntheticConfig::fig6(config.clients)
+        };
+        let sets = generate(&synthetic, &mut rng);
+        for (i, kind) in InterconnectKind::EXTENDED.into_iter().enumerate() {
+            let ic = build(kind, &sets);
+            let mut system = System::new(ic, &sets);
+            let mut m = system.run_with_warmup(config.warmup, config.horizon);
+            mean[i].push(m.mean_latency());
+            if let Some(q) = m.latency().percentile(99.0) {
+                p99[i].push(q);
+            }
+            if let Some(w) = m.latency().max() {
+                worst[i] = worst[i].max(w);
+            }
+            if let Some(w) = m.normalized_response().max() {
+                worst_norm[i] = worst_norm[i].max(w);
+            }
+        }
+    }
+    InterconnectKind::EXTENDED
+        .into_iter()
+        .enumerate()
+        .map(|(i, kind)| {
+            let avg = mean[i].mean();
+            WcrtRow {
+                kind,
+                mean: avg,
+                p99: p99[i].mean(),
+                worst: worst[i],
+                ratio: if avg > 0.0 { worst[i] / avg } else { 0.0 },
+                worst_normalized: worst_norm[i],
+            }
+        })
+        .collect()
+}
+
+/// Renders the table.
+pub fn render(config: &WcrtConfig, rows: &[WcrtRow]) -> String {
+    let mut s = format!(
+        "# Extension: worst-case vs average response time \
+         ({} clients, {} trials)\n\n",
+        config.clients, config.trials
+    );
+    s.push_str(
+        "| Interconnect | Mean (cy) | p99 (cy) | Worst (cy) | Worst/Mean | Worst normalized |\n",
+    );
+    s.push_str("|---|---:|---:|---:|---:|---:|\n");
+    for r in rows {
+        s.push_str(&format!(
+            "| {} | {:.1} | {:.1} | {:.0} | {:.1}× | {:.2} |\n",
+            r.kind.name(),
+            r.mean,
+            r.p99,
+            r.worst,
+            r.ratio,
+            r.worst_normalized,
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> WcrtConfig {
+        WcrtConfig {
+            clients: 8,
+            trials: 4,
+            horizon: 10_000,
+            warmup: 2_000,
+            seed: 2,
+        }
+    }
+
+    #[test]
+    fn produces_one_row_per_interconnect() {
+        let rows = run(&tiny());
+        assert_eq!(rows.len(), 7);
+        for r in &rows {
+            assert!(r.worst >= r.mean, "{:?}", r.kind);
+            assert!(r.ratio >= 1.0, "{:?}", r.kind);
+        }
+    }
+
+    #[test]
+    fn bluetree_has_high_wcrt_jitter() {
+        // The motivating claim: heuristic trees show large worst/mean
+        // ratios under contention; BlueScale's ratio is smaller.
+        let rows = run(&WcrtConfig {
+            trials: 8,
+            ..tiny()
+        });
+        let get = |k: InterconnectKind| rows.iter().find(|r| r.kind == k).unwrap();
+        let bluetree = get(InterconnectKind::BlueTree);
+        assert!(
+            bluetree.ratio > 2.0,
+            "BlueTree worst/mean was only {:.2}",
+            bluetree.ratio
+        );
+    }
+
+    #[test]
+    fn render_reports_ratio_column() {
+        let cfg = tiny();
+        let text = render(&cfg, &run(&cfg));
+        assert!(text.contains("Worst/Mean"));
+        assert!(text.contains("BlueScale"));
+    }
+}

@@ -1,0 +1,807 @@
+//! The complete BlueScale interconnect: a tree of Scale Elements between
+//! the clients and the shared memory sub-system.
+//!
+//! Construction performs the paper's full analysis pipeline: the interface
+//! selection problems are resolved level-by-level from the leaves (level
+//! `L`) to the root (level 0), each level's chosen `(Π, Θ)` interfaces
+//! becoming the server tasks of the level above; finally the root admission
+//! test `Σ Θ/Π ≤ 1` decides system schedulability
+//! ([`CompositionReport::schedulable`]).
+//!
+//! At run time each SE arbitrates independently per cycle; requests move one
+//! level per cycle toward the memory controller and responses return through
+//! a pipelined response path.
+
+use crate::element::ScaleElement;
+use crate::selector::TableRow;
+use crate::topology::{BlueScaleConfig, SeIndex};
+use bluescale_interconnect::{Interconnect, MemoryRequest, MemoryResponse, ServiceEvent};
+use bluescale_mem::{DramConfig, MemoryController};
+use bluescale_rt::supply::PeriodicResource;
+use bluescale_rt::task::TaskSet;
+use bluescale_rt::Error as RtError;
+use bluescale_sim::trace::Tracer;
+use bluescale_sim::Cycle;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Errors raised while building (or reconfiguring) a BlueScale instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The number of task sets does not match the configured client count.
+    WrongClientCount {
+        /// Clients the configuration expects.
+        expected: usize,
+        /// Task sets supplied.
+        got: usize,
+    },
+    /// A client index was out of range.
+    UnknownClient {
+        /// The offending index.
+        client: usize,
+    },
+    /// The analysis rejected the task parameters outright (invalid task,
+    /// duplicate ids).
+    Analysis(RtError),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::WrongClientCount { expected, got } => {
+                write!(f, "expected {expected} client task sets, got {got}")
+            }
+            BuildError::UnknownClient { client } => {
+                write!(f, "client {client} out of range")
+            }
+            BuildError::Analysis(e) => write!(f, "analysis error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BuildError::Analysis(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RtError> for BuildError {
+    fn from(e: RtError) -> Self {
+        BuildError::Analysis(e)
+    }
+}
+
+/// Result of resolving all interface-selection problems over the tree.
+#[derive(Debug, Clone)]
+pub struct CompositionReport {
+    /// Whether the analysis succeeded at every SE **and** the root
+    /// admission test passed — the paper's condition for guaranteed
+    /// schedulability.
+    pub schedulable: bool,
+    /// Whether minimum-bandwidth selection succeeded everywhere (when
+    /// false, over-utilized SEs fell back to utilization-proportional
+    /// best-effort interfaces and `schedulable` is false).
+    pub analysis_ok: bool,
+    /// Total bandwidth demanded from the memory controller by the root's
+    /// server tasks (`Σ Θ/Π` at level 1).
+    pub root_bandwidth: f64,
+    /// Selected interfaces, indexed `[depth][order][port]`.
+    pub interfaces: Vec<Vec<Vec<Option<PeriodicResource>>>>,
+    /// SEs whose parameters were rewritten by the most recent
+    /// (re)configuration — the whole tree on construction, only the
+    /// affected request path afterwards.
+    pub reprogrammed_elements: usize,
+}
+
+/// The BlueScale memory interconnect.
+///
+/// See the crate-level docs for an end-to-end example.
+#[derive(Debug)]
+pub struct BlueScaleInterconnect {
+    config: BlueScaleConfig,
+    /// `elements[d]` holds the `branch^d` SEs of depth `d` (0 = root).
+    elements: Vec<Vec<ScaleElement>>,
+    controller: MemoryController<MemoryRequest>,
+    ready: VecDeque<MemoryResponse>,
+    service_events: VecDeque<ServiceEvent>,
+    client_tasks: Vec<TaskSet>,
+    composition: CompositionReport,
+    /// Per-SE analysis outcome (`[depth][order]`): whether minimum-
+    /// bandwidth selection succeeded there (false = fallback interfaces).
+    se_analysis_ok: Vec<Vec<bool>>,
+    tracer: Tracer,
+}
+
+impl BlueScaleInterconnect {
+    /// Builds a BlueScale instance and resolves all interface-selection
+    /// problems for the given per-client task sets.
+    ///
+    /// If some SE's clients are analytically over-utilized, construction
+    /// still succeeds — the affected SEs get utilization-proportional
+    /// fallback interfaces — but [`CompositionReport::schedulable`] is
+    /// `false`. This mirrors deploying a system that fails admission: the
+    /// hardware still runs, the guarantee is simply absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::WrongClientCount`] on a task-set count
+    /// mismatch, or [`BuildError::Analysis`] if task parameters are
+    /// malformed (zero periods, duplicate ids).
+    pub fn new(
+        config: BlueScaleConfig,
+        task_sets: &[TaskSet],
+    ) -> Result<Self, BuildError> {
+        if task_sets.len() != config.num_clients {
+            return Err(BuildError::WrongClientCount {
+                expected: config.num_clients,
+                got: task_sets.len(),
+            });
+        }
+        let levels = config.levels();
+        let mut elements: Vec<Vec<ScaleElement>> = (0..levels)
+            .map(|d| {
+                (0..config.elements_at(d))
+                    .map(|y| {
+                        let mut se = ScaleElement::with_queue_policy(
+                            SeIndex::new(d, y),
+                            config.branch,
+                            config.buffer_capacity,
+                            config.work_conserving,
+                            config.low_level_policy,
+                        );
+                        se.selector_mut()
+                            .set_period_divisor(config.granularity_divisor);
+                        se
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Load the leaf parameter tables from the client task sets.
+        for (client, set) in task_sets.iter().enumerate() {
+            let (order, port) = config.attach_point(client);
+            let leaf = &mut elements[levels - 1][order];
+            for task in set {
+                leaf.selector_mut().load(TableRow {
+                    port: port as u8,
+                    task_id: task.id(),
+                    period: task.period(),
+                    deadline: config.analysis_deadline(task.period(), task.wcet()),
+                    wcet: task.wcet(),
+                })?;
+            }
+        }
+
+        let mut this = Self {
+            controller: MemoryController::new(
+                config
+                    .dram
+                    .unwrap_or(DramConfig::flat(config.memory_service_cycles)),
+            ),
+            ready: VecDeque::new(),
+            service_events: VecDeque::new(),
+            client_tasks: task_sets.to_vec(),
+            se_analysis_ok: (0..levels)
+                .map(|d| vec![true; config.elements_at(d)])
+                .collect(),
+            tracer: Tracer::new(),
+            composition: CompositionReport {
+                schedulable: false,
+                analysis_ok: false,
+                root_bandwidth: 0.0,
+                interfaces: (0..levels)
+                    .map(|d| vec![vec![None; config.branch]; config.elements_at(d)])
+                    .collect(),
+                reprogrammed_elements: 0,
+            },
+            config,
+            elements,
+        };
+        this.recompute_all()?;
+        Ok(this)
+    }
+
+    /// The static configuration.
+    pub fn config(&self) -> &BlueScaleConfig {
+        &self.config
+    }
+
+    /// The most recent composition (interface-selection) result.
+    pub fn composition(&self) -> &CompositionReport {
+        &self.composition
+    }
+
+    /// The task sets currently programmed per client.
+    pub fn client_tasks(&self) -> &[TaskSet] {
+        &self.client_tasks
+    }
+
+    /// The grant tracer. Disabled by default; call
+    /// [`Tracer::enable`] to record every arbitration grant (bounded ring
+    /// buffer — safe on long runs).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # use bluescale::{BlueScaleConfig, BlueScaleInterconnect};
+    /// # use bluescale_rt::task::{Task, TaskSet};
+    /// # use bluescale_interconnect::Interconnect;
+    /// # let sets: Vec<TaskSet> =
+    /// #     vec![TaskSet::new(vec![Task::new(0, 100, 2).unwrap()]).unwrap(); 4];
+    /// let mut ic =
+    ///     BlueScaleInterconnect::new(BlueScaleConfig::for_clients(4), &sets)?;
+    /// ic.tracer_mut().enable();
+    /// # Ok::<(), bluescale::BuildError>(())
+    /// ```
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    /// Read access to the grant tracer.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Per-SE forwarded-request counters, indexed `[depth][order]`
+    /// (introspection for experiments).
+    pub fn forward_counts(&self) -> Vec<Vec<u64>> {
+        self.elements
+            .iter()
+            .map(|level| level.iter().map(ScaleElement::forwarded).collect())
+            .collect()
+    }
+
+    /// Replaces one client's task set and refreshes server parameters
+    /// **only along that client's request path** (leaf SE up to the root) —
+    /// the scheduling-scalability property of Section 3.2. Returns the
+    /// updated composition report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::UnknownClient`] for an out-of-range client or
+    /// [`BuildError::Analysis`] for malformed task parameters; in both
+    /// cases the previous configuration is left untouched.
+    pub fn update_client_tasks(
+        &mut self,
+        client: usize,
+        tasks: TaskSet,
+    ) -> Result<&CompositionReport, BuildError> {
+        if client >= self.config.num_clients {
+            return Err(BuildError::UnknownClient { client });
+        }
+        let levels = self.config.levels();
+        let (leaf_order, port) = self.config.attach_point(client);
+        let rows: Vec<TableRow> = tasks
+            .iter()
+            .map(|t| TableRow {
+                port: port as u8,
+                task_id: t.id(),
+                period: t.period(),
+                deadline: self.config.analysis_deadline(t.period(), t.wcet()),
+                wcet: t.wcet(),
+            })
+            .collect();
+        self.elements[levels - 1][leaf_order]
+            .selector_mut()
+            .reload_port(port as u8, &rows)?;
+        self.client_tasks[client] = tasks;
+
+        // Walk the request path from the leaf to the root, recomputing and
+        // reprogramming each SE and refreshing the parent's table row.
+        let mut order = leaf_order;
+        let mut reprogrammed = 0;
+        for depth in (0..levels).rev() {
+            let (ifaces, ok) = Self::compute_or_fallback(&self.elements[depth][order]);
+            self.se_analysis_ok[depth][order] = ok;
+            self.elements[depth][order].program(&ifaces);
+            self.composition.interfaces[depth][order] = ifaces.clone();
+            reprogrammed += 1;
+            if depth > 0 {
+                let parent_order = order / self.config.branch;
+                let parent_port = (order % self.config.branch) as u8;
+                let rows = Self::interface_rows(&self.config, parent_port, &ifaces);
+                let (upper, lower) = self.elements.split_at_mut(depth);
+                upper[depth - 1][parent_order]
+                    .selector_mut()
+                    .reload_port(parent_port, &rows)?;
+                let _ = &lower; // silence unused when levels == 1
+                order = parent_order;
+            }
+        }
+        // Every other SE kept its parameters: refresh only the summary.
+        self.composition.analysis_ok =
+            self.se_analysis_ok.iter().flatten().all(|&ok| ok);
+        self.composition.root_bandwidth = Self::bandwidth_sum(
+            &self.composition.interfaces[0][0],
+        );
+        self.composition.schedulable = self.composition.analysis_ok
+            && self.composition.root_bandwidth <= 1.0 + 1e-9;
+        self.composition.reprogrammed_elements = reprogrammed;
+        Ok(&self.composition)
+    }
+
+    /// Admission control: applies `tasks` to `client` only if the updated
+    /// composition stays schedulable; otherwise the previous configuration
+    /// is restored and `Ok(false)` is returned. This is what a runtime
+    /// manager calls before letting new software start on a client.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::UnknownClient`] or [`BuildError::Analysis`]
+    /// for malformed inputs (the configuration is untouched in both
+    /// cases).
+    pub fn admit_client_tasks(
+        &mut self,
+        client: usize,
+        tasks: TaskSet,
+    ) -> Result<bool, BuildError> {
+        if client >= self.config.num_clients {
+            return Err(BuildError::UnknownClient { client });
+        }
+        let previous = self.client_tasks[client].clone();
+        let report = self.update_client_tasks(client, tasks)?;
+        if report.schedulable {
+            return Ok(true);
+        }
+        // Roll back: the previous set was valid, so the revert succeeds.
+        self.update_client_tasks(client, previous)
+            .expect("reverting to the previous task set always succeeds");
+        Ok(false)
+    }
+
+    fn bandwidth_sum(interfaces: &[Option<PeriodicResource>]) -> f64 {
+        interfaces
+            .iter()
+            .flatten()
+            .map(PeriodicResource::bandwidth)
+            .sum()
+    }
+
+    fn interface_rows(
+        _config: &BlueScaleConfig,
+        port: u8,
+        interfaces: &[Option<PeriodicResource>],
+    ) -> Vec<TableRow> {
+        interfaces
+            .iter()
+            .enumerate()
+            .filter_map(|(q, iface)| {
+                iface.map(|r| TableRow {
+                    port,
+                    task_id: q as u32,
+                    period: r.period(),
+                    // Inner levels keep implicit deadlines: end-to-end
+                    // slack is reserved once, at the leaves.
+                    deadline: r.period(),
+                    wcet: r.budget(),
+                })
+            })
+            .collect()
+    }
+
+    /// Runs the SE's interface selector; on analytical failure falls back
+    /// to utilization-proportional interfaces (best effort, no guarantee).
+    fn compute_or_fallback(
+        element: &ScaleElement,
+    ) -> (Vec<Option<PeriodicResource>>, bool) {
+        match element.selector().compute() {
+            Ok(ifaces) => (ifaces, true),
+            Err(_) => (Self::fallback_interfaces(element), false),
+        }
+    }
+
+    /// Utilization-proportional fallback: each non-idle port gets
+    /// `Π = max(1, min_T/2)` and a budget proportional to its share of the
+    /// total demand (normalized when demand exceeds capacity).
+    fn fallback_interfaces(element: &ScaleElement) -> Vec<Option<PeriodicResource>> {
+        let rows = element.selector().rows();
+        let ports = element.ports();
+        let mut util = vec![0.0f64; ports];
+        let mut min_period = vec![u64::MAX; ports];
+        for r in rows {
+            let p = r.port as usize;
+            util[p] += r.wcet as f64 / r.period as f64;
+            min_period[p] = min_period[p].min(r.period);
+        }
+        let total: f64 = util.iter().sum();
+        let scale = if total > 1.0 { 1.0 / total } else { 1.0 };
+        (0..ports)
+            .map(|p| {
+                if util[p] == 0.0 {
+                    return None;
+                }
+                let period = (min_period[p] / 2).max(1);
+                let share = util[p] * scale;
+                let budget = ((share * period as f64).round() as u64)
+                    .clamp(1, period);
+                PeriodicResource::new(period, budget)
+            })
+            .collect()
+    }
+
+    /// Resolves every interface-selection problem from the leaves to the
+    /// root and programs all SEs (used at construction).
+    fn recompute_all(&mut self) -> Result<(), BuildError> {
+        let levels = self.config.levels();
+        for depth in (0..levels).rev() {
+            for order in 0..self.config.elements_at(depth) {
+                let (ifaces, ok) =
+                    Self::compute_or_fallback(&self.elements[depth][order]);
+                self.se_analysis_ok[depth][order] = ok;
+                self.elements[depth][order].program(&ifaces);
+                self.composition.interfaces[depth][order] = ifaces.clone();
+                if depth > 0 {
+                    let parent_order = order / self.config.branch;
+                    let parent_port = (order % self.config.branch) as u8;
+                    let rows = Self::interface_rows(&self.config, parent_port, &ifaces);
+                    let (upper, _lower) = self.elements.split_at_mut(depth);
+                    upper[depth - 1][parent_order]
+                        .selector_mut()
+                        .reload_port(parent_port, &rows)?;
+                }
+            }
+        }
+        self.composition.analysis_ok =
+            self.se_analysis_ok.iter().flatten().all(|&ok| ok);
+        self.composition.root_bandwidth =
+            Self::bandwidth_sum(&self.composition.interfaces[0][0]);
+        self.composition.schedulable = self.composition.analysis_ok
+            && self.composition.root_bandwidth <= 1.0 + 1e-9;
+        self.composition.reprogrammed_elements =
+            self.elements.iter().map(Vec::len).sum();
+        Ok(())
+    }
+}
+
+impl Interconnect for BlueScaleInterconnect {
+    fn name(&self) -> &'static str {
+        "BlueScale"
+    }
+
+    fn num_clients(&self) -> usize {
+        self.config.num_clients
+    }
+
+    fn inject(&mut self, request: MemoryRequest, _now: Cycle) -> Result<(), MemoryRequest> {
+        let levels = self.config.levels();
+        let (order, port) = self.config.attach_point(request.client as usize);
+        self.elements[levels - 1][order].try_accept(port, request)
+    }
+
+    fn step(&mut self, now: Cycle) {
+        // 1. Response path: each SE's demultiplexer routes one response per
+        //    cycle toward its client. Leaves deliver first (bottom-up), so
+        //    a response advances exactly one level per cycle.
+        let levels = self.config.levels();
+        for depth in (0..levels).rev() {
+            if depth == levels - 1 {
+                for se in &mut self.elements[depth] {
+                    if let Some(request) = se.pop_response() {
+                        self.ready.push_back(MemoryResponse {
+                            request,
+                            completed_at: now,
+                        });
+                    }
+                }
+            } else {
+                let (upper, lower) = self.elements.split_at_mut(depth + 1);
+                let parents = &mut upper[depth];
+                let children = &mut lower[0];
+                for (order, parent) in parents.iter_mut().enumerate() {
+                    if let Some(request) = parent.pop_response() {
+                        // Route by client id: which child subtree owns it?
+                        let leaf_order =
+                            request.client as usize / self.config.branch;
+                        let child_order = leaf_order
+                            / self.config.branch.pow((levels - 2 - depth) as u32);
+                        debug_assert_eq!(
+                            child_order / self.config.branch.max(1),
+                            order,
+                            "response routed through the wrong subtree"
+                        );
+                        children[child_order].accept_response(request);
+                    }
+                }
+            }
+        }
+        // 2. Memory completions enter the root's demultiplexer.
+        if let Some(done) = self.controller.poll_complete(now) {
+            self.elements[0][0].accept_response(done);
+        }
+        // 3. Root arbitration feeds the memory controller.
+        let root_ready = self.controller.can_accept();
+        if let Some(request) = self.elements[0][0].step(now, root_ready) {
+            if self.tracer.is_enabled() {
+                self.tracer.record(
+                    now,
+                    "SE(0,0)",
+                    format!("grant {request} → memory controller"),
+                );
+            }
+            let addr = request.addr;
+            let deadline = request.deadline;
+            let duration = self.controller.accept(request, addr, now);
+            self.service_events.push_back(ServiceEvent {
+                at: now,
+                deadline,
+                duration,
+            });
+        }
+        // 4. Deeper levels forward one request per SE toward their parents.
+        for depth in 1..self.config.levels() {
+            let (upper, lower) = self.elements.split_at_mut(depth);
+            let parents = &mut upper[depth - 1];
+            for (order, se) in lower[0].iter_mut().enumerate() {
+                let parent = &mut parents[order / self.config.branch];
+                let port = order % self.config.branch;
+                let ready = parent.can_accept(port);
+                if let Some(request) = se.step(now, ready) {
+                    if self.tracer.is_enabled() {
+                        self.tracer.record(
+                            now,
+                            &se.index().to_string(),
+                            format!("grant {request} → {}", parent.index()),
+                        );
+                    }
+                    parent
+                        .try_accept(port, request)
+                        .expect("parent advertised a free slot");
+                }
+            }
+        }
+    }
+
+    fn pop_response(&mut self) -> Option<MemoryResponse> {
+        self.ready.pop_front()
+    }
+
+    fn pop_service_event(&mut self) -> Option<ServiceEvent> {
+        self.service_events.pop_front()
+    }
+
+    fn pending(&self) -> usize {
+        let buffered: usize = self
+            .elements
+            .iter()
+            .flatten()
+            .map(|se| se.occupancy() + se.response_occupancy())
+            .sum();
+        let in_service = usize::from(!self.controller.can_accept());
+        buffered + in_service + self.ready.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bluescale_interconnect::AccessKind;
+    use bluescale_rt::task::Task;
+
+    fn sets(n: usize, period: u64, wcet: u64) -> Vec<TaskSet> {
+        (0..n)
+            .map(|_| TaskSet::new(vec![Task::new(0, period, wcet).unwrap()]).unwrap())
+            .collect()
+    }
+
+    fn request(client: u16, id: u64, now: Cycle, deadline: Cycle) -> MemoryRequest {
+        MemoryRequest {
+            id,
+            client,
+            task: 0,
+            addr: (client as u64) << 20 | id,
+            kind: AccessKind::Read,
+            issued_at: now,
+            deadline,
+            blocked_cycles: 0,
+        }
+    }
+
+    #[test]
+    fn builds_16_client_quadtree() {
+        let ic =
+            BlueScaleInterconnect::new(BlueScaleConfig::for_clients(16), &sets(16, 400, 4))
+                .unwrap();
+        assert_eq!(ic.num_clients(), 16);
+        let comp = ic.composition();
+        assert!(comp.analysis_ok);
+        assert!(comp.schedulable, "root bw = {}", comp.root_bandwidth);
+        assert_eq!(comp.reprogrammed_elements, 5);
+        // Every leaf port serving a client has an interface.
+        for se in &comp.interfaces[1] {
+            assert!(se.iter().all(Option::is_some));
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_client_count() {
+        let err = BlueScaleInterconnect::new(
+            BlueScaleConfig::for_clients(16),
+            &sets(8, 100, 1),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            BuildError::WrongClientCount {
+                expected: 16,
+                got: 8
+            }
+        );
+    }
+
+    #[test]
+    fn single_request_round_trip() {
+        let mut ic =
+            BlueScaleInterconnect::new(BlueScaleConfig::for_clients(16), &sets(16, 400, 4))
+                .unwrap();
+        ic.inject(request(5, 1, 0, 400), 0).unwrap();
+        let mut got = None;
+        for now in 0..100 {
+            ic.step(now);
+            if let Some(r) = ic.pop_response() {
+                got = Some((now, r));
+                break;
+            }
+        }
+        let (when, resp) = got.expect("request must complete");
+        assert_eq!(resp.request.id, 1);
+        assert!(!resp.missed_deadline());
+        // Two SE hops + 1 service + 2 response hops ≥ 5 cycles.
+        assert!(when >= 4, "completed unrealistically fast at {when}");
+        assert_eq!(ic.pending(), 0);
+    }
+
+    #[test]
+    fn all_clients_round_trip() {
+        let mut ic =
+            BlueScaleInterconnect::new(BlueScaleConfig::for_clients(16), &sets(16, 800, 2))
+                .unwrap();
+        for c in 0..16u16 {
+            ic.inject(request(c, c as u64, 0, 800), 0).unwrap();
+        }
+        let mut done = 0;
+        for now in 0..2000 {
+            ic.step(now);
+            while ic.pop_response().is_some() {
+                done += 1;
+            }
+        }
+        assert_eq!(done, 16);
+        assert_eq!(ic.pending(), 0);
+    }
+
+    #[test]
+    fn overutilized_clients_fall_back() {
+        // Four clients each demanding 40% of the root: total 1.6 > 1.
+        let ic = BlueScaleInterconnect::new(
+            BlueScaleConfig::for_clients(4),
+            &sets(4, 10, 4),
+        )
+        .unwrap();
+        let comp = ic.composition();
+        assert!(!comp.analysis_ok);
+        assert!(!comp.schedulable);
+    }
+
+    #[test]
+    fn update_client_reprograms_only_the_path() {
+        let mut ic =
+            BlueScaleInterconnect::new(BlueScaleConfig::for_clients(64), &sets(64, 800, 2))
+                .unwrap();
+        let before = ic.composition().interfaces.clone();
+        let new_tasks =
+            TaskSet::new(vec![Task::new(0, 200, 10).unwrap()]).unwrap();
+        let report = ic.update_client_tasks(37, new_tasks).unwrap();
+        // Path length = number of levels = 3.
+        assert_eq!(report.reprogrammed_elements, 3);
+        let after = &ic.composition().interfaces;
+        // Client 37 → leaf SE (2, 9) → SE(1, 2) → root. Everything else
+        // must be bit-identical.
+        let path: Vec<(usize, usize)> = vec![(2, 9), (1, 2), (0, 0)];
+        for depth in 0..3 {
+            for order in 0..before[depth].len() {
+                if path.contains(&(depth, order)) {
+                    continue;
+                }
+                assert_eq!(
+                    before[depth][order], after[depth][order],
+                    "SE({depth},{order}) must be untouched"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn update_unknown_client_errors() {
+        let mut ic =
+            BlueScaleInterconnect::new(BlueScaleConfig::for_clients(4), &sets(4, 100, 1))
+                .unwrap();
+        let e = ic
+            .update_client_tasks(9, TaskSet::empty())
+            .unwrap_err();
+        assert_eq!(e, BuildError::UnknownClient { client: 9 });
+    }
+
+    #[test]
+    fn root_bandwidth_bounded_when_schedulable() {
+        let ic =
+            BlueScaleInterconnect::new(BlueScaleConfig::for_clients(16), &sets(16, 400, 4))
+                .unwrap();
+        let comp = ic.composition();
+        assert!(comp.root_bandwidth <= 1.0 + 1e-9);
+        assert!(comp.root_bandwidth > 0.0);
+    }
+
+    #[test]
+    fn sixty_four_clients_build() {
+        let ic =
+            BlueScaleInterconnect::new(BlueScaleConfig::for_clients(64), &sets(64, 6400, 4))
+                .unwrap();
+        assert_eq!(ic.composition().interfaces[2].len(), 16);
+        assert!(ic.composition().schedulable);
+    }
+
+    #[test]
+    fn admission_accepts_feasible_and_rejects_overload() {
+        let mut ic =
+            BlueScaleInterconnect::new(BlueScaleConfig::for_clients(16), &sets(16, 400, 4))
+                .unwrap();
+        assert!(ic.composition().schedulable);
+        // A modest increase is admitted and takes effect.
+        let ok = ic
+            .admit_client_tasks(
+                5,
+                TaskSet::new(vec![Task::new(0, 400, 8).unwrap()]).unwrap(),
+            )
+            .unwrap();
+        assert!(ok);
+        assert_eq!(ic.client_tasks()[5].tasks()[0].wcet(), 8);
+        // A hog that would blow the root budget is rejected and rolled
+        // back.
+        let hog = TaskSet::new(vec![Task::new(0, 100, 95).unwrap()]).unwrap();
+        let admitted = ic.admit_client_tasks(5, hog).unwrap();
+        assert!(!admitted);
+        assert_eq!(ic.client_tasks()[5].tasks()[0].wcet(), 8, "rolled back");
+        assert!(ic.composition().schedulable, "composition restored");
+    }
+
+    #[test]
+    fn tracer_records_grants_when_enabled() {
+        let mut ic =
+            BlueScaleInterconnect::new(BlueScaleConfig::for_clients(16), &sets(16, 400, 4))
+                .unwrap();
+        // Disabled by default: no events.
+        ic.inject(request(2, 1, 0, 400), 0).unwrap();
+        for now in 0..20 {
+            ic.step(now);
+        }
+        assert!(ic.tracer().events().is_empty());
+        // Enabled: the grant path (leaf SE then root) is recorded.
+        ic.tracer_mut().enable();
+        ic.inject(request(2, 2, 20, 420), 20).unwrap();
+        // Step past the server's replenishment period: the first request
+        // consumed the port's budget under strict gating.
+        for now in 20..420 {
+            ic.step(now);
+        }
+        let events = ic.tracer().events();
+        assert!(!events.is_empty());
+        assert!(events.iter().any(|e| e.source == "SE(1,0)"));
+        assert!(events.iter().any(|e| e.source == "SE(0,0)"));
+        assert!(events.iter().any(|e| e.message.contains("req#2")));
+    }
+
+    #[test]
+    fn build_error_display() {
+        let e = BuildError::WrongClientCount {
+            expected: 4,
+            got: 2,
+        };
+        assert!(e.to_string().contains("expected 4"));
+        assert!(BuildError::UnknownClient { client: 3 }
+            .to_string()
+            .contains('3'));
+    }
+}

@@ -1,0 +1,295 @@
+//! Random-access buffers — the low-level nested priority queue.
+//!
+//! The hardware (paper, Section 4.1) stores pending requests in a register
+//! chain with per-entry parameter banks; comparators continuously scan the
+//! banks and steer the highest-priority (earliest-deadline) request to the
+//! fetcher. The software model mirrors that structure directly: a small
+//! vector of entries scanned linearly (the comparator tree), with FIFO
+//! tie-breaking by arrival order (the register-chain position).
+//!
+//! Unlike a FIFO, the buffer also supports *blocking accounting*: when the
+//! local scheduler forwards a request with deadline `D`, every buffered
+//! request with an earlier deadline was just blocked by lower-priority
+//! traffic for one cycle ([`RandomAccessBuffer::charge_blocking`]).
+
+use bluescale_interconnect::MemoryRequest;
+
+/// Ordering discipline of the low-level queue — the nested-priority-queue
+/// ablation of DESIGN.md: the paper's random-access buffer surfaces the
+/// earliest deadline; a conventional FIFO ignores deadlines entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueuePolicy {
+    /// Earliest-deadline-first (the paper's comparator-bank arbiter).
+    #[default]
+    EarliestDeadline,
+    /// Plain FIFO (ablation: what a conventional stage buffer would do).
+    Fifo,
+}
+
+/// A bounded earliest-deadline-first random-access buffer.
+///
+/// # Example
+///
+/// ```
+/// use bluescale::rab::RandomAccessBuffer;
+/// use bluescale_interconnect::{AccessKind, MemoryRequest};
+///
+/// let mk = |id, deadline| MemoryRequest {
+///     id, client: 0, task: 0, addr: 0, kind: AccessKind::Read,
+///     issued_at: 0, deadline, blocked_cycles: 0,
+/// };
+/// let mut rab = RandomAccessBuffer::with_capacity(4);
+/// rab.try_push(mk(1, 90)).expect("space");
+/// rab.try_push(mk(2, 30)).expect("space");
+/// assert_eq!(rab.peek_deadline(), Some(30)); // earliest deadline wins
+/// assert_eq!(rab.pop().expect("entry").id, 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct RandomAccessBuffer {
+    entries: Vec<(u64, MemoryRequest)>, // (arrival seq, request)
+    next_seq: u64,
+    capacity: usize,
+    policy: QueuePolicy,
+}
+
+impl RandomAccessBuffer {
+    /// Creates an EDF buffer holding at most `capacity` requests (the
+    /// register chain depth).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_policy(capacity, QueuePolicy::EarliestDeadline)
+    }
+
+    /// Creates a buffer with an explicit ordering [`QueuePolicy`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_policy(capacity: usize, policy: QueuePolicy) -> Self {
+        assert!(capacity > 0, "buffer capacity must be positive");
+        Self {
+            entries: Vec::with_capacity(capacity),
+            next_seq: 0,
+            capacity,
+            policy,
+        }
+    }
+
+    /// The ordering discipline in use.
+    pub fn policy(&self) -> QueuePolicy {
+        self.policy
+    }
+
+    /// Loads a request, or hands it back when the register chain is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns the request as the error value if the buffer is at capacity.
+    pub fn try_push(&mut self, request: MemoryRequest) -> Result<(), MemoryRequest> {
+        if self.entries.len() == self.capacity {
+            return Err(request);
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.push((seq, request));
+        Ok(())
+    }
+
+    fn best_index(&self) -> Option<usize> {
+        match self.policy {
+            QueuePolicy::EarliestDeadline => self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (seq, r))| (r.deadline, *seq))
+                .map(|(i, _)| i),
+            QueuePolicy::Fifo => self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (seq, _))| *seq)
+                .map(|(i, _)| i),
+        }
+    }
+
+    /// The earliest deadline among buffered requests.
+    pub fn peek_deadline(&self) -> Option<u64> {
+        self.best_index().map(|i| self.entries[i].1.deadline)
+    }
+
+    /// Borrows the highest-priority request.
+    pub fn peek(&self) -> Option<&MemoryRequest> {
+        self.best_index().map(|i| &self.entries[i].1)
+    }
+
+    /// Fetches (removes) the highest-priority request.
+    pub fn pop(&mut self) -> Option<MemoryRequest> {
+        let i = self.best_index()?;
+        Some(self.entries.swap_remove(i).1)
+    }
+
+    /// Charges one cycle of blocking to every buffered request whose
+    /// deadline is strictly earlier than `served_deadline` — they just
+    /// waited while a lower-priority request used the provider port.
+    /// Returns how many requests were charged.
+    pub fn charge_blocking(&mut self, served_deadline: u64) -> usize {
+        let mut charged = 0;
+        for (_, r) in &mut self.entries {
+            if r.deadline < served_deadline {
+                r.blocked_cycles += 1;
+                charged += 1;
+            }
+        }
+        charged
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the buffer is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() == self.capacity
+    }
+
+    /// The configured capacity (register-chain depth).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Iterates buffered requests in arbitrary order (bank inspection).
+    pub fn iter(&self) -> impl Iterator<Item = &MemoryRequest> {
+        self.entries.iter().map(|(_, r)| r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bluescale_interconnect::AccessKind;
+
+    fn req(id: u64, deadline: u64) -> MemoryRequest {
+        MemoryRequest {
+            id,
+            client: 0,
+            task: 0,
+            addr: 0,
+            kind: AccessKind::Read,
+            issued_at: 0,
+            deadline,
+            blocked_cycles: 0,
+        }
+    }
+
+    #[test]
+    fn pops_earliest_deadline() {
+        let mut rab = RandomAccessBuffer::with_capacity(8);
+        for (id, dl) in [(1, 50), (2, 10), (3, 30)] {
+            rab.try_push(req(id, dl)).unwrap();
+        }
+        assert_eq!(rab.pop().unwrap().id, 2);
+        assert_eq!(rab.pop().unwrap().id, 3);
+        assert_eq!(rab.pop().unwrap().id, 1);
+        assert_eq!(rab.pop(), None);
+    }
+
+    #[test]
+    fn backpressure_at_capacity() {
+        let mut rab = RandomAccessBuffer::with_capacity(2);
+        rab.try_push(req(1, 10)).unwrap();
+        rab.try_push(req(2, 20)).unwrap();
+        assert!(rab.is_full());
+        let rejected = rab.try_push(req(3, 5)).unwrap_err();
+        assert_eq!(rejected.id, 3);
+        rab.pop();
+        assert!(rab.try_push(req(3, 5)).is_ok());
+        assert_eq!(rab.peek_deadline(), Some(5));
+    }
+
+    #[test]
+    fn fifo_among_equal_deadlines() {
+        let mut rab = RandomAccessBuffer::with_capacity(4);
+        rab.try_push(req(1, 10)).unwrap();
+        rab.try_push(req(2, 10)).unwrap();
+        assert_eq!(rab.pop().unwrap().id, 1);
+        assert_eq!(rab.pop().unwrap().id, 2);
+    }
+
+    #[test]
+    fn fifo_survives_interleaved_pops() {
+        let mut rab = RandomAccessBuffer::with_capacity(8);
+        rab.try_push(req(1, 10)).unwrap();
+        rab.try_push(req(2, 10)).unwrap();
+        rab.try_push(req(3, 5)).unwrap();
+        assert_eq!(rab.pop().unwrap().id, 3);
+        rab.try_push(req(4, 10)).unwrap();
+        assert_eq!(rab.pop().unwrap().id, 1);
+        assert_eq!(rab.pop().unwrap().id, 2);
+        assert_eq!(rab.pop().unwrap().id, 4);
+    }
+
+    #[test]
+    fn charge_blocking_hits_earlier_deadlines_only() {
+        let mut rab = RandomAccessBuffer::with_capacity(4);
+        rab.try_push(req(1, 10)).unwrap();
+        rab.try_push(req(2, 50)).unwrap();
+        rab.try_push(req(3, 30)).unwrap();
+        // A request with deadline 40 was served: ids 1 (dl 10) and 3
+        // (dl 30) were blocked; id 2 (dl 50) was not.
+        let charged = rab.charge_blocking(40);
+        assert_eq!(charged, 2);
+        let blocked: Vec<(u64, u64)> =
+            rab.iter().map(|r| (r.id, r.blocked_cycles)).collect();
+        for (id, b) in blocked {
+            match id {
+                1 | 3 => assert_eq!(b, 1),
+                2 => assert_eq!(b, 0),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn charge_blocking_accumulates() {
+        let mut rab = RandomAccessBuffer::with_capacity(2);
+        rab.try_push(req(1, 10)).unwrap();
+        rab.charge_blocking(100);
+        rab.charge_blocking(100);
+        rab.charge_blocking(100);
+        assert_eq!(rab.pop().unwrap().blocked_cycles, 3);
+    }
+
+    #[test]
+    fn empty_behaviour() {
+        let mut rab = RandomAccessBuffer::with_capacity(1);
+        assert!(rab.is_empty());
+        assert_eq!(rab.pop(), None);
+        assert_eq!(rab.peek_deadline(), None);
+        assert_eq!(rab.charge_blocking(100), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = RandomAccessBuffer::with_capacity(0);
+    }
+
+    #[test]
+    fn fifo_policy_ignores_deadlines() {
+        let mut rab = RandomAccessBuffer::with_policy(4, QueuePolicy::Fifo);
+        rab.try_push(req(1, 90)).unwrap();
+        rab.try_push(req(2, 10)).unwrap();
+        assert_eq!(rab.policy(), QueuePolicy::Fifo);
+        assert_eq!(rab.pop().unwrap().id, 1, "FIFO serves arrival order");
+        assert_eq!(rab.pop().unwrap().id, 2);
+    }
+}

@@ -1,0 +1,248 @@
+//! The local scheduler — the upper-level nested priority queue.
+//!
+//! One server task per local client port, realized as P-counter/B-counter
+//! pairs ([`bluescale_rt::server::ServerTask`]). Every cycle the scheduling
+//! circuits pick, among servers that (a) hold budget and (b) have a pending
+//! request, the one with the earliest server deadline (its next
+//! replenishment) — Algorithm 1 of the paper with the hardware's budget
+//! gating. The decision is "combinational": exactly one grant per cycle.
+
+use bluescale_rt::server::ServerTask;
+use bluescale_rt::supply::PeriodicResource;
+use bluescale_sim::Cycle;
+
+/// GEDF arbiter over up to `branch` server tasks.
+#[derive(Debug, Clone)]
+pub struct LocalScheduler {
+    servers: Vec<Option<ServerTask>>,
+    /// Count of grants per port (introspection for tests / ablations).
+    grants: Vec<u64>,
+    /// Cycles where at least one port had a pending request but no eligible
+    /// server held budget (budget-induced idling).
+    throttled_cycles: u64,
+    work_conserving: bool,
+}
+
+impl LocalScheduler {
+    /// Creates a scheduler with `ports` unprogrammed server slots.
+    pub fn new(ports: usize, work_conserving: bool) -> Self {
+        Self {
+            servers: vec![None; ports],
+            grants: vec![0; ports],
+            throttled_cycles: 0,
+            work_conserving,
+        }
+    }
+
+    /// Number of client ports.
+    pub fn ports(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Programs (or reprograms) the server task of `port` with `interface`,
+    /// as the interface selector does through the counters' program ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is out of range.
+    pub fn program(&mut self, port: usize, interface: PeriodicResource) {
+        match &mut self.servers[port] {
+            Some(server) => server.reprogram(interface),
+            slot => *slot = Some(ServerTask::new(interface)),
+        }
+    }
+
+    /// Removes the server of `port` (the client became idle).
+    pub fn clear(&mut self, port: usize) {
+        self.servers[port] = None;
+    }
+
+    /// The interface currently programmed at `port`.
+    pub fn interface(&self, port: usize) -> Option<PeriodicResource> {
+        self.servers[port].map(|s| s.interface())
+    }
+
+    /// Remaining budget at `port` in the current period.
+    pub fn budget_remaining(&self, port: usize) -> Option<u64> {
+        self.servers[port].map(|s| s.budget_remaining())
+    }
+
+    /// Picks the port to grant this cycle. `pending[p]` tells whether port
+    /// `p` has a request ready; the winner is the budget-holding server
+    /// with the earliest deadline among pending ports.
+    ///
+    /// In work-conserving mode (ablation), if no budgeted server is
+    /// pending, the pending port whose server has the earliest deadline is
+    /// granted anyway (unprogrammed ports use their request order).
+    pub fn select(&self, pending: &[bool], now: Cycle) -> Option<usize> {
+        debug_assert_eq!(pending.len(), self.servers.len());
+        let mut winner: Option<(Cycle, usize)> = None;
+        for (port, server) in self.servers.iter().enumerate() {
+            if !pending[port] {
+                continue;
+            }
+            let Some(server) = server else { continue };
+            if !server.has_budget() {
+                continue;
+            }
+            let deadline = server.deadline(now);
+            if winner.is_none_or(|(best, _)| deadline < best) {
+                winner = Some((deadline, port));
+            }
+        }
+        if winner.is_none() && self.work_conserving {
+            // Grant the earliest-deadline pending port ignoring budgets.
+            for (port, server) in self.servers.iter().enumerate() {
+                if !pending[port] {
+                    continue;
+                }
+                let deadline = server.map_or(Cycle::MAX, |s| s.deadline(now));
+                if winner.is_none_or(|(best, _)| deadline < best) {
+                    winner = Some((deadline, port));
+                }
+            }
+        }
+        winner.map(|(_, port)| port)
+    }
+
+    /// Commits a grant: consumes one budget unit at `port` (no-op on an
+    /// unprogrammed or exhausted server, which can only happen in
+    /// work-conserving mode).
+    pub fn commit_grant(&mut self, port: usize) {
+        self.grants[port] += 1;
+        if let Some(server) = &mut self.servers[port] {
+            if server.has_budget() {
+                server.consume();
+            }
+        }
+    }
+
+    /// Advances all period counters by one cycle. `any_pending` feeds the
+    /// throttled-cycles statistic: true when some port had work this cycle.
+    pub fn tick(&mut self, any_pending_without_grant: bool) {
+        if any_pending_without_grant {
+            self.throttled_cycles += 1;
+        }
+        for server in self.servers.iter_mut().flatten() {
+            server.tick();
+        }
+    }
+
+    /// Grants issued per port so far.
+    pub fn grants(&self) -> &[u64] {
+        &self.grants
+    }
+
+    /// Cycles in which pending work existed but nothing was granted.
+    pub fn throttled_cycles(&self) -> u64 {
+        self.throttled_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iface(p: u64, b: u64) -> PeriodicResource {
+        PeriodicResource::new(p, b).unwrap()
+    }
+
+    #[test]
+    fn selects_earliest_server_deadline() {
+        let mut s = LocalScheduler::new(4, false);
+        s.program(0, iface(10, 2));
+        s.program(1, iface(4, 1)); // earliest replenishment → earliest deadline
+        s.program(2, iface(20, 5));
+        assert_eq!(s.select(&[true, true, true, false], 0), Some(1));
+    }
+
+    #[test]
+    fn skips_ports_without_pending() {
+        let mut s = LocalScheduler::new(2, false);
+        s.program(0, iface(4, 1));
+        s.program(1, iface(10, 2));
+        assert_eq!(s.select(&[false, true], 0), Some(1));
+        assert_eq!(s.select(&[false, false], 0), None);
+    }
+
+    #[test]
+    fn skips_exhausted_budgets() {
+        let mut s = LocalScheduler::new(2, false);
+        s.program(0, iface(4, 1));
+        s.program(1, iface(10, 2));
+        s.commit_grant(0); // budget of port 0 now 0
+        assert_eq!(s.select(&[true, true], 0), Some(1));
+        s.commit_grant(1);
+        s.commit_grant(1);
+        // All budgets exhausted → idle even with pending work.
+        assert_eq!(s.select(&[true, true], 0), None);
+    }
+
+    #[test]
+    fn budget_replenishes_on_period() {
+        let mut s = LocalScheduler::new(1, false);
+        s.program(0, iface(3, 1));
+        s.commit_grant(0);
+        assert_eq!(s.select(&[true], 0), None);
+        s.tick(true);
+        s.tick(true);
+        s.tick(true); // period boundary
+        assert_eq!(s.select(&[true], 3), Some(0));
+        assert_eq!(s.throttled_cycles(), 3);
+    }
+
+    #[test]
+    fn unprogrammed_ports_never_win_strict_mode() {
+        let mut s = LocalScheduler::new(2, false);
+        s.program(0, iface(8, 2));
+        assert_eq!(s.select(&[false, true], 0), None);
+    }
+
+    #[test]
+    fn work_conserving_grants_without_budget() {
+        let mut s = LocalScheduler::new(2, true);
+        s.program(0, iface(4, 1));
+        s.commit_grant(0);
+        // Strictly, port 0 is out of budget; work-conserving grants anyway.
+        assert_eq!(s.select(&[true, false], 0), Some(0));
+        // Unprogrammed port also eligible in work-conserving mode.
+        assert_eq!(s.select(&[false, true], 0), Some(1));
+    }
+
+    #[test]
+    fn reprogram_changes_interface() {
+        let mut s = LocalScheduler::new(1, false);
+        s.program(0, iface(10, 1));
+        assert_eq!(s.interface(0).unwrap().period(), 10);
+        s.program(0, iface(6, 3));
+        assert_eq!(s.interface(0).unwrap().period(), 6);
+        assert_eq!(s.budget_remaining(0), Some(3));
+    }
+
+    #[test]
+    fn grants_counted_per_port() {
+        let mut s = LocalScheduler::new(2, false);
+        s.program(0, iface(10, 5));
+        s.commit_grant(0);
+        s.commit_grant(0);
+        assert_eq!(s.grants(), &[2, 0]);
+    }
+
+    #[test]
+    fn long_run_grant_share_matches_bandwidth() {
+        // Two saturated ports with bandwidths 1/4 and 1/2: over many
+        // periods grants split 1:2.
+        let mut s = LocalScheduler::new(2, false);
+        s.program(0, iface(4, 1));
+        s.program(1, iface(4, 2));
+        for now in 0..4000 {
+            if let Some(p) = s.select(&[true, true], now) {
+                s.commit_grant(p);
+            }
+            s.tick(true);
+        }
+        let g = s.grants();
+        assert_eq!(g[0], 1000);
+        assert_eq!(g[1], 2000);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests of the BlueScale composition invariants.
+
+use bluescale::{BlueScaleConfig, BlueScaleInterconnect};
+use bluescale_rt::task::{Task, TaskSet};
+use proptest::prelude::*;
+
+fn arb_client_sets(clients: usize) -> impl Strategy<Value = Vec<TaskSet>> {
+    prop::collection::vec((100u64..2000, 1u64..20), clients).prop_map(|specs| {
+        specs
+            .into_iter()
+            .map(|(period, wcet)| {
+                let wcet = wcet.min(period / 8).max(1);
+                TaskSet::new(vec![Task::new(0, period, wcet).expect("valid")])
+                    .expect("valid set")
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every SE's allocated bandwidth stays within its unit capacity, at
+    /// every level, whenever the analysis succeeded.
+    #[test]
+    fn per_se_bandwidth_within_capacity(sets in arb_client_sets(16)) {
+        let ic = BlueScaleInterconnect::new(BlueScaleConfig::for_clients(16), &sets)
+            .expect("construction succeeds");
+        let comp = ic.composition();
+        if comp.analysis_ok {
+            for level in &comp.interfaces {
+                for se in level {
+                    let bw: f64 = se.iter().flatten().map(|r| r.bandwidth()).sum();
+                    prop_assert!(bw <= 1.0 + 1e-9, "SE over-allocated: {bw}");
+                }
+            }
+        }
+    }
+
+    /// Updating a client to its *current* task set is idempotent: every
+    /// interface in the tree is bit-identical afterwards.
+    #[test]
+    fn identity_update_is_idempotent(sets in arb_client_sets(16), client in 0usize..16) {
+        let mut ic = BlueScaleInterconnect::new(BlueScaleConfig::for_clients(16), &sets)
+            .expect("construction succeeds");
+        let before = ic.composition().interfaces.clone();
+        let schedulable_before = ic.composition().schedulable;
+        ic.update_client_tasks(client, sets[client].clone())
+            .expect("identity update succeeds");
+        prop_assert_eq!(&ic.composition().interfaces, &before);
+        prop_assert_eq!(ic.composition().schedulable, schedulable_before);
+    }
+
+    /// Construction is deterministic: the same inputs produce the same
+    /// composition.
+    #[test]
+    fn construction_is_deterministic(sets in arb_client_sets(8)) {
+        let a = BlueScaleInterconnect::new(BlueScaleConfig::for_clients(8), &sets)
+            .expect("valid");
+        let b = BlueScaleInterconnect::new(BlueScaleConfig::for_clients(8), &sets)
+            .expect("valid");
+        prop_assert_eq!(&a.composition().interfaces, &b.composition().interfaces);
+        prop_assert_eq!(a.composition().root_bandwidth, b.composition().root_bandwidth);
+    }
+
+    /// Admission control never leaves the composition unschedulable: after
+    /// any admit attempt on a schedulable system, it stays schedulable.
+    #[test]
+    fn admission_preserves_schedulability(
+        sets in arb_client_sets(16),
+        client in 0usize..16,
+        period in 50u64..500,
+        wcet in 1u64..200,
+    ) {
+        let mut ic = BlueScaleInterconnect::new(BlueScaleConfig::for_clients(16), &sets)
+            .expect("valid");
+        prop_assume!(ic.composition().schedulable);
+        let wcet = wcet.min(period);
+        let candidate =
+            TaskSet::new(vec![Task::new(0, period, wcet).expect("valid")]).expect("valid");
+        let _ = ic.admit_client_tasks(client, candidate).expect("no build error");
+        prop_assert!(
+            ic.composition().schedulable,
+            "admission left the system unschedulable"
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! The resource vector reported by synthesis: LUTs, registers, DSPs, RAM
+//! and power.
+
+use std::ops::Add;
+
+/// FPGA resource usage of one design element (one row of the paper's
+/// Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HardwareCost {
+    /// Look-up tables.
+    pub luts: u64,
+    /// Flip-flop registers.
+    pub registers: u64,
+    /// DSP slices.
+    pub dsps: u64,
+    /// Block RAM, in KiB.
+    pub ram_kb: u64,
+    /// Power in milliwatts (static + dynamic at fixed voltage/clock).
+    pub power_mw: f64,
+}
+
+impl HardwareCost {
+    /// A zero-cost element.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scales every resource by an integer replication factor (n identical
+    /// instances synthesized independently).
+    pub fn replicate(&self, n: u64) -> Self {
+        Self {
+            luts: self.luts * n,
+            registers: self.registers * n,
+            dsps: self.dsps * n,
+            ram_kb: self.ram_kb * n,
+            power_mw: self.power_mw * n as f64,
+        }
+    }
+}
+
+impl Add for HardwareCost {
+    type Output = HardwareCost;
+
+    fn add(self, rhs: HardwareCost) -> HardwareCost {
+        HardwareCost {
+            luts: self.luts + rhs.luts,
+            registers: self.registers + rhs.registers,
+            dsps: self.dsps + rhs.dsps,
+            ram_kb: self.ram_kb + rhs.ram_kb,
+            power_mw: self.power_mw + rhs.power_mw,
+        }
+    }
+}
+
+impl std::iter::Sum for HardwareCost {
+    fn sum<I: Iterator<Item = HardwareCost>>(iter: I) -> Self {
+        iter.fold(HardwareCost::default(), Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_is_componentwise() {
+        let a = HardwareCost {
+            luts: 1,
+            registers: 2,
+            dsps: 3,
+            ram_kb: 4,
+            power_mw: 5.0,
+        };
+        let b = HardwareCost {
+            luts: 10,
+            registers: 20,
+            dsps: 30,
+            ram_kb: 40,
+            power_mw: 50.0,
+        };
+        let c = a + b;
+        assert_eq!(c.luts, 11);
+        assert_eq!(c.registers, 22);
+        assert_eq!(c.dsps, 33);
+        assert_eq!(c.ram_kb, 44);
+        assert!((c.power_mw - 55.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replicate_scales_all_fields() {
+        let a = HardwareCost {
+            luts: 100,
+            registers: 200,
+            dsps: 1,
+            ram_kb: 2,
+            power_mw: 3.5,
+        };
+        let r = a.replicate(4);
+        assert_eq!(r.luts, 400);
+        assert_eq!(r.registers, 800);
+        assert_eq!(r.dsps, 4);
+        assert_eq!(r.ram_kb, 8);
+        assert!((r.power_mw - 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let parts = vec![
+            HardwareCost {
+                luts: 1,
+                ..HardwareCost::default()
+            };
+            5
+        ];
+        let total: HardwareCost = parts.into_iter().sum();
+        assert_eq!(total.luts, 5);
+    }
+}

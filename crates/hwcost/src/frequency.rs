@@ -1,0 +1,104 @@
+//! Maximum synthesizable clock frequency per system (Fig 5(c)).
+//!
+//! Distributed interconnects synthesize each node independently, so their
+//! critical path — one small arbiter — is constant in the client count.
+//! The centralized AXI-IC^RT's monolithic arbiter grows with its fan-in
+//! and eventually becomes the system's critical path: below the legacy
+//! system's own f_max past ~32 clients (the paper's Obs 3).
+
+/// Which system's maximum frequency to evaluate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrequencyTarget {
+    /// The many-core system without a real-time interconnect (MicroBlaze
+    /// cores + plain bus): its cores set the critical path.
+    Legacy,
+    /// The system with the centralized AXI-IC^RT.
+    AxiIcRt,
+    /// The system with BlueScale.
+    BlueScale,
+}
+
+/// Maximum synthesizable frequency in MHz for `target` at `clients`
+/// clients.
+///
+/// Model: the legacy system is flat at 200 MHz (MicroBlaze timing
+/// closure); BlueScale is flat at 380 MHz (a Scale Element's single-cycle
+/// scheduling circuit is small and synthesized independently); AXI-IC^RT
+/// degrades as `480 / (1 + 0.035·n)` — its monolithic comparator tree and
+/// switch box grow with the port count.
+///
+/// # Panics
+///
+/// Panics if `clients` is zero.
+///
+/// # Example
+///
+/// ```
+/// use bluescale_hwcost::frequency::{max_frequency_mhz, FrequencyTarget};
+///
+/// // Past 32 clients the centralized arbiter throttles the whole system…
+/// assert!(max_frequency_mhz(FrequencyTarget::AxiIcRt, 64)
+///     < max_frequency_mhz(FrequencyTarget::Legacy, 64));
+/// // …while BlueScale never does.
+/// assert!(max_frequency_mhz(FrequencyTarget::BlueScale, 128)
+///     > max_frequency_mhz(FrequencyTarget::Legacy, 128));
+/// ```
+pub fn max_frequency_mhz(target: FrequencyTarget, clients: usize) -> f64 {
+    assert!(clients > 0, "at least one client required");
+    match target {
+        FrequencyTarget::Legacy => 200.0,
+        FrequencyTarget::BlueScale => 380.0,
+        FrequencyTarget::AxiIcRt => 480.0 / (1.0 + 0.035 * clients as f64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distributed_frequencies_are_flat() {
+        for eta in 1..=7 {
+            let n = 1usize << eta;
+            assert_eq!(max_frequency_mhz(FrequencyTarget::Legacy, n), 200.0);
+            assert_eq!(max_frequency_mhz(FrequencyTarget::BlueScale, n), 380.0);
+        }
+    }
+
+    #[test]
+    fn axi_frequency_decreases_monotonically() {
+        let mut prev = f64::INFINITY;
+        for eta in 1..=7 {
+            let f = max_frequency_mhz(FrequencyTarget::AxiIcRt, 1 << eta);
+            assert!(f < prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn axi_crosses_legacy_after_32_clients() {
+        // Obs 3: "when the system had more than 32 clients (η > 5), the
+        // maximum frequency of AXI-IC^RT became lower than the legacy
+        // system".
+        assert!(max_frequency_mhz(FrequencyTarget::AxiIcRt, 32) > 200.0 * 0.9);
+        assert!(max_frequency_mhz(FrequencyTarget::AxiIcRt, 64) < 200.0);
+        assert!(max_frequency_mhz(FrequencyTarget::AxiIcRt, 128) < 200.0);
+    }
+
+    #[test]
+    fn bluescale_always_above_legacy() {
+        for eta in 1..=7 {
+            let n = 1usize << eta;
+            assert!(
+                max_frequency_mhz(FrequencyTarget::BlueScale, n)
+                    > max_frequency_mhz(FrequencyTarget::Legacy, n)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client")]
+    fn zero_clients_panics() {
+        let _ = max_frequency_mhz(FrequencyTarget::Legacy, 0);
+    }
+}

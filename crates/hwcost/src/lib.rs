@@ -1,0 +1,55 @@
+//! Analytic hardware cost model — the reproduction's substitute for Vivado
+//! synthesis on the Xilinx VC707 (see DESIGN.md §4).
+//!
+//! The model is **anchored** to the paper's own Table 1 (resource usage of
+//! every element at 16 clients) and **extrapolated** structurally:
+//!
+//! * Distributed trees (BlueTree, BlueTree-Smooth, GSMTree, BlueScale) are
+//!   collections of identical nodes synthesized independently, so their
+//!   area scales with the node count (`n−1` two-input muxes for binary
+//!   trees, `(4^d−1)/3` Scale Elements for the quadtree).
+//! * The centralized AXI-IC^RT carries an `O(n²)` switch box plus an
+//!   `O(n·log n)` monolithic arbiter.
+//! * Power scales with area (the paper fixes voltage, clock and toggle
+//!   rate, making "design area dominate overall power consumption").
+//! * Maximum frequency is flat for distributed designs and degrades with
+//!   the centralized arbiter's fan-in ([`frequency`]).
+//!
+//! Exactness at the anchor: [`interconnect_cost`] reproduces Table 1's
+//! numbers *exactly* at 16 clients (tests enforce this).
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod frequency;
+pub mod model;
+
+pub use cost::HardwareCost;
+pub use frequency::max_frequency_mhz;
+pub use model::{
+    interconnect_cost, legacy_core_cost, legacy_system_cost, processor_cost,
+    Architecture, Processor,
+};
+
+/// Usable LUTs on the paper's platform (Xilinx VC707 / Virtex-7 XC7VX485T).
+pub const VC707_LUTS: u64 = 303_600;
+
+/// Fraction of the platform's LUTs a design consumes, as plotted on the
+/// y-axis of Fig 5(a).
+pub fn area_fraction(cost: &HardwareCost) -> f64 {
+    cost.luts as f64 / VC707_LUTS as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_fraction_of_platform() {
+        let c = HardwareCost {
+            luts: VC707_LUTS / 2,
+            ..HardwareCost::default()
+        };
+        assert!((area_fraction(&c) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,312 @@
+//! Structural cost models per architecture, anchored to the paper's
+//! Table 1 at 16 clients.
+
+use crate::cost::HardwareCost;
+
+/// Memory interconnect architectures with a cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Architecture {
+    /// Centralized AXI-IC^RT: `O(n²)` switch box + `O(n log n)` arbiter.
+    AxiIcRt,
+    /// Distributed binary multiplexer tree (`n−1` nodes).
+    BlueTree,
+    /// BlueTree with deeper stage buffers.
+    BlueTreeSmooth,
+    /// Binary tree plus a global TDM arbitration unit.
+    GsmTree,
+    /// Quadtree of Scale Elements (`(4^d−1)/3` SEs).
+    BlueScale,
+}
+
+impl Architecture {
+    /// All modelled interconnects, in the paper's Table 1 order.
+    pub const ALL: [Architecture; 5] = [
+        Architecture::AxiIcRt,
+        Architecture::BlueTree,
+        Architecture::BlueTreeSmooth,
+        Architecture::GsmTree,
+        Architecture::BlueScale,
+    ];
+
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Architecture::AxiIcRt => "AXI-IC^RT",
+            Architecture::BlueTree => "BlueTree",
+            Architecture::BlueTreeSmooth => "BlueTree-Smooth",
+            Architecture::GsmTree => "GSMTree",
+            Architecture::BlueScale => "BlueScale",
+        }
+    }
+}
+
+/// Soft processors included in Table 1 for system-level comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Processor {
+    /// Fully-featured MicroBlaze (pipeline + data cache).
+    MicroBlaze,
+    /// Out-of-order RISC-V soft core (Mashimo et al., ICFPT 2019).
+    RiscV,
+}
+
+/// Number of 2-to-1 nodes in a complete binary tree over `n` clients.
+fn binary_tree_nodes(n: usize) -> u64 {
+    (n.next_power_of_two().max(2) - 1) as u64
+}
+
+/// Number of Scale Elements actually instantiated in a quadtree over `n`
+/// clients — unpopulated subtrees are pruned, so each level needs
+/// `⌈previous/4⌉` elements down to the single root.
+fn quadtree_elements(n: usize) -> u64 {
+    let mut total = 0u64;
+    let mut width = n.max(1);
+    loop {
+        width = width.div_ceil(4);
+        total += width as u64;
+        if width == 1 {
+            return total;
+        }
+    }
+}
+
+fn log2f(n: usize) -> f64 {
+    (n.max(1) as f64).log2()
+}
+
+/// Cost of an interconnect instance supporting `clients` client ports.
+///
+/// Exactly reproduces the paper's Table 1 at `clients == 16`.
+///
+/// # Panics
+///
+/// Panics if `clients` is zero.
+///
+/// # Example
+///
+/// ```
+/// use bluescale_hwcost::{interconnect_cost, Architecture};
+///
+/// let c = interconnect_cost(Architecture::BlueScale, 16);
+/// assert_eq!(c.luts, 2959); // the paper's Table 1 anchor
+/// assert_eq!(c.ram_kb, 10);
+/// ```
+pub fn interconnect_cost(arch: Architecture, clients: usize) -> HardwareCost {
+    assert!(clients > 0, "at least one client required");
+    let n = clients as f64;
+    match arch {
+        Architecture::AxiIcRt => {
+            // Fixed controller base + switch box O(n²) + monolithic
+            // arbiter O(n log n), split 60/40 at the anchor (16 clients →
+            // 3744 LUTs).
+            let luts = 1500.0 + 5.259375 * n * n + 14.025 * n * log2f(clients);
+            let regs = 1000.0 + 76.59375 * n + 19.1484375 * n * log2f(clients);
+            HardwareCost {
+                luts: luts.round() as u64,
+                registers: regs.round() as u64,
+                dsps: 0,
+                ram_kb: 0,
+                power_mw: 46.0 * luts / 3744.0,
+            }
+        }
+        Architecture::BlueTree => scale_tree(clients, 1683, 2901, 27.0, 0),
+        Architecture::BlueTreeSmooth => scale_tree(clients, 2349, 3455, 41.0, 0),
+        Architecture::GsmTree => {
+            // BlueTree datapath + a fixed global TDM arbitration unit.
+            let tree = scale_tree(clients, 1683, 2901, 27.0, 0);
+            tree + HardwareCost {
+                luts: 760,
+                registers: 214,
+                dsps: 0,
+                ram_kb: 8,
+                power_mw: 32.0,
+            }
+        }
+        Architecture::BlueScale => {
+            let elements = quadtree_elements(clients);
+            HardwareCost {
+                luts: (2959.0 * elements as f64 / 5.0).round() as u64,
+                registers: (3312.0 * elements as f64 / 5.0).round() as u64,
+                dsps: 0,
+                // 2 KiB scratchpad per SE (paper, Fig 4).
+                ram_kb: 2 * elements,
+                power_mw: 67.0 * elements as f64 / 5.0,
+            }
+        }
+    }
+}
+
+/// Scales a binary-tree anchor (15 nodes at 16 clients) to `clients`.
+fn scale_tree(
+    clients: usize,
+    luts16: u64,
+    regs16: u64,
+    power16: f64,
+    ram16: u64,
+) -> HardwareCost {
+    let nodes = binary_tree_nodes(clients) as f64;
+    let f = nodes / 15.0;
+    HardwareCost {
+        luts: (luts16 as f64 * f).round() as u64,
+        registers: (regs16 as f64 * f).round() as u64,
+        dsps: 0,
+        ram_kb: (ram16 as f64 * f).round() as u64,
+        power_mw: power16 * f,
+    }
+}
+
+/// Cost of one fully-featured soft processor (Table 1 rows).
+pub fn processor_cost(kind: Processor) -> HardwareCost {
+    match kind {
+        Processor::MicroBlaze => HardwareCost {
+            luts: 4993,
+            registers: 4295,
+            dsps: 6,
+            ram_kb: 256,
+            power_mw: 369.0,
+        },
+        Processor::RiscV => HardwareCost {
+            luts: 7433,
+            registers: 16544,
+            dsps: 21,
+            ram_kb: 512,
+            power_mw: 583.0,
+        },
+    }
+}
+
+/// Cost of one *legacy-system* client core: the area-optimized MicroBlaze
+/// configuration used when packing up to 128 cores on the VC707 (a
+/// fully-featured core would not fit 2⁷ times).
+pub fn legacy_core_cost() -> HardwareCost {
+    HardwareCost {
+        luts: 900,
+        registers: 750,
+        dsps: 0,
+        ram_kb: 8,
+        power_mw: 12.5,
+    }
+}
+
+/// Cost of the legacy many-core system (clients only, no interconnect):
+/// `clients` area-optimized cores.
+pub fn legacy_system_cost(clients: usize) -> HardwareCost {
+    legacy_core_cost().replicate(clients as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_anchors_exact_at_16_clients() {
+        let axi = interconnect_cost(Architecture::AxiIcRt, 16);
+        assert_eq!((axi.luts, axi.registers, axi.dsps, axi.ram_kb), (3744, 3451, 0, 0));
+        assert!((axi.power_mw - 46.0).abs() < 0.5);
+
+        let bt = interconnect_cost(Architecture::BlueTree, 16);
+        assert_eq!((bt.luts, bt.registers, bt.ram_kb), (1683, 2901, 0));
+        assert!((bt.power_mw - 27.0).abs() < 1e-9);
+
+        let bts = interconnect_cost(Architecture::BlueTreeSmooth, 16);
+        assert_eq!((bts.luts, bts.registers), (2349, 3455));
+        assert!((bts.power_mw - 41.0).abs() < 1e-9);
+
+        let gsm = interconnect_cost(Architecture::GsmTree, 16);
+        assert_eq!((gsm.luts, gsm.registers, gsm.ram_kb), (2443, 3115, 8));
+        assert!((gsm.power_mw - 59.0).abs() < 1e-9);
+
+        let bs = interconnect_cost(Architecture::BlueScale, 16);
+        assert_eq!((bs.luts, bs.registers, bs.dsps, bs.ram_kb), (2959, 3312, 0, 10));
+        assert!((bs.power_mw - 67.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn obs1_relations_hold() {
+        // Obs 1: BlueScale needs more than distributed trees, less than
+        // the centralized interconnect and far less than processors.
+        let at = |a| interconnect_cost(a, 16);
+        let bs = at(Architecture::BlueScale);
+        assert!(bs.luts > at(Architecture::BlueTree).luts);
+        assert!(bs.luts > at(Architecture::BlueTreeSmooth).luts);
+        assert!(bs.luts > at(Architecture::GsmTree).luts);
+        assert!(bs.luts < at(Architecture::AxiIcRt).luts);
+        assert!(bs.luts < processor_cost(Processor::MicroBlaze).luts);
+        assert!(bs.luts < processor_cost(Processor::RiscV).luts);
+    }
+
+    #[test]
+    fn bluescale_scales_linearly_in_elements() {
+        // 5 SEs at 16 clients, 21 at 64: ratio 21/5.
+        let c16 = interconnect_cost(Architecture::BlueScale, 16);
+        let c64 = interconnect_cost(Architecture::BlueScale, 64);
+        let ratio = c64.luts as f64 / c16.luts as f64;
+        assert!((ratio - 21.0 / 5.0).abs() < 0.01, "ratio {ratio}");
+        assert_eq!(c64.ram_kb, 42);
+    }
+
+    #[test]
+    fn axi_grows_superlinearly() {
+        let c16 = interconnect_cost(Architecture::AxiIcRt, 16);
+        let c64 = interconnect_cost(Architecture::AxiIcRt, 64);
+        // 4× clients must cost more than 4× LUTs (quadratic switch box).
+        assert!(c64.luts > 4 * c16.luts);
+    }
+
+    #[test]
+    fn bluescale_beats_axi_at_every_scale() {
+        for eta in 1..=7 {
+            let n = 1usize << eta;
+            let bs = interconnect_cost(Architecture::BlueScale, n);
+            let axi = interconnect_cost(Architecture::AxiIcRt, n);
+            assert!(
+                bs.luts < axi.luts,
+                "η={eta}: BlueScale {} vs AXI {}",
+                bs.luts,
+                axi.luts
+            );
+        }
+    }
+
+    #[test]
+    fn quadtree_element_counts() {
+        assert_eq!(quadtree_elements(4), 1);
+        assert_eq!(quadtree_elements(8), 3); // 2 leaf SEs + root
+        assert_eq!(quadtree_elements(16), 5);
+        assert_eq!(quadtree_elements(64), 21);
+        assert_eq!(quadtree_elements(128), 43); // pruned: 32 + 8 + 2 + 1
+        assert_eq!(quadtree_elements(2), 1);
+    }
+
+    #[test]
+    fn binary_tree_node_counts() {
+        assert_eq!(binary_tree_nodes(2), 1);
+        assert_eq!(binary_tree_nodes(16), 15);
+        assert_eq!(binary_tree_nodes(64), 63);
+        assert_eq!(binary_tree_nodes(5), 7);
+    }
+
+    #[test]
+    fn power_tracks_area() {
+        for arch in Architecture::ALL {
+            let small = interconnect_cost(arch, 8);
+            let large = interconnect_cost(arch, 64);
+            assert!(large.power_mw > small.power_mw, "{arch:?}");
+        }
+    }
+
+    #[test]
+    fn legacy_system_is_linear() {
+        let one = legacy_system_cost(1);
+        let many = legacy_system_cost(128);
+        assert_eq!(many.luts, 128 * one.luts);
+        // 128 cores fit on the platform (the reason for the area-optimized
+        // configuration).
+        assert!(many.luts < crate::VC707_LUTS / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client")]
+    fn zero_clients_panics() {
+        let _ = interconnect_cost(Architecture::BlueScale, 0);
+    }
+}

@@ -1,0 +1,238 @@
+//! Shared micro-architectural building blocks: bounded FIFOs (stage
+//! buffers) and fixed-latency delay lines (pipelined response paths).
+
+use bluescale_sim::Cycle;
+use std::collections::VecDeque;
+
+/// A bounded FIFO modelling a stage buffer in a transaction path.
+///
+/// # Example
+///
+/// ```
+/// use bluescale_interconnect::buffer::FifoBuffer;
+///
+/// let mut f = FifoBuffer::with_capacity(2);
+/// assert!(f.try_push(1).is_ok());
+/// assert!(f.try_push(2).is_ok());
+/// assert_eq!(f.try_push(3), Err(3)); // full: backpressure
+/// assert_eq!(f.pop(), Some(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FifoBuffer<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+}
+
+impl<T> FifoBuffer<T> {
+    /// Creates a FIFO holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer capacity must be positive");
+        Self {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Attempts to enqueue; hands the item back when full.
+    ///
+    /// # Errors
+    ///
+    /// Returns the item as the error value if the buffer is at capacity.
+    pub fn try_push(&mut self, item: T) -> Result<(), T> {
+        if self.items.len() == self.capacity {
+            Err(item)
+        } else {
+            self.items.push_back(item);
+            Ok(())
+        }
+    }
+
+    /// Dequeues the oldest item.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Borrows the oldest item.
+    pub fn front(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Mutably borrows the oldest item.
+    pub fn front_mut(&mut self) -> Option<&mut T> {
+        self.items.front_mut()
+    }
+
+    /// Iterates items oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+
+    /// Mutably iterates items oldest-first.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut T> {
+        self.items.iter_mut()
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the buffer is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.items.len() == self.capacity
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// A fixed-latency pipeline: items pushed at cycle `t` become available at
+/// `t + latency`. Models the staged response path of tree interconnects.
+///
+/// # Example
+///
+/// ```
+/// use bluescale_interconnect::buffer::DelayLine;
+///
+/// let mut d = DelayLine::new(3);
+/// d.push("resp", 10);
+/// assert_eq!(d.pop_ready(12), None);
+/// assert_eq!(d.pop_ready(13), Some("resp"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DelayLine<T> {
+    latency: Cycle,
+    in_flight: VecDeque<(Cycle, T)>,
+}
+
+impl<T> DelayLine<T> {
+    /// Creates a delay line with the given latency in cycles (0 = same
+    /// cycle availability).
+    pub fn new(latency: Cycle) -> Self {
+        Self {
+            latency,
+            in_flight: VecDeque::new(),
+        }
+    }
+
+    /// The configured latency.
+    pub fn latency(&self) -> Cycle {
+        self.latency
+    }
+
+    /// Inserts an item at cycle `now`; it emerges at `now + latency`.
+    pub fn push(&mut self, item: T, now: Cycle) {
+        self.in_flight.push_back((now + self.latency, item));
+    }
+
+    /// Removes the oldest item whose delay has elapsed by `now`.
+    pub fn pop_ready(&mut self, now: Cycle) -> Option<T> {
+        match self.in_flight.front() {
+            Some((ready, _)) if *ready <= now => self.in_flight.pop_front().map(|(_, t)| t),
+            _ => None,
+        }
+    }
+
+    /// Number of items still in flight.
+    pub fn len(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Whether nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.in_flight.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_preserves_order() {
+        let mut f = FifoBuffer::with_capacity(4);
+        for i in 0..4 {
+            f.try_push(i).unwrap();
+        }
+        assert_eq!(f.pop(), Some(0));
+        assert_eq!(f.pop(), Some(1));
+        f.try_push(9).unwrap();
+        assert_eq!(f.pop(), Some(2));
+        assert_eq!(f.pop(), Some(3));
+        assert_eq!(f.pop(), Some(9));
+        assert_eq!(f.pop(), None);
+    }
+
+    #[test]
+    fn fifo_backpressure() {
+        let mut f = FifoBuffer::with_capacity(1);
+        assert!(f.try_push('a').is_ok());
+        assert!(f.is_full());
+        assert_eq!(f.try_push('b'), Err('b'));
+        f.pop();
+        assert!(f.try_push('b').is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn fifo_zero_capacity_panics() {
+        let _: FifoBuffer<u8> = FifoBuffer::with_capacity(0);
+    }
+
+    #[test]
+    fn fifo_front_access() {
+        let mut f = FifoBuffer::with_capacity(2);
+        f.try_push(5).unwrap();
+        assert_eq!(f.front(), Some(&5));
+        *f.front_mut().unwrap() = 6;
+        assert_eq!(f.pop(), Some(6));
+    }
+
+    #[test]
+    fn delay_line_delays_exactly() {
+        let mut d = DelayLine::new(5);
+        d.push(1, 100);
+        for t in 100..105 {
+            assert_eq!(d.pop_ready(t), None, "not ready at {t}");
+        }
+        assert_eq!(d.pop_ready(105), Some(1));
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn delay_line_orders_by_insertion() {
+        let mut d = DelayLine::new(2);
+        d.push('a', 0);
+        d.push('b', 1);
+        assert_eq!(d.pop_ready(3), Some('a'));
+        assert_eq!(d.pop_ready(3), Some('b'));
+    }
+
+    #[test]
+    fn delay_line_zero_latency() {
+        let mut d = DelayLine::new(0);
+        d.push(7, 42);
+        assert_eq!(d.pop_ready(42), Some(7));
+    }
+
+    #[test]
+    fn delay_line_pop_only_one_per_call() {
+        let mut d = DelayLine::new(0);
+        d.push(1, 0);
+        d.push(2, 0);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.pop_ready(0), Some(1));
+        assert_eq!(d.len(), 1);
+    }
+}

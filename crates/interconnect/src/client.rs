@@ -1,0 +1,342 @@
+//! Traffic-generating clients.
+//!
+//! The paper's interconnect-level evaluation (Section 6.3) drives each
+//! interconnect with *traffic generators* "simulating memory requests
+//! without processing any data": periodic tasks whose jobs issue a burst of
+//! memory transactions with an implicit deadline one period after release.
+//! [`TrafficGenerator`] reproduces that: it wraps a [`TaskSet`], releases
+//! `C` requests per job, and offers at most one request per cycle to its
+//! client port (port width 1).
+
+use crate::{AccessKind, ClientId, MemoryRequest};
+use bluescale_rt::edf::EdfQueue;
+use bluescale_rt::task::TaskSet;
+use bluescale_sim::Cycle;
+
+/// Per-task release bookkeeping inside a generator.
+#[derive(Debug, Clone)]
+struct TaskState {
+    task_id: u32,
+    period: Cycle,
+    demand: u64,
+    next_release: Cycle,
+    next_addr: u64,
+    addr_stride: u64,
+}
+
+/// A periodic traffic generator attached to one client port.
+///
+/// Pending requests are offered in EDF order: the paper's traffic
+/// generators run a local scheduler that assigns request priorities with
+/// GEDF (Section 6.3), so an urgent job released later overtakes a large
+/// earlier burst *inside the client* before the interconnect even sees it.
+///
+/// # Example
+///
+/// ```
+/// use bluescale_rt::task::{Task, TaskSet};
+/// use bluescale_interconnect::client::TrafficGenerator;
+///
+/// let tasks = TaskSet::new(vec![Task::new(0, 100, 3)?])?;
+/// let mut gen = TrafficGenerator::new(7, &tasks);
+/// gen.on_cycle(0);
+/// // The job released at cycle 0 carries 3 requests, offered one per cycle.
+/// assert!(gen.peek().is_some());
+/// let r = gen.take().expect("request pending");
+/// assert_eq!(r.client, 7);
+/// assert_eq!(r.deadline, 100);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct TrafficGenerator {
+    client: ClientId,
+    tasks: Vec<TaskState>,
+    pending: EdfQueue<MemoryRequest>,
+    issued: u64,
+    next_request_serial: u64,
+    /// Multiplies every job's demand at release time (1 = well-behaved).
+    misbehaviour_factor: u64,
+}
+
+impl TrafficGenerator {
+    /// Creates a generator for `client` running `tasks`. All tasks release
+    /// their first job at cycle 0 (synchronous arrival — the worst case for
+    /// contention, which is what the evaluation wants to expose).
+    pub fn new(client: ClientId, tasks: &TaskSet) -> Self {
+        let states = tasks
+            .iter()
+            .map(|t| TaskState {
+                task_id: t.id(),
+                period: t.period(),
+                demand: t.wcet(),
+                next_release: 0,
+                // Give every (client, task) pair a distinct address region
+                // so DRAM row locality differs between streams.
+                next_addr: (client as u64) << 32 | (t.id() as u64) << 24,
+                addr_stride: 64,
+            })
+            .collect();
+        Self {
+            client,
+            tasks: states,
+            pending: EdfQueue::new(),
+            issued: 0,
+            next_request_serial: 0,
+            misbehaviour_factor: 1,
+        }
+    }
+
+    /// Creates a generator whose task `i` releases its first job at
+    /// `offsets[i]` instead of cycle 0 — staggered phasing for
+    /// steady-state studies (synchronous release is the contention worst
+    /// case; real systems start de-phased).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offsets.len()` differs from the task count.
+    pub fn with_offsets(client: ClientId, tasks: &TaskSet, offsets: &[Cycle]) -> Self {
+        let mut this = Self::new(client, tasks);
+        assert_eq!(
+            offsets.len(),
+            this.tasks.len(),
+            "one offset per task required"
+        );
+        for (state, &offset) in this.tasks.iter_mut().zip(offsets) {
+            state.next_release = offset;
+        }
+        this
+    }
+
+    /// Turns the generator into a *rogue*: every job issues `factor ×` its
+    /// declared demand. Models a misbehaving or compromised client whose
+    /// runtime behaviour exceeds the parameters it registered with the
+    /// interconnect — the scenario budget-based isolation exists for.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero.
+    pub fn set_misbehaviour_factor(&mut self, factor: u64) {
+        assert!(factor > 0, "misbehaviour factor must be positive");
+        self.misbehaviour_factor = factor;
+    }
+
+    /// The client port this generator feeds.
+    pub fn client(&self) -> ClientId {
+        self.client
+    }
+
+    /// Total requests released so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Requests released but not yet accepted by the interconnect.
+    pub fn backlog(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Advances task releases to cycle `now`, enqueueing the requests of
+    /// every job released at this cycle. Call exactly once per cycle.
+    pub fn on_cycle(&mut self, now: Cycle) {
+        for t in &mut self.tasks {
+            while t.next_release <= now {
+                let release = t.next_release;
+                let deadline = release + t.period;
+                for _ in 0..t.demand * self.misbehaviour_factor {
+                    let id = ((self.client as u64) << 48) | self.next_request_serial;
+                    self.next_request_serial += 1;
+                    self.issued += 1;
+                    self.pending.push(MemoryRequest {
+                        id,
+                        client: self.client,
+                        task: t.task_id,
+                        addr: t.next_addr,
+                        kind: if self.next_request_serial.is_multiple_of(4) {
+                            AccessKind::Write
+                        } else {
+                            AccessKind::Read
+                        },
+                        issued_at: release,
+                        deadline,
+                        blocked_cycles: 0,
+                    }, deadline);
+                    t.next_addr = t.next_addr.wrapping_add(t.addr_stride);
+                }
+                t.next_release += t.period;
+            }
+        }
+    }
+
+    /// Borrows the next request to offer (earliest deadline first).
+    pub fn peek(&self) -> Option<&MemoryRequest> {
+        self.pending.peek()
+    }
+
+    /// Takes the next request to offer the interconnect (EDF order).
+    pub fn take(&mut self) -> Option<MemoryRequest> {
+        self.pending.pop().map(|(r, _)| r)
+    }
+
+    /// Returns a rejected request to the queue (the port was full this
+    /// cycle; it competes again by deadline next cycle).
+    pub fn give_back(&mut self, request: MemoryRequest) {
+        let deadline = request.deadline;
+        self.pending.push(request, deadline);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bluescale_rt::task::Task;
+
+    fn gen(specs: &[(u64, u64)]) -> TrafficGenerator {
+        let set = TaskSet::new(
+            specs
+                .iter()
+                .enumerate()
+                .map(|(i, &(t, c))| Task::new(i as u32, t, c).unwrap())
+                .collect(),
+        )
+        .unwrap();
+        TrafficGenerator::new(3, &set)
+    }
+
+    #[test]
+    fn releases_demand_requests_per_job() {
+        let mut g = gen(&[(10, 3)]);
+        g.on_cycle(0);
+        assert_eq!(g.backlog(), 3);
+        assert_eq!(g.issued(), 3);
+    }
+
+    #[test]
+    fn releases_periodically() {
+        let mut g = gen(&[(10, 2)]);
+        for now in 0..25 {
+            g.on_cycle(now);
+            while g.take().is_some() {}
+        }
+        // Releases at 0, 10, 20 → 6 requests.
+        assert_eq!(g.issued(), 6);
+    }
+
+    #[test]
+    fn deadline_is_release_plus_period() {
+        let mut g = gen(&[(50, 1)]);
+        g.on_cycle(0);
+        assert_eq!(g.take().unwrap().deadline, 50);
+        for now in 1..=50 {
+            g.on_cycle(now);
+        }
+        let r = g.take().unwrap();
+        assert_eq!(r.issued_at, 50);
+        assert_eq!(r.deadline, 100);
+    }
+
+    #[test]
+    fn catch_up_after_gap() {
+        // If on_cycle is first called late, all missed releases appear.
+        let mut g = gen(&[(10, 1)]);
+        g.on_cycle(35);
+        // Releases at 0, 10, 20, 30.
+        assert_eq!(g.issued(), 4);
+    }
+
+    #[test]
+    fn give_back_competes_by_deadline() {
+        // Two tasks: the urgent one (period 10) and a lazy one (period 90).
+        let mut g = gen(&[(10, 1), (90, 1)]);
+        g.on_cycle(0);
+        let urgent = g.take().unwrap();
+        assert_eq!(urgent.deadline, 10);
+        // Rejected by a full port: it must still beat the lazy request.
+        g.give_back(urgent);
+        assert_eq!(g.take().unwrap().deadline, 10);
+        assert_eq!(g.take().unwrap().deadline, 90);
+    }
+
+    #[test]
+    fn offsets_delay_first_release() {
+        let set = TaskSet::new(vec![
+            Task::new(0, 10, 1).unwrap(),
+            Task::new(1, 20, 1).unwrap(),
+        ])
+        .unwrap();
+        let mut g = TrafficGenerator::with_offsets(0, &set, &[3, 7]);
+        g.on_cycle(0);
+        assert_eq!(g.backlog(), 0, "nothing released before its offset");
+        g.on_cycle(3);
+        assert_eq!(g.backlog(), 1);
+        g.on_cycle(7);
+        assert_eq!(g.backlog(), 2);
+        // Subsequent periods keep the phase: next releases at 13 and 27.
+        g.on_cycle(13);
+        assert_eq!(g.issued(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "one offset per task")]
+    fn wrong_offset_count_panics() {
+        let set = TaskSet::new(vec![Task::new(0, 10, 1).unwrap()]).unwrap();
+        let _ = TrafficGenerator::with_offsets(0, &set, &[1, 2]);
+    }
+
+    #[test]
+    fn rogue_generator_floods() {
+        let mut g = gen(&[(10, 2)]);
+        g.set_misbehaviour_factor(5);
+        g.on_cycle(0);
+        assert_eq!(g.backlog(), 10, "5× the declared demand");
+    }
+
+    #[test]
+    #[should_panic(expected = "factor must be positive")]
+    fn zero_misbehaviour_factor_panics() {
+        let mut g = gen(&[(10, 1)]);
+        g.set_misbehaviour_factor(0);
+    }
+
+    #[test]
+    fn urgent_job_overtakes_large_backlog() {
+        // A 6-request burst with a late deadline is queued; an urgent job
+        // released later must be offered first (client-side GEDF).
+        let mut g = gen(&[(500, 6), (20, 1)]);
+        g.on_cycle(0);
+        // Drain the cycle-0 queue: the (20,1) request first, then bursts.
+        assert_eq!(g.take().unwrap().deadline, 20);
+        g.on_cycle(20); // next urgent release, burst still queued
+        assert_eq!(g.take().unwrap().deadline, 40);
+        assert_eq!(g.take().unwrap().deadline, 500);
+    }
+
+    #[test]
+    fn request_ids_unique_across_tasks() {
+        let mut g = gen(&[(10, 3), (20, 4)]);
+        g.on_cycle(0);
+        let mut ids = Vec::new();
+        while let Some(r) = g.take() {
+            ids.push(r.id);
+        }
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+    }
+
+    #[test]
+    fn multiple_tasks_all_release() {
+        let mut g = gen(&[(10, 1), (15, 2), (30, 3)]);
+        g.on_cycle(0);
+        assert_eq!(g.backlog(), 6);
+    }
+
+    #[test]
+    fn address_regions_distinct_per_task() {
+        let mut g = gen(&[(10, 1), (10, 1)]);
+        g.on_cycle(0);
+        let a = g.take().unwrap().addr;
+        let b = g.take().unwrap().addr;
+        assert_ne!(a >> 24, b >> 24);
+    }
+}

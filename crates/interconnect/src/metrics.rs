@@ -1,0 +1,252 @@
+//! Run metrics: the quantities the paper's Figures 6 and 7 report.
+
+use crate::MemoryResponse;
+use bluescale_sim::stats::Samples;
+use bluescale_sim::Cycle;
+
+/// Metrics accumulated over one simulation run.
+///
+/// * **Blocking latency** — cycles a request spent waiting behind
+///   later-deadline (lower-priority) requests (Fig 6, left axis).
+/// * **Deadline miss ratio** — fraction of requests not completed by their
+///   deadline (Fig 6, right axis).
+/// * **Success** — a run succeeds when *no* request missed (Fig 7 reports
+///   the ratio of successful runs).
+#[derive(Debug, Clone, Default)]
+pub struct RunMetrics {
+    latency: Samples,
+    blocking: Samples,
+    normalized: Samples,
+    issued: u64,
+    completed: u64,
+    missed: u64,
+    backlog: u64,
+}
+
+impl RunMetrics {
+    /// Creates an empty metrics collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that a client released one request.
+    pub fn on_issued(&mut self) {
+        self.issued += 1;
+    }
+
+    /// Removes one previously recorded issue (used by the harness when an
+    /// offer is rejected by a full port and will be retried next cycle).
+    pub(crate) fn retract_issue(&mut self) {
+        debug_assert!(self.issued > 0, "retract without a matching issue");
+        self.issued = self.issued.saturating_sub(1);
+    }
+
+    /// Records a completed response.
+    pub fn on_response(&mut self, response: &MemoryResponse) {
+        self.completed += 1;
+        self.latency.push(response.latency() as f64);
+        self.blocking.push(response.request.blocked_cycles as f64);
+        let window = response
+            .request
+            .deadline
+            .saturating_sub(response.request.issued_at)
+            .max(1);
+        self.normalized
+            .push(response.latency() as f64 / window as f64);
+        if response.missed_deadline() {
+            self.missed += 1;
+        }
+    }
+
+    /// Accounts for a request still queued at its client when the horizon
+    /// ended: counted as backlog, and as a miss when its deadline already
+    /// passed.
+    pub fn on_incomplete(&mut self, deadline: Cycle, horizon: Cycle) {
+        self.backlog += 1;
+        if deadline < horizon {
+            self.missed += 1;
+        }
+    }
+
+    /// Requests still queued at their clients when the run ended (issued
+    /// but never accepted by the interconnect). Conservation:
+    /// `issued = completed + interconnect in-flight + backlog`.
+    pub fn backlog(&self) -> u64 {
+        self.backlog
+    }
+
+    /// Requests released.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Requests completed.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Requests that missed their deadline (completed late or never).
+    pub fn missed(&self) -> u64 {
+        self.missed
+    }
+
+    /// Deadline miss ratio over all issued requests; 0 when nothing issued.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.issued == 0 {
+            0.0
+        } else {
+            self.missed as f64 / self.issued as f64
+        }
+    }
+
+    /// Whether the run completed with zero deadline misses.
+    pub fn success(&self) -> bool {
+        self.missed == 0
+    }
+
+    /// End-to-end latency samples (cycles).
+    pub fn latency(&mut self) -> &mut Samples {
+        &mut self.latency
+    }
+
+    /// Blocking latency samples (cycles).
+    pub fn blocking(&mut self) -> &mut Samples {
+        &mut self.blocking
+    }
+
+    /// Deadline-normalized response times (latency divided by the
+    /// request's deadline window; 1.0 = finished exactly at the deadline).
+    /// This separates *scheduling jitter* from burst-size effects: a value
+    /// near 0 means the request finished far ahead of its deadline.
+    pub fn normalized_response(&mut self) -> &mut Samples {
+        &mut self.normalized
+    }
+
+    /// Mean end-to-end latency in cycles; 0 when nothing completed.
+    pub fn mean_latency(&self) -> f64 {
+        self.latency.mean().unwrap_or(0.0)
+    }
+
+    /// Mean blocking latency in cycles; 0 when nothing completed.
+    pub fn mean_blocking(&self) -> f64 {
+        self.blocking.mean().unwrap_or(0.0)
+    }
+
+    /// Variance of the blocking latency (the paper highlights BlueScale's
+    /// low experimental variance); 0 when nothing completed.
+    pub fn blocking_variance(&self) -> f64 {
+        self.blocking.variance().unwrap_or(0.0)
+    }
+}
+
+/// Jain's fairness index over per-client quantities (e.g. mean latency or
+/// throughput): `(Σxᵢ)² / (n·Σxᵢ²)`. 1.0 means perfectly equal shares;
+/// `1/n` means one client took everything. Returns 1.0 for empty input or
+/// all-zero values (nothing to be unfair about).
+///
+/// # Example
+///
+/// ```
+/// use bluescale_interconnect::metrics::jain_fairness;
+///
+/// assert!((jain_fairness(&[10.0, 10.0, 10.0]) - 1.0).abs() < 1e-12);
+/// assert!((jain_fairness(&[30.0, 0.0, 0.0]) - 1.0 / 3.0).abs() < 1e-12);
+/// ```
+pub fn jain_fairness(values: &[f64]) -> f64 {
+    let n = values.len() as f64;
+    let sum: f64 = values.iter().sum();
+    let sum_sq: f64 = values.iter().map(|v| v * v).sum();
+    if values.is_empty() || sum_sq == 0.0 {
+        1.0
+    } else {
+        (sum * sum) / (n * sum_sq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AccessKind, MemoryRequest};
+
+    fn response(issued: Cycle, deadline: Cycle, done: Cycle, blocked: u64) -> MemoryResponse {
+        MemoryResponse {
+            request: MemoryRequest {
+                id: 0,
+                client: 0,
+                task: 0,
+                addr: 0,
+                kind: AccessKind::Read,
+                issued_at: issued,
+                deadline,
+                blocked_cycles: blocked,
+            },
+            completed_at: done,
+        }
+    }
+
+    #[test]
+    fn counts_and_ratios() {
+        let mut m = RunMetrics::new();
+        for _ in 0..4 {
+            m.on_issued();
+        }
+        m.on_response(&response(0, 10, 5, 1)); // on time
+        m.on_response(&response(0, 10, 15, 9)); // late
+        assert_eq!(m.issued(), 4);
+        assert_eq!(m.completed(), 2);
+        assert_eq!(m.missed(), 1);
+        assert!((m.miss_ratio() - 0.25).abs() < 1e-12);
+        assert!(!m.success());
+        assert!((m.mean_latency() - 10.0).abs() < 1e-12);
+        assert!((m.mean_blocking() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incomplete_past_deadline_is_miss() {
+        let mut m = RunMetrics::new();
+        m.on_issued();
+        m.on_issued();
+        m.on_incomplete(50, 100); // deadline passed → miss
+        m.on_incomplete(150, 100); // deadline after horizon → not counted
+        assert_eq!(m.missed(), 1);
+        assert_eq!(m.backlog(), 2);
+    }
+
+    #[test]
+    fn empty_run_is_successful() {
+        let m = RunMetrics::new();
+        assert!(m.success());
+        assert_eq!(m.miss_ratio(), 0.0);
+        assert_eq!(m.mean_latency(), 0.0);
+    }
+
+    #[test]
+    fn normalized_response_uses_deadline_window() {
+        let mut m = RunMetrics::new();
+        m.on_issued();
+        // Issued at 0, deadline 100, completed at 25 → normalized 0.25.
+        m.on_response(&response(0, 100, 25, 0));
+        assert!((m.normalized_response().max().unwrap() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_index_properties() {
+        assert_eq!(jain_fairness(&[]), 1.0);
+        assert_eq!(jain_fairness(&[0.0, 0.0]), 1.0);
+        assert!((jain_fairness(&[5.0, 5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        let skewed = jain_fairness(&[100.0, 1.0, 1.0, 1.0]);
+        assert!(skewed < 0.3, "skewed allocation scores low: {skewed}");
+        // Bounded in [1/n, 1].
+        assert!(skewed >= 0.25 - 1e-12);
+    }
+
+    #[test]
+    fn blocking_variance_computed() {
+        let mut m = RunMetrics::new();
+        m.on_issued();
+        m.on_issued();
+        m.on_response(&response(0, 100, 1, 0));
+        m.on_response(&response(0, 100, 1, 10));
+        assert!((m.blocking_variance() - 25.0).abs() < 1e-12);
+    }
+}

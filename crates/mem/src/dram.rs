@@ -1,0 +1,161 @@
+//! DRAM organization and timing parameters.
+
+/// Row-buffer management policy.
+///
+/// Real-time memory controllers (e.g. the predictable controllers the
+/// paper's related work builds on) often run *closed-page*: the row is
+/// precharged after every access, making every service take the same,
+/// worst-case-free duration — determinism bought with average bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PagePolicy {
+    /// Keep rows open: hits are fast, conflicts slow (higher average
+    /// throughput, service-time jitter).
+    #[default]
+    Open,
+    /// Precharge after every access: every request costs
+    /// [`DramConfig::row_miss_cycles`], deterministically.
+    Closed,
+}
+
+/// Timing and geometry of the DRAM module behind the memory controller.
+///
+/// Defaults model a single-rank DDR3-style module at the interconnect's
+/// 100 MHz clock: a row-buffer hit costs 4 interconnect cycles, a conflict
+/// 12, with 8 banks and 8 KiB rows — coarse, but the interconnect
+/// experiments only depend on the *service rate*, which these defaults put
+/// at the same order as the paper's platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Cycles to serve a request that hits the open row of its bank.
+    pub row_hit_cycles: u64,
+    /// Cycles to serve a request that must precharge + activate first.
+    pub row_miss_cycles: u64,
+    /// Number of banks (row buffers).
+    pub banks: u32,
+    /// Row size in bytes (determines how many consecutive addresses hit).
+    pub row_bytes: u64,
+    /// Row-buffer management policy.
+    pub page_policy: PagePolicy,
+}
+
+impl DramConfig {
+    /// A flat-latency configuration: every request takes `cycles`. Useful
+    /// for experiments that must not be confounded by row-buffer locality.
+    pub fn flat(cycles: u64) -> Self {
+        Self {
+            row_hit_cycles: cycles,
+            row_miss_cycles: cycles,
+            ..Self::default()
+        }
+    }
+
+    /// A closed-page real-time configuration: deterministic
+    /// `row_miss_cycles` per access (default timings otherwise).
+    pub fn closed_page() -> Self {
+        Self {
+            page_policy: PagePolicy::Closed,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        Self {
+            row_hit_cycles: 4,
+            row_miss_cycles: 12,
+            banks: 8,
+            row_bytes: 8192,
+            page_policy: PagePolicy::Open,
+        }
+    }
+}
+
+/// Maps physical addresses to `(bank, row)` using row-interleaving: banks
+/// rotate every row so that sequential streams spread across banks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddressMap {
+    banks: u32,
+    row_bytes: u64,
+}
+
+impl AddressMap {
+    /// Builds the map for a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero banks or a zero row size.
+    pub fn new(config: &DramConfig) -> Self {
+        assert!(config.banks > 0, "at least one bank required");
+        assert!(config.row_bytes > 0, "row size must be positive");
+        Self {
+            banks: config.banks,
+            row_bytes: config.row_bytes,
+        }
+    }
+
+    /// Decodes an address into `(bank, row)`.
+    pub fn decode(&self, addr: u64) -> (u32, u64) {
+        let row_index = addr / self.row_bytes;
+        let bank = (row_index % self.banks as u64) as u32;
+        let row = row_index / self.banks as u64;
+        (bank, row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sane() {
+        let c = DramConfig::default();
+        assert!(c.row_hit_cycles < c.row_miss_cycles);
+        assert!(c.banks > 0);
+    }
+
+    #[test]
+    fn flat_equalizes_latencies() {
+        let c = DramConfig::flat(6);
+        assert_eq!(c.row_hit_cycles, 6);
+        assert_eq!(c.row_miss_cycles, 6);
+    }
+
+    #[test]
+    fn closed_page_config() {
+        let c = DramConfig::closed_page();
+        assert_eq!(c.page_policy, PagePolicy::Closed);
+        assert_eq!(DramConfig::default().page_policy, PagePolicy::Open);
+    }
+
+    #[test]
+    fn same_row_same_decode() {
+        let map = AddressMap::new(&DramConfig::default());
+        assert_eq!(map.decode(0), map.decode(8191));
+        assert_ne!(map.decode(0), map.decode(8192));
+    }
+
+    #[test]
+    fn rows_interleave_across_banks() {
+        let cfg = DramConfig {
+            banks: 4,
+            row_bytes: 1024,
+            ..DramConfig::default()
+        };
+        let map = AddressMap::new(&cfg);
+        let banks: Vec<u32> = (0..4).map(|i| map.decode(i * 1024).0).collect();
+        assert_eq!(banks, vec![0, 1, 2, 3]);
+        // Fifth row wraps to bank 0 with the next row index.
+        assert_eq!(map.decode(4 * 1024), (0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bank")]
+    fn zero_banks_rejected() {
+        let cfg = DramConfig {
+            banks: 0,
+            ..DramConfig::default()
+        };
+        let _ = AddressMap::new(&cfg);
+    }
+}

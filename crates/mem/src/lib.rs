@@ -1,0 +1,273 @@
+//! Memory substrate: a DRAM timing model and a single-channel memory
+//! controller.
+//!
+//! The paper's evaluation platform has "a 4 GB DRAM module and a memory
+//! controller" at the root of every interconnect. Everything the
+//! interconnect experiments need from it is a *service-time* model: how many
+//! interconnect cycles the controller occupies the channel per request. We
+//! model an open-row DRAM: a request hitting the currently open row of its
+//! bank is fast, a row conflict pays precharge+activate.
+//!
+//! The controller is generic over the payload it carries so that the
+//! interconnect crates can thread their own request types through without a
+//! dependency cycle.
+//!
+//! # Example
+//!
+//! ```
+//! use bluescale_mem::{DramConfig, MemoryController};
+//!
+//! let mut mc: MemoryController<&str> = MemoryController::new(DramConfig::default());
+//! assert!(mc.can_accept());
+//! mc.accept("req-1", 0x1000, 0);
+//! assert!(!mc.can_accept());
+//! // Nothing completes before the service time has elapsed.
+//! assert_eq!(mc.poll_complete(1), None);
+//! let done = (2..100).find_map(|t| mc.poll_complete(t).map(|p| (t, p)));
+//! assert!(done.is_some());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dram;
+
+pub use dram::{AddressMap, DramConfig, PagePolicy};
+
+use bluescale_sim::Cycle;
+
+/// Statistics accumulated by a [`MemoryController`] over a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ControllerStats {
+    /// Requests accepted.
+    pub accepted: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Row-buffer hits among completed requests.
+    pub row_hits: u64,
+    /// Row-buffer misses (conflicts or cold rows) among completed requests.
+    pub row_misses: u64,
+    /// Cycles the channel spent busy.
+    pub busy_cycles: u64,
+}
+
+impl ControllerStats {
+    /// Row-hit ratio over completed requests; 0 when nothing completed.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / self.completed as f64
+        }
+    }
+}
+
+/// A single-channel memory controller with one request in service at a time
+/// (the serialization point every interconnect in the paper contends for).
+///
+/// Service time per request comes from the [`DramConfig`] row-buffer model.
+#[derive(Debug, Clone)]
+pub struct MemoryController<T> {
+    config: DramConfig,
+    address_map: AddressMap,
+    open_rows: Vec<Option<u64>>,
+    in_service: Option<InService<T>>,
+    stats: ControllerStats,
+}
+
+#[derive(Debug, Clone)]
+struct InService<T> {
+    payload: T,
+    done_at: Cycle,
+}
+
+impl<T> MemoryController<T> {
+    /// Creates an idle controller with all row buffers closed.
+    pub fn new(config: DramConfig) -> Self {
+        let address_map = AddressMap::new(&config);
+        Self {
+            open_rows: vec![None; config.banks as usize],
+            config,
+            address_map,
+            in_service: None,
+            stats: ControllerStats::default(),
+        }
+    }
+
+    /// The timing configuration in use.
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    /// Whether a new request can start service this cycle.
+    pub fn can_accept(&self) -> bool {
+        self.in_service.is_none()
+    }
+
+    /// Starts servicing a request for `addr` at cycle `now` and returns
+    /// the service duration in cycles (row hit vs conflict).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the controller is busy (callers must check
+    /// [`can_accept`](Self::can_accept) first — the channel has no queue of
+    /// its own; queueing is the interconnect's job).
+    pub fn accept(&mut self, payload: T, addr: u64, now: Cycle) -> Cycle {
+        assert!(
+            self.in_service.is_none(),
+            "memory controller accept() while busy"
+        );
+        let (bank, row) = self.address_map.decode(addr);
+        let open = &mut self.open_rows[bank as usize];
+        let hit = self.config.page_policy == dram::PagePolicy::Open && *open == Some(row);
+        let service = if hit {
+            self.stats.row_hits += 1;
+            self.config.row_hit_cycles
+        } else {
+            self.stats.row_misses += 1;
+            *open = Some(row);
+            self.config.row_miss_cycles
+        };
+        self.stats.accepted += 1;
+        self.stats.busy_cycles += service;
+        self.in_service = Some(InService {
+            payload,
+            done_at: now + service,
+        });
+        service
+    }
+
+    /// Returns the serviced payload if its service completed by `now`.
+    pub fn poll_complete(&mut self, now: Cycle) -> Option<T> {
+        match &self.in_service {
+            Some(s) if s.done_at <= now => {
+                self.stats.completed += 1;
+                self.in_service.take().map(|s| s.payload)
+            }
+            _ => None,
+        }
+    }
+
+    /// Run statistics so far.
+    pub fn stats(&self) -> ControllerStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform(service: Cycle) -> DramConfig {
+        DramConfig {
+            row_hit_cycles: service,
+            row_miss_cycles: service,
+            ..DramConfig::default()
+        }
+    }
+
+    #[test]
+    fn accepts_when_idle_only() {
+        let mut mc: MemoryController<u32> = MemoryController::new(uniform(4));
+        assert!(mc.can_accept());
+        mc.accept(1, 0, 0);
+        assert!(!mc.can_accept());
+    }
+
+    #[test]
+    #[should_panic(expected = "while busy")]
+    fn accept_while_busy_panics() {
+        let mut mc: MemoryController<u32> = MemoryController::new(uniform(4));
+        mc.accept(1, 0, 0);
+        mc.accept(2, 64, 0);
+    }
+
+    #[test]
+    fn completion_after_service_time() {
+        let mut mc: MemoryController<u32> = MemoryController::new(uniform(4));
+        mc.accept(7, 0, 10);
+        assert_eq!(mc.poll_complete(13), None);
+        assert_eq!(mc.poll_complete(14), Some(7));
+        assert!(mc.can_accept());
+        // Nothing more to complete.
+        assert_eq!(mc.poll_complete(20), None);
+    }
+
+    #[test]
+    fn row_hit_is_faster_than_miss() {
+        let cfg = DramConfig {
+            row_hit_cycles: 2,
+            row_miss_cycles: 8,
+            ..DramConfig::default()
+        };
+        let mut mc: MemoryController<u32> = MemoryController::new(cfg);
+        // First access to a row: miss.
+        mc.accept(1, 0x0, 0);
+        assert_eq!(mc.poll_complete(7), None);
+        assert_eq!(mc.poll_complete(8), Some(1));
+        // Same row again: hit, completes in 2 cycles.
+        mc.accept(2, 0x8, 8);
+        assert_eq!(mc.poll_complete(10), Some(2));
+        let s = mc.stats();
+        assert_eq!(s.row_hits, 1);
+        assert_eq!(s.row_misses, 1);
+        assert!((s.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn different_banks_have_independent_rows() {
+        let cfg = DramConfig {
+            row_hit_cycles: 1,
+            row_miss_cycles: 10,
+            banks: 2,
+            ..DramConfig::default()
+        };
+        let map = AddressMap::new(&cfg);
+        // Find two addresses in different banks.
+        let a = 0u64;
+        let b = (0..1 << 20)
+            .map(|i| i * 8)
+            .find(|&x| map.decode(x).0 != map.decode(a).0)
+            .expect("two banks must exist");
+        let mut mc: MemoryController<u32> = MemoryController::new(cfg);
+        mc.accept(1, a, 0);
+        let _ = mc.poll_complete(100).unwrap();
+        mc.accept(2, b, 100);
+        let _ = mc.poll_complete(200).unwrap();
+        // Returning to bank of `a`, same row: still open -> hit.
+        mc.accept(3, a, 200);
+        assert_eq!(mc.poll_complete(201), Some(3));
+    }
+
+    #[test]
+    fn closed_page_service_is_deterministic() {
+        let cfg = DramConfig {
+            row_hit_cycles: 2,
+            row_miss_cycles: 8,
+            page_policy: dram::PagePolicy::Closed,
+            ..DramConfig::default()
+        };
+        let mut mc: MemoryController<u32> = MemoryController::new(cfg);
+        // Same row twice: under closed page, both accesses pay the full
+        // activate cost.
+        assert_eq!(mc.accept(1, 0x0, 0), 8);
+        let _ = mc.poll_complete(100).unwrap();
+        assert_eq!(mc.accept(2, 0x8, 100), 8);
+        let _ = mc.poll_complete(200).unwrap();
+        assert_eq!(mc.stats().row_hits, 0);
+    }
+
+    #[test]
+    fn stats_track_throughput() {
+        let mut mc: MemoryController<u32> = MemoryController::new(uniform(4));
+        let mut now = 0;
+        for i in 0..10 {
+            mc.accept(i, (i as u64) * 4096, now);
+            now += 4;
+            assert_eq!(mc.poll_complete(now), Some(i));
+        }
+        let s = mc.stats();
+        assert_eq!(s.accepted, 10);
+        assert_eq!(s.completed, 10);
+        assert_eq!(s.busy_cycles, 40);
+    }
+}

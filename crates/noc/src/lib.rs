@@ -1,0 +1,26 @@
+//! Mesh network-on-chip substrate.
+//!
+//! The paper's platform connects its system elements "using BlueScale and a
+//! 9×9 mesh type open-source NoC" — the NoC carries inter-processor
+//! communication, and in *legacy* systems (no dedicated real-time memory
+//! interconnect, the "Legacy" series of Fig 5) it is the memory path too.
+//! This crate provides that substrate:
+//!
+//! * [`mesh::Mesh`] — a W×H grid of XY-routed, round-robin-arbitrated
+//!   routers moving one packet per link per cycle.
+//! * [`memory::NocMemoryInterconnect`] — memory-over-NoC: clients on mesh
+//!   nodes reach a memory controller attached to a corner node. Implements
+//!   [`bluescale_interconnect::Interconnect`], so the experiment harness
+//!   can compare the legacy memory path head-to-head with BlueScale and
+//!   the other real-time interconnects.
+//!
+//! The routers are deliberately *not* deadline-aware: that is the whole
+//! point of the legacy comparison.
+
+#![warn(missing_docs)]
+
+pub mod memory;
+pub mod mesh;
+
+pub use memory::NocMemoryInterconnect;
+pub use mesh::{Mesh, MeshConfig, NodeId};

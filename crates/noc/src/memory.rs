@@ -1,0 +1,263 @@
+//! Memory-over-NoC: the legacy memory path.
+//!
+//! Without a dedicated real-time memory interconnect, a many-core SoC
+//! routes memory traffic over its general mesh NoC to a memory controller
+//! on one node (here the north-west corner). Requests contend with XY
+//! routing and round-robin arbitration — no deadline awareness anywhere —
+//! which is precisely the baseline the paper's "Legacy" system embodies.
+
+use crate::mesh::{Mesh, MeshConfig, NodeId, Packet};
+use bluescale_interconnect::{Interconnect, MemoryRequest, MemoryResponse, ServiceEvent};
+use bluescale_mem::{DramConfig, MemoryController};
+use bluescale_sim::Cycle;
+use std::collections::VecDeque;
+
+/// The legacy memory-over-NoC interconnect.
+///
+/// # Example
+///
+/// ```
+/// use bluescale_noc::NocMemoryInterconnect;
+/// use bluescale_interconnect::Interconnect;
+///
+/// let noc = NocMemoryInterconnect::new(16, 1);
+/// assert_eq!(noc.num_clients(), 16);
+/// assert_eq!(noc.name(), "Legacy-NoC");
+/// ```
+#[derive(Debug)]
+pub struct NocMemoryInterconnect {
+    mesh: Mesh<MemoryRequest>,
+    client_nodes: Vec<NodeId>,
+    memory_node: NodeId,
+    /// Requests that crossed the mesh and wait for the controller.
+    at_memory: VecDeque<MemoryRequest>,
+    /// Responses waiting for space at the memory node's injection port.
+    outbound: VecDeque<MemoryRequest>,
+    controller: MemoryController<MemoryRequest>,
+    ready: VecDeque<MemoryResponse>,
+    service_events: VecDeque<ServiceEvent>,
+}
+
+impl NocMemoryInterconnect {
+    /// Creates a mesh just large enough for `num_clients` clients plus the
+    /// memory node, with `service_cycles` flat memory service.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_clients` is zero.
+    pub fn new(num_clients: usize, service_cycles: u64) -> Self {
+        Self::with_dram(num_clients, DramConfig::flat(service_cycles))
+    }
+
+    /// Creates a legacy NoC backed by a full DRAM timing model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_clients` is zero.
+    pub fn with_dram(num_clients: usize, dram: DramConfig) -> Self {
+        assert!(num_clients > 0, "at least one client required");
+        let config = MeshConfig::square_for(num_clients + 1);
+        let memory_node = NodeId::new(0, 0);
+        // Clients occupy the remaining nodes in row-major order.
+        let client_nodes: Vec<NodeId> = (0..config.width * config.height)
+            .map(|i| NodeId::new(i % config.width, i / config.width))
+            .filter(|&n| n != memory_node)
+            .take(num_clients)
+            .collect();
+        assert_eq!(client_nodes.len(), num_clients, "mesh too small");
+        Self {
+            mesh: Mesh::new(config),
+            client_nodes,
+            memory_node,
+            at_memory: VecDeque::new(),
+            outbound: VecDeque::new(),
+            controller: MemoryController::new(dram),
+            ready: VecDeque::new(),
+            service_events: VecDeque::new(),
+        }
+    }
+
+    /// The mesh node hosting `client`.
+    pub fn node_of(&self, client: usize) -> NodeId {
+        self.client_nodes[client]
+    }
+
+    /// Mesh side length (the paper's platform uses 9 for 64 clients + 2
+    /// HAs + memory).
+    pub fn mesh_side(&self) -> usize {
+        self.mesh.config().width
+    }
+}
+
+impl Interconnect for NocMemoryInterconnect {
+    fn name(&self) -> &'static str {
+        "Legacy-NoC"
+    }
+
+    fn num_clients(&self) -> usize {
+        self.client_nodes.len()
+    }
+
+    fn inject(&mut self, request: MemoryRequest, _now: Cycle) -> Result<(), MemoryRequest> {
+        let node = self.client_nodes[request.client as usize];
+        self.mesh
+            .inject(
+                node,
+                Packet {
+                    dest: self.memory_node,
+                    payload: request,
+                },
+            )
+            .map_err(|p| p.payload)
+    }
+
+    fn step(&mut self, now: Cycle) {
+        // Memory completions become outbound response packets.
+        if let Some(done) = self.controller.poll_complete(now) {
+            self.outbound.push_back(done);
+        }
+        // Feed the controller from arrived requests.
+        if self.controller.can_accept() {
+            if let Some(req) = self.at_memory.pop_front() {
+                let addr = req.addr;
+                let deadline = req.deadline;
+                let duration = self.controller.accept(req, addr, now);
+                self.service_events.push_back(ServiceEvent {
+                    at: now,
+                    deadline,
+                    duration,
+                });
+            }
+        }
+        // Re-inject responses as the memory node's local port frees up.
+        while let Some(resp) = self.outbound.pop_front() {
+            let dest = self.client_nodes[resp.client as usize];
+            match self.mesh.inject(
+                self.memory_node,
+                Packet {
+                    dest,
+                    payload: resp,
+                },
+            ) {
+                Ok(()) => {}
+                Err(p) => {
+                    self.outbound.push_front(p.payload);
+                    break;
+                }
+            }
+        }
+        self.mesh.step();
+        // Collect arrivals.
+        while let Some(p) = self.mesh.take_delivered(self.memory_node) {
+            self.at_memory.push_back(p.payload);
+        }
+        for &node in &self.client_nodes {
+            while let Some(p) = self.mesh.take_delivered(node) {
+                self.ready.push_back(MemoryResponse {
+                    request: p.payload,
+                    completed_at: now,
+                });
+            }
+        }
+    }
+
+    fn pop_response(&mut self) -> Option<MemoryResponse> {
+        self.ready.pop_front()
+    }
+
+    fn pop_service_event(&mut self) -> Option<ServiceEvent> {
+        self.service_events.pop_front()
+    }
+
+    fn pending(&self) -> usize {
+        self.mesh.occupancy()
+            + self.at_memory.len()
+            + self.outbound.len()
+            + usize::from(!self.controller.can_accept())
+            + self.ready.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bluescale_interconnect::AccessKind;
+
+    fn req(client: u16, id: u64, deadline: u64) -> MemoryRequest {
+        MemoryRequest {
+            id,
+            client,
+            task: 0,
+            addr: id * 64,
+            kind: AccessKind::Read,
+            issued_at: 0,
+            deadline,
+            blocked_cycles: 0,
+        }
+    }
+
+    #[test]
+    fn sizes_mesh_to_clients() {
+        assert_eq!(NocMemoryInterconnect::new(16, 1).mesh_side(), 5);
+        // 64 clients + memory → 9×9, silent nod to the paper's platform.
+        assert_eq!(NocMemoryInterconnect::new(64, 1).mesh_side(), 9);
+    }
+
+    #[test]
+    fn clients_do_not_share_the_memory_node() {
+        let noc = NocMemoryInterconnect::new(24, 1);
+        for c in 0..24 {
+            assert_ne!(noc.node_of(c), NodeId::new(0, 0));
+        }
+    }
+
+    #[test]
+    fn request_round_trips_over_the_mesh() {
+        let mut noc = NocMemoryInterconnect::new(16, 1);
+        noc.inject(req(10, 1, 10_000), 0).unwrap();
+        let mut done = None;
+        for now in 0..200 {
+            noc.step(now);
+            if let Some(r) = noc.pop_response() {
+                done = Some((now, r));
+                break;
+            }
+        }
+        let (when, resp) = done.expect("must complete");
+        assert_eq!(resp.request.id, 1);
+        // Distance to (0,0) and back plus service: several cycles at least.
+        assert!(when >= 4, "NoC transit cannot be instant (was {when})");
+        assert_eq!(noc.pending(), 0);
+    }
+
+    #[test]
+    fn all_clients_round_trip() {
+        let mut noc = NocMemoryInterconnect::new(64, 1);
+        for c in 0..64u16 {
+            noc.inject(req(c, c as u64, 100_000), 0).unwrap();
+        }
+        let mut done = 0;
+        for now in 0..10_000 {
+            noc.step(now);
+            while noc.pop_response().is_some() {
+                done += 1;
+            }
+        }
+        assert_eq!(done, 64);
+        assert_eq!(noc.pending(), 0);
+    }
+
+    #[test]
+    fn service_events_recorded() {
+        let mut noc = NocMemoryInterconnect::new(4, 2);
+        noc.inject(req(0, 7, 500), 0).unwrap();
+        let mut events = 0;
+        for now in 0..100 {
+            noc.step(now);
+            while noc.pop_service_event().is_some() {
+                events += 1;
+            }
+        }
+        assert_eq!(events, 1);
+    }
+}

@@ -1,0 +1,56 @@
+//! Property-based tests of the mesh: exactly-once delivery from random
+//! sources to random destinations.
+
+use bluescale_noc::mesh::Packet;
+use bluescale_noc::{Mesh, MeshConfig, NodeId};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn every_injected_packet_arrives_exactly_once(
+        side in 2usize..6,
+        routes in prop::collection::vec((0usize..36, 0usize..36), 1..40),
+    ) {
+        let mut mesh: Mesh<usize> = Mesh::new(MeshConfig {
+            width: side,
+            height: side,
+            buffer_capacity: 4,
+        });
+        let node = |i: usize| NodeId::new(i % side, (i / side) % side);
+        let mut accepted = Vec::new();
+        let mut delivered = Vec::new();
+        let drain = |mesh: &mut Mesh<usize>, delivered: &mut Vec<(usize, NodeId)>| {
+            for y in 0..side {
+                for x in 0..side {
+                    while let Some(p) = mesh.take_delivered(NodeId::new(x, y)) {
+                        delivered.push((p.payload, NodeId::new(x, y)));
+                    }
+                }
+            }
+        };
+        for (i, &(src, dst)) in routes.iter().enumerate() {
+            let ok = mesh
+                .inject(node(src), Packet { dest: node(dst), payload: i })
+                .is_ok();
+            if ok {
+                accepted.push((i, node(dst)));
+            }
+            mesh.step();
+            drain(&mut mesh, &mut delivered);
+        }
+        for _ in 0..10_000 {
+            mesh.step();
+            drain(&mut mesh, &mut delivered);
+            if mesh.occupancy() == 0 {
+                break;
+            }
+        }
+        prop_assert_eq!(mesh.occupancy(), 0, "packets stuck in the mesh");
+        delivered.sort_by_key(|(i, _)| *i);
+        let mut expected = accepted.clone();
+        expected.sort_by_key(|(i, _)| *i);
+        prop_assert_eq!(delivered, expected);
+    }
+}

@@ -1,0 +1,194 @@
+//! Demand bound functions under EDF.
+//!
+//! For implicit deadlines the paper uses `dbf(t, τᵢ) = ⌊t/Tᵢ⌋ · Cᵢ`. The
+//! general constrained-deadline form (Baruah et al.) is
+//! `dbf(t, τᵢ) = (⌊(t − Dᵢ)/Tᵢ⌋ + 1) · Cᵢ` for `t ≥ Dᵢ`, which reduces to
+//! the paper's expression when `Dᵢ = Tᵢ`. Constrained deadlines let the
+//! BlueScale composition reserve end-to-end slack per level.
+
+use crate::task::{Task, TaskSet};
+use crate::Time;
+
+/// Demand bound of a single task over an interval of length `t`.
+///
+/// # Example
+///
+/// ```
+/// use bluescale_rt::task::Task;
+/// use bluescale_rt::demand::dbf_task;
+///
+/// let tau = Task::new(0, 10, 3)?;
+/// assert_eq!(dbf_task(&tau, 9), 0);
+/// assert_eq!(dbf_task(&tau, 10), 3);
+/// assert_eq!(dbf_task(&tau, 25), 6);
+/// // A constrained deadline moves the demand steps earlier.
+/// let tight = Task::with_deadline(1, 10, 6, 3)?;
+/// assert_eq!(dbf_task(&tight, 5), 0);
+/// assert_eq!(dbf_task(&tight, 6), 3);
+/// assert_eq!(dbf_task(&tight, 16), 6);
+/// # Ok::<(), bluescale_rt::Error>(())
+/// ```
+pub fn dbf_task(task: &Task, t: Time) -> Time {
+    if t < task.deadline() {
+        0
+    } else {
+        ((t - task.deadline()) / task.period() + 1) * task.wcet()
+    }
+}
+
+/// Demand bound of a whole task set: `Σᵢ dbf(t, τᵢ)`.
+pub fn dbf_set(set: &TaskSet, t: Time) -> Time {
+    set.iter().map(|tau| dbf_task(tau, t)).sum()
+}
+
+/// Iterator over the *demand change points* of a task set up to (and
+/// excluding) `horizon`: the instants `Dᵢ + k·Tᵢ` at which `dbf_set` steps.
+///
+/// Between consecutive change points `dbf_set` is constant while the supply
+/// bound function is non-decreasing, so checking `dbf ≤ sbf` at change
+/// points only is exact (standard argument; see Shin & Lee 2003).
+///
+/// Points are returned sorted and deduplicated.
+///
+/// # Example
+///
+/// ```
+/// use bluescale_rt::task::{Task, TaskSet};
+/// use bluescale_rt::demand::change_points;
+///
+/// let set = TaskSet::new(vec![Task::new(0, 4, 1)?, Task::new(1, 6, 1)?])?;
+/// assert_eq!(change_points(&set, 13), vec![4, 6, 8, 12]);
+/// # Ok::<(), bluescale_rt::Error>(())
+/// ```
+pub fn change_points(set: &TaskSet, horizon: Time) -> Vec<Time> {
+    let mut points: Vec<Time> = Vec::new();
+    for tau in set {
+        let mut t = tau.deadline();
+        while t < horizon {
+            points.push(t);
+            t += tau.period();
+        }
+    }
+    points.sort_unstable();
+    points.dedup();
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(specs: &[(u64, u64)]) -> TaskSet {
+        TaskSet::new(
+            specs
+                .iter()
+                .enumerate()
+                .map(|(i, &(t, c))| Task::new(i as u32, t, c).unwrap())
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dbf_task_is_step_function() {
+        let tau = Task::new(0, 5, 2).unwrap();
+        assert_eq!(dbf_task(&tau, 0), 0);
+        assert_eq!(dbf_task(&tau, 4), 0);
+        assert_eq!(dbf_task(&tau, 5), 2);
+        assert_eq!(dbf_task(&tau, 9), 2);
+        assert_eq!(dbf_task(&tau, 10), 4);
+    }
+
+    #[test]
+    fn dbf_set_sums_tasks() {
+        let s = set(&[(4, 1), (6, 2)]);
+        assert_eq!(dbf_set(&s, 12), 3 + 2 * 2);
+    }
+
+    #[test]
+    fn dbf_set_zero_before_first_deadline() {
+        let s = set(&[(10, 3), (15, 4)]);
+        assert_eq!(dbf_set(&s, 9), 0);
+        assert_eq!(dbf_set(&s, 10), 3);
+    }
+
+    #[test]
+    fn dbf_monotone_nondecreasing() {
+        let s = set(&[(3, 1), (7, 2), (11, 3)]);
+        let mut prev = 0;
+        for t in 0..200 {
+            let d = dbf_set(&s, t);
+            assert!(d >= prev);
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn dbf_linear_bound() {
+        // dbf(t) <= U * t for all t.
+        let s = set(&[(5, 2), (8, 3)]);
+        let u = s.utilization();
+        for t in 0..500 {
+            assert!(dbf_set(&s, t) as f64 <= u * t as f64 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn change_points_are_period_multiples() {
+        let s = set(&[(4, 1), (6, 1)]);
+        assert_eq!(change_points(&s, 13), vec![4, 6, 8, 12]);
+        // horizon is exclusive
+        assert_eq!(change_points(&s, 12), vec![4, 6, 8]);
+    }
+
+    #[test]
+    fn change_points_dedup_shared_multiples() {
+        let s = set(&[(4, 1), (8, 1)]);
+        assert_eq!(change_points(&s, 17), vec![4, 8, 12, 16]);
+    }
+
+    #[test]
+    fn change_points_empty_set() {
+        assert!(change_points(&TaskSet::empty(), 100).is_empty());
+    }
+
+    #[test]
+    fn constrained_deadline_steps_at_d_plus_kt() {
+        let s = TaskSet::new(vec![Task::with_deadline(0, 10, 4, 2).unwrap()]).unwrap();
+        assert_eq!(change_points(&s, 30), vec![4, 14, 24]);
+        assert_eq!(dbf_set(&s, 3), 0);
+        assert_eq!(dbf_set(&s, 4), 2);
+        assert_eq!(dbf_set(&s, 13), 2);
+        assert_eq!(dbf_set(&s, 14), 4);
+    }
+
+    #[test]
+    fn constrained_dbf_linear_bound_with_excess() {
+        // dbf(t) <= U t + K where K = Σ C (1 - D/T).
+        let s = TaskSet::new(vec![
+            Task::with_deadline(0, 10, 5, 2).unwrap(),
+            Task::with_deadline(1, 7, 4, 1).unwrap(),
+        ])
+        .unwrap();
+        let u = s.utilization();
+        let k = s.density_excess();
+        for t in 0..500 {
+            assert!(
+                dbf_set(&s, t) as f64 <= u * t as f64 + k + 1e-9,
+                "violated at t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn dbf_constant_between_change_points() {
+        let s = set(&[(5, 2), (7, 3)]);
+        let pts = change_points(&s, 100);
+        for w in pts.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            for t in a..b {
+                assert_eq!(dbf_set(&s, t), dbf_set(&s, a));
+            }
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! An Earliest-Deadline-First priority queue.
+//!
+//! This is the *low-level* nested priority queue of a Scale Element: the
+//! random-access buffer holds pending memory requests and always surfaces
+//! the one with the earliest absolute deadline (ties broken FIFO, matching
+//! the register-chain order of the hardware in the paper's Section 4.1).
+
+use crate::Time;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+#[derive(Debug)]
+struct Entry<T> {
+    deadline: Time,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest deadline (then
+        // the earliest arrival) is on top.
+        other
+            .deadline
+            .cmp(&self.deadline)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// An EDF-ordered queue of items tagged with absolute deadlines.
+///
+/// # Example
+///
+/// ```
+/// use bluescale_rt::edf::EdfQueue;
+///
+/// let mut q = EdfQueue::new();
+/// q.push("late", 100);
+/// q.push("early", 10);
+/// q.push("middle", 50);
+/// assert_eq!(q.pop(), Some(("early", 10)));
+/// assert_eq!(q.pop(), Some(("middle", 50)));
+/// assert_eq!(q.pop(), Some(("late", 100)));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EdfQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+}
+
+impl<T> EdfQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Enqueues `item` with absolute `deadline`.
+    pub fn push(&mut self, item: T, deadline: Time) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            deadline,
+            seq,
+            item,
+        });
+    }
+
+    /// Removes and returns the earliest-deadline item with its deadline.
+    pub fn pop(&mut self) -> Option<(T, Time)> {
+        self.heap.pop().map(|e| (e.item, e.deadline))
+    }
+
+    /// The earliest deadline currently enqueued, without removing it.
+    pub fn peek_deadline(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.deadline)
+    }
+
+    /// Borrow of the earliest-deadline item.
+    pub fn peek(&self) -> Option<&T> {
+        self.heap.peek().map(|e| &e.item)
+    }
+
+    /// Number of enqueued items.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Removes all items.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<T> Default for EdfQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_deadline_order() {
+        let mut q = EdfQueue::new();
+        for (i, d) in [30u64, 10, 20, 40, 5].into_iter().enumerate() {
+            q.push(i, d);
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, d)| d)).collect();
+        assert_eq!(order, vec![5, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn fifo_tie_break() {
+        let mut q = EdfQueue::new();
+        q.push("first", 10);
+        q.push("second", 10);
+        q.push("third", 10);
+        assert_eq!(q.pop().unwrap().0, "first");
+        assert_eq!(q.pop().unwrap().0, "second");
+        assert_eq!(q.pop().unwrap().0, "third");
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EdfQueue::new();
+        q.push(1, 7);
+        assert_eq!(q.peek_deadline(), Some(7));
+        assert_eq!(q.peek(), Some(&1));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn empty_behaviour() {
+        let mut q: EdfQueue<u8> = EdfQueue::default();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.peek_deadline(), None);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut q = EdfQueue::new();
+        q.push(1, 1);
+        q.push(2, 2);
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_preserves_order() {
+        let mut q = EdfQueue::new();
+        q.push('a', 50);
+        q.push('b', 20);
+        assert_eq!(q.pop().unwrap().0, 'b');
+        q.push('c', 10);
+        q.push('d', 60);
+        assert_eq!(q.pop().unwrap().0, 'c');
+        assert_eq!(q.pop().unwrap().0, 'a');
+        assert_eq!(q.pop().unwrap().0, 'd');
+    }
+}

@@ -1,0 +1,314 @@
+//! The explicit-deadline periodic (EDP) resource model — an extension
+//! beyond the paper.
+//!
+//! Shin & Lee's periodic model `(Π, Θ)` (which the paper uses) allows the
+//! budget to land anywhere in the period, giving a worst-case blackout of
+//! `2(Π − Θ)`. Easwaran, Shin & Lee's **EDP** model `(Π, Θ, Δ)` commits to
+//! delivering the budget within a deadline `Δ ≤ Π` after each period
+//! start, shrinking the blackout to `Π + Δ − 2Θ`. The result is less
+//! bandwidth inflation for the same guarantees — the "compositional
+//! abstraction overhead" the admission experiment measures.
+//!
+//! In BlueScale hardware terms an EDP server is the same P/B counter pair
+//! plus a deadline register: the GEDF comparator uses `period start + Δ`
+//! instead of the next replenishment instant. This module provides the
+//! *analysis* side so the overhead reduction can be quantified; the
+//! default runtime keeps the paper's periodic servers.
+//!
+//! Note the hierarchical trade-off: a tighter supply deadline `Δ` makes
+//! the *exported* server task a constrained-deadline task (`C = Θ`,
+//! `D = Δ`, `T = Π`), which is harder for the level above to serve. The
+//! leaf-level bandwidth savings reported by the admission experiment are
+//! therefore an upper bound on the end-to-end benefit.
+
+use crate::demand::{change_points, dbf_set};
+use crate::schedulability::MAX_TEST_POINTS;
+use crate::task::TaskSet;
+use crate::{Error, Time};
+
+/// An EDP resource `(Π, Θ, Δ)`: `Θ` units are guaranteed within `Δ` of
+/// each period start, `Θ ≤ Δ ≤ Π`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EdpResource {
+    period: Time,
+    budget: Time,
+    deadline: Time,
+}
+
+impl EdpResource {
+    /// Creates an EDP resource; `None` unless `0 < Θ ≤ Δ ≤ Π`.
+    pub fn new(period: Time, budget: Time, deadline: Time) -> Option<Self> {
+        if period == 0 || budget == 0 || budget > deadline || deadline > period {
+            None
+        } else {
+            Some(Self {
+                period,
+                budget,
+                deadline,
+            })
+        }
+    }
+
+    /// The replenishment period `Π`.
+    pub fn period(&self) -> Time {
+        self.period
+    }
+
+    /// The budget `Θ`.
+    pub fn budget(&self) -> Time {
+        self.budget
+    }
+
+    /// The supply deadline `Δ`.
+    pub fn deadline(&self) -> Time {
+        self.deadline
+    }
+
+    /// Bandwidth `Θ/Π`.
+    pub fn bandwidth(&self) -> f64 {
+        self.budget as f64 / self.period as f64
+    }
+
+    /// Supply bound function of the EDP model (Easwaran et al. 2007):
+    /// worst-case blackout `Π + Δ − 2Θ`, then `Θ` per period with a
+    /// unit-rate ramp inside each delivery window.
+    pub fn sbf(&self, t: Time) -> Time {
+        let blackout = self.period + self.deadline - 2 * self.budget;
+        if t < blackout {
+            return 0;
+        }
+        let t_prime = t - blackout;
+        let full = t_prime / self.period;
+        let into = t_prime % self.period;
+        full * self.budget + into.min(self.budget)
+    }
+
+    /// Exact bandwidth comparison via cross-multiplication.
+    pub fn bandwidth_lt(&self, other: &EdpResource) -> bool {
+        (self.budget as u128) * (other.period as u128)
+            < (other.budget as u128) * (self.period as u128)
+    }
+}
+
+/// EDF schedulability of `set` on an EDP resource: `dbf(t) ≤ sbf(t)` at
+/// all demand change points below the utilization-slack horizon (same
+/// argument as Theorem 1, with the EDP blackout).
+pub fn is_schedulable_edp(set: &TaskSet, resource: &EdpResource) -> bool {
+    if set.is_empty() {
+        return true;
+    }
+    let bw = resource.bandwidth();
+    let u = set.utilization();
+    let k = set.density_excess();
+    if bw <= u {
+        return bw >= 1.0 - 1e-12 && k == 0.0;
+    }
+    let blackout = (resource.period + resource.deadline - 2 * resource.budget) as f64;
+    let beta = (k + bw * blackout) / (bw - u) + blackout;
+    let horizon = beta.ceil() as Time;
+    let estimated: u64 = set.iter().map(|tau| horizon / tau.period()).sum();
+    if estimated > MAX_TEST_POINTS {
+        return false;
+    }
+    change_points(set, horizon)
+        .into_iter()
+        .all(|t| dbf_set(set, t) <= resource.sbf(t))
+}
+
+/// Minimum-bandwidth EDP interface for `set`: for each candidate `Π`
+/// (bounded by the set's smallest deadline), the minimal `Θ` with the most
+/// aggressive supply deadline `Δ = Θ` is searched — the EDP configuration
+/// with the smallest possible blackout for a given bandwidth.
+///
+/// # Errors
+///
+/// Returns [`Error::NoFeasibleInterface`] for an empty set or when no
+/// candidate admits the set.
+pub fn select_interface_edp(set: &TaskSet) -> Result<EdpResource, Error> {
+    select_interface_edp_with_laxity(set, 0.0)
+}
+
+/// Like [`select_interface_edp`], but with a configurable supply-deadline
+/// *laxity* `λ ∈ [0, 1]`: the interface's deadline is
+/// `Δ = Θ + ⌊λ·(Π − Θ)⌋`. `λ = 0` is the tightest supply contract
+/// (smallest blackout, hardest for the level above); `λ = 1` degenerates
+/// to the paper's periodic model. Sweeping λ locates the hierarchical
+/// optimum between the two.
+///
+/// # Errors
+///
+/// Returns [`Error::NoFeasibleInterface`] for an empty set or when no
+/// candidate admits the set.
+///
+/// # Panics
+///
+/// Panics if `laxity` is outside `[0, 1]`.
+pub fn select_interface_edp_with_laxity(
+    set: &TaskSet,
+    laxity: f64,
+) -> Result<EdpResource, Error> {
+    assert!((0.0..=1.0).contains(&laxity), "laxity must be in [0, 1]");
+    if set.is_empty() {
+        return Err(Error::NoFeasibleInterface);
+    }
+    let max_period = set
+        .min_deadline()
+        .expect("non-empty set")
+        .clamp(1, crate::interface::MAX_PERIOD_CANDIDATES);
+    let mut best: Option<EdpResource> = None;
+    for period in 1..=max_period {
+        // Θ monotone: both the budget and (for fixed λ) the shrinking
+        // blackout increase the supply, so binary search applies.
+        let delta_for = |theta: Time| {
+            theta + ((laxity * (period - theta) as f64).floor() as Time)
+        };
+        let feasible = |theta: Time| {
+            EdpResource::new(period, theta, delta_for(theta))
+                .is_some_and(|r| is_schedulable_edp(set, &r))
+        };
+        if !feasible(period) {
+            continue;
+        }
+        let mut lo = ((set.utilization() * period as f64).ceil() as Time).max(1);
+        let mut hi = period;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if feasible(mid) {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        let candidate =
+            EdpResource::new(period, lo, delta_for(lo)).expect("validated");
+        best = match best {
+            None => Some(candidate),
+            Some(b) if candidate.bandwidth_lt(&b) => Some(candidate),
+            Some(b) => Some(b),
+        };
+    }
+    best.ok_or(Error::NoFeasibleInterface)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interface::{select_interface, SelectionContext};
+    use crate::supply::PeriodicResource;
+    use crate::task::Task;
+
+    fn set(specs: &[(u64, u64)]) -> TaskSet {
+        TaskSet::new(
+            specs
+                .iter()
+                .enumerate()
+                .map(|(i, &(t, c))| Task::new(i as u32, t, c).unwrap())
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn new_validates_ordering() {
+        assert!(EdpResource::new(10, 3, 5).is_some());
+        assert!(EdpResource::new(10, 3, 3).is_some());
+        assert!(EdpResource::new(10, 3, 2).is_none()); // Δ < Θ
+        assert!(EdpResource::new(10, 3, 11).is_none()); // Δ > Π
+        assert!(EdpResource::new(10, 0, 5).is_none());
+    }
+
+    #[test]
+    fn edp_with_deadline_equal_period_matches_periodic_blackout() {
+        // Δ = Π degenerates to the periodic model's blackout 2(Π−Θ).
+        let edp = EdpResource::new(10, 4, 10).unwrap();
+        let periodic = PeriodicResource::new(10, 4).unwrap();
+        for t in 0..13 {
+            // Both are 0 throughout the shared blackout.
+            assert_eq!(edp.sbf(t) == 0, periodic.sbf(t) == 0, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn edp_sbf_monotone_and_rate_bounded() {
+        let r = EdpResource::new(9, 4, 6).unwrap();
+        for t in 0..300 {
+            assert!(r.sbf(t + 1) >= r.sbf(t));
+            assert!(r.sbf(t + 1) - r.sbf(t) <= 1);
+        }
+    }
+
+    #[test]
+    fn edp_dominates_periodic_supply() {
+        // Same (Π, Θ): committing to an earlier supply deadline can only
+        // increase the guaranteed supply.
+        for (p, b) in [(10u64, 4u64), (7, 3), (12, 5)] {
+            let periodic = PeriodicResource::new(p, b).unwrap();
+            let edp = EdpResource::new(p, b, b).unwrap();
+            for t in 0..300 {
+                assert!(
+                    edp.sbf(t) >= periodic.sbf(t),
+                    "EDP supply below periodic at Π={p}, Θ={b}, t={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn edp_interface_never_costs_more_bandwidth() {
+        let sets = [
+            set(&[(20, 2), (50, 5)]),
+            set(&[(12, 3)]),
+            set(&[(40, 4), (60, 6), (100, 5)]),
+        ];
+        for s in &sets {
+            let periodic =
+                select_interface(s, &SelectionContext::isolated(s)).expect("feasible");
+            let edp = select_interface_edp(s).expect("feasible");
+            assert!(
+                edp.bandwidth() <= periodic.bandwidth() + 1e-12,
+                "EDP {} vs periodic {} for {s:?}",
+                edp.bandwidth(),
+                periodic.bandwidth()
+            );
+            assert!(is_schedulable_edp(s, &edp));
+        }
+    }
+
+    #[test]
+    fn edp_admits_what_its_sbf_covers() {
+        let s = set(&[(10, 2)]);
+        // Periodic (8, 2) has blackout 12 > deadline 10: unschedulable.
+        let periodic = PeriodicResource::new(8, 2).unwrap();
+        assert!(!crate::schedulability::is_schedulable(&s, &periodic));
+        // EDP (8, 2, 2) has blackout 8 − 2 = 6 < 10 and supplies 2 by 8:
+        let edp = EdpResource::new(8, 2, 2).unwrap();
+        assert_eq!(edp.sbf(10), 2);
+        assert!(is_schedulable_edp(&s, &edp));
+    }
+
+    #[test]
+    fn laxity_one_matches_periodic_behaviour() {
+        // λ = 1 → Δ = Π: the EDP sbf equals the periodic sbf, so the
+        // selected bandwidth matches the periodic selection (same Π cap).
+        let s = set(&[(30, 3), (50, 5)]);
+        let relaxed = select_interface_edp_with_laxity(&s, 1.0).expect("feasible");
+        assert_eq!(relaxed.deadline(), relaxed.period());
+        let tight = select_interface_edp_with_laxity(&s, 0.0).expect("feasible");
+        assert!(tight.bandwidth() <= relaxed.bandwidth() + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "laxity must be in")]
+    fn bad_laxity_panics() {
+        let s = set(&[(10, 1)]);
+        let _ = select_interface_edp_with_laxity(&s, 1.5);
+    }
+
+    #[test]
+    fn empty_set_has_no_interface() {
+        assert_eq!(
+            select_interface_edp(&TaskSet::empty()).unwrap_err(),
+            Error::NoFeasibleInterface
+        );
+    }
+}

@@ -1,0 +1,320 @@
+//! Fixed-priority schedulability on a periodic resource.
+//!
+//! The paper's clients schedule their requests with (G)EDF, but many
+//! real-time stacks run fixed-priority (rate-/deadline-monotonic)
+//! schedulers. This module provides the FP counterpart of the EDF
+//! analysis in [`crate::schedulability`], following Shin & Lee's
+//! compositional framework: task `τᵢ` is schedulable on a VE iff some
+//! `t ≤ Dᵢ` satisfies `rbfᵢ(t) ≤ sbf(t)`, where the *request bound
+//! function*
+//!
+//! ```text
+//! rbfᵢ(t) = Cᵢ + Σ_{j ∈ hp(i)} ⌈t/Tⱼ⌉ · Cⱼ
+//! ```
+//!
+//! counts the task's own work plus all higher-priority interference
+//! released in `[0, t)`. Priorities are deadline-monotonic (optimal among
+//! fixed-priority assignments for constrained deadlines).
+
+use crate::interface::MAX_PERIOD_CANDIDATES;
+use crate::supply::PeriodicResource;
+use crate::task::{Task, TaskSet};
+use crate::{Error, Time};
+
+/// The Liu & Layland utilization bound for `n` tasks under rate-monotonic
+/// priorities on a dedicated processor: `n(2^{1/n} − 1)`. Any implicit-
+/// deadline set with `U ≤ bound` is RM-schedulable (sufficient only).
+///
+/// # Example
+///
+/// ```
+/// use bluescale_rt::fixed_priority::liu_layland_bound;
+///
+/// assert_eq!(liu_layland_bound(1), 1.0);
+/// assert!((liu_layland_bound(2) - 0.8284).abs() < 1e-3);
+/// // The bound decreases toward ln 2 ≈ 0.693.
+/// assert!(liu_layland_bound(100) > 0.69);
+/// ```
+pub fn liu_layland_bound(n: usize) -> f64 {
+    if n == 0 {
+        return 1.0;
+    }
+    let n = n as f64;
+    n * (2f64.powf(1.0 / n) - 1.0)
+}
+
+/// Tasks of `set` ordered by deadline-monotonic priority (shorter relative
+/// deadline = higher priority; ties broken by id for determinism).
+pub fn deadline_monotonic_order(set: &TaskSet) -> Vec<Task> {
+    let mut tasks: Vec<Task> = set.iter().copied().collect();
+    tasks.sort_by_key(|t| (t.deadline(), t.id()));
+    tasks
+}
+
+/// Request bound function of the task at `index` in a priority-ordered
+/// slice: its own WCET plus all higher-priority releases in `[0, t)`.
+///
+/// # Panics
+///
+/// Panics if `index` is out of bounds.
+pub fn rbf(ordered: &[Task], index: usize, t: Time) -> Time {
+    let own = ordered[index].wcet();
+    let interference: Time = ordered[..index]
+        .iter()
+        .map(|hp| t.div_ceil(hp.period()) * hp.wcet())
+        .sum();
+    own + interference
+}
+
+/// Worst-case response time of the task at `index` under deadline-monotonic
+/// fixed priorities on `resource`: the smallest `t` with
+/// `rbfᵢ(t) ≤ sbf(t)`, or `None` if no such `t ≤ Dᵢ` exists (deadline
+/// miss).
+pub fn response_time(
+    ordered: &[Task],
+    index: usize,
+    resource: &PeriodicResource,
+) -> Option<Time> {
+    let deadline = ordered[index].deadline();
+    // Discrete time: the response time is the first instant at which the
+    // guaranteed supply covers the accumulated demand. rbf changes only at
+    // higher-priority release instants, but the supply grows between them,
+    // so scan every integer t (deadlines are small in this model).
+    (1..=deadline).find(|&t| rbf(ordered, index, t) <= resource.sbf(t))
+}
+
+/// Whether `set` is schedulable under deadline-monotonic fixed priorities
+/// on `resource`.
+///
+/// # Example
+///
+/// ```
+/// use bluescale_rt::task::{Task, TaskSet};
+/// use bluescale_rt::supply::PeriodicResource;
+/// use bluescale_rt::fixed_priority::is_schedulable_fp;
+///
+/// let set = TaskSet::new(vec![Task::new(0, 20, 2)?, Task::new(1, 50, 5)?])?;
+/// assert!(is_schedulable_fp(&set, &PeriodicResource::new(4, 2).expect("valid")));
+/// assert!(!is_schedulable_fp(&set, &PeriodicResource::new(40, 10).expect("valid")));
+/// # Ok::<(), bluescale_rt::Error>(())
+/// ```
+pub fn is_schedulable_fp(set: &TaskSet, resource: &PeriodicResource) -> bool {
+    let ordered = deadline_monotonic_order(set);
+    (0..ordered.len()).all(|i| response_time(&ordered, i, resource).is_some())
+}
+
+/// Minimum budget `Θ` making `set` FP-schedulable on `period`; `None` if
+/// even the dedicated budget fails.
+pub fn min_budget_for_period_fp(set: &TaskSet, period: Time) -> Option<Time> {
+    let full = PeriodicResource::new(period, period).expect("Θ=Π is valid");
+    if !is_schedulable_fp(set, &full) {
+        return None;
+    }
+    let mut lo = ((set.utilization() * period as f64).ceil() as Time).max(1);
+    let mut hi = period;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        let r = PeriodicResource::new(period, mid).expect("1 ≤ mid ≤ Π");
+        if is_schedulable_fp(set, &r) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Some(lo)
+}
+
+/// Minimum-bandwidth interface for a VE whose tasks run under
+/// deadline-monotonic fixed priorities — the FP counterpart of
+/// [`crate::interface::select_interface`].
+///
+/// # Errors
+///
+/// Returns [`Error::NoFeasibleInterface`] for an empty set or when no
+/// candidate period admits the set.
+pub fn select_interface_fp(set: &TaskSet) -> Result<PeriodicResource, Error> {
+    if set.is_empty() {
+        return Err(Error::NoFeasibleInterface);
+    }
+    let max_period = set
+        .min_deadline()
+        .expect("non-empty set")
+        .clamp(1, MAX_PERIOD_CANDIDATES);
+    let mut best: Option<PeriodicResource> = None;
+    for period in 1..=max_period {
+        let Some(budget) = min_budget_for_period_fp(set, period) else {
+            continue;
+        };
+        let candidate = PeriodicResource::new(period, budget).expect("budget ≤ period");
+        best = match best {
+            None => Some(candidate),
+            Some(b) if candidate.bandwidth_lt(&b) => Some(candidate),
+            Some(b) => Some(b),
+        };
+    }
+    best.ok_or(Error::NoFeasibleInterface)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedulability::is_schedulable;
+
+    fn set(specs: &[(u64, u64)]) -> TaskSet {
+        TaskSet::new(
+            specs
+                .iter()
+                .enumerate()
+                .map(|(i, &(t, c))| Task::new(i as u32, t, c).unwrap())
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dm_order_sorts_by_deadline() {
+        let s = TaskSet::new(vec![
+            Task::new(0, 50, 1).unwrap(),
+            Task::with_deadline(1, 100, 20, 2).unwrap(),
+            Task::new(2, 30, 1).unwrap(),
+        ])
+        .unwrap();
+        let ordered = deadline_monotonic_order(&s);
+        let ids: Vec<u32> = ordered.iter().map(Task::id).collect();
+        assert_eq!(ids, vec![1, 2, 0]); // deadlines 20, 30, 50
+    }
+
+    #[test]
+    fn rbf_counts_own_plus_interference() {
+        let s = set(&[(10, 2), (50, 5)]);
+        let ordered = deadline_monotonic_order(&s);
+        // Highest priority (T=10, C=2): rbf = 2 regardless of t.
+        assert_eq!(rbf(&ordered, 0, 1), 2);
+        assert_eq!(rbf(&ordered, 0, 100), 2);
+        // Lower priority (T=50, C=5): own 5 + ⌈t/10⌉·2.
+        assert_eq!(rbf(&ordered, 1, 1), 5 + 2);
+        assert_eq!(rbf(&ordered, 1, 10), 5 + 2);
+        assert_eq!(rbf(&ordered, 1, 11), 5 + 4);
+        assert_eq!(rbf(&ordered, 1, 50), 5 + 10);
+    }
+
+    #[test]
+    fn response_time_on_dedicated_resource() {
+        // Classic single-processor response times.
+        let s = set(&[(10, 2), (50, 5)]);
+        let ordered = deadline_monotonic_order(&s);
+        let r = PeriodicResource::dedicated(1);
+        assert_eq!(response_time(&ordered, 0, &r), Some(2));
+        // Low task: 5 own + 2 interference = 7 by t = 7 (one hp release).
+        assert_eq!(response_time(&ordered, 1, &r), Some(7));
+    }
+
+    #[test]
+    fn response_time_accounts_for_blackout() {
+        let s = set(&[(20, 2)]);
+        let ordered = deadline_monotonic_order(&s);
+        // Π=8, Θ=4: worst blackout 2(Π−Θ) = 8; sbf first reaches 2 at…
+        let r = PeriodicResource::new(8, 4).unwrap();
+        let rt = response_time(&ordered, 0, &r).expect("schedulable");
+        assert!(rt > 2, "resource blackout must delay completion");
+        assert!(rt <= 20);
+        assert_eq!(r.sbf(rt), 2);
+    }
+
+    #[test]
+    fn fp_never_beats_edf_admission() {
+        // EDF is optimal: anything FP admits, EDF admits too.
+        let sets = [
+            set(&[(10, 2), (25, 4)]),
+            set(&[(8, 1), (12, 3), (30, 5)]),
+            set(&[(5, 2)]),
+        ];
+        let resources = [
+            PeriodicResource::new(2, 1).unwrap(),
+            PeriodicResource::new(5, 3).unwrap(),
+            PeriodicResource::new(10, 7).unwrap(),
+        ];
+        for s in &sets {
+            for r in &resources {
+                if is_schedulable_fp(s, r) {
+                    assert!(
+                        is_schedulable(s, r),
+                        "FP admitted {s:?} on {r:?} but EDF rejected"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fp_rejects_what_edf_accepts_sometimes() {
+        // A classic EDF-yes/FP-no instance (non-harmonic, U ≈ 0.97):
+        // under EDF on a dedicated CPU it is schedulable; under DM the
+        // low-priority task misses (rbf(7) = 4 + 2·2 = 8 > 7).
+        let s = set(&[(5, 2), (7, 4)]);
+        let r = PeriodicResource::dedicated(1);
+        assert!(is_schedulable(&s, &r));
+        assert!(!is_schedulable_fp(&s, &r));
+    }
+
+    #[test]
+    fn min_budget_fp_is_minimal() {
+        let s = set(&[(20, 2), (60, 6)]);
+        let b = min_budget_for_period_fp(&s, 6).expect("feasible");
+        let chosen = PeriodicResource::new(6, b).unwrap();
+        assert!(is_schedulable_fp(&s, &chosen));
+        if b > 1 {
+            let smaller = PeriodicResource::new(6, b - 1).unwrap();
+            assert!(!is_schedulable_fp(&s, &smaller));
+        }
+    }
+
+    #[test]
+    fn select_interface_fp_covers_utilization() {
+        let s = set(&[(40, 4), (100, 10)]);
+        let iface = select_interface_fp(&s).expect("feasible");
+        assert!(iface.bandwidth() >= s.utilization() - 1e-12);
+        assert!(is_schedulable_fp(&s, &iface));
+        // And costs at least as much bandwidth as the EDF interface.
+        let edf = crate::interface::select_interface(
+            &s,
+            &crate::interface::SelectionContext::isolated(&s),
+        )
+        .expect("feasible");
+        assert!(
+            edf.bandwidth() <= iface.bandwidth() + 1e-12,
+            "EDF {} vs FP {}",
+            edf.bandwidth(),
+            iface.bandwidth()
+        );
+    }
+
+    #[test]
+    fn liu_layland_implies_rta_admission() {
+        // Any implicit-deadline set under the LL bound must pass the
+        // response-time analysis on a dedicated resource.
+        let s = set(&[(10, 2), (20, 4), (40, 4)]); // U = 0.5 ≤ LL(3)
+        assert!(s.utilization() <= liu_layland_bound(3));
+        assert!(is_schedulable_fp(&s, &PeriodicResource::dedicated(1)));
+    }
+
+    #[test]
+    fn liu_layland_limits() {
+        assert!((liu_layland_bound(1) - 1.0).abs() < 1e-12);
+        let mut prev = 1.0;
+        for n in 2..50 {
+            let b = liu_layland_bound(n);
+            assert!(b < prev, "bound must decrease");
+            assert!(b > std::f64::consts::LN_2, "bound stays above ln 2");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn empty_set_has_no_interface() {
+        assert_eq!(
+            select_interface_fp(&TaskSet::empty()).unwrap_err(),
+            Error::NoFeasibleInterface
+        );
+    }
+}

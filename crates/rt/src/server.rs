@@ -1,0 +1,205 @@
+//! Server tasks as period/budget countdown counters.
+//!
+//! The hardware local scheduler of a Scale Element (paper, Section 4.2)
+//! realizes each server task `τ_X = (Π_X, Θ_X)` with two countdown
+//! counters: the **P-counter** reloads every `Π_X` cycles and, on reload,
+//! also resets the **B-counter** to `Θ_X`. The B-counter decrements by one
+//! each cycle the server's client is granted the provider port. A server is
+//! *eligible* while its B-counter is positive, and its GEDF deadline is its
+//! next replenishment instant.
+
+use crate::supply::PeriodicResource;
+use crate::Time;
+
+/// Software model of a hardware server task (P-counter + B-counter pair).
+///
+/// # Example
+///
+/// ```
+/// use bluescale_rt::supply::PeriodicResource;
+/// use bluescale_rt::server::ServerTask;
+///
+/// let iface = PeriodicResource::new(4, 2).expect("valid");
+/// let mut srv = ServerTask::new(iface);
+/// assert!(srv.has_budget());
+/// srv.consume();
+/// srv.consume();
+/// assert!(!srv.has_budget()); // budget exhausted for this period
+/// for _ in 0..4 { srv.tick(); }
+/// assert!(srv.has_budget()); // replenished at the period boundary
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerTask {
+    interface: PeriodicResource,
+    /// Cycles until the next replenishment (the P-counter's current value).
+    p_counter: Time,
+    /// Remaining budget in the current period (the B-counter's value).
+    b_counter: Time,
+}
+
+impl ServerTask {
+    /// Creates a server that starts fully replenished, as the hardware does
+    /// on reset.
+    pub fn new(interface: PeriodicResource) -> Self {
+        Self {
+            interface,
+            p_counter: interface.period(),
+            b_counter: interface.budget(),
+        }
+    }
+
+    /// The configured interface `(Π, Θ)`.
+    pub fn interface(&self) -> PeriodicResource {
+        self.interface
+    }
+
+    /// Reprograms the counters with a new interface (the interface
+    /// selector's program port). Takes effect immediately, starting a fresh
+    /// period — mirroring a reset through the counter's `P`/`R` ports.
+    pub fn reprogram(&mut self, interface: PeriodicResource) {
+        self.interface = interface;
+        self.p_counter = interface.period();
+        self.b_counter = interface.budget();
+    }
+
+    /// Remaining budget in the current period.
+    pub fn budget_remaining(&self) -> Time {
+        self.b_counter
+    }
+
+    /// Cycles until the next replenishment.
+    pub fn until_replenish(&self) -> Time {
+        self.p_counter
+    }
+
+    /// Whether this server may forward a request this cycle (`Θ > 0` left).
+    pub fn has_budget(&self) -> bool {
+        self.b_counter > 0
+    }
+
+    /// The server's absolute GEDF deadline: its next replenishment instant.
+    pub fn deadline(&self, now: Time) -> Time {
+        now + self.p_counter
+    }
+
+    /// Consumes one budget unit (the scheduled client used the provider
+    /// port for one cycle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the budget is already exhausted — the scheduler must only
+    /// grant eligible servers.
+    pub fn consume(&mut self) {
+        assert!(self.b_counter > 0, "consume() on an exhausted server");
+        self.b_counter -= 1;
+    }
+
+    /// Advances one clock cycle. Returns `true` if the period boundary was
+    /// crossed and the budget replenished.
+    pub fn tick(&mut self) -> bool {
+        self.p_counter -= 1;
+        if self.p_counter == 0 {
+            self.p_counter = self.interface.period();
+            self.b_counter = self.interface.budget();
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iface(p: Time, b: Time) -> PeriodicResource {
+        PeriodicResource::new(p, b).unwrap()
+    }
+
+    #[test]
+    fn starts_replenished() {
+        let s = ServerTask::new(iface(10, 4));
+        assert_eq!(s.budget_remaining(), 4);
+        assert_eq!(s.until_replenish(), 10);
+        assert!(s.has_budget());
+    }
+
+    #[test]
+    fn consume_drains_budget() {
+        let mut s = ServerTask::new(iface(10, 2));
+        s.consume();
+        assert_eq!(s.budget_remaining(), 1);
+        s.consume();
+        assert!(!s.has_budget());
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn consume_past_zero_panics() {
+        let mut s = ServerTask::new(iface(10, 1));
+        s.consume();
+        s.consume();
+    }
+
+    #[test]
+    fn replenishes_exactly_at_period() {
+        let mut s = ServerTask::new(iface(5, 3));
+        s.consume();
+        s.consume();
+        s.consume();
+        for i in 1..5 {
+            assert!(!s.tick(), "must not replenish at cycle {i}");
+            assert!(!s.has_budget());
+        }
+        assert!(s.tick(), "must replenish at the period boundary");
+        assert_eq!(s.budget_remaining(), 3);
+        assert_eq!(s.until_replenish(), 5);
+    }
+
+    #[test]
+    fn deadline_tracks_replenishment() {
+        let mut s = ServerTask::new(iface(8, 2));
+        assert_eq!(s.deadline(100), 108);
+        s.tick();
+        s.tick();
+        assert_eq!(s.deadline(102), 108);
+    }
+
+    #[test]
+    fn long_run_supply_matches_bandwidth() {
+        // Greedily consuming whenever possible over many periods must
+        // deliver exactly Θ per Π.
+        let mut s = ServerTask::new(iface(10, 3));
+        let mut supplied = 0u64;
+        let horizon = 1000;
+        for _ in 0..horizon {
+            if s.has_budget() {
+                s.consume();
+                supplied += 1;
+            }
+            s.tick();
+        }
+        assert_eq!(supplied, horizon / 10 * 3);
+    }
+
+    #[test]
+    fn reprogram_takes_effect_immediately() {
+        let mut s = ServerTask::new(iface(10, 1));
+        s.consume();
+        assert!(!s.has_budget());
+        s.reprogram(iface(4, 4));
+        assert_eq!(s.budget_remaining(), 4);
+        assert_eq!(s.until_replenish(), 4);
+        assert_eq!(s.interface().period(), 4);
+    }
+
+    #[test]
+    fn unconsumed_budget_does_not_accumulate() {
+        let mut s = ServerTask::new(iface(4, 2));
+        for _ in 0..8 {
+            s.tick();
+        }
+        // Two full periods with zero consumption: budget is still Θ, not 3Θ.
+        assert_eq!(s.budget_remaining(), 2);
+    }
+}

@@ -1,0 +1,196 @@
+//! The periodic resource model and its supply bound function.
+//!
+//! A Virtual Element (VE) is characterized by `(Π, Θ)`: at least `Θ` time
+//! units of transaction time are guaranteed every `Π` units. The supply
+//! bound function `sbf(t)` is the minimum supply over *any* interval of
+//! length `t` — the worst case places the budget as early as possible in one
+//! period and as late as possible in the next, creating a blackout of up to
+//! `2(Π−Θ)`.
+
+use crate::Time;
+
+/// A periodic resource interface `(Π, Θ)` with `0 < Θ ≤ Π`.
+///
+/// # Example
+///
+/// ```
+/// use bluescale_rt::supply::PeriodicResource;
+///
+/// let ve = PeriodicResource::new(10, 4).expect("valid interface");
+/// assert!((ve.bandwidth() - 0.4).abs() < 1e-12);
+/// assert_eq!(ve.sbf(12), 0);  // still inside the worst-case blackout
+/// assert_eq!(ve.sbf(16), 4);  // one full budget delivered
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PeriodicResource {
+    period: Time,
+    budget: Time,
+}
+
+impl PeriodicResource {
+    /// Creates an interface with period `Π = period` and budget `Θ = budget`.
+    ///
+    /// Returns `None` unless `0 < budget ≤ period`.
+    pub fn new(period: Time, budget: Time) -> Option<Self> {
+        if period == 0 || budget == 0 || budget > period {
+            None
+        } else {
+            Some(Self { period, budget })
+        }
+    }
+
+    /// A dedicated (full-bandwidth) resource: `Θ = Π`.
+    pub fn dedicated(period: Time) -> Self {
+        Self::new(period.max(1), period.max(1)).expect("dedicated resource is valid")
+    }
+
+    /// The period `Π`.
+    pub fn period(&self) -> Time {
+        self.period
+    }
+
+    /// The budget `Θ`.
+    pub fn budget(&self) -> Time {
+        self.budget
+    }
+
+    /// Bandwidth `Θ/Π ∈ (0, 1]`.
+    pub fn bandwidth(&self) -> f64 {
+        self.budget as f64 / self.period as f64
+    }
+
+    /// Supply bound function (paper, Section 5):
+    ///
+    /// ```text
+    /// t' = t − (Π − Θ)
+    /// sbf(t) = 0                              if t' < 0
+    ///        = ⌊t'/Π⌋·Θ + ε                   otherwise
+    /// ε = max(t' − Π·⌊t'/Π⌋ − (Π − Θ), 0)
+    /// ```
+    pub fn sbf(&self, t: Time) -> Time {
+        let blackout = self.period - self.budget;
+        if t < blackout {
+            return 0;
+        }
+        let t_prime = t - blackout;
+        let full_periods = t_prime / self.period;
+        let into_period = t_prime % self.period;
+        let epsilon = into_period.saturating_sub(blackout);
+        full_periods * self.budget + epsilon
+    }
+
+    /// Linear lower bound on the supply:
+    /// `lsbf(t) = (Θ/Π)·(t − 2(Π−Θ))`, clamped at 0. Used in the proof of
+    /// Theorem 1; exposed for analysis and property testing.
+    pub fn lsbf(&self, t: Time) -> f64 {
+        let blackout2 = 2.0 * (self.period - self.budget) as f64;
+        (self.bandwidth() * (t as f64 - blackout2)).max(0.0)
+    }
+
+    /// Compares bandwidth against another interface exactly (integer
+    /// cross-multiplication; no floating point).
+    pub fn bandwidth_lt(&self, other: &PeriodicResource) -> bool {
+        (self.budget as u128) * (other.period as u128)
+            < (other.budget as u128) * (self.period as u128)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_bounds() {
+        assert!(PeriodicResource::new(0, 0).is_none());
+        assert!(PeriodicResource::new(10, 0).is_none());
+        assert!(PeriodicResource::new(10, 11).is_none());
+        assert!(PeriodicResource::new(10, 10).is_some());
+        assert!(PeriodicResource::new(10, 1).is_some());
+    }
+
+    #[test]
+    fn dedicated_supplies_everything() {
+        let r = PeriodicResource::dedicated(5);
+        for t in 0..50 {
+            assert_eq!(r.sbf(t), t, "dedicated resource supplies t at t={t}");
+        }
+    }
+
+    #[test]
+    fn sbf_zero_during_blackout() {
+        let r = PeriodicResource::new(10, 4).unwrap();
+        // Blackout is Π−Θ = 6 under the paper's formula (t' < 0).
+        for t in 0..6 {
+            assert_eq!(r.sbf(t), 0);
+        }
+    }
+
+    #[test]
+    fn sbf_matches_hand_computed_values() {
+        // Π=10, Θ=4: t'=t−6.
+        let r = PeriodicResource::new(10, 4).unwrap();
+        // t=6: t'=0 → 0 full periods, ε=max(0−6,0)=0 → 0.
+        assert_eq!(r.sbf(6), 0);
+        // t=12: t'=6 → ⌊6/10⌋=0, ε=max(6−0−6,0)=0 → 0.
+        assert_eq!(r.sbf(12), 0);
+        // t=13: t'=7, ε=1 → 1.
+        assert_eq!(r.sbf(13), 1);
+        // t=16: t'=10 → 1 period → 4, ε=max(0−6,0)=0 → 4.
+        assert_eq!(r.sbf(16), 4);
+        // t=26: t'=20 → 2 periods → 8.
+        assert_eq!(r.sbf(26), 8);
+        // t=23: t'=17 → 1 period + ε=max(7−6,0)=1 → 5.
+        assert_eq!(r.sbf(23), 5);
+    }
+
+    #[test]
+    fn sbf_monotone_nondecreasing() {
+        let r = PeriodicResource::new(7, 3).unwrap();
+        let mut prev = 0;
+        for t in 0..200 {
+            let s = r.sbf(t);
+            assert!(s >= prev, "sbf must be monotone at t={t}");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn sbf_increments_at_most_one_per_unit() {
+        let r = PeriodicResource::new(9, 5).unwrap();
+        for t in 1..300 {
+            assert!(r.sbf(t) - r.sbf(t - 1) <= 1);
+        }
+    }
+
+    #[test]
+    fn sbf_long_run_rate_equals_bandwidth() {
+        let r = PeriodicResource::new(10, 3).unwrap();
+        let t = 10_000;
+        let rate = r.sbf(t) as f64 / t as f64;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn lsbf_never_exceeds_sbf() {
+        for (p, b) in [(10u64, 4u64), (7, 3), (20, 19), (5, 1)] {
+            let r = PeriodicResource::new(p, b).unwrap();
+            for t in 0..500 {
+                assert!(
+                    r.lsbf(t) <= r.sbf(t) as f64 + 1e-9,
+                    "lsbf > sbf at Π={p}, Θ={b}, t={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bandwidth_lt_is_exact() {
+        let a = PeriodicResource::new(3, 1).unwrap(); // 1/3
+        let b = PeriodicResource::new(10, 4).unwrap(); // 0.4
+        assert!(a.bandwidth_lt(&b));
+        assert!(!b.bandwidth_lt(&a));
+        let c = PeriodicResource::new(6, 2).unwrap(); // also 1/3
+        assert!(!a.bandwidth_lt(&c));
+        assert!(!c.bandwidth_lt(&a));
+    }
+}

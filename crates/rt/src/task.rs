@@ -1,0 +1,374 @@
+//! Periodic tasks and task sets.
+//!
+//! A task `τᵢ = (Tᵢ, Cᵢ)` releases a job every `Tᵢ` time units; each job
+//! demands `Cᵢ` units of transaction time and must finish by its implicit
+//! deadline `Tᵢ` after release. At the leaf level of BlueScale these are the
+//! *local tasks* fixed by the application designer; at inner levels they are
+//! server tasks with `T = Π` and `C = Θ` (paper, Section 5 footnote 1).
+
+use crate::{Error, Time};
+use std::collections::HashSet;
+
+/// A periodic task, implicit-deadline by default (`D = T`) with optional
+/// constrained deadlines (`C ≤ D ≤ T`).
+///
+/// Constrained deadlines are how the BlueScale composition reserves
+/// end-to-end slack: each level analyses its tasks against deflated
+/// deadlines so the remaining pipeline stages have time to deliver.
+///
+/// # Example
+///
+/// ```
+/// use bluescale_rt::task::Task;
+///
+/// let tau = Task::new(0, 100, 25)?;
+/// assert!((tau.utilization() - 0.25).abs() < 1e-12);
+/// assert_eq!(tau.deadline(), 100);
+/// let tight = Task::with_deadline(1, 100, 80, 25)?;
+/// assert_eq!(tight.deadline(), 80);
+/// # Ok::<(), bluescale_rt::Error>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Task {
+    id: u32,
+    period: Time,
+    deadline: Time,
+    wcet: Time,
+}
+
+impl Task {
+    /// Creates an implicit-deadline task (`D = T`) with identifier `id`,
+    /// period `period` and worst-case execution time `wcet`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidTask`] if `period == 0`, `wcet == 0` or
+    /// `wcet > period` (a single task may not exceed full utilization).
+    pub fn new(id: u32, period: Time, wcet: Time) -> Result<Self, Error> {
+        Self::with_deadline(id, period, period, wcet)
+    }
+
+    /// Creates a constrained-deadline task with `C ≤ D ≤ T`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidTask`] on `period == 0`, `wcet == 0`,
+    /// `wcet > deadline` or `deadline > period`.
+    pub fn with_deadline(
+        id: u32,
+        period: Time,
+        deadline: Time,
+        wcet: Time,
+    ) -> Result<Self, Error> {
+        if period == 0 {
+            return Err(Error::InvalidTask {
+                id,
+                reason: "period must be positive",
+            });
+        }
+        if wcet == 0 {
+            return Err(Error::InvalidTask {
+                id,
+                reason: "execution time must be positive",
+            });
+        }
+        if deadline > period {
+            return Err(Error::InvalidTask {
+                id,
+                reason: "deadline must not exceed period",
+            });
+        }
+        if wcet > deadline {
+            return Err(Error::InvalidTask {
+                id,
+                reason: "execution time must not exceed deadline",
+            });
+        }
+        Ok(Self {
+            id,
+            period,
+            deadline,
+            wcet,
+        })
+    }
+
+    /// Task identifier (unique within a [`TaskSet`]).
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Period `T`.
+    pub fn period(&self) -> Time {
+        self.period
+    }
+
+    /// Relative deadline `D` (equals `T` for implicit-deadline tasks).
+    pub fn deadline(&self) -> Time {
+        self.deadline
+    }
+
+    /// Worst-case execution time `C`.
+    pub fn wcet(&self) -> Time {
+        self.wcet
+    }
+
+    /// Utilization `u = C / T`.
+    pub fn utilization(&self) -> f64 {
+        self.wcet as f64 / self.period as f64
+    }
+
+    /// Density-excess term `C·(1 − D/T)`, the per-task contribution to the
+    /// constrained-deadline test-horizon constant `K` (zero for implicit
+    /// deadlines).
+    pub fn density_excess(&self) -> f64 {
+        self.wcet as f64 * (1.0 - self.deadline as f64 / self.period as f64)
+    }
+}
+
+/// An immutable collection of periodic tasks with unique identifiers.
+///
+/// # Example
+///
+/// ```
+/// use bluescale_rt::task::{Task, TaskSet};
+///
+/// let set = TaskSet::new(vec![Task::new(0, 10, 1)?, Task::new(1, 20, 4)?])?;
+/// assert!((set.utilization() - 0.3).abs() < 1e-12);
+/// assert_eq!(set.min_period(), Some(10));
+/// # Ok::<(), bluescale_rt::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TaskSet {
+    tasks: Vec<Task>,
+}
+
+impl TaskSet {
+    /// Creates a task set from `tasks`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DuplicateTaskId`] if two tasks share an id, or
+    /// [`Error::Overutilized`] if total utilization exceeds 1 (such a set can
+    /// never be schedulable on any interface, so it is rejected eagerly).
+    pub fn new(tasks: Vec<Task>) -> Result<Self, Error> {
+        let mut seen = HashSet::new();
+        for t in &tasks {
+            if !seen.insert(t.id()) {
+                return Err(Error::DuplicateTaskId { id: t.id() });
+            }
+        }
+        let set = Self { tasks };
+        let u = set.utilization();
+        if u > 1.0 + 1e-9 {
+            return Err(Error::Overutilized {
+                utilization_millis: (u * 1000.0).round() as u64,
+            });
+        }
+        Ok(set)
+    }
+
+    /// Creates an empty task set (zero demand; trivially schedulable).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// The tasks in this set.
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the set contains no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Iterates over the tasks.
+    pub fn iter(&self) -> std::slice::Iter<'_, Task> {
+        self.tasks.iter()
+    }
+
+    /// Total utilization `U = Σ Cᵢ/Tᵢ`.
+    pub fn utilization(&self) -> f64 {
+        self.tasks.iter().map(Task::utilization).sum()
+    }
+
+    /// The smallest period in the set; `None` when empty.
+    pub fn min_period(&self) -> Option<Time> {
+        self.tasks.iter().map(Task::period).min()
+    }
+
+    /// The smallest relative deadline in the set; `None` when empty. Used
+    /// by Theorem 2 to bound the feasible `Π` range (a VE whose worst-case
+    /// blackout exceeds the earliest deadline cannot be schedulable).
+    pub fn min_deadline(&self) -> Option<Time> {
+        self.tasks.iter().map(Task::deadline).min()
+    }
+
+    /// The constrained-deadline horizon constant `K = Σ Cᵢ(1 − Dᵢ/Tᵢ)`
+    /// (zero for implicit-deadline sets).
+    pub fn density_excess(&self) -> f64 {
+        self.tasks.iter().map(Task::density_excess).sum()
+    }
+
+    /// The hyperperiod (LCM of all periods), saturating at `u64::MAX`.
+    /// Useful for choosing simulation horizons that cover every phasing.
+    pub fn hyperperiod(&self) -> Option<Time> {
+        fn gcd(a: Time, b: Time) -> Time {
+            if b == 0 {
+                a
+            } else {
+                gcd(b, a % b)
+            }
+        }
+        self.tasks.iter().map(Task::period).try_fold(1u64, |acc, p| {
+            let g = gcd(acc, p);
+            (acc / g).checked_mul(p)
+        })
+    }
+}
+
+impl<'a> IntoIterator for &'a TaskSet {
+    type Item = &'a Task;
+    type IntoIter = std::slice::Iter<'a, Task>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.tasks.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_rejects_zero_period() {
+        assert!(matches!(
+            Task::new(0, 0, 1),
+            Err(Error::InvalidTask { id: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn task_rejects_zero_wcet() {
+        assert!(Task::new(1, 10, 0).is_err());
+    }
+
+    #[test]
+    fn task_rejects_wcet_above_period() {
+        assert!(Task::new(2, 10, 11).is_err());
+        assert!(Task::new(2, 10, 10).is_ok());
+    }
+
+    #[test]
+    fn task_utilization() {
+        let t = Task::new(0, 8, 2).unwrap();
+        assert!((t.utilization() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constrained_deadline_validation() {
+        assert!(Task::with_deadline(0, 100, 101, 10).is_err()); // D > T
+        assert!(Task::with_deadline(0, 100, 9, 10).is_err()); // C > D
+        let t = Task::with_deadline(0, 100, 50, 10).unwrap();
+        assert_eq!(t.deadline(), 50);
+        assert_eq!(t.period(), 100);
+    }
+
+    #[test]
+    fn density_excess_zero_for_implicit() {
+        let t = Task::new(0, 100, 10).unwrap();
+        assert_eq!(t.density_excess(), 0.0);
+        let c = Task::with_deadline(0, 100, 50, 10).unwrap();
+        assert!((c.density_excess() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_deadline_of_set() {
+        let set = TaskSet::new(vec![
+            Task::with_deadline(0, 100, 40, 5).unwrap(),
+            Task::new(1, 30, 2).unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(set.min_deadline(), Some(30));
+        assert_eq!(set.min_period(), Some(30));
+        assert!((set.density_excess() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn taskset_rejects_duplicate_ids() {
+        let r = TaskSet::new(vec![
+            Task::new(5, 10, 1).unwrap(),
+            Task::new(5, 20, 1).unwrap(),
+        ]);
+        assert_eq!(r.unwrap_err(), Error::DuplicateTaskId { id: 5 });
+    }
+
+    #[test]
+    fn taskset_rejects_overutilization() {
+        let r = TaskSet::new(vec![
+            Task::new(0, 10, 6).unwrap(),
+            Task::new(1, 10, 6).unwrap(),
+        ]);
+        assert!(matches!(r, Err(Error::Overutilized { .. })));
+    }
+
+    #[test]
+    fn taskset_accepts_full_utilization() {
+        let r = TaskSet::new(vec![
+            Task::new(0, 10, 5).unwrap(),
+            Task::new(1, 10, 5).unwrap(),
+        ]);
+        assert!(r.is_ok());
+    }
+
+    #[test]
+    fn taskset_aggregates() {
+        let set = TaskSet::new(vec![
+            Task::new(0, 10, 1).unwrap(),
+            Task::new(1, 40, 8).unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.min_period(), Some(10));
+        assert!((set.utilization() - 0.3).abs() < 1e-12);
+        assert_eq!(set.hyperperiod(), Some(40));
+    }
+
+    #[test]
+    fn empty_taskset() {
+        let set = TaskSet::empty();
+        assert!(set.is_empty());
+        assert_eq!(set.utilization(), 0.0);
+        assert_eq!(set.min_period(), None);
+        assert_eq!(set.hyperperiod(), Some(1));
+    }
+
+    #[test]
+    fn hyperperiod_of_coprime_periods() {
+        let set = TaskSet::new(vec![
+            Task::new(0, 7, 1).unwrap(),
+            Task::new(1, 11, 1).unwrap(),
+            Task::new(2, 13, 1).unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(set.hyperperiod(), Some(7 * 11 * 13));
+    }
+
+    #[test]
+    fn iteration_yields_all_tasks() {
+        let set = TaskSet::new(vec![
+            Task::new(0, 10, 1).unwrap(),
+            Task::new(1, 20, 2).unwrap(),
+        ])
+        .unwrap();
+        let ids: Vec<u32> = set.iter().map(Task::id).collect();
+        assert_eq!(ids, vec![0, 1]);
+        let ids2: Vec<u32> = (&set).into_iter().map(Task::id).collect();
+        assert_eq!(ids2, ids);
+    }
+}

@@ -1,0 +1,224 @@
+//! Independent validation of the analysis by discrete schedule simulation.
+//!
+//! [`edf_meets_deadlines`] simulates EDF execution of a task set on the
+//! *worst-case supply pattern* of a periodic resource: the first budget is
+//! delivered as early as possible and every later budget as late as
+//! possible, creating the maximal `2(Π−Θ)` blackout right when the tasks
+//! arrive — the exact scenario the supply bound function `sbf` describes.
+//!
+//! Since [`is_schedulable`](crate::schedulability::is_schedulable) is a
+//! *sound* test (it guarantees deadlines under **every** legal supply),
+//! any set it admits must survive this particular supply. The property
+//! tests in this module and the repository's integration suite exercise
+//! that implication on thousands of random instances — an executable
+//! cross-check of Theorem 1's bound and of the `sbf` formula itself.
+
+use crate::supply::PeriodicResource;
+use crate::task::TaskSet;
+use crate::Time;
+
+/// Upper bound on simulated steps, to keep pathological hyperperiods from
+/// stalling validation.
+pub const MAX_SIMULATED_STEPS: Time = 1_000_000;
+
+/// Whether the resource supplies one execution unit during time slot
+/// `[t, t+1)` of the worst-case pattern: budget `Θ` early in period 0
+/// (slots `[0, Θ)`), and as late as possible (`[kΠ − Θ, kΠ)`) in every
+/// later period `k ≥ 1`. Tasks arrive at time `Θ` (just after the early
+/// budget), so they face the full `2(Π−Θ)` blackout.
+fn supplies(resource: &PeriodicResource, t: Time) -> bool {
+    let period = resource.period();
+    let budget = resource.budget();
+    let k = t / period;
+    let offset = t % period;
+    if k == 0 {
+        offset < budget
+    } else {
+        offset >= period - budget
+    }
+}
+
+/// Simulates EDF on the worst-case supply of `resource` for `horizon`
+/// time units after the synchronous release (capped at
+/// [`MAX_SIMULATED_STEPS`]). Returns `true` iff no job misses its
+/// deadline within the horizon.
+///
+/// Jobs released less than their deadline before the horizon end are not
+/// judged (their deadline lies beyond the observation window).
+///
+/// # Example
+///
+/// ```
+/// use bluescale_rt::task::{Task, TaskSet};
+/// use bluescale_rt::supply::PeriodicResource;
+/// use bluescale_rt::validate::edf_meets_deadlines;
+/// use bluescale_rt::schedulability::is_schedulable;
+///
+/// let set = TaskSet::new(vec![Task::new(0, 20, 2)?])?;
+/// let good = PeriodicResource::new(5, 2).expect("valid");
+/// assert!(is_schedulable(&set, &good));
+/// assert!(edf_meets_deadlines(&set, &good, 500));
+/// # Ok::<(), bluescale_rt::Error>(())
+/// ```
+pub fn edf_meets_deadlines(
+    set: &TaskSet,
+    resource: &PeriodicResource,
+    horizon: Time,
+) -> bool {
+    first_miss(set, resource, horizon).is_none()
+}
+
+/// Like [`edf_meets_deadlines`], but returns the absolute time of the
+/// first deadline miss (useful in diagnostics and tests).
+pub fn first_miss(
+    set: &TaskSet,
+    resource: &PeriodicResource,
+    horizon: Time,
+) -> Option<Time> {
+    if set.is_empty() {
+        return None;
+    }
+    let release_origin = resource.budget(); // tasks arrive after the early budget
+    let horizon = horizon.min(MAX_SIMULATED_STEPS);
+
+    // Active jobs: (absolute deadline, remaining work, task index).
+    let mut jobs: Vec<(Time, Time, usize)> = Vec::new();
+    let mut next_release: Vec<Time> = set.iter().map(|_| release_origin).collect();
+
+    for t in 0..horizon {
+        // Releases at time t.
+        for (i, task) in set.iter().enumerate() {
+            if next_release[i] == t {
+                jobs.push((t + task.deadline(), task.wcet(), i));
+                next_release[i] += task.period();
+            }
+        }
+        // Misses: any active job whose deadline has arrived with work left.
+        if jobs.iter().any(|&(d, remaining, _)| d <= t && remaining > 0) {
+            return Some(t);
+        }
+        // Supply slot: run the earliest-deadline job.
+        if supplies(resource, t) {
+            if let Some(job) = jobs
+                .iter_mut()
+                .filter(|(_, remaining, _)| *remaining > 0)
+                .min_by_key(|&&mut (d, _, i)| (d, i))
+            {
+                job.1 -= 1;
+            }
+        }
+        jobs.retain(|&(_, remaining, _)| remaining > 0);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedulability::is_schedulable;
+    use crate::task::Task;
+
+    fn set(specs: &[(u64, u64)]) -> TaskSet {
+        TaskSet::new(
+            specs
+                .iter()
+                .enumerate()
+                .map(|(i, &(t, c))| Task::new(i as u32, t, c).unwrap())
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn worst_case_supply_pattern_matches_sbf_blackout() {
+        // Π = 10, Θ = 3: early budget in [0,3), then [17,20), [27,30), …
+        let r = PeriodicResource::new(10, 3).unwrap();
+        let supplied: Vec<Time> = (0..40).filter(|&t| supplies(&r, t)).collect();
+        assert_eq!(supplied, vec![0, 1, 2, 17, 18, 19, 27, 28, 29, 37, 38, 39]);
+        // From the release origin (t = 3), the first supply arrives at 17:
+        // a blackout of 14 = 2(Π−Θ) time units — the sbf worst case.
+    }
+
+    #[test]
+    fn cumulative_supply_dominates_sbf() {
+        // From the release origin, the simulated supply over any prefix
+        // must be at least sbf (sbf is the guaranteed minimum).
+        for (p, b) in [(10u64, 3u64), (7, 2), (5, 4), (8, 1)] {
+            let r = PeriodicResource::new(p, b).unwrap();
+            let origin = r.budget();
+            let mut cumulative = 0;
+            for t in 0..300 {
+                if supplies(&r, origin + t) {
+                    cumulative += 1;
+                }
+                assert!(
+                    cumulative >= r.sbf(t + 1),
+                    "supply {cumulative} below sbf({}) = {} for Π={p}, Θ={b}",
+                    t + 1,
+                    r.sbf(t + 1)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn admitted_sets_survive_worst_case_supply() {
+        let cases = [
+            (set(&[(20, 2)]), PeriodicResource::new(5, 2).unwrap()),
+            (set(&[(10, 1), (25, 3)]), PeriodicResource::new(4, 2).unwrap()),
+            (set(&[(30, 5), (40, 8)]), PeriodicResource::new(6, 3).unwrap()),
+        ];
+        for (s, r) in cases {
+            assert!(is_schedulable(&s, &r), "precondition: analysis admits");
+            assert!(
+                edf_meets_deadlines(&s, &r, 2_000),
+                "admitted set missed under worst-case supply: {s:?} on {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn overloaded_set_misses() {
+        // Demand 0.5, bandwidth 0.25: must miss quickly.
+        let s = set(&[(10, 5)]);
+        let r = PeriodicResource::new(4, 1).unwrap();
+        assert!(!is_schedulable(&s, &r));
+        let miss = first_miss(&s, &r, 2_000);
+        assert!(miss.is_some());
+    }
+
+    #[test]
+    fn blackout_longer_than_deadline_misses() {
+        // 2(Π−Θ) = 18 > deadline 10.
+        let s = set(&[(10, 1)]);
+        let r = PeriodicResource::new(12, 3).unwrap();
+        assert!(!is_schedulable(&s, &r));
+        assert!(!edf_meets_deadlines(&s, &r, 500));
+    }
+
+    #[test]
+    fn empty_set_never_misses() {
+        let r = PeriodicResource::new(5, 1).unwrap();
+        assert!(edf_meets_deadlines(&TaskSet::empty(), &r, 100));
+    }
+
+    #[test]
+    fn dedicated_resource_runs_everything() {
+        let s = set(&[(4, 2), (8, 4)]); // U = 1.0
+        let r = PeriodicResource::dedicated(1);
+        assert!(edf_meets_deadlines(&s, &r, 1_000));
+    }
+
+    #[test]
+    fn constrained_deadlines_respected() {
+        let s = TaskSet::new(vec![Task::with_deadline(0, 20, 8, 4).unwrap()]).unwrap();
+        // A fine-grained, high-bandwidth resource schedules it…
+        let good = PeriodicResource::new(4, 3).unwrap();
+        assert!(is_schedulable(&s, &good));
+        assert!(edf_meets_deadlines(&s, &good, 1_000));
+        // …but a resource whose blackout exceeds D = 8 cannot.
+        let bad = PeriodicResource::new(10, 4).unwrap();
+        assert!(!is_schedulable(&s, &bad));
+        assert!(!edf_meets_deadlines(&s, &bad, 1_000));
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests of the analysis crate's cross-module invariants.
+
+use bluescale_rt::demand::dbf_set;
+use bluescale_rt::edp::{is_schedulable_edp, EdpResource};
+use bluescale_rt::fixed_priority::{
+    deadline_monotonic_order, is_schedulable_fp, rbf, response_time,
+};
+use bluescale_rt::schedulability::is_schedulable;
+use bluescale_rt::supply::PeriodicResource;
+use bluescale_rt::task::{Task, TaskSet};
+use bluescale_rt::validate::edf_meets_deadlines;
+use proptest::prelude::*;
+
+fn arb_task(id: u32) -> impl Strategy<Value = Task> {
+    (2u64..150, 1u64..30).prop_map(move |(period, raw_wcet)| {
+        Task::new(id, period, raw_wcet.min(period)).expect("valid parameters")
+    })
+}
+
+fn arb_taskset() -> impl Strategy<Value = TaskSet> {
+    prop::collection::vec(0u8..1, 1..4).prop_flat_map(|slots| {
+        let strategies: Vec<_> = (0..slots.len()).map(|i| arb_task(i as u32)).collect();
+        strategies.prop_filter_map("U ≤ 1", |tasks| TaskSet::new(tasks).ok())
+    })
+}
+
+fn arb_resource() -> impl Strategy<Value = PeriodicResource> {
+    (1u64..40).prop_flat_map(|period| {
+        (Just(period), 1u64..=period)
+            .prop_map(|(p, b)| PeriodicResource::new(p, b).expect("b ≤ p"))
+    })
+}
+
+proptest! {
+    /// EDF is optimal on a periodic resource: anything the fixed-priority
+    /// test admits, the EDF test must admit too.
+    #[test]
+    fn fp_admission_implies_edf_admission(
+        set in arb_taskset(),
+        r in arb_resource(),
+    ) {
+        if is_schedulable_fp(&set, &r) {
+            prop_assert!(
+                is_schedulable(&set, &r),
+                "FP admitted {set:?} on {r:?} but EDF rejected"
+            );
+        }
+    }
+
+    /// FP admission also implies the worst-case-supply EDF simulation
+    /// passes (EDF dominates any fixed-priority order at run time).
+    #[test]
+    fn fp_admission_implies_simulation_passes(
+        set in arb_taskset(),
+        r in arb_resource(),
+    ) {
+        if is_schedulable_fp(&set, &r) {
+            let horizon = set
+                .hyperperiod()
+                .unwrap_or(10_000)
+                .saturating_mul(2)
+                .min(100_000);
+            prop_assert!(edf_meets_deadlines(&set, &r, horizon));
+        }
+    }
+
+    /// The request bound function is monotone in t and starts at the
+    /// task's own WCET.
+    #[test]
+    fn rbf_is_monotone(set in arb_taskset(), t in 1u64..300) {
+        let ordered = deadline_monotonic_order(&set);
+        for i in 0..ordered.len() {
+            prop_assert!(rbf(&ordered, i, t + 1) >= rbf(&ordered, i, t));
+            prop_assert!(rbf(&ordered, i, 1) >= ordered[i].wcet());
+        }
+    }
+
+    /// Response times respect priority order economics: on the same
+    /// resource a task never responds faster than the highest-priority
+    /// task's own WCET supply time.
+    #[test]
+    fn response_time_at_least_supply_of_own_wcet(
+        set in arb_taskset(),
+        r in arb_resource(),
+    ) {
+        let ordered = deadline_monotonic_order(&set);
+        for i in 0..ordered.len() {
+            if let Some(rt) = response_time(&ordered, i, &r) {
+                // By definition of the analysis: sbf(rt) ≥ rbf ≥ C.
+                prop_assert!(r.sbf(rt) >= ordered[i].wcet());
+                prop_assert!(rt <= ordered[i].deadline());
+            }
+        }
+    }
+
+    /// Growing the budget never hurts: FP admission is monotone in Θ.
+    #[test]
+    fn fp_admission_monotone_in_budget(set in arb_taskset(), period in 2u64..30) {
+        let mut admitted = false;
+        for budget in 1..=period {
+            let r = PeriodicResource::new(period, budget).expect("valid");
+            let now = is_schedulable_fp(&set, &r);
+            prop_assert!(!admitted || now, "admission lost when Θ grew to {budget}");
+            admitted = now;
+        }
+    }
+
+    /// For identical (Π, Θ), the EDP supply dominates the periodic supply
+    /// for every deadline choice, and therefore admits at least as much.
+    #[test]
+    fn edp_supply_dominates_periodic(
+        set in arb_taskset(),
+        r in arb_resource(),
+        t in 0u64..400,
+    ) {
+        // Tightest EDP deadline Δ = Θ.
+        let edp = EdpResource::new(r.period(), r.budget(), r.budget())
+            .expect("Θ ≤ Θ ≤ Π");
+        prop_assert!(edp.sbf(t) >= r.sbf(t), "EDP supply below periodic at t={t}");
+        if is_schedulable(&set, &r) {
+            prop_assert!(
+                is_schedulable_edp(&set, &edp),
+                "periodic admitted {set:?} on {r:?} but EDP rejected"
+            );
+        }
+    }
+
+    /// EDP sbf is monotone and unit-rate bounded for random triples.
+    #[test]
+    fn edp_sbf_well_formed(
+        period in 1u64..40,
+        budget_frac in 1u64..40,
+        deadline_frac in 0u64..40,
+        t in 0u64..300,
+    ) {
+        let budget = (budget_frac % period).max(1);
+        let deadline = budget + deadline_frac % (period - budget + 1);
+        let r = EdpResource::new(period, budget, deadline).expect("constructed valid");
+        prop_assert!(r.sbf(t + 1) >= r.sbf(t));
+        prop_assert!(r.sbf(t + 1) - r.sbf(t) <= 1);
+        prop_assert!(r.sbf(t) <= t);
+    }
+
+    /// dbf never exceeds rbf-style total demand: the EDF demand in an
+    /// interval is at most every task's synchronous releases.
+    #[test]
+    fn dbf_bounded_by_release_counts(set in arb_taskset(), t in 0u64..500) {
+        let upper: u64 = set
+            .iter()
+            .map(|task| (t / task.period() + 1) * task.wcet())
+            .sum();
+        prop_assert!(dbf_set(&set, t) <= upper);
+    }
+}

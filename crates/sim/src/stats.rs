@@ -1,0 +1,350 @@
+//! Statistics collected during simulation runs.
+//!
+//! Two collectors cover every reporting need in the evaluation:
+//!
+//! * [`OnlineStats`] — constant-memory Welford accumulator for mean,
+//!   variance, min and max (used for per-cycle counters).
+//! * [`Samples`] — keeps raw observations so percentiles (p50/p95/p99/max)
+//!   of latency distributions can be reported like the paper's box plots.
+
+/// Constant-memory running statistics (Welford's online algorithm).
+///
+/// # Example
+///
+/// ```
+/// use bluescale_sim::stats::OnlineStats;
+///
+/// let mut s = OnlineStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.count(), 8);
+/// assert!((s.mean() - 5.0).abs() < 1e-12);
+/// assert!((s.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (divides by n); 0 when empty.
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance (divides by n-1); 0 with fewer than two observations.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Smallest observation; `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation; `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one (parallel Welford merge).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.m2 += other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A collector that retains raw observations for percentile reporting.
+///
+/// # Example
+///
+/// ```
+/// use bluescale_sim::stats::Samples;
+///
+/// let mut s: Samples = (1..=100).map(|x| x as f64).collect();
+/// assert_eq!(s.percentile(50.0), Some(51.0));
+/// assert_eq!(s.percentile(99.0), Some(99.0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Samples {
+    values: Vec<f64>,
+    sorted: bool,
+}
+
+impl Samples {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.values.push(x);
+        self.sorted = false;
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no observations have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Arithmetic mean; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            None
+        } else {
+            Some(self.values.iter().sum::<f64>() / self.values.len() as f64)
+        }
+    }
+
+    /// The `p`-th percentile (0..=100) using nearest-rank interpolation;
+    /// `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&mut self, p: f64) -> Option<f64> {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        if self.values.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let n = self.values.len();
+        let rank = (p / 100.0 * (n - 1) as f64).round() as usize;
+        Some(self.values[rank.min(n - 1)])
+    }
+
+    /// Maximum observation; `None` when empty.
+    pub fn max(&mut self) -> Option<f64> {
+        self.ensure_sorted();
+        self.values.last().copied()
+    }
+
+    /// Minimum observation; `None` when empty.
+    pub fn min(&mut self) -> Option<f64> {
+        self.ensure_sorted();
+        self.values.first().copied()
+    }
+
+    /// Population variance; `None` when empty.
+    pub fn variance(&self) -> Option<f64> {
+        let mean = self.mean()?;
+        Some(
+            self.values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+                / self.values.len() as f64,
+        )
+    }
+
+    /// Borrowed view of the raw observations (unsorted order not guaranteed).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.values
+                .sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+            self.sorted = true;
+        }
+    }
+}
+
+impl FromIterator<f64> for Samples {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Samples::new();
+        s.extend(iter);
+        s
+    }
+}
+
+impl Extend<f64> for Samples {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_empty_is_zeroed() {
+        let s = OnlineStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.population_variance(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn online_single_value() {
+        let mut s = OnlineStats::new();
+        s.push(3.5);
+        assert_eq!(s.mean(), 3.5);
+        assert_eq!(s.population_variance(), 0.0);
+        assert_eq!(s.min(), Some(3.5));
+        assert_eq!(s.max(), Some(3.5));
+    }
+
+    #[test]
+    fn online_mean_and_variance() {
+        let mut s = OnlineStats::new();
+        for x in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            s.push(x);
+        }
+        assert!((s.mean() - 3.0).abs() < 1e-12);
+        assert!((s.population_variance() - 2.0).abs() < 1e-12);
+        assert!((s.sample_variance() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn online_merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let mut left = OnlineStats::new();
+        let mut right = OnlineStats::new();
+        for &x in &data[..37] {
+            left.push(x);
+        }
+        for &x in &data[37..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.population_variance() - whole.population_variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn online_merge_with_empty() {
+        let mut a = OnlineStats::new();
+        a.push(1.0);
+        let b = OnlineStats::new();
+        let before = a;
+        a.merge(&b);
+        assert_eq!(a, before);
+        let mut c = OnlineStats::new();
+        c.merge(&before);
+        assert_eq!(c, before);
+    }
+
+    #[test]
+    fn samples_percentiles() {
+        let mut s: Samples = (1..=101).map(|x| x as f64).collect();
+        assert_eq!(s.percentile(0.0), Some(1.0));
+        assert_eq!(s.percentile(50.0), Some(51.0));
+        assert_eq!(s.percentile(100.0), Some(101.0));
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(101.0));
+    }
+
+    #[test]
+    fn samples_empty_returns_none() {
+        let mut s = Samples::new();
+        assert_eq!(s.percentile(50.0), None);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.max(), None);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn samples_mean_and_variance() {
+        let s: Samples = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert!((s.mean().unwrap() - 5.0).abs() < 1e-12);
+        assert!((s.variance().unwrap() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn samples_push_after_percentile_stays_correct() {
+        let mut s = Samples::new();
+        s.push(5.0);
+        s.push(1.0);
+        assert_eq!(s.percentile(100.0), Some(5.0));
+        s.push(10.0);
+        assert_eq!(s.percentile(100.0), Some(10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn samples_bad_percentile_panics() {
+        let mut s: Samples = [1.0].into_iter().collect();
+        let _ = s.percentile(101.0);
+    }
+}

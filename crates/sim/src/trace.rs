@@ -1,0 +1,155 @@
+//! Bounded event tracing for debugging schedules.
+//!
+//! Tracing is off by default and costs one branch per event when disabled.
+//! When enabled, the most recent `capacity` events are retained in a ring
+//! buffer, which keeps memory bounded during multi-million-cycle runs.
+
+use crate::Cycle;
+use std::collections::VecDeque;
+
+/// A single traced event: the cycle at which it occurred plus a free-form
+/// label rendered by the component that emitted it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Cycle at which the event occurred.
+    pub at: Cycle,
+    /// Component that emitted the event (e.g. `"SE(1,0)"`).
+    pub source: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// A bounded, optionally-enabled event trace.
+///
+/// # Example
+///
+/// ```
+/// use bluescale_sim::trace::Tracer;
+///
+/// let mut t = Tracer::with_capacity(2);
+/// t.enable();
+/// t.record(1, "SE(0,0)", "grant client 2");
+/// t.record(2, "SE(0,0)", "grant client 0");
+/// t.record(3, "SE(0,0)", "idle");
+/// // Capacity 2: the oldest event fell off.
+/// assert_eq!(t.events().len(), 2);
+/// assert_eq!(t.events()[0].at, 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    enabled: bool,
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+}
+
+impl Tracer {
+    /// Creates a disabled tracer with the default capacity (4096 events).
+    pub fn new() -> Self {
+        Self::with_capacity(4096)
+    }
+
+    /// Creates a disabled tracer retaining at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            enabled: false,
+            capacity,
+            events: VecDeque::new(),
+        }
+    }
+
+    /// Turns tracing on.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Turns tracing off (retained events are kept).
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    /// Whether events are currently being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event if tracing is enabled, evicting the oldest event
+    /// when the buffer is full.
+    pub fn record(&mut self, at: Cycle, source: &str, message: impl Into<String>) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(TraceEvent {
+            at,
+            source: source.to_owned(),
+            message: message.into(),
+        });
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<&TraceEvent> {
+        self.events.iter().collect()
+    }
+
+    /// Drops all retained events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = Tracer::new();
+        t.record(1, "x", "y");
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn enabled_tracer_records() {
+        let mut t = Tracer::new();
+        t.enable();
+        t.record(5, "SE(0,0)", "grant");
+        assert_eq!(t.events().len(), 1);
+        assert_eq!(t.events()[0].at, 5);
+        assert_eq!(t.events()[0].source, "SE(0,0)");
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut t = Tracer::with_capacity(3);
+        t.enable();
+        for i in 0..10 {
+            t.record(i, "s", format!("e{i}"));
+        }
+        let evs = t.events();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[0].at, 7);
+        assert_eq!(evs[2].at, 9);
+    }
+
+    #[test]
+    fn clear_empties_buffer() {
+        let mut t = Tracer::new();
+        t.enable();
+        t.record(1, "s", "e");
+        t.clear();
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn disable_stops_recording_keeps_events() {
+        let mut t = Tracer::new();
+        t.enable();
+        t.record(1, "s", "kept");
+        t.disable();
+        t.record(2, "s", "dropped");
+        assert_eq!(t.events().len(), 1);
+        assert!(!t.is_enabled());
+    }
+}

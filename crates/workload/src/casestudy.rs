@@ -1,0 +1,257 @@
+//! The automotive case study workload (paper, Section 6.4).
+//!
+//! Two fixed task suites model the paper's real-world selection:
+//!
+//! * **Safety tasks** — 10 entries from the Renesas automotive use-case
+//!   catalogue (CRC, RSA32, core self-test, …).
+//! * **Function tasks** — 10 entries from EEMBC AutoBench (FFT, speed
+//!   calculation, …).
+//!
+//! The 20 base tasks are distributed over the processors at roughly 30 %
+//! combined utilization. *Interference tasks* (EEMBC-style for processors,
+//! SqueezeNet inference for the DNN hardware accelerators) are then added
+//! until the system reaches a target utilization — the sweep variable of
+//! Fig 7. The last two clients act as DNN HAs: their traffic is burstier
+//! (large jobs, long periods) at the same utilization.
+
+use crate::uunifast::task_with_utilization;
+use bluescale_rt::task::{Task, TaskSet};
+use bluescale_sim::rng::SimRng;
+
+/// A named entry of the case-study catalogue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CatalogTask {
+    /// Task name, for experiment reports.
+    pub name: &'static str,
+    /// Whether the task belongs to the safety suite.
+    pub safety: bool,
+    /// Nominal period in cycles (scaled by jitter per trial).
+    pub base_period: u64,
+    /// Relative memory intensity (scaled to hit the utilization budget).
+    pub memory_weight: f64,
+}
+
+/// The 10 automotive safety tasks (Renesas use-case catalogue flavour).
+pub const SAFETY_TASKS: [CatalogTask; 10] = [
+    CatalogTask { name: "crc32", safety: true, base_period: 500, memory_weight: 1.2 },
+    CatalogTask { name: "rsa32", safety: true, base_period: 2000, memory_weight: 0.8 },
+    CatalogTask { name: "core-self-test", safety: true, base_period: 4000, memory_weight: 1.5 },
+    CatalogTask { name: "ecc-scrub", safety: true, base_period: 1000, memory_weight: 2.0 },
+    CatalogTask { name: "watchdog-refresh", safety: true, base_period: 250, memory_weight: 0.3 },
+    CatalogTask { name: "lockstep-compare", safety: true, base_period: 500, memory_weight: 1.0 },
+    CatalogTask { name: "voltage-monitor", safety: true, base_period: 1000, memory_weight: 0.4 },
+    CatalogTask { name: "can-frame-check", safety: true, base_period: 800, memory_weight: 0.9 },
+    CatalogTask { name: "flash-signature", safety: true, base_period: 4000, memory_weight: 1.8 },
+    CatalogTask { name: "sensor-plausibility", safety: true, base_period: 640, memory_weight: 1.1 },
+];
+
+/// The 10 automotive function tasks (EEMBC AutoBench flavour).
+pub const FUNCTION_TASKS: [CatalogTask; 10] = [
+    CatalogTask { name: "fft", safety: false, base_period: 1000, memory_weight: 1.6 },
+    CatalogTask { name: "speed-calc", safety: false, base_period: 500, memory_weight: 0.7 },
+    CatalogTask { name: "angle-to-time", safety: false, base_period: 640, memory_weight: 0.6 },
+    CatalogTask { name: "table-lookup", safety: false, base_period: 800, memory_weight: 1.3 },
+    CatalogTask { name: "fir-filter", safety: false, base_period: 1000, memory_weight: 1.0 },
+    CatalogTask { name: "iir-filter", safety: false, base_period: 1000, memory_weight: 1.0 },
+    CatalogTask { name: "matrix-mult", safety: false, base_period: 2000, memory_weight: 2.2 },
+    CatalogTask { name: "road-speed-limit", safety: false, base_period: 1600, memory_weight: 0.8 },
+    CatalogTask { name: "tooth-to-spark", safety: false, base_period: 500, memory_weight: 0.5 },
+    CatalogTask { name: "idct", safety: false, base_period: 1250, memory_weight: 1.4 },
+];
+
+/// Parameters of one case-study trial.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CaseStudyConfig {
+    /// Total clients (processors + HAs). The paper uses 16+2 and 64+2; the
+    /// last [`Self::accelerators`] clients are DNN HAs.
+    pub clients: usize,
+    /// How many of the clients are DNN hardware accelerators.
+    pub accelerators: usize,
+    /// Combined utilization of the 20 base tasks.
+    pub base_utilization: f64,
+    /// Target total utilization after adding interference tasks.
+    pub target_utilization: f64,
+}
+
+impl CaseStudyConfig {
+    /// The paper's setup: `processors` MicroBlaze cores plus 2 DNN HAs at
+    /// 30 % base utilization, swept to `target_utilization`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `processors` is zero or `target_utilization` is not in
+    /// `(0, 1]`.
+    pub fn fig7(processors: usize, target_utilization: f64) -> Self {
+        assert!(processors > 0, "at least one processor required");
+        assert!(
+            target_utilization > 0.0 && target_utilization <= 1.0,
+            "target utilization must be in (0, 1]"
+        );
+        Self {
+            clients: processors + 2,
+            accelerators: 2,
+            base_utilization: 0.30_f64.min(target_utilization),
+            target_utilization,
+        }
+    }
+}
+
+/// Generates one case-study trial: per-client task sets whose combined
+/// utilization approximates `target_utilization`.
+///
+/// # Panics
+///
+/// Panics if the configuration is inconsistent (more accelerators than
+/// clients, base above target).
+pub fn generate(config: &CaseStudyConfig, rng: &mut SimRng) -> Vec<TaskSet> {
+    assert!(config.accelerators < config.clients, "too many accelerators");
+    assert!(
+        config.base_utilization <= config.target_utilization + 1e-12,
+        "base utilization above target"
+    );
+    let processors = config.clients - config.accelerators;
+    let mut per_client: Vec<Vec<Task>> = vec![Vec::new(); config.clients];
+    let mut next_id: Vec<u32> = vec![0; config.clients];
+
+    // 1. Place the 20 base tasks on random processors at ~base utilization,
+    //    with memory demand proportional to each task's memory weight.
+    let catalog: Vec<CatalogTask> = SAFETY_TASKS
+        .iter()
+        .chain(FUNCTION_TASKS.iter())
+        .copied()
+        .collect();
+    let weight_sum: f64 = catalog.iter().map(|t| t.memory_weight).sum();
+    for entry in &catalog {
+        let client = rng.range_usize(0, processors);
+        let share = config.base_utilization * entry.memory_weight / weight_sum;
+        // Jitter the period ±25 % so trials differ.
+        let period =
+            (entry.base_period as f64 * rng.range_f64(0.75, 1.25)).round() as u64;
+        let period = period.max(((1.0 / share).ceil() as u64).min(8000)).max(64);
+        let wcet = ((share * period as f64).round() as u64).clamp(1, period);
+        per_client[client].push(
+            Task::new(next_id[client], period, wcet).expect("valid base task"),
+        );
+        next_id[client] += 1;
+    }
+
+    // 2. HA interference: SqueezeNet-style inference — large bursts, long
+    //    periods. Each HA gets one task at (target-base)/clients-ish share,
+    //    mirroring the paper's 1/#clients bandwidth enforcement.
+    let ha_share = (config.target_utilization / config.clients as f64)
+        .min(config.target_utilization - config.base_utilization + 1e-9)
+        .max(0.002);
+    for a in 0..config.accelerators {
+        let client = processors + a;
+        let period = rng.range_u64(3000, 6000);
+        let wcet = ((ha_share * period as f64).round() as u64).clamp(1, period);
+        per_client[client]
+            .push(Task::new(next_id[client], period, wcet).expect("valid HA task"));
+        next_id[client] += 1;
+    }
+
+    // 3. Processor interference tasks until the target utilization is hit.
+    let mut total: f64 = per_client
+        .iter()
+        .flatten()
+        .map(|t| t.wcet() as f64 / t.period() as f64)
+        .sum();
+    let mut guard = 0;
+    while total < config.target_utilization - 0.005 && guard < 10_000 {
+        guard += 1;
+        let gap = config.target_utilization - total;
+        let u = rng.range_f64(0.004, 0.03).min(gap.max(0.002));
+        let client = rng.range_usize(0, processors);
+        let task = task_with_utilization(next_id[client], u, 200, 4000, rng);
+        next_id[client] += 1;
+        total += task.utilization();
+        per_client[client].push(task);
+    }
+
+    per_client
+        .into_iter()
+        .map(|tasks| TaskSet::new(tasks).expect("per-client sets stay valid"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::total_utilization;
+
+    #[test]
+    fn catalog_has_twenty_tasks() {
+        assert_eq!(SAFETY_TASKS.len(), 10);
+        assert_eq!(FUNCTION_TASKS.len(), 10);
+        assert!(SAFETY_TASKS.iter().all(|t| t.safety));
+        assert!(FUNCTION_TASKS.iter().all(|t| !t.safety));
+    }
+
+    #[test]
+    fn generates_clients_plus_accelerators() {
+        let mut rng = SimRng::seed_from(1);
+        let cfg = CaseStudyConfig::fig7(16, 0.5);
+        let sets = generate(&cfg, &mut rng);
+        assert_eq!(sets.len(), 18);
+    }
+
+    #[test]
+    fn total_utilization_near_target() {
+        let mut rng = SimRng::seed_from(2);
+        for &target in &[0.3, 0.5, 0.7, 0.9] {
+            let cfg = CaseStudyConfig::fig7(16, target);
+            let sets = generate(&cfg, &mut rng);
+            let u = total_utilization(&sets);
+            assert!(
+                (u - target).abs() < 0.12,
+                "target {target}, got {u}"
+            );
+        }
+    }
+
+    #[test]
+    fn accelerators_get_bursty_tasks() {
+        let mut rng = SimRng::seed_from(3);
+        let cfg = CaseStudyConfig::fig7(16, 0.6);
+        let sets = generate(&cfg, &mut rng);
+        for ha in &sets[16..] {
+            assert_eq!(ha.len(), 1);
+            assert!(ha.tasks()[0].period() >= 3000, "HA tasks are long-period");
+        }
+    }
+
+    #[test]
+    fn base_tasks_only_on_processors() {
+        let mut rng = SimRng::seed_from(4);
+        let cfg = CaseStudyConfig::fig7(64, 0.35);
+        let sets = generate(&cfg, &mut rng);
+        // The 20 catalogue tasks live on clients 0..64; HAs have exactly
+        // their single inference task.
+        let processor_tasks: usize = sets[..64].iter().map(TaskSet::len).sum();
+        assert!(processor_tasks >= 20);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = CaseStudyConfig::fig7(16, 0.6);
+        let a = generate(&cfg, &mut SimRng::seed_from(5));
+        let b = generate(&cfg, &mut SimRng::seed_from(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn low_target_keeps_base_scaled_down() {
+        let mut rng = SimRng::seed_from(6);
+        let cfg = CaseStudyConfig::fig7(16, 0.2);
+        assert!(cfg.base_utilization <= 0.2);
+        let sets = generate(&cfg, &mut rng);
+        let u = total_utilization(&sets);
+        assert!(u < 0.35, "got {u}");
+    }
+
+    #[test]
+    #[should_panic(expected = "target utilization")]
+    fn bad_target_panics() {
+        let _ = CaseStudyConfig::fig7(16, 0.0);
+    }
+}

@@ -1,0 +1,333 @@
+//! A portable text format for workloads, so an exact experimental trial
+//! (e.g. one that exposed a deadline miss) can be saved, shared and
+//! replayed bit-identically.
+//!
+//! The format is line-based and versioned:
+//!
+//! ```text
+//! # bluescale workload v1
+//! client 0
+//! task 0 period 400 deadline 400 wcet 4
+//! task 1 period 1000 deadline 900 wcet 25
+//! client 1
+//! ```
+//!
+//! Blank lines and `#` comments are ignored. A `client` line with no
+//! following `task` lines declares an idle client (empty task set).
+
+use bluescale_rt::task::{Task, TaskSet};
+use bluescale_rt::Error as RtError;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+/// Errors raised while parsing a workload file.
+#[derive(Debug)]
+pub enum ParseWorkloadError {
+    /// The version header is missing or unsupported.
+    BadHeader,
+    /// A line could not be parsed.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// Task parameters were rejected by the analysis layer.
+    InvalidTask(RtError),
+    /// Reading the file failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ParseWorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseWorkloadError::BadHeader => {
+                write!(f, "missing or unsupported workload header")
+            }
+            ParseWorkloadError::BadLine { line, reason } => {
+                write!(f, "line {line}: {reason}")
+            }
+            ParseWorkloadError::InvalidTask(e) => write!(f, "invalid task: {e}"),
+            ParseWorkloadError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseWorkloadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseWorkloadError::InvalidTask(e) => Some(e),
+            ParseWorkloadError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RtError> for ParseWorkloadError {
+    fn from(e: RtError) -> Self {
+        ParseWorkloadError::InvalidTask(e)
+    }
+}
+
+impl From<std::io::Error> for ParseWorkloadError {
+    fn from(e: std::io::Error) -> Self {
+        ParseWorkloadError::Io(e)
+    }
+}
+
+const HEADER: &str = "# bluescale workload v1";
+
+/// Serializes per-client task sets into the workload text format.
+///
+/// # Example
+///
+/// ```
+/// use bluescale_rt::task::{Task, TaskSet};
+/// use bluescale_workload::file::{to_string, from_str};
+///
+/// let sets = vec![TaskSet::new(vec![Task::new(0, 100, 5)?])?, TaskSet::empty()];
+/// let text = to_string(&sets);
+/// assert_eq!(from_str(&text)?, sets);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn to_string(sets: &[TaskSet]) -> String {
+    let mut out = String::from(HEADER);
+    out.push('\n');
+    for (client, set) in sets.iter().enumerate() {
+        out.push_str(&format!("client {client}\n"));
+        for task in set {
+            out.push_str(&format!(
+                "task {} period {} deadline {} wcet {}\n",
+                task.id(),
+                task.period(),
+                task.deadline(),
+                task.wcet()
+            ));
+        }
+    }
+    out
+}
+
+/// Parses the workload text format back into per-client task sets.
+///
+/// # Errors
+///
+/// Returns a [`ParseWorkloadError`] for a missing header, malformed
+/// lines, task lines outside a client block, or invalid task parameters.
+pub fn from_str(text: &str) -> Result<Vec<TaskSet>, ParseWorkloadError> {
+    let mut lines = text.lines().enumerate();
+    // Header must be the first non-blank, non-comment... it IS a comment,
+    // so check it verbatim as the first non-empty line.
+    let header = lines
+        .by_ref()
+        .map(|(_, l)| l.trim())
+        .find(|l| !l.is_empty())
+        .ok_or(ParseWorkloadError::BadHeader)?;
+    if header != HEADER {
+        return Err(ParseWorkloadError::BadHeader);
+    }
+    let mut sets: Vec<TaskSet> = Vec::new();
+    let mut current: Option<Vec<Task>> = None;
+    for (idx, raw) in lines {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        match words.next() {
+            Some("client") => {
+                let id: usize = parse_field(&mut words, "client id", idx)?;
+                if id != sets.len() + usize::from(current.is_some()) {
+                    return Err(ParseWorkloadError::BadLine {
+                        line: idx + 1,
+                        reason: format!("client ids must be dense; expected {}", sets.len()),
+                    });
+                }
+                if let Some(tasks) = current.take() {
+                    sets.push(TaskSet::new(tasks)?);
+                }
+                current = Some(Vec::new());
+            }
+            Some("task") => {
+                let tasks = current.as_mut().ok_or(ParseWorkloadError::BadLine {
+                    line: idx + 1,
+                    reason: "task line before any client line".to_owned(),
+                })?;
+                let id: u32 = parse_field(&mut words, "task id", idx)?;
+                expect_keyword(&mut words, "period", idx)?;
+                let period: u64 = parse_field(&mut words, "period", idx)?;
+                expect_keyword(&mut words, "deadline", idx)?;
+                let deadline: u64 = parse_field(&mut words, "deadline", idx)?;
+                expect_keyword(&mut words, "wcet", idx)?;
+                let wcet: u64 = parse_field(&mut words, "wcet", idx)?;
+                tasks.push(Task::with_deadline(id, period, deadline, wcet)?);
+            }
+            Some(other) => {
+                return Err(ParseWorkloadError::BadLine {
+                    line: idx + 1,
+                    reason: format!("unknown directive `{other}`"),
+                })
+            }
+            None => unreachable!("blank lines are skipped"),
+        }
+    }
+    if let Some(tasks) = current.take() {
+        sets.push(TaskSet::new(tasks)?);
+    }
+    Ok(sets)
+}
+
+fn expect_keyword<'a>(
+    words: &mut impl Iterator<Item = &'a str>,
+    keyword: &str,
+    idx: usize,
+) -> Result<(), ParseWorkloadError> {
+    match words.next() {
+        Some(w) if w == keyword => Ok(()),
+        other => Err(ParseWorkloadError::BadLine {
+            line: idx + 1,
+            reason: format!("expected `{keyword}`, found {other:?}"),
+        }),
+    }
+}
+
+fn parse_field<'a, T: std::str::FromStr>(
+    words: &mut impl Iterator<Item = &'a str>,
+    what: &str,
+    idx: usize,
+) -> Result<T, ParseWorkloadError> {
+    words
+        .next()
+        .ok_or_else(|| ParseWorkloadError::BadLine {
+            line: idx + 1,
+            reason: format!("missing {what}"),
+        })?
+        .parse()
+        .map_err(|_| ParseWorkloadError::BadLine {
+            line: idx + 1,
+            reason: format!("unparsable {what}"),
+        })
+}
+
+/// Saves a workload to `path`.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn save(path: impl AsRef<Path>, sets: &[TaskSet]) -> Result<(), ParseWorkloadError> {
+    fs::write(path, to_string(sets))?;
+    Ok(())
+}
+
+/// Loads a workload from `path`.
+///
+/// # Errors
+///
+/// Propagates I/O failures and parse errors.
+pub fn load(path: impl AsRef<Path>) -> Result<Vec<TaskSet>, ParseWorkloadError> {
+    from_str(&fs::read_to_string(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{generate, SyntheticConfig};
+    use bluescale_sim::rng::SimRng;
+
+    fn sample() -> Vec<TaskSet> {
+        vec![
+            TaskSet::new(vec![
+                Task::new(0, 100, 5).unwrap(),
+                Task::with_deadline(1, 200, 150, 10).unwrap(),
+            ])
+            .unwrap(),
+            TaskSet::empty(),
+            TaskSet::new(vec![Task::new(0, 80, 4).unwrap()]).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let sets = sample();
+        let text = to_string(&sets);
+        assert_eq!(from_str(&text).unwrap(), sets);
+    }
+
+    #[test]
+    fn round_trip_of_generated_workload() {
+        let mut rng = SimRng::seed_from(42);
+        let sets = generate(&SyntheticConfig::fig6(16), &mut rng);
+        let text = to_string(&sets);
+        assert_eq!(from_str(&text).unwrap(), sets);
+    }
+
+    #[test]
+    fn header_is_required() {
+        assert!(matches!(
+            from_str("client 0\n"),
+            Err(ParseWorkloadError::BadHeader)
+        ));
+        assert!(matches!(from_str(""), Err(ParseWorkloadError::BadHeader)));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# bluescale workload v1\n\n# a comment\nclient 0\n\ntask 0 period 10 deadline 10 wcet 1\n";
+        let sets = from_str(text).unwrap();
+        assert_eq!(sets.len(), 1);
+        assert_eq!(sets[0].len(), 1);
+    }
+
+    #[test]
+    fn task_before_client_rejected() {
+        let text = "# bluescale workload v1\ntask 0 period 10 deadline 10 wcet 1\n";
+        assert!(matches!(
+            from_str(text),
+            Err(ParseWorkloadError::BadLine { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn sparse_client_ids_rejected() {
+        let text = "# bluescale workload v1\nclient 1\n";
+        assert!(from_str(text).is_err());
+    }
+
+    #[test]
+    fn malformed_numbers_rejected() {
+        let text = "# bluescale workload v1\nclient 0\ntask x period 10 deadline 10 wcet 1\n";
+        assert!(from_str(text).is_err());
+    }
+
+    #[test]
+    fn invalid_task_parameters_rejected() {
+        // wcet > deadline.
+        let text = "# bluescale workload v1\nclient 0\ntask 0 period 10 deadline 5 wcet 6\n";
+        assert!(matches!(
+            from_str(text),
+            Err(ParseWorkloadError::InvalidTask(_))
+        ));
+    }
+
+    #[test]
+    fn save_and_load_file() {
+        let dir = std::env::temp_dir().join("bluescale-workload-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trial.bsw");
+        let sets = sample();
+        save(&path, &sets).unwrap();
+        assert_eq!(load(&path).unwrap(), sets);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = ParseWorkloadError::BadLine {
+            line: 3,
+            reason: "nope".to_owned(),
+        };
+        assert!(e.to_string().contains("line 3"));
+        assert!(!ParseWorkloadError::BadHeader.to_string().is_empty());
+    }
+}

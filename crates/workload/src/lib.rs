@@ -1,0 +1,46 @@
+//! Workload generation for the BlueScale evaluation.
+//!
+//! Three generators cover the paper's experiments:
+//!
+//! * [`uunifast`] — the UUniFast algorithm (Bini & Buttazzo) for unbiased
+//!   utilization splits, plus periodic task-set synthesis.
+//! * [`synthetic`] — the Section 6.3 traffic-generator workloads: random
+//!   periodic task sets with implicit deadlines bounding interconnect
+//!   utilization between 70 % and 90 %.
+//! * [`mod@file`] — a portable text format to save and replay exact trial
+//!   workloads.
+//! * [`casestudy`] — the Section 6.4 automotive case study: 10 safety tasks
+//!   (Renesas use-case catalogue) + 10 function tasks (EEMBC AutoBench),
+//!   ~30 % base utilization, plus interference tasks that sweep the target
+//!   utilization, with the last clients acting as DNN hardware
+//!   accelerators issuing burstier traffic.
+
+#![warn(missing_docs)]
+
+pub mod casestudy;
+pub mod file;
+pub mod synthetic;
+pub mod uunifast;
+
+use bluescale_rt::task::TaskSet;
+
+/// Total utilization of a collection of per-client task sets.
+pub fn total_utilization(sets: &[TaskSet]) -> f64 {
+    sets.iter().map(TaskSet::utilization).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bluescale_rt::task::Task;
+
+    #[test]
+    fn total_utilization_sums_sets() {
+        let sets = vec![
+            TaskSet::new(vec![Task::new(0, 10, 1).unwrap()]).unwrap(),
+            TaskSet::new(vec![Task::new(0, 10, 2).unwrap()]).unwrap(),
+            TaskSet::empty(),
+        ];
+        assert!((total_utilization(&sets) - 0.3).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,148 @@
+//! Synthetic traffic-generator workloads (paper, Section 6.3).
+//!
+//! "The workloads on the traffic generators were randomly generated
+//! offline, with specified periods and implicit deadlines, bounding the
+//! interconnect utilization between 70 % and 90 % in each experimental
+//! trial."
+
+use crate::uunifast::{taskset_with_utilization, uunifast};
+use bluescale_rt::task::TaskSet;
+use bluescale_sim::rng::SimRng;
+
+/// Parameters of one synthetic trial.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyntheticConfig {
+    /// Number of traffic generators (16 or 64 in the paper).
+    pub clients: usize,
+    /// Lower bound on total interconnect utilization.
+    pub util_lo: f64,
+    /// Upper bound on total interconnect utilization.
+    pub util_hi: f64,
+    /// Tasks per client (1..=this, drawn per client).
+    pub max_tasks_per_client: usize,
+    /// Shortest task period in cycles.
+    pub period_min: u64,
+    /// Longest task period in cycles.
+    pub period_max: u64,
+}
+
+impl SyntheticConfig {
+    /// The paper's Fig 6 setup for `clients` traffic generators:
+    /// interconnect utilization in [0.70, 0.90], up to 3 tasks per client,
+    /// periods 200–4000 cycles.
+    pub fn fig6(clients: usize) -> Self {
+        Self {
+            clients,
+            util_lo: 0.70,
+            util_hi: 0.90,
+            max_tasks_per_client: 3,
+            period_min: 200,
+            period_max: 4000,
+        }
+    }
+}
+
+/// Generates one synthetic trial: a task set per traffic generator whose
+/// combined utilization falls in `[util_lo, util_hi]`.
+///
+/// # Panics
+///
+/// Panics if the configuration is degenerate (zero clients, empty
+/// utilization interval, empty period range).
+///
+/// # Example
+///
+/// ```
+/// use bluescale_sim::rng::SimRng;
+/// use bluescale_workload::synthetic::{generate, SyntheticConfig};
+/// use bluescale_workload::total_utilization;
+///
+/// let mut rng = SimRng::seed_from(42);
+/// let sets = generate(&SyntheticConfig::fig6(16), &mut rng);
+/// assert_eq!(sets.len(), 16);
+/// let u = total_utilization(&sets);
+/// assert!(u > 0.6 && u < 1.0);
+/// ```
+pub fn generate(config: &SyntheticConfig, rng: &mut SimRng) -> Vec<TaskSet> {
+    assert!(config.clients > 0, "at least one client required");
+    assert!(
+        config.util_lo > 0.0 && config.util_lo <= config.util_hi,
+        "bad utilization interval"
+    );
+    assert!(config.max_tasks_per_client >= 1, "need at least one task");
+    let target = rng.range_f64(config.util_lo, config.util_hi);
+    // Split the total over clients with UUniFast, then within each client
+    // over its tasks.
+    let per_client = uunifast(config.clients, target, rng);
+    per_client
+        .into_iter()
+        .map(|u| {
+            let u = u.max(1e-4);
+            let tasks = rng.range_usize(1, config.max_tasks_per_client + 1);
+            taskset_with_utilization(
+                tasks,
+                u,
+                config.period_min,
+                config.period_max,
+                rng,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::total_utilization;
+
+    #[test]
+    fn generates_requested_clients() {
+        let mut rng = SimRng::seed_from(1);
+        let sets = generate(&SyntheticConfig::fig6(64), &mut rng);
+        assert_eq!(sets.len(), 64);
+        assert!(sets.iter().all(|s| !s.is_empty()));
+    }
+
+    #[test]
+    fn utilization_in_band() {
+        let mut rng = SimRng::seed_from(2);
+        for _ in 0..20 {
+            let u = total_utilization(&generate(&SyntheticConfig::fig6(16), &mut rng));
+            // Integer rounding can push slightly past the band edges.
+            assert!(u > 0.55 && u < 1.05, "total utilization {u}");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = generate(&SyntheticConfig::fig6(16), &mut SimRng::seed_from(9));
+        let b = generate(&SyntheticConfig::fig6(16), &mut SimRng::seed_from(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&SyntheticConfig::fig6(16), &mut SimRng::seed_from(1));
+        let b = generate(&SyntheticConfig::fig6(16), &mut SimRng::seed_from(2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn periods_respect_range() {
+        let mut rng = SimRng::seed_from(4);
+        let cfg = SyntheticConfig::fig6(16);
+        for set in generate(&cfg, &mut rng) {
+            for t in &set {
+                assert!(t.period() >= cfg.period_min);
+                assert!(t.period() <= cfg.period_max);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client")]
+    fn zero_clients_panics() {
+        let mut rng = SimRng::seed_from(0);
+        let _ = generate(&SyntheticConfig::fig6(0), &mut rng);
+    }
+}

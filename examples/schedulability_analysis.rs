@@ -1,0 +1,91 @@
+//! Interface selection walkthrough: size the Virtual Elements of one Scale
+//! Element by hand, exactly as the paper's Section 5 describes.
+//!
+//! ```text
+//! cargo run --example schedulability_analysis
+//! ```
+
+use bluescale_repro::rt::demand::dbf_set;
+use bluescale_repro::rt::interface::{
+    max_feasible_period, min_budget_for_period, select_interface, select_se_interfaces,
+    server_tasks, SelectionContext,
+};
+use bluescale_repro::rt::schedulability::{is_schedulable, theorem1_bound};
+use bluescale_repro::rt::task::{Task, TaskSet};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Four clients of one SE, with distinct demand profiles.
+    let clients = vec![
+        TaskSet::new(vec![Task::new(0, 100, 8)?, Task::new(1, 250, 10)?])?,
+        TaskSet::new(vec![Task::new(0, 400, 12)?])?,
+        TaskSet::new(vec![Task::new(0, 80, 4)?])?,
+        TaskSet::empty(), // idle port
+    ];
+
+    println!("== Interface selection problem at one Scale Element ==\n");
+    let total: f64 = clients.iter().map(TaskSet::utilization).sum();
+    println!("combined utilization U = {total:.3}\n");
+
+    // Step through client 0 manually.
+    let set = &clients[0];
+    let ctx = SelectionContext::shared(total);
+    let max_pi = max_feasible_period(set, &ctx);
+    println!("client 0: U_X = {:.3}", set.utilization());
+    println!("Theorem 2 period bound: Π ≤ {max_pi}");
+    for pi in [5, 10, 20, max_pi] {
+        match min_budget_for_period(set, pi) {
+            Some(theta) => println!(
+                "  Π = {pi:3}: minimal Θ = {theta:2} → bandwidth {:.3}",
+                theta as f64 / pi as f64
+            ),
+            None => println!("  Π = {pi:3}: infeasible"),
+        }
+    }
+    let chosen = select_interface(set, &ctx)?;
+    println!(
+        "selected: (Π = {}, Θ = {}) with bandwidth {:.3}\n",
+        chosen.period(),
+        chosen.budget(),
+        chosen.bandwidth()
+    );
+
+    // Verify the dbf ≤ sbf test at a few points.
+    let beta = theorem1_bound(set, &chosen).expect("bandwidth exceeds utilization");
+    println!("Theorem 1 horizon β = {beta:.1}");
+    println!(" t   | dbf(t) | sbf(t)");
+    for t in (0..=beta.ceil() as u64).step_by((beta / 8.0).ceil() as usize) {
+        println!("{t:4} | {:6} | {:6}", dbf_set(set, t), chosen.sbf(t));
+    }
+    assert!(is_schedulable(set, &chosen));
+    println!("dbf(t) ≤ sbf(t) for all t — client 0 is schedulable.\n");
+
+    // Size the whole SE, then compose the level above.
+    println!("== Full SE composition ==");
+    let interfaces = select_se_interfaces(&clients)?;
+    for (port, iface) in interfaces.iter().enumerate() {
+        match iface {
+            Some(r) => println!(
+                "port {port}: (Π = {:3}, Θ = {:2}), bandwidth {:.3}",
+                r.period(),
+                r.budget(),
+                r.bandwidth()
+            ),
+            None => println!("port {port}: idle (no server task)"),
+        }
+    }
+    let chosen: Vec<_> = interfaces.into_iter().flatten().collect();
+    let servers = server_tasks(&chosen)?;
+    println!(
+        "\nserver tasks exported to the parent SE: {} tasks, U = {:.3}",
+        servers.len(),
+        servers.utilization()
+    );
+    let parent = select_interface(&servers, &SelectionContext::isolated(&servers))?;
+    println!(
+        "parent VE interface: (Π = {}, Θ = {}), bandwidth {:.3}",
+        parent.period(),
+        parent.budget(),
+        parent.bandwidth()
+    );
+    Ok(())
+}

@@ -1,0 +1,43 @@
+//! Umbrella crate for the BlueScale reproduction workspace.
+//!
+//! Re-exports every sub-crate under a stable name so that examples and
+//! integration tests can write `use bluescale_repro::core::...` instead of
+//! depending on each crate individually.
+//!
+//! The interesting code lives in the member crates:
+//!
+//! * [`sim`] — cycle-level simulation kernel (clock, RNG, statistics).
+//! * [`rt`] — real-time scheduling theory: periodic tasks, DBF/SBF, the
+//!   periodic resource model and the interface-selection algorithm of the
+//!   paper's Section 5.
+//! * [`mem`] — DRAM + memory-controller substrate.
+//! * [`interconnect`] — common interconnect framework: requests, clients,
+//!   the [`interconnect::Interconnect`] trait and the system harness.
+//! * [`core`] — BlueScale itself: Scale Elements, nested priority queues,
+//!   interface selectors, quadtree construction.
+//! * [`baselines`] — AXI-IC^RT, BlueTree, BlueTree-Smooth, GSMTree-TDM and
+//!   GSMTree-FBSP comparison interconnects.
+//! * [`hwcost`] — analytic hardware cost model (Table 1 / Fig 5).
+//! * [`noc`] — mesh NoC substrate and the legacy memory-over-NoC path.
+//! * [`workload`] — task-set and traffic generation (UUniFast, case study).
+//!
+//! # Example
+//!
+//! ```
+//! use bluescale_repro::core::BlueScaleConfig;
+//!
+//! let config = BlueScaleConfig::for_clients(16);
+//! assert_eq!(config.levels(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use bluescale as core;
+pub use bluescale_baselines as baselines;
+pub use bluescale_hwcost as hwcost;
+pub use bluescale_interconnect as interconnect;
+pub use bluescale_mem as mem;
+pub use bluescale_noc as noc;
+pub use bluescale_rt as rt;
+pub use bluescale_sim as sim;
+pub use bluescale_workload as workload;

@@ -1,0 +1,161 @@
+//! End-to-end integration tests: every interconnect architecture driven by
+//! the same harness on the same workloads.
+
+use bluescale_repro::baselines::{AxiIcRt, BlueTree, GsmTree, SlotPolicy};
+use bluescale_repro::core::{BlueScaleConfig, BlueScaleInterconnect};
+use bluescale_repro::interconnect::system::System;
+use bluescale_repro::interconnect::Interconnect;
+use bluescale_repro::rt::task::{Task, TaskSet};
+use bluescale_repro::sim::rng::SimRng;
+use bluescale_repro::workload::synthetic::{generate, SyntheticConfig};
+
+fn light_sets(n: usize) -> Vec<TaskSet> {
+    (0..n)
+        .map(|i| {
+            TaskSet::new(vec![Task::new(0, 500 + 10 * i as u64, 3).unwrap()]).unwrap()
+        })
+        .collect()
+}
+
+fn all_interconnects(task_sets: &[TaskSet]) -> Vec<Box<dyn Interconnect>> {
+    let n = task_sets.len();
+    let weights: Vec<f64> = task_sets
+        .iter()
+        .map(|s| s.utilization().max(1e-4))
+        .collect();
+    let mut bs = BlueScaleConfig::for_clients(n);
+    bs.work_conserving = true;
+    vec![
+        Box::new(AxiIcRt::new(n, 8, 1)),
+        Box::new(BlueTree::new(n, 2, 1)),
+        Box::new(BlueTree::smooth(n, 2, 1)),
+        Box::new(GsmTree::new(n, SlotPolicy::Tdm, 1)),
+        Box::new(GsmTree::new(n, SlotPolicy::Fbsp(weights), 1)),
+        Box::new(BlueScaleInterconnect::new(bs, task_sets).expect("valid build")),
+    ]
+}
+
+#[test]
+fn light_load_no_misses_on_any_architecture() {
+    let sets = light_sets(16);
+    for ic in all_interconnects(&sets) {
+        let name = ic.name();
+        let mut system = System::new(ic, &sets);
+        let m = system.run(20_000);
+        assert!(m.issued() > 1000, "{name}: issued {}", m.issued());
+        assert!(m.success(), "{name}: {} misses", m.missed());
+    }
+}
+
+#[test]
+fn conservation_no_requests_lost() {
+    // Everything issued is either completed or still in flight at the end.
+    let sets = light_sets(16);
+    for ic in all_interconnects(&sets) {
+        let name = ic.name();
+        let mut system = System::new(ic, &sets);
+        let m = system.run(10_000);
+        let leftover = system.in_flight() as u64;
+        assert_eq!(
+            m.completed() + leftover + m.backlog(),
+            m.issued(),
+            "{name}: {} completed + {} in flight + {} backlog != {} issued",
+            m.completed(),
+            leftover,
+            m.backlog(),
+            m.issued()
+        );
+    }
+}
+
+#[test]
+fn sixty_four_clients_all_architectures() {
+    let sets = light_sets(64);
+    for ic in all_interconnects(&sets) {
+        let name = ic.name();
+        let mut system = System::new(ic, &sets);
+        let m = system.run(15_000);
+        assert!(m.issued() > 1000, "{name}");
+        assert!(
+            m.miss_ratio() < 0.01,
+            "{name}: miss ratio {}",
+            m.miss_ratio()
+        );
+    }
+}
+
+#[test]
+fn identical_seeds_produce_identical_metrics() {
+    let mut rng_a = SimRng::seed_from(99);
+    let mut rng_b = SimRng::seed_from(99);
+    let sets_a = generate(&SyntheticConfig::fig6(16), &mut rng_a);
+    let sets_b = generate(&SyntheticConfig::fig6(16), &mut rng_b);
+    assert_eq!(sets_a, sets_b);
+
+    let run = |sets: &[TaskSet]| {
+        let mut config = BlueScaleConfig::for_clients(16);
+        config.work_conserving = true;
+        let ic = Box::new(BlueScaleInterconnect::new(config, sets).expect("valid"))
+            as Box<dyn Interconnect>;
+        let mut system = System::new(ic, sets);
+        let m = system.run(10_000);
+        (m.issued(), m.completed(), m.missed(), m.mean_latency())
+    };
+    assert_eq!(run(&sets_a), run(&sets_b));
+}
+
+#[test]
+fn saturated_memory_channel_is_fully_utilized() {
+    // Offered load > 1: the channel must stay busy (≈ one completion per
+    // cycle once the pipeline fills) regardless of architecture.
+    let sets: Vec<TaskSet> = (0..16)
+        .map(|_| TaskSet::new(vec![Task::new(0, 100, 10).unwrap()]).unwrap())
+        .collect();
+    for ic in all_interconnects(&sets) {
+        let name = ic.name();
+        let mut system = System::new(ic, &sets);
+        let horizon = 5_000;
+        let m = system.run(horizon);
+        let throughput = m.completed() as f64 / horizon as f64;
+        assert!(
+            throughput > 0.90,
+            "{name}: throughput {throughput:.3} requests/cycle"
+        );
+    }
+}
+
+#[test]
+fn responses_route_back_to_issuing_client() {
+    // Drive BlueScale directly and verify response routing field-by-field.
+    let sets = light_sets(16);
+    let mut config = BlueScaleConfig::for_clients(16);
+    config.work_conserving = true;
+    let mut ic = BlueScaleInterconnect::new(config, &sets).expect("valid");
+    use bluescale_repro::interconnect::{AccessKind, MemoryRequest};
+    for c in 0..16u16 {
+        ic.inject(
+            MemoryRequest {
+                id: 1000 + c as u64,
+                client: c,
+                task: 0,
+                addr: (c as u64) << 20,
+                kind: AccessKind::Read,
+                issued_at: 0,
+                deadline: 500,
+                blocked_cycles: 0,
+            },
+            0,
+        )
+        .expect("leaf buffer has space");
+    }
+    let mut seen = Vec::new();
+    for now in 0..2_000 {
+        ic.step(now);
+        while let Some(resp) = ic.pop_response() {
+            assert_eq!(resp.request.id, 1000 + resp.request.client as u64);
+            seen.push(resp.request.client);
+        }
+    }
+    seen.sort_unstable();
+    assert_eq!(seen, (0..16).collect::<Vec<u16>>());
+}

@@ -1,0 +1,194 @@
+//! Robustness fuzzing of every interconnect: random injection patterns
+//! must never lose, duplicate or misroute a request, on any architecture.
+
+use bluescale_repro::baselines::{AxiIcRt, BlueTree, GsmTree, SlotPolicy};
+use bluescale_repro::core::{BlueScaleConfig, BlueScaleInterconnect};
+use bluescale_repro::noc::NocMemoryInterconnect;
+use bluescale_repro::interconnect::{AccessKind, Interconnect, MemoryRequest};
+use bluescale_repro::rt::task::{Task, TaskSet};
+use bluescale_repro::sim::rng::SimRng;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn build_all(n: usize) -> Vec<Box<dyn Interconnect>> {
+    let sets: Vec<TaskSet> = (0..n)
+        .map(|_| TaskSet::new(vec![Task::new(0, 500, 5).expect("valid")]).expect("valid"))
+        .collect();
+    let weights = vec![1.0; n];
+    let mut bs = BlueScaleConfig::for_clients(n);
+    bs.work_conserving = true;
+    vec![
+        Box::new(AxiIcRt::new(n, 8, 1)),
+        Box::new(BlueTree::new(n, 2, 1)),
+        Box::new(BlueTree::smooth(n, 2, 1)),
+        Box::new(GsmTree::new(n, SlotPolicy::Tdm, 1)),
+        Box::new(GsmTree::new(n, SlotPolicy::Fbsp(weights), 1)),
+        Box::new(BlueScaleInterconnect::new(bs, &sets).expect("valid build")),
+        Box::new(NocMemoryInterconnect::new(n, 1)),
+    ]
+}
+
+/// Drives one interconnect with a random injection schedule and checks
+/// the exactly-once delivery invariants.
+fn fuzz_one(ic: &mut dyn Interconnect, seed: u64, injections: usize) {
+    let name = ic.name();
+    let n = ic.num_clients() as u16;
+    let mut rng = SimRng::seed_from(seed);
+    let mut offered: Vec<MemoryRequest> = (0..injections as u64)
+        .map(|id| {
+            let client = rng.range_u64(0, n as u64) as u16;
+            MemoryRequest {
+                id,
+                client,
+                task: rng.range_u64(0, 4) as u32,
+                addr: rng.next_u64() & 0xFFFF_FFC0,
+                kind: if rng.chance(0.25) {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                },
+                issued_at: 0,
+                deadline: rng.range_u64(100, 100_000),
+                blocked_cycles: 0,
+            }
+        })
+        .collect();
+    let mut accepted: HashMap<u64, u16> = HashMap::new();
+    let mut seen: HashMap<u64, u32> = HashMap::new();
+    let mut now = 0;
+    // Inject with random gaps, stepping as we go.
+    while let Some(mut req) = offered.pop() {
+        req.issued_at = now;
+        let id = req.id;
+        let client = req.client;
+        if ic.inject(req, now).is_ok() {
+            accepted.insert(id, client);
+        }
+        let gap = SimRng::seed_from(seed ^ id).range_u64(0, 4);
+        for _ in 0..=gap {
+            ic.step(now);
+            while let Some(resp) = ic.pop_response() {
+                *seen.entry(resp.request.id).or_insert(0) += 1;
+                assert_eq!(
+                    accepted.get(&resp.request.id),
+                    Some(&resp.request.client),
+                    "{name}: response for unknown/misrouted request"
+                );
+            }
+            now += 1;
+        }
+    }
+    // Drain.
+    for _ in 0..50_000 {
+        ic.step(now);
+        while let Some(resp) = ic.pop_response() {
+            *seen.entry(resp.request.id).or_insert(0) += 1;
+            assert_eq!(
+                accepted.get(&resp.request.id),
+                Some(&resp.request.client),
+                "{name}: response for unknown/misrouted request"
+            );
+        }
+        now += 1;
+        if ic.pending() == 0 {
+            break;
+        }
+    }
+    assert_eq!(ic.pending(), 0, "{name}: requests stuck inside");
+    assert_eq!(
+        seen.len(),
+        accepted.len(),
+        "{name}: some accepted requests never completed"
+    );
+    assert!(
+        seen.values().all(|&count| count == 1),
+        "{name}: a request completed more than once"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn exactly_once_delivery_under_random_injection(
+        seed in any::<u64>(),
+        injections in 1usize..200,
+    ) {
+        for ic in build_all(16).iter_mut() {
+            fuzz_one(ic.as_mut(), seed, injections);
+        }
+    }
+
+    #[test]
+    fn exactly_once_delivery_at_64_clients(seed in any::<u64>()) {
+        for ic in build_all(64).iter_mut() {
+            fuzz_one(ic.as_mut(), seed, 150);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Same invariants with multi-cycle memory service (flat 3) — slower
+    /// drains, busier channel, same exactly-once guarantee.
+    #[test]
+    fn exactly_once_with_slow_memory(seed in any::<u64>()) {
+        use bluescale_repro::mem::DramConfig;
+        let n = 16;
+        let sets: Vec<TaskSet> = (0..n)
+            .map(|_| {
+                TaskSet::new(vec![Task::new(0, 500, 5).expect("valid")]).expect("valid")
+            })
+            .collect();
+        let mut bs = BlueScaleConfig::for_clients(n);
+        bs.work_conserving = true;
+        bs.dram = Some(DramConfig::flat(3));
+        let mut slow: Vec<Box<dyn Interconnect>> = vec![
+            Box::new(AxiIcRt::new(n, 8, 3)),
+            Box::new(BlueTree::new(n, 2, 3)),
+            Box::new(GsmTree::new(n, SlotPolicy::Tdm, 3)),
+            Box::new(BlueScaleInterconnect::new(bs, &sets).expect("valid build")),
+            Box::new(NocMemoryInterconnect::new(n, 3)),
+        ];
+        for ic in slow.iter_mut() {
+            fuzz_one(ic.as_mut(), seed, 80);
+        }
+    }
+}
+
+#[test]
+fn burst_injection_to_one_client_port() {
+    // Hammer a single port: backpressure must reject cleanly, never drop.
+    for ic in build_all(16).iter_mut() {
+        let name = ic.name();
+        let mut accepted = 0u64;
+        for id in 0..100u64 {
+            let req = MemoryRequest {
+                id,
+                client: 3,
+                task: 0,
+                addr: id * 64,
+                kind: AccessKind::Read,
+                issued_at: 0,
+                deadline: 1_000_000,
+                blocked_cycles: 0,
+            };
+            if ic.inject(req, 0).is_ok() {
+                accepted += 1;
+            }
+        }
+        assert!(accepted > 0, "{name}: nothing accepted");
+        let mut done = 0u64;
+        for now in 0..100_000 {
+            ic.step(now);
+            while ic.pop_response().is_some() {
+                done += 1;
+            }
+            if done == accepted {
+                break;
+            }
+        }
+        assert_eq!(done, accepted, "{name}: burst requests lost");
+    }
+}

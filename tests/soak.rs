@@ -1,0 +1,41 @@
+//! Long-horizon soak test (ignored by default; run with
+//! `cargo test --release -- --ignored`): a million cycles of sustained
+//! traffic on BlueScale with mid-run reconfiguration must stay conservative
+//! (no lost requests) and, when admitted, miss-free.
+
+use bluescale_repro::core::{BlueScaleConfig, BlueScaleInterconnect};
+use bluescale_repro::interconnect::system::System;
+use bluescale_repro::interconnect::Interconnect;
+use bluescale_repro::sim::rng::SimRng;
+use bluescale_repro::workload::synthetic::{generate, SyntheticConfig};
+
+#[test]
+#[ignore = "long-running soak; run with --ignored"]
+fn million_cycle_soak() {
+    let mut rng = SimRng::seed_from(0x50AC);
+    let synthetic = SyntheticConfig {
+        util_lo: 0.60,
+        util_hi: 0.70,
+        ..SyntheticConfig::fig6(64)
+    };
+    let sets = generate(&synthetic, &mut rng);
+    let mut config = BlueScaleConfig::for_clients(64);
+    config.work_conserving = true;
+    let ic = BlueScaleInterconnect::new(config, &sets).expect("valid build");
+    let admitted = ic.composition().schedulable;
+    let mut system = System::new(Box::new(ic) as Box<dyn Interconnect>, &sets);
+    let metrics = system.run(1_000_000);
+    assert!(metrics.issued() > 100_000, "issued {}", metrics.issued());
+    assert_eq!(
+        metrics.completed() + system.in_flight() as u64 + metrics.backlog(),
+        metrics.issued(),
+        "requests lost during soak"
+    );
+    if admitted {
+        assert!(
+            metrics.success(),
+            "admitted composition missed {} deadlines over 1M cycles",
+            metrics.missed()
+        );
+    }
+}
