@@ -228,7 +228,9 @@ impl Interconnect for BlueTree {
         let client = request.client as usize;
         let node = client / 2;
         let side = Side::from_index(client);
-        self.nodes[leaf_level][node].buffer_mut(side).try_push(request)
+        self.nodes[leaf_level][node]
+            .buffer_mut(side)
+            .try_push(request)
     }
 
     fn step(&mut self, now: Cycle) {
@@ -287,12 +289,7 @@ impl Interconnect for BlueTree {
     }
 
     fn pending(&self) -> usize {
-        let buffered: usize = self
-            .nodes
-            .iter()
-            .flatten()
-            .map(MuxNode::occupancy)
-            .sum();
+        let buffered: usize = self.nodes.iter().flatten().map(MuxNode::occupancy).sum();
         buffered
             + usize::from(!self.controller.can_accept())
             + self.response_line.len()

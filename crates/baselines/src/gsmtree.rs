@@ -77,10 +77,7 @@ impl GsmTree {
     pub fn with_dram(num_clients: usize, policy: SlotPolicy, dram: DramConfig) -> Self {
         assert!(num_clients > 0, "at least one client required");
         let (frame, name) = match &policy {
-            SlotPolicy::Tdm => (
-                (0..num_clients as u16).collect::<Vec<_>>(),
-                "GSMTree-TDM",
-            ),
+            SlotPolicy::Tdm => ((0..num_clients as u16).collect::<Vec<_>>(), "GSMTree-TDM"),
             SlotPolicy::Fbsp(weights) => {
                 assert_eq!(
                     weights.len(),
@@ -271,13 +268,12 @@ mod tests {
 
     #[test]
     fn fbsp_frame_weights_slots() {
-        let t = GsmTree::new(
-            4,
-            SlotPolicy::Fbsp(vec![3.0, 1.0, 1.0, 1.0]),
-            1,
-        );
+        let t = GsmTree::new(4, SlotPolicy::Fbsp(vec![3.0, 1.0, 1.0, 1.0]), 1);
         assert_eq!(t.frame_len(), 8);
-        assert!(t.slots_of(0) > t.slots_of(1), "heavy client gets more slots");
+        assert!(
+            t.slots_of(0) > t.slots_of(1),
+            "heavy client gets more slots"
+        );
         let total: usize = (0..4).map(|c| t.slots_of(c)).sum();
         assert_eq!(total, 8);
         for c in 0..4 {

@@ -1,101 +1,88 @@
-//! Criterion micro-benchmarks of the analysis path: SBF/DBF evaluation,
+//! Micro-benchmarks of the analysis path: SBF/DBF evaluation,
 //! schedulability testing and interface selection — the computation the
 //! interface selector's datapath (ALU + scratchpad) performs in hardware.
+//!
+//! Plain timing harness (`harness = false`): the container has no registry
+//! access for criterion. Run with `cargo bench -p bluescale-bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use bluescale_rt::demand::dbf_set;
 use bluescale_rt::fixed_priority::is_schedulable_fp;
 use bluescale_rt::interface::{select_interface, select_se_interfaces, SelectionContext};
 use bluescale_rt::schedulability::is_schedulable;
-use bluescale_rt::validate::edf_meets_deadlines;
 use bluescale_rt::supply::PeriodicResource;
 use bluescale_rt::task::{Task, TaskSet};
+use bluescale_rt::validate::edf_meets_deadlines;
 use bluescale_sim::rng::SimRng;
 use bluescale_workload::uunifast::taskset_with_utilization;
+
+fn time<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) {
+    // Warm-up.
+    for _ in 0..iters.div_ceil(10).min(100) {
+        black_box(f());
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let per_iter = t0.elapsed().as_nanos() / iters as u128;
+    println!("{name:<42} {per_iter:>12} ns/iter ({iters} iters)");
+}
 
 fn sample_set(tasks: usize, seed: u64) -> TaskSet {
     let mut rng = SimRng::seed_from(seed);
     taskset_with_utilization(tasks, 0.4, 100, 2000, &mut rng)
 }
 
-fn bench_dbf(c: &mut Criterion) {
-    let set = sample_set(8, 1);
-    c.bench_function("dbf_set/8tasks/t=10k", |b| {
-        b.iter(|| dbf_set(black_box(&set), black_box(10_000)))
+fn main() {
+    let set8 = sample_set(8, 1);
+    time("dbf_set/8tasks/t=10k", 100_000, || {
+        dbf_set(black_box(&set8), black_box(10_000))
     });
-}
 
-fn bench_sbf(c: &mut Criterion) {
     let r = PeriodicResource::new(50, 17).expect("valid");
-    c.bench_function("sbf/t=10k", |b| {
-        b.iter(|| black_box(&r).sbf(black_box(10_000)))
+    time("sbf/t=10k", 100_000, || {
+        black_box(&r).sbf(black_box(10_000))
     });
-}
 
-fn bench_schedulability(c: &mut Criterion) {
-    let mut group = c.benchmark_group("is_schedulable");
     for tasks in [2usize, 4, 8] {
         let set = sample_set(tasks, tasks as u64);
         let r = PeriodicResource::new(16, 8).expect("valid");
-        group.bench_with_input(BenchmarkId::from_parameter(tasks), &set, |b, set| {
-            b.iter(|| is_schedulable(black_box(set), black_box(&r)))
+        time(&format!("is_schedulable/{tasks}tasks"), 10_000, || {
+            is_schedulable(black_box(&set), black_box(&r))
         });
     }
-    group.finish();
-}
 
-fn bench_interface_selection(c: &mut Criterion) {
-    let mut group = c.benchmark_group("select_interface");
     for tasks in [1usize, 2, 4] {
         let set = sample_set(tasks, 10 + tasks as u64);
         let ctx = SelectionContext::isolated(&set);
-        group.bench_with_input(BenchmarkId::from_parameter(tasks), &set, |b, set| {
-            b.iter(|| select_interface(black_box(set), black_box(&ctx)).expect("feasible"))
+        time(&format!("select_interface/{tasks}tasks"), 200, || {
+            select_interface(black_box(&set), black_box(&ctx)).expect("feasible")
         });
     }
-    group.finish();
-}
 
-fn bench_se_composition(c: &mut Criterion) {
     // Sizing a full SE (4 clients) — the per-element cost of the
     // distributed reconfiguration property.
     let clients: Vec<TaskSet> = (0..4)
         .map(|i| {
-            TaskSet::new(vec![Task::new(0, 400 + 50 * i, 8).expect("valid")])
-                .expect("valid set")
+            TaskSet::new(vec![Task::new(0, 400 + 50 * i, 8).expect("valid")]).expect("valid set")
         })
         .collect();
-    c.bench_function("select_se_interfaces/4clients", |b| {
-        b.iter(|| select_se_interfaces(black_box(&clients)).expect("feasible"))
+    time("select_se_interfaces/4clients", 50, || {
+        select_se_interfaces(black_box(&clients)).expect("feasible")
     });
-}
 
-fn bench_fixed_priority(c: &mut Criterion) {
-    let set = sample_set(4, 21);
+    let set4 = sample_set(4, 21);
     let r = PeriodicResource::new(16, 10).expect("valid");
-    c.bench_function("is_schedulable_fp/4tasks", |b| {
-        b.iter(|| is_schedulable_fp(black_box(&set), black_box(&r)))
+    time("is_schedulable_fp/4tasks", 10_000, || {
+        is_schedulable_fp(black_box(&set4), black_box(&r))
     });
-}
 
-fn bench_validate(c: &mut Criterion) {
-    let set = sample_set(3, 31);
+    let set3 = sample_set(3, 31);
     let r = PeriodicResource::new(8, 6).expect("valid");
-    c.bench_function("edf_simulate/3tasks/5k", |b| {
-        b.iter(|| edf_meets_deadlines(black_box(&set), black_box(&r), 5_000))
+    time("edf_simulate/3tasks/5k", 1_000, || {
+        edf_meets_deadlines(black_box(&set3), black_box(&r), 5_000)
     });
 }
-
-criterion_group!(
-    benches,
-    bench_dbf,
-    bench_sbf,
-    bench_schedulability,
-    bench_interface_selection,
-    bench_se_composition,
-    bench_fixed_priority,
-    bench_validate
-);
-criterion_main!(benches);

@@ -1,51 +1,59 @@
-//! Criterion wrappers over the table/figure generators themselves, so
+//! Timing wrappers over the table/figure generators themselves, so
 //! `cargo bench` exercises every experiment end-to-end (at reduced trial
 //! counts — the binaries produce the full tables).
+//!
+//! Plain timing harness (`harness = false`): the container has no registry
+//! access for criterion. Run with `cargo bench -p bluescale-bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
-use bluescale_bench::{fig5, fig6, fig7, table1};
+use bluescale_bench::{fig5, fig6, fig7, interface_selection, table1};
 
-fn bench_table1(c: &mut Criterion) {
-    c.bench_function("experiment/table1", |b| b.iter(|| black_box(table1::rows())));
+fn time<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) {
+    for _ in 0..iters.div_ceil(10).min(100) {
+        black_box(f());
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let per_iter = t0.elapsed().as_nanos() / iters as u128;
+    println!("{name:<42} {per_iter:>12} ns/iter ({iters} iters)");
 }
 
-fn bench_fig5(c: &mut Criterion) {
-    c.bench_function("experiment/fig5_sweep", |b| b.iter(|| black_box(fig5::sweep())));
-}
+fn main() {
+    time("experiment/table1", 100, || black_box(table1::rows()));
+    time("experiment/fig5_sweep", 100, || black_box(fig5::sweep()));
 
-fn bench_fig6_panel(c: &mut Criterion) {
-    let mut group = c.benchmark_group("experiment");
-    group.sample_size(10);
-    let config = fig6::Fig6Config {
+    let fig6_config = fig6::Fig6Config {
         clients: 16,
         trials: 2,
         horizon: 5_000,
         seed: 1,
         phased: false,
     };
-    group.bench_function("fig6_16clients_2trials", |b| {
-        b.iter(|| black_box(fig6::run(&config)))
+    time("experiment/fig6_16clients_2trials", 10, || {
+        black_box(fig6::run(&fig6_config))
     });
-    group.finish();
-}
 
-fn bench_fig7_point(c: &mut Criterion) {
-    let mut group = c.benchmark_group("experiment");
-    group.sample_size(10);
-    let config = fig7::Fig7Config {
+    let fig7_config = fig7::Fig7Config {
         processors: 16,
         trials: 2,
         horizon: 5_000,
         targets: vec![0.5],
         seed: 1,
     };
-    group.bench_function("fig7_16cores_1point_2trials", |b| {
-        b.iter(|| black_box(fig7::run(&config)))
+    time("experiment/fig7_16cores_1point_2trials", 10, || {
+        black_box(fig7::run(&fig7_config))
     });
-    group.finish();
-}
 
-criterion_group!(benches, bench_table1, bench_fig5, bench_fig6_panel, bench_fig7_point);
-criterion_main!(benches);
+    let sel_config = interface_selection::SelectionBenchConfig {
+        clients: 16,
+        workloads: 2,
+        ..Default::default()
+    };
+    time("experiment/interface_selection_16clients", 5, || {
+        black_box(interface_selection::run(&sel_config))
+    });
+}

@@ -1,13 +1,28 @@
-//! Criterion micro-benchmarks of the simulated interconnects: per-cycle
-//! stepping cost and end-to-end trial throughput for each architecture.
+//! Micro-benchmarks of the simulated interconnects: per-cycle stepping
+//! cost and end-to-end trial throughput for each architecture.
+//!
+//! Plain timing harness (`harness = false`): the container has no registry
+//! access for criterion. Run with `cargo bench -p bluescale-bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use bluescale_bench::runner::{build, run_trial, InterconnectKind};
 use bluescale_rt::task::{Task, TaskSet};
 use bluescale_sim::rng::SimRng;
 use bluescale_workload::synthetic::{generate, SyntheticConfig};
+
+fn time<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) {
+    for _ in 0..iters.div_ceil(10).min(100) {
+        black_box(f());
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let per_iter = t0.elapsed().as_nanos() / iters as u128;
+    println!("{name:<42} {per_iter:>12} ns/iter ({iters} iters)");
+}
 
 fn light_sets(n: usize) -> Vec<TaskSet> {
     (0..n)
@@ -15,95 +30,62 @@ fn light_sets(n: usize) -> Vec<TaskSet> {
         .collect()
 }
 
-fn bench_step_cycle(c: &mut Criterion) {
-    let mut group = c.benchmark_group("step_1k_cycles_16_clients");
-    let sets = light_sets(16);
+fn main() {
+    let sets16 = light_sets(16);
     for kind in InterconnectKind::ALL {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(kind.name()),
-            &kind,
-            |b, &kind| {
-                b.iter_batched(
-                    || build(kind, &sets),
-                    |mut ic| {
-                        for now in 0..1000 {
-                            ic.step(black_box(now));
-                        }
-                        ic
-                    },
-                    criterion::BatchSize::SmallInput,
-                )
-            },
-        );
-    }
-    group.finish();
-}
-
-fn bench_full_trial(c: &mut Criterion) {
-    let mut group = c.benchmark_group("trial_5k_cycles_loaded");
-    group.sample_size(10);
-    let mut rng = SimRng::seed_from(1234);
-    let sets = generate(&SyntheticConfig::fig6(16), &mut rng);
-    for kind in [InterconnectKind::BlueScale, InterconnectKind::AxiIcRt] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(kind.name()),
-            &kind,
-            |b, &kind| b.iter(|| run_trial(kind, black_box(&sets), 5_000)),
-        );
-    }
-    group.finish();
-}
-
-fn bench_mesh_step(c: &mut Criterion) {
-    use bluescale_noc::mesh::Packet;
-    use bluescale_noc::{Mesh, MeshConfig, NodeId};
-    c.bench_function("noc_mesh_9x9_step_loaded", |b| {
-        b.iter_batched(
+        time(
+            &format!("step_1k_cycles_16_clients/{}", kind.name()),
+            50,
             || {
-                let mut mesh: Mesh<u64> = Mesh::new(MeshConfig {
-                    width: 9,
-                    height: 9,
-                    buffer_capacity: 4,
-                });
-                for i in 0..64u64 {
-                    let src = NodeId::new((i % 8 + 1) as usize, (i / 8 + 1) as usize % 9);
-                    let _ = mesh.inject(
-                        src,
-                        Packet {
-                            dest: NodeId::new(0, 0),
-                            payload: i,
-                        },
-                    );
+                let mut ic = build(kind, &sets16);
+                for now in 0..1000 {
+                    ic.step(black_box(now));
                 }
-                mesh
+                ic
             },
-            |mut mesh| {
-                for _ in 0..100 {
-                    mesh.step();
-                }
-                mesh
-            },
-            criterion::BatchSize::SmallInput,
-        )
-    });
-}
+        );
+    }
 
-fn bench_bluescale_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bluescale_build");
-    for n in [16usize, 64] {
-        let sets = light_sets(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &sets, |b, sets| {
-            b.iter(|| build(InterconnectKind::BlueScale, black_box(sets)))
+    let mut rng = SimRng::seed_from(1234);
+    let loaded = generate(&SyntheticConfig::fig6(16), &mut rng);
+    for kind in [InterconnectKind::BlueScale, InterconnectKind::AxiIcRt] {
+        time(
+            &format!("trial_5k_cycles_loaded/{}", kind.name()),
+            10,
+            || run_trial(kind, black_box(&loaded), 5_000),
+        );
+    }
+
+    {
+        use bluescale_noc::mesh::Packet;
+        use bluescale_noc::{Mesh, MeshConfig, NodeId};
+        time("noc_mesh_9x9_step_loaded", 200, || {
+            let mut mesh: Mesh<u64> = Mesh::new(MeshConfig {
+                width: 9,
+                height: 9,
+                buffer_capacity: 4,
+            });
+            for i in 0..64u64 {
+                let src = NodeId::new((i % 8 + 1) as usize, (i / 8 + 1) as usize % 9);
+                let _ = mesh.inject(
+                    src,
+                    Packet {
+                        dest: NodeId::new(0, 0),
+                        payload: i,
+                    },
+                );
+            }
+            for _ in 0..100 {
+                mesh.step();
+            }
+            mesh
         });
     }
-    group.finish();
-}
 
-criterion_group!(
-    benches,
-    bench_step_cycle,
-    bench_full_trial,
-    bench_mesh_step,
-    bench_bluescale_scaling
-);
-criterion_main!(benches);
+    for n in [16usize, 64] {
+        let sets = light_sets(n);
+        time(&format!("bluescale_build/{n}clients"), 20, || {
+            build(InterconnectKind::BlueScale, black_box(&sets))
+        });
+    }
+}

@@ -56,13 +56,34 @@ pub fn variants() -> Vec<Variant> {
         c.analysis_margin = 0.75;
     }
     vec![
-        Variant { name: "BlueScale (default)", configure: baseline },
-        Variant { name: "low-level FIFO", configure: fifo_low_level },
-        Variant { name: "strict budget gating", configure: strict_gating },
-        Variant { name: "binary fan-in (branch 2)", configure: binary_fanin },
-        Variant { name: "flat fan-in (branch 16)", configure: flat_fanin },
-        Variant { name: "margin 1.0 (bare analysis)", configure: no_margin },
-        Variant { name: "margin 0.75", configure: deep_margin },
+        Variant {
+            name: "BlueScale (default)",
+            configure: baseline,
+        },
+        Variant {
+            name: "low-level FIFO",
+            configure: fifo_low_level,
+        },
+        Variant {
+            name: "strict budget gating",
+            configure: strict_gating,
+        },
+        Variant {
+            name: "binary fan-in (branch 2)",
+            configure: binary_fanin,
+        },
+        Variant {
+            name: "flat fan-in (branch 16)",
+            configure: flat_fanin,
+        },
+        Variant {
+            name: "margin 1.0 (bare analysis)",
+            configure: no_margin,
+        },
+        Variant {
+            name: "margin 0.75",
+            configure: deep_margin,
+        },
     ]
 }
 
@@ -124,8 +145,7 @@ pub fn run(config: &AblationConfig) -> Vec<AblationRow> {
             if ic.composition().schedulable {
                 admitted[i] += 1;
             }
-            let mut system =
-                System::new(Box::new(ic) as Box<dyn Interconnect>, &sets);
+            let mut system = System::new(Box::new(ic) as Box<dyn Interconnect>, &sets);
             let m = system.run(config.horizon);
             miss[i].push(m.miss_ratio());
             blocking[i].push(m.mean_blocking());

@@ -101,8 +101,7 @@ pub fn run(config: &AdmissionConfig) -> Vec<AdmissionPoint> {
                 }
                 let mut bs = BlueScaleConfig::for_clients(config.clients);
                 bs.work_conserving = true;
-                let ic = BlueScaleInterconnect::new(bs, &sets)
-                    .expect("construction succeeds");
+                let ic = BlueScaleInterconnect::new(bs, &sets).expect("construction succeeds");
                 let comp = ic.composition();
                 if comp.schedulable {
                     admitted += 1;
@@ -134,7 +133,10 @@ pub fn render(config: &AdmissionConfig, points: &[AdmissionPoint]) -> String {
     s.push_str("|---:|---:|---:|---:|---:|---:|---:|\n");
     for p in points {
         let overhead = if p.admission_rate > 0.0 {
-            format!("{:.2}×", p.mean_root_bandwidth / p.mean_utilization.max(1e-9))
+            format!(
+                "{:.2}×",
+                p.mean_root_bandwidth / p.mean_utilization.max(1e-9)
+            )
         } else {
             "–".to_owned()
         };

@@ -4,8 +4,8 @@
 //! Usage: `cargo run --release -p bluescale-bench --bin report -- [--out DIR]`
 
 use bluescale_bench::{
-    ablation, admission, arg_value, dram, fig5, fig6, fig7, isolation, reconfig,
-    scalability, table1, wcrt,
+    ablation, admission, arg_value, dram, fig5, fig6, fig7, isolation, reconfig, scalability,
+    table1, wcrt,
 };
 use std::fs;
 use std::path::Path;
@@ -49,7 +49,11 @@ fn main() {
     write(dir, "fig7.md", fig7_out);
 
     let config = ablation::AblationConfig::default();
-    write(dir, "ablation.md", ablation::render(&config, &ablation::run(&config)));
+    write(
+        dir,
+        "ablation.md",
+        ablation::render(&config, &ablation::run(&config)),
+    );
 
     let config = wcrt::WcrtConfig::default();
     write(dir, "wcrt.md", wcrt::render(&config, &wcrt::run(&config)));

@@ -3,8 +3,8 @@
 //! Usage:
 //! `cargo run --release -p bluescale-bench --bin scalability -- [--trials N] [--horizon N]`
 
-use bluescale_bench::scalability::{render, run, ScalabilityConfig};
 use bluescale_bench::arg_u64;
+use bluescale_bench::scalability::{render, run, ScalabilityConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();

@@ -1,0 +1,47 @@
+//! Benchmarks the interface-selection fast path against the seed
+//! implementation and writes `results/BENCH_interface_selection.json`.
+//!
+//! Usage:
+//! `cargo run --release -p bluescale-bench --bin selection_bench -- [--clients 64] [--workloads N] [--seed N] [--out path]`
+
+use bluescale_bench::interface_selection::{render_json, run, SelectionBenchConfig};
+use bluescale_bench::{arg_u64, arg_usize, arg_value};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut config = SelectionBenchConfig::default();
+    config.clients = arg_usize(&args, "--clients", config.clients);
+    config.workloads = arg_u64(&args, "--workloads", config.workloads);
+    config.seed = arg_u64(&args, "--seed", config.seed);
+    // The selection context requires a positive divisor; clamp typos.
+    config.divisor = arg_u64(&args, "--divisor", config.divisor).max(1);
+
+    let result = run(&config);
+    println!(
+        "interface selection: {} clients × {} workloads",
+        config.clients, config.workloads
+    );
+    println!("  seed (exhaustive)   {:>12} ns", result.seed_ns);
+    println!(
+        "  tuned (serial)      {:>12} ns   {:.2}× vs seed",
+        result.tuned_ns,
+        result.tuned_speedup()
+    );
+    println!(
+        "  tuned ({} threads)   {:>12} ns   {:.2}× vs seed",
+        result.threads,
+        result.parallel_ns,
+        result.parallel_speedup()
+    );
+
+    let json = render_json(&[result]);
+    let out = arg_value(&args, "--out")
+        .unwrap_or_else(|| "results/BENCH_interface_selection.json".to_string());
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => {
+            eprintln!("could not write {out}: {e}");
+            println!("{json}");
+        }
+    }
+}

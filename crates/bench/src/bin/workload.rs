@@ -29,7 +29,9 @@ fn main() {
         Some("run") => run(&args),
         _ => {
             eprintln!("usage: workload <generate|run> [options]");
-            eprintln!("  generate --kind <fig6|casestudy> --clients N [--target U] [--seed N] --out FILE");
+            eprintln!(
+                "  generate --kind <fig6|casestudy> --clients N [--target U] [--seed N] --out FILE"
+            );
             eprintln!("  run --file FILE [--horizon N]");
             std::process::exit(2);
         }

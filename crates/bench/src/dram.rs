@@ -19,10 +19,10 @@
 use crate::runner::InterconnectKind;
 use bluescale::{BlueScaleConfig, BlueScaleInterconnect};
 use bluescale_baselines::{AxiIcRt, BlueTree, GsmTree, SlotPolicy};
-use bluescale_noc::NocMemoryInterconnect;
 use bluescale_interconnect::system::System;
 use bluescale_interconnect::Interconnect;
 use bluescale_mem::DramConfig;
+use bluescale_noc::NocMemoryInterconnect;
 use bluescale_rt::task::TaskSet;
 use bluescale_sim::rng::SimRng;
 use bluescale_sim::stats::OnlineStats;
@@ -68,24 +68,15 @@ pub fn models() -> Vec<MemoryModel> {
     ]
 }
 
-fn build(
-    kind: InterconnectKind,
-    sets: &[TaskSet],
-    dram: DramConfig,
-) -> Box<dyn Interconnect> {
+fn build(kind: InterconnectKind, sets: &[TaskSet], dram: DramConfig) -> Box<dyn Interconnect> {
     let n = sets.len();
     match kind {
         InterconnectKind::AxiIcRt => Box::new(AxiIcRt::with_dram(n, 8, dram)),
         InterconnectKind::BlueTree => Box::new(BlueTree::with_dram(n, 2, dram)),
-        InterconnectKind::BlueTreeSmooth => {
-            Box::new(BlueTree::smooth_with_dram(n, 2, dram))
-        }
-        InterconnectKind::GsmTreeTdm => {
-            Box::new(GsmTree::with_dram(n, SlotPolicy::Tdm, dram))
-        }
+        InterconnectKind::BlueTreeSmooth => Box::new(BlueTree::smooth_with_dram(n, 2, dram)),
+        InterconnectKind::GsmTreeTdm => Box::new(GsmTree::with_dram(n, SlotPolicy::Tdm, dram)),
         InterconnectKind::GsmTreeFbsp => {
-            let weights: Vec<f64> =
-                sets.iter().map(|s| s.utilization().max(1e-4)).collect();
+            let weights: Vec<f64> = sets.iter().map(|s| s.utilization().max(1e-4)).collect();
             Box::new(GsmTree::with_dram(n, SlotPolicy::Fbsp(weights), dram))
         }
         InterconnectKind::BlueScale => {
@@ -94,9 +85,7 @@ fn build(
             config.dram = Some(dram);
             Box::new(BlueScaleInterconnect::new(config, sets).expect("valid build"))
         }
-        InterconnectKind::LegacyNoc => {
-            Box::new(NocMemoryInterconnect::with_dram(n, dram))
-        }
+        InterconnectKind::LegacyNoc => Box::new(NocMemoryInterconnect::with_dram(n, dram)),
     }
 }
 

@@ -80,13 +80,8 @@ fn compose(sets: &[TaskSet], laxity: f64) -> Option<(f64, f64)> {
             let iface = select_interface_edp_with_laxity(set, laxity).ok()?;
             client_alloc += iface.bandwidth();
             exported.push(
-                Task::with_deadline(
-                    i as u32,
-                    iface.period(),
-                    iface.deadline(),
-                    iface.budget(),
-                )
-                .ok()?,
+                Task::with_deadline(i as u32, iface.period(), iface.deadline(), iface.budget())
+                    .ok()?,
             );
         }
         if exported.is_empty() {

@@ -2,9 +2,7 @@
 //! client count scales with η (`clients = 2^η`, η = 1..7).
 
 use bluescale_hwcost::frequency::{max_frequency_mhz, FrequencyTarget};
-use bluescale_hwcost::{
-    area_fraction, interconnect_cost, legacy_system_cost, Architecture,
-};
+use bluescale_hwcost::{area_fraction, interconnect_cost, legacy_system_cost, Architecture};
 
 /// One sweep point of Fig 5.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -63,7 +61,9 @@ pub fn render() -> String {
     let points = sweep();
     let mut s = String::new();
     s.push_str("# Fig 5(a): Area consumption (fraction of VC707 LUTs) vs η\n\n");
-    s.push_str("| η | clients | Legacy | AXI-IC^RT | BlueScale | Legacy+AXI | Legacy+BlueScale |\n");
+    s.push_str(
+        "| η | clients | Legacy | AXI-IC^RT | BlueScale | Legacy+AXI | Legacy+BlueScale |\n",
+    );
     s.push_str("|---:|---:|---:|---:|---:|---:|---:|\n");
     for p in &points {
         s.push_str(&format!(

@@ -55,17 +55,26 @@ pub struct Fig6Row {
     pub miss_ratio_std: f64,
 }
 
-/// Runs one Fig 6 panel.
+/// Runs one Fig 6 panel, fanning trials across all available cores.
+///
+/// Results are bit-identical to a serial run: see [`run_with_threads`].
 pub fn run(config: &Fig6Config) -> Vec<Fig6Row> {
-    let mut master = SimRng::seed_from(config.seed);
-    let mut blocking: Vec<OnlineStats> =
-        vec![OnlineStats::new(); InterconnectKind::ALL.len()];
-    let mut misses: Vec<OnlineStats> =
-        vec![OnlineStats::new(); InterconnectKind::ALL.len()];
-    for _ in 0..config.trials {
-        let mut trial_rng = master.fork();
-        let sets = generate(&SyntheticConfig::fig6(config.clients), &mut trial_rng);
-        for (i, kind) in InterconnectKind::ALL.into_iter().enumerate() {
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    run_with_threads(config, threads)
+}
+
+/// One trial's measurements: `(blocking µs, miss ratio)` per interconnect.
+type TrialResult = Vec<(f64, f64)>;
+
+/// Runs one trial against every interconnect using its own forked RNG
+/// stream.
+fn run_trial_all_kinds(config: &Fig6Config, mut trial_rng: SimRng) -> TrialResult {
+    let sets = generate(&SyntheticConfig::fig6(config.clients), &mut trial_rng);
+    InterconnectKind::ALL
+        .into_iter()
+        .map(|kind| {
             let ic = build(kind, &sets);
             let mut system = if config.phased {
                 System::new_phased(ic, &sets, trial_rng.next_u64())
@@ -74,8 +83,60 @@ pub fn run(config: &Fig6Config) -> Vec<Fig6Row> {
             };
             let m = system.run(config.horizon);
             // Cycles → µs at the nominal 100 MHz clock.
-            blocking[i].push(m.mean_blocking() / 100.0);
-            misses[i].push(m.miss_ratio());
+            (m.mean_blocking() / 100.0, m.miss_ratio())
+        })
+        .collect()
+}
+
+/// Runs one Fig 6 panel on up to `max_threads` OS threads.
+///
+/// Determinism: trial RNG streams are forked from the master seed
+/// *serially* before any work is fanned out, each trial consumes only its
+/// own stream, and per-trial results are merged into the aggregate
+/// statistics in trial order — so every thread count (including 1)
+/// produces bit-identical rows.
+pub fn run_with_threads(config: &Fig6Config, max_threads: usize) -> Vec<Fig6Row> {
+    let mut master = SimRng::seed_from(config.seed);
+    let trial_rngs: Vec<SimRng> = (0..config.trials).map(|_| master.fork()).collect();
+
+    let threads = max_threads.max(1).min(trial_rngs.len().max(1));
+    let mut results: Vec<Option<TrialResult>> = vec![None; trial_rngs.len()];
+    if threads <= 1 {
+        for (slot, rng) in results.iter_mut().zip(trial_rngs) {
+            *slot = Some(run_trial_all_kinds(config, rng));
+        }
+    } else {
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let mut workers = Vec::with_capacity(threads);
+            for _ in 0..threads {
+                let next = &next;
+                let trial_rngs = &trial_rngs;
+                workers.push(scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(rng) = trial_rngs.get(i) else {
+                            return local;
+                        };
+                        local.push((i, run_trial_all_kinds(config, rng.clone())));
+                    }
+                }));
+            }
+            for worker in workers {
+                for (i, result) in worker.join().expect("trial worker panicked") {
+                    results[i] = Some(result);
+                }
+            }
+        });
+    }
+
+    let mut blocking: Vec<OnlineStats> = vec![OnlineStats::new(); InterconnectKind::ALL.len()];
+    let mut misses: Vec<OnlineStats> = vec![OnlineStats::new(); InterconnectKind::ALL.len()];
+    for trial in results.into_iter().flatten() {
+        for (i, (b, m)) in trial.into_iter().enumerate() {
+            blocking[i].push(b);
+            misses[i].push(m);
         }
     }
     InterconnectKind::ALL
@@ -98,7 +159,11 @@ pub fn render(config: &Fig6Config, rows: &[Fig6Row]) -> String {
         config.clients,
         config.trials,
         config.horizon,
-        if config.phased { ", phased releases" } else { "" }
+        if config.phased {
+            ", phased releases"
+        } else {
+            ""
+        }
     );
     s.push_str("| Interconnect | Blocking latency (µs) | ±σ | Deadline miss ratio | ±σ |\n");
     s.push_str("|---|---:|---:|---:|---:|\n");
@@ -141,9 +206,7 @@ mod tests {
             trials: 5,
             ..tiny()
         });
-        let get = |k: InterconnectKind| {
-            rows.iter().find(|r| r.kind == k).expect("present").clone()
-        };
+        let get = |k: InterconnectKind| rows.iter().find(|r| r.kind == k).expect("present").clone();
         let bs = get(InterconnectKind::BlueScale);
         let bt = get(InterconnectKind::BlueTree);
         let tdm = get(InterconnectKind::GsmTreeTdm);
@@ -182,6 +245,22 @@ mod tests {
     }
 
     #[test]
+    fn parallel_trials_reproduce_serial_results_seed_for_seed() {
+        let cfg = Fig6Config {
+            trials: 6,
+            ..tiny()
+        };
+        let serial = run_with_threads(&cfg, 1);
+        for threads in [2, 4, 16] {
+            assert_eq!(
+                run_with_threads(&cfg, threads),
+                serial,
+                "{threads}-thread run diverged from serial"
+            );
+        }
+    }
+
+    #[test]
     fn phased_releases_reduce_or_match_misses() {
         let sync = run(&tiny());
         let phased = run(&Fig6Config {
@@ -190,8 +269,7 @@ mod tests {
         });
         // Synchronous arrival is the worst case: averaged over the panel,
         // phasing must not increase the total miss mass noticeably.
-        let total =
-            |rows: &[Fig6Row]| rows.iter().map(|r| r.miss_ratio_mean).sum::<f64>();
+        let total = |rows: &[Fig6Row]| rows.iter().map(|r| r.miss_ratio_mean).sum::<f64>();
         assert!(
             total(&phased) <= total(&sync) + 0.05,
             "phased {} vs synchronous {}",

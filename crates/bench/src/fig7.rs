@@ -139,7 +139,11 @@ mod tests {
             .position(|k| *k == InterconnectKind::BlueScale)
             .expect("present");
         // At 30% target everything should mostly succeed for BlueScale.
-        assert!(pts[0].success[bs] >= 0.5, "BlueScale at 0.3: {}", pts[0].success[bs]);
+        assert!(
+            pts[0].success[bs] >= 0.5,
+            "BlueScale at 0.3: {}",
+            pts[0].success[bs]
+        );
         // BlueScale is at least as good as BlueTree everywhere.
         let bt = InterconnectKind::ALL
             .iter()

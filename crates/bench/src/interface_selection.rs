@@ -1,0 +1,258 @@
+//! Micro-benchmark of the interface-selection fast path (the analysis run
+//! per SE, per level, on every admission decision).
+//!
+//! Three variants size the same synthetic client workloads:
+//!
+//! * **seed** — exhaustive enumeration with a fresh schedulability test per
+//!   probe ([`select_interface_exhaustive`]), the algorithm the repository
+//!   seeded with;
+//! * **tuned** — bandwidth-based candidate pruning + demand-curve
+//!   memoization ([`select_se_interfaces_with_divisor`]);
+//! * **tuned-parallel** — the tuned kernel with per-client selections
+//!   fanned across cores ([`select_se_interfaces_parallel`]).
+//!
+//! Every variant must select **bit-identical** interfaces — the benchmark
+//! asserts this on every workload before it reports a single number. The
+//! results are rendered as JSON for `results/BENCH_interface_selection.json`
+//! so future changes track the trajectory.
+
+use bluescale_rt::interface::{
+    select_interface_exhaustive, select_se_interfaces_parallel, select_se_interfaces_with_divisor,
+    SelectionContext,
+};
+use bluescale_rt::supply::PeriodicResource;
+use bluescale_rt::task::TaskSet;
+use bluescale_rt::Error;
+use bluescale_sim::rng::SimRng;
+use bluescale_workload::synthetic::{generate, SyntheticConfig};
+use std::time::Instant;
+
+/// Configuration of one benchmark run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SelectionBenchConfig {
+    /// Clients per workload (the acceptance criterion measures 64).
+    pub clients: usize,
+    /// Independent workloads to size (averaged in the report).
+    pub workloads: u64,
+    /// Master seed for workload generation.
+    pub seed: u64,
+    /// Granularity divisor handed to the selector.
+    pub divisor: u64,
+}
+
+impl Default for SelectionBenchConfig {
+    fn default() -> Self {
+        Self {
+            clients: 64,
+            workloads: 8,
+            seed: 0x5E1EC7,
+            divisor: 1,
+        }
+    }
+}
+
+/// Timing results of one benchmark run, in nanoseconds of total wall time
+/// across all workloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectionBenchResult {
+    /// The configuration measured.
+    pub config: SelectionBenchConfig,
+    /// Total time of the seed (exhaustive, unmemoized) implementation.
+    pub seed_ns: u128,
+    /// Total time of the tuned serial kernel.
+    pub tuned_ns: u128,
+    /// Total time of the tuned kernel with parallel per-client selection.
+    pub parallel_ns: u128,
+    /// Worker threads used by the parallel variant.
+    pub threads: usize,
+}
+
+impl SelectionBenchResult {
+    /// Speedup of the tuned serial kernel over the seed implementation.
+    pub fn tuned_speedup(&self) -> f64 {
+        self.seed_ns as f64 / self.tuned_ns.max(1) as f64
+    }
+
+    /// Speedup of the tuned parallel kernel over the seed implementation.
+    pub fn parallel_speedup(&self) -> f64 {
+        self.seed_ns as f64 / self.parallel_ns.max(1) as f64
+    }
+}
+
+/// The seed's `select_se_interfaces`: per-client exhaustive enumeration
+/// under the shared level context, no pruning, no memoization. Kept here
+/// (not in `bluescale-rt`) so the baseline cannot drift as the library
+/// kernel evolves.
+pub fn select_se_interfaces_seed(
+    client_sets: &[TaskSet],
+    divisor: u64,
+) -> Result<Vec<Option<PeriodicResource>>, Error> {
+    let total: f64 = client_sets.iter().map(TaskSet::utilization).sum();
+    if total > 1.0 + 1e-9 {
+        return Err(Error::Overutilized {
+            utilization_millis: (total * 1000.0).round() as u64,
+        });
+    }
+    let ctx = SelectionContext::shared(total).with_period_divisor(divisor);
+    client_sets
+        .iter()
+        .map(|set| {
+            if set.is_empty() {
+                Ok(None)
+            } else {
+                select_interface_exhaustive(set, &ctx).map(Some)
+            }
+        })
+        .collect()
+}
+
+/// Generates `workloads` admissible synthetic client loads (total
+/// utilization ≤ 1, so the SE capacity check passes).
+fn workloads(config: &SelectionBenchConfig) -> Vec<Vec<TaskSet>> {
+    let mut master = SimRng::seed_from(config.seed);
+    let mut out = Vec::with_capacity(config.workloads as usize);
+    while out.len() < config.workloads as usize {
+        let mut rng = master.fork();
+        let sets = generate(&SyntheticConfig::fig6(config.clients), &mut rng);
+        let total: f64 = sets.iter().map(TaskSet::utilization).sum();
+        if total <= 1.0 {
+            out.push(sets);
+        }
+    }
+    out
+}
+
+/// Runs the benchmark: times all three variants over the same workloads and
+/// asserts they select identical interfaces.
+///
+/// # Panics
+///
+/// Panics if any variant returns a different result than the seed
+/// implementation — a wrong answer must never be reported as a speedup.
+pub fn run(config: &SelectionBenchConfig) -> SelectionBenchResult {
+    let loads = workloads(config);
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    // Warm-up + correctness gate: every variant, every workload.
+    for sets in &loads {
+        let seed = select_se_interfaces_seed(sets, config.divisor);
+        let tuned = select_se_interfaces_with_divisor(sets, config.divisor);
+        let par = select_se_interfaces_parallel(sets, config.divisor, threads);
+        assert_eq!(seed, tuned, "tuned kernel diverged from seed selection");
+        assert_eq!(seed, par, "parallel kernel diverged from seed selection");
+    }
+
+    let t0 = Instant::now();
+    for sets in &loads {
+        let _ = std::hint::black_box(select_se_interfaces_seed(sets, config.divisor));
+    }
+    let seed_ns = t0.elapsed().as_nanos();
+
+    let t1 = Instant::now();
+    for sets in &loads {
+        let _ = std::hint::black_box(select_se_interfaces_with_divisor(sets, config.divisor));
+    }
+    let tuned_ns = t1.elapsed().as_nanos();
+
+    let t2 = Instant::now();
+    for sets in &loads {
+        let _ = std::hint::black_box(select_se_interfaces_parallel(sets, config.divisor, threads));
+    }
+    let parallel_ns = t2.elapsed().as_nanos();
+
+    SelectionBenchResult {
+        config: *config,
+        seed_ns,
+        tuned_ns,
+        parallel_ns,
+        threads,
+    }
+}
+
+/// Renders results as the `BENCH_interface_selection.json` baseline
+/// (hand-rolled JSON; the container has no serde).
+pub fn render_json(results: &[SelectionBenchResult]) -> String {
+    let mut s = String::from(
+        "{\n  \"benchmark\": \"interface_selection\",\n  \"unit\": \"ns\",\n  \"runs\": [\n",
+    );
+    for (i, r) in results.iter().enumerate() {
+        s.push_str(&format!(
+            concat!(
+                "    {{\n",
+                "      \"clients\": {},\n",
+                "      \"workloads\": {},\n",
+                "      \"seed\": {},\n",
+                "      \"divisor\": {},\n",
+                "      \"threads\": {},\n",
+                "      \"seed_impl_total_ns\": {},\n",
+                "      \"tuned_serial_total_ns\": {},\n",
+                "      \"tuned_parallel_total_ns\": {},\n",
+                "      \"tuned_speedup\": {:.2},\n",
+                "      \"parallel_speedup\": {:.2},\n",
+                "      \"identical_interfaces\": true\n",
+                "    }}{}\n",
+            ),
+            r.config.clients,
+            r.config.workloads,
+            r.config.seed,
+            r.config.divisor,
+            r.threads,
+            r.seed_ns,
+            r.tuned_ns,
+            r.parallel_ns,
+            r.tuned_speedup(),
+            r.parallel_speedup(),
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_agree_and_report_sane_timings() {
+        let config = SelectionBenchConfig {
+            clients: 16,
+            workloads: 2,
+            ..Default::default()
+        };
+        let r = run(&config);
+        assert!(r.seed_ns > 0 && r.tuned_ns > 0 && r.parallel_ns > 0);
+        assert!(r.threads >= 1);
+    }
+
+    #[test]
+    fn seed_reference_matches_tuned_kernel_on_64_clients() {
+        let config = SelectionBenchConfig {
+            workloads: 1,
+            ..Default::default()
+        };
+        for sets in workloads(&config) {
+            assert_eq!(
+                select_se_interfaces_seed(&sets, 1),
+                select_se_interfaces_with_divisor(&sets, 1)
+            );
+        }
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let r = SelectionBenchResult {
+            config: SelectionBenchConfig::default(),
+            seed_ns: 100,
+            tuned_ns: 50,
+            parallel_ns: 25,
+            threads: 4,
+        };
+        let json = render_json(&[r.clone(), r]);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"tuned_speedup\": 2.00"));
+        assert!(json.contains("\"parallel_speedup\": 4.00"));
+    }
+}

@@ -17,6 +17,7 @@
 //! | Reconfiguration cost per task change (extension) | [`reconfig`] | `... --bin reconfig` |
 //! | Analytic admission-rate curve (extension) | [`admission`] | `... --bin admission` |
 //! | Hierarchical EDP laxity sweep (extension) | [`edp_sweep`] | `... --bin edp_sweep` |
+//! | Interface-selection fast path (extension) | [`interface_selection`] | `... --bin selection_bench` |
 //!
 //! [`runner`] builds any of the six interconnects behind the common
 //! [`bluescale_interconnect::Interconnect`] trait and runs seeded trials.
@@ -28,14 +29,15 @@ pub mod admission;
 pub mod dram;
 pub mod edp_sweep;
 pub mod fig5;
-pub mod isolation;
 pub mod fig6;
 pub mod fig7;
+pub mod interface_selection;
+pub mod isolation;
 pub mod reconfig;
 pub mod runner;
 pub mod scalability;
-pub mod wcrt;
 pub mod table1;
+pub mod wcrt;
 
 /// Parses `--key value` style options from `std::env::args`-like input.
 /// Unknown keys are ignored so binaries stay forward-compatible.
@@ -48,11 +50,7 @@ pub fn arg_value(args: &[String], key: &str) -> Option<String> {
 /// Parses a `--key v1,v2,...` list of integers.
 pub fn arg_usize_list(args: &[String], key: &str, default: &[usize]) -> Vec<usize> {
     arg_value(args, key)
-        .map(|v| {
-            v.split(',')
-                .filter_map(|s| s.trim().parse().ok())
-                .collect()
-        })
+        .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
         .unwrap_or_else(|| default.to_vec())
 }
 

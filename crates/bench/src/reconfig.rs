@@ -72,8 +72,7 @@ pub fn run(config: &ReconfigConfig) -> Vec<ReconfigPoint> {
             let mut rng = master.fork();
             let sets = light_sets(clients, &mut rng);
             let bs_config = BlueScaleConfig::for_clients(clients);
-            let mut ic = BlueScaleInterconnect::new(bs_config.clone(), &sets)
-                .expect("valid build");
+            let mut ic = BlueScaleInterconnect::new(bs_config.clone(), &sets).expect("valid build");
             let ses_touched_full = ic.composition().reprogrammed_elements;
 
             // Path-local updates.
@@ -81,13 +80,11 @@ pub fn run(config: &ReconfigConfig) -> Vec<ReconfigPoint> {
             let mut ses_touched_path = 0;
             for u in 0..config.updates {
                 let client = rng.range_usize(0, clients);
-                let new_tasks = TaskSet::new(vec![Task::new(
-                    0,
-                    400 + 10 * u as u64,
-                    1 + (u as u64 % 4),
-                )
-                .expect("valid task")])
-                .expect("valid set");
+                let new_tasks =
+                    TaskSet::new(vec![
+                        Task::new(0, 400 + 10 * u as u64, 1 + (u as u64 % 4)).expect("valid task")
+                    ])
+                    .expect("valid set");
                 let start = Instant::now();
                 let report = ic
                     .update_client_tasks(client, new_tasks)
@@ -100,8 +97,8 @@ pub fn run(config: &ReconfigConfig) -> Vec<ReconfigPoint> {
             let mut full_total = 0.0;
             for _ in 0..config.updates {
                 let start = Instant::now();
-                let rebuilt = BlueScaleInterconnect::new(bs_config.clone(), &sets)
-                    .expect("valid build");
+                let rebuilt =
+                    BlueScaleInterconnect::new(bs_config.clone(), &sets).expect("valid build");
                 full_total += start.elapsed().as_secs_f64() * 1e6;
                 std::hint::black_box(&rebuilt);
             }

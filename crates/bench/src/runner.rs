@@ -2,10 +2,10 @@
 
 use bluescale::{BlueScaleConfig, BlueScaleInterconnect};
 use bluescale_baselines::{AxiIcRt, BlueTree, GsmTree, SlotPolicy};
-use bluescale_noc::NocMemoryInterconnect;
 use bluescale_interconnect::metrics::RunMetrics;
 use bluescale_interconnect::system::System;
 use bluescale_interconnect::Interconnect;
+use bluescale_noc::NocMemoryInterconnect;
 use bluescale_rt::task::TaskSet;
 use bluescale_sim::Cycle;
 
@@ -112,11 +112,7 @@ pub fn build(kind: InterconnectKind, task_sets: &[TaskSet]) -> Box<dyn Interconn
 
 /// Runs one trial of `kind` on `task_sets` for `horizon` cycles and
 /// returns the collected metrics.
-pub fn run_trial(
-    kind: InterconnectKind,
-    task_sets: &[TaskSet],
-    horizon: Cycle,
-) -> RunMetrics {
+pub fn run_trial(kind: InterconnectKind, task_sets: &[TaskSet], horizon: Cycle) -> RunMetrics {
     let ic = build(kind, task_sets);
     let mut system = System::new(ic, task_sets);
     system.run(horizon)
@@ -144,8 +140,10 @@ mod tests {
 
     #[test]
     fn names_are_unique() {
-        let mut names: Vec<&str> =
-            InterconnectKind::EXTENDED.iter().map(|k| k.name()).collect();
+        let mut names: Vec<&str> = InterconnectKind::EXTENDED
+            .iter()
+            .map(|k| k.name())
+            .collect();
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), 7);

@@ -71,7 +71,9 @@ pub fn rows() -> Vec<Row> {
 pub fn render() -> String {
     let mut s = String::new();
     s.push_str("# Table 1: Hardware overhead (16 clients; RAM unit: KB, power unit: mW)\n\n");
-    s.push_str("| Element | LUTs | Registers | DSPs | RAMs | Power | (paper: LUTs/Reg/DSP/RAM/Power) |\n");
+    s.push_str(
+        "| Element | LUTs | Registers | DSPs | RAMs | Power | (paper: LUTs/Reg/DSP/RAM/Power) |\n",
+    );
     s.push_str("|---|---:|---:|---:|---:|---:|---|\n");
     for row in rows() {
         s.push_str(&format!(

@@ -134,11 +134,7 @@ impl ScaleElement {
     /// # Errors
     ///
     /// Returns the request back when the port buffer is full.
-    pub fn try_accept(
-        &mut self,
-        port: usize,
-        request: MemoryRequest,
-    ) -> Result<(), MemoryRequest> {
+    pub fn try_accept(&mut self, port: usize, request: MemoryRequest) -> Result<(), MemoryRequest> {
         self.buffers[port].try_push(request)
     }
 

@@ -130,10 +130,7 @@ impl BlueScaleInterconnect {
     /// Returns [`BuildError::WrongClientCount`] on a task-set count
     /// mismatch, or [`BuildError::Analysis`] if task parameters are
     /// malformed (zero periods, duplicate ids).
-    pub fn new(
-        config: BlueScaleConfig,
-        task_sets: &[TaskSet],
-    ) -> Result<Self, BuildError> {
+    pub fn new(config: BlueScaleConfig, task_sets: &[TaskSet]) -> Result<Self, BuildError> {
         if task_sets.len() != config.num_clients {
             return Err(BuildError::WrongClientCount {
                 expected: config.num_clients,
@@ -312,13 +309,10 @@ impl BlueScaleInterconnect {
             }
         }
         // Every other SE kept its parameters: refresh only the summary.
-        self.composition.analysis_ok =
-            self.se_analysis_ok.iter().flatten().all(|&ok| ok);
-        self.composition.root_bandwidth = Self::bandwidth_sum(
-            &self.composition.interfaces[0][0],
-        );
-        self.composition.schedulable = self.composition.analysis_ok
-            && self.composition.root_bandwidth <= 1.0 + 1e-9;
+        self.composition.analysis_ok = self.se_analysis_ok.iter().flatten().all(|&ok| ok);
+        self.composition.root_bandwidth = Self::bandwidth_sum(&self.composition.interfaces[0][0]);
+        self.composition.schedulable =
+            self.composition.analysis_ok && self.composition.root_bandwidth <= 1.0 + 1e-9;
         self.composition.reprogrammed_elements = reprogrammed;
         Ok(&self.composition)
     }
@@ -384,9 +378,7 @@ impl BlueScaleInterconnect {
 
     /// Runs the SE's interface selector; on analytical failure falls back
     /// to utilization-proportional interfaces (best effort, no guarantee).
-    fn compute_or_fallback(
-        element: &ScaleElement,
-    ) -> (Vec<Option<PeriodicResource>>, bool) {
+    fn compute_or_fallback(element: &ScaleElement) -> (Vec<Option<PeriodicResource>>, bool) {
         match element.selector().compute() {
             Ok(ifaces) => (ifaces, true),
             Err(_) => (Self::fallback_interfaces(element), false),
@@ -415,8 +407,7 @@ impl BlueScaleInterconnect {
                 }
                 let period = (min_period[p] / 2).max(1);
                 let share = util[p] * scale;
-                let budget = ((share * period as f64).round() as u64)
-                    .clamp(1, period);
+                let budget = ((share * period as f64).round() as u64).clamp(1, period);
                 PeriodicResource::new(period, budget)
             })
             .collect()
@@ -428,8 +419,7 @@ impl BlueScaleInterconnect {
         let levels = self.config.levels();
         for depth in (0..levels).rev() {
             for order in 0..self.config.elements_at(depth) {
-                let (ifaces, ok) =
-                    Self::compute_or_fallback(&self.elements[depth][order]);
+                let (ifaces, ok) = Self::compute_or_fallback(&self.elements[depth][order]);
                 self.se_analysis_ok[depth][order] = ok;
                 self.elements[depth][order].program(&ifaces);
                 self.composition.interfaces[depth][order] = ifaces.clone();
@@ -444,14 +434,11 @@ impl BlueScaleInterconnect {
                 }
             }
         }
-        self.composition.analysis_ok =
-            self.se_analysis_ok.iter().flatten().all(|&ok| ok);
-        self.composition.root_bandwidth =
-            Self::bandwidth_sum(&self.composition.interfaces[0][0]);
-        self.composition.schedulable = self.composition.analysis_ok
-            && self.composition.root_bandwidth <= 1.0 + 1e-9;
-        self.composition.reprogrammed_elements =
-            self.elements.iter().map(Vec::len).sum();
+        self.composition.analysis_ok = self.se_analysis_ok.iter().flatten().all(|&ok| ok);
+        self.composition.root_bandwidth = Self::bandwidth_sum(&self.composition.interfaces[0][0]);
+        self.composition.schedulable =
+            self.composition.analysis_ok && self.composition.root_bandwidth <= 1.0 + 1e-9;
+        self.composition.reprogrammed_elements = self.elements.iter().map(Vec::len).sum();
         Ok(())
     }
 }
@@ -493,10 +480,9 @@ impl Interconnect for BlueScaleInterconnect {
                 for (order, parent) in parents.iter_mut().enumerate() {
                     if let Some(request) = parent.pop_response() {
                         // Route by client id: which child subtree owns it?
-                        let leaf_order =
-                            request.client as usize / self.config.branch;
-                        let child_order = leaf_order
-                            / self.config.branch.pow((levels - 2 - depth) as u32);
+                        let leaf_order = request.client as usize / self.config.branch;
+                        let child_order =
+                            leaf_order / self.config.branch.pow((levels - 2 - depth) as u32);
                         debug_assert_eq!(
                             child_order / self.config.branch.max(1),
                             order,
@@ -601,9 +587,8 @@ mod tests {
 
     #[test]
     fn builds_16_client_quadtree() {
-        let ic =
-            BlueScaleInterconnect::new(BlueScaleConfig::for_clients(16), &sets(16, 400, 4))
-                .unwrap();
+        let ic = BlueScaleInterconnect::new(BlueScaleConfig::for_clients(16), &sets(16, 400, 4))
+            .unwrap();
         assert_eq!(ic.num_clients(), 16);
         let comp = ic.composition();
         assert!(comp.analysis_ok);
@@ -617,11 +602,8 @@ mod tests {
 
     #[test]
     fn rejects_wrong_client_count() {
-        let err = BlueScaleInterconnect::new(
-            BlueScaleConfig::for_clients(16),
-            &sets(8, 100, 1),
-        )
-        .unwrap_err();
+        let err = BlueScaleInterconnect::new(BlueScaleConfig::for_clients(16), &sets(8, 100, 1))
+            .unwrap_err();
         assert_eq!(
             err,
             BuildError::WrongClientCount {
@@ -675,11 +657,8 @@ mod tests {
     #[test]
     fn overutilized_clients_fall_back() {
         // Four clients each demanding 40% of the root: total 1.6 > 1.
-        let ic = BlueScaleInterconnect::new(
-            BlueScaleConfig::for_clients(4),
-            &sets(4, 10, 4),
-        )
-        .unwrap();
+        let ic =
+            BlueScaleInterconnect::new(BlueScaleConfig::for_clients(4), &sets(4, 10, 4)).unwrap();
         let comp = ic.composition();
         assert!(!comp.analysis_ok);
         assert!(!comp.schedulable);
@@ -691,8 +670,7 @@ mod tests {
             BlueScaleInterconnect::new(BlueScaleConfig::for_clients(64), &sets(64, 800, 2))
                 .unwrap();
         let before = ic.composition().interfaces.clone();
-        let new_tasks =
-            TaskSet::new(vec![Task::new(0, 200, 10).unwrap()]).unwrap();
+        let new_tasks = TaskSet::new(vec![Task::new(0, 200, 10).unwrap()]).unwrap();
         let report = ic.update_client_tasks(37, new_tasks).unwrap();
         // Path length = number of levels = 3.
         assert_eq!(report.reprogrammed_elements, 3);
@@ -716,19 +694,15 @@ mod tests {
     #[test]
     fn update_unknown_client_errors() {
         let mut ic =
-            BlueScaleInterconnect::new(BlueScaleConfig::for_clients(4), &sets(4, 100, 1))
-                .unwrap();
-        let e = ic
-            .update_client_tasks(9, TaskSet::empty())
-            .unwrap_err();
+            BlueScaleInterconnect::new(BlueScaleConfig::for_clients(4), &sets(4, 100, 1)).unwrap();
+        let e = ic.update_client_tasks(9, TaskSet::empty()).unwrap_err();
         assert_eq!(e, BuildError::UnknownClient { client: 9 });
     }
 
     #[test]
     fn root_bandwidth_bounded_when_schedulable() {
-        let ic =
-            BlueScaleInterconnect::new(BlueScaleConfig::for_clients(16), &sets(16, 400, 4))
-                .unwrap();
+        let ic = BlueScaleInterconnect::new(BlueScaleConfig::for_clients(16), &sets(16, 400, 4))
+            .unwrap();
         let comp = ic.composition();
         assert!(comp.root_bandwidth <= 1.0 + 1e-9);
         assert!(comp.root_bandwidth > 0.0);
@@ -736,9 +710,8 @@ mod tests {
 
     #[test]
     fn sixty_four_clients_build() {
-        let ic =
-            BlueScaleInterconnect::new(BlueScaleConfig::for_clients(64), &sets(64, 6400, 4))
-                .unwrap();
+        let ic = BlueScaleInterconnect::new(BlueScaleConfig::for_clients(64), &sets(64, 6400, 4))
+            .unwrap();
         assert_eq!(ic.composition().interfaces[2].len(), 16);
         assert!(ic.composition().schedulable);
     }

@@ -247,8 +247,7 @@ mod tests {
         // (dl 30) were blocked; id 2 (dl 50) was not.
         let charged = rab.charge_blocking(40);
         assert_eq!(charged, 2);
-        let blocked: Vec<(u64, u64)> =
-            rab.iter().map(|r| (r.id, r.blocked_cycles)).collect();
+        let blocked: Vec<(u64, u64)> = rab.iter().map(|r| (r.id, r.blocked_cycles)).collect();
         for (id, b) in blocked {
             match id {
                 1 | 3 => assert_eq!(b, 1),

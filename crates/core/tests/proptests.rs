@@ -1,29 +1,33 @@
-//! Property-based tests of the BlueScale composition invariants.
+//! Randomized property tests of the BlueScale composition invariants,
+//! driven by a fixed-seed [`SimRng`] sweep (the container has no registry
+//! access for `proptest`; every case is reproducible by seed).
 
 use bluescale::{BlueScaleConfig, BlueScaleInterconnect};
 use bluescale_rt::task::{Task, TaskSet};
-use proptest::prelude::*;
+use bluescale_sim::rng::SimRng;
 
-fn arb_client_sets(clients: usize) -> impl Strategy<Value = Vec<TaskSet>> {
-    prop::collection::vec((100u64..2000, 1u64..20), clients).prop_map(|specs| {
-        specs
-            .into_iter()
-            .map(|(period, wcet)| {
-                let wcet = wcet.min(period / 8).max(1);
-                TaskSet::new(vec![Task::new(0, period, wcet).expect("valid")])
-                    .expect("valid set")
-            })
-            .collect()
-    })
+const CASES: usize = 24;
+
+/// One light single-task set per client, mirroring the old proptest
+/// strategy: `T ∈ [100, 2000)`, `C = clamp(raw, 1, T/8)` with
+/// `raw ∈ [1, 20)`.
+fn random_client_sets(rng: &mut SimRng, clients: usize) -> Vec<TaskSet> {
+    (0..clients)
+        .map(|_| {
+            let period = rng.range_u64(100, 2000);
+            let wcet = rng.range_u64(1, 20).min(period / 8).max(1);
+            TaskSet::new(vec![Task::new(0, period, wcet).expect("valid")]).expect("valid set")
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Every SE's allocated bandwidth stays within its unit capacity, at
-    /// every level, whenever the analysis succeeded.
-    #[test]
-    fn per_se_bandwidth_within_capacity(sets in arb_client_sets(16)) {
+/// Every SE's allocated bandwidth stays within its unit capacity, at every
+/// level, whenever the analysis succeeded.
+#[test]
+fn per_se_bandwidth_within_capacity() {
+    let mut rng = SimRng::seed_from(0xC0DE1);
+    for case in 0..CASES {
+        let sets = random_client_sets(&mut rng, 16);
         let ic = BlueScaleInterconnect::new(BlueScaleConfig::for_clients(16), &sets)
             .expect("construction succeeds");
         let comp = ic.composition();
@@ -31,57 +35,81 @@ proptest! {
             for level in &comp.interfaces {
                 for se in level {
                     let bw: f64 = se.iter().flatten().map(|r| r.bandwidth()).sum();
-                    prop_assert!(bw <= 1.0 + 1e-9, "SE over-allocated: {bw}");
+                    assert!(bw <= 1.0 + 1e-9, "case {case}: SE over-allocated: {bw}");
                 }
             }
         }
     }
+}
 
-    /// Updating a client to its *current* task set is idempotent: every
-    /// interface in the tree is bit-identical afterwards.
-    #[test]
-    fn identity_update_is_idempotent(sets in arb_client_sets(16), client in 0usize..16) {
+/// Updating a client to its *current* task set is idempotent: every
+/// interface in the tree is bit-identical afterwards.
+#[test]
+fn identity_update_is_idempotent() {
+    let mut rng = SimRng::seed_from(0xC0DE2);
+    for case in 0..CASES {
+        let sets = random_client_sets(&mut rng, 16);
+        let client = rng.range_usize(0, 16);
         let mut ic = BlueScaleInterconnect::new(BlueScaleConfig::for_clients(16), &sets)
             .expect("construction succeeds");
         let before = ic.composition().interfaces.clone();
         let schedulable_before = ic.composition().schedulable;
         ic.update_client_tasks(client, sets[client].clone())
             .expect("identity update succeeds");
-        prop_assert_eq!(&ic.composition().interfaces, &before);
-        prop_assert_eq!(ic.composition().schedulable, schedulable_before);
+        assert_eq!(&ic.composition().interfaces, &before, "case {case}");
+        assert_eq!(
+            ic.composition().schedulable,
+            schedulable_before,
+            "case {case}"
+        );
     }
+}
 
-    /// Construction is deterministic: the same inputs produce the same
-    /// composition.
-    #[test]
-    fn construction_is_deterministic(sets in arb_client_sets(8)) {
-        let a = BlueScaleInterconnect::new(BlueScaleConfig::for_clients(8), &sets)
-            .expect("valid");
-        let b = BlueScaleInterconnect::new(BlueScaleConfig::for_clients(8), &sets)
-            .expect("valid");
-        prop_assert_eq!(&a.composition().interfaces, &b.composition().interfaces);
-        prop_assert_eq!(a.composition().root_bandwidth, b.composition().root_bandwidth);
+/// Construction is deterministic: the same inputs produce the same
+/// composition.
+#[test]
+fn construction_is_deterministic() {
+    let mut rng = SimRng::seed_from(0xC0DE3);
+    for case in 0..CASES {
+        let sets = random_client_sets(&mut rng, 8);
+        let a = BlueScaleInterconnect::new(BlueScaleConfig::for_clients(8), &sets).expect("valid");
+        let b = BlueScaleInterconnect::new(BlueScaleConfig::for_clients(8), &sets).expect("valid");
+        assert_eq!(
+            &a.composition().interfaces,
+            &b.composition().interfaces,
+            "case {case}"
+        );
+        assert_eq!(
+            a.composition().root_bandwidth,
+            b.composition().root_bandwidth,
+            "case {case}"
+        );
     }
+}
 
-    /// Admission control never leaves the composition unschedulable: after
-    /// any admit attempt on a schedulable system, it stays schedulable.
-    #[test]
-    fn admission_preserves_schedulability(
-        sets in arb_client_sets(16),
-        client in 0usize..16,
-        period in 50u64..500,
-        wcet in 1u64..200,
-    ) {
-        let mut ic = BlueScaleInterconnect::new(BlueScaleConfig::for_clients(16), &sets)
-            .expect("valid");
-        prop_assume!(ic.composition().schedulable);
-        let wcet = wcet.min(period);
+/// Admission control never leaves the composition unschedulable: after any
+/// admit attempt on a schedulable system, it stays schedulable.
+#[test]
+fn admission_preserves_schedulability() {
+    let mut rng = SimRng::seed_from(0xC0DE4);
+    for case in 0..CASES {
+        let sets = random_client_sets(&mut rng, 16);
+        let client = rng.range_usize(0, 16);
+        let period = rng.range_u64(50, 500);
+        let wcet = rng.range_u64(1, 200).min(period);
+        let mut ic =
+            BlueScaleInterconnect::new(BlueScaleConfig::for_clients(16), &sets).expect("valid");
+        if !ic.composition().schedulable {
+            continue;
+        }
         let candidate =
             TaskSet::new(vec![Task::new(0, period, wcet).expect("valid")]).expect("valid");
-        let _ = ic.admit_client_tasks(client, candidate).expect("no build error");
-        prop_assert!(
+        let _ = ic
+            .admit_client_tasks(client, candidate)
+            .expect("no build error");
+        assert!(
             ic.composition().schedulable,
-            "admission left the system unschedulable"
+            "case {case}: admission left the system unschedulable"
         );
     }
 }

@@ -27,8 +27,8 @@ pub mod model;
 pub use cost::HardwareCost;
 pub use frequency::max_frequency_mhz;
 pub use model::{
-    interconnect_cost, legacy_core_cost, legacy_system_cost, processor_cost,
-    Architecture, Processor,
+    interconnect_cost, legacy_core_cost, legacy_system_cost, processor_cost, Architecture,
+    Processor,
 };
 
 /// Usable LUTs on the paper's platform (Xilinx VC707 / Virtex-7 XC7VX485T).

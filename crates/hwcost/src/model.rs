@@ -136,13 +136,7 @@ pub fn interconnect_cost(arch: Architecture, clients: usize) -> HardwareCost {
 }
 
 /// Scales a binary-tree anchor (15 nodes at 16 clients) to `clients`.
-fn scale_tree(
-    clients: usize,
-    luts16: u64,
-    regs16: u64,
-    power16: f64,
-    ram16: u64,
-) -> HardwareCost {
+fn scale_tree(clients: usize, luts16: u64, regs16: u64, power16: f64, ram16: u64) -> HardwareCost {
     let nodes = binary_tree_nodes(clients) as f64;
     let f = nodes / 15.0;
     HardwareCost {
@@ -200,7 +194,10 @@ mod tests {
     #[test]
     fn table1_anchors_exact_at_16_clients() {
         let axi = interconnect_cost(Architecture::AxiIcRt, 16);
-        assert_eq!((axi.luts, axi.registers, axi.dsps, axi.ram_kb), (3744, 3451, 0, 0));
+        assert_eq!(
+            (axi.luts, axi.registers, axi.dsps, axi.ram_kb),
+            (3744, 3451, 0, 0)
+        );
         assert!((axi.power_mw - 46.0).abs() < 0.5);
 
         let bt = interconnect_cost(Architecture::BlueTree, 16);
@@ -216,7 +213,10 @@ mod tests {
         assert!((gsm.power_mw - 59.0).abs() < 1e-9);
 
         let bs = interconnect_cost(Architecture::BlueScale, 16);
-        assert_eq!((bs.luts, bs.registers, bs.dsps, bs.ram_kb), (2959, 3312, 0, 10));
+        assert_eq!(
+            (bs.luts, bs.registers, bs.dsps, bs.ram_kb),
+            (2959, 3312, 0, 10)
+        );
         assert!((bs.power_mw - 67.0).abs() < 1e-9);
     }
 

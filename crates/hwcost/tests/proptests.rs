@@ -1,56 +1,70 @@
-//! Property-based tests of the hardware cost model.
+//! Randomized tests of the hardware cost model, swept exhaustively over the
+//! parameter ranges (the ranges are small enough that the former proptest
+//! sampling is replaced by full coverage).
 
 use bluescale_hwcost::frequency::{max_frequency_mhz, FrequencyTarget};
 use bluescale_hwcost::{area_fraction, interconnect_cost, legacy_system_cost, Architecture};
-use proptest::prelude::*;
 
-proptest! {
-    /// Cost is monotone in the client count for every architecture.
-    #[test]
-    fn cost_monotone_in_clients(n in 1usize..200) {
+/// Cost is monotone in the client count for every architecture.
+#[test]
+fn cost_monotone_in_clients() {
+    for n in 1usize..200 {
         for arch in Architecture::ALL {
             let small = interconnect_cost(arch, n);
             let large = interconnect_cost(arch, n + 1);
-            prop_assert!(large.luts >= small.luts, "{arch:?} LUTs at {n}");
-            prop_assert!(large.registers >= small.registers);
-            prop_assert!(large.power_mw >= small.power_mw - 1e-9);
+            assert!(large.luts >= small.luts, "{arch:?} LUTs at {n}");
+            assert!(large.registers >= small.registers, "{arch:?} regs at {n}");
+            assert!(
+                large.power_mw >= small.power_mw - 1e-9,
+                "{arch:?} power at {n}"
+            );
         }
     }
+}
 
-    /// Area fractions are consistent with raw LUT counts.
-    #[test]
-    fn area_fraction_scales_with_luts(n in 1usize..256) {
+/// Area fractions are consistent with raw LUT counts.
+#[test]
+fn area_fraction_scales_with_luts() {
+    for n in 1usize..256 {
         let legacy = legacy_system_cost(n);
         let f = area_fraction(&legacy);
-        prop_assert!((f * bluescale_hwcost::VC707_LUTS as f64 - legacy.luts as f64).abs() < 1.0);
+        assert!(
+            (f * bluescale_hwcost::VC707_LUTS as f64 - legacy.luts as f64).abs() < 1.0,
+            "n={n}"
+        );
     }
+}
 
-    /// Frequencies are positive and the centralized arbiter only slows
-    /// down as it grows.
-    #[test]
-    fn frequencies_positive_and_axi_monotone(n in 1usize..500) {
+/// Frequencies are positive and the centralized arbiter only slows down as
+/// it grows.
+#[test]
+fn frequencies_positive_and_axi_monotone() {
+    for n in 1usize..500 {
         for target in [
             FrequencyTarget::Legacy,
             FrequencyTarget::AxiIcRt,
             FrequencyTarget::BlueScale,
         ] {
-            prop_assert!(max_frequency_mhz(target, n) > 0.0);
+            assert!(max_frequency_mhz(target, n) > 0.0, "{target:?} at n={n}");
         }
-        prop_assert!(
+        assert!(
             max_frequency_mhz(FrequencyTarget::AxiIcRt, n)
-                >= max_frequency_mhz(FrequencyTarget::AxiIcRt, n + 1)
+                >= max_frequency_mhz(FrequencyTarget::AxiIcRt, n + 1),
+            "AXI frequency rose from n={n}"
         );
     }
+}
 
-    /// At the paper's sweep points (powers of two, Fig 5) the quadtree
-    /// always beats the centralized switch box on LUTs. (At awkward
-    /// intermediate counts just above a power of four the extra SE level
-    /// can cost more — e.g. 17 clients — which the paper never sweeps.)
-    #[test]
-    fn bluescale_cheaper_than_axi_at_powers_of_two(eta in 1u32..10) {
+/// At the paper's sweep points (powers of two, Fig 5) the quadtree always
+/// beats the centralized switch box on LUTs. (At awkward intermediate
+/// counts just above a power of four the extra SE level can cost more —
+/// e.g. 17 clients — which the paper never sweeps.)
+#[test]
+fn bluescale_cheaper_than_axi_at_powers_of_two() {
+    for eta in 1u32..10 {
         let n = 1usize << eta;
         let bs = interconnect_cost(Architecture::BlueScale, n);
         let axi = interconnect_cost(Architecture::AxiIcRt, n);
-        prop_assert!(bs.luts < axi.luts, "n={n}: {} vs {}", bs.luts, axi.luts);
+        assert!(bs.luts < axi.luts, "n={n}: {} vs {}", bs.luts, axi.luts);
     }
 }

@@ -146,20 +146,23 @@ impl TrafficGenerator {
                     let id = ((self.client as u64) << 48) | self.next_request_serial;
                     self.next_request_serial += 1;
                     self.issued += 1;
-                    self.pending.push(MemoryRequest {
-                        id,
-                        client: self.client,
-                        task: t.task_id,
-                        addr: t.next_addr,
-                        kind: if self.next_request_serial.is_multiple_of(4) {
-                            AccessKind::Write
-                        } else {
-                            AccessKind::Read
+                    self.pending.push(
+                        MemoryRequest {
+                            id,
+                            client: self.client,
+                            task: t.task_id,
+                            addr: t.next_addr,
+                            kind: if self.next_request_serial.is_multiple_of(4) {
+                                AccessKind::Write
+                            } else {
+                                AccessKind::Read
+                            },
+                            issued_at: release,
+                            deadline,
+                            blocked_cycles: 0,
                         },
-                        issued_at: release,
                         deadline,
-                        blocked_cycles: 0,
-                    }, deadline);
+                    );
                     t.next_addr = t.next_addr.wrapping_add(t.addr_stride);
                 }
                 t.next_release += t.period;

@@ -73,11 +73,7 @@ impl<I: ?Sized + Interconnect> System<I> {
     ///
     /// Panics if `task_sets.len()` differs from the interconnect's client
     /// count.
-    pub fn new_phased(
-        interconnect: Box<I>,
-        task_sets: &[TaskSet],
-        seed: u64,
-    ) -> Self {
+    pub fn new_phased(interconnect: Box<I>, task_sets: &[TaskSet], seed: u64) -> Self {
         assert_eq!(
             task_sets.len(),
             interconnect.num_clients(),
@@ -88,10 +84,8 @@ impl<I: ?Sized + Interconnect> System<I> {
             .iter()
             .enumerate()
             .map(|(i, set)| {
-                let offsets: Vec<Cycle> = set
-                    .iter()
-                    .map(|t| rng.range_u64(0, t.period()))
-                    .collect();
+                let offsets: Vec<Cycle> =
+                    set.iter().map(|t| rng.range_u64(0, t.period())).collect();
                 TrafficGenerator::with_offsets(i as u16, set, &offsets)
             })
             .collect();
@@ -387,11 +381,7 @@ mod tests {
             ready: VecDeque::new(),
             latency: 1,
         });
-        let mut sys = System::new_phased(
-            ic as Box<dyn Interconnect>,
-            &sets(4, 100, 1),
-            7,
-        );
+        let mut sys = System::new_phased(ic as Box<dyn Interconnect>, &sets(4, 100, 1), 7);
         // After one cycle, a synchronous system would have issued 4; a
         // phased one almost surely fewer (seed chosen accordingly).
         sys.step();

@@ -1,22 +1,24 @@
-//! Property-based tests of the interconnect building blocks.
+//! Randomized tests of the interconnect building blocks, driven by a
+//! fixed-seed [`SimRng`] sweep (the container has no registry access for
+//! `proptest`; every case is reproducible by seed).
 
 use bluescale_interconnect::buffer::{DelayLine, FifoBuffer};
+use bluescale_sim::rng::SimRng;
 use bluescale_sim::Cycle;
-use proptest::prelude::*;
 
-proptest! {
-    /// A FIFO delivers exactly the accepted items, in acceptance order.
-    #[test]
-    fn fifo_preserves_acceptance_order(
-        capacity in 1usize..16,
-        ops in prop::collection::vec(any::<bool>(), 1..200),
-    ) {
+/// A FIFO delivers exactly the accepted items, in acceptance order.
+#[test]
+fn fifo_preserves_acceptance_order() {
+    let mut rng = SimRng::seed_from(0xF1F0);
+    for case in 0..200 {
+        let capacity = rng.range_usize(1, 16);
+        let n_ops = rng.range_usize(1, 200);
         let mut fifo = FifoBuffer::with_capacity(capacity);
         let mut accepted: Vec<u32> = Vec::new();
         let mut delivered: Vec<u32> = Vec::new();
         let mut next = 0u32;
-        for push in ops {
-            if push {
+        for _ in 0..n_ops {
+            if rng.chance(0.5) {
                 if fifo.try_push(next).is_ok() {
                     accepted.push(next);
                 }
@@ -24,26 +26,28 @@ proptest! {
             } else if let Some(v) = fifo.pop() {
                 delivered.push(v);
             }
-            prop_assert!(fifo.len() <= capacity);
+            assert!(fifo.len() <= capacity, "case {case}: FIFO over capacity");
         }
         while let Some(v) = fifo.pop() {
             delivered.push(v);
         }
-        prop_assert_eq!(delivered, accepted);
+        assert_eq!(delivered, accepted, "case {case}");
     }
+}
 
-    /// A delay line emits every item exactly `latency` cycles after its
-    /// push, in push order.
-    #[test]
-    fn delay_line_is_exact_and_ordered(
-        latency in 0u64..10,
-        gaps in prop::collection::vec(0u64..5, 1..50),
-    ) {
+/// A delay line emits every item exactly `latency` cycles after its push,
+/// in push order.
+#[test]
+fn delay_line_is_exact_and_ordered() {
+    let mut rng = SimRng::seed_from(0xDE1A);
+    for case in 0..200 {
+        let latency = rng.range_u64(0, 10);
+        let n_gaps = rng.range_usize(1, 50);
         let mut line = DelayLine::new(latency);
         let mut pushes: Vec<(u64, Cycle)> = Vec::new();
         let mut now: Cycle = 0;
-        for (i, gap) in gaps.iter().enumerate() {
-            now += gap;
+        for i in 0..n_gaps {
+            now += rng.range_u64(0, 5);
             line.push(i as u64, now);
             pushes.push((i as u64, now));
         }
@@ -54,21 +58,26 @@ proptest! {
                 emerged.push((item, t));
             }
         }
-        prop_assert_eq!(emerged.len(), pushes.len());
+        assert_eq!(emerged.len(), pushes.len(), "case {case}");
         for ((item, at), (pushed_item, pushed_at)) in emerged.iter().zip(&pushes) {
-            prop_assert_eq!(item, pushed_item);
+            assert_eq!(item, pushed_item, "case {case}");
             // With a per-cycle drain, emergence is exactly push + latency.
-            prop_assert_eq!(*at, pushed_at + latency);
+            assert_eq!(*at, pushed_at + latency, "case {case}");
         }
-        prop_assert!(line.is_empty());
+        assert!(line.is_empty(), "case {case}");
     }
+}
 
-    /// Jain fairness is always within [1/n, 1] for positive inputs.
-    #[test]
-    fn jain_fairness_bounds(values in prop::collection::vec(0.001f64..1e6, 1..64)) {
+/// Jain fairness is always within [1/n, 1] for positive inputs.
+#[test]
+fn jain_fairness_bounds() {
+    let mut rng = SimRng::seed_from(0x7A13);
+    for case in 0..300 {
+        let n = rng.range_usize(1, 64);
+        let values: Vec<f64> = (0..n).map(|_| rng.range_f64(0.001, 1e6)).collect();
         let j = bluescale_interconnect::metrics::jain_fairness(&values);
         let n = values.len() as f64;
-        prop_assert!(j <= 1.0 + 1e-9);
-        prop_assert!(j >= 1.0 / n - 1e-9);
+        assert!(j <= 1.0 + 1e-9, "case {case}: fairness {j} above 1");
+        assert!(j >= 1.0 / n - 1e-9, "case {case}: fairness {j} below 1/n");
     }
 }

@@ -123,7 +123,10 @@ impl<T> Mesh<T> {
     /// Panics if any dimension or the buffer capacity is zero.
     pub fn new(config: MeshConfig) -> Self {
         assert!(config.width > 0 && config.height > 0, "empty mesh");
-        assert!(config.buffer_capacity > 0, "buffer capacity must be positive");
+        assert!(
+            config.buffer_capacity > 0,
+            "buffer capacity must be positive"
+        );
         Self {
             routers: (0..config.width * config.height)
                 .map(|_| Router::new())
@@ -267,8 +270,8 @@ impl<T> Mesh<T> {
                     let dst = self.neighbour(here, out);
                     let dst_idx = self.index(dst);
                     let dst_port = Self::arrival_port(out);
-                    let occupied = self.routers[dst_idx].inputs[dst_port].len()
-                        + reserved[dst_idx][dst_port];
+                    let occupied =
+                        self.routers[dst_idx].inputs[dst_port].len() + reserved[dst_idx][dst_port];
                     if occupied < capacity {
                         outputs_used[out] = true;
                         reserved[dst_idx][dst_port] += 1;
@@ -326,7 +329,8 @@ mod tests {
     #[test]
     fn local_delivery_without_hops() {
         let mut m = mesh(3);
-        m.inject(NodeId::new(1, 1), pkt(NodeId::new(1, 1), 9)).unwrap();
+        m.inject(NodeId::new(1, 1), pkt(NodeId::new(1, 1), 9))
+            .unwrap();
         m.step();
         assert_eq!(m.take_delivered(NodeId::new(1, 1)).unwrap().payload, 9);
     }
@@ -334,7 +338,8 @@ mod tests {
     #[test]
     fn xy_route_takes_manhattan_hops() {
         let mut m = mesh(5);
-        m.inject(NodeId::new(4, 4), pkt(NodeId::new(0, 0), 1)).unwrap();
+        m.inject(NodeId::new(4, 4), pkt(NodeId::new(0, 0), 1))
+            .unwrap();
         // 8 hops + 1 delivery cycle: must NOT arrive before 9 steps.
         for _ in 0..8 {
             m.step();
@@ -411,8 +416,10 @@ mod tests {
         // East-bound and west-bound packets on the same row use opposite
         // links and must not block each other.
         let mut m = mesh(3);
-        m.inject(NodeId::new(0, 1), pkt(NodeId::new(2, 1), 1)).unwrap();
-        m.inject(NodeId::new(2, 1), pkt(NodeId::new(0, 1), 2)).unwrap();
+        m.inject(NodeId::new(0, 1), pkt(NodeId::new(2, 1), 1))
+            .unwrap();
+        m.inject(NodeId::new(2, 1), pkt(NodeId::new(0, 1), 2))
+            .unwrap();
         let mut steps_to_done = None;
         let mut got = 0;
         for step in 0..10 {

@@ -143,10 +143,7 @@ pub fn select_interface_edp(set: &TaskSet) -> Result<EdpResource, Error> {
 /// # Panics
 ///
 /// Panics if `laxity` is outside `[0, 1]`.
-pub fn select_interface_edp_with_laxity(
-    set: &TaskSet,
-    laxity: f64,
-) -> Result<EdpResource, Error> {
+pub fn select_interface_edp_with_laxity(set: &TaskSet, laxity: f64) -> Result<EdpResource, Error> {
     assert!((0.0..=1.0).contains(&laxity), "laxity must be in [0, 1]");
     if set.is_empty() {
         return Err(Error::NoFeasibleInterface);
@@ -159,9 +156,7 @@ pub fn select_interface_edp_with_laxity(
     for period in 1..=max_period {
         // Θ monotone: both the budget and (for fixed λ) the shrinking
         // blackout increase the supply, so binary search applies.
-        let delta_for = |theta: Time| {
-            theta + ((laxity * (period - theta) as f64).floor() as Time)
-        };
+        let delta_for = |theta: Time| theta + ((laxity * (period - theta) as f64).floor() as Time);
         let feasible = |theta: Time| {
             EdpResource::new(period, theta, delta_for(theta))
                 .is_some_and(|r| is_schedulable_edp(set, &r))
@@ -179,8 +174,7 @@ pub fn select_interface_edp_with_laxity(
                 lo = mid + 1;
             }
         }
-        let candidate =
-            EdpResource::new(period, lo, delta_for(lo)).expect("validated");
+        let candidate = EdpResource::new(period, lo, delta_for(lo)).expect("validated");
         best = match best {
             None => Some(candidate),
             Some(b) if candidate.bandwidth_lt(&b) => Some(candidate),
@@ -261,8 +255,7 @@ mod tests {
             set(&[(40, 4), (60, 6), (100, 5)]),
         ];
         for s in &sets {
-            let periodic =
-                select_interface(s, &SelectionContext::isolated(s)).expect("feasible");
+            let periodic = select_interface(s, &SelectionContext::isolated(s)).expect("feasible");
             let edp = select_interface_edp(s).expect("feasible");
             assert!(
                 edp.bandwidth() <= periodic.bandwidth() + 1e-12,

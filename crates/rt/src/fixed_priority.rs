@@ -70,11 +70,7 @@ pub fn rbf(ordered: &[Task], index: usize, t: Time) -> Time {
 /// fixed priorities on `resource`: the smallest `t` with
 /// `rbfᵢ(t) ≤ sbf(t)`, or `None` if no such `t ≤ Dᵢ` exists (deadline
 /// miss).
-pub fn response_time(
-    ordered: &[Task],
-    index: usize,
-    resource: &PeriodicResource,
-) -> Option<Time> {
+pub fn response_time(ordered: &[Task], index: usize, resource: &PeriodicResource) -> Option<Time> {
     let deadline = ordered[index].deadline();
     // Discrete time: the response time is the first instant at which the
     // guaranteed supply covers the accumulated demand. rbf changes only at

@@ -16,14 +16,37 @@
 //! each level's interfaces into the next level's server *tasks*
 //! (`T = Π, C = Θ`); the system is schedulable iff the root is not
 //! over-utilized (`Σ Θ/Π ≤ 1`).
+//!
+//! # The selection fast path
+//!
+//! Interface selection runs per SE, per level, on *every* admission
+//! decision, so [`select_interface`] is tuned (without changing any answer —
+//! the differential tests in `tests/differential.rs` pin this down against
+//! [`select_interface_exhaustive`]):
+//!
+//! * **Candidate pruning.** For period `Π` no schedulable budget can beat
+//!   `Θ_lb(Π) = max(1, ⌈U·Π⌉)` (bandwidth must strictly exceed utilization
+//!   and budgets are integers). If `Θ_lb(Π)/Π` does not beat the incumbent's
+//!   bandwidth — compared exactly by cross-multiplication — the period is
+//!   skipped before any schedulability test runs. Only periods that could
+//!   *strictly* improve survive, which also preserves the smaller-period
+//!   tie-break.
+//! * **Demand memoization.** All candidates test the *same* task set, so
+//!   one [`DemandCurve`] carries the sorted demand change points and their
+//!   `dbf` values across the entire search (every budget probed by every
+//!   binary search, for every period) instead of recomputing them per test.
 
-use crate::schedulability::is_schedulable;
+use crate::rational::UtilizationSum;
+use crate::schedulability::{is_schedulable, DemandCurve};
 use crate::supply::PeriodicResource;
 use crate::task::{Task, TaskSet};
 use crate::{Error, Time};
 
-/// Hard cap on the number of candidate periods enumerated per VE; keeps
-/// selection O(cap · log Π · test) even when Theorem 2 allows a huge range.
+/// Default cap on the number of candidate periods enumerated per VE; keeps
+/// selection `O(cap · log Π · test)` even when Theorem 2 allows a huge
+/// range. [`feasible_period_bound`] reports when this cap actually bites,
+/// and [`SelectionContext::with_period_cap`] widens it for workloads whose
+/// minimum-bandwidth interface genuinely lives beyond the default.
 pub const MAX_PERIOD_CANDIDATES: Time = 4096;
 
 /// Context for one interface-selection problem: how much utilization the
@@ -33,6 +56,7 @@ pub const MAX_PERIOD_CANDIDATES: Time = 4096;
 pub struct SelectionContext {
     level_utilization: f64,
     period_divisor: Time,
+    period_cap: Time,
 }
 
 impl SelectionContext {
@@ -42,6 +66,7 @@ impl SelectionContext {
         Self {
             level_utilization: set.utilization(),
             period_divisor: 1,
+            period_cap: MAX_PERIOD_CANDIDATES,
         }
     }
 
@@ -58,6 +83,7 @@ impl SelectionContext {
         Self {
             level_utilization,
             period_divisor: 1,
+            period_cap: MAX_PERIOD_CANDIDATES,
         }
     }
 
@@ -75,6 +101,21 @@ impl SelectionContext {
         self
     }
 
+    /// Overrides the hard cap on enumerated candidate periods (default
+    /// [`MAX_PERIOD_CANDIDATES`]). Widening the cap lets sets with large
+    /// deadlines reach their true minimum-bandwidth interface when
+    /// [`feasible_period_bound`] reports truncation, at proportionally
+    /// higher selection cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn with_period_cap(mut self, cap: Time) -> Self {
+        assert!(cap > 0, "period cap must be positive");
+        self.period_cap = cap;
+        self
+    }
+
     /// The level utilization `U_{ℓ+2}` carried by this context.
     pub fn level_utilization(&self) -> f64 {
         self.level_utilization
@@ -84,10 +125,30 @@ impl SelectionContext {
     pub fn period_divisor(&self) -> Time {
         self.period_divisor
     }
+
+    /// The hard cap on enumerated candidate periods.
+    pub fn period_cap(&self) -> Time {
+        self.period_cap
+    }
 }
 
-/// The Theorem 2 upper bound on feasible periods for `set` in `ctx`,
-/// clamped to at least 1 and at most [`MAX_PERIOD_CANDIDATES`].
+/// The feasible-period range for one selection problem: the Theorem 2 /
+/// granularity bound, together with whether the enumeration cap truncated
+/// it (in which case the true minimum-bandwidth interface may lie beyond
+/// [`period`](Self::period) and selection is *heuristic*, not optimal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeasiblePeriodBound {
+    /// Largest candidate period the search will enumerate.
+    pub period: Time,
+    /// `true` when the analytic bound exceeded the context's period cap and
+    /// was clamped down to it.
+    pub truncated: bool,
+}
+
+/// The Theorem 2 upper bound on feasible periods for `set` in `ctx`, with
+/// an explicit truncation flag when the enumeration cap
+/// ([`SelectionContext::period_cap`], default [`MAX_PERIOD_CANDIDATES`])
+/// clips the analytic bound.
 ///
 /// For constrained-deadline sets the smallest *deadline* replaces the
 /// smallest period (the VE's worst-case blackout must fit before the
@@ -95,9 +156,12 @@ impl SelectionContext {
 /// (`U_{ℓ+2} = U_X`) the theorem imposes no bound; the smallest deadline
 /// is used instead (any larger `Π` only lengthens blackouts without saving
 /// bandwidth).
-pub fn max_feasible_period(set: &TaskSet, ctx: &SelectionContext) -> Time {
+pub fn feasible_period_bound(set: &TaskSet, ctx: &SelectionContext) -> FeasiblePeriodBound {
     let Some(min_t) = set.min_deadline() else {
-        return 1;
+        return FeasiblePeriodBound {
+            period: 1,
+            truncated: false,
+        };
     };
     let others = (ctx.level_utilization - set.utilization()).max(0.0);
     let bound = if others > 1e-12 {
@@ -107,31 +171,75 @@ pub fn max_feasible_period(set: &TaskSet, ctx: &SelectionContext) -> Time {
         min_t
     };
     let granularity_cap = (min_t / ctx.period_divisor).max(1);
-    bound.min(granularity_cap).clamp(1, MAX_PERIOD_CANDIDATES)
+    let analytic = bound.min(granularity_cap).max(1);
+    FeasiblePeriodBound {
+        period: analytic.min(ctx.period_cap),
+        truncated: analytic > ctx.period_cap,
+    }
+}
+
+/// The Theorem 2 upper bound on feasible periods for `set` in `ctx`,
+/// clamped to at least 1 and at most the context's period cap.
+///
+/// Prefer [`feasible_period_bound`] where the caller must know whether the
+/// cap silently discarded part of the analytic range.
+pub fn max_feasible_period(set: &TaskSet, ctx: &SelectionContext) -> Time {
+    feasible_period_bound(set, ctx).period
+}
+
+/// Lower bound on any schedulable budget for `period`: `Θ ≥ ⌈U·Π⌉, Θ ≥ 1`.
+fn budget_lower_bound(utilization: f64, period: Time) -> Time {
+    ((utilization * period as f64).ceil() as Time).max(1)
+}
+
+/// Exact `a/b < c/d` on bandwidths via cross-multiplication.
+fn bandwidth_strictly_less(num_a: Time, den_a: Time, num_c: Time, den_c: Time) -> bool {
+    (num_a as u128) * (den_c as u128) < (num_c as u128) * (den_a as u128)
 }
 
 /// Minimum budget `Θ` that makes `set` schedulable on period `period`, found
 /// by binary search (schedulability is monotone in `Θ`); `None` if even the
 /// dedicated budget `Θ = Π` fails.
 pub fn min_budget_for_period(set: &TaskSet, period: Time) -> Option<Time> {
+    min_budget_with_curve(&mut DemandCurve::new(set), period)
+}
+
+/// [`min_budget_for_period`] against a caller-supplied [`DemandCurve`], so
+/// the demand change points survive across the binary search (and across
+/// candidate periods when sizing one set repeatedly).
+pub fn min_budget_with_curve(curve: &mut DemandCurve<'_>, period: Time) -> Option<Time> {
     debug_assert!(period > 0);
     let full = PeriodicResource::new(period, period).expect("Θ=Π is always valid");
-    if !is_schedulable(set, &full) {
+    if !curve.is_schedulable(&full) {
         return None;
     }
     // Lower bound: Θ ≥ ⌈U·Π⌉ and Θ ≥ 1.
-    let mut lo = ((set.utilization() * period as f64).ceil() as Time).max(1);
+    let mut lo = budget_lower_bound(curve.set().utilization(), period);
     let mut hi = period;
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
         let r = PeriodicResource::new(period, mid).expect("1 ≤ mid ≤ Π");
-        if is_schedulable(set, &r) {
+        if curve.is_schedulable(&r) {
             hi = mid;
         } else {
             lo = mid + 1;
         }
     }
     Some(lo)
+}
+
+/// Result of [`select_interface_detailed`]: the chosen interface plus the
+/// candidate-period range it was selected from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SelectionResult {
+    /// The minimum-bandwidth interface over the enumerated range.
+    pub interface: PeriodicResource,
+    /// The period range searched, including whether the enumeration cap
+    /// truncated the analytic Theorem 2 bound. When
+    /// `period_bound.truncated` is set the interface is minimal only over
+    /// the clamped range; widen via [`SelectionContext::with_period_cap`]
+    /// to search the full analytic range.
+    pub period_bound: FeasiblePeriodBound,
 }
 
 /// Selects the minimum-bandwidth periodic resource interface `(Π, Θ)` for a
@@ -157,7 +265,64 @@ pub fn min_budget_for_period(set: &TaskSet, period: Time) -> Option<Time> {
 /// assert!(iface.bandwidth() < 1.0);
 /// # Ok::<(), bluescale_rt::Error>(())
 /// ```
-pub fn select_interface(
+pub fn select_interface(set: &TaskSet, ctx: &SelectionContext) -> Result<PeriodicResource, Error> {
+    select_interface_detailed(set, ctx).map(|r| r.interface)
+}
+
+/// [`select_interface`] that additionally reports the searched period range
+/// and whether the enumeration cap truncated it (see [`SelectionResult`]).
+///
+/// # Errors
+///
+/// Same as [`select_interface`].
+pub fn select_interface_detailed(
+    set: &TaskSet,
+    ctx: &SelectionContext,
+) -> Result<SelectionResult, Error> {
+    if set.is_empty() {
+        return Err(Error::NoFeasibleInterface);
+    }
+    let period_bound = feasible_period_bound(set, ctx);
+    let utilization = set.utilization();
+    let mut curve = DemandCurve::new(set);
+    let mut best: Option<PeriodicResource> = None;
+    for period in 1..=period_bound.period {
+        // Prune: even the analytic minimum budget for this period cannot
+        // strictly beat the incumbent's bandwidth, so no schedulability
+        // test can change the outcome. (Ties keep the incumbent — it has
+        // the smaller period — so "not strictly less" is safe to skip.)
+        if let Some(b) = &best {
+            let lb = budget_lower_bound(utilization, period);
+            if !bandwidth_strictly_less(lb, period, b.budget(), b.period()) {
+                continue;
+            }
+        }
+        let Some(budget) = min_budget_with_curve(&mut curve, period) else {
+            continue;
+        };
+        let candidate = PeriodicResource::new(period, budget).expect("budget ≤ period");
+        best = match best {
+            None => Some(candidate),
+            Some(b) if candidate.bandwidth_lt(&b) => Some(candidate),
+            Some(b) => Some(b),
+        };
+    }
+    best.map(|interface| SelectionResult {
+        interface,
+        period_bound,
+    })
+    .ok_or(Error::NoFeasibleInterface)
+}
+
+/// Reference implementation of [`select_interface`]: exhaustive enumeration
+/// with no pruning and no demand memoization (the seed algorithm). Exists
+/// as the oracle for differential tests and as the benchmark baseline; the
+/// tuned path must return bit-identical `(Π, Θ)`.
+///
+/// # Errors
+///
+/// Same as [`select_interface`].
+pub fn select_interface_exhaustive(
     set: &TaskSet,
     ctx: &SelectionContext,
 ) -> Result<PeriodicResource, Error> {
@@ -167,7 +332,7 @@ pub fn select_interface(
     let max_period = max_feasible_period(set, ctx);
     let mut best: Option<PeriodicResource> = None;
     for period in 1..=max_period {
-        let Some(budget) = min_budget_for_period(set, period) else {
+        let Some(budget) = min_budget_naive(set, period) else {
             continue;
         };
         let candidate = PeriodicResource::new(period, budget).expect("budget ≤ period");
@@ -178,6 +343,27 @@ pub fn select_interface(
         };
     }
     best.ok_or(Error::NoFeasibleInterface)
+}
+
+/// The seed's binary search: every probe recomputes the demand side from
+/// scratch through the one-shot [`is_schedulable`].
+fn min_budget_naive(set: &TaskSet, period: Time) -> Option<Time> {
+    let full = PeriodicResource::new(period, period).expect("Θ=Π is always valid");
+    if !is_schedulable(set, &full) {
+        return None;
+    }
+    let mut lo = budget_lower_bound(set.utilization(), period);
+    let mut hi = period;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        let r = PeriodicResource::new(period, mid).expect("1 ≤ mid ≤ Π");
+        if is_schedulable(set, &r) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Some(lo)
 }
 
 /// Converts the selected interfaces of one level into the server *tasks*
@@ -209,12 +395,28 @@ pub fn server_tasks(interfaces: &[PeriodicResource]) -> Result<TaskSet, Error> {
 /// # Errors
 ///
 /// Returns [`Error::Overutilized`] if the clients' combined utilization
-/// exceeds 1, or [`Error::NoFeasibleInterface`] if any non-empty client
-/// cannot be served.
+/// exceeds 1 (checked exactly, in rational arithmetic), or
+/// [`Error::NoFeasibleInterface`] if any non-empty client cannot be served.
 pub fn select_se_interfaces(
     client_sets: &[TaskSet],
 ) -> Result<Vec<Option<PeriodicResource>>, Error> {
     select_se_interfaces_with_divisor(client_sets, 1)
+}
+
+/// Exact combined-utilization admission check for one SE's clients, shared
+/// by the serial and parallel drivers.
+fn check_se_capacity(client_sets: &[TaskSet]) -> Result<SelectionContext, Error> {
+    let mut exact = UtilizationSum::new();
+    for task in client_sets.iter().flat_map(TaskSet::iter) {
+        exact.add(task.wcet(), task.period());
+    }
+    let total: f64 = client_sets.iter().map(TaskSet::utilization).sum();
+    if !exact.at_most_one() {
+        return Err(Error::Overutilized {
+            utilization_millis: (total * 1000.0).round() as u64,
+        });
+    }
+    Ok(SelectionContext::shared(total))
 }
 
 /// Like [`select_se_interfaces`] with a granularity cap: candidate periods
@@ -228,13 +430,7 @@ pub fn select_se_interfaces_with_divisor(
     client_sets: &[TaskSet],
     divisor: Time,
 ) -> Result<Vec<Option<PeriodicResource>>, Error> {
-    let total: f64 = client_sets.iter().map(TaskSet::utilization).sum();
-    if total > 1.0 + 1e-9 {
-        return Err(Error::Overutilized {
-            utilization_millis: (total * 1000.0).round() as u64,
-        });
-    }
-    let ctx = SelectionContext::shared(total).with_period_divisor(divisor);
+    let ctx = check_se_capacity(client_sets)?.with_period_divisor(divisor);
     client_sets
         .iter()
         .map(|set| {
@@ -247,14 +443,79 @@ pub fn select_se_interfaces_with_divisor(
         .collect()
 }
 
+/// [`select_se_interfaces_with_divisor`] with the per-client selections
+/// fanned out across up to `max_threads` OS threads. Clients are
+/// independent selection problems sharing a read-only context, so the
+/// result — including which error is reported — is identical to the serial
+/// driver: outputs are collected by client index and errors resolve to the
+/// first failing client in input order.
+///
+/// # Errors
+///
+/// Same as [`select_se_interfaces`].
+pub fn select_se_interfaces_parallel(
+    client_sets: &[TaskSet],
+    divisor: Time,
+    max_threads: usize,
+) -> Result<Vec<Option<PeriodicResource>>, Error> {
+    let ctx = check_se_capacity(client_sets)?.with_period_divisor(divisor);
+    let threads = max_threads.max(1).min(client_sets.len());
+    if threads <= 1 {
+        return client_sets
+            .iter()
+            .map(|set| {
+                if set.is_empty() {
+                    Ok(None)
+                } else {
+                    select_interface(set, &ctx).map(Some)
+                }
+            })
+            .collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<Result<Option<PeriodicResource>, Error>> = vec![Ok(None); client_sets.len()];
+    std::thread::scope(|scope| {
+        let mut workers = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let next = &next;
+            let ctx = &ctx;
+            workers.push(scope.spawn(move || {
+                let mut local = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(set) = client_sets.get(i) else {
+                        return local;
+                    };
+                    let result = if set.is_empty() {
+                        Ok(None)
+                    } else {
+                        select_interface(set, ctx).map(Some)
+                    };
+                    local.push((i, result));
+                }
+            }));
+        }
+        for worker in workers {
+            for (i, result) in worker.join().expect("selection worker panicked") {
+                slots[i] = result;
+            }
+        }
+    });
+    // Resolve errors exactly as the serial driver would: first failing
+    // client in input order wins.
+    slots.into_iter().collect()
+}
+
 /// Root admission check (paper, end of Section 5): the level-0 resource
 /// (the memory controller) must not be over-utilized by the level-1 server
-/// tasks, i.e. `Σ Θ_X/Π_X ≤ 1`.
+/// tasks, i.e. `Σ Θ_X/Π_X ≤ 1` — evaluated exactly in rational arithmetic
+/// (no floating-point tolerance; a root marginally above 1 is rejected).
 pub fn root_admissible(interfaces: &[PeriodicResource]) -> bool {
-    // Exact rational sum: Σ Θᵢ/Πᵢ ≤ 1  ⇔  Σ (Θᵢ · Π_others) ≤ Π_product,
-    // but products overflow; use f64 with a tolerance consistent with the
-    // rest of the analysis.
-    interfaces.iter().map(PeriodicResource::bandwidth).sum::<f64>() <= 1.0 + 1e-9
+    let mut sum = UtilizationSum::new();
+    for r in interfaces {
+        sum.add(r.budget(), r.period());
+    }
+    sum.at_most_one()
 }
 
 #[cfg(test)]
@@ -277,10 +538,7 @@ mod tests {
         let s = set(&[(20, 2), (50, 5)]);
         let b = min_budget_for_period(&s, 5).expect("feasible");
         // The found budget schedules; one less does not.
-        assert!(is_schedulable(
-            &s,
-            &PeriodicResource::new(5, b).unwrap()
-        ));
+        assert!(is_schedulable(&s, &PeriodicResource::new(5, b).unwrap()));
         if b > 1 {
             assert!(!is_schedulable(
                 &s,
@@ -296,6 +554,19 @@ mod tests {
         // feasible answer exists for any period; check it is returned.
         let s = set(&[(4, 1)]);
         assert!(min_budget_for_period(&s, 16).is_some());
+    }
+
+    #[test]
+    fn min_budget_with_curve_matches_fresh_curves() {
+        let s = set(&[(14, 3), (33, 5), (60, 7)]);
+        let mut shared = DemandCurve::new(&s);
+        for period in 1..=40 {
+            assert_eq!(
+                min_budget_with_curve(&mut shared, period),
+                min_budget_for_period(&s, period),
+                "shared-curve result diverged at Π={period}"
+            );
+        }
     }
 
     #[test]
@@ -330,11 +601,28 @@ mod tests {
     }
 
     #[test]
+    fn pruned_matches_reference_on_fixed_sets() {
+        let sets = [
+            set(&[(12, 3)]),
+            set(&[(20, 2), (50, 5)]),
+            set(&[(7, 1), (11, 2), (13, 3)]),
+            set(&[(100, 40), (150, 30)]),
+        ];
+        for s in &sets {
+            for divisor in [1, 2, 4] {
+                let ctx = SelectionContext::isolated(s).with_period_divisor(divisor);
+                assert_eq!(
+                    select_interface(s, &ctx),
+                    select_interface_exhaustive(s, &ctx),
+                    "pruned/memoized result diverged for {s:?} (divisor {divisor})"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn select_interface_empty_set_errors() {
-        let e = select_interface(
-            &TaskSet::empty(),
-            &SelectionContext::shared(0.0),
-        );
+        let e = select_interface(&TaskSet::empty(), &SelectionContext::shared(0.0));
         assert_eq!(e.unwrap_err(), Error::NoFeasibleInterface);
     }
 
@@ -346,6 +634,47 @@ mod tests {
         let crowded = max_feasible_period(&s, &SelectionContext::shared(0.7));
         assert_eq!(lonely, 40);
         assert_eq!(crowded, 33);
+    }
+
+    #[test]
+    fn period_bound_reports_truncation_at_the_cap_boundary() {
+        // min_deadline exactly at the cap: analytic bound == cap, no
+        // truncation; one past the cap: truncated.
+        let at_cap = set(&[(MAX_PERIOD_CANDIDATES, 1)]);
+        let ctx = SelectionContext::isolated(&at_cap);
+        let b = feasible_period_bound(&at_cap, &ctx);
+        assert_eq!(b.period, MAX_PERIOD_CANDIDATES);
+        assert!(!b.truncated);
+
+        let past_cap = set(&[(MAX_PERIOD_CANDIDATES + 1, 1)]);
+        let ctx = SelectionContext::isolated(&past_cap);
+        let b = feasible_period_bound(&past_cap, &ctx);
+        assert_eq!(b.period, MAX_PERIOD_CANDIDATES);
+        assert!(b.truncated, "cap truncation must be surfaced");
+        let detailed = select_interface_detailed(&past_cap, &ctx).unwrap();
+        assert!(detailed.period_bound.truncated);
+    }
+
+    #[test]
+    fn widened_cap_recovers_the_truncated_optimum() {
+        // A single light task with a huge deadline: the true minimum-
+        // bandwidth interface needs Π beyond the default cap. The default
+        // search must flag the truncation, and widening the cap must find a
+        // strictly cheaper interface.
+        let s = set(&[(40_000, 4)]); // U = 1e-4
+        let capped_ctx = SelectionContext::isolated(&s);
+        let capped = select_interface_detailed(&s, &capped_ctx).unwrap();
+        assert!(capped.period_bound.truncated);
+
+        let wide_ctx = SelectionContext::isolated(&s).with_period_cap(40_000);
+        let wide = select_interface_detailed(&s, &wide_ctx).unwrap();
+        assert!(!wide.period_bound.truncated);
+        assert!(
+            wide.interface.bandwidth_lt(&capped.interface),
+            "widened cap should reach a cheaper interface: {:?} vs {:?}",
+            wide.interface,
+            capped.interface
+        );
     }
 
     #[test]
@@ -387,6 +716,49 @@ mod tests {
     }
 
     #[test]
+    fn se_capacity_check_is_exact() {
+        // Four clients at exactly 1/4 each: admitted (sum is exactly 1).
+        let quarters = vec![set(&[(4, 1)]); 4];
+        assert!(select_se_interfaces(&quarters).is_ok());
+        // Same four plus a marginal sliver far below any float tolerance:
+        // must be rejected.
+        let mut over = quarters;
+        over.push(set(&[(1_000_000_000, 1)]));
+        assert!(matches!(
+            select_se_interfaces(&over),
+            Err(Error::Overutilized { .. })
+        ));
+    }
+
+    #[test]
+    fn parallel_se_selection_matches_serial() {
+        let sets = vec![
+            set(&[(100, 5)]),
+            TaskSet::empty(),
+            set(&[(80, 4), (120, 6)]),
+            set(&[(90, 3)]),
+            set(&[(200, 11)]),
+        ];
+        let serial = select_se_interfaces_with_divisor(&sets, 2);
+        for threads in [1, 2, 8] {
+            assert_eq!(
+                select_se_interfaces_parallel(&sets, 2, threads),
+                serial,
+                "parallel ({threads} threads) diverged from serial"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_se_selection_matches_serial_errors() {
+        let sets = vec![set(&[(10, 6)]), set(&[(10, 6)])];
+        assert_eq!(
+            select_se_interfaces_parallel(&sets, 1, 4),
+            select_se_interfaces_with_divisor(&sets, 1)
+        );
+    }
+
+    #[test]
     fn root_admission() {
         let ok = [
             PeriodicResource::new(10, 3).unwrap(),
@@ -400,6 +772,28 @@ mod tests {
         ];
         assert!(!root_admissible(&too_much));
         assert!(root_admissible(&[]));
+    }
+
+    #[test]
+    fn root_admission_is_exact_at_the_boundary() {
+        // Exactly 1: admitted.
+        let exact = [
+            PeriodicResource::new(3, 1).unwrap(),
+            PeriodicResource::new(3, 1).unwrap(),
+            PeriodicResource::new(3, 1).unwrap(),
+        ];
+        assert!(root_admissible(&exact));
+        // 1 + 1/(3·10⁹): within the old 1e-9 float tolerance, exactly over.
+        let sliver = [
+            PeriodicResource::new(3, 1).unwrap(),
+            PeriodicResource::new(3, 1).unwrap(),
+            PeriodicResource::new(3, 1).unwrap(),
+            PeriodicResource::new(3_000_000_000, 1).unwrap(),
+        ];
+        assert!(
+            !root_admissible(&sliver),
+            "marginally over-utilized root must be rejected"
+        );
     }
 
     #[test]
@@ -419,8 +813,7 @@ mod tests {
             .collect();
         assert_eq!(ifaces.len(), 4);
         let servers = server_tasks(&ifaces).unwrap();
-        let parent =
-            select_interface(&servers, &SelectionContext::isolated(&servers)).unwrap();
+        let parent = select_interface(&servers, &SelectionContext::isolated(&servers)).unwrap();
         assert!(parent.bandwidth() >= servers.utilization() - 1e-12);
         assert!(is_schedulable(&servers, &parent));
     }

@@ -15,6 +15,8 @@
 //! * [`interface`] — the interface-selection algorithm: minimum-bandwidth
 //!   `(Π, Θ)` per VE, plus level-by-level resolution over a client tree and
 //!   the root over-utilization check `Σ Θ/Π ≤ 1`.
+//! * [`rational`] — exact rational utilization accumulation, so admission
+//!   boundaries (`Σ C/T ≤ 1`) carry no floating-point tolerance.
 //! * [`edf`] — an EDF ready queue (the low-level nested priority queue).
 //! * [`fixed_priority`] — deadline-monotonic response-time analysis on a
 //!   periodic resource, for clients that schedule with fixed priorities.
@@ -49,6 +51,7 @@ pub mod edf;
 pub mod edp;
 pub mod fixed_priority;
 pub mod interface;
+pub mod rational;
 pub mod schedulability;
 pub mod server;
 pub mod supply;

@@ -1,0 +1,382 @@
+//! Exact rational accumulation of utilizations and bandwidths.
+//!
+//! The admission checks of the composition (`Σ Cᵢ/Tᵢ ≤ 1` for task sets,
+//! `Σ Θᵢ/Πᵢ ≤ 1` at the root) were originally computed in `f64` with a
+//! `1e-9` tolerance. That tolerance can *admit* a system whose exact sum is
+//! marginally above 1 — precisely the case the check exists to reject. This
+//! module accumulates the sum exactly in `u128` rational arithmetic
+//! (gcd-reduced fractions), so the comparison against 1 is exact for every
+//! input the rest of the analysis can produce.
+//!
+//! Should the reduced denominator ever overflow `u128` (astronomically
+//! unlikely for periods bounded by the interface-selection cap, but possible
+//! for adversarial 64-bit periods), the accumulator falls back to a
+//! *conservative* truncated fixed-point sum: it may then reject a sum lying
+//! within `terms · 2⁻⁶⁴` below 1, but it can never admit a sum above 1.
+//! Rejection is the safe direction for an admission test.
+
+use crate::Time;
+
+/// Greatest common divisor (Euclid).
+fn gcd(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// `⌊num · 2⁶⁴ / den⌋` for `num < den < 2¹²⁷`, by binary long division
+/// (no 256-bit intermediate needed).
+fn scale_frac(num: u128, den: u128) -> u128 {
+    debug_assert!(num < den && den < 1u128 << 127);
+    let mut quotient = 0u128;
+    let mut rem = num;
+    for _ in 0..64 {
+        quotient <<= 1;
+        rem <<= 1; // rem < den < 2^127, so this cannot overflow
+        if rem >= den {
+            rem -= den;
+            quotient |= 1;
+        }
+    }
+    quotient
+}
+
+/// Denominators are kept below this so the fallback's long division cannot
+/// overflow; a reduced lcm at or above it triggers the fixed-point fallback.
+const DEN_LIMIT: u128 = 1u128 << 127;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Exact value `whole + num/den` with `num < den`, `gcd(num, den) = 1`.
+    Exact { whole: u128, num: u128, den: u128 },
+    /// Truncated fixed-point lower bound at scale `2⁶⁴` plus the number of
+    /// truncations folded in (each truncation loses `< 2⁻⁶⁴`).
+    Approx { fixed_lo: u128, slop: u64 },
+    /// The fixed-point accumulator itself overflowed: the sum is vastly
+    /// above any admissible limit.
+    Saturated,
+}
+
+/// Exact accumulator for sums of non-negative rationals `numer/denom`.
+///
+/// # Example
+///
+/// ```
+/// use bluescale_rt::rational::UtilizationSum;
+///
+/// let mut sum = UtilizationSum::new();
+/// sum.add(1, 3);
+/// sum.add(1, 3);
+/// sum.add(1, 3);
+/// assert!(sum.at_most_one()); // exactly 1, admitted — no tolerance games
+/// sum.add(1, u64::MAX);
+/// assert!(!sum.at_most_one()); // exceeds 1 by 1/u64::MAX, rejected
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UtilizationSum {
+    state: State,
+}
+
+impl Default for UtilizationSum {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl UtilizationSum {
+    /// The empty sum (exactly zero).
+    pub fn new() -> Self {
+        Self {
+            state: State::Exact {
+                whole: 0,
+                num: 0,
+                den: 1,
+            },
+        }
+    }
+
+    /// Adds `numer / denom` to the sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `denom == 0`.
+    pub fn add(&mut self, numer: Time, denom: Time) {
+        assert!(denom > 0, "denominator must be positive");
+        let whole_part = (numer / denom) as u128;
+        let rem = (numer % denom) as u128;
+        let denom = denom as u128;
+        match self.state {
+            State::Exact { whole, num, den } => {
+                match Self::add_exact(whole, num, den, whole_part, rem, denom) {
+                    Some(state) => self.state = state,
+                    None => {
+                        // Downgrade the exact prefix (one truncation), then
+                        // fold the new term through the fallback path.
+                        self.state = Self::downgrade(whole, num, den);
+                        self.add_approx(whole_part, rem, denom);
+                    }
+                }
+            }
+            State::Approx { .. } => self.add_approx(whole_part, rem, denom),
+            State::Saturated => {}
+        }
+    }
+
+    fn add_exact(
+        whole: u128,
+        num: u128,
+        den: u128,
+        whole_part: u128,
+        rem: u128,
+        denom: u128,
+    ) -> Option<State> {
+        let mut whole = whole.checked_add(whole_part)?;
+        if rem == 0 {
+            return Some(State::Exact { whole, num, den });
+        }
+        // num/den + rem/denom = (num·(l/den) + rem·(l/denom)) / l,  l = lcm.
+        let g = gcd(den, denom);
+        let lcm = (den / g).checked_mul(denom)?;
+        if lcm >= DEN_LIMIT {
+            return None;
+        }
+        let scaled = num
+            .checked_mul(lcm / den)?
+            .checked_add(rem.checked_mul(lcm / denom)?)?;
+        whole = whole.checked_add(scaled / lcm)?;
+        let mut num = scaled % lcm;
+        let mut den = lcm;
+        if num == 0 {
+            den = 1;
+        } else {
+            let g = gcd(num, den);
+            num /= g;
+            den /= g;
+        }
+        Some(State::Exact { whole, num, den })
+    }
+
+    fn downgrade(whole: u128, num: u128, den: u128) -> State {
+        let Some(base) = whole.checked_shl(64).filter(|b| b >> 64 == whole) else {
+            return State::Saturated;
+        };
+        match base.checked_add(scale_frac(num, den)) {
+            Some(fixed_lo) => State::Approx { fixed_lo, slop: 1 },
+            None => State::Saturated,
+        }
+    }
+
+    fn add_approx(&mut self, whole_part: u128, rem: u128, denom: u128) {
+        let State::Approx { fixed_lo, slop } = self.state else {
+            return;
+        };
+        // rem < denom ≤ 2⁶⁴, so rem · 2⁶⁴ fits in u128.
+        let term = match whole_part
+            .checked_shl(64)
+            .filter(|b| b >> 64 == whole_part)
+            .and_then(|b| b.checked_add((rem << 64) / denom))
+        {
+            Some(t) => t,
+            None => {
+                self.state = State::Saturated;
+                return;
+            }
+        };
+        match fixed_lo.checked_add(term) {
+            Some(fixed_lo) => {
+                self.state = State::Approx {
+                    fixed_lo,
+                    slop: slop.saturating_add(1),
+                }
+            }
+            None => self.state = State::Saturated,
+        }
+    }
+
+    /// Whether the accumulated sum is at most `limit` (exactly, when the
+    /// accumulator never overflowed; conservatively — never a false
+    /// positive — otherwise).
+    pub fn at_most(&self, limit: u64) -> bool {
+        match self.state {
+            State::Exact { whole, num, .. } => {
+                whole < limit as u128 || (whole == limit as u128 && num == 0)
+            }
+            State::Approx { fixed_lo, slop } => {
+                // exact·2⁶⁴ ∈ [fixed_lo, fixed_lo + slop): admissible iff the
+                // upper bound still fits under the limit.
+                match (limit as u128).checked_shl(64) {
+                    Some(scaled) => fixed_lo.saturating_add(slop as u128) <= scaled,
+                    None => true,
+                }
+            }
+            State::Saturated => false,
+        }
+    }
+
+    /// Whether the accumulated sum is at most one — the admission condition
+    /// `Σ Θ/Π ≤ 1` / `Σ C/T ≤ 1`, evaluated exactly.
+    pub fn at_most_one(&self) -> bool {
+        self.at_most(1)
+    }
+
+    /// The sum as an `f64` approximation (for diagnostics only — never use
+    /// this for admission decisions).
+    pub fn approx_f64(&self) -> f64 {
+        match self.state {
+            State::Exact { whole, num, den } => whole as f64 + num as f64 / den as f64,
+            State::Approx { fixed_lo, .. } => fixed_lo as f64 / (1u128 << 64) as f64,
+            State::Saturated => f64::INFINITY,
+        }
+    }
+}
+
+/// Exact check that the total utilization of `(wcet, period)` pairs stays
+/// at or below 1.
+pub fn utilization_at_most_one(terms: impl IntoIterator<Item = (Time, Time)>) -> bool {
+    let mut sum = UtilizationSum::new();
+    for (num, den) in terms {
+        sum.add(num, den);
+        if let State::Saturated = sum.state {
+            return false;
+        }
+    }
+    sum.at_most_one()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sum_is_zero() {
+        let sum = UtilizationSum::new();
+        assert!(sum.at_most_one());
+        assert!(sum.at_most(0));
+        assert_eq!(sum.approx_f64(), 0.0);
+    }
+
+    #[test]
+    fn exact_third_thrice_is_one() {
+        let mut sum = UtilizationSum::new();
+        for _ in 0..3 {
+            sum.add(1, 3);
+        }
+        assert!(sum.at_most_one());
+        assert!(!sum.at_most(0));
+    }
+
+    #[test]
+    fn epsilon_over_one_is_rejected() {
+        // Σ = 1 + 1/u64::MAX: far inside any float tolerance, exactly over.
+        let mut sum = UtilizationSum::new();
+        sum.add(1, 2);
+        sum.add(1, 2);
+        sum.add(1, u64::MAX);
+        assert!(!sum.at_most_one());
+    }
+
+    #[test]
+    fn float_tolerance_counterexample() {
+        // Seven sevenths plus a sliver: f64 summation of 1/7 seven times is
+        // 0.9999999999999998; adding 1e-12 keeps the float sum under the old
+        // 1 + 1e-9 tolerance even though the exact sum is over 1.
+        let mut sum = UtilizationSum::new();
+        for _ in 0..7 {
+            sum.add(1_000_000_000_000, 7_000_000_000_000);
+        }
+        assert!(sum.at_most_one()); // exactly 1
+        sum.add(1, 1_000_000_000_000);
+        assert!(!sum.at_most_one()); // exactly 1 + 1e-12
+        let float_sum: f64 = (0..7).map(|_| 1.0f64 / 7.0).sum::<f64>() + 1e-12;
+        assert!(float_sum <= 1.0 + 1e-9, "the old check admits this");
+    }
+
+    #[test]
+    fn whole_numbers_accumulate() {
+        let mut sum = UtilizationSum::new();
+        sum.add(10, 2); // 5
+        assert!(!sum.at_most_one());
+        assert!(sum.at_most(5));
+        assert!(!sum.at_most(4));
+    }
+
+    #[test]
+    fn coprime_denominators_reduce() {
+        let mut sum = UtilizationSum::new();
+        sum.add(1, 6);
+        sum.add(1, 10);
+        sum.add(1, 15); // 5/30 + 3/30 + 2/30 = 1/3
+        assert!((sum.approx_f64() - 1.0 / 3.0).abs() < 1e-12);
+        assert!(sum.at_most_one());
+    }
+
+    #[test]
+    fn overflow_fallback_is_conservative() {
+        // Large coprime 64-bit denominators overflow any common u128
+        // denominator quickly; the fallback must stay sound (reject sums
+        // over 1) without panicking.
+        let primes: [u64; 6] = [
+            18_446_744_073_709_551_557,
+            18_446_744_073_709_551_533,
+            18_446_744_073_709_551_521,
+            18_446_744_073_709_551_437,
+            18_446_744_073_709_551_427,
+            18_446_744_073_709_551_359,
+        ];
+        let mut under = UtilizationSum::new();
+        for &p in &primes {
+            under.add(p / 7, p);
+        }
+        // 6 · (~1/7) ≈ 0.857 < 1: must still be admitted via the fallback.
+        assert!(under.at_most_one());
+
+        let mut over = UtilizationSum::new();
+        for &p in &primes {
+            over.add(p / 5 + 1, p);
+        }
+        // 6 · (~1/5) ≈ 1.2 > 1: must be rejected.
+        assert!(!over.at_most_one());
+    }
+
+    #[test]
+    fn saturation_rejects() {
+        // Whole parts stay exact in u128 no matter how huge the inputs.
+        let mut sum = UtilizationSum::new();
+        for _ in 0..8 {
+            sum.add(u64::MAX, 1);
+        }
+        assert!(!sum.at_most_one());
+        assert!(sum.approx_f64() > 1e19);
+
+        // Force the fixed-point fallback (coprime near-2⁶⁴ denominators),
+        // then overflow its 2⁶⁴-scaled accumulator with huge whole parts:
+        // the accumulator must saturate and keep rejecting.
+        let mut sat = UtilizationSum::new();
+        sat.add(1, 18_446_744_073_709_551_557);
+        sat.add(1, 18_446_744_073_709_551_533);
+        for _ in 0..8 {
+            sat.add(u64::MAX, 1);
+        }
+        assert!(!sat.at_most_one());
+        assert!(sat.approx_f64().is_infinite());
+    }
+
+    #[test]
+    fn scale_frac_matches_division() {
+        assert_eq!(scale_frac(1, 2), 1u128 << 63);
+        assert_eq!(scale_frac(1, 4), 1u128 << 62);
+        assert_eq!(scale_frac(0, 7), 0);
+        // ⌊(2⁶⁴·3)/7⌋ computed directly in u128 for a small case.
+        assert_eq!(scale_frac(3, 7), (3u128 << 64) / 7);
+    }
+
+    #[test]
+    fn helper_checks_task_utilizations() {
+        assert!(utilization_at_most_one([(1, 2), (1, 2)]));
+        assert!(!utilization_at_most_one([(1, 2), (1, 2), (1, 1_000_000)]));
+        assert!(utilization_at_most_one(std::iter::empty()));
+    }
+}

@@ -14,7 +14,7 @@
 
 use crate::demand::dbf_set;
 use crate::supply::PeriodicResource;
-use crate::task::TaskSet;
+use crate::task::{Task, TaskSet};
 use crate::Time;
 
 /// Upper limit on the number of demand change points a single test may
@@ -71,31 +71,123 @@ pub fn theorem1_bound(set: &TaskSet, resource: &PeriodicResource) -> Option<f64>
 /// # Ok::<(), bluescale_rt::Error>(())
 /// ```
 pub fn is_schedulable(set: &TaskSet, resource: &PeriodicResource) -> bool {
-    if set.is_empty() {
-        return true;
+    DemandCurve::new(set).is_schedulable(resource)
+}
+
+/// A memoized demand curve for one task set: the sorted demand change
+/// points and the `dbf` value at each, materialized incrementally up to the
+/// largest horizon any test has needed so far.
+///
+/// The interface-selection hot path tests the *same* task set against many
+/// `(Π, Θ)` candidates (every budget probed by the binary search, for every
+/// candidate period). The demand side of `dbf(t) ≤ sbf(t)` depends only on
+/// the task set, so one curve serves the whole search: each test re-uses the
+/// cached `(t, dbf(t))` pairs and evaluates only the cheap supply side. The
+/// answers are bit-identical to [`is_schedulable`] — this type *is* its
+/// implementation.
+///
+/// # Example
+///
+/// ```
+/// use bluescale_rt::task::{Task, TaskSet};
+/// use bluescale_rt::supply::PeriodicResource;
+/// use bluescale_rt::schedulability::{is_schedulable, DemandCurve};
+///
+/// let set = TaskSet::new(vec![Task::new(0, 10, 2)?])?;
+/// let mut curve = DemandCurve::new(&set);
+/// for period in 1..=8u64 {
+///     for budget in 1..=period {
+///         let r = PeriodicResource::new(period, budget).expect("valid");
+///         assert_eq!(curve.is_schedulable(&r), is_schedulable(&set, &r));
+///     }
+/// }
+/// # Ok::<(), bluescale_rt::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DemandCurve<'a> {
+    set: &'a TaskSet,
+    /// Next unmaterialized change point per task (`Dᵢ + k·Tᵢ` cursors).
+    cursors: Vec<Time>,
+    /// Horizon below which every change point has been materialized.
+    horizon: Time,
+    /// Sorted, deduplicated change points `< horizon`.
+    points: Vec<Time>,
+    /// `dbf_set(set, points[i])`, cached alongside.
+    demands: Vec<Time>,
+    /// Scratch buffer for newly materialized points (kept to avoid
+    /// re-allocating on every extension).
+    fresh: Vec<Time>,
+}
+
+impl<'a> DemandCurve<'a> {
+    /// Creates an empty curve for `set`; points materialize on demand.
+    pub fn new(set: &'a TaskSet) -> Self {
+        Self {
+            set,
+            cursors: set.iter().map(Task::deadline).collect(),
+            horizon: 0,
+            points: Vec::new(),
+            demands: Vec::new(),
+            fresh: Vec::new(),
+        }
     }
-    let Some(beta) = theorem1_bound(set, resource) else {
-        return false;
-    };
-    // Dedicated resource with implicit deadlines: sbf(t) = t ≥ U·t ≥ dbf(t).
-    if resource.budget() == resource.period() && set.density_excess() == 0.0 {
-        return true;
+
+    /// The task set this curve describes.
+    pub fn set(&self) -> &TaskSet {
+        self.set
     }
-    let horizon = beta.ceil() as Time;
-    // Estimate the number of change points before enumerating them.
-    let estimated: u64 = set
-        .iter()
-        .map(|tau| horizon / tau.period())
-        .sum();
-    if estimated > MAX_TEST_POINTS {
-        return false;
+
+    /// Materializes all change points `< horizon`. New points are strictly
+    /// above every cached one (the cursors sit at or beyond the old
+    /// horizon), so extension is append-only.
+    fn extend_to(&mut self, horizon: Time) {
+        if horizon <= self.horizon {
+            return;
+        }
+        self.fresh.clear();
+        for (cursor, tau) in self.cursors.iter_mut().zip(self.set.iter()) {
+            while *cursor < horizon {
+                self.fresh.push(*cursor);
+                *cursor += tau.period();
+            }
+        }
+        self.fresh.sort_unstable();
+        self.fresh.dedup();
+        for &t in &self.fresh {
+            self.points.push(t);
+            self.demands.push(dbf_set(self.set, t));
+        }
+        self.horizon = horizon;
     }
-    // Enumerate change points lazily per task, merged by scanning; for the
-    // small sets used here a sort is cheapest and clearest.
-    let points = crate::demand::change_points(set, horizon);
-    points
-        .into_iter()
-        .all(|t| dbf_set(set, t) <= resource.sbf(t))
+
+    /// The memoized equivalent of [`is_schedulable`]: same Theorem 1 bound,
+    /// same conservative [`MAX_TEST_POINTS`] guard, same change points —
+    /// the demand side just comes from the cache.
+    pub fn is_schedulable(&mut self, resource: &PeriodicResource) -> bool {
+        let set = self.set;
+        if set.is_empty() {
+            return true;
+        }
+        let Some(beta) = theorem1_bound(set, resource) else {
+            return false;
+        };
+        // Dedicated resource with implicit deadlines: sbf(t) = t ≥ U·t ≥ dbf(t).
+        if resource.budget() == resource.period() && set.density_excess() == 0.0 {
+            return true;
+        }
+        let horizon = beta.ceil() as Time;
+        // Estimate the number of change points before materializing them.
+        let estimated: u64 = set.iter().map(|tau| horizon / tau.period()).sum();
+        if estimated > MAX_TEST_POINTS {
+            return false;
+        }
+        self.extend_to(horizon);
+        let end = self.points.partition_point(|&t| t < horizon);
+        self.points[..end]
+            .iter()
+            .zip(&self.demands[..end])
+            .all(|(&t, &demand)| demand <= resource.sbf(t))
+    }
 }
 
 /// Brute-force reference test: checks `dbf(t) ≤ sbf(t)` for every integer
@@ -196,7 +288,7 @@ mod tests {
     fn theorem1_bound_formula() {
         let s = set(&[(10, 2)]); // U = 0.2
         let r = PeriodicResource::new(10, 4).unwrap(); // bw = 0.4, blackout = 6
-        // β = 2·0.4·6 / (0.4 − 0.2) = 4.8/0.2 = 24.
+                                                       // β = 2·0.4·6 / (0.4 − 0.2) = 4.8/0.2 = 24.
         let beta = theorem1_bound(&s, &r).unwrap();
         assert!((beta - 24.0).abs() < 1e-9, "beta = {beta}");
     }
@@ -223,8 +315,7 @@ mod tests {
         // Same (T, C), but the deadline shrinks: the resource that was
         // sufficient for the implicit-deadline task no longer is.
         let implicit = set(&[(20, 4)]);
-        let constrained =
-            TaskSet::new(vec![Task::with_deadline(0, 20, 8, 4).unwrap()]).unwrap();
+        let constrained = TaskSet::new(vec![Task::with_deadline(0, 20, 8, 4).unwrap()]).unwrap();
         let r = PeriodicResource::new(10, 4).unwrap();
         assert!(is_schedulable(&implicit, &r));
         assert!(!is_schedulable(&constrained, &r));

@@ -54,12 +54,7 @@ impl Task {
     ///
     /// Returns [`Error::InvalidTask`] on `period == 0`, `wcet == 0`,
     /// `wcet > deadline` or `deadline > period`.
-    pub fn with_deadline(
-        id: u32,
-        period: Time,
-        deadline: Time,
-        wcet: Time,
-    ) -> Result<Self, Error> {
+    pub fn with_deadline(id: u32, period: Time, deadline: Time, wcet: Time) -> Result<Self, Error> {
         if period == 0 {
             return Err(Error::InvalidTask {
                 id,
@@ -225,10 +220,13 @@ impl TaskSet {
                 gcd(b, a % b)
             }
         }
-        self.tasks.iter().map(Task::period).try_fold(1u64, |acc, p| {
-            let g = gcd(acc, p);
-            (acc / g).checked_mul(p)
-        })
+        self.tasks
+            .iter()
+            .map(Task::period)
+            .try_fold(1u64, |acc, p| {
+                let g = gcd(acc, p);
+                (acc / g).checked_mul(p)
+            })
     }
 }
 

@@ -60,21 +60,13 @@ fn supplies(resource: &PeriodicResource, t: Time) -> bool {
 /// assert!(edf_meets_deadlines(&set, &good, 500));
 /// # Ok::<(), bluescale_rt::Error>(())
 /// ```
-pub fn edf_meets_deadlines(
-    set: &TaskSet,
-    resource: &PeriodicResource,
-    horizon: Time,
-) -> bool {
+pub fn edf_meets_deadlines(set: &TaskSet, resource: &PeriodicResource, horizon: Time) -> bool {
     first_miss(set, resource, horizon).is_none()
 }
 
 /// Like [`edf_meets_deadlines`], but returns the absolute time of the
 /// first deadline miss (useful in diagnostics and tests).
-pub fn first_miss(
-    set: &TaskSet,
-    resource: &PeriodicResource,
-    horizon: Time,
-) -> Option<Time> {
+pub fn first_miss(set: &TaskSet, resource: &PeriodicResource, horizon: Time) -> Option<Time> {
     if set.is_empty() {
         return None;
     }
@@ -94,7 +86,10 @@ pub fn first_miss(
             }
         }
         // Misses: any active job whose deadline has arrived with work left.
-        if jobs.iter().any(|&(d, remaining, _)| d <= t && remaining > 0) {
+        if jobs
+            .iter()
+            .any(|&(d, remaining, _)| d <= t && remaining > 0)
+        {
             return Some(t);
         }
         // Supply slot: run the earliest-deadline job.
@@ -165,8 +160,14 @@ mod tests {
     fn admitted_sets_survive_worst_case_supply() {
         let cases = [
             (set(&[(20, 2)]), PeriodicResource::new(5, 2).unwrap()),
-            (set(&[(10, 1), (25, 3)]), PeriodicResource::new(4, 2).unwrap()),
-            (set(&[(30, 5), (40, 8)]), PeriodicResource::new(6, 3).unwrap()),
+            (
+                set(&[(10, 1), (25, 3)]),
+                PeriodicResource::new(4, 2).unwrap(),
+            ),
+            (
+                set(&[(30, 5), (40, 8)]),
+                PeriodicResource::new(6, 3).unwrap(),
+            ),
         ];
         for (s, r) in cases {
             assert!(is_schedulable(&s, &r), "precondition: analysis admits");

@@ -1,0 +1,138 @@
+//! Differential tests pinning the tuned interface-selection fast path to
+//! the naive reference implementation.
+//!
+//! The fast path (bandwidth-based candidate pruning + demand-curve
+//! memoization, see `interface.rs`) must return **bit-identical** `(Π, Θ)`
+//! to exhaustive enumeration on every input — these tests sweep random task
+//! sets with a fixed-seed [`SimRng`] so each case is reproducible.
+
+use bluescale_rt::interface::{
+    feasible_period_bound, min_budget_for_period, select_interface, select_interface_detailed,
+    select_interface_exhaustive, select_se_interfaces_parallel, select_se_interfaces_with_divisor,
+    SelectionContext,
+};
+use bluescale_rt::schedulability::{is_schedulable, DemandCurve};
+use bluescale_rt::supply::PeriodicResource;
+use bluescale_rt::task::{Task, TaskSet};
+use bluescale_sim::rng::SimRng;
+
+/// A random task set of 1–4 tasks with `U ≤ 1`, mixing light and heavy
+/// tasks so both short- and long-period interfaces get exercised.
+fn random_taskset(rng: &mut SimRng) -> TaskSet {
+    loop {
+        let n = rng.range_usize(1, 5);
+        let tasks = (0..n)
+            .map(|i| {
+                let period = rng.range_u64(2, 400);
+                let wcet = rng.range_u64(1, 40).min(period);
+                Task::new(i as u32, period, wcet).expect("valid parameters")
+            })
+            .collect();
+        if let Ok(set) = TaskSet::new(tasks) {
+            return set;
+        }
+    }
+}
+
+/// The tuned `select_interface` returns bit-identical `(Π, Θ)` to the naive
+/// exhaustive enumeration on random task sets, across contexts.
+#[test]
+fn pruned_selection_matches_exhaustive_reference() {
+    let mut rng = SimRng::seed_from(0xD1FF);
+    for case in 0..150 {
+        let set = random_taskset(&mut rng);
+        let ctx = match rng.range_u64(0, 3) {
+            0 => SelectionContext::isolated(&set),
+            1 => SelectionContext::shared((set.utilization() + rng.f64() * 0.5).min(0.99)),
+            _ => SelectionContext::isolated(&set).with_period_divisor(rng.range_u64(1, 5)),
+        };
+        let fast = select_interface(&set, &ctx);
+        let naive = select_interface_exhaustive(&set, &ctx);
+        assert_eq!(
+            fast, naive,
+            "case {case}: fast path diverged from reference for {set:?}"
+        );
+    }
+}
+
+/// The memoized binary search returns the same minimum budget as fresh
+/// one-shot schedulability probes, for every period in the feasible range.
+#[test]
+fn memoized_min_budget_matches_fresh_probes() {
+    let mut rng = SimRng::seed_from(0x5EED);
+    for case in 0..60 {
+        let set = random_taskset(&mut rng);
+        let bound = feasible_period_bound(&set, &SelectionContext::isolated(&set));
+        let mut curve = DemandCurve::new(&set);
+        for period in 1..=bound.period.min(64) {
+            let memoized = bluescale_rt::interface::min_budget_with_curve(&mut curve, period);
+            let fresh = min_budget_for_period(&set, period);
+            assert_eq!(
+                memoized, fresh,
+                "case {case}: memoized budget diverged at Π={period} for {set:?}"
+            );
+            // And the fresh result is itself pinned to first-principles
+            // schedulability of (Π, Θ) / unschedulability of (Π, Θ-1).
+            if let Some(b) = fresh {
+                let r = PeriodicResource::new(period, b).unwrap();
+                assert!(is_schedulable(&set, &r), "case {case}: budget too small");
+                if b > 1 {
+                    let r = PeriodicResource::new(period, b - 1).unwrap();
+                    assert!(!is_schedulable(&set, &r), "case {case}: budget not minimal");
+                }
+            }
+        }
+    }
+}
+
+/// Parallel per-client selection returns exactly the serial driver's
+/// output for random SE client loads, at every thread count.
+#[test]
+fn parallel_se_selection_is_bit_identical_to_serial() {
+    let mut rng = SimRng::seed_from(0x9A11E1);
+    for case in 0..25 {
+        let clients: Vec<TaskSet> = (0..rng.range_usize(1, 9))
+            .map(|_| {
+                if rng.chance(0.2) {
+                    TaskSet::empty()
+                } else {
+                    random_taskset(&mut rng)
+                }
+            })
+            .collect();
+        let divisor = rng.range_u64(1, 4);
+        let serial = select_se_interfaces_with_divisor(&clients, divisor);
+        for threads in [1, 2, 3, 8] {
+            assert_eq!(
+                select_se_interfaces_parallel(&clients, divisor, threads),
+                serial,
+                "case {case}: parallel ({threads} threads) diverged from serial"
+            );
+        }
+    }
+}
+
+/// The truncation flag is consistent: untruncated searches really did cover
+/// the analytic bound, and the detailed result mirrors `select_interface`.
+#[test]
+fn detailed_selection_mirrors_plain_selection() {
+    let mut rng = SimRng::seed_from(0x7A6);
+    for case in 0..60 {
+        let set = random_taskset(&mut rng);
+        let ctx = SelectionContext::isolated(&set);
+        let plain = select_interface(&set, &ctx);
+        let detailed = select_interface_detailed(&set, &ctx);
+        match (plain, detailed) {
+            (Ok(iface), Ok(result)) => {
+                assert_eq!(iface, result.interface, "case {case}");
+                assert_eq!(
+                    result.period_bound,
+                    feasible_period_bound(&set, &ctx),
+                    "case {case}"
+                );
+            }
+            (Err(a), Err(b)) => assert_eq!(a, b, "case {case}"),
+            (p, d) => panic!("case {case}: plain {p:?} vs detailed {d:?}"),
+        }
+    }
+}

@@ -1,4 +1,10 @@
-//! Property-based tests of the analysis crate's cross-module invariants.
+//! Randomized property tests of the analysis crate's cross-module
+//! invariants.
+//!
+//! The container has no network access to a crates registry, so instead of
+//! `proptest` these properties are exercised with a fixed-seed [`SimRng`]
+//! sweep: every case is deterministic and reproducible by seed, and a
+//! failure message names the case index so it can be replayed.
 
 use bluescale_rt::demand::dbf_set;
 use bluescale_rt::edp::{is_schedulable_edp, EdpResource};
@@ -9,146 +15,203 @@ use bluescale_rt::schedulability::is_schedulable;
 use bluescale_rt::supply::PeriodicResource;
 use bluescale_rt::task::{Task, TaskSet};
 use bluescale_rt::validate::edf_meets_deadlines;
-use proptest::prelude::*;
+use bluescale_sim::rng::SimRng;
 
-fn arb_task(id: u32) -> impl Strategy<Value = Task> {
-    (2u64..150, 1u64..30).prop_map(move |(period, raw_wcet)| {
-        Task::new(id, period, raw_wcet.min(period)).expect("valid parameters")
-    })
+const CASES: usize = 300;
+
+/// A random task mirroring the old proptest strategy: `T ∈ [2, 150)`,
+/// `C = min(raw, T)` with `raw ∈ [1, 30)`.
+fn random_task(rng: &mut SimRng, id: u32) -> Task {
+    let period = rng.range_u64(2, 150);
+    let raw_wcet = rng.range_u64(1, 30);
+    Task::new(id, period, raw_wcet.min(period)).expect("valid parameters")
 }
 
-fn arb_taskset() -> impl Strategy<Value = TaskSet> {
-    prop::collection::vec(0u8..1, 1..4).prop_flat_map(|slots| {
-        let strategies: Vec<_> = (0..slots.len()).map(|i| arb_task(i as u32)).collect();
-        strategies.prop_filter_map("U ≤ 1", |tasks| TaskSet::new(tasks).ok())
-    })
+/// A random task set of 1–3 tasks with `U ≤ 1` (rejection-sampled, like the
+/// old `prop_filter_map`).
+fn random_taskset(rng: &mut SimRng) -> TaskSet {
+    loop {
+        let n = rng.range_usize(1, 4);
+        let tasks = (0..n).map(|i| random_task(rng, i as u32)).collect();
+        if let Ok(set) = TaskSet::new(tasks) {
+            return set;
+        }
+    }
 }
 
-fn arb_resource() -> impl Strategy<Value = PeriodicResource> {
-    (1u64..40).prop_flat_map(|period| {
-        (Just(period), 1u64..=period)
-            .prop_map(|(p, b)| PeriodicResource::new(p, b).expect("b ≤ p"))
-    })
+/// A random periodic resource with `Π ∈ [1, 40)`, `1 ≤ Θ ≤ Π`.
+fn random_resource(rng: &mut SimRng) -> PeriodicResource {
+    let period = rng.range_u64(1, 40);
+    let budget = rng.range_u64(1, period + 1);
+    PeriodicResource::new(period, budget).expect("b ≤ p")
 }
 
-proptest! {
-    /// EDF is optimal on a periodic resource: anything the fixed-priority
-    /// test admits, the EDF test must admit too.
-    #[test]
-    fn fp_admission_implies_edf_admission(
-        set in arb_taskset(),
-        r in arb_resource(),
-    ) {
+/// EDF is optimal on a periodic resource: anything the fixed-priority test
+/// admits, the EDF test must admit too.
+#[test]
+fn fp_admission_implies_edf_admission() {
+    let mut rng = SimRng::seed_from(0xA11CE);
+    for case in 0..CASES {
+        let set = random_taskset(&mut rng);
+        let r = random_resource(&mut rng);
         if is_schedulable_fp(&set, &r) {
-            prop_assert!(
+            assert!(
                 is_schedulable(&set, &r),
-                "FP admitted {set:?} on {r:?} but EDF rejected"
+                "case {case}: FP admitted {set:?} on {r:?} but EDF rejected"
             );
         }
     }
+}
 
-    /// FP admission also implies the worst-case-supply EDF simulation
-    /// passes (EDF dominates any fixed-priority order at run time).
-    #[test]
-    fn fp_admission_implies_simulation_passes(
-        set in arb_taskset(),
-        r in arb_resource(),
-    ) {
+/// FP admission also implies the worst-case-supply EDF simulation passes
+/// (EDF dominates any fixed-priority order at run time).
+#[test]
+fn fp_admission_implies_simulation_passes() {
+    let mut rng = SimRng::seed_from(0xB0B);
+    for case in 0..CASES {
+        let set = random_taskset(&mut rng);
+        let r = random_resource(&mut rng);
         if is_schedulable_fp(&set, &r) {
             let horizon = set
                 .hyperperiod()
                 .unwrap_or(10_000)
                 .saturating_mul(2)
                 .min(100_000);
-            prop_assert!(edf_meets_deadlines(&set, &r, horizon));
+            assert!(
+                edf_meets_deadlines(&set, &r, horizon),
+                "case {case}: simulation missed a deadline for {set:?} on {r:?}"
+            );
         }
     }
+}
 
-    /// The request bound function is monotone in t and starts at the
-    /// task's own WCET.
-    #[test]
-    fn rbf_is_monotone(set in arb_taskset(), t in 1u64..300) {
+/// The request bound function is monotone in t and starts at the task's own
+/// WCET.
+#[test]
+fn rbf_is_monotone() {
+    let mut rng = SimRng::seed_from(0xC0FFEE);
+    for case in 0..CASES {
+        let set = random_taskset(&mut rng);
+        let t = rng.range_u64(1, 300);
         let ordered = deadline_monotonic_order(&set);
         for i in 0..ordered.len() {
-            prop_assert!(rbf(&ordered, i, t + 1) >= rbf(&ordered, i, t));
-            prop_assert!(rbf(&ordered, i, 1) >= ordered[i].wcet());
+            assert!(
+                rbf(&ordered, i, t + 1) >= rbf(&ordered, i, t),
+                "case {case}: rbf not monotone at t={t}"
+            );
+            assert!(
+                rbf(&ordered, i, 1) >= ordered[i].wcet(),
+                "case {case}: rbf(1) below own WCET"
+            );
         }
     }
+}
 
-    /// Response times respect priority order economics: on the same
-    /// resource a task never responds faster than the highest-priority
-    /// task's own WCET supply time.
-    #[test]
-    fn response_time_at_least_supply_of_own_wcet(
-        set in arb_taskset(),
-        r in arb_resource(),
-    ) {
+/// Response times respect priority order economics: on the same resource a
+/// task never responds faster than the supply time of its own WCET, and an
+/// admitted response never exceeds the deadline.
+#[test]
+fn response_time_at_least_supply_of_own_wcet() {
+    let mut rng = SimRng::seed_from(0xD00D);
+    for case in 0..CASES {
+        let set = random_taskset(&mut rng);
+        let r = random_resource(&mut rng);
         let ordered = deadline_monotonic_order(&set);
         for i in 0..ordered.len() {
             if let Some(rt) = response_time(&ordered, i, &r) {
-                // By definition of the analysis: sbf(rt) ≥ rbf ≥ C.
-                prop_assert!(r.sbf(rt) >= ordered[i].wcet());
-                prop_assert!(rt <= ordered[i].deadline());
+                assert!(
+                    r.sbf(rt) >= ordered[i].wcet(),
+                    "case {case}: sbf(rt) below WCET"
+                );
+                assert!(
+                    rt <= ordered[i].deadline(),
+                    "case {case}: admitted response beyond deadline"
+                );
             }
         }
     }
+}
 
-    /// Growing the budget never hurts: FP admission is monotone in Θ.
-    #[test]
-    fn fp_admission_monotone_in_budget(set in arb_taskset(), period in 2u64..30) {
+/// Growing the budget never hurts: FP admission is monotone in Θ.
+#[test]
+fn fp_admission_monotone_in_budget() {
+    let mut rng = SimRng::seed_from(0xE66);
+    for case in 0..CASES {
+        let set = random_taskset(&mut rng);
+        let period = rng.range_u64(2, 30);
         let mut admitted = false;
         for budget in 1..=period {
             let r = PeriodicResource::new(period, budget).expect("valid");
             let now = is_schedulable_fp(&set, &r);
-            prop_assert!(!admitted || now, "admission lost when Θ grew to {budget}");
+            assert!(
+                !admitted || now,
+                "case {case}: admission lost when Θ grew to {budget}"
+            );
             admitted = now;
         }
     }
+}
 
-    /// For identical (Π, Θ), the EDP supply dominates the periodic supply
-    /// for every deadline choice, and therefore admits at least as much.
-    #[test]
-    fn edp_supply_dominates_periodic(
-        set in arb_taskset(),
-        r in arb_resource(),
-        t in 0u64..400,
-    ) {
+/// For identical (Π, Θ), the EDP supply dominates the periodic supply for
+/// every deadline choice, and therefore admits at least as much.
+#[test]
+fn edp_supply_dominates_periodic() {
+    let mut rng = SimRng::seed_from(0xF00);
+    for case in 0..CASES {
+        let set = random_taskset(&mut rng);
+        let r = random_resource(&mut rng);
+        let t = rng.range_u64(0, 400);
         // Tightest EDP deadline Δ = Θ.
-        let edp = EdpResource::new(r.period(), r.budget(), r.budget())
-            .expect("Θ ≤ Θ ≤ Π");
-        prop_assert!(edp.sbf(t) >= r.sbf(t), "EDP supply below periodic at t={t}");
+        let edp = EdpResource::new(r.period(), r.budget(), r.budget()).expect("Θ ≤ Θ ≤ Π");
+        assert!(
+            edp.sbf(t) >= r.sbf(t),
+            "case {case}: EDP supply below periodic at t={t}"
+        );
         if is_schedulable(&set, &r) {
-            prop_assert!(
+            assert!(
                 is_schedulable_edp(&set, &edp),
-                "periodic admitted {set:?} on {r:?} but EDP rejected"
+                "case {case}: periodic admitted {set:?} on {r:?} but EDP rejected"
             );
         }
     }
+}
 
-    /// EDP sbf is monotone and unit-rate bounded for random triples.
-    #[test]
-    fn edp_sbf_well_formed(
-        period in 1u64..40,
-        budget_frac in 1u64..40,
-        deadline_frac in 0u64..40,
-        t in 0u64..300,
-    ) {
+/// EDP sbf is monotone and unit-rate bounded for random triples.
+#[test]
+fn edp_sbf_well_formed() {
+    let mut rng = SimRng::seed_from(0x1DEA);
+    for case in 0..CASES {
+        let period = rng.range_u64(1, 40);
+        let budget_frac = rng.range_u64(1, 40);
+        let deadline_frac = rng.range_u64(0, 40);
+        let t = rng.range_u64(0, 300);
         let budget = (budget_frac % period).max(1);
         let deadline = budget + deadline_frac % (period - budget + 1);
         let r = EdpResource::new(period, budget, deadline).expect("constructed valid");
-        prop_assert!(r.sbf(t + 1) >= r.sbf(t));
-        prop_assert!(r.sbf(t + 1) - r.sbf(t) <= 1);
-        prop_assert!(r.sbf(t) <= t);
+        assert!(r.sbf(t + 1) >= r.sbf(t), "case {case}: sbf not monotone");
+        assert!(
+            r.sbf(t + 1) - r.sbf(t) <= 1,
+            "case {case}: sbf rate above 1"
+        );
+        assert!(r.sbf(t) <= t, "case {case}: sbf above identity");
     }
+}
 
-    /// dbf never exceeds rbf-style total demand: the EDF demand in an
-    /// interval is at most every task's synchronous releases.
-    #[test]
-    fn dbf_bounded_by_release_counts(set in arb_taskset(), t in 0u64..500) {
+/// dbf never exceeds rbf-style total demand: the EDF demand in an interval
+/// is at most every task's synchronous releases.
+#[test]
+fn dbf_bounded_by_release_counts() {
+    let mut rng = SimRng::seed_from(0x2BAD);
+    for case in 0..CASES {
+        let set = random_taskset(&mut rng);
+        let t = rng.range_u64(0, 500);
         let upper: u64 = set
             .iter()
             .map(|task| (t / task.period() + 1) * task.wcet())
             .sum();
-        prop_assert!(dbf_set(&set, t) <= upper);
+        assert!(
+            dbf_set(&set, t) <= upper,
+            "case {case}: dbf exceeds synchronous release bound at t={t}"
+        );
     }
 }

@@ -111,8 +111,8 @@ impl OnlineStats {
         }
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
-        self.m2 += other.m2
-            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
         self.mean += delta * other.count as f64 / total as f64;
         self.count = total;
         self.min = self.min.min(other.min);
@@ -201,7 +201,10 @@ impl Samples {
     pub fn variance(&self) -> Option<f64> {
         let mean = self.mean()?;
         Some(
-            self.values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+            self.values
+                .iter()
+                .map(|v| (v - mean) * (v - mean))
+                .sum::<f64>()
                 / self.values.len() as f64,
         )
     }
@@ -326,7 +329,9 @@ mod tests {
 
     #[test]
     fn samples_mean_and_variance() {
-        let s: Samples = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let s: Samples = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert!((s.mean().unwrap() - 5.0).abs() < 1e-12);
         assert!((s.variance().unwrap() - 4.0).abs() < 1e-12);
     }

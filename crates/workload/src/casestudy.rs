@@ -33,30 +33,130 @@ pub struct CatalogTask {
 
 /// The 10 automotive safety tasks (Renesas use-case catalogue flavour).
 pub const SAFETY_TASKS: [CatalogTask; 10] = [
-    CatalogTask { name: "crc32", safety: true, base_period: 500, memory_weight: 1.2 },
-    CatalogTask { name: "rsa32", safety: true, base_period: 2000, memory_weight: 0.8 },
-    CatalogTask { name: "core-self-test", safety: true, base_period: 4000, memory_weight: 1.5 },
-    CatalogTask { name: "ecc-scrub", safety: true, base_period: 1000, memory_weight: 2.0 },
-    CatalogTask { name: "watchdog-refresh", safety: true, base_period: 250, memory_weight: 0.3 },
-    CatalogTask { name: "lockstep-compare", safety: true, base_period: 500, memory_weight: 1.0 },
-    CatalogTask { name: "voltage-monitor", safety: true, base_period: 1000, memory_weight: 0.4 },
-    CatalogTask { name: "can-frame-check", safety: true, base_period: 800, memory_weight: 0.9 },
-    CatalogTask { name: "flash-signature", safety: true, base_period: 4000, memory_weight: 1.8 },
-    CatalogTask { name: "sensor-plausibility", safety: true, base_period: 640, memory_weight: 1.1 },
+    CatalogTask {
+        name: "crc32",
+        safety: true,
+        base_period: 500,
+        memory_weight: 1.2,
+    },
+    CatalogTask {
+        name: "rsa32",
+        safety: true,
+        base_period: 2000,
+        memory_weight: 0.8,
+    },
+    CatalogTask {
+        name: "core-self-test",
+        safety: true,
+        base_period: 4000,
+        memory_weight: 1.5,
+    },
+    CatalogTask {
+        name: "ecc-scrub",
+        safety: true,
+        base_period: 1000,
+        memory_weight: 2.0,
+    },
+    CatalogTask {
+        name: "watchdog-refresh",
+        safety: true,
+        base_period: 250,
+        memory_weight: 0.3,
+    },
+    CatalogTask {
+        name: "lockstep-compare",
+        safety: true,
+        base_period: 500,
+        memory_weight: 1.0,
+    },
+    CatalogTask {
+        name: "voltage-monitor",
+        safety: true,
+        base_period: 1000,
+        memory_weight: 0.4,
+    },
+    CatalogTask {
+        name: "can-frame-check",
+        safety: true,
+        base_period: 800,
+        memory_weight: 0.9,
+    },
+    CatalogTask {
+        name: "flash-signature",
+        safety: true,
+        base_period: 4000,
+        memory_weight: 1.8,
+    },
+    CatalogTask {
+        name: "sensor-plausibility",
+        safety: true,
+        base_period: 640,
+        memory_weight: 1.1,
+    },
 ];
 
 /// The 10 automotive function tasks (EEMBC AutoBench flavour).
 pub const FUNCTION_TASKS: [CatalogTask; 10] = [
-    CatalogTask { name: "fft", safety: false, base_period: 1000, memory_weight: 1.6 },
-    CatalogTask { name: "speed-calc", safety: false, base_period: 500, memory_weight: 0.7 },
-    CatalogTask { name: "angle-to-time", safety: false, base_period: 640, memory_weight: 0.6 },
-    CatalogTask { name: "table-lookup", safety: false, base_period: 800, memory_weight: 1.3 },
-    CatalogTask { name: "fir-filter", safety: false, base_period: 1000, memory_weight: 1.0 },
-    CatalogTask { name: "iir-filter", safety: false, base_period: 1000, memory_weight: 1.0 },
-    CatalogTask { name: "matrix-mult", safety: false, base_period: 2000, memory_weight: 2.2 },
-    CatalogTask { name: "road-speed-limit", safety: false, base_period: 1600, memory_weight: 0.8 },
-    CatalogTask { name: "tooth-to-spark", safety: false, base_period: 500, memory_weight: 0.5 },
-    CatalogTask { name: "idct", safety: false, base_period: 1250, memory_weight: 1.4 },
+    CatalogTask {
+        name: "fft",
+        safety: false,
+        base_period: 1000,
+        memory_weight: 1.6,
+    },
+    CatalogTask {
+        name: "speed-calc",
+        safety: false,
+        base_period: 500,
+        memory_weight: 0.7,
+    },
+    CatalogTask {
+        name: "angle-to-time",
+        safety: false,
+        base_period: 640,
+        memory_weight: 0.6,
+    },
+    CatalogTask {
+        name: "table-lookup",
+        safety: false,
+        base_period: 800,
+        memory_weight: 1.3,
+    },
+    CatalogTask {
+        name: "fir-filter",
+        safety: false,
+        base_period: 1000,
+        memory_weight: 1.0,
+    },
+    CatalogTask {
+        name: "iir-filter",
+        safety: false,
+        base_period: 1000,
+        memory_weight: 1.0,
+    },
+    CatalogTask {
+        name: "matrix-mult",
+        safety: false,
+        base_period: 2000,
+        memory_weight: 2.2,
+    },
+    CatalogTask {
+        name: "road-speed-limit",
+        safety: false,
+        base_period: 1600,
+        memory_weight: 0.8,
+    },
+    CatalogTask {
+        name: "tooth-to-spark",
+        safety: false,
+        base_period: 500,
+        memory_weight: 0.5,
+    },
+    CatalogTask {
+        name: "idct",
+        safety: false,
+        base_period: 1250,
+        memory_weight: 1.4,
+    },
 ];
 
 /// Parameters of one case-study trial.
@@ -104,7 +204,10 @@ impl CaseStudyConfig {
 /// Panics if the configuration is inconsistent (more accelerators than
 /// clients, base above target).
 pub fn generate(config: &CaseStudyConfig, rng: &mut SimRng) -> Vec<TaskSet> {
-    assert!(config.accelerators < config.clients, "too many accelerators");
+    assert!(
+        config.accelerators < config.clients,
+        "too many accelerators"
+    );
     assert!(
         config.base_utilization <= config.target_utilization + 1e-12,
         "base utilization above target"
@@ -125,13 +228,10 @@ pub fn generate(config: &CaseStudyConfig, rng: &mut SimRng) -> Vec<TaskSet> {
         let client = rng.range_usize(0, processors);
         let share = config.base_utilization * entry.memory_weight / weight_sum;
         // Jitter the period ±25 % so trials differ.
-        let period =
-            (entry.base_period as f64 * rng.range_f64(0.75, 1.25)).round() as u64;
+        let period = (entry.base_period as f64 * rng.range_f64(0.75, 1.25)).round() as u64;
         let period = period.max(((1.0 / share).ceil() as u64).min(8000)).max(64);
         let wcet = ((share * period as f64).round() as u64).clamp(1, period);
-        per_client[client].push(
-            Task::new(next_id[client], period, wcet).expect("valid base task"),
-        );
+        per_client[client].push(Task::new(next_id[client], period, wcet).expect("valid base task"));
         next_id[client] += 1;
     }
 
@@ -145,8 +245,7 @@ pub fn generate(config: &CaseStudyConfig, rng: &mut SimRng) -> Vec<TaskSet> {
         let client = processors + a;
         let period = rng.range_u64(3000, 6000);
         let wcet = ((ha_share * period as f64).round() as u64).clamp(1, period);
-        per_client[client]
-            .push(Task::new(next_id[client], period, wcet).expect("valid HA task"));
+        per_client[client].push(Task::new(next_id[client], period, wcet).expect("valid HA task"));
         next_id[client] += 1;
     }
 
@@ -202,10 +301,7 @@ mod tests {
             let cfg = CaseStudyConfig::fig7(16, target);
             let sets = generate(&cfg, &mut rng);
             let u = total_utilization(&sets);
-            assert!(
-                (u - target).abs() < 0.12,
-                "target {target}, got {u}"
-            );
+            assert!((u - target).abs() < 0.12, "target {target}, got {u}");
         }
     }
 

@@ -79,13 +79,7 @@ pub fn generate(config: &SyntheticConfig, rng: &mut SimRng) -> Vec<TaskSet> {
         .map(|u| {
             let u = u.max(1e-4);
             let tasks = rng.range_usize(1, config.max_tasks_per_client + 1);
-            taskset_with_utilization(
-                tasks,
-                u,
-                config.period_min,
-                config.period_max,
-                rng,
-            )
+            taskset_with_utilization(tasks, u, config.period_min, config.period_max, rng)
         })
         .collect()
 }

@@ -54,7 +54,10 @@ pub fn task_with_utilization(
     period_max: u64,
     rng: &mut SimRng,
 ) -> Task {
-    assert!(period_min >= 1 && period_min <= period_max, "bad period range");
+    assert!(
+        period_min >= 1 && period_min <= period_max,
+        "bad period range"
+    );
     assert!(u > 0.0 && u <= 1.0, "utilization must be in (0, 1]");
     // Log-uniform period.
     let lo = (period_min as f64).ln();
@@ -91,9 +94,7 @@ pub fn taskset_with_utilization(
     let tasks = shares
         .iter()
         .enumerate()
-        .map(|(i, &u)| {
-            task_with_utilization(i as u32, u.max(1e-6), period_min, period_max, rng)
-        })
+        .map(|(i, &u)| task_with_utilization(i as u32, u.max(1e-6), period_min, period_max, rng))
         .collect();
     TaskSet::new(tasks).unwrap_or_else(|_| {
         // Rounding can push a pathological draw over 1.0; retry with a

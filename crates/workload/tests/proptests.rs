@@ -1,68 +1,116 @@
-//! Property-based tests of the workload crate: generator bounds and
-//! parser robustness (failure injection — arbitrary input must never
-//! panic the parser).
+//! Randomized tests of the workload crate: generator bounds and parser
+//! robustness (failure injection — arbitrary input must never panic the
+//! parser). Driven by fixed-seed [`SimRng`] sweeps so every case is
+//! reproducible (the container has no registry access for `proptest`).
 
 use bluescale_sim::rng::SimRng;
 use bluescale_workload::casestudy::{generate as gen_cs, CaseStudyConfig};
 use bluescale_workload::file;
 use bluescale_workload::synthetic::{generate as gen_syn, SyntheticConfig};
 use bluescale_workload::total_utilization;
-use proptest::prelude::*;
 
-proptest! {
-    /// Arbitrary bytes: the parser returns an error or a valid workload —
-    /// it never panics.
-    #[test]
-    fn parser_never_panics(input in ".{0,400}") {
+/// A random string of 0–400 chars mixing printable ASCII, whitespace,
+/// control bytes and multi-byte scalars.
+fn random_text(rng: &mut SimRng) -> String {
+    let len = rng.range_usize(0, 401);
+    (0..len)
+        .map(|_| match rng.range_u64(0, 10) {
+            0 => '\n',
+            1 => '\t',
+            2 => char::from_u32(rng.range_u64(0, 32) as u32).unwrap_or('\0'),
+            3 => char::from_u32(rng.range_u64(0x80, 0x2000) as u32).unwrap_or('¿'),
+            _ => (rng.range_u64(0x20, 0x7F) as u8) as char,
+        })
+        .collect()
+}
+
+/// Arbitrary bytes: the parser returns an error or a valid workload — it
+/// never panics.
+#[test]
+fn parser_never_panics() {
+    let mut rng = SimRng::seed_from(0x9A25E);
+    for _ in 0..400 {
+        let input = random_text(&mut rng);
         let _ = file::from_str(&input);
     }
+}
 
-    /// Structured-ish garbage built from the format's own keywords.
-    #[test]
-    fn parser_survives_keyword_soup(
-        words in prop::collection::vec(
-            prop::sample::select(vec![
-                "client", "task", "period", "deadline", "wcet", "0", "1",
-                "99999999999999999999", "-3", "x", "\n", "# c",
-            ]),
-            0..60,
-        ),
-    ) {
+/// Structured-ish garbage built from the format's own keywords.
+#[test]
+fn parser_survives_keyword_soup() {
+    const WORDS: [&str; 12] = [
+        "client",
+        "task",
+        "period",
+        "deadline",
+        "wcet",
+        "0",
+        "1",
+        "99999999999999999999",
+        "-3",
+        "x",
+        "\n",
+        "# c",
+    ];
+    let mut rng = SimRng::seed_from(0x50FF);
+    for _ in 0..300 {
+        let n = rng.range_usize(0, 60);
         let mut text = String::from("# bluescale workload v1\n");
-        for w in words {
-            text.push_str(w);
+        for _ in 0..n {
+            text.push_str(WORDS[rng.range_usize(0, WORDS.len())]);
             text.push(' ');
         }
         let _ = file::from_str(&text);
     }
+}
 
-    /// Every parsed workload round-trips: parse(render(w)) == w.
-    #[test]
-    fn generated_workloads_round_trip(seed in any::<u64>(), clients in 1usize..32) {
+/// Every parsed workload round-trips: parse(render(w)) == w.
+#[test]
+fn generated_workloads_round_trip() {
+    let mut meta = SimRng::seed_from(0x2019);
+    for case in 0..100 {
+        let seed = meta.next_u64();
+        let clients = meta.range_usize(1, 32);
         let mut rng = SimRng::seed_from(seed);
         let sets = gen_syn(&SyntheticConfig::fig6(clients), &mut rng);
         let text = file::to_string(&sets);
-        prop_assert_eq!(file::from_str(&text).expect("own output parses"), sets);
+        assert_eq!(
+            file::from_str(&text).expect("own output parses"),
+            sets,
+            "case {case} (seed {seed}, {clients} clients)"
+        );
     }
+}
 
-    /// Synthetic generation respects its utilization band (with rounding
-    /// slack) for arbitrary seeds.
-    #[test]
-    fn synthetic_utilization_in_band(seed in any::<u64>()) {
+/// Synthetic generation respects its utilization band (with rounding
+/// slack) for arbitrary seeds.
+#[test]
+fn synthetic_utilization_in_band() {
+    let mut meta = SimRng::seed_from(0xBA2D);
+    for case in 0..100 {
+        let seed = meta.next_u64();
         let mut rng = SimRng::seed_from(seed);
         let sets = gen_syn(&SyntheticConfig::fig6(16), &mut rng);
         let u = total_utilization(&sets);
-        prop_assert!(u > 0.5 && u < 1.05, "utilization {u}");
+        assert!(u > 0.5 && u < 1.05, "case {case}: utilization {u}");
     }
+}
 
-    /// Case-study generation hits its target within tolerance for
-    /// arbitrary seeds and targets.
-    #[test]
-    fn case_study_hits_target(seed in any::<u64>(), decile in 3u32..9) {
+/// Case-study generation hits its target within tolerance for arbitrary
+/// seeds and targets.
+#[test]
+fn case_study_hits_target() {
+    let mut meta = SimRng::seed_from(0xCA5E);
+    for case in 0..100 {
+        let seed = meta.next_u64();
+        let decile = meta.range_u64(3, 9) as u32;
         let target = decile as f64 / 10.0;
         let mut rng = SimRng::seed_from(seed);
         let sets = gen_cs(&CaseStudyConfig::fig7(16, target), &mut rng);
         let u = total_utilization(&sets);
-        prop_assert!((u - target).abs() < 0.15, "target {target}, got {u}");
+        assert!(
+            (u - target).abs() < 0.15,
+            "case {case}: target {target}, got {u}"
+        );
     }
 }

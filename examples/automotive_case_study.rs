@@ -15,15 +15,18 @@ use bluescale_repro::workload::total_utilization;
 // The experiment harness lives in the bench crate; examples re-implement
 // the tiny loop so they only depend on the published library crates.
 use bluescale_repro::baselines::{AxiIcRt, BlueTree, GsmTree, SlotPolicy};
-use bluescale_repro::noc::NocMemoryInterconnect;
 use bluescale_repro::core::{BlueScaleConfig, BlueScaleInterconnect};
 use bluescale_repro::interconnect::system::System;
 use bluescale_repro::interconnect::Interconnect;
+use bluescale_repro::noc::NocMemoryInterconnect;
 use bluescale_repro::rt::task::TaskSet;
 
 fn build_all(task_sets: &[TaskSet]) -> Vec<Box<dyn Interconnect>> {
     let n = task_sets.len();
-    let weights: Vec<f64> = task_sets.iter().map(|s| s.utilization().max(1e-4)).collect();
+    let weights: Vec<f64> = task_sets
+        .iter()
+        .map(|s| s.utilization().max(1e-4))
+        .collect();
     let mut bs_config = BlueScaleConfig::for_clients(n);
     bs_config.work_conserving = true;
     vec![
@@ -32,10 +35,7 @@ fn build_all(task_sets: &[TaskSet]) -> Vec<Box<dyn Interconnect>> {
         Box::new(BlueTree::smooth(n, 2, 1)),
         Box::new(GsmTree::new(n, SlotPolicy::Tdm, 1)),
         Box::new(GsmTree::new(n, SlotPolicy::Fbsp(weights), 1)),
-        Box::new(
-            BlueScaleInterconnect::new(bs_config, task_sets)
-                .expect("matching client count"),
-        ),
+        Box::new(BlueScaleInterconnect::new(bs_config, task_sets).expect("matching client count")),
         Box::new(NocMemoryInterconnect::new(n, 1)),
     ]
 }
@@ -47,7 +47,10 @@ fn main() {
         .unwrap_or(0.6);
 
     println!("== Task catalogue ==");
-    println!("safety tasks  : {}", SAFETY_TASKS.map(|t| t.name).join(", "));
+    println!(
+        "safety tasks  : {}",
+        SAFETY_TASKS.map(|t| t.name).join(", ")
+    );
     println!(
         "function tasks: {}",
         FUNCTION_TASKS.map(|t| t.name).join(", ")

@@ -15,8 +15,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let task_sets: Vec<TaskSet> = (0..64)
         .map(|_| TaskSet::new(vec![Task::new(0, 3200, 4)?]))
         .collect::<Result<_, _>>()?;
-    let mut ic =
-        BlueScaleInterconnect::new(BlueScaleConfig::for_clients(64), &task_sets)?;
+    let mut ic = BlueScaleInterconnect::new(BlueScaleConfig::for_clients(64), &task_sets)?;
 
     println!(
         "built 64-client BlueScale: {} SEs programmed, root bandwidth {:.3}",
@@ -26,10 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let before = ic.composition().interfaces.clone();
 
     // Client 37 suddenly hosts a heavy task.
-    let heavy = TaskSet::new(vec![
-        Task::new(0, 3200, 4)?,
-        Task::new(1, 400, 40)?,
-    ])?;
+    let heavy = TaskSet::new(vec![Task::new(0, 3200, 4)?, Task::new(1, 400, 40)?])?;
     let report = ic.update_client_tasks(37, heavy)?;
     println!(
         "\nclient 37 updated: {} SEs reprogrammed (tree depth = 3), \
@@ -55,9 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn summarize(
-    interfaces: &[Option<bluescale_repro::rt::supply::PeriodicResource>],
-) -> Vec<String> {
+fn summarize(interfaces: &[Option<bluescale_repro::rt::supply::PeriodicResource>]) -> Vec<String> {
     interfaces
         .iter()
         .map(|i| match i {

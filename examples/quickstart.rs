@@ -44,10 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Drive it for 100k cycles with periodic traffic generators.
-    let mut system = System::new(
-        Box::new(ic) as Box<dyn Interconnect>,
-        &task_sets,
-    );
+    let mut system = System::new(Box::new(ic) as Box<dyn Interconnect>, &task_sets);
     let metrics = system.run(100_000);
 
     println!();

@@ -21,16 +21,12 @@ fn task_sets() -> Vec<TaskSet> {
             } else {
                 (200 + 20 * i as u64, 6)
             };
-            TaskSet::new(vec![Task::new(0, period, wcet).expect("valid task")])
-                .expect("valid set")
+            TaskSet::new(vec![Task::new(0, period, wcet).expect("valid task")]).expect("valid set")
         })
         .collect()
 }
 
-fn report(
-    label: &str,
-    make: impl Fn(&[TaskSet]) -> Box<dyn Interconnect>,
-) {
+fn report(label: &str, make: impl Fn(&[TaskSet]) -> Box<dyn Interconnect>) {
     let sets = task_sets();
     println!("== {label} ==");
     for &rogue_active in &[false, true] {

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Repository check: formatting, lints, and the tier-1 build + test gate.
+# Run from the repository root: ./scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q (root package, tier-1)"
+cargo test -q
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "All checks passed."

@@ -28,10 +28,7 @@ fn schedulable_case_studies_meet_all_deadlines() {
             if !ic.composition().schedulable {
                 continue; // admission declined: no guarantee to check
             }
-            let mut system = System::new(
-                Box::new(ic) as Box<dyn Interconnect>,
-                &sets,
-            );
+            let mut system = System::new(Box::new(ic) as Box<dyn Interconnect>, &sets);
             let m = system.run(30_000);
             assert!(
                 m.success(),
@@ -94,9 +91,7 @@ fn admission_declines_overload() {
         let ic = build(&sets, true);
         // Either the analysis fell back (analysis_ok = false) or the root
         // check failed; in both cases no guarantee is claimed.
-        assert!(
-            !ic.composition().schedulable || ic.composition().root_bandwidth <= 1.0 + 1e-9
-        );
+        assert!(!ic.composition().schedulable || ic.composition().root_bandwidth <= 1.0 + 1e-9);
     }
 }
 
@@ -110,11 +105,7 @@ fn interfaces_on_idle_ports_are_absent() {
     let ic = build(&sets, true);
     let comp = ic.composition();
     let leaf_level = &comp.interfaces[ic.config().levels() - 1];
-    let programmed: usize = leaf_level
-        .iter()
-        .flatten()
-        .filter(|i| i.is_some())
-        .count();
+    let programmed: usize = leaf_level.iter().flatten().filter(|i| i.is_some()).count();
     assert_eq!(programmed, 5, "exactly one interface per real client");
 }
 
@@ -150,7 +141,8 @@ fn reconfiguration_preserves_running_traffic() {
         let mut rng = SimRng::seed_from(12);
         synth(&SyntheticConfig::fig6(1), &mut rng).remove(0)
     };
-    ic.update_client_tasks(3, new_tasks).expect("update succeeds");
+    ic.update_client_tasks(3, new_tasks)
+        .expect("update succeeds");
     let mut done = 0;
     for now in 10..5_000 {
         ic.step(now);

@@ -11,9 +11,7 @@ use bluescale_repro::workload::synthetic::{generate, SyntheticConfig};
 
 fn light_sets(n: usize) -> Vec<TaskSet> {
     (0..n)
-        .map(|i| {
-            TaskSet::new(vec![Task::new(0, 500 + 10 * i as u64, 3).unwrap()]).unwrap()
-        })
+        .map(|i| TaskSet::new(vec![Task::new(0, 500 + 10 * i as u64, 3).unwrap()]).unwrap())
         .collect()
 }
 

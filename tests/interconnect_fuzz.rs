@@ -3,11 +3,10 @@
 
 use bluescale_repro::baselines::{AxiIcRt, BlueTree, GsmTree, SlotPolicy};
 use bluescale_repro::core::{BlueScaleConfig, BlueScaleInterconnect};
-use bluescale_repro::noc::NocMemoryInterconnect;
 use bluescale_repro::interconnect::{AccessKind, Interconnect, MemoryRequest};
+use bluescale_repro::noc::NocMemoryInterconnect;
 use bluescale_repro::rt::task::{Task, TaskSet};
 use bluescale_repro::sim::rng::SimRng;
-use proptest::prelude::*;
 use std::collections::HashMap;
 
 fn build_all(n: usize) -> Vec<Box<dyn Interconnect>> {
@@ -106,40 +105,40 @@ fn fuzz_one(ic: &mut dyn Interconnect, seed: u64, injections: usize) {
     );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    #[test]
-    fn exactly_once_delivery_under_random_injection(
-        seed in any::<u64>(),
-        injections in 1usize..200,
-    ) {
+#[test]
+fn exactly_once_delivery_under_random_injection() {
+    let mut meta = SimRng::seed_from(0xF022);
+    for _ in 0..8 {
+        let seed = meta.next_u64();
+        let injections = meta.range_usize(1, 200);
         for ic in build_all(16).iter_mut() {
             fuzz_one(ic.as_mut(), seed, injections);
         }
     }
+}
 
-    #[test]
-    fn exactly_once_delivery_at_64_clients(seed in any::<u64>()) {
+#[test]
+fn exactly_once_delivery_at_64_clients() {
+    let mut meta = SimRng::seed_from(0xF064);
+    for _ in 0..8 {
+        let seed = meta.next_u64();
         for ic in build_all(64).iter_mut() {
             fuzz_one(ic.as_mut(), seed, 150);
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(4))]
-
-    /// Same invariants with multi-cycle memory service (flat 3) — slower
-    /// drains, busier channel, same exactly-once guarantee.
-    #[test]
-    fn exactly_once_with_slow_memory(seed in any::<u64>()) {
-        use bluescale_repro::mem::DramConfig;
+/// Same invariants with multi-cycle memory service (flat 3) — slower
+/// drains, busier channel, same exactly-once guarantee.
+#[test]
+fn exactly_once_with_slow_memory() {
+    use bluescale_repro::mem::DramConfig;
+    let mut meta = SimRng::seed_from(0xF510);
+    for _ in 0..4 {
+        let seed = meta.next_u64();
         let n = 16;
         let sets: Vec<TaskSet> = (0..n)
-            .map(|_| {
-                TaskSet::new(vec![Task::new(0, 500, 5).expect("valid")]).expect("valid")
-            })
+            .map(|_| TaskSet::new(vec![Task::new(0, 500, 5).expect("valid")]).expect("valid"))
             .collect();
         let mut bs = BlueScaleConfig::for_clients(n);
         bs.work_conserving = true;

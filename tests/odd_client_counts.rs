@@ -11,9 +11,7 @@ use bluescale_repro::rt::task::{Task, TaskSet};
 
 fn sets(n: usize) -> Vec<TaskSet> {
     (0..n)
-        .map(|i| {
-            TaskSet::new(vec![Task::new(0, 300 + 7 * i as u64, 3).unwrap()]).unwrap()
-        })
+        .map(|i| TaskSet::new(vec![Task::new(0, 300 + 7 * i as u64, 3).unwrap()]).unwrap())
         .collect()
 }
 

@@ -1,125 +1,170 @@
-//! Property-based tests (proptest) on the analysis core and the data
-//! structures — the invariants the whole reproduction leans on.
+//! Randomized property tests on the analysis core and the data structures —
+//! the invariants the whole reproduction leans on. Driven by fixed-seed
+//! [`SimRng`] sweeps (the container has no registry access for `proptest`),
+//! so every case is deterministic and reproducible by seed.
 
 use bluescale_repro::rt::demand::{change_points, dbf_set};
-use bluescale_repro::rt::interface::{
-    min_budget_for_period, select_interface, SelectionContext,
-};
+use bluescale_repro::rt::interface::{min_budget_for_period, select_interface, SelectionContext};
 use bluescale_repro::rt::schedulability::{is_schedulable, is_schedulable_brute};
 use bluescale_repro::rt::supply::PeriodicResource;
 use bluescale_repro::rt::task::{Task, TaskSet};
 use bluescale_repro::rt::validate::edf_meets_deadlines;
 use bluescale_repro::sim::rng::SimRng;
 use bluescale_repro::sim::stats::{OnlineStats, Samples};
-use proptest::prelude::*;
 
-fn arb_task(id: u32) -> impl Strategy<Value = Task> {
-    (2u64..200, 1u64..50).prop_map(move |(period, raw_wcet)| {
-        let wcet = raw_wcet.min(period);
-        Task::new(id, period, wcet).expect("generated parameters are valid")
-    })
+const CASES: usize = 256;
+
+/// A random task mirroring the old proptest strategy: `T ∈ [2, 200)`,
+/// `C = min(raw, T)` with `raw ∈ [1, 50)`.
+fn random_task(rng: &mut SimRng, id: u32) -> Task {
+    let period = rng.range_u64(2, 200);
+    let wcet = rng.range_u64(1, 50).min(period);
+    Task::new(id, period, wcet).expect("generated parameters are valid")
 }
 
-fn arb_taskset(max_tasks: usize) -> impl Strategy<Value = TaskSet> {
-    prop::collection::vec(1u64..1u64 << 16, 1..=max_tasks).prop_flat_map(|seeds| {
-        let strategies: Vec<_> = (0..seeds.len())
-            .map(|i| arb_task(i as u32))
-            .collect();
-        strategies.prop_filter_map("utilization must stay ≤ 1", |tasks| {
-            TaskSet::new(tasks).ok()
-        })
-    })
+/// A random task set of 1..=max_tasks tasks with `U ≤ 1`
+/// (rejection-sampled).
+fn random_taskset(rng: &mut SimRng, max_tasks: usize) -> TaskSet {
+    loop {
+        let n = rng.range_usize(1, max_tasks + 1);
+        let tasks = (0..n).map(|i| random_task(rng, i as u32)).collect();
+        if let Ok(set) = TaskSet::new(tasks) {
+            return set;
+        }
+    }
 }
 
-fn arb_resource() -> impl Strategy<Value = PeriodicResource> {
-    (1u64..60).prop_flat_map(|period| {
-        (Just(period), 1u64..=period)
-            .prop_map(|(p, b)| PeriodicResource::new(p, b).expect("b ≤ p"))
-    })
+/// A random periodic resource with `Π ∈ [1, 60)`, `1 ≤ Θ ≤ Π`.
+fn random_resource(rng: &mut SimRng) -> PeriodicResource {
+    let period = rng.range_u64(1, 60);
+    let budget = rng.range_u64(1, period + 1);
+    PeriodicResource::new(period, budget).expect("b ≤ p")
 }
 
-proptest! {
-    #[test]
-    fn sbf_is_monotone_and_rate_bounded(r in arb_resource(), t in 0u64..500) {
+#[test]
+fn sbf_is_monotone_and_rate_bounded() {
+    let mut rng = SimRng::seed_from(0x5BF1);
+    for case in 0..CASES {
+        let r = random_resource(&mut rng);
+        let t = rng.range_u64(0, 500);
         // Monotone non-decreasing, unit-rate bounded, never exceeds t.
-        prop_assert!(r.sbf(t + 1) >= r.sbf(t));
-        prop_assert!(r.sbf(t + 1) - r.sbf(t) <= 1);
-        prop_assert!(r.sbf(t) <= t);
+        assert!(r.sbf(t + 1) >= r.sbf(t), "case {case}");
+        assert!(r.sbf(t + 1) - r.sbf(t) <= 1, "case {case}");
+        assert!(r.sbf(t) <= t, "case {case}");
     }
+}
 
-    #[test]
-    fn sbf_dominates_linear_bound(r in arb_resource(), t in 0u64..500) {
-        prop_assert!(r.lsbf(t) <= r.sbf(t) as f64 + 1e-9);
+#[test]
+fn sbf_dominates_linear_bound() {
+    let mut rng = SimRng::seed_from(0x5BF2);
+    for case in 0..CASES {
+        let r = random_resource(&mut rng);
+        let t = rng.range_u64(0, 500);
+        assert!(r.lsbf(t) <= r.sbf(t) as f64 + 1e-9, "case {case}");
     }
+}
 
-    #[test]
-    fn sbf_delivers_budget_per_period(r in arb_resource(), k in 1u64..10) {
+#[test]
+fn sbf_delivers_budget_per_period() {
+    let mut rng = SimRng::seed_from(0x5BF3);
+    for case in 0..CASES {
+        let r = random_resource(&mut rng);
+        let k = rng.range_u64(1, 10);
         // Any window of k periods + worst blackout supplies ≥ k budgets.
         let t = k * r.period() + (r.period() - r.budget());
-        prop_assert!(r.sbf(t) >= k * r.budget());
+        assert!(r.sbf(t) >= k * r.budget(), "case {case}");
     }
+}
 
-    #[test]
-    fn dbf_is_monotone_staircase(set in arb_taskset(4), t in 0u64..500) {
-        prop_assert!(dbf_set(&set, t + 1) >= dbf_set(&set, t));
+#[test]
+fn dbf_is_monotone_staircase() {
+    let mut rng = SimRng::seed_from(0xDBF1);
+    for case in 0..CASES {
+        let set = random_taskset(&mut rng, 4);
+        let t = rng.range_u64(0, 500);
+        assert!(dbf_set(&set, t + 1) >= dbf_set(&set, t), "case {case}");
     }
+}
 
-    #[test]
-    fn dbf_constant_between_change_points(set in arb_taskset(3)) {
+#[test]
+fn dbf_constant_between_change_points() {
+    let mut rng = SimRng::seed_from(0xDBF2);
+    for case in 0..32 {
+        let set = random_taskset(&mut rng, 3);
         let pts = change_points(&set, 400);
         for w in pts.windows(2) {
             for t in w[0]..w[1] {
-                prop_assert_eq!(dbf_set(&set, t), dbf_set(&set, w[0]));
+                assert_eq!(
+                    dbf_set(&set, t),
+                    dbf_set(&set, w[0]),
+                    "case {case}: dbf changed inside [{}, {})",
+                    w[0],
+                    w[1]
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn theorem1_agrees_with_brute_force(
-        set in arb_taskset(3),
-        r in arb_resource(),
-    ) {
+#[test]
+fn theorem1_agrees_with_brute_force() {
+    let mut rng = SimRng::seed_from(0x7410);
+    for case in 0..CASES {
+        let set = random_taskset(&mut rng, 3);
+        let r = random_resource(&mut rng);
         // The bounded test must agree with exhaustive checking (brute-force
-        // horizon chosen beyond any β the generated ranges can produce
-        // when the bandwidth strictly exceeds the utilization).
+        // horizon chosen beyond any β the generated ranges can produce when
+        // the bandwidth strictly exceeds the utilization).
         let fast = is_schedulable(&set, &r);
         if r.bandwidth() > set.utilization() + 0.05 {
             let brute = is_schedulable_brute(&set, &r, 30_000);
-            prop_assert_eq!(fast, brute);
+            assert_eq!(fast, brute, "case {case}: {set:?} on {r:?}");
         } else if fast {
             // A positive answer must always be confirmed by brute force.
-            prop_assert!(is_schedulable_brute(&set, &r, 30_000));
+            assert!(
+                is_schedulable_brute(&set, &r, 30_000),
+                "case {case}: {set:?} on {r:?}"
+            );
         }
     }
+}
 
-    #[test]
-    fn selected_interface_is_schedulable_and_covers_utilization(
-        set in arb_taskset(3),
-    ) {
+#[test]
+fn selected_interface_is_schedulable_and_covers_utilization() {
+    let mut rng = SimRng::seed_from(0x5E1E);
+    for case in 0..64 {
+        let set = random_taskset(&mut rng, 3);
         let ctx = SelectionContext::isolated(&set);
         if let Ok(iface) = select_interface(&set, &ctx) {
-            prop_assert!(is_schedulable(&set, &iface));
-            prop_assert!(iface.bandwidth() >= set.utilization() - 1e-9);
+            assert!(is_schedulable(&set, &iface), "case {case}");
+            assert!(iface.bandwidth() >= set.utilization() - 1e-9, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn min_budget_is_minimal(set in arb_taskset(2), period in 1u64..40) {
+#[test]
+fn min_budget_is_minimal() {
+    let mut rng = SimRng::seed_from(0x81D6);
+    for case in 0..CASES {
+        let set = random_taskset(&mut rng, 2);
+        let period = rng.range_u64(1, 40);
         if let Some(theta) = min_budget_for_period(&set, period) {
             let chosen = PeriodicResource::new(period, theta).expect("valid");
-            prop_assert!(is_schedulable(&set, &chosen));
+            assert!(is_schedulable(&set, &chosen), "case {case}");
             if theta > 1 {
                 let smaller = PeriodicResource::new(period, theta - 1).expect("valid");
-                prop_assert!(!is_schedulable(&set, &smaller));
+                assert!(!is_schedulable(&set, &smaller), "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn admitted_sets_survive_worst_case_supply_simulation(
-        set in arb_taskset(3),
-        r in arb_resource(),
-    ) {
+#[test]
+fn admitted_sets_survive_worst_case_supply_simulation() {
+    let mut rng = SimRng::seed_from(0xAD01);
+    for case in 0..64 {
+        let set = random_taskset(&mut rng, 3);
+        let r = random_resource(&mut rng);
         // The analysis is sound: anything it admits must meet every
         // deadline under the worst-case supply pattern, verified by an
         // independent discrete EDF simulation.
@@ -130,15 +175,19 @@ proptest! {
                 .saturating_mul(2)
                 .saturating_add(2 * r.period())
                 .min(200_000);
-            prop_assert!(
+            assert!(
                 edf_meets_deadlines(&set, &r, horizon),
-                "analysis admitted {set:?} on {r:?} but simulation missed"
+                "case {case}: analysis admitted {set:?} on {r:?} but simulation missed"
             );
         }
     }
+}
 
-    #[test]
-    fn selected_interface_survives_simulation(set in arb_taskset(2)) {
+#[test]
+fn selected_interface_survives_simulation() {
+    let mut rng = SimRng::seed_from(0xAD02);
+    for case in 0..32 {
+        let set = random_taskset(&mut rng, 2);
         let ctx = SelectionContext::isolated(&set);
         if let Ok(iface) = select_interface(&set, &ctx) {
             let horizon = set
@@ -146,12 +195,20 @@ proptest! {
                 .unwrap_or(10_000)
                 .saturating_mul(2)
                 .min(200_000);
-            prop_assert!(edf_meets_deadlines(&set, &iface, horizon));
+            assert!(
+                edf_meets_deadlines(&set, &iface, horizon),
+                "case {case}: selected interface missed a deadline"
+            );
         }
     }
+}
 
-    #[test]
-    fn online_stats_match_direct_computation(values in prop::collection::vec(-1e6f64..1e6, 1..100)) {
+#[test]
+fn online_stats_match_direct_computation() {
+    let mut rng = SimRng::seed_from(0x57A7);
+    for case in 0..CASES {
+        let n = rng.range_usize(1, 100);
+        let values: Vec<f64> = (0..n).map(|_| rng.range_f64(-1e6, 1e6)).collect();
         let mut stats = OnlineStats::new();
         for &v in &values {
             stats.push(v);
@@ -159,29 +216,44 @@ proptest! {
         let n = values.len() as f64;
         let mean = values.iter().sum::<f64>() / n;
         let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
-        prop_assert!((stats.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
-        prop_assert!((stats.population_variance() - var).abs() < 1e-4 * (1.0 + var));
+        assert!(
+            (stats.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()),
+            "case {case}"
+        );
+        assert!(
+            (stats.population_variance() - var).abs() < 1e-4 * (1.0 + var),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn samples_percentiles_are_order_statistics(
-        values in prop::collection::vec(0f64..1e6, 1..100),
-    ) {
+#[test]
+fn samples_percentiles_are_order_statistics() {
+    let mut rng = SimRng::seed_from(0x9C7E);
+    for case in 0..CASES {
+        let n = rng.range_usize(1, 100);
+        let values: Vec<f64> = (0..n).map(|_| rng.range_f64(0.0, 1e6)).collect();
         let mut s: Samples = values.iter().copied().collect();
         let mut sorted = values.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        prop_assert_eq!(s.min(), sorted.first().copied());
-        prop_assert_eq!(s.max(), sorted.last().copied());
+        assert_eq!(s.min(), sorted.first().copied(), "case {case}");
+        assert_eq!(s.max(), sorted.last().copied(), "case {case}");
         let p50 = s.percentile(50.0).expect("non-empty");
-        prop_assert!(sorted.contains(&p50));
+        assert!(sorted.contains(&p50), "case {case}");
     }
+}
 
-    #[test]
-    fn rng_range_is_always_in_bounds(seed in any::<u64>(), lo in 0u64..100, span in 1u64..100) {
+#[test]
+fn rng_range_is_always_in_bounds() {
+    let mut meta = SimRng::seed_from(0x2A6E);
+    for case in 0..CASES {
+        let seed = meta.next_u64();
+        let lo = meta.range_u64(0, 100);
+        let span = meta.range_u64(1, 100);
         let mut rng = SimRng::seed_from(seed);
         for _ in 0..100 {
             let v = rng.range_u64(lo, lo + span);
-            prop_assert!((lo..lo + span).contains(&v));
+            assert!((lo..lo + span).contains(&v), "case {case}");
         }
     }
 }
