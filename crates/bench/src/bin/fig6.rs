@@ -2,22 +2,42 @@
 //! ratio under synthetic traffic).
 //!
 //! Usage:
-//! `cargo run --release -p bluescale-bench --bin fig6 -- [--clients 16,64] [--trials N] [--horizon N]`
+//! `cargo run --release -p bluescale-bench --bin fig6 -- [--clients 16,64] [--trials N] [--horizon N] [--json DIR]`
+//!
+//! With `--json DIR`, a metrics snapshot `fig6{_N}_metrics.json` is written
+//! per panel (series indices follow `InterconnectKind::ALL` order).
 //!
 //! Paper-scale statistics: `--trials 200`.
 
-use bluescale_bench::fig6::{render, run, Fig6Config};
-use bluescale_bench::{arg_u64, arg_usize_list};
+use bluescale_bench::fig6::{render, run_with_threads_registry, Fig6Config};
+use bluescale_bench::{arg_u64, arg_usize_list, arg_value, export};
+use std::path::Path;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let clients = arg_usize_list(&args, "--clients", &[16, 64]);
+    let json_dir = arg_value(&args, "--json");
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
     for n in clients {
         let mut config = Fig6Config::new(n);
         config.trials = arg_u64(&args, "--trials", config.trials);
         config.horizon = arg_u64(&args, "--horizon", config.horizon);
         config.phased = args.iter().any(|a| a == "--phased");
-        let rows = run(&config);
+        let (rows, mut registry) = run_with_threads_registry(&config, threads);
         println!("{}", render(&config, &rows));
+        if let Some(dir) = &json_dir {
+            let name = if n == 16 {
+                "fig6_metrics.json".to_owned()
+            } else {
+                format!("fig6_{n}_metrics.json")
+            };
+            let path = Path::new(dir).join(name);
+            match export::write_snapshot(&path, &mut registry) {
+                Ok(()) => eprintln!("wrote {}", path.display()),
+                Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+            }
+        }
     }
 }

@@ -1,10 +1,14 @@
 //! Runs the temporal-isolation extension (rogue client flooding).
 //!
 //! Usage:
-//! `cargo run --release -p bluescale-bench --bin isolation -- [--clients N] [--trials N] [--factor N]`
+//! `cargo run --release -p bluescale-bench --bin isolation -- [--clients N] [--trials N] [--factor N] [--json DIR]`
+//!
+//! With `--json DIR`, a metrics snapshot `isolation_metrics.json` is
+//! written (series indices follow `InterconnectKind::ALL` order).
 
-use bluescale_bench::isolation::{render, run, IsolationConfig};
-use bluescale_bench::{arg_u64, arg_usize};
+use bluescale_bench::isolation::{render, run_with_registry, IsolationConfig};
+use bluescale_bench::{arg_u64, arg_usize, arg_value, export};
+use std::path::Path;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -13,6 +17,13 @@ fn main() {
     config.trials = arg_u64(&args, "--trials", config.trials);
     config.horizon = arg_u64(&args, "--horizon", config.horizon);
     config.misbehaviour_factor = arg_u64(&args, "--factor", config.misbehaviour_factor);
-    let rows = run(&config);
+    let (rows, mut registry) = run_with_registry(&config);
     println!("{}", render(&config, &rows));
+    if let Some(dir) = arg_value(&args, "--json") {
+        let path = Path::new(&dir).join("isolation_metrics.json");
+        match export::write_snapshot(&path, &mut registry) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+        }
+    }
 }

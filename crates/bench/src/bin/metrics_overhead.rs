@@ -1,0 +1,134 @@
+//! Smoke check: the observability layer must be near-free when detail is
+//! off and must never change simulation results.
+//!
+//! Three configurations drive identical BlueScale traffic (fig6-style
+//! synthetic task sets, fixed seed):
+//!
+//! 1. **baseline** — a hand-rolled client/interconnect loop with no
+//!    harness registry at all (the pre-observability cost floor),
+//! 2. **disabled** — the `System` harness with detail recording off (the
+//!    default for every experiment), and
+//! 3. **detail** — the harness with typed events + request lifecycles on.
+//!
+//! The check asserts bit-identical completion counts across all three and
+//! that the disabled-metrics harness stays within a generous noise bound
+//! of the baseline. Run via `scripts/check.sh`; exits non-zero on failure.
+//!
+//! Usage: `cargo run --release -p bluescale-bench --bin metrics_overhead -- [--horizon N] [--reps N]`
+
+use bluescale_bench::runner::{build, InterconnectKind};
+use bluescale_bench::{arg_u64, arg_usize};
+use bluescale_interconnect::client::TrafficGenerator;
+use bluescale_interconnect::system::System;
+use bluescale_sim::rng::SimRng;
+use bluescale_sim::Cycle;
+use bluescale_workload::synthetic::{generate, SyntheticConfig};
+use std::time::Instant;
+
+/// Allowed slowdown of the disabled-metrics harness over the hand-rolled
+/// baseline. The harness also keeps the service log and blocking-window
+/// accounting the baseline skips, so this is a noise bound, not a tight
+/// one; regressions that make counters hot show up far above it.
+const MAX_DISABLED_SLOWDOWN: f64 = 3.0;
+
+fn task_sets(clients: usize) -> Vec<bluescale_rt::task::TaskSet> {
+    let mut rng = SimRng::seed_from(0x00BE_5EAD);
+    generate(&SyntheticConfig::fig6(clients), &mut rng)
+}
+
+/// The cost floor: clients + interconnect with no registry, no service
+/// log, no response accounting beyond a completion count.
+fn run_baseline(horizon: Cycle) -> u64 {
+    let sets = task_sets(16);
+    let mut ic = build(InterconnectKind::BlueScale, &sets);
+    let mut clients: Vec<TrafficGenerator> = sets
+        .iter()
+        .enumerate()
+        .map(|(i, set)| TrafficGenerator::new(i as u16, set))
+        .collect();
+    let mut completed = 0u64;
+    for now in 0..horizon {
+        for client in &mut clients {
+            client.on_cycle(now);
+            if let Some(req) = client.take() {
+                if let Err(rejected) = ic.inject(req, now) {
+                    client.give_back(rejected);
+                }
+            }
+        }
+        ic.step(now);
+        while ic.pop_service_event().is_some() {}
+        while ic.pop_response().is_some() {
+            completed += 1;
+        }
+    }
+    completed
+}
+
+fn run_harness(horizon: Cycle, detail: bool) -> u64 {
+    let sets = task_sets(16);
+    let ic = build(InterconnectKind::BlueScale, &sets);
+    let mut system = System::new(ic, &sets);
+    if detail {
+        system.enable_detail();
+    }
+    let m = system.run(horizon);
+    m.completed()
+}
+
+/// Minimum wall time over `reps` runs (the usual noise-robust estimator).
+fn min_time<F: FnMut() -> u64>(reps: usize, mut f: F) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut result = 0;
+    for _ in 0..reps {
+        let start = Instant::now();
+        result = f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, result)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let horizon = arg_u64(&args, "--horizon", 40_000);
+    let reps = arg_usize(&args, "--reps", 5);
+
+    let (t_base, c_base) = min_time(reps, || run_baseline(horizon));
+    let (t_off, c_off) = min_time(reps, || run_harness(horizon, false));
+    let (t_on, c_on) = min_time(reps, || run_harness(horizon, true));
+
+    println!("# Metrics overhead smoke check ({horizon} cycles, min of {reps} runs)\n");
+    println!("| Configuration | Completed | Time (ms) | vs baseline |");
+    println!("|---|---:|---:|---:|");
+    println!(
+        "| hand-rolled baseline | {c_base} | {:.2} | 1.00x |",
+        t_base * 1e3
+    );
+    println!(
+        "| harness, detail off | {c_off} | {:.2} | {:.2}x |",
+        t_off * 1e3,
+        t_off / t_base
+    );
+    println!(
+        "| harness, detail on | {c_on} | {:.2} | {:.2}x |",
+        t_on * 1e3,
+        t_on / t_base
+    );
+
+    let mut failed = false;
+    if c_base != c_off || c_off != c_on {
+        eprintln!("FAIL: completion counts diverge: {c_base} / {c_off} / {c_on}");
+        failed = true;
+    }
+    if t_off > t_base * MAX_DISABLED_SLOWDOWN {
+        eprintln!(
+            "FAIL: disabled-metrics harness {:.2}x over baseline (bound {MAX_DISABLED_SLOWDOWN}x)",
+            t_off / t_base
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("\nok: metrics are observation-only and the disabled path is within noise");
+}

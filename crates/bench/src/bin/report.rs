@@ -4,15 +4,24 @@
 //! Usage: `cargo run --release -p bluescale-bench --bin report -- [--out DIR]`
 
 use bluescale_bench::{
-    ablation, admission, arg_value, dram, fig5, fig6, fig7, isolation, reconfig, scalability,
-    table1, wcrt,
+    ablation, admission, arg_value, dram, export, fig5, fig6, fig7, isolation, reconfig,
+    scalability, table1, wcrt,
 };
+use bluescale_sim::metrics::MetricsRegistry;
 use std::fs;
 use std::path::Path;
 
 fn write(dir: &Path, name: &str, contents: String) {
     let path = dir.join(name);
     match fs::write(&path, contents) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+}
+
+fn write_json(dir: &Path, name: &str, registry: &mut MetricsRegistry) {
+    let path = dir.join(name);
+    match export::write_snapshot(&path, registry) {
         Ok(()) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("failed to write {}: {e}", path.display()),
     }
@@ -29,13 +38,25 @@ fn main() {
 
     write(dir, "table1.md", table1::render());
     write(dir, "fig5.md", fig5::render());
+    let mut fig5_reg = MetricsRegistry::new();
+    fig5::record_into(&mut fig5_reg);
+    write_json(dir, "fig5_metrics.json", &mut fig5_reg);
 
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
     let mut fig6_out = String::new();
     for clients in [16, 64] {
         let config = fig6::Fig6Config::new(clients);
-        let rows = fig6::run(&config);
+        let (rows, mut registry) = fig6::run_with_threads_registry(&config, threads);
         fig6_out.push_str(&fig6::render(&config, &rows));
         fig6_out.push('\n');
+        let name = if clients == 16 {
+            "fig6_metrics.json".to_owned()
+        } else {
+            format!("fig6_{clients}_metrics.json")
+        };
+        write_json(dir, &name, &mut registry);
     }
     write(dir, "fig6.md", fig6_out);
 
@@ -69,11 +90,9 @@ fn main() {
     );
 
     let config = isolation::IsolationConfig::default();
-    write(
-        dir,
-        "isolation.md",
-        isolation::render(&config, &isolation::run(&config)),
-    );
+    let (rows, mut registry) = isolation::run_with_registry(&config);
+    write(dir, "isolation.md", isolation::render(&config, &rows));
+    write_json(dir, "isolation_metrics.json", &mut registry);
 
     let config = reconfig::ReconfigConfig::default();
     write(

@@ -1,0 +1,41 @@
+//! JSON metric snapshots: serializes a [`MetricsRegistry`] next to the
+//! markdown tables in `results/`.
+//!
+//! The format is the registry's own deterministic export (see
+//! [`MetricsRegistry::to_json`]): one object with `counters`, `gauges`,
+//! `stats` and `samples` maps keyed `"{component}/{metric}"`. Experiment
+//! sweeps key their per-interconnect series as `series.N`, where `N` is the
+//! index into [`crate::runner::InterconnectKind::ALL`].
+
+use bluescale_sim::metrics::MetricsRegistry;
+use std::path::Path;
+
+/// Writes `registry` as JSON to `path`, creating parent directories.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from directory creation or the write.
+pub fn write_snapshot(path: &Path, registry: &mut MetricsRegistry) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, registry.to_json())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bluescale_sim::metrics::{ComponentId, Counter};
+
+    #[test]
+    fn snapshot_round_trips_to_disk() {
+        let dir = std::env::temp_dir().join("bluescale_export_test");
+        let path = dir.join("nested").join("snap.json");
+        let mut reg = MetricsRegistry::new();
+        reg.add(ComponentId::Series(0), Counter::Trials, 3);
+        write_snapshot(&path, &mut reg).expect("write succeeds");
+        let text = std::fs::read_to_string(&path).expect("readable");
+        assert!(text.contains("\"series.0/trials\": 3"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

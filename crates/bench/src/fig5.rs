@@ -3,6 +3,7 @@
 
 use bluescale_hwcost::frequency::{max_frequency_mhz, FrequencyTarget};
 use bluescale_hwcost::{area_fraction, interconnect_cost, legacy_system_cost, Architecture};
+use bluescale_sim::metrics::{ComponentId, MetricsRegistry};
 
 /// One sweep point of Fig 5.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -54,6 +55,25 @@ pub fn sweep() -> Vec<Point> {
             }
         })
         .collect()
+}
+
+/// Records the sweep into `registry` as gauges keyed by
+/// [`ComponentId::Series`]\(η\): one series per scaling point, one gauge
+/// per Fig 5 quantity. The sweep is analytic, so the gauges are exact.
+pub fn record_into(registry: &mut MetricsRegistry) {
+    for p in sweep() {
+        let s = ComponentId::Series(p.eta as u16);
+        registry.set_gauge(s, "clients", p.clients as f64);
+        registry.set_gauge(s, "legacy_area", p.legacy_area);
+        registry.set_gauge(s, "axi_area", p.axi_area);
+        registry.set_gauge(s, "bluescale_area", p.bluescale_area);
+        registry.set_gauge(s, "legacy_power_w", p.legacy_power_w);
+        registry.set_gauge(s, "axi_power_w", p.axi_power_w);
+        registry.set_gauge(s, "bluescale_power_w", p.bluescale_power_w);
+        registry.set_gauge(s, "legacy_fmax_mhz", p.legacy_fmax);
+        registry.set_gauge(s, "axi_fmax_mhz", p.axi_fmax);
+        registry.set_gauge(s, "bluescale_fmax_mhz", p.bluescale_fmax);
+    }
 }
 
 /// Renders the three panels of Fig 5 as markdown tables.
@@ -166,6 +186,18 @@ mod tests {
         assert!(at(64) < 200.0);
         for p in &pts {
             assert!(p.bluescale_fmax > p.legacy_fmax);
+        }
+    }
+
+    #[test]
+    fn registry_gauges_mirror_the_sweep() {
+        let mut registry = MetricsRegistry::new();
+        record_into(&mut registry);
+        for p in sweep() {
+            let s = ComponentId::Series(p.eta as u16);
+            assert_eq!(registry.gauge(s, "clients"), Some(p.clients as f64));
+            assert_eq!(registry.gauge(s, "bluescale_area"), Some(p.bluescale_area));
+            assert_eq!(registry.gauge(s, "axi_fmax_mhz"), Some(p.axi_fmax));
         }
     }
 

@@ -4,8 +4,8 @@
 
 use crate::runner::{build, InterconnectKind};
 use bluescale_interconnect::system::System;
+use bluescale_sim::metrics::{ComponentId, Counter, MetricsRegistry, SampleKind};
 use bluescale_sim::rng::SimRng;
-use bluescale_sim::stats::OnlineStats;
 use bluescale_sim::Cycle;
 use bluescale_workload::synthetic::{generate, SyntheticConfig};
 
@@ -96,6 +96,18 @@ fn run_trial_all_kinds(config: &Fig6Config, mut trial_rng: SimRng) -> TrialResul
 /// statistics in trial order — so every thread count (including 1)
 /// produces bit-identical rows.
 pub fn run_with_threads(config: &Fig6Config, max_threads: usize) -> Vec<Fig6Row> {
+    run_with_threads_registry(config, max_threads).0
+}
+
+/// Like [`run_with_threads`], but also returns the panel's metrics
+/// registry: per-trial blocking/miss observations under
+/// [`ComponentId::Series`] (indexed in [`InterconnectKind::ALL`] order)
+/// plus panel parameters as system gauges. The rows are *views* of the
+/// same registry accumulators.
+pub fn run_with_threads_registry(
+    config: &Fig6Config,
+    max_threads: usize,
+) -> (Vec<Fig6Row>, MetricsRegistry) {
     let mut master = SimRng::seed_from(config.seed);
     let trial_rngs: Vec<SimRng> = (0..config.trials).map(|_| master.fork()).collect();
 
@@ -131,25 +143,34 @@ pub fn run_with_threads(config: &Fig6Config, max_threads: usize) -> Vec<Fig6Row>
         });
     }
 
-    let mut blocking: Vec<OnlineStats> = vec![OnlineStats::new(); InterconnectKind::ALL.len()];
-    let mut misses: Vec<OnlineStats> = vec![OnlineStats::new(); InterconnectKind::ALL.len()];
+    let mut registry = MetricsRegistry::new();
+    registry.set_gauge(ComponentId::System, "clients", config.clients as f64);
+    registry.set_gauge(ComponentId::System, "horizon", config.horizon as f64);
     for trial in results.into_iter().flatten() {
         for (i, (b, m)) in trial.into_iter().enumerate() {
-            blocking[i].push(b);
-            misses[i].push(m);
+            let series = ComponentId::Series(i as u16);
+            registry.inc(series, Counter::Trials);
+            registry.observe(series, SampleKind::Custom("blocking_us"), b);
+            registry.observe(series, SampleKind::Custom("miss_ratio"), m);
         }
     }
-    InterconnectKind::ALL
+    let rows = InterconnectKind::ALL
         .into_iter()
         .enumerate()
-        .map(|(i, kind)| Fig6Row {
-            kind,
-            blocking_mean_us: blocking[i].mean(),
-            blocking_std_us: blocking[i].std_dev(),
-            miss_ratio_mean: misses[i].mean(),
-            miss_ratio_std: misses[i].std_dev(),
+        .map(|(i, kind)| {
+            let series = ComponentId::Series(i as u16);
+            let blocking = registry.stat(series, SampleKind::Custom("blocking_us"));
+            let misses = registry.stat(series, SampleKind::Custom("miss_ratio"));
+            Fig6Row {
+                kind,
+                blocking_mean_us: blocking.mean(),
+                blocking_std_us: blocking.std_dev(),
+                miss_ratio_mean: misses.mean(),
+                miss_ratio_std: misses.std_dev(),
+            }
         })
-        .collect()
+        .collect();
+    (rows, registry)
 }
 
 /// Renders one panel as a markdown table.
@@ -235,6 +256,20 @@ mod tests {
         for k in InterconnectKind::ALL {
             assert!(text.contains(k.name()));
         }
+    }
+
+    #[test]
+    fn registry_backs_the_rows() {
+        let cfg = tiny();
+        let (rows, registry) = run_with_threads_registry(&cfg, 2);
+        for (i, row) in rows.iter().enumerate() {
+            let series = ComponentId::Series(i as u16);
+            assert_eq!(registry.counter(series, Counter::Trials), cfg.trials);
+            let blocking = registry.stat(series, SampleKind::Custom("blocking_us"));
+            assert_eq!(blocking.count(), cfg.trials);
+            assert!((blocking.mean() - row.blocking_mean_us).abs() < 1e-15);
+        }
+        assert_eq!(registry.gauge(ComponentId::System, "clients"), Some(16.0));
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! for the automotive workload on 16-core and 64-core systems.
 
 use crate::runner::{run_trial, InterconnectKind};
+use bluescale_sim::metrics::{ComponentId, Counter, MetricsRegistry, SampleKind};
 use bluescale_sim::rng::SimRng;
 use bluescale_sim::Cycle;
 use bluescale_workload::casestudy::{generate, CaseStudyConfig};
@@ -48,32 +49,57 @@ pub struct Fig7Point {
 
 /// Runs one Fig 7 panel.
 pub fn run(config: &Fig7Config) -> Vec<Fig7Point> {
+    run_with_registry(config).0
+}
+
+/// Runs one Fig 7 panel and also returns its metrics registry:
+/// Trials/Successes counters totalled over the sweep plus the per-target
+/// success ratios as an observation series, keyed by
+/// [`ComponentId::Series`] in [`InterconnectKind::ALL`] order.
+pub fn run_with_registry(config: &Fig7Config) -> (Vec<Fig7Point>, MetricsRegistry) {
     let mut master = SimRng::seed_from(config.seed);
-    config
+    let mut registry = MetricsRegistry::new();
+    registry.set_gauge(ComponentId::System, "processors", config.processors as f64);
+    registry.set_gauge(ComponentId::System, "horizon", config.horizon as f64);
+    let points = config
         .targets
         .iter()
         .map(|&target| {
-            let mut successes = vec![0u64; InterconnectKind::ALL.len()];
+            // Per-point tallies live in their own registry so the ratio of
+            // this sweep point is not polluted by earlier targets; the
+            // sweep registry accumulates the totals by merging.
+            let mut point = MetricsRegistry::new();
             for _ in 0..config.trials {
                 let mut trial_rng = master.fork();
                 let cs = CaseStudyConfig::fig7(config.processors, target);
                 let sets = generate(&cs, &mut trial_rng);
                 for (i, kind) in InterconnectKind::ALL.into_iter().enumerate() {
+                    let series = ComponentId::Series(i as u16);
                     let m = run_trial(kind, &sets, config.horizon);
+                    point.inc(series, Counter::Trials);
                     if m.success() {
-                        successes[i] += 1;
+                        point.inc(series, Counter::Successes);
                     }
                 }
             }
-            Fig7Point {
-                target,
-                success: successes
-                    .into_iter()
-                    .map(|s| s as f64 / config.trials as f64)
-                    .collect(),
+            let success: Vec<f64> = (0..InterconnectKind::ALL.len())
+                .map(|i| {
+                    let series = ComponentId::Series(i as u16);
+                    point.counter(series, Counter::Successes) as f64 / config.trials as f64
+                })
+                .collect();
+            for (i, &ratio) in success.iter().enumerate() {
+                registry.observe(
+                    ComponentId::Series(i as u16),
+                    SampleKind::Custom("success_ratio"),
+                    ratio,
+                );
             }
+            registry.merge(&point);
+            Fig7Point { target, success }
         })
-        .collect()
+        .collect();
+    (points, registry)
 }
 
 /// Renders one panel as a markdown table (targets as rows).
@@ -157,6 +183,27 @@ mod tests {
                 p.success[bs],
                 p.success[bt]
             );
+        }
+    }
+
+    #[test]
+    fn registry_totals_cover_the_sweep() {
+        let cfg = tiny();
+        let (points, registry) = run_with_registry(&cfg);
+        let expected_trials = cfg.trials * cfg.targets.len() as u64;
+        for i in 0..InterconnectKind::ALL.len() {
+            let series = ComponentId::Series(i as u16);
+            assert_eq!(registry.counter(series, Counter::Trials), expected_trials);
+            assert!(
+                registry.counter(series, Counter::Successes) <= expected_trials,
+                "successes bounded by trials"
+            );
+            let ratios = registry.stat(series, SampleKind::Custom("success_ratio"));
+            assert_eq!(ratios.count(), cfg.targets.len() as u64);
+            // The sweep registry's ratio sequence is exactly the points'.
+            let mean: f64 =
+                points.iter().map(|p| p.success[i]).sum::<f64>() / cfg.targets.len() as f64;
+            assert!((ratios.mean() - mean).abs() < 1e-12);
         }
     }
 

@@ -16,8 +16,8 @@
 
 use crate::runner::{build, InterconnectKind};
 use bluescale_interconnect::system::System;
+use bluescale_sim::metrics::{ComponentId, Counter, MetricsRegistry, SampleKind};
 use bluescale_sim::rng::SimRng;
-use bluescale_sim::stats::OnlineStats;
 use bluescale_sim::Cycle;
 use bluescale_workload::synthetic::{generate, SyntheticConfig};
 
@@ -65,10 +65,22 @@ pub struct IsolationRow {
 /// Runs the experiment. The rogue is always client 0; victims are all
 /// other clients.
 pub fn run(config: &IsolationConfig) -> Vec<IsolationRow> {
+    run_with_registry(config).0
+}
+
+/// Runs the experiment and also returns its metrics registry: per-trial
+/// victim/rogue miss-ratio observations keyed by [`ComponentId::Series`]
+/// in [`InterconnectKind::ALL`] order. The rows are means over the same
+/// accumulators.
+pub fn run_with_registry(config: &IsolationConfig) -> (Vec<IsolationRow>, MetricsRegistry) {
     let kinds = InterconnectKind::ALL;
-    let mut baseline = vec![OnlineStats::new(); kinds.len()];
-    let mut with_rogue = vec![OnlineStats::new(); kinds.len()];
-    let mut rogue_own = vec![OnlineStats::new(); kinds.len()];
+    let mut registry = MetricsRegistry::new();
+    registry.set_gauge(ComponentId::System, "clients", config.clients as f64);
+    registry.set_gauge(
+        ComponentId::System,
+        "misbehaviour_factor",
+        config.misbehaviour_factor as f64,
+    );
     let mut master = SimRng::seed_from(config.seed);
     for _ in 0..config.trials {
         let mut rng = master.fork();
@@ -80,30 +92,55 @@ pub fn run(config: &IsolationConfig) -> Vec<IsolationRow> {
         };
         let sets = generate(&synthetic, &mut rng);
         for (i, kind) in kinds.into_iter().enumerate() {
+            let series = ComponentId::Series(i as u16);
+            registry.inc(series, Counter::Trials);
+
             // Control run: everyone behaves.
             let mut system = System::new(build(kind, &sets), &sets);
             system.run(config.horizon);
-            baseline[i].push(victim_miss_ratio(&system, 0));
+            registry.observe(
+                series,
+                SampleKind::Custom("victim_miss_control"),
+                victim_miss_ratio(&system, 0),
+            );
 
             // Rogue run: client 0 floods. The interconnect was configured
             // from the *declared* task sets — the rogue lied.
             let mut system = System::new(build(kind, &sets), &sets);
             system.set_misbehaviour_factor(0, config.misbehaviour_factor);
             system.run(config.horizon);
-            with_rogue[i].push(victim_miss_ratio(&system, 0));
-            rogue_own[i].push(system.per_client_metrics()[0].miss_ratio());
+            registry.observe(
+                series,
+                SampleKind::Custom("victim_miss_rogue"),
+                victim_miss_ratio(&system, 0),
+            );
+            registry.observe(
+                series,
+                SampleKind::Custom("rogue_own_miss"),
+                system.per_client_metrics()[0].miss_ratio(),
+            );
         }
     }
-    kinds
+    let rows = kinds
         .into_iter()
         .enumerate()
-        .map(|(i, kind)| IsolationRow {
-            kind,
-            baseline_victim_miss: baseline[i].mean(),
-            rogue_victim_miss: with_rogue[i].mean(),
-            rogue_own_miss: rogue_own[i].mean(),
+        .map(|(i, kind)| {
+            let series = ComponentId::Series(i as u16);
+            IsolationRow {
+                kind,
+                baseline_victim_miss: registry
+                    .stat(series, SampleKind::Custom("victim_miss_control"))
+                    .mean(),
+                rogue_victim_miss: registry
+                    .stat(series, SampleKind::Custom("victim_miss_rogue"))
+                    .mean(),
+                rogue_own_miss: registry
+                    .stat(series, SampleKind::Custom("rogue_own_miss"))
+                    .mean(),
+            }
         })
-        .collect()
+        .collect();
+    (rows, registry)
 }
 
 fn victim_miss_ratio(
@@ -205,6 +242,19 @@ mod tests {
             bt.rogue_victim_miss,
             bs.rogue_victim_miss
         );
+    }
+
+    #[test]
+    fn registry_backs_the_rows() {
+        let cfg = tiny();
+        let (rows, registry) = run_with_registry(&cfg);
+        for (i, row) in rows.iter().enumerate() {
+            let series = ComponentId::Series(i as u16);
+            assert_eq!(registry.counter(series, Counter::Trials), cfg.trials);
+            let control = registry.stat(series, SampleKind::Custom("victim_miss_control"));
+            assert_eq!(control.count(), cfg.trials);
+            assert!((control.mean() - row.baseline_victim_miss).abs() < 1e-15);
+        }
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod ablation;
 pub mod admission;
 pub mod dram;
 pub mod edp_sweep;
+pub mod export;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;

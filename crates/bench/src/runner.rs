@@ -118,6 +118,22 @@ pub fn run_trial(kind: InterconnectKind, task_sets: &[TaskSet], horizon: Cycle) 
     system.run(horizon)
 }
 
+/// Runs one trial with detail recording (typed events + request
+/// lifecycles) enabled and returns the run metrics together with the
+/// merged harness + interconnect registry snapshot.
+pub fn run_trial_detailed(
+    kind: InterconnectKind,
+    task_sets: &[TaskSet],
+    horizon: Cycle,
+) -> (RunMetrics, bluescale_sim::metrics::MetricsRegistry) {
+    let ic = build(kind, task_sets);
+    let mut system = System::new(ic, task_sets);
+    system.enable_detail();
+    let metrics = system.run(horizon);
+    let registry = system.merged_registry();
+    (metrics, registry)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,6 +163,35 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), 7);
+    }
+
+    #[test]
+    fn detailed_trial_matches_plain_trial_and_adds_detail() {
+        use bluescale_sim::metrics::{ComponentId, Counter, SampleKind};
+
+        let task_sets = sets(16);
+        let plain = run_trial(InterconnectKind::BlueScale, &task_sets, 4000);
+        let (detailed, registry) =
+            run_trial_detailed(InterconnectKind::BlueScale, &task_sets, 4000);
+        // Observability must not perturb the simulation.
+        assert_eq!(plain.issued(), detailed.issued());
+        assert_eq!(plain.completed(), detailed.completed());
+        assert_eq!(plain.missed(), detailed.missed());
+        // The merged registry carries both harness aggregates and
+        // interconnect component tallies.
+        assert_eq!(
+            registry.counter(ComponentId::System, Counter::Completed),
+            detailed.completed()
+        );
+        assert!(registry.counter(ComponentId::Memory, Counter::MemAccepted) > 0);
+        let root = ComponentId::Se { depth: 0, order: 0 };
+        assert!(registry.counter(root, Counter::Forwarded) > 0);
+        // Lifecycle breakdowns were recorded per client.
+        let q = registry
+            .samples(ComponentId::Client(0), SampleKind::Queueing)
+            .expect("lifecycle stages recorded");
+        assert!(!q.as_slice().is_empty());
+        assert!(detailed.mean_latency() >= 1.0);
     }
 
     #[test]

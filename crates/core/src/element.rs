@@ -13,6 +13,7 @@ use crate::selector::InterfaceSelector;
 use crate::topology::SeIndex;
 use bluescale_interconnect::MemoryRequest;
 use bluescale_rt::supply::PeriodicResource;
+use bluescale_sim::metrics::{ComponentId, Counter, MetricsRegistry};
 use bluescale_sim::Cycle;
 
 /// One Scale Element.
@@ -22,7 +23,6 @@ pub struct ScaleElement {
     buffers: Vec<RandomAccessBuffer>,
     scheduler: LocalScheduler,
     selector: InterfaceSelector,
-    forwarded: u64,
     /// The response path's demultiplexer queue (paper, Fig 2(b)): one
     /// response per cycle is routed back toward a local client port.
     responses: std::collections::VecDeque<MemoryRequest>,
@@ -60,11 +60,22 @@ impl ScaleElement {
             buffers: (0..ports)
                 .map(|_| RandomAccessBuffer::with_policy(buffer_capacity, policy))
                 .collect(),
-            scheduler: LocalScheduler::new(ports, work_conserving),
+            scheduler: LocalScheduler::new(
+                ComponentId::Se {
+                    depth: index.depth,
+                    order: index.order,
+                },
+                ports,
+                work_conserving,
+            ),
             selector: InterfaceSelector::new(ports),
-            forwarded: 0,
             responses: std::collections::VecDeque::new(),
         }
+    }
+
+    /// The metrics component id of this SE.
+    pub fn component(&self) -> ComponentId {
+        self.scheduler.component()
     }
 
     /// Accepts a response from the local provider into the demultiplexer.
@@ -140,8 +151,16 @@ impl ScaleElement {
 
     /// Advances one cycle. When `provider_ready` is true the SE may forward
     /// one request toward its local provider; the forwarded request (if
-    /// any) is returned. Server counters tick regardless.
-    pub fn step(&mut self, now: Cycle, provider_ready: bool) -> Option<MemoryRequest> {
+    /// any) is returned. Server counters tick regardless. Grant, throttle
+    /// and forward tallies (and, when detail is on, typed events plus the
+    /// granted request's lifecycle) land in `metrics` under this SE's
+    /// component id.
+    pub fn step(
+        &mut self,
+        now: Cycle,
+        provider_ready: bool,
+        metrics: &mut MetricsRegistry,
+    ) -> Option<MemoryRequest> {
         let pending: Vec<bool> = self.buffers.iter().map(|b| !b.is_empty()).collect();
         let any_pending = pending.iter().any(|&p| p);
         let mut granted = None;
@@ -150,35 +169,21 @@ impl ScaleElement {
                 let request = self.buffers[port]
                     .pop()
                     .expect("selected port must have a pending request");
-                self.scheduler.commit_grant(port);
+                self.scheduler.commit_grant(port, metrics);
                 // Blocking accounting: everything still buffered with an
                 // earlier deadline just lost a cycle to lower-priority
                 // traffic.
                 for buffer in &mut self.buffers {
                     buffer.charge_blocking(request.deadline);
                 }
-                self.forwarded += 1;
+                metrics.inc(self.component(), Counter::Forwarded);
+                metrics.request_granted(now, request.id, self.component(), port);
                 granted = Some(request);
             }
         }
-        self.scheduler.tick(any_pending && granted.is_none());
+        self.scheduler
+            .tick(any_pending && granted.is_none(), now, metrics);
         granted
-    }
-
-    /// Total requests forwarded to the provider so far.
-    pub fn forwarded(&self) -> u64 {
-        self.forwarded
-    }
-
-    /// Cycles where pending work existed but no grant was made (budget
-    /// throttling or downstream backpressure).
-    pub fn throttled_cycles(&self) -> u64 {
-        self.scheduler.throttled_cycles()
-    }
-
-    /// Grants per port so far.
-    pub fn grants(&self) -> &[u64] {
-        self.scheduler.grants()
     }
 
     /// Requests currently buffered across all ports.
@@ -214,19 +219,23 @@ mod tests {
         se
     }
 
+    const SE: ComponentId = ComponentId::Se { depth: 1, order: 0 };
+
     #[test]
     fn forwards_only_when_provider_ready() {
+        let mut reg = MetricsRegistry::new();
         let mut se = programmed_se(4);
         se.try_accept(0, req(1, 0, 100)).unwrap();
-        assert_eq!(se.step(0, false), None);
-        assert!(se.step(1, true).is_some());
+        assert_eq!(se.step(0, false, &mut reg), None);
+        assert!(se.step(1, true, &mut reg).is_some());
     }
 
     #[test]
     fn idle_se_forwards_nothing() {
+        let mut reg = MetricsRegistry::new();
         let mut se = programmed_se(4);
-        assert_eq!(se.step(0, true), None);
-        assert_eq!(se.forwarded(), 0);
+        assert_eq!(se.step(0, true, &mut reg), None);
+        assert_eq!(reg.counter(SE, Counter::Forwarded), 0);
     }
 
     #[test]
@@ -241,12 +250,13 @@ mod tests {
         // Port 1's server replenishes sooner (deadline 3 < 10), so its
         // request forwards first even though its request deadline is later:
         // the upper-level queue arbitrates *servers*, not requests.
-        let fwd = se.step(0, true).unwrap();
+        let fwd = se.step(0, true, &mut MetricsRegistry::new()).unwrap();
         assert_eq!(fwd.id, 2);
     }
 
     #[test]
     fn budget_exhaustion_throttles_port() {
+        let mut reg = MetricsRegistry::new();
         let mut se = ScaleElement::new(SeIndex::new(1, 0), 1, 8, false);
         se.program(&[Some(PeriodicResource::new(10, 2).unwrap())]);
         for i in 0..5 {
@@ -254,7 +264,7 @@ mod tests {
         }
         let mut forwarded = 0;
         for now in 0..10 {
-            if se.step(now, true).is_some() {
+            if se.step(now, true, &mut reg).is_some() {
                 forwarded += 1;
             }
         }
@@ -262,12 +272,13 @@ mod tests {
         assert_eq!(forwarded, 2);
         // Next period allows more.
         for now in 10..20 {
-            if se.step(now, true).is_some() {
+            if se.step(now, true, &mut reg).is_some() {
                 forwarded += 1;
             }
         }
         assert_eq!(forwarded, 4);
-        assert!(se.throttled_cycles() > 0);
+        assert_eq!(reg.counter(SE, Counter::Forwarded), 4);
+        assert!(reg.counter(SE, Counter::ThrottledCycles) > 0);
     }
 
     #[test]
@@ -281,20 +292,22 @@ mod tests {
         ]);
         se.try_accept(0, req(1, 0, 50)).unwrap();
         se.try_accept(1, req(2, 1, 90)).unwrap();
-        let first = se.step(0, true).unwrap();
+        let mut reg = MetricsRegistry::new();
+        let first = se.step(0, true, &mut reg).unwrap();
         assert_eq!(first.id, 2, "port 1 wins on server deadline");
         // Now the remaining request carries one blocked cycle.
-        let second = se.step(1, true).unwrap();
+        let second = se.step(1, true, &mut reg).unwrap();
         assert_eq!(second.id, 1);
         assert_eq!(second.blocked_cycles, 1);
     }
 
     #[test]
     fn unprogrammed_ports_are_dead() {
+        let mut reg = MetricsRegistry::new();
         let mut se = ScaleElement::new(SeIndex::new(0, 0), 4, 8, false);
         se.try_accept(2, req(1, 2, 10)).unwrap();
         for now in 0..20 {
-            assert_eq!(se.step(now, true), None);
+            assert_eq!(se.step(now, true, &mut reg), None);
         }
     }
 
@@ -304,8 +317,29 @@ mod tests {
         se.try_accept(0, req(1, 0, 10)).unwrap();
         se.try_accept(3, req(2, 3, 20)).unwrap();
         assert_eq!(se.occupancy(), 2);
-        se.step(0, true);
+        se.step(0, true, &mut MetricsRegistry::new());
         assert_eq!(se.occupancy(), 1);
+    }
+
+    #[test]
+    fn step_with_detail_tracks_grant_lifecycle() {
+        let mut reg = MetricsRegistry::with_detail(32);
+        let mut se = programmed_se(2);
+        reg.request_enqueued(0, 7, 0, se.component());
+        se.try_accept(0, req(7, 0, 100)).unwrap();
+        let fwd = se.step(3, true, &mut reg).unwrap();
+        assert_eq!(fwd.id, 7);
+        use bluescale_sim::metrics::Event;
+        assert!(reg.events().iter().any(|e| matches!(
+            e.event,
+            Event::Grant {
+                component: SE,
+                port: 0,
+                request: 7
+            }
+        )));
+        let b = reg.request_completed(10, 7).expect("lifecycle tracked");
+        assert_eq!(b.queueing, 3);
     }
 
     #[test]

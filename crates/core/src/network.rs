@@ -20,7 +20,7 @@ use bluescale_mem::{DramConfig, MemoryController};
 use bluescale_rt::supply::PeriodicResource;
 use bluescale_rt::task::TaskSet;
 use bluescale_rt::Error as RtError;
-use bluescale_sim::trace::Tracer;
+use bluescale_sim::metrics::{ComponentId, Counter, MetricsRegistry};
 use bluescale_sim::Cycle;
 use std::collections::VecDeque;
 use std::fmt;
@@ -112,7 +112,7 @@ pub struct BlueScaleInterconnect {
     /// Per-SE analysis outcome (`[depth][order]`): whether minimum-
     /// bandwidth selection succeeded there (false = fallback interfaces).
     se_analysis_ok: Vec<Vec<bool>>,
-    tracer: Tracer,
+    metrics: MetricsRegistry,
 }
 
 impl BlueScaleInterconnect {
@@ -184,7 +184,7 @@ impl BlueScaleInterconnect {
             se_analysis_ok: (0..levels)
                 .map(|d| vec![true; config.elements_at(d)])
                 .collect(),
-            tracer: Tracer::new(),
+            metrics: MetricsRegistry::new(),
             composition: CompositionReport {
                 schedulable: false,
                 analysis_ok: false,
@@ -216,9 +216,12 @@ impl BlueScaleInterconnect {
         &self.client_tasks
     }
 
-    /// The grant tracer. Disabled by default; call
-    /// [`Tracer::enable`] to record every arbitration grant (bounded ring
-    /// buffer — safe on long runs).
+    /// The typed metrics registry. Counter tallies (per-SE grants,
+    /// throttled cycles, forwards, memory-controller statistics) are always
+    /// recorded; call [`MetricsRegistry::enable_detail`] to additionally
+    /// record typed events and per-request latency breakdowns (bounded ring
+    /// buffer — safe on long runs). Memory-controller counters are
+    /// refreshed on each `metrics_mut` call.
     ///
     /// # Example
     ///
@@ -230,24 +233,34 @@ impl BlueScaleInterconnect {
     /// #     vec![TaskSet::new(vec![Task::new(0, 100, 2).unwrap()]).unwrap(); 4];
     /// let mut ic =
     ///     BlueScaleInterconnect::new(BlueScaleConfig::for_clients(4), &sets)?;
-    /// ic.tracer_mut().enable();
+    /// ic.metrics_mut().enable_detail();
     /// # Ok::<(), bluescale::BuildError>(())
     /// ```
-    pub fn tracer_mut(&mut self) -> &mut Tracer {
-        &mut self.tracer
+    pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        self.controller.record_metrics(&mut self.metrics);
+        &mut self.metrics
     }
 
-    /// Read access to the grant tracer.
-    pub fn tracer(&self) -> &Tracer {
-        &self.tracer
+    /// Read access to the metrics registry. Memory-controller counters may
+    /// lag behind [`MemoryController::stats`](bluescale_mem::MemoryController::stats)
+    /// until the next [`metrics_mut`](Self::metrics_mut) call.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// Per-SE forwarded-request counters, indexed `[depth][order]`
-    /// (introspection for experiments).
+    /// (introspection for experiments; reads the registry's
+    /// [`Counter::Forwarded`] tallies).
     pub fn forward_counts(&self) -> Vec<Vec<u64>> {
-        self.elements
-            .iter()
-            .map(|level| level.iter().map(ScaleElement::forwarded).collect())
+        (0..self.config.levels())
+            .map(|depth| {
+                (0..self.config.elements_at(depth))
+                    .map(|order| {
+                        self.metrics
+                            .counter(ComponentId::Se { depth, order }, Counter::Forwarded)
+                    })
+                    .collect()
+            })
             .collect()
     }
 
@@ -314,6 +327,11 @@ impl BlueScaleInterconnect {
         self.composition.schedulable =
             self.composition.analysis_ok && self.composition.root_bandwidth <= 1.0 + 1e-9;
         self.composition.reprogrammed_elements = reprogrammed;
+        self.metrics.set_gauge(
+            ComponentId::System,
+            "root_bandwidth",
+            self.composition.root_bandwidth,
+        );
         Ok(&self.composition)
     }
 
@@ -439,6 +457,11 @@ impl BlueScaleInterconnect {
         self.composition.schedulable =
             self.composition.analysis_ok && self.composition.root_bandwidth <= 1.0 + 1e-9;
         self.composition.reprogrammed_elements = self.elements.iter().map(Vec::len).sum();
+        self.metrics.set_gauge(
+            ComponentId::System,
+            "root_bandwidth",
+            self.composition.root_bandwidth,
+        );
         Ok(())
     }
 }
@@ -452,10 +475,23 @@ impl Interconnect for BlueScaleInterconnect {
         self.config.num_clients
     }
 
-    fn inject(&mut self, request: MemoryRequest, _now: Cycle) -> Result<(), MemoryRequest> {
+    fn inject(&mut self, request: MemoryRequest, now: Cycle) -> Result<(), MemoryRequest> {
         let levels = self.config.levels();
         let (order, port) = self.config.attach_point(request.client as usize);
-        self.elements[levels - 1][order].try_accept(port, request)
+        let (id, client) = (request.id, request.client);
+        self.elements[levels - 1][order].try_accept(port, request)?;
+        self.metrics
+            .inc(ComponentId::Client(client), Counter::Enqueued);
+        self.metrics.request_enqueued(
+            now,
+            id,
+            client,
+            ComponentId::Se {
+                depth: levels - 1,
+                order,
+            },
+        );
+        Ok(())
     }
 
     fn step(&mut self, now: Cycle) {
@@ -467,6 +503,7 @@ impl Interconnect for BlueScaleInterconnect {
             if depth == levels - 1 {
                 for se in &mut self.elements[depth] {
                     if let Some(request) = se.pop_response() {
+                        self.metrics.request_completed(now, request.id);
                         self.ready.push_back(MemoryResponse {
                             request,
                             completed_at: now,
@@ -495,21 +532,15 @@ impl Interconnect for BlueScaleInterconnect {
         }
         // 2. Memory completions enter the root's demultiplexer.
         if let Some(done) = self.controller.poll_complete(now) {
+            self.metrics.request_mem_complete(now, done.id);
             self.elements[0][0].accept_response(done);
         }
         // 3. Root arbitration feeds the memory controller.
         let root_ready = self.controller.can_accept();
-        if let Some(request) = self.elements[0][0].step(now, root_ready) {
-            if self.tracer.is_enabled() {
-                self.tracer.record(
-                    now,
-                    "SE(0,0)",
-                    format!("grant {request} → memory controller"),
-                );
-            }
-            let addr = request.addr;
-            let deadline = request.deadline;
+        if let Some(request) = self.elements[0][0].step(now, root_ready, &mut self.metrics) {
+            let (id, addr, deadline) = (request.id, request.addr, request.deadline);
             let duration = self.controller.accept(request, addr, now);
+            self.metrics.request_mem_issue(now, id, duration);
             self.service_events.push_back(ServiceEvent {
                 at: now,
                 deadline,
@@ -524,14 +555,7 @@ impl Interconnect for BlueScaleInterconnect {
                 let parent = &mut parents[order / self.config.branch];
                 let port = order % self.config.branch;
                 let ready = parent.can_accept(port);
-                if let Some(request) = se.step(now, ready) {
-                    if self.tracer.is_enabled() {
-                        self.tracer.record(
-                            now,
-                            &se.index().to_string(),
-                            format!("grant {request} → {}", parent.index()),
-                        );
-                    }
+                if let Some(request) = se.step(now, ready, &mut self.metrics) {
                     parent
                         .try_accept(port, request)
                         .expect("parent advertised a free slot");
@@ -546,6 +570,14 @@ impl Interconnect for BlueScaleInterconnect {
 
     fn pop_service_event(&mut self) -> Option<ServiceEvent> {
         self.service_events.pop_front()
+    }
+
+    fn metrics(&self) -> Option<&MetricsRegistry> {
+        Some(BlueScaleInterconnect::metrics(self))
+    }
+
+    fn metrics_mut(&mut self) -> Option<&mut MetricsRegistry> {
+        Some(BlueScaleInterconnect::metrics_mut(self))
     }
 
     fn pending(&self) -> usize {
@@ -741,29 +773,107 @@ mod tests {
     }
 
     #[test]
-    fn tracer_records_grants_when_enabled() {
+    fn typed_events_record_grant_path_when_detail_enabled() {
+        use bluescale_sim::metrics::Event;
+
         let mut ic =
             BlueScaleInterconnect::new(BlueScaleConfig::for_clients(16), &sets(16, 400, 4))
                 .unwrap();
-        // Disabled by default: no events.
+        // Detail off by default: no events, but counters still tally.
         ic.inject(request(2, 1, 0, 400), 0).unwrap();
         for now in 0..20 {
             ic.step(now);
         }
-        assert!(ic.tracer().events().is_empty());
-        // Enabled: the grant path (leaf SE then root) is recorded.
-        ic.tracer_mut().enable();
+        assert!(ic.metrics().events().is_empty());
+        assert_eq!(
+            ic.metrics()
+                .counter(ComponentId::Client(2), Counter::Enqueued),
+            1
+        );
+        // Enabled: the grant path (leaf SE then root, then memory issue) is
+        // recorded as typed events.
+        ic.metrics_mut().enable_detail();
         ic.inject(request(2, 2, 20, 420), 20).unwrap();
         // Step past the server's replenishment period: the first request
         // consumed the port's budget under strict gating.
         for now in 20..420 {
             ic.step(now);
         }
-        let events = ic.tracer().events();
+        let events = ic.metrics().events();
         assert!(!events.is_empty());
-        assert!(events.iter().any(|e| e.source == "SE(1,0)"));
-        assert!(events.iter().any(|e| e.source == "SE(0,0)"));
-        assert!(events.iter().any(|e| e.message.contains("req#2")));
+        let leaf = ComponentId::Se { depth: 1, order: 0 };
+        let root = ComponentId::Se { depth: 0, order: 0 };
+        assert!(events.iter().any(|e| matches!(
+            e.event,
+            Event::Grant {
+                component, request: 2, ..
+            } if component == leaf
+        )));
+        assert!(events.iter().any(|e| matches!(
+            e.event,
+            Event::Grant {
+                component, request: 2, ..
+            } if component == root
+        )));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.event, Event::MemIssue { request: 2, .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.event, Event::MemComplete { request: 2 })));
+    }
+
+    #[test]
+    fn lifecycle_breakdown_sums_to_total_latency() {
+        let mut ic =
+            BlueScaleInterconnect::new(BlueScaleConfig::for_clients(16), &sets(16, 400, 4))
+                .unwrap();
+        ic.metrics_mut().enable_detail();
+        ic.inject(request(5, 1, 0, 400), 0).unwrap();
+        for now in 0..100 {
+            ic.step(now);
+            if ic.pop_response().is_some() {
+                break;
+            }
+        }
+        use bluescale_sim::metrics::SampleKind;
+        let m = ic.metrics();
+        let client = ComponentId::Client(5);
+        let stages = [
+            SampleKind::Queueing,
+            SampleKind::NocTransit,
+            SampleKind::Service,
+            SampleKind::ResponseTransit,
+        ];
+        let sum: f64 = stages
+            .iter()
+            .map(|&k| m.samples(client, k).expect("breakdown recorded").as_slice()[0])
+            .sum();
+        // Every stage recorded exactly once and the service stage is the
+        // DRAM's flat service time.
+        assert!(
+            m.samples(client, SampleKind::Service).unwrap().as_slice()[0] >= 1.0,
+            "memory service takes time"
+        );
+        assert!(sum >= 4.0, "two hops + service + response: {sum}");
+        assert_eq!(m.inflight(), 0, "lifecycle closed on delivery");
+    }
+
+    #[test]
+    fn forward_counts_read_from_registry() {
+        let mut ic =
+            BlueScaleInterconnect::new(BlueScaleConfig::for_clients(16), &sets(16, 400, 4))
+                .unwrap();
+        ic.inject(request(3, 1, 0, 400), 0).unwrap();
+        for now in 0..50 {
+            ic.step(now);
+        }
+        let counts = ic.forward_counts();
+        // Client 3 attaches to leaf SE(1,0): one forward there and one at
+        // the root.
+        assert_eq!(counts[1][0], 1);
+        assert_eq!(counts[0][0], 1);
+        assert_eq!(counts[1][1], 0);
     }
 
     #[test]

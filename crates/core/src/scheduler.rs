@@ -6,32 +6,40 @@
 //! request, the one with the earliest server deadline (its next
 //! replenishment) — Algorithm 1 of the paper with the hardware's budget
 //! gating. The decision is "combinational": exactly one grant per cycle.
+//!
+//! The scheduler keeps no statistics of its own: grant and throttle tallies
+//! live in the [`MetricsRegistry`] under this scheduler's
+//! [`ComponentId`], so every consumer (tests, benches, the JSON exporter)
+//! reads the same numbers.
 
 use bluescale_rt::server::ServerTask;
 use bluescale_rt::supply::PeriodicResource;
+use bluescale_sim::metrics::{ComponentId, Counter, Event, MetricsRegistry};
 use bluescale_sim::Cycle;
 
 /// GEDF arbiter over up to `branch` server tasks.
 #[derive(Debug, Clone)]
 pub struct LocalScheduler {
+    /// The SE this scheduler arbitrates for (metrics key).
+    component: ComponentId,
     servers: Vec<Option<ServerTask>>,
-    /// Count of grants per port (introspection for tests / ablations).
-    grants: Vec<u64>,
-    /// Cycles where at least one port had a pending request but no eligible
-    /// server held budget (budget-induced idling).
-    throttled_cycles: u64,
     work_conserving: bool,
 }
 
 impl LocalScheduler {
-    /// Creates a scheduler with `ports` unprogrammed server slots.
-    pub fn new(ports: usize, work_conserving: bool) -> Self {
+    /// Creates a scheduler for `component` with `ports` unprogrammed server
+    /// slots.
+    pub fn new(component: ComponentId, ports: usize, work_conserving: bool) -> Self {
         Self {
+            component,
             servers: vec![None; ports],
-            grants: vec![0; ports],
-            throttled_cycles: 0,
             work_conserving,
         }
+    }
+
+    /// The component id this scheduler reports metrics under.
+    pub fn component(&self) -> ComponentId {
+        self.component
     }
 
     /// Number of client ports.
@@ -107,9 +115,11 @@ impl LocalScheduler {
 
     /// Commits a grant: consumes one budget unit at `port` (no-op on an
     /// unprogrammed or exhausted server, which can only happen in
-    /// work-conserving mode).
-    pub fn commit_grant(&mut self, port: usize) {
-        self.grants[port] += 1;
+    /// work-conserving mode) and tallies the grant under both the SE and
+    /// its port component.
+    pub fn commit_grant(&mut self, port: usize, metrics: &mut MetricsRegistry) {
+        metrics.inc(self.component, Counter::Grants);
+        metrics.inc(self.component.port(port), Counter::Grants);
         if let Some(server) = &mut self.servers[port] {
             if server.has_budget() {
                 server.consume();
@@ -117,25 +127,38 @@ impl LocalScheduler {
         }
     }
 
-    /// Advances all period counters by one cycle. `any_pending` feeds the
-    /// throttled-cycles statistic: true when some port had work this cycle.
-    pub fn tick(&mut self, any_pending_without_grant: bool) {
+    /// Advances all period counters by one cycle. `any_pending_without_grant`
+    /// feeds the throttled-cycles statistic: true when some port had work
+    /// this cycle but nothing was granted. Budget replenishments are tallied
+    /// per port.
+    pub fn tick(
+        &mut self,
+        any_pending_without_grant: bool,
+        now: Cycle,
+        metrics: &mut MetricsRegistry,
+    ) {
         if any_pending_without_grant {
-            self.throttled_cycles += 1;
+            metrics.inc(self.component, Counter::ThrottledCycles);
+            metrics.record(
+                now,
+                Event::Throttle {
+                    component: self.component,
+                },
+            );
         }
-        for server in self.servers.iter_mut().flatten() {
-            server.tick();
+        for (port, server) in self.servers.iter_mut().enumerate() {
+            let Some(server) = server else { continue };
+            if server.tick() {
+                metrics.inc(self.component.port(port), Counter::Replenishments);
+                metrics.record(
+                    now,
+                    Event::Replenish {
+                        component: self.component,
+                        port,
+                    },
+                );
+            }
         }
-    }
-
-    /// Grants issued per port so far.
-    pub fn grants(&self) -> &[u64] {
-        &self.grants
-    }
-
-    /// Cycles in which pending work existed but nothing was granted.
-    pub fn throttled_cycles(&self) -> u64 {
-        self.throttled_cycles
     }
 }
 
@@ -143,13 +166,19 @@ impl LocalScheduler {
 mod tests {
     use super::*;
 
+    const SE: ComponentId = ComponentId::Se { depth: 1, order: 0 };
+
     fn iface(p: u64, b: u64) -> PeriodicResource {
         PeriodicResource::new(p, b).unwrap()
     }
 
+    fn grants(reg: &MetricsRegistry, ports: usize) -> Vec<u64> {
+        reg.port_counters(1, 0, ports, Counter::Grants)
+    }
+
     #[test]
     fn selects_earliest_server_deadline() {
-        let mut s = LocalScheduler::new(4, false);
+        let mut s = LocalScheduler::new(SE, 4, false);
         s.program(0, iface(10, 2));
         s.program(1, iface(4, 1)); // earliest replenishment → earliest deadline
         s.program(2, iface(20, 5));
@@ -158,7 +187,7 @@ mod tests {
 
     #[test]
     fn skips_ports_without_pending() {
-        let mut s = LocalScheduler::new(2, false);
+        let mut s = LocalScheduler::new(SE, 2, false);
         s.program(0, iface(4, 1));
         s.program(1, iface(10, 2));
         assert_eq!(s.select(&[false, true], 0), Some(1));
@@ -167,42 +196,46 @@ mod tests {
 
     #[test]
     fn skips_exhausted_budgets() {
-        let mut s = LocalScheduler::new(2, false);
+        let mut reg = MetricsRegistry::new();
+        let mut s = LocalScheduler::new(SE, 2, false);
         s.program(0, iface(4, 1));
         s.program(1, iface(10, 2));
-        s.commit_grant(0); // budget of port 0 now 0
+        s.commit_grant(0, &mut reg); // budget of port 0 now 0
         assert_eq!(s.select(&[true, true], 0), Some(1));
-        s.commit_grant(1);
-        s.commit_grant(1);
+        s.commit_grant(1, &mut reg);
+        s.commit_grant(1, &mut reg);
         // All budgets exhausted → idle even with pending work.
         assert_eq!(s.select(&[true, true], 0), None);
     }
 
     #[test]
     fn budget_replenishes_on_period() {
-        let mut s = LocalScheduler::new(1, false);
+        let mut reg = MetricsRegistry::new();
+        let mut s = LocalScheduler::new(SE, 1, false);
         s.program(0, iface(3, 1));
-        s.commit_grant(0);
+        s.commit_grant(0, &mut reg);
         assert_eq!(s.select(&[true], 0), None);
-        s.tick(true);
-        s.tick(true);
-        s.tick(true); // period boundary
+        s.tick(true, 0, &mut reg);
+        s.tick(true, 1, &mut reg);
+        s.tick(true, 2, &mut reg); // period boundary
         assert_eq!(s.select(&[true], 3), Some(0));
-        assert_eq!(s.throttled_cycles(), 3);
+        assert_eq!(reg.counter(SE, Counter::ThrottledCycles), 3);
+        assert_eq!(reg.counter(SE.port(0), Counter::Replenishments), 1);
     }
 
     #[test]
     fn unprogrammed_ports_never_win_strict_mode() {
-        let mut s = LocalScheduler::new(2, false);
+        let mut s = LocalScheduler::new(SE, 2, false);
         s.program(0, iface(8, 2));
         assert_eq!(s.select(&[false, true], 0), None);
     }
 
     #[test]
     fn work_conserving_grants_without_budget() {
-        let mut s = LocalScheduler::new(2, true);
+        let mut reg = MetricsRegistry::new();
+        let mut s = LocalScheduler::new(SE, 2, true);
         s.program(0, iface(4, 1));
-        s.commit_grant(0);
+        s.commit_grant(0, &mut reg);
         // Strictly, port 0 is out of budget; work-conserving grants anyway.
         assert_eq!(s.select(&[true, false], 0), Some(0));
         // Unprogrammed port also eligible in work-conserving mode.
@@ -211,7 +244,7 @@ mod tests {
 
     #[test]
     fn reprogram_changes_interface() {
-        let mut s = LocalScheduler::new(1, false);
+        let mut s = LocalScheduler::new(SE, 1, false);
         s.program(0, iface(10, 1));
         assert_eq!(s.interface(0).unwrap().period(), 10);
         s.program(0, iface(6, 3));
@@ -221,28 +254,45 @@ mod tests {
 
     #[test]
     fn grants_counted_per_port() {
-        let mut s = LocalScheduler::new(2, false);
+        let mut reg = MetricsRegistry::new();
+        let mut s = LocalScheduler::new(SE, 2, false);
         s.program(0, iface(10, 5));
-        s.commit_grant(0);
-        s.commit_grant(0);
-        assert_eq!(s.grants(), &[2, 0]);
+        s.commit_grant(0, &mut reg);
+        s.commit_grant(0, &mut reg);
+        assert_eq!(grants(&reg, 2), vec![2, 0]);
+        assert_eq!(reg.counter(SE, Counter::Grants), 2);
+    }
+
+    #[test]
+    fn throttle_and_replenish_emit_typed_events() {
+        let mut reg = MetricsRegistry::with_detail(16);
+        let mut s = LocalScheduler::new(SE, 1, false);
+        s.program(0, iface(2, 1));
+        s.commit_grant(0, &mut reg);
+        s.tick(true, 0, &mut reg);
+        s.tick(true, 1, &mut reg); // period boundary at cycle 2
+        let events: Vec<Event> = reg.events().iter().map(|e| e.event).collect();
+        assert!(events.contains(&Event::Throttle { component: SE }));
+        assert!(events.contains(&Event::Replenish {
+            component: SE,
+            port: 0
+        }));
     }
 
     #[test]
     fn long_run_grant_share_matches_bandwidth() {
         // Two saturated ports with bandwidths 1/4 and 1/2: over many
         // periods grants split 1:2.
-        let mut s = LocalScheduler::new(2, false);
+        let mut reg = MetricsRegistry::new();
+        let mut s = LocalScheduler::new(SE, 2, false);
         s.program(0, iface(4, 1));
         s.program(1, iface(4, 2));
         for now in 0..4000 {
             if let Some(p) = s.select(&[true, true], now) {
-                s.commit_grant(p);
+                s.commit_grant(p, &mut reg);
             }
-            s.tick(true);
+            s.tick(true, now, &mut reg);
         }
-        let g = s.grants();
-        assert_eq!(g[0], 1000);
-        assert_eq!(g[1], 2000);
+        assert_eq!(grants(&reg, 2), vec![1000, 2000]);
     }
 }

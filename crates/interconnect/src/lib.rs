@@ -16,6 +16,7 @@ pub mod client;
 pub mod metrics;
 pub mod system;
 
+use bluescale_sim::metrics::MetricsRegistry;
 use bluescale_sim::Cycle;
 use std::fmt;
 
@@ -158,6 +159,21 @@ pub trait Interconnect {
     /// call, if any. The default implementation reports none (acceptable
     /// for test doubles; the real architectures all record their grants).
     fn pop_service_event(&mut self) -> Option<ServiceEvent> {
+        None
+    }
+
+    /// The interconnect's internal metrics registry, if it keeps one.
+    /// Component-level counters (per-SE grants, memory-controller tallies)
+    /// live here; harness-level aggregates live in the
+    /// [`system::System`]'s own registry. The default reports none.
+    fn metrics(&self) -> Option<&MetricsRegistry> {
+        None
+    }
+
+    /// Mutable access to the internal registry (used to enable detail
+    /// recording and by exporters; implementations may refresh mirrored
+    /// counters on this call). The default reports none.
+    fn metrics_mut(&mut self) -> Option<&mut MetricsRegistry> {
         None
     }
 }

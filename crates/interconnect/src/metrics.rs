@@ -1,6 +1,7 @@
 //! Run metrics: the quantities the paper's Figures 6 and 7 report.
 
 use crate::MemoryResponse;
+use bluescale_sim::metrics::{ComponentId, Counter, MetricsRegistry, SampleKind};
 use bluescale_sim::stats::Samples;
 use bluescale_sim::Cycle;
 
@@ -34,11 +35,27 @@ impl RunMetrics {
         self.issued += 1;
     }
 
-    /// Removes one previously recorded issue (used by the harness when an
-    /// offer is rejected by a full port and will be retried next cycle).
-    pub(crate) fn retract_issue(&mut self) {
-        debug_assert!(self.issued > 0, "retract without a matching issue");
-        self.issued = self.issued.saturating_sub(1);
+    /// Builds a view of `component`'s slice of a [`MetricsRegistry`]: the
+    /// Issued/Completed/Missed/Backlog counters plus the Latency, Blocking
+    /// and NormalizedResponse sample collectors. This is how the harness
+    /// keeps its historical `RunMetrics` API while recording into the
+    /// typed registry.
+    pub fn from_registry(registry: &MetricsRegistry, component: ComponentId) -> Self {
+        let sample = |kind| {
+            registry
+                .samples(component, kind)
+                .cloned()
+                .unwrap_or_default()
+        };
+        Self {
+            latency: sample(SampleKind::Latency),
+            blocking: sample(SampleKind::Blocking),
+            normalized: sample(SampleKind::NormalizedResponse),
+            issued: registry.counter(component, Counter::Issued),
+            completed: registry.counter(component, Counter::Completed),
+            missed: registry.counter(component, Counter::Missed),
+            backlog: registry.counter(component, Counter::Backlog),
+        }
     }
 
     /// Records a completed response.
@@ -238,6 +255,29 @@ mod tests {
         assert!(skewed < 0.3, "skewed allocation scores low: {skewed}");
         // Bounded in [1/n, 1].
         assert!(skewed >= 0.25 - 1e-12);
+    }
+
+    #[test]
+    fn from_registry_reads_one_component_slice() {
+        let mut reg = MetricsRegistry::new();
+        let c = ComponentId::Client(2);
+        reg.add(c, Counter::Issued, 3);
+        reg.add(c, Counter::Completed, 2);
+        reg.inc(c, Counter::Missed);
+        reg.inc(c, Counter::Backlog);
+        reg.sample(c, SampleKind::Latency, 10.0);
+        reg.sample(c, SampleKind::Latency, 20.0);
+        reg.sample(c, SampleKind::Blocking, 4.0);
+        // Another component's slice must not leak in.
+        reg.add(ComponentId::System, Counter::Issued, 100);
+        let mut m = RunMetrics::from_registry(&reg, c);
+        assert_eq!(m.issued(), 3);
+        assert_eq!(m.completed(), 2);
+        assert_eq!(m.missed(), 1);
+        assert_eq!(m.backlog(), 1);
+        assert!((m.mean_latency() - 15.0).abs() < 1e-12);
+        assert_eq!(m.blocking().len(), 1);
+        assert_eq!(m.normalized_response().len(), 0);
     }
 
     #[test]

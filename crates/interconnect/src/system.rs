@@ -3,8 +3,9 @@
 
 use crate::client::TrafficGenerator;
 use crate::metrics::RunMetrics;
-use crate::{Interconnect, ServiceEvent};
+use crate::{Interconnect, MemoryResponse, ServiceEvent};
 use bluescale_rt::task::TaskSet;
+use bluescale_sim::metrics::{ComponentId, Counter, MetricsRegistry, SampleKind};
 use bluescale_sim::Cycle;
 
 /// A complete simulated system: one [`TrafficGenerator`] per client port of
@@ -32,8 +33,13 @@ use bluescale_sim::Cycle;
 /// ```
 pub struct System<I: ?Sized + Interconnect> {
     clients: Vec<TrafficGenerator>,
-    metrics: RunMetrics,
-    per_client: Vec<RunMetrics>,
+    /// Harness-level observability: System/Client aggregates (issued,
+    /// completed, missed, latency/blocking samples). The interconnect keeps
+    /// its own registry for component-level tallies; [`merged_registry`]
+    /// combines both for export.
+    ///
+    /// [`merged_registry`]: Self::merged_registry
+    registry: MetricsRegistry,
     now: Cycle,
     /// Chronological log of memory-channel grants, used to compute each
     /// request's blocking latency (cycles the channel served a
@@ -93,11 +99,9 @@ impl<I: ?Sized + Interconnect> System<I> {
     }
 
     fn from_generators(interconnect: Box<I>, clients: Vec<TrafficGenerator>) -> Self {
-        let n = interconnect.num_clients();
         Self {
             clients,
-            metrics: RunMetrics::new(),
-            per_client: vec![RunMetrics::new(); n],
+            registry: MetricsRegistry::new(),
             now: 0,
             service_log: Vec::new(),
             interconnect,
@@ -114,9 +118,43 @@ impl<I: ?Sized + Interconnect> System<I> {
         self.clients[client].set_misbehaviour_factor(factor);
     }
 
-    /// Metrics broken down per client (same definitions as the aggregate).
-    pub fn per_client_metrics(&self) -> &[RunMetrics] {
-        &self.per_client
+    /// Metrics broken down per client (same definitions as the aggregate),
+    /// built from the harness registry's per-client slices.
+    pub fn per_client_metrics(&self) -> Vec<RunMetrics> {
+        (0..self.interconnect.num_clients())
+            .map(|c| RunMetrics::from_registry(&self.registry, ComponentId::Client(c as u16)))
+            .collect()
+    }
+
+    /// The harness-level metrics registry (System and Client aggregates).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Mutable access to the harness registry.
+    pub fn registry_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.registry
+    }
+
+    /// Turns on detail recording (typed events + request lifecycles) in
+    /// both the harness registry and the interconnect's own, if it has one.
+    pub fn enable_detail(&mut self) {
+        self.registry.enable_detail();
+        if let Some(m) = self.interconnect.metrics_mut() {
+            m.enable_detail();
+        }
+    }
+
+    /// A snapshot combining the harness registry with the interconnect's
+    /// internal one (component-level grant/throttle/memory tallies). The
+    /// two registries count disjoint quantities, so merging never
+    /// double-counts.
+    pub fn merged_registry(&mut self) -> MetricsRegistry {
+        let mut merged = self.registry.clone();
+        if let Some(m) = self.interconnect.metrics_mut() {
+            merged.merge(m);
+        }
+        merged
     }
 
     /// Blocking latency of a request that waited during `[issued, done)`:
@@ -149,15 +187,21 @@ impl<I: ?Sized + Interconnect> System<I> {
         for client in &mut self.clients {
             client.on_cycle(now);
             if let Some(req) = client.take() {
-                let owner = req.client as usize;
-                self.metrics.on_issued();
-                self.per_client[owner].on_issued();
-                if let Err(rejected) = self.interconnect.inject(req, now) {
-                    // Port full: retry next cycle. Issues are counted on
-                    // acceptance only, so retract this one.
-                    client.give_back(rejected);
-                    self.metrics.retract_issue();
-                    self.per_client[owner].retract_issue();
+                let owner = req.client;
+                match self.interconnect.inject(req, now) {
+                    Ok(()) => {
+                        // Issues are counted on acceptance only; a bounce
+                        // is retried next cycle and counted then.
+                        self.registry.inc(ComponentId::System, Counter::Issued);
+                        self.registry
+                            .inc(ComponentId::Client(owner), Counter::Issued);
+                    }
+                    Err(rejected) => {
+                        client.give_back(rejected);
+                        self.registry.inc(ComponentId::System, Counter::Rejected);
+                        self.registry
+                            .inc(ComponentId::Client(owner), Counter::Rejected);
+                    }
                 }
             }
         }
@@ -173,19 +217,48 @@ impl<I: ?Sized + Interconnect> System<I> {
                 resp.completed_at,
                 resp.request.deadline,
             );
-            self.metrics.on_response(&resp);
-            self.per_client[resp.request.client as usize].on_response(&resp);
+            self.record_response(&resp);
         }
         self.now += 1;
+    }
+
+    /// Records a delivered response into the System aggregate and the
+    /// owning client's slice of the registry.
+    fn record_response(&mut self, response: &MemoryResponse) {
+        let latency = response.latency() as f64;
+        let blocking = response.request.blocked_cycles as f64;
+        let window = response
+            .request
+            .deadline
+            .saturating_sub(response.request.issued_at)
+            .max(1);
+        let normalized = latency / window as f64;
+        let missed = response.missed_deadline();
+        for component in [
+            ComponentId::System,
+            ComponentId::Client(response.request.client),
+        ] {
+            self.registry.inc(component, Counter::Completed);
+            self.registry
+                .sample(component, SampleKind::Latency, latency);
+            self.registry
+                .sample(component, SampleKind::Blocking, blocking);
+            self.registry
+                .sample(component, SampleKind::NormalizedResponse, normalized);
+            if missed {
+                self.registry.inc(component, Counter::Missed);
+            }
+        }
     }
 
     /// Discards all metrics collected so far (the warm-up transient) while
     /// keeping the simulation state. Subsequent metrics reflect steady
     /// state only.
     pub fn reset_metrics(&mut self) {
-        self.metrics = RunMetrics::new();
-        for m in &mut self.per_client {
-            *m = RunMetrics::new();
+        let detail = self.registry.detail();
+        self.registry = MetricsRegistry::new();
+        if detail {
+            self.registry.enable_detail();
         }
     }
 
@@ -206,15 +279,21 @@ impl<I: ?Sized + Interconnect> System<I> {
         while self.now < horizon {
             self.step();
         }
-        // Requests still queued at the clients past their deadline.
-        let mut metrics = self.metrics.clone();
+        // Requests still queued at the clients past their deadline. They
+        // land in the returned aggregate and in the registry's per-client
+        // slices (so the system-level registry counters stay a pure record
+        // of the stepped simulation, usable for further run() calls).
+        let mut metrics = RunMetrics::from_registry(&self.registry, ComponentId::System);
         for client in &mut self.clients {
             while let Some(req) = client.take() {
                 metrics.on_issued();
                 metrics.on_incomplete(req.deadline, horizon);
-                let owner = &mut self.per_client[req.client as usize];
-                owner.on_issued();
-                owner.on_incomplete(req.deadline, horizon);
+                let owner = ComponentId::Client(req.client);
+                self.registry.inc(owner, Counter::Issued);
+                self.registry.inc(owner, Counter::Backlog);
+                if req.deadline < horizon {
+                    self.registry.inc(owner, Counter::Missed);
+                }
             }
         }
         // Requests absorbed by the interconnect but not completed are
@@ -390,6 +469,67 @@ mod tests {
         // Long-run issue counts match the synchronous system's rate.
         let m = sys.run(1_000);
         assert!(m.issued() >= 4 * 9, "issued {}", m.issued());
+    }
+
+    /// Rejects every injection: exercises the Rejected accounting path.
+    struct FullInterconnect {
+        clients: usize,
+    }
+
+    impl Interconnect for FullInterconnect {
+        fn name(&self) -> &'static str {
+            "full"
+        }
+        fn num_clients(&self) -> usize {
+            self.clients
+        }
+        fn inject(&mut self, request: MemoryRequest, _now: Cycle) -> Result<(), MemoryRequest> {
+            Err(request)
+        }
+        fn step(&mut self, _now: Cycle) {}
+        fn pop_response(&mut self) -> Option<MemoryResponse> {
+            None
+        }
+        fn pending(&self) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn rejections_are_counted_but_not_issued() {
+        let ic = Box::new(FullInterconnect { clients: 2 });
+        let mut sys = System::new(ic as Box<dyn Interconnect>, &sets(2, 100, 1));
+        for _ in 0..50 {
+            sys.step();
+        }
+        let reg = sys.registry();
+        assert_eq!(reg.counter(ComponentId::System, Counter::Issued), 0);
+        assert!(reg.counter(ComponentId::System, Counter::Rejected) >= 50);
+        assert!(reg.counter(ComponentId::Client(0), Counter::Rejected) > 0);
+        // The stuck requests surface as backlog when the run closes.
+        let m = sys.run(50);
+        assert_eq!(m.backlog(), 2);
+        assert_eq!(m.issued(), 2);
+    }
+
+    #[test]
+    fn merged_registry_combines_disjoint_slices() {
+        let ic = Box::new(IdealInterconnect {
+            clients: 2,
+            queue: VecDeque::new(),
+            ready: VecDeque::new(),
+            latency: 1,
+        });
+        let mut sys = System::new(ic as Box<dyn Interconnect>, &sets(2, 100, 1));
+        sys.run(300);
+        let merged = sys.merged_registry();
+        // The test double keeps no registry, so the merge equals the
+        // harness's own slice.
+        assert_eq!(
+            merged.counter(ComponentId::System, Counter::Issued),
+            sys.registry().counter(ComponentId::System, Counter::Issued)
+        );
+        assert!(merged.counter(ComponentId::System, Counter::Completed) > 0);
     }
 
     #[test]

@@ -94,6 +94,11 @@ impl AddressMap {
         }
     }
 
+    /// Number of banks this map distributes rows across.
+    pub fn banks(&self) -> u32 {
+        self.banks
+    }
+
     /// Decodes an address into `(bank, row)`.
     pub fn decode(&self, addr: u64) -> (u32, u64) {
         let row_index = addr / self.row_bytes;

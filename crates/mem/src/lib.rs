@@ -33,6 +33,7 @@ pub mod dram;
 
 pub use dram::{AddressMap, DramConfig, PagePolicy};
 
+use bluescale_sim::metrics::{ComponentId, Counter, MetricsRegistry};
 use bluescale_sim::Cycle;
 
 /// Statistics accumulated by a [`MemoryController`] over a run.
@@ -59,6 +60,19 @@ impl ControllerStats {
             self.row_hits as f64 / self.completed as f64
         }
     }
+
+    /// Mirrors these tallies into `registry` under
+    /// [`ComponentId::Memory`]. The stats are absolute, so the registry
+    /// counters are overwritten, not incremented — calling this repeatedly
+    /// is idempotent.
+    pub fn record_into(&self, registry: &mut MetricsRegistry) {
+        let m = ComponentId::Memory;
+        registry.set_counter(m, Counter::MemAccepted, self.accepted);
+        registry.set_counter(m, Counter::MemCompleted, self.completed);
+        registry.set_counter(m, Counter::RowHits, self.row_hits);
+        registry.set_counter(m, Counter::RowMisses, self.row_misses);
+        registry.set_counter(m, Counter::BusyCycles, self.busy_cycles);
+    }
 }
 
 /// A single-channel memory controller with one request in service at a time
@@ -72,6 +86,9 @@ pub struct MemoryController<T> {
     open_rows: Vec<Option<u64>>,
     in_service: Option<InService<T>>,
     stats: ControllerStats,
+    /// Requests accepted per bank (bandwidth-accounting granularity of
+    /// per-bank regulation schemes).
+    bank_accepted: Vec<u64>,
 }
 
 #[derive(Debug, Clone)]
@@ -86,6 +103,7 @@ impl<T> MemoryController<T> {
         let address_map = AddressMap::new(&config);
         Self {
             open_rows: vec![None; config.banks as usize],
+            bank_accepted: vec![0; config.banks as usize],
             config,
             address_map,
             in_service: None,
@@ -129,6 +147,7 @@ impl<T> MemoryController<T> {
         };
         self.stats.accepted += 1;
         self.stats.busy_cycles += service;
+        self.bank_accepted[bank as usize] += 1;
         self.in_service = Some(InService {
             payload,
             done_at: now + service,
@@ -150,6 +169,28 @@ impl<T> MemoryController<T> {
     /// Run statistics so far.
     pub fn stats(&self) -> ControllerStats {
         self.stats
+    }
+
+    /// Requests accepted per bank so far.
+    pub fn bank_accepted(&self) -> &[u64] {
+        &self.bank_accepted
+    }
+
+    /// Mirrors controller statistics into `registry`: the scalar tallies
+    /// under [`ComponentId::Memory`] and per-bank accept counts under
+    /// [`ComponentId::Bank`]. Absolute values (idempotent; see
+    /// [`ControllerStats::record_into`]).
+    pub fn record_metrics(&self, registry: &mut MetricsRegistry) {
+        self.stats.record_into(registry);
+        for (bank, &accepted) in self.bank_accepted.iter().enumerate() {
+            if accepted > 0 {
+                registry.set_counter(
+                    ComponentId::Bank(bank as u32),
+                    Counter::MemAccepted,
+                    accepted,
+                );
+            }
+        }
     }
 }
 
@@ -254,6 +295,35 @@ mod tests {
         assert_eq!(mc.accept(2, 0x8, 100), 8);
         let _ = mc.poll_complete(200).unwrap();
         assert_eq!(mc.stats().row_hits, 0);
+    }
+
+    #[test]
+    fn bank_counts_and_registry_mirror() {
+        let cfg = DramConfig {
+            banks: 4,
+            row_bytes: 1024,
+            ..uniform(2)
+        };
+        let mut mc: MemoryController<u32> = MemoryController::new(cfg);
+        let mut now = 0;
+        // Rows 0..4 interleave across the four banks; row 4 wraps to bank 0.
+        for i in 0..5u64 {
+            mc.accept(i as u32, i * 1024, now);
+            now += 2;
+            assert!(mc.poll_complete(now).is_some());
+        }
+        assert_eq!(mc.bank_accepted(), &[2, 1, 1, 1]);
+
+        let mut reg = MetricsRegistry::new();
+        mc.record_metrics(&mut reg);
+        assert_eq!(reg.counter(ComponentId::Memory, Counter::MemAccepted), 5);
+        assert_eq!(reg.counter(ComponentId::Memory, Counter::MemCompleted), 5);
+        assert_eq!(reg.counter(ComponentId::Memory, Counter::BusyCycles), 10);
+        assert_eq!(reg.counter(ComponentId::Bank(0), Counter::MemAccepted), 2);
+        assert_eq!(reg.counter(ComponentId::Bank(3), Counter::MemAccepted), 1);
+        // Absolute mirroring is idempotent.
+        mc.record_metrics(&mut reg);
+        assert_eq!(reg.counter(ComponentId::Memory, Counter::MemAccepted), 5);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use crate::mesh::{Mesh, MeshConfig, NodeId, Packet};
 use bluescale_interconnect::{Interconnect, MemoryRequest, MemoryResponse, ServiceEvent};
 use bluescale_mem::{DramConfig, MemoryController};
+use bluescale_sim::metrics::{ComponentId, Counter, MetricsRegistry};
 use bluescale_sim::Cycle;
 use std::collections::VecDeque;
 
@@ -36,6 +37,7 @@ pub struct NocMemoryInterconnect {
     controller: MemoryController<MemoryRequest>,
     ready: VecDeque<MemoryResponse>,
     service_events: VecDeque<ServiceEvent>,
+    metrics: MetricsRegistry,
 }
 
 impl NocMemoryInterconnect {
@@ -74,7 +76,14 @@ impl NocMemoryInterconnect {
             controller: MemoryController::new(dram),
             ready: VecDeque::new(),
             service_events: VecDeque::new(),
+            metrics: MetricsRegistry::new(),
         }
+    }
+
+    /// Read access to the interconnect's registry (memory-controller
+    /// tallies are refreshed on [`Interconnect::metrics_mut`], not here).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// The mesh node hosting `client`.
@@ -98,8 +107,9 @@ impl Interconnect for NocMemoryInterconnect {
         self.client_nodes.len()
     }
 
-    fn inject(&mut self, request: MemoryRequest, _now: Cycle) -> Result<(), MemoryRequest> {
+    fn inject(&mut self, request: MemoryRequest, now: Cycle) -> Result<(), MemoryRequest> {
         let node = self.client_nodes[request.client as usize];
+        let (id, client) = (request.id, request.client);
         self.mesh
             .inject(
                 node,
@@ -108,12 +118,18 @@ impl Interconnect for NocMemoryInterconnect {
                     payload: request,
                 },
             )
-            .map_err(|p| p.payload)
+            .map_err(|p| p.payload)?;
+        self.metrics
+            .inc(ComponentId::Client(client), Counter::Enqueued);
+        self.metrics
+            .request_enqueued(now, id, client, ComponentId::Client(client));
+        Ok(())
     }
 
     fn step(&mut self, now: Cycle) {
         // Memory completions become outbound response packets.
         if let Some(done) = self.controller.poll_complete(now) {
+            self.metrics.request_mem_complete(now, done.id);
             self.outbound.push_back(done);
         }
         // Feed the controller from arrived requests.
@@ -121,7 +137,9 @@ impl Interconnect for NocMemoryInterconnect {
             if let Some(req) = self.at_memory.pop_front() {
                 let addr = req.addr;
                 let deadline = req.deadline;
+                let id = req.id;
                 let duration = self.controller.accept(req, addr, now);
+                self.metrics.request_mem_issue(now, id, duration);
                 self.service_events.push_back(ServiceEvent {
                     at: now,
                     deadline,
@@ -153,6 +171,7 @@ impl Interconnect for NocMemoryInterconnect {
         }
         for &node in &self.client_nodes {
             while let Some(p) = self.mesh.take_delivered(node) {
+                self.metrics.request_completed(now, p.payload.id);
                 self.ready.push_back(MemoryResponse {
                     request: p.payload,
                     completed_at: now,
@@ -175,6 +194,15 @@ impl Interconnect for NocMemoryInterconnect {
             + self.outbound.len()
             + usize::from(!self.controller.can_accept())
             + self.ready.len()
+    }
+
+    fn metrics(&self) -> Option<&MetricsRegistry> {
+        Some(&self.metrics)
+    }
+
+    fn metrics_mut(&mut self) -> Option<&mut MetricsRegistry> {
+        self.controller.record_metrics(&mut self.metrics);
+        Some(&mut self.metrics)
     }
 }
 
@@ -245,6 +273,38 @@ mod tests {
         }
         assert_eq!(done, 64);
         assert_eq!(noc.pending(), 0);
+    }
+
+    #[test]
+    fn metrics_track_enqueues_and_lifecycle() {
+        use bluescale_sim::metrics::SampleKind;
+
+        let mut noc = NocMemoryInterconnect::new(16, 3);
+        Interconnect::metrics_mut(&mut noc)
+            .expect("noc keeps a registry")
+            .enable_detail();
+        noc.inject(req(5, 9, 10_000), 0).unwrap();
+        for now in 0..200 {
+            noc.step(now);
+            if noc.pop_response().is_some() {
+                break;
+            }
+        }
+        let reg = Interconnect::metrics_mut(&mut noc).unwrap();
+        assert_eq!(reg.counter(ComponentId::Client(5), Counter::Enqueued), 1);
+        // Controller tallies were mirrored on metrics_mut().
+        assert_eq!(reg.counter(ComponentId::Memory, Counter::MemAccepted), 1);
+        // The lifecycle closed with a breakdown: no grant stage on a mesh
+        // (queueing stays 0), but transit and service are visible.
+        assert_eq!(reg.inflight(), 0);
+        let service = reg
+            .samples(ComponentId::Client(5), SampleKind::Service)
+            .expect("service stage recorded");
+        assert_eq!(service.as_slice(), &[3.0]);
+        let transit = reg
+            .samples(ComponentId::Client(5), SampleKind::NocTransit)
+            .expect("transit stage recorded");
+        assert!(transit.as_slice()[0] >= 1.0, "mesh hops take cycles");
     }
 
     #[test]

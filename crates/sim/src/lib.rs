@@ -10,6 +10,9 @@
 //! * [`stats`] — online statistics (Welford mean/variance) and sample-based
 //!   percentile summaries used to report latency distributions.
 //! * [`trace`] — an optional bounded event trace for debugging schedules.
+//! * [`metrics`] — a typed observability registry (counters, gauges,
+//!   distributions, events, per-request latency breakdowns) shared by every
+//!   interconnect model and consumed by the benches.
 //!
 //! # Example
 //!
@@ -29,6 +32,7 @@
 
 #![warn(missing_docs)]
 
+pub mod metrics;
 pub mod rng;
 pub mod stats;
 pub mod trace;

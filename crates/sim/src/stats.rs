@@ -22,13 +22,22 @@
 /// assert!((s.mean() - 5.0).abs() < 1e-12);
 /// assert!((s.population_variance() - 4.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OnlineStats {
     count: u64,
     mean: f64,
     m2: f64,
     min: f64,
     max: f64,
+}
+
+// Deliberately NOT derived: the derive would zero `min`/`max`, clamping
+// `min()` to ≤ 0 for all-positive data (and `max()` to ≥ 0 for all-negative
+// data) on any default-constructed accumulator.
+impl Default for OnlineStats {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl OnlineStats {
@@ -101,6 +110,11 @@ impl OnlineStats {
     }
 
     /// Merges another accumulator into this one (parallel Welford merge).
+    ///
+    /// Empty sides contribute nothing: merging an empty `other` is a no-op
+    /// and merging into an empty `self` copies `other` wholesale, so the
+    /// `±INFINITY` sentinels of an empty accumulator never leak into
+    /// `min()`/`max()` of the result.
     pub fn merge(&mut self, other: &OnlineStats) {
         if other.count == 0 {
             return;
@@ -128,7 +142,7 @@ impl OnlineStats {
 /// use bluescale_sim::stats::Samples;
 ///
 /// let mut s: Samples = (1..=100).map(|x| x as f64).collect();
-/// assert_eq!(s.percentile(50.0), Some(51.0));
+/// assert_eq!(s.percentile(50.0), Some(50.0));
 /// assert_eq!(s.percentile(99.0), Some(99.0));
 /// ```
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -168,7 +182,10 @@ impl Samples {
         }
     }
 
-    /// The `p`-th percentile (0..=100) using nearest-rank interpolation;
+    /// The `p`-th percentile (0..=100) using the nearest-rank method:
+    /// the smallest observation such that at least `p`% of the data is
+    /// less than or equal to it (`rank = ⌈p/100 · n⌉`, with `p = 0`
+    /// mapping to the minimum). Always returns an actual observation;
     /// `None` when empty.
     ///
     /// # Panics
@@ -181,8 +198,10 @@ impl Samples {
         }
         self.ensure_sorted();
         let n = self.values.len();
-        let rank = (p / 100.0 * (n - 1) as f64).round() as usize;
-        Some(self.values[rank.min(n - 1)])
+        // Multiply before dividing so exact cases (e.g. p=7, n=100) don't
+        // pick up a ULP of error and ceil to the wrong rank.
+        let rank = (p * n as f64 / 100.0).ceil() as usize;
+        Some(self.values[rank.clamp(1, n) - 1])
     }
 
     /// Maximum observation; `None` when empty.
@@ -309,6 +328,82 @@ mod tests {
     }
 
     #[test]
+    fn online_default_matches_new() {
+        // Regression: the old `#[derive(Default)]` zeroed min/max, so a
+        // default-constructed accumulator reported min() ≤ 0 for
+        // all-positive data.
+        assert_eq!(OnlineStats::default(), OnlineStats::new());
+        let mut s = OnlineStats::default();
+        s.push(5.0);
+        s.push(9.0);
+        assert_eq!(s.min(), Some(5.0));
+        assert_eq!(s.max(), Some(9.0));
+        let mut neg = OnlineStats::default();
+        neg.push(-3.0);
+        assert_eq!(neg.max(), Some(-3.0));
+    }
+
+    #[test]
+    fn online_merge_empty_sides_preserve_min_max() {
+        // Empty-other: no-op, including the sentinels.
+        let mut a = OnlineStats::default();
+        a.push(2.0);
+        a.push(8.0);
+        a.merge(&OnlineStats::default());
+        assert_eq!((a.min(), a.max()), (Some(2.0), Some(8.0)));
+        // Empty-self: wholesale copy, no 0.0 or ±INFINITY leakage.
+        let mut b = OnlineStats::default();
+        b.merge(&a);
+        assert_eq!((b.min(), b.max()), (Some(2.0), Some(8.0)));
+        assert_eq!(b.count(), 2);
+        // Empty-empty: still empty.
+        let mut e = OnlineStats::default();
+        e.merge(&OnlineStats::default());
+        assert_eq!(e.min(), None);
+        assert_eq!(e.max(), None);
+    }
+
+    #[test]
+    fn online_merge_matches_sequential_property_sweep() {
+        use crate::rng::SimRng;
+
+        let mut rng = SimRng::seed_from(0xB1E5_CA1E);
+        for case in 0..64 {
+            let n = rng.range_usize(0, 40);
+            let split = if n == 0 { 0 } else { rng.range_usize(0, n) };
+            let data: Vec<f64> = (0..n).map(|_| rng.range_f64(-50.0, 50.0)).collect();
+
+            let mut whole = OnlineStats::default();
+            for &x in &data {
+                whole.push(x);
+            }
+            let mut left = OnlineStats::default();
+            let mut right = OnlineStats::default();
+            for &x in &data[..split] {
+                left.push(x);
+            }
+            for &x in &data[split..] {
+                right.push(x);
+            }
+            left.merge(&right);
+
+            assert_eq!(left.count(), whole.count(), "case {case}: count");
+            assert!(
+                (left.mean() - whole.mean()).abs() < 1e-9,
+                "case {case}: mean {} vs {}",
+                left.mean(),
+                whole.mean()
+            );
+            assert!(
+                (left.population_variance() - whole.population_variance()).abs() < 1e-9,
+                "case {case}: variance"
+            );
+            assert_eq!(left.min(), whole.min(), "case {case}: min");
+            assert_eq!(left.max(), whole.max(), "case {case}: max");
+        }
+    }
+
+    #[test]
     fn samples_percentiles() {
         let mut s: Samples = (1..=101).map(|x| x as f64).collect();
         assert_eq!(s.percentile(0.0), Some(1.0));
@@ -316,6 +411,66 @@ mod tests {
         assert_eq!(s.percentile(100.0), Some(101.0));
         assert_eq!(s.min(), Some(1.0));
         assert_eq!(s.max(), Some(101.0));
+    }
+
+    #[test]
+    fn samples_percentile_nearest_rank_table() {
+        // (data, p, expected) — hand-computed nearest-rank values.
+        let cases: &[(&[f64], f64, f64)] = &[
+            // Single sample: every percentile is that sample.
+            (&[7.0], 0.0, 7.0),
+            (&[7.0], 50.0, 7.0),
+            (&[7.0], 100.0, 7.0),
+            // Two samples: the median is the FIRST order statistic
+            // (⌈0.5·2⌉ = 1); the old round((n-1)·p) formula returned 9.
+            (&[3.0, 9.0], 50.0, 3.0),
+            (&[3.0, 9.0], 50.1, 9.0),
+            (&[3.0, 9.0], 0.0, 3.0),
+            (&[3.0, 9.0], 100.0, 9.0),
+            // Four samples: p25 → rank 1, p75 → rank 3.
+            (&[1.0, 2.0, 3.0, 4.0], 25.0, 1.0),
+            (&[1.0, 2.0, 3.0, 4.0], 75.0, 3.0),
+            (&[1.0, 2.0, 3.0, 4.0], 75.1, 4.0),
+            // Duplicate-heavy vector: ranks land inside the duplicate runs.
+            (
+                &[1.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 9.0],
+                10.0,
+                1.0,
+            ),
+            (
+                &[1.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 9.0],
+                50.0,
+                5.0,
+            ),
+            (
+                &[1.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 9.0],
+                90.0,
+                5.0,
+            ),
+            (
+                &[1.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 5.0, 9.0],
+                91.0,
+                9.0,
+            ),
+            // All-equal values: any percentile is the value.
+            (&[4.0, 4.0, 4.0], 0.0, 4.0),
+            (&[4.0, 4.0, 4.0], 100.0, 4.0),
+        ];
+        for &(data, p, expected) in cases {
+            let mut s: Samples = data.iter().copied().collect();
+            assert_eq!(
+                s.percentile(p),
+                Some(expected),
+                "percentile({p}) of {data:?}"
+            );
+        }
+        let mut s: Samples = (1..=100).map(|x| x as f64).collect();
+        for k in 1..=100u32 {
+            assert_eq!(s.percentile(k as f64), Some(k as f64), "p{k} of 1..=100");
+        }
+        assert_eq!(s.percentile(0.0), Some(1.0));
+        // Percentiles are always actual observations (order statistics).
+        assert_eq!(s.percentile(99.5), Some(100.0));
     }
 
     #[test]

@@ -73,12 +73,12 @@ impl Tracer {
     }
 
     /// Records an event if tracing is enabled, evicting the oldest event
-    /// when the buffer is full.
+    /// when the buffer is full. A capacity-0 tracer retains nothing.
     pub fn record(&mut self, at: Cycle, source: &str, message: impl Into<String>) {
-        if !self.enabled {
+        if !self.enabled || self.capacity == 0 {
             return;
         }
-        if self.events.len() == self.capacity {
+        while self.events.len() >= self.capacity {
             self.events.pop_front();
         }
         self.events.push_back(TraceEvent {
@@ -131,6 +131,32 @@ mod tests {
         assert_eq!(evs.len(), 3);
         assert_eq!(evs[0].at, 7);
         assert_eq!(evs[2].at, 9);
+    }
+
+    #[test]
+    fn capacity_zero_retains_nothing() {
+        // Regression: the old `len == capacity` eviction check was only
+        // true before the first push, so a capacity-0 tracer grew without
+        // bound instead of retaining nothing.
+        let mut t = Tracer::with_capacity(0);
+        t.enable();
+        for i in 0..100 {
+            t.record(i, "s", "e");
+        }
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn capacity_one_keeps_only_newest() {
+        let mut t = Tracer::with_capacity(1);
+        t.enable();
+        for i in 0..10 {
+            t.record(i, "s", format!("e{i}"));
+        }
+        let evs = t.events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].at, 9);
+        assert_eq!(evs[0].message, "e9");
     }
 
     #[test]

@@ -19,4 +19,7 @@ cargo test -q
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "==> metrics overhead smoke check"
+cargo run --release -q -p bluescale-bench --bin metrics_overhead
+
 echo "All checks passed."
