@@ -1,0 +1,106 @@
+//! Fast fault-injection smoke check for `scripts/check.sh`.
+//!
+//! Drives one BlueScale system through all five fault classes at once
+//! with the guard layer fully armed, then asserts request conservation:
+//! every accepted request either completed exactly once, never left the
+//! client backlog, or is still tracked as guard-outstanding (in flight
+//! or lost past the retry limit). Exits non-zero on violation.
+//!
+//! Usage: `cargo run --release -p bluescale-bench --bin fault_smoke`
+
+use bluescale::{BlueScaleConfig, BlueScaleInterconnect};
+use bluescale_interconnect::guard::{GuardConfig, QuarantinePolicy, WatchdogConfig};
+use bluescale_interconnect::system::System;
+use bluescale_sim::fault::{FaultKind, FaultPlan, FaultWindow};
+use bluescale_sim::metrics::{ComponentId, Counter};
+use bluescale_sim::rng::SimRng;
+use bluescale_workload::synthetic::{generate, SyntheticConfig};
+
+const SEED: u64 = 0x0051_40CE;
+const HORIZON: u64 = 6_000;
+
+fn main() {
+    let mut rng = SimRng::seed_from(SEED);
+    let sets = generate(&SyntheticConfig::fig6(16), &mut rng);
+    let mut config = BlueScaleConfig::for_clients(sets.len());
+    config.work_conserving = true;
+    let ic = BlueScaleInterconnect::new(config, &sets).expect("valid workload");
+    let mut sys = System::new(Box::new(ic), &sets);
+
+    let mut plan = FaultPlan::new(SEED);
+    plan.push(
+        FaultKind::RogueDemand {
+            client: 0,
+            factor: 4,
+        },
+        FaultWindow::new(500, 3_000),
+    )
+    .push(
+        FaultKind::RequestBurst {
+            client: 2,
+            requests: 24,
+        },
+        FaultWindow::new(1_000, 1_001),
+    )
+    .push(
+        FaultKind::StuckGrant {
+            depth: 1,
+            order: 1,
+            port: 0,
+        },
+        FaultWindow::new(1_500, 1_700),
+    )
+    .push(
+        FaultKind::DramJitter {
+            bank: 0,
+            max_extra_cycles: 4,
+        },
+        FaultWindow::new(0, 4_000),
+    )
+    .push(
+        FaultKind::DropResponse {
+            client: 3,
+            every: 2,
+        },
+        FaultWindow::new(0, 4_000),
+    );
+    sys.set_fault_plan(plan);
+    sys.set_guards(GuardConfig {
+        deadline_miss_detection: true,
+        watchdog: Some(WatchdogConfig {
+            timeout: 256,
+            max_retries: 3,
+        }),
+        quarantine: Some(QuarantinePolicy {
+            miss_threshold: 1_000_000,
+        }),
+    });
+
+    let total = sys.run(HORIZON);
+    let outstanding = sys.guard_outstanding() as u64;
+    let merged = sys.merged_registry();
+    let injected = merged.counter(ComponentId::System, Counter::FaultsInjected);
+    let dropped = merged.counter(ComponentId::System, Counter::ResponsesDropped);
+    let retries = merged.counter(ComponentId::System, Counter::Retries);
+
+    println!(
+        "fault smoke: issued={} completed={} backlog={} outstanding={} \
+         faults_injected={} dropped={} retries={}",
+        total.issued(),
+        total.completed(),
+        total.backlog(),
+        outstanding,
+        injected,
+        dropped,
+        retries,
+    );
+
+    assert!(injected > 0, "fault plan never fired");
+    assert!(dropped > 0, "drop-response fault never fired");
+    assert_eq!(
+        total.issued(),
+        total.completed() + total.backlog() + outstanding,
+        "request conservation violated: issued != completed + backlog + outstanding"
+    );
+    println!("fault smoke: conservation holds");
+}

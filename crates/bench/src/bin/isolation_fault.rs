@@ -1,0 +1,31 @@
+//! Runs the fault-injection isolation extension: BlueScale (strict
+//! gating, guards on) under every fault class, asserting that non-faulted
+//! clients stay miss-free and within their normalized WCRT bound.
+//!
+//! Usage:
+//! `cargo run --release -p bluescale-bench --bin isolation_fault -- [--clients N] [--horizon N] [--seed N] [--json DIR]`
+//!
+//! With `--json DIR`, a metrics snapshot `isolation_fault_metrics.json`
+//! is written (series 0 = fault-free control, then one series per
+//! `FaultClass::ALL` entry in order).
+
+use bluescale_bench::isolation_fault::{render, run_with_registry, IsolationFaultConfig};
+use bluescale_bench::{arg_u64, arg_usize, arg_value, export};
+use std::path::Path;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut config = IsolationFaultConfig::default();
+    config.clients = arg_usize(&args, "--clients", config.clients);
+    config.horizon = arg_u64(&args, "--horizon", config.horizon);
+    config.seed = arg_u64(&args, "--seed", config.seed);
+    let (rows, mut registry) = run_with_registry(&config);
+    println!("{}", render(&config, &rows));
+    if let Some(dir) = arg_value(&args, "--json") {
+        let path = Path::new(&dir).join("isolation_fault_metrics.json");
+        match export::write_snapshot(&path, &mut registry) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+        }
+    }
+}

@@ -14,6 +14,7 @@
 //! | Scheduling scalability sweep (extension) | [`scalability`] | `... --bin scalability` |
 //! | Worst-case vs average latency (extension) | [`wcrt`] | `... --bin wcrt` |
 //! | Temporal isolation vs a rogue client (extension) | [`isolation`] | `... --bin isolation` |
+//! | Isolation under fault injection (extension) | [`isolation_fault`] | `... --bin isolation_fault` |
 //! | Reconfiguration cost per task change (extension) | [`reconfig`] | `... --bin reconfig` |
 //! | Analytic admission-rate curve (extension) | [`admission`] | `... --bin admission` |
 //! | Hierarchical EDP laxity sweep (extension) | [`edp_sweep`] | `... --bin edp_sweep` |
@@ -34,6 +35,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod interface_selection;
 pub mod isolation;
+pub mod isolation_fault;
 pub mod reconfig;
 pub mod runner;
 pub mod scalability;

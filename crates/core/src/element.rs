@@ -161,7 +161,31 @@ impl ScaleElement {
         provider_ready: bool,
         metrics: &mut MetricsRegistry,
     ) -> Option<MemoryRequest> {
-        let pending: Vec<bool> = self.buffers.iter().map(|b| !b.is_empty()).collect();
+        self.step_masked(now, provider_ready, metrics, None)
+    }
+
+    /// Like [`step`](Self::step), but ports flagged in `stuck` are hidden
+    /// from the scheduler this cycle — their buffered requests are not
+    /// eligible for a grant, as if the grant port's handshake were held
+    /// low. This is the fault layer's stuck-grant hook; `None` is the
+    /// healthy path and behaves exactly like [`step`](Self::step).
+    /// Masked-out ports still accrue blocking charges and their servers
+    /// still tick, so time advances uniformly.
+    pub fn step_masked(
+        &mut self,
+        now: Cycle,
+        provider_ready: bool,
+        metrics: &mut MetricsRegistry,
+        stuck: Option<&[bool]>,
+    ) -> Option<MemoryRequest> {
+        let pending: Vec<bool> = self
+            .buffers
+            .iter()
+            .enumerate()
+            .map(|(p, b)| {
+                !b.is_empty() && stuck.is_none_or(|m| !m.get(p).copied().unwrap_or(false))
+            })
+            .collect();
         let any_pending = pending.iter().any(|&p| p);
         let mut granted = None;
         if provider_ready {

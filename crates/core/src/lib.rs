@@ -45,5 +45,5 @@ pub mod scheduler;
 pub mod selector;
 pub mod topology;
 
-pub use network::{BlueScaleInterconnect, BuildError, CompositionReport};
+pub use network::{BlueScaleInterconnect, BuildError, CompositionReport, InjectError};
 pub use topology::BlueScaleConfig;

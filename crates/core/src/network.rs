@@ -20,7 +20,8 @@ use bluescale_mem::{DramConfig, MemoryController};
 use bluescale_rt::supply::PeriodicResource;
 use bluescale_rt::task::TaskSet;
 use bluescale_rt::Error as RtError;
-use bluescale_sim::metrics::{ComponentId, Counter, MetricsRegistry};
+use bluescale_sim::fault::{FaultKind, FaultPlan};
+use bluescale_sim::metrics::{ComponentId, Counter, Event, MetricsRegistry};
 use bluescale_sim::Cycle;
 use std::collections::VecDeque;
 use std::fmt;
@@ -43,6 +44,17 @@ pub enum BuildError {
     /// The analysis rejected the task parameters outright (invalid task,
     /// duplicate ids).
     Analysis(RtError),
+    /// Restoring the previous task set after a rejected admission failed;
+    /// the affected request path may be left with fallback interfaces.
+    /// Should be unreachable (the previous set was valid when installed)
+    /// but is reported instead of panicking so a runtime manager can
+    /// re-run admission.
+    RollbackFailed {
+        /// Client whose revert failed.
+        client: usize,
+        /// The underlying failure.
+        source: Box<BuildError>,
+    },
 }
 
 impl fmt::Display for BuildError {
@@ -55,6 +67,9 @@ impl fmt::Display for BuildError {
                 write!(f, "client {client} out of range")
             }
             BuildError::Analysis(e) => write!(f, "analysis error: {e}"),
+            BuildError::RollbackFailed { client, source } => {
+                write!(f, "rollback for client {client} failed: {source}")
+            }
         }
     }
 }
@@ -63,6 +78,7 @@ impl std::error::Error for BuildError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             BuildError::Analysis(e) => Some(e),
+            BuildError::RollbackFailed { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -73,6 +89,55 @@ impl From<RtError> for BuildError {
         BuildError::Analysis(e)
     }
 }
+
+/// Errors raised when offering a request to the interconnect. Unlike the
+/// [`Interconnect::inject`] trait method — which can only hand the request
+/// back — these distinguish a transient full buffer from a malformed
+/// request that no amount of retrying will fix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InjectError {
+    /// The request names a client port this interconnect does not have.
+    UnknownClient {
+        /// The out-of-range client id carried by the request.
+        client: u16,
+        /// How many client ports the interconnect has.
+        num_clients: usize,
+        /// The rejected request.
+        request: MemoryRequest,
+    },
+    /// The client's leaf port buffer is full this cycle (retry later).
+    PortFull(MemoryRequest),
+}
+
+impl InjectError {
+    /// Recovers the rejected request (for re-queueing or logging).
+    pub fn into_request(self) -> MemoryRequest {
+        match self {
+            InjectError::UnknownClient { request, .. } => request,
+            InjectError::PortFull(request) => request,
+        }
+    }
+}
+
+impl fmt::Display for InjectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InjectError::UnknownClient {
+                client,
+                num_clients,
+                ..
+            } => write!(
+                f,
+                "request for unknown client {client} (interconnect has {num_clients} ports)"
+            ),
+            InjectError::PortFull(request) => {
+                write!(f, "client {} port full this cycle", request.client)
+            }
+        }
+    }
+}
+
+impl std::error::Error for InjectError {}
 
 /// Result of resolving all interface-selection problems over the tree.
 #[derive(Debug, Clone)]
@@ -113,6 +178,10 @@ pub struct BlueScaleInterconnect {
     /// bandwidth selection succeeded there (false = fallback interfaces).
     se_analysis_ok: Vec<Vec<bool>>,
     metrics: MetricsRegistry,
+    /// Interconnect-side fault plan (stuck grant ports, DRAM jitter,
+    /// dropped responses). Empty by default, keeping `step` on the exact
+    /// fault-free code path.
+    faults: FaultPlan,
 }
 
 impl BlueScaleInterconnect {
@@ -185,6 +254,7 @@ impl BlueScaleInterconnect {
                 .map(|d| vec![true; config.elements_at(d)])
                 .collect(),
             metrics: MetricsRegistry::new(),
+            faults: FaultPlan::default(),
             composition: CompositionReport {
                 schedulable: false,
                 analysis_ok: false,
@@ -344,7 +414,8 @@ impl BlueScaleInterconnect {
     ///
     /// Returns [`BuildError::UnknownClient`] or [`BuildError::Analysis`]
     /// for malformed inputs (the configuration is untouched in both
-    /// cases).
+    /// cases), or [`BuildError::RollbackFailed`] if restoring the
+    /// previous set after a rejection failed.
     pub fn admit_client_tasks(
         &mut self,
         client: usize,
@@ -358,10 +429,82 @@ impl BlueScaleInterconnect {
         if report.schedulable {
             return Ok(true);
         }
-        // Roll back: the previous set was valid, so the revert succeeds.
-        self.update_client_tasks(client, previous)
-            .expect("reverting to the previous task set always succeeds");
+        // Roll back: the previous set was valid when installed, so the
+        // revert is expected to succeed — but surface a failure as an
+        // error rather than a panic.
+        if let Err(e) = self.update_client_tasks(client, previous) {
+            return Err(BuildError::RollbackFailed {
+                client,
+                source: Box::new(e),
+            });
+        }
         Ok(false)
+    }
+
+    /// Offers a request at its client's port, with typed rejection: a
+    /// transiently full buffer ([`InjectError::PortFull`]) is
+    /// distinguished from a malformed request naming a nonexistent client
+    /// ([`InjectError::UnknownClient`]), which retrying can never fix.
+    /// The [`Interconnect::inject`] trait method routes through here, so
+    /// a malformed request bounces as an error instead of panicking on an
+    /// out-of-range attach point.
+    ///
+    /// # Errors
+    ///
+    /// See above; the rejected request is recoverable from either variant
+    /// via [`InjectError::into_request`].
+    pub fn try_inject(&mut self, request: MemoryRequest, now: Cycle) -> Result<(), InjectError> {
+        if request.client as usize >= self.config.num_clients {
+            return Err(InjectError::UnknownClient {
+                client: request.client,
+                num_clients: self.config.num_clients,
+                request,
+            });
+        }
+        let levels = self.config.levels();
+        let (order, port) = self.config.attach_point(request.client as usize);
+        let (id, client) = (request.id, request.client);
+        self.elements[levels - 1][order]
+            .try_accept(port, request)
+            .map_err(InjectError::PortFull)?;
+        self.metrics
+            .inc(ComponentId::Client(client), Counter::Enqueued);
+        self.metrics.request_enqueued(
+            now,
+            id,
+            client,
+            ComponentId::Se {
+                depth: levels - 1,
+                order,
+            },
+        );
+        Ok(())
+    }
+
+    /// Emits one fault-activation event (plus counters) per
+    /// interconnect-side fault window that opens this cycle. Per-cycle
+    /// fault activity (masked grants, stretched service) is tallied at
+    /// the affected component as it happens.
+    fn announce_faults(&mut self, now: Cycle) {
+        for spec in self.faults.specs() {
+            if spec.window.start != now || !spec.window.contains(now) {
+                continue;
+            }
+            let component = match spec.kind {
+                FaultKind::StuckGrant { depth, order, .. } => ComponentId::Se { depth, order },
+                FaultKind::DramJitter { bank, .. } => ComponentId::Bank(bank),
+                FaultKind::DropResponse { client, .. } => ComponentId::Client(client),
+                // Client-side faults are announced by the harness.
+                FaultKind::RogueDemand { .. } | FaultKind::RequestBurst { .. } => continue,
+            };
+            self.metrics.record(
+                now,
+                Event::FaultInjected {
+                    component,
+                    class: spec.kind.class(),
+                },
+            );
+        }
     }
 
     fn bandwidth_sum(interfaces: &[Option<PeriodicResource>]) -> f64 {
@@ -476,25 +619,30 @@ impl Interconnect for BlueScaleInterconnect {
     }
 
     fn inject(&mut self, request: MemoryRequest, now: Cycle) -> Result<(), MemoryRequest> {
-        let levels = self.config.levels();
-        let (order, port) = self.config.attach_point(request.client as usize);
-        let (id, client) = (request.id, request.client);
-        self.elements[levels - 1][order].try_accept(port, request)?;
-        self.metrics
-            .inc(ComponentId::Client(client), Counter::Enqueued);
-        self.metrics.request_enqueued(
-            now,
-            id,
-            client,
-            ComponentId::Se {
-                depth: levels - 1,
-                order,
-            },
-        );
-        Ok(())
+        self.try_inject(request, now)
+            .map_err(InjectError::into_request)
+    }
+
+    fn install_fault_plan(&mut self, plan: &FaultPlan) {
+        let mut plan = plan.clone();
+        plan.reset_state();
+        self.faults = plan;
+    }
+
+    fn demote_client(&mut self, client: u16) -> bool {
+        // Best-effort demotion: clear the client's declared tasks, which
+        // re-runs interface selection along its request path and leaves
+        // its leaf port without a reserved interface. In work-conserving
+        // mode the client still drains on slack cycles.
+        self.update_client_tasks(client as usize, TaskSet::empty())
+            .is_ok()
     }
 
     fn step(&mut self, now: Cycle) {
+        let have_faults = !self.faults.is_empty();
+        if have_faults {
+            self.announce_faults(now);
+        }
         // 1. Response path: each SE's demultiplexer routes one response per
         //    cycle toward its client. Leaves deliver first (bottom-up), so
         //    a response advances exactly one level per cycle.
@@ -530,16 +678,64 @@ impl Interconnect for BlueScaleInterconnect {
                 }
             }
         }
-        // 2. Memory completions enter the root's demultiplexer.
+        // 2. Memory completions enter the root's demultiplexer — unless a
+        //    drop-response fault swallows the completion on the way back
+        //    (models a corrupted/lost response beat; the request is gone
+        //    until a guard-layer watchdog re-issues it).
         if let Some(done) = self.controller.poll_complete(now) {
-            self.metrics.request_mem_complete(now, done.id);
-            self.elements[0][0].accept_response(done);
+            if have_faults && self.faults.should_drop_response(done.client, now) {
+                self.metrics
+                    .inc(ComponentId::System, Counter::FaultsInjected);
+                self.metrics
+                    .inc(ComponentId::System, Counter::ResponsesDropped);
+                self.metrics
+                    .inc(ComponentId::Client(done.client), Counter::ResponsesDropped);
+                self.metrics.record(
+                    now,
+                    Event::ResponseDropped {
+                        client: done.client,
+                        request: done.id,
+                    },
+                );
+            } else {
+                self.metrics.request_mem_complete(now, done.id);
+                self.elements[0][0].accept_response(done);
+            }
         }
-        // 3. Root arbitration feeds the memory controller.
+        // 3. Root arbitration feeds the memory controller. A stuck-grant
+        //    fault hides the affected port from the scheduler; a DRAM
+        //    jitter fault stretches the granted request's service time.
         let root_ready = self.controller.can_accept();
-        if let Some(request) = self.elements[0][0].step(now, root_ready, &mut self.metrics) {
+        let granted = if have_faults {
+            let mask = self.faults.stuck_mask(0, 0, self.config.branch, now);
+            if mask.is_some() {
+                self.metrics
+                    .inc(ComponentId::System, Counter::FaultsInjected);
+                self.metrics.inc(
+                    ComponentId::Se { depth: 0, order: 0 },
+                    Counter::FaultsInjected,
+                );
+            }
+            self.elements[0][0].step_masked(now, root_ready, &mut self.metrics, mask.as_deref())
+        } else {
+            self.elements[0][0].step(now, root_ready, &mut self.metrics)
+        };
+        if let Some(request) = granted {
             let (id, addr, deadline) = (request.id, request.addr, request.deadline);
-            let duration = self.controller.accept(request, addr, now);
+            let extra = if have_faults {
+                let (bank, _) = self.controller.decode(addr);
+                let extra = self.faults.dram_jitter(bank, now);
+                if extra > 0 {
+                    self.metrics
+                        .inc(ComponentId::System, Counter::FaultsInjected);
+                    self.metrics
+                        .inc(ComponentId::Bank(bank), Counter::FaultsInjected);
+                }
+                extra
+            } else {
+                0
+            };
+            let duration = self.controller.accept_with_extra(request, addr, now, extra);
             self.metrics.request_mem_issue(now, id, duration);
             self.service_events.push_back(ServiceEvent {
                 at: now,
@@ -555,7 +751,21 @@ impl Interconnect for BlueScaleInterconnect {
                 let parent = &mut parents[order / self.config.branch];
                 let port = order % self.config.branch;
                 let ready = parent.can_accept(port);
-                if let Some(request) = se.step(now, ready, &mut self.metrics) {
+                let granted = if have_faults {
+                    let mask = self
+                        .faults
+                        .stuck_mask(depth, order, self.config.branch, now);
+                    if mask.is_some() {
+                        self.metrics
+                            .inc(ComponentId::System, Counter::FaultsInjected);
+                        self.metrics
+                            .inc(ComponentId::Se { depth, order }, Counter::FaultsInjected);
+                    }
+                    se.step_masked(now, ready, &mut self.metrics, mask.as_deref())
+                } else {
+                    se.step(now, ready, &mut self.metrics)
+                };
+                if let Some(request) = granted {
                     parent
                         .try_accept(port, request)
                         .expect("parent advertised a free slot");
@@ -874,6 +1084,165 @@ mod tests {
         assert_eq!(counts[1][0], 1);
         assert_eq!(counts[0][0], 1);
         assert_eq!(counts[1][1], 0);
+    }
+
+    #[test]
+    fn malformed_client_is_a_typed_error_not_a_panic() {
+        let mut ic =
+            BlueScaleInterconnect::new(BlueScaleConfig::for_clients(16), &sets(16, 400, 4))
+                .unwrap();
+        let bogus = request(99, 1, 0, 400);
+        match ic.try_inject(bogus.clone(), 0) {
+            Err(InjectError::UnknownClient {
+                client: 99,
+                num_clients: 16,
+                request,
+            }) => assert_eq!(request, bogus),
+            other => panic!("expected UnknownClient, got {other:?}"),
+        }
+        // The trait path degrades to handing the request back.
+        let bounced = ic.inject(bogus.clone(), 0).unwrap_err();
+        assert_eq!(bounced, bogus);
+        assert_eq!(ic.pending(), 0, "nothing entered the tree");
+    }
+
+    #[test]
+    fn inject_error_display_and_recovery() {
+        let e = InjectError::UnknownClient {
+            client: 7,
+            num_clients: 4,
+            request: request(7, 3, 0, 10),
+        };
+        assert!(e.to_string().contains("unknown client 7"));
+        assert_eq!(e.into_request().id, 3);
+        let full = InjectError::PortFull(request(1, 9, 0, 10));
+        assert!(full.to_string().contains("full"));
+        assert_eq!(full.into_request().id, 9);
+    }
+
+    #[test]
+    fn drop_response_fault_swallows_completions() {
+        use bluescale_sim::fault::{FaultPlan, FaultWindow};
+
+        let mut ic =
+            BlueScaleInterconnect::new(BlueScaleConfig::for_clients(16), &sets(16, 400, 4))
+                .unwrap();
+        let mut plan = FaultPlan::new(3);
+        plan.push(
+            FaultKind::DropResponse {
+                client: 5,
+                every: 1,
+            },
+            FaultWindow::ALWAYS,
+        );
+        ic.install_fault_plan(&plan);
+        ic.inject(request(5, 1, 0, 400), 0).unwrap();
+        for now in 0..200 {
+            ic.step(now);
+            assert!(ic.pop_response().is_none(), "response must be dropped");
+        }
+        let m = BlueScaleInterconnect::metrics(&ic);
+        assert_eq!(
+            m.counter(ComponentId::Client(5), Counter::ResponsesDropped),
+            1
+        );
+        assert_eq!(m.counter(ComponentId::System, Counter::FaultsInjected), 1);
+    }
+
+    #[test]
+    fn stuck_grant_fault_holds_the_port_for_its_window() {
+        use bluescale_sim::fault::{FaultPlan, FaultWindow};
+
+        let mut ic =
+            BlueScaleInterconnect::new(BlueScaleConfig::for_clients(16), &sets(16, 400, 4))
+                .unwrap();
+        // Client 0 attaches to leaf SE(1,0) port 0; hold that grant port
+        // low for the first 60 cycles.
+        let mut plan = FaultPlan::new(4);
+        plan.push(
+            FaultKind::StuckGrant {
+                depth: 1,
+                order: 0,
+                port: 0,
+            },
+            FaultWindow::new(0, 60),
+        );
+        ic.install_fault_plan(&plan);
+        ic.inject(request(0, 1, 0, 400), 0).unwrap();
+        let mut completed_at = None;
+        for now in 0..300 {
+            ic.step(now);
+            if ic.pop_response().is_some() {
+                completed_at = Some(now);
+                break;
+            }
+        }
+        let when = completed_at.expect("completes once the window closes");
+        assert!(when >= 60, "held until cycle 60, completed at {when}");
+        let m = BlueScaleInterconnect::metrics(&ic);
+        assert_eq!(
+            m.counter(
+                ComponentId::Se { depth: 1, order: 0 },
+                Counter::FaultsInjected
+            ),
+            60
+        );
+    }
+
+    #[test]
+    fn dram_jitter_fault_stretches_service() {
+        use bluescale_sim::fault::{FaultPlan, FaultWindow};
+
+        let drive = |jitter: bool| -> u64 {
+            let mut ic =
+                BlueScaleInterconnect::new(BlueScaleConfig::for_clients(16), &sets(16, 400, 4))
+                    .unwrap();
+            if jitter {
+                let mut plan = FaultPlan::new(11);
+                plan.push(
+                    FaultKind::DramJitter {
+                        bank: 0,
+                        max_extra_cycles: 12,
+                    },
+                    FaultWindow::ALWAYS,
+                );
+                ic.install_fault_plan(&plan);
+            }
+            for id in 0..8u64 {
+                ic.inject(request(0, id + 1, 0, 4000), 0).unwrap();
+            }
+            let mut total = 0;
+            for now in 0..2_000 {
+                ic.step(now);
+                while let Some(e) = ic.pop_service_event() {
+                    total += e.duration;
+                }
+            }
+            total
+        };
+        let base = drive(false);
+        let jittered = drive(true);
+        assert!(
+            jittered > base,
+            "jitter must stretch total service: {jittered} vs {base}"
+        );
+        // Deterministic: the same seeded plan reproduces exactly.
+        assert_eq!(drive(true), jittered);
+    }
+
+    #[test]
+    fn demote_client_clears_its_reservation() {
+        let mut ic =
+            BlueScaleInterconnect::new(BlueScaleConfig::for_clients(16), &sets(16, 400, 4))
+                .unwrap();
+        let (order, port) = ic.config().attach_point(5);
+        assert!(ic.composition().interfaces[1][order][port].is_some());
+        assert!(ic.demote_client(5));
+        assert!(
+            ic.composition().interfaces[1][order][port].is_none(),
+            "demoted client's leaf port has no reserved interface"
+        );
+        assert!(ic.client_tasks()[5].is_empty());
     }
 
     #[test]

@@ -283,6 +283,70 @@ mod tests {
     }
 
     #[test]
+    fn capacity_one_alternates_full_and_empty() {
+        // The smallest legal buffer: every push fills it, every pop
+        // empties it, and backpressure is immediate.
+        let mut rab = RandomAccessBuffer::with_capacity(1);
+        assert_eq!(rab.capacity(), 1);
+        rab.try_push(req(1, 10)).unwrap();
+        assert!(rab.is_full());
+        assert_eq!(rab.try_push(req(2, 1)).unwrap_err().id, 2);
+        assert_eq!(rab.pop().unwrap().id, 1);
+        assert!(rab.is_empty());
+        rab.try_push(req(3, 5)).unwrap();
+        assert_eq!(rab.peek().unwrap().id, 3);
+        assert_eq!(rab.pop().unwrap().id, 3);
+    }
+
+    #[test]
+    fn refill_at_capacity_keeps_edf_order() {
+        // Drain-and-refill at the capacity boundary must not disturb
+        // deadline ordering: the slot vacated by a pop is immediately
+        // reusable by an earlier-deadline arrival.
+        let mut rab = RandomAccessBuffer::with_capacity(3);
+        rab.try_push(req(1, 30)).unwrap();
+        rab.try_push(req(2, 20)).unwrap();
+        rab.try_push(req(3, 40)).unwrap();
+        assert!(rab.is_full());
+        assert_eq!(rab.pop().unwrap().id, 2);
+        rab.try_push(req(4, 10)).unwrap();
+        assert!(rab.is_full());
+        assert_eq!(rab.pop().unwrap().id, 4, "late arrival with urgent dl");
+        assert_eq!(rab.pop().unwrap().id, 1);
+        assert_eq!(rab.pop().unwrap().id, 3);
+    }
+
+    #[test]
+    fn tied_deadlines_fifo_across_refills() {
+        // Three waves of equal-deadline requests with pops in between:
+        // the FIFO tiebreak must order by arrival globally, not merely
+        // within one resident set.
+        let mut rab = RandomAccessBuffer::with_capacity(4);
+        rab.try_push(req(1, 10)).unwrap();
+        rab.try_push(req(2, 10)).unwrap();
+        assert_eq!(rab.pop().unwrap().id, 1);
+        rab.try_push(req(3, 10)).unwrap();
+        rab.try_push(req(4, 10)).unwrap();
+        assert_eq!(rab.pop().unwrap().id, 2);
+        rab.try_push(req(5, 10)).unwrap();
+        assert_eq!(rab.pop().unwrap().id, 3);
+        assert_eq!(rab.pop().unwrap().id, 4);
+        assert_eq!(rab.pop().unwrap().id, 5);
+        assert!(rab.is_empty());
+    }
+
+    #[test]
+    fn tie_prefers_earlier_arrival_over_later_urgent_duplicate() {
+        // An equal-deadline arrival never overtakes a waiting request.
+        let mut rab = RandomAccessBuffer::with_capacity(2);
+        rab.try_push(req(7, 25)).unwrap();
+        rab.charge_blocking(100); // ageing must not affect the tiebreak
+        rab.try_push(req(8, 25)).unwrap();
+        assert_eq!(rab.pop().unwrap().id, 7);
+        assert_eq!(rab.pop().unwrap().id, 8);
+    }
+
+    #[test]
     fn fifo_policy_ignores_deadlines() {
         let mut rab = RandomAccessBuffer::with_policy(4, QueuePolicy::Fifo);
         rab.try_push(req(1, 90)).unwrap();

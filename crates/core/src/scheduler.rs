@@ -120,9 +120,15 @@ impl LocalScheduler {
     pub fn commit_grant(&mut self, port: usize, metrics: &mut MetricsRegistry) {
         metrics.inc(self.component, Counter::Grants);
         metrics.inc(self.component.port(port), Counter::Grants);
-        if let Some(server) = &mut self.servers[port] {
-            if server.has_budget() {
-                server.consume();
+        match &mut self.servers[port] {
+            Some(server) if server.has_budget() => server.consume(),
+            // Audit trail for the B-counter path: a grant charged to an
+            // unprogrammed or exhausted server means the port consumed
+            // channel time beyond its reserved budget (work-conserving
+            // slack, or a reconfiguration race).
+            _ => {
+                metrics.inc(self.component, Counter::BudgetOverruns);
+                metrics.inc(self.component.port(port), Counter::BudgetOverruns);
             }
         }
     }

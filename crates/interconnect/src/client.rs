@@ -138,11 +138,19 @@ impl TrafficGenerator {
     /// Advances task releases to cycle `now`, enqueueing the requests of
     /// every job released at this cycle. Call exactly once per cycle.
     pub fn on_cycle(&mut self, now: Cycle) {
+        self.on_cycle_with_factor(now, 1);
+    }
+
+    /// Like [`on_cycle`](Self::on_cycle), but demand is additionally
+    /// multiplied by `extra_factor` — the hook a fault plan's rogue-demand
+    /// fault uses to make the client exceed its declared parameters for a
+    /// window of cycles without mutating the generator's own configuration.
+    pub fn on_cycle_with_factor(&mut self, now: Cycle, extra_factor: u64) {
         for t in &mut self.tasks {
             while t.next_release <= now {
                 let release = t.next_release;
                 let deadline = release + t.period;
-                for _ in 0..t.demand * self.misbehaviour_factor {
+                for _ in 0..t.demand * self.misbehaviour_factor * extra_factor {
                     let id = ((self.client as u64) << 48) | self.next_request_serial;
                     self.next_request_serial += 1;
                     self.issued += 1;
@@ -168,6 +176,45 @@ impl TrafficGenerator {
                 t.next_release += t.period;
             }
         }
+    }
+
+    /// Enqueues `count` extra requests released *now*, modelled on the
+    /// generator's first task (same stride and deadline window). This is
+    /// the fault plan's request-burst hook: traffic the client never
+    /// declared, appearing at a chosen cycle. Returns how many requests
+    /// were actually enqueued (0 when the generator has no tasks).
+    pub fn inject_burst(&mut self, now: Cycle, count: u64) -> u64 {
+        let Some(t) = self.tasks.first() else {
+            return 0;
+        };
+        let (task_id, period, stride) = (t.task_id, t.period, t.addr_stride);
+        let mut addr = t.next_addr;
+        for _ in 0..count {
+            let id = ((self.client as u64) << 48) | self.next_request_serial;
+            self.next_request_serial += 1;
+            self.issued += 1;
+            let deadline = now + period;
+            self.pending.push(
+                MemoryRequest {
+                    id,
+                    client: self.client,
+                    task: task_id,
+                    addr,
+                    kind: if self.next_request_serial.is_multiple_of(4) {
+                        AccessKind::Write
+                    } else {
+                        AccessKind::Read
+                    },
+                    issued_at: now,
+                    deadline,
+                    blocked_cycles: 0,
+                },
+                deadline,
+            );
+            addr = addr.wrapping_add(stride);
+        }
+        self.tasks[0].next_addr = addr;
+        count
     }
 
     /// Borrows the next request to offer (earliest deadline first).
@@ -298,6 +345,38 @@ mod tests {
     fn zero_misbehaviour_factor_panics() {
         let mut g = gen(&[(10, 1)]);
         g.set_misbehaviour_factor(0);
+    }
+
+    #[test]
+    fn extra_factor_multiplies_on_top_of_configured_rogue() {
+        let mut g = gen(&[(10, 2)]);
+        g.set_misbehaviour_factor(3);
+        g.on_cycle_with_factor(0, 2);
+        assert_eq!(g.backlog(), 12, "2 × 3 × 2 requests");
+    }
+
+    #[test]
+    fn burst_injects_undeclared_traffic_with_fresh_ids() {
+        let mut g = gen(&[(10, 1)]);
+        g.on_cycle(0);
+        assert_eq!(g.inject_burst(5, 4), 4);
+        assert_eq!(g.issued(), 5);
+        let mut ids = Vec::new();
+        while let Some(r) = g.take() {
+            assert!(r.deadline == 10 || r.deadline == 15);
+            ids.push(r.id);
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 5, "burst ids never collide with releases");
+    }
+
+    #[test]
+    fn burst_on_taskless_generator_is_a_noop() {
+        let set = TaskSet::empty();
+        let mut g = TrafficGenerator::new(0, &set);
+        assert_eq!(g.inject_burst(0, 8), 0);
+        assert_eq!(g.backlog(), 0);
     }
 
     #[test]

@@ -1,0 +1,229 @@
+//! Runtime guards: detection and containment for misbehaving traffic.
+//!
+//! The analytic side of BlueScale proves that *admitted* clients meet their
+//! deadlines; the guard layer watches the running system for the cases the
+//! analysis cannot see — lost responses, hardware faults, clients whose
+//! runtime behaviour exceeds their declared parameters — and reacts
+//! deterministically:
+//!
+//! * **Deadline-miss detection** — every accepted request is tracked until
+//!   delivery; the cycle its deadline passes with the response still
+//!   outstanding, a miss is flagged (counter + typed event), without
+//!   waiting for the late response to eventually arrive.
+//! * **Watchdog retry** — if a response has not returned `timeout` cycles
+//!   after acceptance, the request is re-injected (up to `max_retries`
+//!   times). Duplicate deliveries — the retry racing the original — are
+//!   suppressed and tallied, so completion counts stay exact.
+//! * **Quarantine** — a client accumulating `miss_threshold` detected
+//!   misses is demoted to best-effort through
+//!   [`Interconnect::demote_client`](crate::Interconnect::demote_client),
+//!   which re-runs admission along its request path.
+//!
+//! All guards are **off by default** and, when on, feed only on the guard's
+//! own bookkeeping — a fully guarded fault-free run is bit-identical to an
+//! unguarded one except for the quarantine guard, which by design feeds
+//! back into scheduling (and therefore only acts when misses actually
+//! occur, which admitted fault-free runs never exhibit).
+
+use crate::MemoryRequest;
+use bluescale_sim::Cycle;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+
+/// Watchdog parameters: when to give up waiting and how often to retry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Cycles after acceptance (or after a retry) before re-injecting.
+    /// Must exceed the worst-case fault-free response time, or the
+    /// watchdog will duplicate slow-but-healthy requests.
+    pub timeout: Cycle,
+    /// Maximum re-injections per request.
+    pub max_retries: u32,
+}
+
+/// Quarantine policy: when to demote a client to best-effort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuarantinePolicy {
+    /// Detected deadline misses after which the client is demoted.
+    pub miss_threshold: u64,
+}
+
+/// Which guards the harness runs. Everything defaults to off, keeping the
+/// guarded-but-idle path one branch per cycle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GuardConfig {
+    /// Flag requests whose deadline passes while still outstanding.
+    pub deadline_miss_detection: bool,
+    /// Re-inject requests whose response never arrived.
+    pub watchdog: Option<WatchdogConfig>,
+    /// Demote clients that accumulate detected misses (implies
+    /// deadline-miss detection).
+    pub quarantine: Option<QuarantinePolicy>,
+}
+
+impl GuardConfig {
+    /// All guards off (the default).
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Whether any guard needs per-request outstanding tracking.
+    pub fn tracks(&self) -> bool {
+        self.deadline_miss_detection || self.watchdog.is_some() || self.quarantine.is_some()
+    }
+
+    /// Whether deadline misses must be detected (explicitly, or because
+    /// the quarantine guard feeds on them).
+    pub fn detects_misses(&self) -> bool {
+        self.deadline_miss_detection || self.quarantine.is_some()
+    }
+}
+
+/// One tracked in-flight request.
+#[derive(Debug, Clone)]
+pub(crate) struct Outstanding {
+    pub(crate) client: u16,
+    /// A clone for re-injection; kept only while a watchdog is armed.
+    pub(crate) request: Option<MemoryRequest>,
+    pub(crate) retries: u32,
+    pub(crate) miss_flagged: bool,
+}
+
+/// The guard layer's deterministic bookkeeping. All collections are
+/// ordered (B-trees / a binary heap over totally ordered keys), so guard
+/// decisions replay identically for identical traffic.
+#[derive(Debug, Default)]
+pub struct GuardState {
+    /// Accepted requests whose response has not been delivered.
+    pub(crate) outstanding: BTreeMap<u64, Outstanding>,
+    /// `(deadline, id)` min-heap feeding the miss detector.
+    pub(crate) deadline_heap: BinaryHeap<Reverse<(Cycle, u64)>>,
+    /// `(due, id)` watchdog timers, ordered by expiry.
+    pub(crate) retry_due: BTreeSet<(Cycle, u64)>,
+    /// Detected misses per client (the quarantine guard's evidence).
+    pub(crate) miss_tally: BTreeMap<u16, u64>,
+    /// Clients already demoted (or whose demotion was attempted).
+    pub(crate) quarantined: BTreeSet<u16>,
+}
+
+impl GuardState {
+    /// Creates empty guard state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests accepted but not yet delivered — in flight inside the
+    /// interconnect or permanently lost to a fault. With duplicate
+    /// suppression active, `issued == completed + outstanding` is the
+    /// request-conservation invariant the fault smoke test asserts.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Clients demoted (or attempted) by the quarantine guard, ascending.
+    pub fn quarantined(&self) -> Vec<u16> {
+        self.quarantined.iter().copied().collect()
+    }
+
+    /// Detected deadline misses charged to `client` so far.
+    pub fn detected_misses(&self, client: u16) -> u64 {
+        self.miss_tally.get(&client).copied().unwrap_or(0)
+    }
+
+    /// Starts tracking an accepted request. `keep_request` carries the
+    /// clone a watchdog needs for re-injection (`None` when no watchdog is
+    /// armed).
+    pub(crate) fn track(
+        &mut self,
+        id: u64,
+        client: u16,
+        deadline: Cycle,
+        keep_request: Option<MemoryRequest>,
+        now: Cycle,
+        config: &GuardConfig,
+    ) {
+        if config.detects_misses() {
+            self.deadline_heap.push(Reverse((deadline, id)));
+        }
+        if let Some(w) = &config.watchdog {
+            self.retry_due.insert((now + w.timeout.max(1), id));
+        }
+        self.outstanding.insert(
+            id,
+            Outstanding {
+                client,
+                request: keep_request,
+                retries: 0,
+                miss_flagged: false,
+            },
+        );
+    }
+
+    /// Closes a delivered request. Returns `true` for the first delivery
+    /// and `false` for a duplicate (or a request accepted before tracking
+    /// was enabled) — the caller suppresses the latter.
+    pub(crate) fn close(&mut self, id: u64) -> bool {
+        self.outstanding.remove(&id).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_config_tracks_nothing() {
+        let c = GuardConfig::disabled();
+        assert!(!c.tracks());
+        assert!(!c.detects_misses());
+    }
+
+    #[test]
+    fn quarantine_implies_detection_and_tracking() {
+        let c = GuardConfig {
+            quarantine: Some(QuarantinePolicy { miss_threshold: 5 }),
+            ..GuardConfig::disabled()
+        };
+        assert!(c.tracks());
+        assert!(c.detects_misses());
+        let w = GuardConfig {
+            watchdog: Some(WatchdogConfig {
+                timeout: 100,
+                max_retries: 2,
+            }),
+            ..GuardConfig::disabled()
+        };
+        assert!(w.tracks());
+        assert!(!w.detects_misses());
+    }
+
+    #[test]
+    fn track_and_close_round_trip() {
+        let config = GuardConfig {
+            deadline_miss_detection: true,
+            ..GuardConfig::disabled()
+        };
+        let mut state = GuardState::new();
+        state.track(7, 3, 100, None, 0, &config);
+        assert_eq!(state.outstanding(), 1);
+        assert!(state.close(7), "first delivery is fresh");
+        assert!(!state.close(7), "second delivery is a duplicate");
+        assert_eq!(state.outstanding(), 0);
+    }
+
+    #[test]
+    fn watchdog_arms_a_timer_per_tracked_request() {
+        let config = GuardConfig {
+            watchdog: Some(WatchdogConfig {
+                timeout: 50,
+                max_retries: 1,
+            }),
+            ..GuardConfig::disabled()
+        };
+        let mut state = GuardState::new();
+        state.track(1, 0, 100, None, 10, &config);
+        state.track(2, 0, 100, None, 12, &config);
+        let timers: Vec<(Cycle, u64)> = state.retry_due.iter().copied().collect();
+        assert_eq!(timers, vec![(60, 1), (62, 2)]);
+    }
+}

@@ -13,9 +13,11 @@
 
 pub mod buffer;
 pub mod client;
+pub mod guard;
 pub mod metrics;
 pub mod system;
 
+use bluescale_sim::fault::FaultPlan;
 use bluescale_sim::metrics::MetricsRegistry;
 use bluescale_sim::Cycle;
 use std::fmt;
@@ -175,6 +177,21 @@ pub trait Interconnect {
     /// counters on this call). The default reports none.
     fn metrics_mut(&mut self) -> Option<&mut MetricsRegistry> {
         None
+    }
+
+    /// Installs the interconnect-side hooks of a fault plan (stuck grant
+    /// ports, DRAM timing jitter, dropped responses). Client-side faults
+    /// (rogue demand, bursts) are applied by the harness and need no
+    /// cooperation here. The default ignores the plan — an implementation
+    /// without fault hooks simply cannot misbehave.
+    fn install_fault_plan(&mut self, _plan: &FaultPlan) {}
+
+    /// Demotes `client` to best-effort service (the quarantine guard's
+    /// containment action). Returns whether the demotion took effect; the
+    /// default reports `false` for architectures without reconfigurable
+    /// per-client service guarantees.
+    fn demote_client(&mut self, _client: ClientId) -> bool {
+        false
     }
 }
 

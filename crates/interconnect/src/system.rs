@@ -2,11 +2,14 @@
 //! lock-step for a fixed horizon.
 
 use crate::client::TrafficGenerator;
+use crate::guard::{GuardConfig, GuardState};
 use crate::metrics::RunMetrics;
 use crate::{Interconnect, MemoryResponse, ServiceEvent};
 use bluescale_rt::task::TaskSet;
-use bluescale_sim::metrics::{ComponentId, Counter, MetricsRegistry, SampleKind};
+use bluescale_sim::fault::{FaultClass, FaultKind, FaultPlan, FaultWindow};
+use bluescale_sim::metrics::{ComponentId, Counter, Event, MetricsRegistry, SampleKind};
 use bluescale_sim::Cycle;
+use std::cmp::Reverse;
 
 /// A complete simulated system: one [`TrafficGenerator`] per client port of
 /// an [`Interconnect`], plus metric collection.
@@ -46,6 +49,14 @@ pub struct System<I: ?Sized + Interconnect> {
     /// later-deadline request while this one was waiting).
     service_log: Vec<ServiceEvent>,
     interconnect: Box<I>,
+    /// Active fault plan. An empty plan keeps the harness on the exact
+    /// fault-free code path, so a faultless run is bit-identical to one
+    /// built before the fault layer existed.
+    faults: FaultPlan,
+    /// Which runtime guards are active (all off by default).
+    guards: GuardConfig,
+    /// The guard layer's deterministic bookkeeping.
+    guard: GuardState,
 }
 
 impl<I: ?Sized + Interconnect> System<I> {
@@ -105,17 +116,73 @@ impl<I: ?Sized + Interconnect> System<I> {
             now: 0,
             service_log: Vec::new(),
             interconnect,
+            faults: FaultPlan::default(),
+            guards: GuardConfig::default(),
+            guard: GuardState::new(),
         }
     }
 
-    /// Marks `client` as a rogue issuing `factor ×` its declared demand
-    /// (see [`TrafficGenerator::set_misbehaviour_factor`]).
+    /// Marks `client` as a rogue issuing `factor ×` its declared demand,
+    /// for the whole run. Legacy shim: this is now expressed as a
+    /// permanent [`FaultKind::RogueDemand`] entry in the system's fault
+    /// plan (see [`set_fault_plan`](Self::set_fault_plan) for windowed and
+    /// multi-class fault scenarios).
     ///
     /// # Panics
     ///
     /// Panics if `client` is out of range or `factor` is zero.
     pub fn set_misbehaviour_factor(&mut self, client: usize, factor: u64) {
-        self.clients[client].set_misbehaviour_factor(factor);
+        assert!(client < self.clients.len(), "client out of range");
+        self.faults.push(
+            FaultKind::RogueDemand {
+                client: client as u16,
+                factor,
+            },
+            FaultWindow::ALWAYS,
+        );
+    }
+
+    /// Installs a fault plan: client-side faults (rogue demand, bursts)
+    /// are applied by the harness each cycle; interconnect-side faults
+    /// (stuck grants, DRAM jitter, dropped responses) are handed to the
+    /// interconnect via [`Interconnect::install_fault_plan`]. Replaces any
+    /// previously installed plan.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.interconnect.install_fault_plan(&plan);
+        self.faults = plan;
+    }
+
+    /// The active fault plan (empty by default).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Activates runtime guards. Configure before stepping: requests
+    /// accepted while tracking was off are unknown to the guard layer and
+    /// their responses would be suppressed as duplicates.
+    pub fn set_guards(&mut self, config: GuardConfig) {
+        self.guards = config;
+    }
+
+    /// The active guard configuration.
+    pub fn guards(&self) -> &GuardConfig {
+        &self.guards
+    }
+
+    /// Tracked requests accepted but not yet delivered (see
+    /// [`GuardState::outstanding`]). Zero when no guard tracks.
+    pub fn guard_outstanding(&self) -> usize {
+        self.guard.outstanding()
+    }
+
+    /// Clients demoted by the quarantine guard, ascending.
+    pub fn quarantined_clients(&self) -> Vec<u16> {
+        self.guard.quarantined()
+    }
+
+    /// Deadline misses the guard layer has detected for `client`.
+    pub fn detected_misses(&self, client: u16) -> u64 {
+        self.guard.detected_misses(client)
     }
 
     /// Metrics broken down per client (same definitions as the aggregate),
@@ -184,10 +251,45 @@ impl<I: ?Sized + Interconnect> System<I> {
     /// Advances the system by one cycle.
     pub fn step(&mut self) {
         let now = self.now;
+        let have_faults = !self.faults.is_empty();
+        let tracks = self.guards.tracks();
+        if have_faults {
+            self.announce_client_faults(now);
+        }
         for client in &mut self.clients {
-            client.on_cycle(now);
+            if have_faults {
+                let owner = client.client();
+                let factor = self.faults.demand_multiplier(owner, now);
+                client.on_cycle_with_factor(now, factor);
+                let burst = self.faults.burst_at(owner, now);
+                if burst > 0 && client.inject_burst(now, burst) > 0 {
+                    self.registry
+                        .inc(ComponentId::System, Counter::FaultsInjected);
+                    self.registry
+                        .inc(ComponentId::Client(owner), Counter::FaultsInjected);
+                    self.registry.record(
+                        now,
+                        Event::FaultInjected {
+                            component: ComponentId::Client(owner),
+                            class: FaultClass::RequestBurst,
+                        },
+                    );
+                }
+            } else {
+                client.on_cycle(now);
+            }
             if let Some(req) = client.take() {
                 let owner = req.client;
+                // Capture what the guard layer needs before the request is
+                // moved into the interconnect; the clone is taken only
+                // while a watchdog is armed.
+                let tracked = tracks.then(|| {
+                    (
+                        req.id,
+                        req.deadline,
+                        self.guards.watchdog.map(|_| req.clone()),
+                    )
+                });
                 match self.interconnect.inject(req, now) {
                     Ok(()) => {
                         // Issues are counted on acceptance only; a bounce
@@ -195,6 +297,10 @@ impl<I: ?Sized + Interconnect> System<I> {
                         self.registry.inc(ComponentId::System, Counter::Issued);
                         self.registry
                             .inc(ComponentId::Client(owner), Counter::Issued);
+                        if let Some((id, deadline, keep)) = tracked {
+                            self.guard
+                                .track(id, owner, deadline, keep, now, &self.guards);
+                        }
                     }
                     Err(rejected) => {
                         client.give_back(rejected);
@@ -210,6 +316,17 @@ impl<I: ?Sized + Interconnect> System<I> {
             self.service_log.push(event);
         }
         while let Some(mut resp) = self.interconnect.pop_response() {
+            if tracks && !self.guard.close(resp.request.id) {
+                // A watchdog retry raced the original delivery (or the
+                // request predates tracking): suppress so completion
+                // counts stay exact.
+                let owner = resp.request.client;
+                self.registry
+                    .inc(ComponentId::System, Counter::DuplicateResponses);
+                self.registry
+                    .inc(ComponentId::Client(owner), Counter::DuplicateResponses);
+                continue;
+            }
             // Replace the per-stage accounting with the architecture-fair
             // bottleneck measure (see `blocking_in_window`).
             resp.request.blocked_cycles = self.blocking_in_window(
@@ -219,7 +336,129 @@ impl<I: ?Sized + Interconnect> System<I> {
             );
             self.record_response(&resp);
         }
+        if tracks {
+            self.guard_tick(now);
+        }
         self.now += 1;
+    }
+
+    /// Emits one fault-activation counter/event per client-side fault
+    /// window that opens this cycle (bursts are additionally counted at
+    /// their injection site). Interconnect-side fault activity is tallied
+    /// by the interconnect into its own registry.
+    fn announce_client_faults(&mut self, now: Cycle) {
+        for spec in self.faults.specs() {
+            if let FaultKind::RogueDemand { client, .. } = spec.kind {
+                if spec.window.start == now && spec.window.contains(now) {
+                    self.registry
+                        .inc(ComponentId::System, Counter::FaultsInjected);
+                    self.registry
+                        .inc(ComponentId::Client(client), Counter::FaultsInjected);
+                    self.registry.record(
+                        now,
+                        Event::FaultInjected {
+                            component: ComponentId::Client(client),
+                            class: FaultClass::RogueDemand,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Runs the active guards once, after the cycle's responses drained:
+    /// flag freshly missed deadlines, fire due watchdog retries, demote
+    /// clients past the quarantine threshold.
+    fn guard_tick(&mut self, now: Cycle) {
+        if self.guards.detects_misses() {
+            while let Some(Reverse((deadline, id))) = self.guard.deadline_heap.peek().copied() {
+                if deadline >= now {
+                    break;
+                }
+                self.guard.deadline_heap.pop();
+                let Some(entry) = self.guard.outstanding.get_mut(&id) else {
+                    continue; // delivered in time
+                };
+                if entry.miss_flagged {
+                    continue;
+                }
+                entry.miss_flagged = true;
+                let owner = entry.client;
+                *self.guard.miss_tally.entry(owner).or_insert(0) += 1;
+                self.registry
+                    .inc(ComponentId::System, Counter::MissesDetected);
+                self.registry
+                    .inc(ComponentId::Client(owner), Counter::MissesDetected);
+                self.registry.record(
+                    now,
+                    Event::DeadlineMiss {
+                        client: owner,
+                        request: id,
+                    },
+                );
+            }
+        }
+        if let Some(w) = self.guards.watchdog {
+            while let Some(&(due, id)) = self.guard.retry_due.iter().next() {
+                if due > now {
+                    break;
+                }
+                self.guard.retry_due.remove(&(due, id));
+                let Some(entry) = self.guard.outstanding.get_mut(&id) else {
+                    continue; // delivered while the timer was pending
+                };
+                if entry.retries >= w.max_retries {
+                    continue; // given up; stays outstanding (a lost request)
+                }
+                let Some(request) = entry.request.clone() else {
+                    continue;
+                };
+                let owner = entry.client;
+                match self.interconnect.inject(request, now) {
+                    Ok(()) => {
+                        entry.retries += 1;
+                        self.guard.retry_due.insert((now + w.timeout.max(1), id));
+                        self.registry.inc(ComponentId::System, Counter::Retries);
+                        self.registry
+                            .inc(ComponentId::Client(owner), Counter::Retries);
+                        self.registry.record(
+                            now,
+                            Event::Retry {
+                                client: owner,
+                                request: id,
+                            },
+                        );
+                    }
+                    Err(_) => {
+                        // Port full this cycle: try again next cycle
+                        // without charging a retry.
+                        self.guard.retry_due.insert((now + 1, id));
+                    }
+                }
+            }
+        }
+        if let Some(policy) = self.guards.quarantine {
+            let offenders: Vec<u16> = self
+                .guard
+                .miss_tally
+                .iter()
+                .filter(|&(c, &misses)| {
+                    misses >= policy.miss_threshold && !self.guard.quarantined.contains(c)
+                })
+                .map(|(&c, _)| c)
+                .collect();
+            for c in offenders {
+                // Marked regardless of whether the demotion takes effect,
+                // so architectures without the hook are asked only once.
+                self.guard.quarantined.insert(c);
+                if self.interconnect.demote_client(c) {
+                    self.registry.inc(ComponentId::System, Counter::Quarantines);
+                    self.registry
+                        .inc(ComponentId::Client(c), Counter::Quarantines);
+                    self.registry.record(now, Event::Quarantine { client: c });
+                }
+            }
+        }
     }
 
     /// Records a delivered response into the System aggregate and the
@@ -315,6 +554,7 @@ impl<I: ?Sized + Interconnect> System<I> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::guard::{QuarantinePolicy, WatchdogConfig};
     use crate::{MemoryRequest, MemoryResponse};
     use bluescale_rt::task::Task;
     use std::collections::VecDeque;
@@ -530,6 +770,231 @@ mod tests {
             sys.registry().counter(ComponentId::System, Counter::Issued)
         );
         assert!(merged.counter(ComponentId::System, Counter::Completed) > 0);
+    }
+
+    /// Accepts everything but silently loses the first `lose_remaining`
+    /// requests from client 1 (retries arrive later and get through), and
+    /// records quarantine demotions. Never responds to demoted clients.
+    struct LossyInterconnect {
+        clients: usize,
+        queue: VecDeque<MemoryRequest>,
+        ready: VecDeque<MemoryResponse>,
+        lose_remaining: usize,
+        blackhole_client: Option<u16>,
+        demoted: Vec<u16>,
+    }
+
+    impl LossyInterconnect {
+        fn new(clients: usize) -> Self {
+            Self {
+                clients,
+                queue: VecDeque::new(),
+                ready: VecDeque::new(),
+                lose_remaining: 0,
+                blackhole_client: None,
+                demoted: Vec::new(),
+            }
+        }
+    }
+
+    impl Interconnect for LossyInterconnect {
+        fn name(&self) -> &'static str {
+            "lossy"
+        }
+        fn num_clients(&self) -> usize {
+            self.clients
+        }
+        fn inject(&mut self, request: MemoryRequest, _now: Cycle) -> Result<(), MemoryRequest> {
+            if request.client == 1 && self.lose_remaining > 0 {
+                self.lose_remaining -= 1;
+                return Ok(()); // accepted, then silently lost
+            }
+            if self.blackhole_client == Some(request.client) {
+                return Ok(());
+            }
+            self.queue.push_back(request);
+            Ok(())
+        }
+        fn step(&mut self, now: Cycle) {
+            if let Some(req) = self.queue.pop_front() {
+                self.ready.push_back(MemoryResponse {
+                    request: req,
+                    completed_at: now + 1,
+                });
+            }
+        }
+        fn pop_response(&mut self) -> Option<MemoryResponse> {
+            self.ready.pop_front()
+        }
+        fn pending(&self) -> usize {
+            self.queue.len() + self.ready.len()
+        }
+        fn demote_client(&mut self, client: u16) -> bool {
+            self.demoted.push(client);
+            true
+        }
+    }
+
+    #[test]
+    fn burst_fault_issues_undeclared_traffic() {
+        let ic = Box::new(IdealInterconnect {
+            clients: 2,
+            queue: VecDeque::new(),
+            ready: VecDeque::new(),
+            latency: 1,
+        });
+        let mut sys = System::new(ic as Box<dyn Interconnect>, &sets(2, 100, 1));
+        let mut plan = FaultPlan::new(1);
+        plan.push(
+            FaultKind::RequestBurst {
+                client: 0,
+                requests: 7,
+            },
+            FaultWindow::new(50, 51),
+        );
+        sys.set_fault_plan(plan);
+        sys.run(1_000);
+        let per_client = sys.per_client_metrics();
+        assert_eq!(per_client[0].issued(), per_client[1].issued() + 7);
+        let reg = sys.registry();
+        assert_eq!(reg.counter(ComponentId::System, Counter::FaultsInjected), 1);
+        assert_eq!(
+            reg.counter(ComponentId::Client(0), Counter::FaultsInjected),
+            1
+        );
+    }
+
+    #[test]
+    fn watchdog_recovers_lost_requests() {
+        let mut ic = Box::new(LossyInterconnect::new(2));
+        ic.lose_remaining = 3;
+        let mut sys = System::new(ic as Box<dyn Interconnect>, &sets(2, 100, 1));
+        sys.set_guards(GuardConfig {
+            deadline_miss_detection: true,
+            watchdog: Some(WatchdogConfig {
+                timeout: 10,
+                max_retries: 3,
+            }),
+            quarantine: None,
+        });
+        let m = sys.run(1_000);
+        assert_eq!(m.completed(), m.issued(), "every lost request recovered");
+        assert_eq!(sys.guard_outstanding(), 0);
+        let reg = sys.registry();
+        assert!(reg.counter(ComponentId::Client(1), Counter::Retries) >= 3);
+        assert_eq!(reg.counter(ComponentId::System, Counter::MissesDetected), 0);
+    }
+
+    /// Delivers every request exactly `delay` cycles after injection —
+    /// a genuine transit delay, unlike [`IdealInterconnect`] whose
+    /// latency is only a timestamp.
+    struct DelayLine {
+        clients: usize,
+        pending: VecDeque<(MemoryRequest, Cycle)>,
+        ready: VecDeque<MemoryResponse>,
+        delay: Cycle,
+    }
+
+    impl Interconnect for DelayLine {
+        fn name(&self) -> &'static str {
+            "delay-line"
+        }
+        fn num_clients(&self) -> usize {
+            self.clients
+        }
+        fn inject(&mut self, request: MemoryRequest, now: Cycle) -> Result<(), MemoryRequest> {
+            self.pending.push_back((request, now + self.delay));
+            Ok(())
+        }
+        fn step(&mut self, now: Cycle) {
+            while let Some((_, ready_at)) = self.pending.front() {
+                if *ready_at > now {
+                    break;
+                }
+                let (req, _) = self.pending.pop_front().unwrap();
+                self.ready.push_back(MemoryResponse {
+                    request: req,
+                    completed_at: now,
+                });
+            }
+        }
+        fn pop_response(&mut self) -> Option<MemoryResponse> {
+            self.ready.pop_front()
+        }
+        fn pending(&self) -> usize {
+            self.pending.len() + self.ready.len()
+        }
+    }
+
+    #[test]
+    fn duplicate_responses_are_suppressed() {
+        // Timeout shorter than the transit delay: the watchdog retries a
+        // request that was merely slow, and the duplicate delivery must
+        // not inflate completion counts.
+        let ic = Box::new(DelayLine {
+            clients: 1,
+            pending: VecDeque::new(),
+            ready: VecDeque::new(),
+            delay: 30,
+        });
+        let mut sys = System::new(ic as Box<dyn Interconnect>, &sets(1, 200, 1));
+        sys.set_guards(GuardConfig {
+            deadline_miss_detection: false,
+            watchdog: Some(WatchdogConfig {
+                timeout: 5,
+                max_retries: 1,
+            }),
+            quarantine: None,
+        });
+        let m = sys.run(2_000);
+        assert_eq!(m.completed(), m.issued());
+        let reg = sys.registry();
+        assert!(reg.counter(ComponentId::System, Counter::DuplicateResponses) > 0);
+    }
+
+    #[test]
+    fn quarantine_demotes_persistent_missers() {
+        let mut ic = Box::new(LossyInterconnect::new(2));
+        ic.blackhole_client = Some(1);
+        let mut sys = System::new(ic as Box<dyn Interconnect>, &sets(2, 20, 1));
+        sys.set_guards(GuardConfig {
+            deadline_miss_detection: false,
+            watchdog: None,
+            quarantine: Some(QuarantinePolicy { miss_threshold: 2 }),
+        });
+        sys.run(500);
+        assert_eq!(sys.quarantined_clients(), vec![1]);
+        assert!(sys.detected_misses(1) >= 2);
+        assert_eq!(sys.detected_misses(0), 0);
+        let reg = sys.registry();
+        assert_eq!(reg.counter(ComponentId::System, Counter::Quarantines), 1);
+        assert_eq!(reg.counter(ComponentId::Client(1), Counter::Quarantines), 1);
+    }
+
+    #[test]
+    fn guards_alone_leave_metrics_unchanged() {
+        let run = |guarded: bool| {
+            let ic = Box::new(IdealInterconnect {
+                clients: 4,
+                queue: VecDeque::new(),
+                ready: VecDeque::new(),
+                latency: 2,
+            });
+            let mut sys = System::new(ic as Box<dyn Interconnect>, &sets(4, 50, 2));
+            if guarded {
+                sys.set_guards(GuardConfig {
+                    deadline_miss_detection: true,
+                    watchdog: Some(WatchdogConfig {
+                        timeout: 40,
+                        max_retries: 2,
+                    }),
+                    quarantine: Some(QuarantinePolicy { miss_threshold: 3 }),
+                });
+            }
+            let m = sys.run(2_000);
+            (m.issued(), m.completed(), m.missed(), m.mean_latency())
+        };
+        assert_eq!(run(false), run(true), "idle guards must not perturb");
     }
 
     #[test]

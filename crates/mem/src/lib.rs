@@ -130,6 +130,18 @@ impl<T> MemoryController<T> {
     /// [`can_accept`](Self::can_accept) first — the channel has no queue of
     /// its own; queueing is the interconnect's job).
     pub fn accept(&mut self, payload: T, addr: u64, now: Cycle) -> Cycle {
+        self.accept_with_extra(payload, addr, now, 0)
+    }
+
+    /// [`accept`](Self::accept) plus `extra` service cycles — the hook for
+    /// deterministic DRAM timing-jitter faults. With `extra == 0` this *is*
+    /// `accept`: identical row-buffer transitions, statistics and service
+    /// time, so a zero-jitter fault plan cannot perturb the baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the controller is busy (see [`accept`](Self::accept)).
+    pub fn accept_with_extra(&mut self, payload: T, addr: u64, now: Cycle, extra: Cycle) -> Cycle {
         assert!(
             self.in_service.is_none(),
             "memory controller accept() while busy"
@@ -144,7 +156,7 @@ impl<T> MemoryController<T> {
             self.stats.row_misses += 1;
             *open = Some(row);
             self.config.row_miss_cycles
-        };
+        } + extra;
         self.stats.accepted += 1;
         self.stats.busy_cycles += service;
         self.bank_accepted[bank as usize] += 1;
@@ -164,6 +176,13 @@ impl<T> MemoryController<T> {
             }
             _ => None,
         }
+    }
+
+    /// The `(bank, row)` an address maps to — exposed so callers (fault
+    /// plans, bank-aware regulation) can reason about bank targeting
+    /// without duplicating the address-map layout.
+    pub fn decode(&self, addr: u64) -> (u32, u64) {
+        self.address_map.decode(addr)
     }
 
     /// Run statistics so far.
@@ -324,6 +343,32 @@ mod tests {
         // Absolute mirroring is idempotent.
         mc.record_metrics(&mut reg);
         assert_eq!(reg.counter(ComponentId::Memory, Counter::MemAccepted), 5);
+    }
+
+    #[test]
+    fn extra_cycles_stretch_service_and_busy_time() {
+        let mut mc: MemoryController<u32> = MemoryController::new(uniform(4));
+        assert_eq!(mc.accept_with_extra(1, 0, 0, 3), 7);
+        assert_eq!(mc.poll_complete(6), None);
+        assert_eq!(mc.poll_complete(7), Some(1));
+        assert_eq!(mc.stats().busy_cycles, 7);
+        // Zero extra is exactly accept(): same duration, same stats delta.
+        assert_eq!(mc.accept_with_extra(2, 4096, 7, 0), 4);
+        assert_eq!(mc.poll_complete(11), Some(2));
+        assert_eq!(mc.stats().busy_cycles, 11);
+    }
+
+    #[test]
+    fn decode_is_public_and_matches_banking() {
+        let cfg = DramConfig {
+            banks: 4,
+            row_bytes: 1024,
+            ..uniform(2)
+        };
+        let mc: MemoryController<u32> = MemoryController::new(cfg);
+        assert_eq!(mc.decode(0).0, 0);
+        assert_eq!(mc.decode(1024).0, 1);
+        assert_eq!(mc.decode(4 * 1024).0, 0, "banks wrap");
     }
 
     #[test]

@@ -1,0 +1,579 @@
+//! Deterministic fault injection: cycle-keyed, seed-reproducible plans.
+//!
+//! A [`FaultPlan`] is a declarative list of fault specifications, each a
+//! [`FaultKind`] active during a [`FaultWindow`] of cycles. The plan is
+//! *queried* by the simulation at well-defined hook points (client release,
+//! SE arbitration, DRAM accept, response delivery); it never holds mutable
+//! references into the simulated system, so the same plan applied to the
+//! same seeded workload replays bit-identically.
+//!
+//! Two invariants matter more than the fault catalogue itself:
+//!
+//! * **Empty plan ≡ baseline.** Every query on an empty plan returns the
+//!   neutral answer (multiplier 1, no bursts, nothing stuck, zero jitter,
+//!   nothing dropped), and the hook sites are written so the neutral answer
+//!   takes the exact code path of a build without fault hooks. A
+//!   differential test pins this bit-for-bit.
+//! * **Seed-reproducible randomness.** The only "random" fault parameter —
+//!   per-cycle DRAM jitter — is a pure function of `(plan seed, bank,
+//!   cycle)` via a SplitMix64 finalizer. No hidden RNG state, so resuming,
+//!   re-running or reordering queries cannot change outcomes.
+
+use crate::Cycle;
+use std::fmt;
+
+/// A half-open interval of cycles `[start, end)` during which a fault is
+/// active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultWindow {
+    /// First cycle the fault is active.
+    pub start: Cycle,
+    /// First cycle the fault is no longer active.
+    pub end: Cycle,
+}
+
+impl FaultWindow {
+    /// The window covering the whole run.
+    pub const ALWAYS: FaultWindow = FaultWindow {
+        start: 0,
+        end: Cycle::MAX,
+    };
+
+    /// A window `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`.
+    pub fn new(start: Cycle, end: Cycle) -> Self {
+        assert!(end >= start, "fault window must not end before it starts");
+        Self { start, end }
+    }
+
+    /// Whether `now` falls inside the window.
+    pub fn contains(&self, now: Cycle) -> bool {
+        self.start <= now && now < self.end
+    }
+}
+
+/// The class of a fault, for counting and event reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultClass {
+    /// A client issues a multiple of its declared demand.
+    RogueDemand,
+    /// A one-shot flood of extra requests from one client.
+    RequestBurst,
+    /// An SE grant port is stuck (withholds grants) for a window.
+    StuckGrant,
+    /// DRAM service times on a bank gain deterministic extra cycles.
+    DramJitter,
+    /// Memory responses to a client are silently discarded.
+    DropResponse,
+}
+
+impl FaultClass {
+    /// All fault classes, in declaration order.
+    pub const ALL: [FaultClass; 5] = [
+        FaultClass::RogueDemand,
+        FaultClass::RequestBurst,
+        FaultClass::StuckGrant,
+        FaultClass::DramJitter,
+        FaultClass::DropResponse,
+    ];
+
+    /// Stable snake_case name used in exports and bench tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultClass::RogueDemand => "rogue_demand",
+            FaultClass::RequestBurst => "request_burst",
+            FaultClass::StuckGrant => "stuck_grant",
+            FaultClass::DramJitter => "dram_jitter",
+            FaultClass::DropResponse => "drop_response",
+        }
+    }
+}
+
+impl fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One injectable fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// `client` releases `factor ×` its declared demand on every job while
+    /// the window is active (the classic rogue of Fig 7).
+    RogueDemand {
+        /// The misbehaving client.
+        client: u16,
+        /// Demand multiplier (≥ 1; 1 is a no-op).
+        factor: u64,
+    },
+    /// `client` floods `requests` extra requests in the cycle the window
+    /// opens, cloned from its first task's parameters.
+    RequestBurst {
+        /// The misbehaving client.
+        client: u16,
+        /// Number of extra requests injected at `window.start`.
+        requests: u64,
+    },
+    /// The grant port `port` of the SE at `(depth, order)` withholds all
+    /// grants while the window is active — a stuck arbiter or a wedged
+    /// upstream handshake.
+    StuckGrant {
+        /// Tree depth of the faulted SE (0 = root).
+        depth: usize,
+        /// Position of the faulted SE within its level.
+        order: usize,
+        /// The stuck port.
+        port: usize,
+    },
+    /// Requests to `bank` take up to `max_extra_cycles` additional service
+    /// cycles, drawn deterministically from the plan seed.
+    DramJitter {
+        /// The jittery bank.
+        bank: u32,
+        /// Upper bound on the extra service cycles per request.
+        max_extra_cycles: u64,
+    },
+    /// Every `every`-th completed response owned by `client` is discarded
+    /// before it reaches the response path (starting with the first).
+    DropResponse {
+        /// The victim client.
+        client: u16,
+        /// Drop period (1 = drop every response).
+        every: u64,
+    },
+}
+
+impl FaultKind {
+    /// The class this fault belongs to.
+    pub fn class(&self) -> FaultClass {
+        match self {
+            FaultKind::RogueDemand { .. } => FaultClass::RogueDemand,
+            FaultKind::RequestBurst { .. } => FaultClass::RequestBurst,
+            FaultKind::StuckGrant { .. } => FaultClass::StuckGrant,
+            FaultKind::DramJitter { .. } => FaultClass::DramJitter,
+            FaultKind::DropResponse { .. } => FaultClass::DropResponse,
+        }
+    }
+}
+
+/// A [`FaultKind`] bound to its activity [`FaultWindow`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultSpec {
+    /// What goes wrong.
+    pub kind: FaultKind,
+    /// When it goes wrong.
+    pub window: FaultWindow,
+}
+
+/// A deterministic, replayable fault schedule.
+///
+/// # Example
+///
+/// ```
+/// use bluescale_sim::fault::{FaultKind, FaultPlan, FaultWindow};
+///
+/// let mut plan = FaultPlan::new(0xBAD5EED);
+/// plan.push(
+///     FaultKind::RogueDemand { client: 3, factor: 8 },
+///     FaultWindow::new(1_000, 5_000),
+/// );
+/// assert_eq!(plan.demand_multiplier(3, 500), 1);
+/// assert_eq!(plan.demand_multiplier(3, 1_000), 8);
+/// assert_eq!(plan.demand_multiplier(2, 1_000), 1, "only client 3 is rogue");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    faults: Vec<FaultSpec>,
+    /// Per-spec count of responses seen by each `DropResponse` fault
+    /// (indexes parallel `faults`; unused slots stay 0). Plan state, not
+    /// hidden RNG: cloning a freshly built plan resets it.
+    drop_seen: Vec<u64>,
+}
+
+impl FaultPlan {
+    /// Creates an empty plan. `seed` parameterizes the deterministic
+    /// jitter draws; an empty plan never consults it.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            faults: Vec::new(),
+            drop_seen: Vec::new(),
+        }
+    }
+
+    /// The jitter seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Adds a fault active during `window`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate parameters: a zero `RogueDemand` factor or a
+    /// zero `DropResponse` period.
+    pub fn push(&mut self, kind: FaultKind, window: FaultWindow) -> &mut Self {
+        match kind {
+            FaultKind::RogueDemand { factor, .. } => {
+                assert!(factor > 0, "rogue demand factor must be positive");
+            }
+            FaultKind::DropResponse { every, .. } => {
+                assert!(every > 0, "drop period must be positive");
+            }
+            _ => {}
+        }
+        self.faults.push(FaultSpec { kind, window });
+        self.drop_seen.push(0);
+        self
+    }
+
+    /// Whether the plan contains no faults. Hook sites use this as the
+    /// fast path: an empty plan must cost one branch per query site.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Number of faults in the plan.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// The fault specifications.
+    pub fn specs(&self) -> &[FaultSpec] {
+        &self.faults
+    }
+
+    /// Resets transient query state (the drop counters) to the freshly
+    /// built plan, so the same plan value can drive a second identical run.
+    pub fn reset_state(&mut self) {
+        for seen in &mut self.drop_seen {
+            *seen = 0;
+        }
+    }
+
+    /// Demand multiplier for `client` at `now`: the product of all active
+    /// `RogueDemand` factors targeting it (1 when none are).
+    pub fn demand_multiplier(&self, client: u16, now: Cycle) -> u64 {
+        let mut factor = 1u64;
+        for spec in &self.faults {
+            if let FaultKind::RogueDemand {
+                client: c,
+                factor: f,
+            } = spec.kind
+            {
+                if c == client && spec.window.contains(now) {
+                    factor = factor.saturating_mul(f);
+                }
+            }
+        }
+        factor
+    }
+
+    /// Extra burst requests `client` must inject at `now`: the sum of
+    /// `RequestBurst` faults whose window *opens* at this cycle.
+    pub fn burst_at(&self, client: u16, now: Cycle) -> u64 {
+        let mut total = 0u64;
+        for spec in &self.faults {
+            if let FaultKind::RequestBurst {
+                client: c,
+                requests,
+            } = spec.kind
+            {
+                if c == client && spec.window.start == now && spec.window.contains(now) {
+                    total = total.saturating_add(requests);
+                }
+            }
+        }
+        total
+    }
+
+    /// The stuck-port mask for the SE at `(depth, order)` with `ports`
+    /// ports, or `None` when no stuck fault is active there at `now`.
+    /// `mask[p] == true` means port `p` must not be granted this cycle.
+    pub fn stuck_mask(
+        &self,
+        depth: usize,
+        order: usize,
+        ports: usize,
+        now: Cycle,
+    ) -> Option<Vec<bool>> {
+        let mut mask: Option<Vec<bool>> = None;
+        for spec in &self.faults {
+            if let FaultKind::StuckGrant {
+                depth: d,
+                order: o,
+                port,
+            } = spec.kind
+            {
+                if d == depth && o == order && port < ports && spec.window.contains(now) {
+                    mask.get_or_insert_with(|| vec![false; ports])[port] = true;
+                }
+            }
+        }
+        mask
+    }
+
+    /// Deterministic extra service cycles for a request to `bank` accepted
+    /// at `now`: the sum over active `DramJitter` faults on that bank of a
+    /// draw in `[0, max_extra_cycles]` keyed by `(seed, bank, now)`.
+    pub fn dram_jitter(&self, bank: u32, now: Cycle) -> u64 {
+        let mut extra = 0u64;
+        for spec in &self.faults {
+            if let FaultKind::DramJitter {
+                bank: b,
+                max_extra_cycles,
+            } = spec.kind
+            {
+                if b == bank && spec.window.contains(now) && max_extra_cycles > 0 {
+                    let draw =
+                        splitmix(self.seed ^ ((bank as u64) << 32) ^ now.wrapping_mul(0x9E37_79B9));
+                    extra = extra.saturating_add(draw % (max_extra_cycles + 1));
+                }
+            }
+        }
+        extra
+    }
+
+    /// Whether the response completing at `now` for `client` must be
+    /// dropped. Stateful: each active `DropResponse` fault counts the
+    /// responses it observes and discards the first of every `every`.
+    pub fn should_drop_response(&mut self, client: u16, now: Cycle) -> bool {
+        let mut drop = false;
+        for (spec, seen) in self.faults.iter().zip(&mut self.drop_seen) {
+            if let FaultKind::DropResponse { client: c, every } = spec.kind {
+                if c == client && spec.window.contains(now) {
+                    if *seen % every == 0 {
+                        drop = true;
+                    }
+                    *seen += 1;
+                }
+            }
+        }
+        drop
+    }
+}
+
+/// The SplitMix64 output finalizer — a bijective avalanche mix, the same
+/// permutation [`crate::rng::SimRng`] uses per step.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_returns_neutral_answers() {
+        let mut plan = FaultPlan::new(42);
+        assert!(plan.is_empty());
+        assert_eq!(plan.demand_multiplier(0, 0), 1);
+        assert_eq!(plan.burst_at(0, 0), 0);
+        assert_eq!(plan.stuck_mask(0, 0, 4, 0), None);
+        assert_eq!(plan.dram_jitter(0, 0), 0);
+        assert!(!plan.should_drop_response(0, 0));
+    }
+
+    #[test]
+    fn window_contains_half_open() {
+        let w = FaultWindow::new(10, 20);
+        assert!(!w.contains(9));
+        assert!(w.contains(10));
+        assert!(w.contains(19));
+        assert!(!w.contains(20));
+        assert!(FaultWindow::ALWAYS.contains(u64::MAX - 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "must not end before it starts")]
+    fn inverted_window_panics() {
+        let _ = FaultWindow::new(20, 10);
+    }
+
+    #[test]
+    fn rogue_demand_multiplies_only_in_window() {
+        let mut plan = FaultPlan::new(0);
+        plan.push(
+            FaultKind::RogueDemand {
+                client: 2,
+                factor: 4,
+            },
+            FaultWindow::new(100, 200),
+        );
+        assert_eq!(plan.demand_multiplier(2, 99), 1);
+        assert_eq!(plan.demand_multiplier(2, 100), 4);
+        assert_eq!(plan.demand_multiplier(2, 199), 4);
+        assert_eq!(plan.demand_multiplier(2, 200), 1);
+        assert_eq!(plan.demand_multiplier(3, 150), 1);
+    }
+
+    #[test]
+    fn overlapping_rogue_factors_compose() {
+        let mut plan = FaultPlan::new(0);
+        plan.push(
+            FaultKind::RogueDemand {
+                client: 0,
+                factor: 2,
+            },
+            FaultWindow::ALWAYS,
+        )
+        .push(
+            FaultKind::RogueDemand {
+                client: 0,
+                factor: 3,
+            },
+            FaultWindow::new(50, 60),
+        );
+        assert_eq!(plan.demand_multiplier(0, 0), 2);
+        assert_eq!(plan.demand_multiplier(0, 55), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor must be positive")]
+    fn zero_rogue_factor_panics() {
+        FaultPlan::new(0).push(
+            FaultKind::RogueDemand {
+                client: 0,
+                factor: 0,
+            },
+            FaultWindow::ALWAYS,
+        );
+    }
+
+    #[test]
+    fn burst_fires_exactly_at_window_start() {
+        let mut plan = FaultPlan::new(0);
+        plan.push(
+            FaultKind::RequestBurst {
+                client: 1,
+                requests: 16,
+            },
+            FaultWindow::new(500, 501),
+        );
+        assert_eq!(plan.burst_at(1, 499), 0);
+        assert_eq!(plan.burst_at(1, 500), 16);
+        assert_eq!(plan.burst_at(1, 501), 0);
+        assert_eq!(plan.burst_at(0, 500), 0);
+    }
+
+    #[test]
+    fn degenerate_burst_window_never_fires() {
+        // An empty window [500, 500) contains no cycle, not even its start.
+        let mut plan = FaultPlan::new(0);
+        plan.push(
+            FaultKind::RequestBurst {
+                client: 1,
+                requests: 16,
+            },
+            FaultWindow::new(500, 500),
+        );
+        assert_eq!(plan.burst_at(1, 500), 0);
+    }
+
+    #[test]
+    fn stuck_mask_targets_one_port_of_one_se() {
+        let mut plan = FaultPlan::new(0);
+        plan.push(
+            FaultKind::StuckGrant {
+                depth: 1,
+                order: 2,
+                port: 3,
+            },
+            FaultWindow::new(10, 20),
+        );
+        assert_eq!(plan.stuck_mask(1, 2, 4, 5), None, "before the window");
+        assert_eq!(
+            plan.stuck_mask(1, 2, 4, 15),
+            Some(vec![false, false, false, true])
+        );
+        assert_eq!(plan.stuck_mask(1, 1, 4, 15), None, "different SE");
+        assert_eq!(plan.stuck_mask(0, 2, 4, 15), None, "different depth");
+        // A port beyond the SE's arity is ignored rather than panicking.
+        assert_eq!(plan.stuck_mask(1, 2, 2, 15), None);
+    }
+
+    #[test]
+    fn dram_jitter_is_bounded_and_reproducible() {
+        let mut plan = FaultPlan::new(0xFEED);
+        plan.push(
+            FaultKind::DramJitter {
+                bank: 1,
+                max_extra_cycles: 5,
+            },
+            FaultWindow::ALWAYS,
+        );
+        let draws: Vec<u64> = (0..200).map(|now| plan.dram_jitter(1, now)).collect();
+        assert!(draws.iter().all(|&d| d <= 5));
+        assert!(draws.iter().any(|&d| d > 0), "jitter must actually jitter");
+        // Same (seed, bank, cycle) → same draw; other banks are clean.
+        let replay: Vec<u64> = (0..200).map(|now| plan.dram_jitter(1, now)).collect();
+        assert_eq!(draws, replay);
+        assert_eq!(plan.dram_jitter(0, 7), 0);
+        // A different seed changes the sequence.
+        let mut other = FaultPlan::new(0xBEEF);
+        other.push(
+            FaultKind::DramJitter {
+                bank: 1,
+                max_extra_cycles: 5,
+            },
+            FaultWindow::ALWAYS,
+        );
+        let alt: Vec<u64> = (0..200).map(|now| other.dram_jitter(1, now)).collect();
+        assert_ne!(draws, alt);
+    }
+
+    #[test]
+    fn drop_response_drops_every_nth_and_resets() {
+        let mut plan = FaultPlan::new(0);
+        plan.push(
+            FaultKind::DropResponse {
+                client: 4,
+                every: 3,
+            },
+            FaultWindow::ALWAYS,
+        );
+        let pattern: Vec<bool> = (0..6).map(|i| plan.should_drop_response(4, i)).collect();
+        assert_eq!(pattern, [true, false, false, true, false, false]);
+        // Other clients are unaffected and do not advance the counter.
+        assert!(!plan.should_drop_response(5, 100));
+        assert!(plan.should_drop_response(4, 100));
+        plan.reset_state();
+        assert!(plan.should_drop_response(4, 0), "reset restarts the cycle");
+    }
+
+    #[test]
+    #[should_panic(expected = "drop period must be positive")]
+    fn zero_drop_period_panics() {
+        FaultPlan::new(0).push(
+            FaultKind::DropResponse {
+                client: 0,
+                every: 0,
+            },
+            FaultWindow::ALWAYS,
+        );
+    }
+
+    #[test]
+    fn class_names_are_stable_and_unique() {
+        let mut names: Vec<&str> = FaultClass::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), FaultClass::ALL.len());
+        assert_eq!(FaultClass::StuckGrant.to_string(), "stuck_grant");
+        assert_eq!(
+            FaultKind::DramJitter {
+                bank: 0,
+                max_extra_cycles: 1
+            }
+            .class(),
+            FaultClass::DramJitter
+        );
+    }
+}

@@ -13,6 +13,8 @@
 //! * [`metrics`] — a typed observability registry (counters, gauges,
 //!   distributions, events, per-request latency breakdowns) shared by every
 //!   interconnect model and consumed by the benches.
+//! * [`fault`] — deterministic, cycle-keyed fault-injection plans replayed
+//!   bit-identically from a seed.
 //!
 //! # Example
 //!
@@ -32,6 +34,7 @@
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod metrics;
 pub mod rng;
 pub mod stats;

@@ -37,6 +37,7 @@
 //! assert_eq!(reg.events().len(), 1);
 //! ```
 
+use crate::fault::FaultClass;
 use crate::stats::{OnlineStats, Samples};
 use crate::Cycle;
 use std::collections::{BTreeMap, VecDeque};
@@ -145,6 +146,24 @@ pub enum Counter {
     Trials,
     /// Trials that completed without a single deadline miss.
     Successes,
+    /// Faults injected by a fault plan (bursts fired, responses dropped,
+    /// jittered accepts).
+    FaultsInjected,
+    /// Deadline misses flagged by the guard layer's per-request detector
+    /// (at the deadline cycle, not at late delivery).
+    MissesDetected,
+    /// Watchdog re-injections of requests whose response never arrived.
+    Retries,
+    /// Memory responses discarded by a drop fault.
+    ResponsesDropped,
+    /// Responses suppressed because the request was already delivered
+    /// (a watchdog retry raced the original response).
+    DuplicateResponses,
+    /// Clients demoted to best-effort by the quarantine guard.
+    Quarantines,
+    /// Grants committed without server budget (work-conserving overserve
+    /// or an unprogrammed port) — the B-counter audit trail.
+    BudgetOverruns,
 }
 
 impl Counter {
@@ -168,6 +187,13 @@ impl Counter {
             Counter::BusyCycles => "busy_cycles",
             Counter::Trials => "trials",
             Counter::Successes => "successes",
+            Counter::FaultsInjected => "faults_injected",
+            Counter::MissesDetected => "misses_detected",
+            Counter::Retries => "retries",
+            Counter::ResponsesDropped => "responses_dropped",
+            Counter::DuplicateResponses => "duplicate_responses",
+            Counter::Quarantines => "quarantines",
+            Counter::BudgetOverruns => "budget_overruns",
         }
     }
 }
@@ -257,6 +283,40 @@ pub enum Event {
         /// Request id.
         request: u64,
     },
+    /// A fault plan injected a fault at a component.
+    FaultInjected {
+        /// Where the fault struck.
+        component: ComponentId,
+        /// The fault class.
+        class: FaultClass,
+    },
+    /// The guard layer flagged a request past its deadline while still
+    /// outstanding.
+    DeadlineMiss {
+        /// Owning client.
+        client: u16,
+        /// Request id.
+        request: u64,
+    },
+    /// The watchdog re-injected a request whose response never arrived.
+    Retry {
+        /// Owning client.
+        client: u16,
+        /// Request id.
+        request: u64,
+    },
+    /// A memory response was discarded by a drop fault.
+    ResponseDropped {
+        /// Owning client.
+        client: u16,
+        /// Request id.
+        request: u64,
+    },
+    /// The quarantine guard demoted a client to best-effort.
+    Quarantine {
+        /// The demoted client.
+        client: u16,
+    },
 }
 
 impl fmt::Display for Event {
@@ -279,6 +339,19 @@ impl fmt::Display for Event {
                 service_cycles,
             } => write!(f, "mem issue req#{request} ({service_cycles} cy)"),
             Event::MemComplete { request } => write!(f, "mem complete req#{request}"),
+            Event::FaultInjected { component, class } => {
+                write!(f, "{component} fault {class}")
+            }
+            Event::DeadlineMiss { client, request } => {
+                write!(f, "client.{client} deadline miss req#{request}")
+            }
+            Event::Retry { client, request } => {
+                write!(f, "client.{client} retry req#{request}")
+            }
+            Event::ResponseDropped { client, request } => {
+                write!(f, "client.{client} response dropped req#{request}")
+            }
+            Event::Quarantine { client } => write!(f, "client.{client} quarantined"),
         }
     }
 }

@@ -22,4 +22,7 @@ cargo test -q --workspace
 echo "==> metrics overhead smoke check"
 cargo run --release -q -p bluescale-bench --bin metrics_overhead
 
+echo "==> fault injection smoke check (request conservation)"
+cargo run --release -q -p bluescale-bench --bin fault_smoke
+
 echo "All checks passed."
