@@ -9,10 +9,13 @@
 //! distributed BlueScale (one extra tree level per 4× clients)?
 
 use crate::runner::{run_trial, InterconnectKind};
+use bluescale::{BlueScaleConfig, BlueScaleInterconnect};
+use bluescale_interconnect::system::System;
 use bluescale_sim::rng::SimRng;
 use bluescale_sim::stats::OnlineStats;
 use bluescale_sim::Cycle;
 use bluescale_workload::synthetic::{generate, SyntheticConfig};
+use std::time::Instant;
 
 /// Configuration of the scalability sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -123,6 +126,231 @@ pub fn render(config: &ScalabilityConfig, points: &[ScalabilityPoint]) -> String
     s
 }
 
+/// Configuration of the fast-forward speedup sweep
+/// (`results/BENCH_fastforward.json`).
+///
+/// The workload is deliberately *sparse* — one long-period task per client
+/// issuing `demand` requests per job — because that is the regime the
+/// next-event fast path exists for: long provably-idle stretches between
+/// releases that per-cycle stepping burns wall-clock on. Periods scale
+/// with the client count so the aggregate release rate (and therefore the
+/// fabric's duty cycle) stays roughly constant across sweep sizes; the
+/// synthetic-generator path is *not* used here because its per-client
+/// utilization floor would silently densify large points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FastForwardConfig {
+    /// Client counts to sweep.
+    pub client_counts: Vec<usize>,
+    /// Memory requests per job (the task's `wcet` in the demand model).
+    pub demand: u64,
+    /// Master seed.
+    pub seed: u64,
+    /// Fixed horizon for every point (tests); `None` scales the horizon
+    /// with the client count via [`fastforward_horizon`].
+    pub horizon_override: Option<Cycle>,
+}
+
+impl Default for FastForwardConfig {
+    fn default() -> Self {
+        Self {
+            client_counts: vec![4, 16, 64, 256, 1024, 4096],
+            demand: 2,
+            seed: 0xFF5CA1E,
+            horizon_override: None,
+        }
+    }
+}
+
+/// The sparse workload: one task per client with a period drawn from
+/// `[100n, 300n)` cycles for `n` clients, each job issuing `demand`
+/// requests. Scaling periods with `n` keeps the *total* utilization
+/// (`n × demand / period ≈ demand / 200`) constant across sweep sizes,
+/// which a fixed-period fig6-style draw cannot do once per-client
+/// utilization hits the generator's floor.
+pub fn sparse_task_sets(
+    clients: usize,
+    demand: u64,
+    rng: &mut SimRng,
+) -> Vec<bluescale_rt::task::TaskSet> {
+    use bluescale_rt::task::{Task, TaskSet};
+    let n = clients as u64;
+    (0..clients)
+        .map(|_| {
+            let period = 100 * n + rng.range_u64(0, 200 * n);
+            let task = Task::new(0, period, demand).expect("sparse task is valid");
+            TaskSet::new(vec![task]).expect("single sparse task is admissible")
+        })
+        .collect()
+}
+
+/// Horizon for one sweep point: two full longest-period windows of the
+/// scaled workload, floored so tiny points still see steady state.
+pub fn fastforward_horizon(clients: usize) -> Cycle {
+    (600 * clients as u64).max(20_000)
+}
+
+/// One point of the fast-forward speedup sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FastForwardPoint {
+    /// Number of clients.
+    pub clients: usize,
+    /// Simulated horizon in cycles.
+    pub horizon: Cycle,
+    /// Wall-clock of the per-cycle (oracle) run, nanoseconds.
+    pub percycle_ns: u128,
+    /// Wall-clock of the fast-forward run, nanoseconds.
+    pub fastforward_ns: u128,
+    /// Number of jumps the fast path took.
+    pub jumps: u64,
+    /// Cycles skipped (never individually stepped).
+    pub skipped: u64,
+    /// Requests completed (identical across modes by construction).
+    pub completed: u64,
+    /// Whether the two modes produced bit-identical run metrics.
+    pub verified: bool,
+}
+
+impl FastForwardPoint {
+    /// Wall-clock speedup of fast-forward over per-cycle stepping.
+    pub fn speedup(&self) -> f64 {
+        self.percycle_ns as f64 / self.fastforward_ns.max(1) as f64
+    }
+
+    /// Fraction of the horizon covered by jumps instead of steps.
+    pub fn skipped_ratio(&self) -> f64 {
+        self.skipped as f64 / self.horizon as f64
+    }
+}
+
+fn bluescale_system(sets: &[bluescale_rt::task::TaskSet]) -> System<BlueScaleInterconnect> {
+    let mut config = BlueScaleConfig::for_clients(sets.len());
+    config.work_conserving = true;
+    let ic = BlueScaleInterconnect::new(config, sets).expect("sparse workload is admissible");
+    System::new(Box::new(ic), sets)
+}
+
+/// Runs the fast-forward speedup sweep.
+///
+/// Every point runs the same seeded workload twice — per-cycle (the
+/// oracle) and fast-forward — and **panics** if any externally visible
+/// metric differs: the sweep doubles as an end-to-end differential check
+/// at every size, not just the small ones the integration tests cover.
+pub fn run_fastforward(config: &FastForwardConfig) -> Vec<FastForwardPoint> {
+    let mut master = SimRng::seed_from(config.seed);
+    config
+        .client_counts
+        .iter()
+        .map(|&clients| {
+            let mut rng = master.fork();
+            let sets = sparse_task_sets(clients, config.demand, &mut rng);
+            let horizon = config
+                .horizon_override
+                .unwrap_or_else(|| fastforward_horizon(clients));
+
+            let mut slow = bluescale_system(&sets);
+            slow.set_fast_forward(false);
+            let t0 = Instant::now();
+            let mut slow_m = slow.run(horizon);
+            let percycle_ns = t0.elapsed().as_nanos();
+
+            let mut fast = bluescale_system(&sets);
+            fast.set_fast_forward(true);
+            let t1 = Instant::now();
+            let mut fast_m = fast.run(horizon);
+            let fastforward_ns = t1.elapsed().as_nanos();
+
+            let verified = (slow_m.issued(), slow_m.completed(), slow_m.missed())
+                == (fast_m.issued(), fast_m.completed(), fast_m.missed())
+                && slow_m.backlog() == fast_m.backlog()
+                && slow_m.latency().as_slice() == fast_m.latency().as_slice()
+                && slow_m.blocking().as_slice() == fast_m.blocking().as_slice();
+            assert!(
+                verified,
+                "fast-forward diverged from per-cycle at {clients} clients"
+            );
+            assert_eq!(slow.fast_forward_jumps(), 0, "the oracle must not jump");
+
+            FastForwardPoint {
+                clients,
+                horizon,
+                percycle_ns,
+                fastforward_ns,
+                jumps: fast.fast_forward_jumps(),
+                skipped: fast.fast_forwarded_cycles(),
+                completed: fast_m.completed(),
+                verified,
+            }
+        })
+        .collect()
+}
+
+/// Renders the sweep as the `BENCH_fastforward.json` artefact
+/// (hand-rolled JSON; the container has no serde).
+pub fn render_fastforward_json(config: &FastForwardConfig, points: &[FastForwardPoint]) -> String {
+    let mut s = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"fastforward\",\n",
+            "  \"unit\": \"ns\",\n",
+            "  \"demand_per_job\": {},\n",
+            "  \"seed\": {},\n",
+            "  \"points\": [\n",
+        ),
+        config.demand, config.seed
+    );
+    for (i, p) in points.iter().enumerate() {
+        s.push_str(&format!(
+            concat!(
+                "    {{\n",
+                "      \"clients\": {},\n",
+                "      \"horizon\": {},\n",
+                "      \"percycle_ns\": {},\n",
+                "      \"fastforward_ns\": {},\n",
+                "      \"speedup\": {:.2},\n",
+                "      \"jumps\": {},\n",
+                "      \"skipped_cycles\": {},\n",
+                "      \"skipped_ratio\": {:.4},\n",
+                "      \"completed\": {},\n",
+                "      \"verified\": {}\n",
+                "    }}{}\n",
+            ),
+            p.clients,
+            p.horizon,
+            p.percycle_ns,
+            p.fastforward_ns,
+            p.speedup(),
+            p.jumps,
+            p.skipped,
+            p.skipped_ratio(),
+            p.completed,
+            p.verified,
+            if i + 1 < points.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Renders the sweep as a human-readable table for stdout.
+pub fn render_fastforward_table(points: &[FastForwardPoint]) -> String {
+    let mut s = String::from(
+        "| Clients | Horizon | Per-cycle (ms) | Fast-forward (ms) | Speedup | Skipped |\n\
+         |---:|---:|---:|---:|---:|---:|\n",
+    );
+    for p in points {
+        s.push_str(&format!(
+            "| {} | {} | {:.1} | {:.1} | {:.2}x | {:.1}% |\n",
+            p.clients,
+            p.horizon,
+            p.percycle_ns as f64 / 1e6,
+            p.fastforward_ns as f64 / 1e6,
+            p.speedup(),
+            100.0 * p.skipped_ratio(),
+        ));
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,5 +390,42 @@ mod tests {
         let text = render(&cfg, &run(&cfg));
         assert!(text.contains("Mean latency"));
         assert!(text.contains("miss ratio"));
+    }
+
+    #[test]
+    fn fastforward_sweep_verifies_and_skips() {
+        let cfg = FastForwardConfig {
+            client_counts: vec![4, 16],
+            horizon_override: Some(10_000),
+            ..Default::default()
+        };
+        let pts = run_fastforward(&cfg);
+        assert_eq!(pts.len(), 2);
+        for p in &pts {
+            assert!(p.verified, "{} clients must verify", p.clients);
+            assert!(p.jumps > 0, "{} clients: sparse run must jump", p.clients);
+            assert!(
+                p.skipped_ratio() > 0.2,
+                "{} clients: too few skips",
+                p.clients
+            );
+            assert!(p.completed > 0);
+        }
+    }
+
+    #[test]
+    fn fastforward_json_is_well_formed() {
+        let cfg = FastForwardConfig {
+            client_counts: vec![4],
+            horizon_override: Some(6_000),
+            ..Default::default()
+        };
+        let pts = run_fastforward(&cfg);
+        let json = render_fastforward_json(&cfg, &pts);
+        assert!(json.contains("\"benchmark\": \"fastforward\""));
+        assert!(json.contains("\"verified\": true"));
+        assert_eq!(json.matches("\"clients\"").count(), 1);
+        let table = render_fastforward_table(&pts);
+        assert!(table.contains("Speedup"));
     }
 }

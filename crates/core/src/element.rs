@@ -214,6 +214,24 @@ impl ScaleElement {
     pub fn occupancy(&self) -> usize {
         self.buffers.iter().map(RandomAccessBuffer::len).sum()
     }
+
+    /// Whether this SE is quiescent: no request buffered at any port and no
+    /// response queued in the demultiplexer. A quiescent SE stepped
+    /// per-cycle does nothing but tick its server counters, which is
+    /// exactly what [`advance_idle`](Self::advance_idle) replays in closed
+    /// form.
+    pub fn is_quiescent(&self) -> bool {
+        self.responses.is_empty() && self.buffers.iter().all(RandomAccessBuffer::is_empty)
+    }
+
+    /// Advances `delta` cycles across a quiescent stretch: equivalent to
+    /// `delta` calls of [`step`](Self::step) with empty buffers (no grant
+    /// possible, no throttle — nothing pending), collapsing to the
+    /// scheduler's closed-form counter jump.
+    pub fn advance_idle(&mut self, delta: Cycle, metrics: &mut MetricsRegistry) {
+        debug_assert!(self.is_quiescent(), "advance_idle on a non-idle SE");
+        self.scheduler.advance_idle(delta, metrics);
+    }
 }
 
 #[cfg(test)]
@@ -364,6 +382,39 @@ mod tests {
         )));
         let b = reg.request_completed(10, 7).expect("lifecycle tracked");
         assert_eq!(b.queueing, 3);
+    }
+
+    #[test]
+    fn advance_idle_equals_idle_steps() {
+        let mut stepped = programmed_se(4);
+        let mut reg_s = MetricsRegistry::new();
+        for now in 0..13 {
+            assert_eq!(stepped.step(now, true, &mut reg_s), None);
+        }
+        let mut jumped = programmed_se(4);
+        let mut reg_j = MetricsRegistry::new();
+        assert!(jumped.is_quiescent());
+        jumped.advance_idle(13, &mut reg_j);
+        for port in 0..4 {
+            assert_eq!(
+                reg_j.counter(SE.port(port), Counter::Replenishments),
+                reg_s.counter(SE.port(port), Counter::Replenishments),
+                "replenishments at port {port}"
+            );
+            assert_eq!(
+                jumped.interface(port).map(|i| i.period()),
+                stepped.interface(port).map(|i| i.period())
+            );
+        }
+        // Counter phase matches: the next request is granted at the same
+        // budget state either way.
+        stepped.try_accept(0, req(1, 0, 100)).unwrap();
+        jumped.try_accept(0, req(2, 0, 100)).unwrap();
+        assert!(!jumped.is_quiescent());
+        assert_eq!(
+            stepped.step(13, true, &mut reg_s).is_some(),
+            jumped.step(13, true, &mut reg_j).is_some()
+        );
     }
 
     #[test]

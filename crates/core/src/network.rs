@@ -800,6 +800,43 @@ impl Interconnect for BlueScaleInterconnect {
         let in_service = usize::from(!self.controller.can_accept());
         buffered + in_service + self.ready.len()
     }
+
+    fn next_event_hint(&self, now: Cycle) -> Option<Cycle> {
+        // Any request or response anywhere in the fabric means the next
+        // step can grant, forward or route — busy, no jump. (Replenishments
+        // alone never require stepping: an idle server replenishing cannot
+        // cause a grant, because selection — work-conserving included —
+        // requires a pending request; `advance_idle` replays the counter
+        // arithmetic in closed form.)
+        if !self.ready.is_empty() || !self.service_events.is_empty() {
+            return Some(now);
+        }
+        let fabric_busy = self.elements.iter().flatten().any(|se| !se.is_quiescent());
+        if fabric_busy {
+            return Some(now);
+        }
+        let mut next = self
+            .controller
+            .next_completion()
+            .map_or(Cycle::MAX, |done| done.max(now));
+        if !self.faults.is_empty() {
+            // Active fault windows (stuck grants count an injection every
+            // cycle; jitter and drops key off the current cycle) force
+            // per-cycle stepping; future windows bound the jump.
+            next = next.min(self.faults.next_activity(now));
+        }
+        Some(next)
+    }
+
+    fn advance_idle(&mut self, _now: Cycle, delta: u64) {
+        debug_assert!(
+            !self.metrics.detail(),
+            "fast-forward must be gated off while detail recording is on"
+        );
+        for se in self.elements.iter_mut().flatten() {
+            se.advance_idle(delta, &mut self.metrics);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -166,6 +166,50 @@ impl LocalScheduler {
             }
         }
     }
+
+    /// Advances all period counters by `delta` cycles in closed form —
+    /// exactly `delta` idle [`tick`](Self::tick)s (no pending work, no
+    /// grant): counters count down, budgets replenish at each period
+    /// boundary, and per-port `Replenishments` are tallied by crossing
+    /// count.
+    ///
+    /// Callers must only use this across stretches with nothing pending
+    /// anywhere: a replenishment during such a stretch cannot cause a grant
+    /// (selection requires a pending request, in strict *and*
+    /// work-conserving mode), so skipping the intermediate cycles is
+    /// unobservable. Typed `Replenish` events are *not* emitted — the
+    /// fast-forward path is gated off when detail recording is on.
+    pub fn advance_idle(&mut self, delta: Cycle, metrics: &mut MetricsRegistry) {
+        debug_assert!(!metrics.detail(), "fast-forward requires detail off");
+        if delta == 0 {
+            return;
+        }
+        for (port, server) in self.servers.iter_mut().enumerate() {
+            let Some(server) = server else { continue };
+            let crossings = server.advance(delta);
+            if crossings > 0 {
+                metrics.add(
+                    self.component.port(port),
+                    Counter::Replenishments,
+                    crossings,
+                );
+            }
+        }
+    }
+
+    /// The earliest cycle ≥ `now` at which any programmed server
+    /// replenishes, or [`Cycle::MAX`] with no servers. Purely informational
+    /// for schedulers embedded in a quiescent SE: the harness does not need
+    /// to stop a jump here (an idle replenishment cannot grant), but
+    /// diagnostics and tests use it to reason about counter phase.
+    pub fn next_replenish(&self, now: Cycle) -> Cycle {
+        self.servers
+            .iter()
+            .flatten()
+            .map(|s| now + s.until_replenish())
+            .min()
+            .unwrap_or(Cycle::MAX)
+    }
 }
 
 #[cfg(test)]
@@ -246,6 +290,52 @@ mod tests {
         assert_eq!(s.select(&[true, false], 0), Some(0));
         // Unprogrammed port also eligible in work-conserving mode.
         assert_eq!(s.select(&[false, true], 0), Some(1));
+    }
+
+    #[test]
+    fn advance_idle_matches_unit_ticks() {
+        let build = || {
+            let mut s = LocalScheduler::new(SE, 3, false);
+            s.program(0, iface(3, 1));
+            s.program(2, iface(7, 4)); // port 1 left unprogrammed
+            s
+        };
+        for delta in [0u64, 1, 2, 3, 6, 7, 20, 21, 100] {
+            let mut ticked = build();
+            let mut reg_t = MetricsRegistry::new();
+            for now in 0..delta {
+                ticked.tick(false, now, &mut reg_t);
+            }
+            let mut jumped = build();
+            let mut reg_j = MetricsRegistry::new();
+            jumped.advance_idle(delta, &mut reg_j);
+            for port in 0..3 {
+                assert_eq!(
+                    jumped.budget_remaining(port),
+                    ticked.budget_remaining(port),
+                    "budget at port {port} after delta {delta}"
+                );
+                assert_eq!(
+                    reg_j.counter(SE.port(port), Counter::Replenishments),
+                    reg_t.counter(SE.port(port), Counter::Replenishments),
+                    "replenishments at port {port} after delta {delta}"
+                );
+            }
+            assert_eq!(
+                jumped.next_replenish(delta),
+                ticked.next_replenish(delta),
+                "phase after delta {delta}"
+            );
+        }
+    }
+
+    #[test]
+    fn next_replenish_reports_earliest_boundary() {
+        let mut s = LocalScheduler::new(SE, 2, false);
+        assert_eq!(s.next_replenish(10), Cycle::MAX);
+        s.program(0, iface(8, 2));
+        s.program(1, iface(5, 1));
+        assert_eq!(s.next_replenish(100), 105);
     }
 
     #[test]

@@ -217,6 +217,23 @@ impl TrafficGenerator {
         count
     }
 
+    /// The earliest cycle ≥ `now` at which this generator can act: `now`
+    /// itself while a backlog is queued (it will offer a request every
+    /// cycle), otherwise the earliest pending job release across its tasks
+    /// ([`Cycle::MAX`] for a taskless generator). The release catch-up loop
+    /// in [`on_cycle`](Self::on_cycle) already tolerates skipped cycles, so
+    /// a harness may jump straight to the reported cycle.
+    pub fn next_event(&self, now: Cycle) -> Cycle {
+        if !self.pending.is_empty() {
+            return now;
+        }
+        self.tasks
+            .iter()
+            .map(|t| t.next_release)
+            .min()
+            .unwrap_or(Cycle::MAX)
+    }
+
     /// Borrows the next request to offer (earliest deadline first).
     pub fn peek(&self) -> Option<&MemoryRequest> {
         self.pending.peek()
@@ -291,6 +308,21 @@ mod tests {
         g.on_cycle(35);
         // Releases at 0, 10, 20, 30.
         assert_eq!(g.issued(), 4);
+    }
+
+    #[test]
+    fn next_event_pins_backlog_and_reports_earliest_release() {
+        let mut g = gen(&[(10, 1), (25, 1)]);
+        assert_eq!(g.next_event(0), 0, "first releases are due at cycle 0");
+        g.on_cycle(0);
+        assert_eq!(g.next_event(1), 1, "backlogged generator is busy now");
+        while g.take().is_some() {}
+        assert_eq!(g.next_event(1), 10, "earliest of next releases 10 and 25");
+        g.on_cycle(10);
+        while g.take().is_some() {}
+        assert_eq!(g.next_event(11), 20);
+        let empty = TrafficGenerator::new(0, &TaskSet::new(vec![]).unwrap());
+        assert_eq!(empty.next_event(5), Cycle::MAX);
     }
 
     #[test]

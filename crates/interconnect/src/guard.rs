@@ -146,7 +146,12 @@ impl GuardState {
             self.deadline_heap.push(Reverse((deadline, id)));
         }
         if let Some(w) = &config.watchdog {
-            self.retry_due.insert((now + w.timeout.max(1), id));
+            // Saturating: a sentinel timeout like `Cycle::MAX` means
+            // "detection-only, never retry" and must not overflow the timer
+            // arithmetic; the timer lands at `Cycle::MAX` and simply never
+            // comes due.
+            self.retry_due
+                .insert((now.saturating_add(w.timeout.max(1)), id));
         }
         self.outstanding.insert(
             id,
@@ -164,6 +169,26 @@ impl GuardState {
     /// was enabled) — the caller suppresses the latter.
     pub(crate) fn close(&mut self, id: u64) -> bool {
         self.outstanding.remove(&id).is_some()
+    }
+
+    /// The earliest cycle at which a guard can act on its own: the next
+    /// deadline-miss firing (a deadline `d` is flagged at cycle `d + 1`,
+    /// when it has passed with the response still outstanding) or the next
+    /// watchdog expiry. [`Cycle::MAX`] with no timers armed.
+    ///
+    /// Conservative on purpose: heap or timer entries whose request has
+    /// already been delivered still report a wake-up — the guard tick at
+    /// that cycle then discards them without observable effect, so a
+    /// spurious wake-up costs one stepped cycle, never correctness.
+    pub fn next_event(&self) -> Cycle {
+        let mut next = Cycle::MAX;
+        if let Some(&Reverse((deadline, _))) = self.deadline_heap.peek() {
+            next = next.min(deadline.saturating_add(1));
+        }
+        if let Some(&(due, _)) = self.retry_due.iter().next() {
+            next = next.min(due);
+        }
+        next
     }
 }
 
@@ -225,5 +250,48 @@ mod tests {
         state.track(2, 0, 100, None, 12, &config);
         let timers: Vec<(Cycle, u64)> = state.retry_due.iter().copied().collect();
         assert_eq!(timers, vec![(60, 1), (62, 2)]);
+    }
+
+    #[test]
+    fn sentinel_timeout_saturates_instead_of_overflowing() {
+        // Regression: `now + Cycle::MAX` used to overflow in debug builds
+        // for the documented detection-only configuration.
+        let config = GuardConfig {
+            deadline_miss_detection: true,
+            watchdog: Some(WatchdogConfig {
+                timeout: Cycle::MAX,
+                max_retries: 1,
+            }),
+            ..GuardConfig::disabled()
+        };
+        let mut state = GuardState::new();
+        state.track(1, 0, 500, None, 100, &config);
+        let timers: Vec<(Cycle, u64)> = state.retry_due.iter().copied().collect();
+        assert_eq!(
+            timers,
+            vec![(Cycle::MAX, 1)],
+            "timer pinned at the sentinel"
+        );
+        // The armed-but-never-due timer must not mask the miss wake-up.
+        assert_eq!(state.next_event(), 501);
+    }
+
+    #[test]
+    fn next_event_reports_earliest_guard_action() {
+        let mut state = GuardState::new();
+        assert_eq!(state.next_event(), Cycle::MAX, "no timers armed");
+        let config = GuardConfig {
+            deadline_miss_detection: true,
+            watchdog: Some(WatchdogConfig {
+                timeout: 30,
+                max_retries: 1,
+            }),
+            ..GuardConfig::disabled()
+        };
+        state.track(1, 0, 100, None, 80, &config);
+        // Watchdog due at 110, miss fires at 101 → earliest is the miss.
+        assert_eq!(state.next_event(), 101);
+        state.track(2, 0, 400, None, 80, &config);
+        assert_eq!(state.next_event(), 101, "later request does not mask it");
     }
 }

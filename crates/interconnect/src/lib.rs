@@ -193,6 +193,27 @@ pub trait Interconnect {
     fn demote_client(&mut self, _client: ClientId) -> bool {
         false
     }
+
+    /// The earliest cycle ≥ `now` at which this interconnect's observable
+    /// state can change without new input — the fabric-side half of the
+    /// next-event fast-forward contract (`Some(now)` = busy, do not jump;
+    /// `Some(Cycle::MAX)` = idle until the next injection).
+    ///
+    /// Returning `None` means the architecture does not support
+    /// fast-forwarding; the harness then steps it per-cycle, which is
+    /// always correct. That is the default, so test doubles and baseline
+    /// models stay bit-identical without opting in.
+    fn next_event_hint(&self, _now: Cycle) -> Option<Cycle> {
+        None
+    }
+
+    /// Advances internal countdown state (server P/B counters) by `delta`
+    /// cycles in closed form across a stretch the caller proved idle via
+    /// [`next_event_hint`](Self::next_event_hint): the hint at `now` was
+    /// `≥ now + delta`. Implementations must make this bit-identical to
+    /// `delta` per-cycle steps with no traffic. The default is a no-op,
+    /// correct for any architecture whose hint is `None`.
+    fn advance_idle(&mut self, _now: Cycle, _delta: u64) {}
 }
 
 #[cfg(test)]

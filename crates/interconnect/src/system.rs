@@ -8,8 +8,31 @@ use crate::{Interconnect, MemoryResponse, ServiceEvent};
 use bluescale_rt::task::TaskSet;
 use bluescale_sim::fault::{FaultClass, FaultKind, FaultPlan, FaultWindow};
 use bluescale_sim::metrics::{ComponentId, Counter, Event, MetricsRegistry, SampleKind};
+use bluescale_sim::next_event::jump_target;
 use bluescale_sim::Cycle;
 use std::cmp::Reverse;
+
+/// Harness-level knobs (distinct from any interconnect configuration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SystemConfig {
+    /// Jump over provably-idle stretches instead of stepping them cycle by
+    /// cycle. On by default; the per-cycle path is retained as the oracle
+    /// (set this to `false` to force it) and the two are pinned
+    /// bit-identical by `tests/fastforward_differential.rs`.
+    ///
+    /// Fast-forwarding needs every layer's cooperation: it engages only
+    /// when the interconnect implements
+    /// [`Interconnect::next_event_hint`] and detail recording (typed
+    /// events) is off. Otherwise the run silently stays per-cycle, which
+    /// is always correct.
+    pub fast_forward: bool,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self { fast_forward: true }
+    }
+}
 
 /// A complete simulated system: one [`TrafficGenerator`] per client port of
 /// an [`Interconnect`], plus metric collection.
@@ -57,6 +80,13 @@ pub struct System<I: ?Sized + Interconnect> {
     guards: GuardConfig,
     /// The guard layer's deterministic bookkeeping.
     guard: GuardState,
+    /// Harness knobs (fast-forward gating).
+    config: SystemConfig,
+    /// Fast-forward bookkeeping: jumps taken and cycles skipped. Kept out
+    /// of the metrics registry on purpose — the registry must stay
+    /// bit-identical between stepping modes.
+    ff_jumps: u64,
+    ff_skipped: u64,
 }
 
 impl<I: ?Sized + Interconnect> System<I> {
@@ -119,7 +149,36 @@ impl<I: ?Sized + Interconnect> System<I> {
             faults: FaultPlan::default(),
             guards: GuardConfig::default(),
             guard: GuardState::new(),
+            config: SystemConfig::default(),
+            ff_jumps: 0,
+            ff_skipped: 0,
         }
+    }
+
+    /// The harness configuration.
+    pub fn config(&self) -> SystemConfig {
+        self.config
+    }
+
+    /// Replaces the harness configuration.
+    pub fn set_config(&mut self, config: SystemConfig) {
+        self.config = config;
+    }
+
+    /// Convenience toggle for the idle-cycle fast-forward path (see
+    /// [`SystemConfig::fast_forward`]).
+    pub fn set_fast_forward(&mut self, enabled: bool) {
+        self.config.fast_forward = enabled;
+    }
+
+    /// Number of idle-stretch jumps the fast-forward path has taken.
+    pub fn fast_forward_jumps(&self) -> u64 {
+        self.ff_jumps
+    }
+
+    /// Total cycles skipped (not stepped per-cycle) by fast-forwarding.
+    pub fn fast_forwarded_cycles(&self) -> u64 {
+        self.ff_skipped
     }
 
     /// Marks `client` as a rogue issuing `factor ×` its declared demand,
@@ -417,7 +476,12 @@ impl<I: ?Sized + Interconnect> System<I> {
                 match self.interconnect.inject(request, now) {
                     Ok(()) => {
                         entry.retries += 1;
-                        self.guard.retry_due.insert((now + w.timeout.max(1), id));
+                        // Saturating like `GuardState::track`: sentinel
+                        // timeouts (`Cycle::MAX` = detection-only) must not
+                        // overflow the re-arm.
+                        self.guard
+                            .retry_due
+                            .insert((now.saturating_add(w.timeout.max(1)), id));
                         self.registry.inc(ComponentId::System, Counter::Retries);
                         self.registry
                             .inc(ComponentId::Client(owner), Counter::Retries);
@@ -503,21 +567,82 @@ impl<I: ?Sized + Interconnect> System<I> {
 
     /// Runs until `horizon`, discarding everything recorded before
     /// `warmup` (see [`reset_metrics`](Self::reset_metrics)).
+    ///
+    /// `warmup` is clamped to `horizon`: an inverted pair used to simulate
+    /// silently past the horizon and then account still-pending requests
+    /// against a cutoff earlier than `now`, yielding nonsense miss counts.
+    /// With the clamp, `warmup >= horizon` degenerates to "simulate to the
+    /// horizon, reset, account" — the same as `warmup == horizon`.
     pub fn run_with_warmup(&mut self, warmup: Cycle, horizon: Cycle) -> RunMetrics {
-        while self.now < warmup {
-            self.step();
-        }
+        self.advance_to(warmup.min(horizon));
         self.reset_metrics();
         self.run(horizon)
+    }
+
+    /// Steps (or fast-forwards) the simulation up to `horizon` without any
+    /// end-of-run accounting.
+    fn advance_to(&mut self, horizon: Cycle) {
+        // Fast-forward is gated off while detail recording is on: typed
+        // per-cycle events (e.g. `Replenish` at every period boundary)
+        // cannot be replayed in closed form, and detail runs are
+        // diagnostics where wall-clock is secondary.
+        let fast = self.config.fast_forward
+            && !self.registry.detail()
+            && self.interconnect.metrics().is_none_or(|m| !m.detail());
+        // After a failed jump attempt the system is mid-drain and will
+        // stay busy for a while; probing every cycle would pay the O(n)
+        // veto scan per stepped cycle. Backing off is always sound —
+        // skipping a jump opportunity just steps cycles the oracle way —
+        // so results stay bit-identical, only wall-clock changes.
+        const ATTEMPT_BACKOFF: Cycle = 16;
+        let mut next_attempt = self.now;
+        while self.now < horizon {
+            if fast && self.now >= next_attempt {
+                if let Some(target) = self.fast_forward_target(horizon) {
+                    let delta = target - self.now;
+                    self.interconnect.advance_idle(self.now, delta);
+                    self.ff_jumps += 1;
+                    self.ff_skipped += delta;
+                    self.now = target;
+                    if self.now >= horizon {
+                        break;
+                    }
+                } else {
+                    next_attempt = self.now + ATTEMPT_BACKOFF;
+                }
+            }
+            self.step();
+        }
+    }
+
+    /// The cycle to jump to, when every layer promises nothing happens
+    /// before it: the minimum of the interconnect's hint, each client's
+    /// next release (or backlog), the fault plan's next window and the
+    /// guard layer's next timer, clamped to `horizon`. `None` when any
+    /// layer is busy at `now` (or the interconnect does not support
+    /// hinting) — the caller then steps one cycle as usual.
+    fn fast_forward_target(&self, horizon: Cycle) -> Option<Cycle> {
+        let now = self.now;
+        // Cheapest vetoes first: `jump_target` consumes the chain lazily
+        // and bails at the first `report <= now`, so a busy fabric (the
+        // common mid-drain case) is detected before the O(clients) scan.
+        let hint = self.interconnect.next_event_hint(now)?;
+        let reports = std::iter::once(hint)
+            .chain((!self.faults.is_empty()).then(|| self.faults.next_activity(now)))
+            .chain(self.guards.tracks().then(|| self.guard.next_event()))
+            .chain(self.clients.iter().map(|c| c.next_event(now)));
+        jump_target(now, horizon, reports)
     }
 
     /// Runs until `horizon` cycles have elapsed, then accounts still-pending
     /// requests (in client backlogs and inside the interconnect) as misses
     /// when their deadlines lie before the horizon. Returns the metrics.
+    ///
+    /// Provably-idle stretches are jumped in closed form when
+    /// [`SystemConfig::fast_forward`] is on (the default) and the
+    /// interconnect cooperates; results are bit-identical either way.
     pub fn run(&mut self, horizon: Cycle) -> RunMetrics {
-        while self.now < horizon {
-            self.step();
-        }
+        self.advance_to(horizon);
         // Requests still queued at the clients past their deadline. They
         // land in the returned aggregate and in the registry's per-client
         // slices (so the system-level registry counters stay a pure record
@@ -657,6 +782,98 @@ mod tests {
         // run would issue 40; discarding [0, 250) leaves the 5 releases at
         // 250..=450 → exactly 20.
         assert_eq!(m.issued(), 20);
+    }
+
+    #[test]
+    fn warmup_equal_to_horizon_is_reset_plus_noop_run() {
+        let ic = Box::new(IdealInterconnect {
+            clients: 2,
+            queue: VecDeque::new(),
+            ready: VecDeque::new(),
+            latency: 1,
+        });
+        let mut sys = System::new(ic as Box<dyn Interconnect>, &sets(2, 50, 2));
+        let m = sys.run_with_warmup(500, 500);
+        assert_eq!(sys.now(), 500, "simulates exactly to the horizon");
+        assert_eq!(m.issued(), 0, "every release falls inside the warm-up");
+        assert_eq!(m.completed(), 0);
+        assert_eq!(m.missed(), 0);
+    }
+
+    #[test]
+    fn warmup_beyond_horizon_is_clamped() {
+        // Regression: warmup > horizon used to simulate to `warmup` and
+        // then account still-queued requests against the earlier horizon,
+        // producing backlog/miss counts for a window that was never
+        // observed.
+        let run = |warmup| {
+            let ic = Box::new(IdealInterconnect {
+                clients: 2,
+                queue: VecDeque::new(),
+                ready: VecDeque::new(),
+                latency: 1,
+            });
+            let mut sys = System::new(ic as Box<dyn Interconnect>, &sets(2, 50, 2));
+            let m = sys.run_with_warmup(warmup, 500);
+            (
+                sys.now(),
+                m.issued(),
+                m.completed(),
+                m.missed(),
+                m.backlog(),
+            )
+        };
+        assert_eq!(
+            run(800),
+            run(500),
+            "inverted warm-up behaves like the boundary"
+        );
+    }
+
+    #[test]
+    fn watchdog_sentinel_timeout_is_detection_only() {
+        // Regression: `now + Cycle::MAX` overflowed in debug builds. The
+        // sentinel must run miss detection without ever firing a retry.
+        let mut ic = Box::new(LossyInterconnect::new(2));
+        ic.blackhole_client = Some(1);
+        let mut sys = System::new(ic as Box<dyn Interconnect>, &sets(2, 20, 1));
+        sys.set_guards(GuardConfig {
+            deadline_miss_detection: true,
+            watchdog: Some(WatchdogConfig {
+                timeout: Cycle::MAX,
+                max_retries: 3,
+            }),
+            quarantine: None,
+        });
+        sys.run(500);
+        assert!(sys.detected_misses(1) > 0, "misses still detected");
+        let reg = sys.registry();
+        assert_eq!(
+            reg.counter(ComponentId::System, Counter::Retries),
+            0,
+            "a Cycle::MAX timeout never comes due"
+        );
+    }
+
+    #[test]
+    fn fast_forward_stays_off_without_interconnect_support() {
+        // Test doubles keep the default `next_event_hint` (None), so the
+        // default-on fast-forward flag must leave them on the per-cycle
+        // path — and results identical with the flag forced off.
+        let run = |fast_forward| {
+            let ic = Box::new(IdealInterconnect {
+                clients: 4,
+                queue: VecDeque::new(),
+                ready: VecDeque::new(),
+                latency: 2,
+            });
+            let mut sys = System::new(ic as Box<dyn Interconnect>, &sets(4, 50, 2));
+            sys.set_fast_forward(fast_forward);
+            let m = sys.run(2_000);
+            assert_eq!(sys.fast_forward_jumps(), 0, "no hint → no jumps");
+            (m.issued(), m.completed(), m.missed(), m.mean_latency())
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

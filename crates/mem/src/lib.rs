@@ -34,6 +34,7 @@ pub mod dram;
 pub use dram::{AddressMap, DramConfig, PagePolicy};
 
 use bluescale_sim::metrics::{ComponentId, Counter, MetricsRegistry};
+use bluescale_sim::next_event::NextEvent;
 use bluescale_sim::Cycle;
 
 /// Statistics accumulated by a [`MemoryController`] over a run.
@@ -167,6 +168,16 @@ impl<T> MemoryController<T> {
         service
     }
 
+    /// The absolute cycle the in-flight request finishes service, or `None`
+    /// when the channel is idle. The service timer is a precomputed absolute
+    /// deadline (`done_at`), not a countdown, so a fast-forwarding harness
+    /// can jump the clock straight to this cycle without touching DRAM
+    /// state: [`poll_complete`](Self::poll_complete) at the target cycle
+    /// behaves exactly as it would after unit-stepping.
+    pub fn next_completion(&self) -> Option<Cycle> {
+        self.in_service.as_ref().map(|s| s.done_at)
+    }
+
     /// Returns the serviced payload if its service completed by `now`.
     pub fn poll_complete(&mut self, now: Cycle) -> Option<T> {
         match &self.in_service {
@@ -213,6 +224,17 @@ impl<T> MemoryController<T> {
     }
 }
 
+impl<T> NextEvent for MemoryController<T> {
+    /// Idle → [`Cycle::MAX`]; busy → the in-flight completion cycle
+    /// (clamped to `now` for a completion the caller has not polled yet).
+    fn next_event(&self, now: Cycle) -> Cycle {
+        match self.next_completion() {
+            Some(done) => done.max(now),
+            None => Cycle::MAX,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,6 +272,20 @@ mod tests {
         assert!(mc.can_accept());
         // Nothing more to complete.
         assert_eq!(mc.poll_complete(20), None);
+    }
+
+    #[test]
+    fn next_completion_tracks_in_flight_service() {
+        let mut mc: MemoryController<u32> = MemoryController::new(uniform(4));
+        assert_eq!(mc.next_completion(), None);
+        assert_eq!(mc.next_event(0), Cycle::MAX);
+        mc.accept(7, 0, 10);
+        assert_eq!(mc.next_completion(), Some(14));
+        assert_eq!(mc.next_event(10), 14);
+        // Jumping the clock straight to the reported cycle completes the
+        // request exactly as unit-stepping would.
+        assert_eq!(mc.poll_complete(14), Some(7));
+        assert_eq!(mc.next_completion(), None);
     }
 
     #[test]

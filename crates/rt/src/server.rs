@@ -106,6 +106,29 @@ impl ServerTask {
             false
         }
     }
+
+    /// Advances `delta` cycles in closed form, exactly as `delta` consecutive
+    /// [`tick`](Self::tick)s with no consumption in between would. Returns the
+    /// number of period boundaries crossed (the count of `tick()`s that would
+    /// have returned `true`).
+    ///
+    /// The fast-forward path uses this to jump over provably-idle stretches:
+    /// since nothing consumes budget while idle, the only state change is the
+    /// countdown itself, and the final counter values depend only on `delta`.
+    pub fn advance(&mut self, delta: Time) -> u64 {
+        if delta < self.p_counter {
+            self.p_counter -= delta;
+            return 0;
+        }
+        let period = self.interface.period();
+        let past = delta - self.p_counter;
+        let crossings = 1 + past / period;
+        // `period - rem` lands on `period` exactly at a boundary, matching
+        // tick()'s reload.
+        self.p_counter = period - past % period;
+        self.b_counter = self.interface.budget();
+        crossings
+    }
 }
 
 #[cfg(test)]
@@ -191,6 +214,50 @@ mod tests {
         assert_eq!(s.budget_remaining(), 4);
         assert_eq!(s.until_replenish(), 4);
         assert_eq!(s.interface().period(), 4);
+    }
+
+    #[test]
+    fn advance_matches_ticks_exhaustively() {
+        // Closed-form advance must equal delta unit ticks for every phase
+        // the counter can be in and every jump length up to several periods.
+        for (p, b) in [(1u64, 1u64), (3, 1), (5, 2), (7, 7)] {
+            for phase in 0..p {
+                for delta in 0..(4 * p + 3) {
+                    let mut reference = ServerTask::new(iface(p, b));
+                    for _ in 0..phase {
+                        reference.tick();
+                    }
+                    if reference.has_budget() {
+                        reference.consume(); // perturb B so replenish is visible
+                    }
+                    let mut jumped = reference;
+                    let mut crossings = 0u64;
+                    for _ in 0..delta {
+                        if reference.tick() {
+                            crossings += 1;
+                        }
+                    }
+                    assert_eq!(
+                        jumped.advance(delta),
+                        crossings,
+                        "crossings for p={p} b={b} phase={phase} delta={delta}"
+                    );
+                    assert_eq!(
+                        jumped, reference,
+                        "state for p={p} b={b} phase={phase} delta={delta}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn advance_zero_is_noop() {
+        let mut s = ServerTask::new(iface(10, 4));
+        s.consume();
+        let before = s;
+        assert_eq!(s.advance(0), 0);
+        assert_eq!(s, before);
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //!   cycle)` via a SplitMix64 finalizer. No hidden RNG state, so resuming,
 //!   re-running or reordering queries cannot change outcomes.
 
+use crate::next_event::NextEvent;
 use crate::Cycle;
 use std::fmt;
 
@@ -43,9 +44,16 @@ impl FaultWindow {
     ///
     /// # Panics
     ///
-    /// Panics if `end < start`.
+    /// Panics if `end <= start`: an inverted window is nonsense, and an
+    /// *empty* window (`end == start`) contains no cycle at all — not even
+    /// its start — so a `RequestBurst` bound to one would pass construction
+    /// yet silently never inject. Rejecting both at construction turns that
+    /// silent no-op into an immediate, diagnosable error.
     pub fn new(start: Cycle, end: Cycle) -> Self {
-        assert!(end >= start, "fault window must not end before it starts");
+        assert!(
+            end > start,
+            "fault window [{start}, {end}) is empty: end must be strictly after start"
+        );
         Self { start, end }
     }
 
@@ -338,6 +346,29 @@ impl FaultPlan {
         extra
     }
 
+    /// The earliest cycle ≥ `now` at which this plan can influence the
+    /// simulation: `now` itself while any window is active (active faults —
+    /// a stuck grant port, rogue demand, jitter — must be stepped
+    /// per-cycle), otherwise the earliest future window start, or
+    /// [`Cycle::MAX`] when every window is already closed.
+    ///
+    /// Window *ends* need no wake-up of their own: a closing window only
+    /// matters on cycles the simulation already steps per-cycle (the window
+    /// being active forces that), so the first cycle after the end is
+    /// reached by ordinary stepping.
+    pub fn next_activity(&self, now: Cycle) -> Cycle {
+        let mut next = Cycle::MAX;
+        for spec in &self.faults {
+            if spec.window.contains(now) {
+                return now;
+            }
+            if spec.window.start > now {
+                next = next.min(spec.window.start);
+            }
+        }
+        next
+    }
+
     /// Whether the response completing at `now` for `client` must be
     /// dropped. Stateful: each active `DropResponse` fault counts the
     /// responses it observes and discards the first of every `every`.
@@ -354,6 +385,12 @@ impl FaultPlan {
             }
         }
         drop
+    }
+}
+
+impl NextEvent for FaultPlan {
+    fn next_event(&self, now: Cycle) -> Cycle {
+        self.next_activity(now)
     }
 }
 
@@ -392,7 +429,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "must not end before it starts")]
+    #[should_panic(expected = "empty")]
     fn inverted_window_panics() {
         let _ = FaultWindow::new(20, 10);
     }
@@ -464,8 +501,12 @@ mod tests {
     }
 
     #[test]
-    fn degenerate_burst_window_never_fires() {
-        // An empty window [500, 500) contains no cycle, not even its start.
+    #[should_panic(expected = "fault window [500, 500) is empty")]
+    fn zero_length_burst_window_rejected() {
+        // Regression: [500, 500) used to pass construction, and a
+        // RequestBurst bound to it (which fires only when the window both
+        // starts at and contains `now`) silently never injected. Empty
+        // windows are now a construction-time error.
         let mut plan = FaultPlan::new(0);
         plan.push(
             FaultKind::RequestBurst {
@@ -474,7 +515,32 @@ mod tests {
             },
             FaultWindow::new(500, 500),
         );
-        assert_eq!(plan.burst_at(1, 500), 0);
+    }
+
+    #[test]
+    fn next_activity_reports_active_and_upcoming_windows() {
+        let mut plan = FaultPlan::new(0);
+        assert_eq!(plan.next_activity(0), Cycle::MAX, "empty plan never wakes");
+        plan.push(
+            FaultKind::RogueDemand {
+                client: 0,
+                factor: 2,
+            },
+            FaultWindow::new(100, 200),
+        )
+        .push(
+            FaultKind::StuckGrant {
+                depth: 0,
+                order: 0,
+                port: 0,
+            },
+            FaultWindow::new(50, 60),
+        );
+        assert_eq!(plan.next_activity(0), 50, "earliest upcoming start");
+        assert_eq!(plan.next_activity(55), 55, "active window pins to now");
+        assert_eq!(plan.next_activity(60), 100, "between windows");
+        assert_eq!(plan.next_activity(199), 199, "last active cycle");
+        assert_eq!(plan.next_activity(200), Cycle::MAX, "all windows closed");
     }
 
     #[test]

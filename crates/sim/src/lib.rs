@@ -15,6 +15,8 @@
 //!   interconnect model and consumed by the benches.
 //! * [`fault`] — deterministic, cycle-keyed fault-injection plans replayed
 //!   bit-identically from a seed.
+//! * [`next_event`] — the conservative "nothing before cycle X" contract
+//!   that lets harnesses fast-forward provably-idle stretches.
 //!
 //! # Example
 //!
@@ -36,6 +38,7 @@
 
 pub mod fault;
 pub mod metrics;
+pub mod next_event;
 pub mod rng;
 pub mod stats;
 pub mod trace;

@@ -1,0 +1,80 @@
+//! The next-event contract used by the idle-cycle fast-forward path.
+//!
+//! A cycle-driven kernel steps every component every cycle, so wall-clock
+//! grows as O(cycles × components) even when the whole system is idle. The
+//! standard discrete-event fix is to let each component report the earliest
+//! future cycle at which its observable state can change; when every
+//! component agrees that nothing happens before cycle `X`, the kernel jumps
+//! straight to `X`, advancing pure countdown state (server P/B counters) in
+//! closed form instead of `X - now` unit ticks.
+//!
+//! The contract is deliberately *conservative*: a component may report an
+//! earlier cycle than strictly necessary (a spurious wake-up merely costs
+//! one per-cycle step), but it must never report a later one — that would
+//! skip an observable event and break the bit-identicality guarantee the
+//! differential tests pin.
+
+use crate::Cycle;
+
+/// A component that can promise "nothing observable happens before cycle X".
+///
+/// Implementations must uphold, for every `now` at which the component is
+/// quiescent (no work in flight):
+///
+/// * **Soundness** — between `now` (inclusive) and `next_event(now)`
+///   (exclusive) the component, stepped per-cycle with no external input,
+///   produces no observable effect: no request released or forwarded, no
+///   grant, no completion, no metric counted, no fault injected.
+/// * **Monotonicity** — `next_event(now) >= now`. Returning `now` itself
+///   means "I am busy this very cycle; do not jump".
+/// * [`Cycle::MAX`] means "idle forever absent external input".
+pub trait NextEvent {
+    /// The earliest cycle ≥ `now` at which this component's observable
+    /// state can change on its own.
+    fn next_event(&self, now: Cycle) -> Cycle;
+}
+
+/// Folds component reports into a jump target: the earliest of `reports`,
+/// clamped to `horizon`. Returns `None` (do not jump) unless the fold lands
+/// strictly after `now` — any component reporting `now` or earlier vetoes
+/// the jump.
+pub fn jump_target<I>(now: Cycle, horizon: Cycle, reports: I) -> Option<Cycle>
+where
+    I: IntoIterator<Item = Cycle>,
+{
+    let mut target = horizon;
+    for report in reports {
+        if report <= now {
+            return None;
+        }
+        target = target.min(report);
+    }
+    (target > now).then_some(target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jump_target_takes_minimum_report() {
+        assert_eq!(jump_target(10, 1000, [50, 30, 900]), Some(30));
+    }
+
+    #[test]
+    fn busy_component_vetoes_jump() {
+        assert_eq!(jump_target(10, 1000, [50, 10]), None);
+        assert_eq!(jump_target(10, 1000, [9]), None);
+    }
+
+    #[test]
+    fn idle_forever_jumps_to_horizon() {
+        assert_eq!(jump_target(10, 1000, [Cycle::MAX, Cycle::MAX]), Some(1000));
+        assert_eq!(jump_target(10, 1000, std::iter::empty()), Some(1000));
+    }
+
+    #[test]
+    fn at_horizon_no_jump() {
+        assert_eq!(jump_target(1000, 1000, [Cycle::MAX]), None);
+    }
+}

@@ -25,4 +25,10 @@ cargo run --release -q -p bluescale-bench --bin metrics_overhead
 echo "==> fault injection smoke check (request conservation)"
 cargo run --release -q -p bluescale-bench --bin fault_smoke
 
+echo "==> fast-forward differential (bit-identical to per-cycle stepping)"
+cargo test -q --release --test fastforward_differential
+
+echo "==> scalability smoke (both stepping modes, small sweep points)"
+cargo test -q --release --test scalability_smoke
+
 echo "All checks passed."

@@ -1,0 +1,61 @@
+//! Tier-1 smoke test for the scalability sweep's fast-forward points.
+//!
+//! Runs the bench crate's speedup sweep at its two smallest sizes (4 and
+//! 16 clients, shortened horizon) so the per-cycle-vs-fast-forward
+//! equality assertion inside [`run_fastforward`] executes on every test
+//! run — not only when the full benchmark binary is invoked — and
+//! additionally pins a fig6-style point through both stepping modes with
+//! a full [`RunMetrics`] comparison.
+
+use bluescale::{BlueScaleConfig, BlueScaleInterconnect};
+use bluescale_bench::scalability::{run_fastforward, FastForwardConfig};
+use bluescale_interconnect::system::System;
+use bluescale_sim::rng::SimRng;
+use bluescale_workload::synthetic::{generate, SyntheticConfig};
+
+#[test]
+fn sweep_smoke_points_verify_and_jump() {
+    let cfg = FastForwardConfig {
+        client_counts: vec![4, 16],
+        horizon_override: Some(12_000),
+        ..Default::default()
+    };
+    // run_fastforward itself panics if the two modes diverge; the
+    // assertions here pin that the comparison was non-vacuous.
+    let points = run_fastforward(&cfg);
+    assert_eq!(points.len(), 2);
+    for p in &points {
+        assert!(p.verified, "{} clients: modes must agree", p.clients);
+        assert!(p.jumps > 0, "{} clients: no jumps taken", p.clients);
+        assert!(p.completed > 0, "{} clients: no traffic", p.clients);
+    }
+}
+
+#[test]
+fn fig6_point_has_identical_run_metrics_in_both_modes() {
+    let mut rng = SimRng::seed_from(0x5CA1E);
+    let sets = generate(&SyntheticConfig::fig6(4), &mut rng);
+    let build = || {
+        let mut config = BlueScaleConfig::for_clients(sets.len());
+        config.work_conserving = true;
+        let ic = BlueScaleInterconnect::new(config, &sets).expect("valid task sets");
+        System::new(Box::new(ic), &sets)
+    };
+    let mut fast = build();
+    let mut slow = build();
+    fast.set_fast_forward(true);
+    slow.set_fast_forward(false);
+    let mut a = fast.run(15_000);
+    let mut b = slow.run(15_000);
+    assert_eq!(
+        (a.issued(), a.completed(), a.missed(), a.backlog()),
+        (b.issued(), b.completed(), b.missed(), b.backlog())
+    );
+    assert_eq!(a.latency().as_slice(), b.latency().as_slice());
+    assert_eq!(a.blocking().as_slice(), b.blocking().as_slice());
+    assert_eq!(
+        a.normalized_response().as_slice(),
+        b.normalized_response().as_slice()
+    );
+    assert_eq!(slow.fast_forward_jumps(), 0, "the oracle must not jump");
+}
