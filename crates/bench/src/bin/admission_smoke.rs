@@ -1,0 +1,105 @@
+//! Fast admission-control smoke check for `scripts/check.sh`.
+//!
+//! Drives one BlueScale system through the full reconfiguration surface in
+//! a single run: a tenant joins an empty slot, one retasks, one leaves,
+//! one is rejected by admission control, and a rogue client is demoted by
+//! the guard layer *through the same reconfiguration path*. Then asserts
+//! request conservation (issued = completed + backlog + guard-outstanding)
+//! and that every counter saw the event it pins. Exits non-zero on
+//! violation.
+//!
+//! Usage: `cargo run --release -p bluescale-bench --bin admission_smoke`
+
+use bluescale::{BlueScaleConfig, BlueScaleInterconnect};
+use bluescale_interconnect::admission::{ChurnKind, ChurnPlan};
+use bluescale_interconnect::guard::{GuardConfig, QuarantinePolicy};
+use bluescale_interconnect::system::System;
+use bluescale_rt::task::{Task, TaskSet};
+use bluescale_sim::fault::{FaultKind, FaultPlan, FaultWindow};
+use bluescale_sim::metrics::{ComponentId, Counter};
+
+const SEED: u64 = 0x00AD_0051;
+const HORIZON: u64 = 8_000;
+
+fn set(period: u64, wcet: u64) -> TaskSet {
+    TaskSet::new(vec![Task::new(0, period, wcet).expect("valid task")]).expect("valid set")
+}
+
+fn main() {
+    // 15 light tenants plus one empty slot for the join; ~10% combined
+    // utilization so every churn event below is analytically feasible.
+    let mut sets: Vec<TaskSet> = (0..16).map(|i| set(400 + 10 * (i % 7), 2)).collect();
+    sets[15] = TaskSet::empty();
+    let mut config = BlueScaleConfig::for_clients(sets.len());
+    config.work_conserving = false; // strict gating: a rogue must miss
+    let ic = BlueScaleInterconnect::new(config, &sets).expect("valid workload");
+    let mut sys = System::new(Box::new(ic), &sets);
+
+    let mut churn = ChurnPlan::new(SEED);
+    churn
+        .push(1_000, 15, ChurnKind::Join { tasks: set(500, 2) })
+        .push(2_000, 2, ChurnKind::UpdateTasks { tasks: set(300, 3) })
+        .push(2_500, 4, ChurnKind::UpdateTasks { tasks: set(10, 9) })
+        .push(3_000, 14, ChurnKind::Leave);
+    sys.set_churn_plan(churn);
+
+    // A rogue tenant overdrives its declared demand 6x; with strict
+    // budgets it starts missing deadlines and the guard layer demotes it
+    // through the reconfiguration path.
+    let mut faults = FaultPlan::new(SEED);
+    faults.push(
+        FaultKind::RogueDemand {
+            client: 0,
+            factor: 6,
+        },
+        FaultWindow::new(500, HORIZON),
+    );
+    sys.set_fault_plan(faults);
+    sys.set_guards(GuardConfig {
+        deadline_miss_detection: true,
+        watchdog: None,
+        quarantine: Some(QuarantinePolicy { miss_threshold: 8 }),
+    });
+
+    let total = sys.run(HORIZON);
+    let outstanding = sys.guard_outstanding() as u64;
+    let reg = sys.registry();
+    let admitted = reg.counter(ComponentId::System, Counter::Admitted);
+    let rejected = reg.counter(ComponentId::System, Counter::AdmissionRejected);
+    let reconfigurations = reg.counter(ComponentId::System, Counter::Reconfigurations);
+    let transition_cycles = reg.counter(ComponentId::System, Counter::TransitionCycles);
+    let quarantines = reg.counter(ComponentId::System, Counter::Quarantines);
+
+    println!(
+        "admission smoke: issued={} completed={} backlog={} outstanding={} \
+         admitted={} rejected={} reconfigurations={} transition_cycles={} \
+         quarantines={}",
+        total.issued(),
+        total.completed(),
+        total.backlog(),
+        outstanding,
+        admitted,
+        rejected,
+        reconfigurations,
+        transition_cycles,
+        quarantines,
+    );
+
+    assert_eq!(admitted, 3, "join + update + leave must pass admission");
+    assert_eq!(rejected, 1, "the hog must be rejected and rolled back");
+    assert_eq!(quarantines, 1, "the rogue tenant must be quarantined");
+    assert_eq!(
+        reconfigurations, 4,
+        "3 admitted churn events + 1 quarantine demotion"
+    );
+    assert!(
+        transition_cycles > 0,
+        "staged swaps must wait for replenishment boundaries"
+    );
+    assert_eq!(
+        total.issued(),
+        total.completed() + total.backlog() + outstanding,
+        "request conservation violated: issued != completed + backlog + outstanding"
+    );
+    println!("admission smoke: conservation holds");
+}

@@ -1,0 +1,428 @@
+//! Extension experiment: online tenant churn — incremental vs full
+//! interface re-selection, and the disturbance a live transition causes.
+//!
+//! Two measurements, both exported to `results/BENCH_admission.json`:
+//!
+//! 1. **Admission cost.** A seeded stream of join/leave/update requests is
+//!    admission-tested twice per event: with the path-local
+//!    [`IncrementalSelection`] cache and with a from-scratch
+//!    [`full_selection`] over the whole tree. The two must make
+//!    bit-identical admission decisions (asserted, not assumed); the sweep
+//!    reports the wall-clock gap and the SEs analyzed per event, per tree
+//!    depth.
+//! 2. **Transition disturbance.** A live [`System`] over the real
+//!    BlueScale fabric runs a [`ChurnPlan`]; the mode-change protocol's
+//!    promise is that already-admitted tenants never miss a deadline
+//!    across a transition, so the report carries the deadline misses of
+//!    every *non-churned* client (expected: zero) next to the staged
+//!    transition latencies.
+
+use bluescale::{BlueScaleConfig, BlueScaleInterconnect};
+use bluescale_interconnect::admission::{ChurnKind, ChurnPlan};
+use bluescale_interconnect::system::System;
+use bluescale_rt::incremental::{full_selection, IncrementalSelection, InterfaceTree};
+use bluescale_rt::interface::root_admissible;
+use bluescale_rt::task::{Task, TaskSet};
+use bluescale_sim::metrics::{ComponentId, Counter, MetricsRegistry};
+use bluescale_sim::rng::SimRng;
+use bluescale_sim::Cycle;
+use std::time::Instant;
+
+/// Configuration of the churn sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnConfig {
+    /// Client counts to sweep (each maps to a tree depth).
+    pub client_counts: Vec<usize>,
+    /// Churn events admission-tested per point.
+    pub events: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Horizon of the live disturbance run, in cycles.
+    pub horizon: Cycle,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        Self {
+            client_counts: vec![16, 64, 256],
+            events: 40,
+            seed: 0xC4A2,
+            horizon: 30_000,
+        }
+    }
+}
+
+/// One admission-cost sweep point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnPoint {
+    /// Number of clients.
+    pub clients: usize,
+    /// Tree depth (SE levels).
+    pub levels: usize,
+    /// Churn events tested.
+    pub events: usize,
+    /// Events admitted (identical under both re-selection strategies).
+    pub admitted: usize,
+    /// Events rejected (infeasible selection or inadmissible root).
+    pub rejected: usize,
+    /// Mean wall-clock microseconds per incremental admission test.
+    pub incremental_us: f64,
+    /// Mean wall-clock microseconds per full re-selection.
+    pub full_us: f64,
+    /// Mean SEs analyzed per incremental event (≤ tree depth: a probe
+    /// rejected at the leaf never climbs further).
+    pub ses_incremental: f64,
+    /// SEs analyzed per full re-selection (the whole tree).
+    pub ses_full: u64,
+}
+
+impl ChurnPoint {
+    /// Wall-clock speed-up of the incremental path.
+    pub fn speedup(&self) -> f64 {
+        self.full_us / self.incremental_us.max(1e-9)
+    }
+}
+
+/// Disturbance of a live churn run over the BlueScale fabric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DisturbanceReport {
+    /// Clients in the live system.
+    pub clients: usize,
+    /// Reconfigurations applied.
+    pub reconfigurations: u64,
+    /// Requests admitted by the online admission test.
+    pub admitted: u64,
+    /// Requests rejected and rolled back.
+    pub rejected: u64,
+    /// Cycles spent waiting for replenishment boundaries, summed over all
+    /// staged parameter swaps.
+    pub transition_cycles: u64,
+    /// Deadline misses among clients the plan never touched (the
+    /// zero-disturbance claim: this must be 0).
+    pub missed_untouched: u64,
+    /// Total requests issued.
+    pub issued: u64,
+}
+
+/// `n` single-task clients at ~10% combined utilization: feasible at every
+/// tree depth, with headroom for churn to be admitted against.
+fn light_sets(n: usize, rng: &mut SimRng) -> Vec<TaskSet> {
+    let base = 25 * n as u64;
+    (0..n)
+        .map(|_| {
+            let period = base + 10 * rng.range_u64(0, 8);
+            let wcet = 1 + rng.range_u64(0, 3);
+            TaskSet::new(vec![Task::new(0, period, wcet).expect("valid task")])
+                .expect("single task cannot collide")
+        })
+        .collect()
+}
+
+/// Draws the next churn request: a mix of feasible retasks, leaves, and
+/// occasional hogs that must be rejected.
+fn draw_event(clients: usize, rng: &mut SimRng) -> (usize, TaskSet) {
+    let client = rng.range_usize(0, clients);
+    let tasks = match rng.range_u64(0, 8) {
+        0 => TaskSet::empty(), // leave
+        1 => {
+            // A hog demanding most of one SE: the admission test must
+            // reject it (and both strategies must agree it does).
+            TaskSet::new(vec![Task::new(0, 10, 9).expect("valid task")]).expect("valid set")
+        }
+        _ => {
+            let base = 25 * clients as u64;
+            let period = base + 10 * rng.range_u64(0, 8);
+            TaskSet::new(vec![
+                Task::new(0, period, 1 + rng.range_u64(0, 3)).expect("valid task")
+            ])
+            .expect("valid set")
+        }
+    };
+    (client, tasks)
+}
+
+/// Admission decision of a from-scratch re-selection over `sets` with
+/// `client` retasked: feasible selection everywhere *and* an exactly
+/// admissible root.
+fn full_decision(
+    sets: &[TaskSet],
+    client: usize,
+    tasks: &TaskSet,
+    branch: usize,
+) -> (bool, Option<InterfaceTree>) {
+    let mut trial = sets.to_vec();
+    trial[client] = tasks.clone();
+    match full_selection(&trial, branch, 1) {
+        Ok(tree) => {
+            let root: Vec<_> = tree[0][0].iter().flatten().copied().collect();
+            if root_admissible(&root) {
+                (true, Some(tree))
+            } else {
+                (false, None)
+            }
+        }
+        Err(_) => (false, None),
+    }
+}
+
+/// Runs the admission-cost sweep.
+///
+/// # Panics
+///
+/// Panics if the incremental and full strategies ever disagree on an
+/// admission decision, or on the selected interfaces after a commit —
+/// the sweep's timings are only meaningful while the two are equivalent.
+pub fn run(config: &ChurnConfig) -> Vec<ChurnPoint> {
+    let branch = 4;
+    let mut master = SimRng::seed_from(config.seed);
+    config
+        .client_counts
+        .iter()
+        .map(|&clients| {
+            let mut rng = master.fork();
+            let mut sets = light_sets(clients, &mut rng);
+            let mut inc = IncrementalSelection::new(sets.clone(), branch, 1)
+                .expect("light workload is feasible");
+            let (mut admitted, mut rejected) = (0usize, 0usize);
+            let (mut inc_total, mut full_total) = (0.0f64, 0.0f64);
+            for _ in 0..config.events {
+                let (client, tasks) = draw_event(clients, &mut rng);
+
+                let start = Instant::now();
+                let inc_admitted = inc.admit_update(client, tasks.clone()).unwrap_or(false);
+                inc_total += start.elapsed().as_secs_f64() * 1e6;
+
+                let start = Instant::now();
+                let (full_admitted, full_tree) = full_decision(&sets, client, &tasks, branch);
+                full_total += start.elapsed().as_secs_f64() * 1e6;
+
+                assert_eq!(
+                    inc_admitted, full_admitted,
+                    "strategies disagree on client {client}"
+                );
+                if inc_admitted {
+                    admitted += 1;
+                    sets[client] = tasks;
+                    assert_eq!(
+                        inc.interfaces(),
+                        &full_tree.expect("admitted events carry a tree"),
+                        "committed interfaces diverged on client {client}"
+                    );
+                } else {
+                    rejected += 1;
+                }
+            }
+            let ses_full = inc
+                .interfaces()
+                .iter()
+                .map(|level| level.len() as u64)
+                .sum::<u64>();
+            ChurnPoint {
+                clients,
+                levels: inc.levels(),
+                events: config.events,
+                admitted,
+                rejected,
+                incremental_us: inc_total / config.events as f64,
+                full_us: full_total / config.events as f64,
+                ses_incremental: inc.ses_analyzed() as f64 / config.events as f64,
+                ses_full,
+            }
+        })
+        .collect()
+}
+
+/// Runs the live disturbance measurement: a [`ChurnPlan`] of feasible
+/// retasks against the real fabric, reporting the misses of every client
+/// the plan never touched.
+pub fn run_disturbance(config: &ChurnConfig) -> DisturbanceReport {
+    let clients = 16;
+    let mut rng = SimRng::seed_from(config.seed ^ 0xD157);
+    let sets = light_sets(clients, &mut rng);
+    let mut bs = BlueScaleConfig::for_clients(clients);
+    bs.work_conserving = true;
+    let ic = BlueScaleInterconnect::new(bs, &sets).expect("light workload builds");
+    let mut sys = System::new(Box::new(ic), &sets);
+
+    // Churn clients 3 and 7 only; every other client must ride through
+    // all four transitions without a single miss.
+    let churned = [3u16, 7u16];
+    let mut plan = ChurnPlan::new(config.seed);
+    let retask = TaskSet::new(vec![
+        Task::new(0, 25 * clients as u64, 2).expect("valid task")
+    ])
+    .expect("valid set");
+    plan.push(
+        config.horizon / 5,
+        churned[0],
+        ChurnKind::UpdateTasks {
+            tasks: retask.clone(),
+        },
+    );
+    plan.push(2 * config.horizon / 5, churned[1], ChurnKind::Leave);
+    plan.push(
+        3 * config.horizon / 5,
+        churned[1],
+        ChurnKind::Join {
+            tasks: sets[churned[1] as usize].clone(),
+        },
+    );
+    plan.push(
+        4 * config.horizon / 5,
+        churned[0],
+        ChurnKind::UpdateTasks {
+            tasks: sets[churned[0] as usize].clone(),
+        },
+    );
+    sys.set_churn_plan(plan);
+    let m = sys.run(config.horizon);
+    let missed_untouched = sys
+        .per_client_metrics()
+        .iter()
+        .enumerate()
+        .filter(|(c, _)| !churned.contains(&(*c as u16)))
+        .map(|(_, m)| m.missed())
+        .sum();
+    // The harness registry's System slice: the fabric's own registry
+    // repeats Reconfigurations/TransitionCycles from its side of the
+    // protocol, so a merge would double-count them.
+    let reg = sys.registry();
+    DisturbanceReport {
+        clients,
+        reconfigurations: reg.counter(ComponentId::System, Counter::Reconfigurations),
+        admitted: reg.counter(ComponentId::System, Counter::Admitted),
+        rejected: reg.counter(ComponentId::System, Counter::AdmissionRejected),
+        transition_cycles: reg.counter(ComponentId::System, Counter::TransitionCycles),
+        missed_untouched,
+        issued: m.issued(),
+    }
+}
+
+/// Records the sweep into a registry for the JSON snapshot
+/// (`results/BENCH_admission.json`).
+pub fn record_into(
+    registry: &mut MetricsRegistry,
+    points: &[ChurnPoint],
+    disturbance: &DisturbanceReport,
+) {
+    for (i, p) in points.iter().enumerate() {
+        let series = ComponentId::Series(i as u16);
+        registry.set_gauge(series, "clients", p.clients as f64);
+        registry.set_gauge(series, "levels", p.levels as f64);
+        registry.set_gauge(series, "incremental_us", p.incremental_us);
+        registry.set_gauge(series, "full_us", p.full_us);
+        registry.set_gauge(series, "speedup", p.speedup());
+        registry.set_gauge(series, "ses_incremental", p.ses_incremental);
+        registry.set_gauge(series, "ses_full", p.ses_full as f64);
+        registry.add(series, Counter::Admitted, p.admitted as u64);
+        registry.add(series, Counter::AdmissionRejected, p.rejected as u64);
+        registry.add(series, Counter::Trials, p.events as u64);
+    }
+    let sys = ComponentId::System;
+    registry.add(sys, Counter::Reconfigurations, disturbance.reconfigurations);
+    registry.add(sys, Counter::Admitted, disturbance.admitted);
+    registry.add(sys, Counter::AdmissionRejected, disturbance.rejected);
+    registry.add(
+        sys,
+        Counter::TransitionCycles,
+        disturbance.transition_cycles,
+    );
+    registry.add(sys, Counter::Missed, disturbance.missed_untouched);
+    registry.set_gauge(sys, "disturbance_issued", disturbance.issued as f64);
+}
+
+/// Renders both measurements as markdown.
+pub fn render(
+    config: &ChurnConfig,
+    points: &[ChurnPoint],
+    disturbance: &DisturbanceReport,
+) -> String {
+    let mut s = format!(
+        "# Extension: online churn — incremental admission vs full \
+         re-selection ({} events/point)\n\n",
+        config.events
+    );
+    s.push_str(
+        "| Clients | Depth | Admitted | Rejected | SEs/event (inc) | \
+         SEs/event (full) | Incremental (µs) | Full (µs) | Speed-up |\n",
+    );
+    s.push_str("|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n");
+    for p in points {
+        s.push_str(&format!(
+            "| {} | {} | {} | {} | {:.1} | {} | {:.1} | {:.1} | {:.1}× |\n",
+            p.clients,
+            p.levels,
+            p.admitted,
+            p.rejected,
+            p.ses_incremental,
+            p.ses_full,
+            p.incremental_us,
+            p.full_us,
+            p.speedup(),
+        ));
+    }
+    s.push_str(&format!(
+        "\nLive transition disturbance ({} clients, horizon {}): \
+         {} reconfigurations ({} admitted, {} rejected), {} staged \
+         transition cycles, **{} deadline misses among untouched clients** \
+         over {} requests.\n",
+        disturbance.clients,
+        config.horizon,
+        disturbance.reconfigurations,
+        disturbance.admitted,
+        disturbance.rejected,
+        disturbance.transition_cycles,
+        disturbance.missed_untouched,
+        disturbance.issued,
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ChurnConfig {
+        ChurnConfig {
+            client_counts: vec![16, 64],
+            events: 12,
+            seed: 9,
+            horizon: 10_000,
+        }
+    }
+
+    #[test]
+    fn strategies_agree_and_incremental_analyzes_fewer_ses() {
+        // `run` itself asserts decision and interface equality per event.
+        let pts = run(&tiny());
+        for p in &pts {
+            assert_eq!(p.admitted + p.rejected, p.events);
+            assert!(p.admitted > 0, "some churn must be admitted");
+            assert!(p.rejected > 0, "hogs must be rejected");
+            assert!(
+                p.ses_incremental < p.ses_full as f64,
+                "path re-analysis must beat the whole tree"
+            );
+        }
+        // 4× the clients adds one level to the path but 4× the tree.
+        assert_eq!(pts[1].levels, pts[0].levels + 1);
+        assert!(pts[1].ses_full > 4 * pts[0].ses_full);
+    }
+
+    #[test]
+    fn live_churn_leaves_untouched_clients_unharmed() {
+        let d = run_disturbance(&tiny());
+        assert_eq!(d.missed_untouched, 0, "transitions must not disturb");
+        assert_eq!(d.admitted, 4, "all four planned events are feasible");
+        assert_eq!(d.rejected, 0);
+        assert!(d.transition_cycles > 0, "swaps wait for the boundary");
+    }
+
+    #[test]
+    fn render_reports_speedup_and_disturbance() {
+        let cfg = tiny();
+        let text = render(&cfg, &run(&cfg), &run_disturbance(&cfg));
+        assert!(text.contains("Speed-up"));
+        assert!(text.contains("deadline misses among untouched"));
+    }
+}

@@ -16,6 +16,7 @@
 //! | Temporal isolation vs a rogue client (extension) | [`isolation`] | `... --bin isolation` |
 //! | Isolation under fault injection (extension) | [`isolation_fault`] | `... --bin isolation_fault` |
 //! | Reconfiguration cost per task change (extension) | [`reconfig`] | `... --bin reconfig` |
+//! | Online churn: incremental admission (extension) | [`churn`] | `... --bin churn` |
 //! | Analytic admission-rate curve (extension) | [`admission`] | `... --bin admission` |
 //! | Hierarchical EDP laxity sweep (extension) | [`edp_sweep`] | `... --bin edp_sweep` |
 //! | Interface-selection fast path (extension) | [`interface_selection`] | `... --bin selection_bench` |
@@ -27,6 +28,7 @@
 
 pub mod ablation;
 pub mod admission;
+pub mod churn;
 pub mod dram;
 pub mod edp_sweep;
 pub mod export;

@@ -130,6 +130,26 @@ impl ScaleElement {
         }
     }
 
+    /// Programs the scheduler's server tasks from `interfaces` through the
+    /// safe mode-change protocol: changed interfaces on running servers are
+    /// staged and swap at each server's own replenishment boundary, new
+    /// servers program immediately, `None` clears immediately (see
+    /// [`LocalScheduler::program_deferred`]). Returns the summed transition
+    /// latency (cycles until every staged swap has committed, added over
+    /// the affected ports).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interfaces.len()` differs from the port count.
+    pub fn program_deferred(&mut self, interfaces: &[Option<PeriodicResource>]) -> u64 {
+        assert_eq!(interfaces.len(), self.ports(), "one interface per port");
+        interfaces
+            .iter()
+            .enumerate()
+            .map(|(port, iface)| self.scheduler.program_deferred(port, *iface))
+            .sum()
+    }
+
     /// The interface currently programmed at `port`.
     pub fn interface(&self, port: usize) -> Option<PeriodicResource> {
         self.scheduler.interface(port)

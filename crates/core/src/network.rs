@@ -15,8 +15,10 @@
 use crate::element::ScaleElement;
 use crate::selector::TableRow;
 use crate::topology::{BlueScaleConfig, SeIndex};
-use bluescale_interconnect::{Interconnect, MemoryRequest, MemoryResponse, ServiceEvent};
+use bluescale_interconnect::admission::ReconfigOutcome;
+use bluescale_interconnect::{ClientId, Interconnect, MemoryRequest, MemoryResponse, ServiceEvent};
 use bluescale_mem::{DramConfig, MemoryController};
+use bluescale_rt::interface::root_admissible;
 use bluescale_rt::supply::PeriodicResource;
 use bluescale_rt::task::TaskSet;
 use bluescale_rt::Error as RtError;
@@ -183,6 +185,9 @@ pub struct BlueScaleInterconnect {
     /// fault-free code path.
     faults: FaultPlan,
 }
+
+/// One path SE's trial result: `(depth, order, selected interfaces)`.
+type PathTrial = (usize, usize, Vec<Option<PeriodicResource>>);
 
 impl BlueScaleInterconnect {
     /// Builds a BlueScale instance and resolves all interface-selection
@@ -441,6 +446,72 @@ impl BlueScaleInterconnect {
         Ok(false)
     }
 
+    /// The table rows describing `tasks` at a leaf `port` (analysis
+    /// deadlines deflated by the configured margin, as at construction).
+    fn leaf_rows(&self, port: usize, tasks: &TaskSet) -> Vec<TableRow> {
+        tasks
+            .iter()
+            .map(|t| TableRow {
+                port: port as u8,
+                task_id: t.id(),
+                period: t.period(),
+                deadline: self.config.analysis_deadline(t.period(), t.wcet()),
+                wcet: t.wcet(),
+            })
+            .collect()
+    }
+
+    /// Admission-tests `tasks` for `client` without touching the live
+    /// fabric: the interface-selection problems along the client's request
+    /// path (leaf SE up to the root) are re-solved on *cloned* parameter
+    /// tables, every other subtree reusing its cached interfaces from
+    /// [`CompositionReport::interfaces`]. Returns the path's newly selected
+    /// interfaces (leaf first) when the update is admissible:
+    /// selection succeeded at every path SE, every off-path SE already held
+    /// a valid analysis, and the root passes the **exact** admission test
+    /// `Σ Θ/Π ≤ 1` ([`root_admissible`] — no floating-point tolerance, so
+    /// a compositional overshoot of even one part in 2⁵³ is caught).
+    fn admission_trial(&self, client: usize, tasks: &TaskSet) -> Option<Vec<PathTrial>> {
+        let levels = self.config.levels();
+        let (leaf_order, port) = self.config.attach_point(client);
+        let mut trial: Vec<PathTrial> = Vec::with_capacity(levels);
+        let mut order = leaf_order;
+        let mut reload = port as u8;
+        let mut child_ifaces: Option<Vec<Option<PeriodicResource>>> = None;
+        for depth in (0..levels).rev() {
+            let rows = match &child_ifaces {
+                None => self.leaf_rows(port, tasks),
+                Some(ifaces) => Self::interface_rows(&self.config, reload, ifaces),
+            };
+            let mut sel = self.elements[depth][order].selector().clone();
+            if sel.reload_port(reload, &rows).is_err() {
+                return None;
+            }
+            // Admission has no fallback: an analytically infeasible path
+            // SE rejects the request outright.
+            let Ok(ifaces) = sel.compute() else {
+                return None;
+            };
+            trial.push((depth, order, ifaces.clone()));
+            reload = (order % self.config.branch) as u8;
+            order /= self.config.branch;
+            child_ifaces = Some(ifaces);
+        }
+        // Off-path SEs keep their parameters; if any of them is already on
+        // fallback interfaces the system has no guarantee to extend.
+        let path: Vec<(usize, usize)> = trial.iter().map(|(d, o, _)| (*d, *o)).collect();
+        for (depth, row) in self.se_analysis_ok.iter().enumerate() {
+            for (order, &ok) in row.iter().enumerate() {
+                if !ok && !path.contains(&(depth, order)) {
+                    return None;
+                }
+            }
+        }
+        let (_, _, root) = trial.last().expect("levels >= 1");
+        let root_ifaces: Vec<PeriodicResource> = root.iter().flatten().copied().collect();
+        root_admissible(&root_ifaces).then_some(trial)
+    }
+
     /// Offers a request at its client's port, with typed rejection: a
     /// transiently full buffer ([`InjectError::PortFull`]) is
     /// distinguished from a malformed request naming a nonexistent client
@@ -636,6 +707,75 @@ impl Interconnect for BlueScaleInterconnect {
         // mode the client still drains on slack cycles.
         self.update_client_tasks(client as usize, TaskSet::empty())
             .is_ok()
+    }
+
+    fn reconfigure_client(
+        &mut self,
+        client: ClientId,
+        tasks: &TaskSet,
+        _now: Cycle,
+    ) -> ReconfigOutcome {
+        let client = client as usize;
+        if client >= self.config.num_clients {
+            return ReconfigOutcome::Rejected;
+        }
+        // Admission runs entirely on cloned parameter tables: a rejection
+        // returns before anything in the live fabric was written, so the
+        // rolled-back state is trivially bit-identical.
+        let Some(trial) = self.admission_trial(client, tasks) else {
+            return ReconfigOutcome::Rejected;
+        };
+        // Commit: rewrite the table rows and cached interfaces along the
+        // path, staging every changed server to swap at its replenishment
+        // boundary. Rows re-validate trivially (the trial already loaded
+        // identical rows into the clones).
+        let levels = self.config.levels();
+        let (leaf_order, port) = self.config.attach_point(client);
+        let rows = self.leaf_rows(port, tasks);
+        self.elements[levels - 1][leaf_order]
+            .selector_mut()
+            .reload_port(port as u8, &rows)
+            .expect("rows validated by the admission trial");
+        self.client_tasks[client] = tasks.clone();
+        let mut transition_cycles = 0;
+        for (depth, order, ifaces) in &trial {
+            let staged = self.elements[*depth][*order].program_deferred(ifaces);
+            if staged > 0 {
+                transition_cycles += staged;
+                self.metrics.add(
+                    ComponentId::Se {
+                        depth: *depth,
+                        order: *order,
+                    },
+                    Counter::TransitionCycles,
+                    staged,
+                );
+            }
+            self.se_analysis_ok[*depth][*order] = true;
+            self.composition.interfaces[*depth][*order] = ifaces.clone();
+            if *depth > 0 {
+                let parent_order = order / self.config.branch;
+                let parent_port = (order % self.config.branch) as u8;
+                let parent_rows = Self::interface_rows(&self.config, parent_port, ifaces);
+                self.elements[*depth - 1][parent_order]
+                    .selector_mut()
+                    .reload_port(parent_port, &parent_rows)
+                    .expect("rows validated by the admission trial");
+            }
+        }
+        self.composition.analysis_ok = self.se_analysis_ok.iter().flatten().all(|&ok| ok);
+        self.composition.root_bandwidth = Self::bandwidth_sum(&self.composition.interfaces[0][0]);
+        self.composition.schedulable =
+            self.composition.analysis_ok && self.composition.root_bandwidth <= 1.0 + 1e-9;
+        self.composition.reprogrammed_elements = trial.len();
+        self.metrics.set_gauge(
+            ComponentId::System,
+            "root_bandwidth",
+            self.composition.root_bandwidth,
+        );
+        self.metrics
+            .inc(ComponentId::System, Counter::Reconfigurations);
+        ReconfigOutcome::Admitted { transition_cycles }
     }
 
     fn step(&mut self, now: Cycle) {
@@ -1017,6 +1157,74 @@ mod tests {
         assert!(!admitted);
         assert_eq!(ic.client_tasks()[5].tasks()[0].wcet(), 8, "rolled back");
         assert!(ic.composition().schedulable, "composition restored");
+    }
+
+    #[test]
+    fn reconfigure_admits_feasible_update_with_deferred_swap() {
+        let mut ic =
+            BlueScaleInterconnect::new(BlueScaleConfig::for_clients(16), &sets(16, 400, 4))
+                .unwrap();
+        let outcome = ic.reconfigure_client(
+            5,
+            &TaskSet::new(vec![Task::new(0, 400, 8).unwrap()]).unwrap(),
+            0,
+        );
+        let ReconfigOutcome::Admitted { transition_cycles } = outcome else {
+            panic!("feasible update must be admitted, got {outcome:?}");
+        };
+        // Freshly built servers sit a full period away from their next
+        // replenishment, so the staged swaps report a non-zero latency.
+        assert!(transition_cycles > 0, "swap must wait for the boundary");
+        assert_eq!(ic.client_tasks()[5].tasks()[0].wcet(), 8);
+        assert!(ic.composition().schedulable);
+        assert_eq!(ic.composition().reprogrammed_elements, 2, "path only");
+        assert_eq!(
+            ic.metrics()
+                .counter(ComponentId::System, Counter::Reconfigurations),
+            1
+        );
+    }
+
+    #[test]
+    fn reconfigure_rejects_hog_bit_identically() {
+        let mut ic =
+            BlueScaleInterconnect::new(BlueScaleConfig::for_clients(16), &sets(16, 400, 4))
+                .unwrap();
+        let interfaces = ic.composition().interfaces.clone();
+        let tasks = ic.client_tasks().to_vec();
+        let root_bandwidth = ic.composition().root_bandwidth;
+        let hog = TaskSet::new(vec![Task::new(0, 100, 95).unwrap()]).unwrap();
+        assert_eq!(ic.reconfigure_client(5, &hog, 7), ReconfigOutcome::Rejected);
+        // The trial ran on cloned tables: nothing in the live fabric moved.
+        assert_eq!(ic.composition().interfaces, interfaces);
+        assert_eq!(ic.client_tasks(), tasks);
+        assert_eq!(ic.composition().root_bandwidth, root_bandwidth);
+        assert!(ic.composition().schedulable);
+        assert_eq!(
+            ic.metrics()
+                .counter(ComponentId::System, Counter::Reconfigurations),
+            0
+        );
+    }
+
+    #[test]
+    fn reconfigure_leave_and_rejoin_round_trip() {
+        let mut ic =
+            BlueScaleInterconnect::new(BlueScaleConfig::for_clients(16), &sets(16, 400, 4))
+                .unwrap();
+        let interfaces = ic.composition().interfaces.clone();
+        // Leave: an empty task set vacates the slot...
+        assert!(ic.reconfigure_client(3, &TaskSet::empty(), 10).applied());
+        assert!(ic.client_tasks()[3].is_empty());
+        // ...and rejoining with the original declaration is admitted.
+        let rejoin = TaskSet::new(vec![Task::new(0, 400, 4).unwrap()]).unwrap();
+        assert!(ic.reconfigure_client(3, &rejoin, 20).applied());
+        assert_eq!(ic.composition().interfaces, interfaces, "state restored");
+        assert_eq!(
+            ic.reconfigure_client(99, &rejoin, 30),
+            ReconfigOutcome::Rejected,
+            "out-of-range client"
+        );
     }
 
     #[test]

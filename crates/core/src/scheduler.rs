@@ -65,6 +65,43 @@ impl LocalScheduler {
         self.servers[port] = None;
     }
 
+    /// Programs `port` through the safe mode-change protocol of a live
+    /// reconfiguration. A changed interface on a running server is *staged*
+    /// and swaps in at that server's next replenishment boundary
+    /// ([`ServerTask::reprogram_at_boundary`]), so the current period's
+    /// budget contract is honoured to the end; an unchanged interface with
+    /// no swap pending is left alone entirely. A fresh server on an empty
+    /// slot is programmed immediately (a joining tenant disturbs nobody),
+    /// and `None` clears the slot immediately (a leaving tenant has no
+    /// contract left to honour).
+    ///
+    /// Returns the transition latency: cycles from now until the staged
+    /// swap commits (0 for the immediate and no-op cases).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is out of range.
+    pub fn program_deferred(&mut self, port: usize, interface: Option<PeriodicResource>) -> u64 {
+        match (interface, &mut self.servers[port]) {
+            (Some(next), Some(server)) => {
+                if server.interface() == next && server.pending_interface().is_none() {
+                    return 0;
+                }
+                let latency = server.until_replenish();
+                server.reprogram_at_boundary(next);
+                latency
+            }
+            (Some(next), slot @ None) => {
+                *slot = Some(ServerTask::new(next));
+                0
+            }
+            (None, slot) => {
+                *slot = None;
+                0
+            }
+        }
+    }
+
     /// The interface currently programmed at `port`.
     pub fn interface(&self, port: usize) -> Option<PeriodicResource> {
         self.servers[port].map(|s| s.interface())
@@ -327,6 +364,38 @@ mod tests {
                 "phase after delta {delta}"
             );
         }
+    }
+
+    #[test]
+    fn program_deferred_swaps_only_at_the_boundary() {
+        let mut reg = MetricsRegistry::new();
+        let mut s = LocalScheduler::new(SE, 3, false);
+        s.program(0, iface(10, 2));
+        for now in 0..4 {
+            s.tick(false, now, &mut reg);
+        }
+        // Port 0 mid-period (6 cycles to its boundary): the swap is staged.
+        assert_eq!(s.program_deferred(0, Some(iface(5, 1))), 6);
+        assert_eq!(s.interface(0).unwrap().period(), 10, "old contract holds");
+        // Port 1 empty: immediate, no transition latency.
+        assert_eq!(s.program_deferred(1, Some(iface(8, 4))), 0);
+        assert_eq!(s.interface(1).unwrap().period(), 8);
+        // Port 2 stays empty via None; port 0 unchanged-iface is a no-op.
+        assert_eq!(s.program_deferred(2, None), 0);
+        assert_eq!(s.program_deferred(1, Some(iface(8, 4))), 0, "no-op");
+        for now in 4..10 {
+            s.tick(false, now, &mut reg);
+        }
+        assert_eq!(s.interface(0).unwrap().period(), 5, "swapped at boundary");
+        assert_eq!(s.budget_remaining(0), Some(1));
+    }
+
+    #[test]
+    fn program_deferred_clears_immediately() {
+        let mut s = LocalScheduler::new(SE, 1, false);
+        s.program(0, iface(10, 2));
+        assert_eq!(s.program_deferred(0, None), 0);
+        assert!(s.interface(0).is_none());
     }
 
     #[test]

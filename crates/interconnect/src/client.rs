@@ -120,6 +120,28 @@ impl TrafficGenerator {
         self.misbehaviour_factor = factor;
     }
 
+    /// Replaces the generator's task set from cycle `now` onward — the
+    /// client-side half of a live reconfiguration (join, leave, task
+    /// update). The request serial counter and the issued tally continue,
+    /// so ids never collide with earlier traffic; requests already released
+    /// under the old contract stay queued and drain normally; every new
+    /// task releases its first job at `now` (a joining tenant's synchronous
+    /// start). An empty set turns the generator silent once its backlog
+    /// drains.
+    pub fn set_tasks(&mut self, tasks: &TaskSet, now: Cycle) {
+        self.tasks = tasks
+            .iter()
+            .map(|t| TaskState {
+                task_id: t.id(),
+                period: t.period(),
+                demand: t.wcet(),
+                next_release: now,
+                next_addr: (self.client as u64) << 32 | (t.id() as u64) << 24,
+                addr_stride: 64,
+            })
+            .collect();
+    }
+
     /// The client port this generator feeds.
     pub fn client(&self) -> ClientId {
         self.client
@@ -409,6 +431,35 @@ mod tests {
         let mut g = TrafficGenerator::new(0, &set);
         assert_eq!(g.inject_burst(0, 8), 0);
         assert_eq!(g.backlog(), 0);
+    }
+
+    #[test]
+    fn set_tasks_preserves_serials_and_backlog() {
+        let mut g = gen(&[(10, 2)]);
+        g.on_cycle(0);
+        let before = g.take().unwrap();
+        let kept_backlog = g.backlog();
+        assert_eq!(kept_backlog, 1, "one release still queued");
+        let new_set = TaskSet::new(vec![Task::new(5, 20, 1).unwrap()]).unwrap();
+        g.set_tasks(&new_set, 7);
+        assert_eq!(g.backlog(), kept_backlog, "old backlog survives a retask");
+        assert_eq!(g.next_event(7), 7, "backlogged generator is busy");
+        g.on_cycle(7);
+        assert_eq!(g.issued(), 3, "new task releases at the retask cycle");
+        let mut ids = vec![before.id];
+        while let Some(r) = g.take() {
+            ids.push(r.id);
+        }
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n, "serials continue across the retask");
+        // Releases keep the new phase and period afterwards.
+        while g.take().is_some() {}
+        assert_eq!(g.next_event(8), 27);
+        // The empty set silences the generator once drained.
+        g.set_tasks(&TaskSet::empty(), 30);
+        assert_eq!(g.next_event(30), Cycle::MAX);
     }
 
     #[test]

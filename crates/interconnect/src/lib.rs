@@ -11,12 +11,15 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod buffer;
 pub mod client;
 pub mod guard;
 pub mod metrics;
 pub mod system;
 
+use crate::admission::ReconfigOutcome;
+use bluescale_rt::task::TaskSet;
 use bluescale_sim::fault::FaultPlan;
 use bluescale_sim::metrics::MetricsRegistry;
 use bluescale_sim::Cycle;
@@ -192,6 +195,27 @@ pub trait Interconnect {
     /// per-client service guarantees.
     fn demote_client(&mut self, _client: ClientId) -> bool {
         false
+    }
+
+    /// Runs admission control for a live reconfiguration of `client`'s
+    /// declared task set (the empty set = the client leaves) and, on
+    /// acceptance, installs the new parameters through a safe mode-change
+    /// protocol: reconfigured servers swap `(Π, Θ)` only at their own
+    /// replenishment boundary, so already-admitted clients keep their
+    /// guarantees across the transition. On rejection the interconnect's
+    /// state must be bit-identical to the state before the call.
+    ///
+    /// The default reports [`ReconfigOutcome::Unsupported`] — the
+    /// architecture has no runtime admission control — and the caller
+    /// decides how to degrade (the harness applies the retask without a
+    /// guarantee, so churn scenarios still drive baselines).
+    fn reconfigure_client(
+        &mut self,
+        _client: ClientId,
+        _tasks: &TaskSet,
+        _now: Cycle,
+    ) -> ReconfigOutcome {
+        ReconfigOutcome::Unsupported
     }
 
     /// The earliest cycle ≥ `now` at which this interconnect's observable

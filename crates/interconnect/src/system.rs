@@ -1,10 +1,11 @@
 //! The system harness: clients + interconnect + metrics, stepped in
 //! lock-step for a fixed horizon.
 
+use crate::admission::{ChurnPlan, ReconfigOutcome};
 use crate::client::TrafficGenerator;
 use crate::guard::{GuardConfig, GuardState};
 use crate::metrics::RunMetrics;
-use crate::{Interconnect, MemoryResponse, ServiceEvent};
+use crate::{ClientId, Interconnect, MemoryResponse, ServiceEvent};
 use bluescale_rt::task::TaskSet;
 use bluescale_sim::fault::{FaultClass, FaultKind, FaultPlan, FaultWindow};
 use bluescale_sim::metrics::{ComponentId, Counter, Event, MetricsRegistry, SampleKind};
@@ -76,6 +77,10 @@ pub struct System<I: ?Sized + Interconnect> {
     /// fault-free code path, so a faultless run is bit-identical to one
     /// built before the fault layer existed.
     faults: FaultPlan,
+    /// Active churn plan (tenant joins/leaves/updates). Same discipline as
+    /// the fault plan: an empty plan keeps the harness on the exact
+    /// churn-free code path.
+    churn: ChurnPlan,
     /// Which runtime guards are active (all off by default).
     guards: GuardConfig,
     /// The guard layer's deterministic bookkeeping.
@@ -147,6 +152,7 @@ impl<I: ?Sized + Interconnect> System<I> {
             service_log: Vec::new(),
             interconnect,
             faults: FaultPlan::default(),
+            churn: ChurnPlan::default(),
             guards: GuardConfig::default(),
             guard: GuardState::new(),
             config: SystemConfig::default(),
@@ -182,23 +188,27 @@ impl<I: ?Sized + Interconnect> System<I> {
     }
 
     /// Marks `client` as a rogue issuing `factor ×` its declared demand,
-    /// for the whole run. Legacy shim: this is now expressed as a
-    /// permanent [`FaultKind::RogueDemand`] entry in the system's fault
-    /// plan (see [`set_fault_plan`](Self::set_fault_plan) for windowed and
-    /// multi-class fault scenarios).
+    /// for the whole run. Legacy shim: this appends a permanent
+    /// [`FaultKind::RogueDemand`] entry to the active fault plan and
+    /// reinstalls it through [`set_fault_plan`](Self::set_fault_plan) —
+    /// one plumbing path, no duplicated state — so it composes with
+    /// windowed and multi-class fault scenarios and is pinned equivalent
+    /// to building the same plan by hand.
     ///
     /// # Panics
     ///
     /// Panics if `client` is out of range or `factor` is zero.
     pub fn set_misbehaviour_factor(&mut self, client: usize, factor: u64) {
         assert!(client < self.clients.len(), "client out of range");
-        self.faults.push(
+        let mut plan = std::mem::take(&mut self.faults);
+        plan.push(
             FaultKind::RogueDemand {
                 client: client as u16,
                 factor,
             },
             FaultWindow::ALWAYS,
         );
+        self.set_fault_plan(plan);
     }
 
     /// Installs a fault plan: client-side faults (rogue demand, bursts)
@@ -214,6 +224,89 @@ impl<I: ?Sized + Interconnect> System<I> {
     /// The active fault plan (empty by default).
     pub fn fault_plan(&self) -> &FaultPlan {
         &self.faults
+    }
+
+    /// Installs a churn plan: tenant `Join`/`Leave`/`UpdateTasks` requests
+    /// that the harness drains at the start of each due cycle and runs
+    /// through [`Interconnect::reconfigure_client`] (see
+    /// [`apply_reconfiguration`](Self::apply_reconfiguration)). Replaces
+    /// any previously installed plan; the new plan's hand-out cursor is
+    /// rewound so a reused plan replays from its first request.
+    pub fn set_churn_plan(&mut self, mut plan: ChurnPlan) {
+        plan.reset_state();
+        self.churn = plan;
+    }
+
+    /// The active churn plan (empty by default).
+    pub fn churn_plan(&self) -> &ChurnPlan {
+        &self.churn
+    }
+
+    /// Applies one live reconfiguration request: `tasks` becomes `client`'s
+    /// declared task set (the empty set = the client leaves). The
+    /// interconnect's admission control decides; on acceptance the traffic
+    /// generator is retasked from `now` (request serials continue, queued
+    /// requests drain) and the new server parameters swap in at each
+    /// affected server's replenishment boundary. On rejection nothing
+    /// changes — the interconnect guarantees a bit-identical rollback.
+    /// Architectures without admission control ([`ReconfigOutcome::Unsupported`])
+    /// get the retask applied directly, without any guarantee.
+    ///
+    /// Returns whether the request was applied. Counters: `Admitted` /
+    /// `AdmissionRejected` for the admission verdict, `Reconfigurations` +
+    /// `TransitionCycles` for applied transitions, plus typed
+    /// `Reconfigured` / `ReconfigRejected` events when detail is on.
+    pub fn apply_reconfiguration(&mut self, client: ClientId, tasks: &TaskSet, now: Cycle) -> bool {
+        if client as usize >= self.clients.len() {
+            self.registry
+                .inc(ComponentId::System, Counter::AdmissionRejected);
+            self.registry
+                .record(now, Event::ReconfigRejected { client });
+            return false;
+        }
+        match self.interconnect.reconfigure_client(client, tasks, now) {
+            ReconfigOutcome::Admitted { transition_cycles } => {
+                self.clients[client as usize].set_tasks(tasks, now);
+                for component in [ComponentId::System, ComponentId::Client(client)] {
+                    self.registry.inc(component, Counter::Admitted);
+                    self.registry.inc(component, Counter::Reconfigurations);
+                    if transition_cycles > 0 {
+                        self.registry
+                            .add(component, Counter::TransitionCycles, transition_cycles);
+                    }
+                }
+                self.registry.record(now, Event::Reconfigured { client });
+                true
+            }
+            ReconfigOutcome::Rejected => {
+                for component in [ComponentId::System, ComponentId::Client(client)] {
+                    self.registry.inc(component, Counter::AdmissionRejected);
+                }
+                self.registry
+                    .record(now, Event::ReconfigRejected { client });
+                false
+            }
+            ReconfigOutcome::Unsupported => {
+                // No admission control to consult: apply the retask anyway
+                // so churn scenarios still drive baselines and test
+                // doubles — counted as a reconfiguration, not an admission.
+                self.clients[client as usize].set_tasks(tasks, now);
+                for component in [ComponentId::System, ComponentId::Client(client)] {
+                    self.registry.inc(component, Counter::Reconfigurations);
+                }
+                self.registry.record(now, Event::Reconfigured { client });
+                true
+            }
+        }
+    }
+
+    /// Drains every churn request due at `now` in arrival order and applies
+    /// each through [`apply_reconfiguration`](Self::apply_reconfiguration).
+    fn apply_churn_due(&mut self, now: Cycle) {
+        while let Some(spec) = self.churn.take_due(now) {
+            let tasks = spec.kind.requested_tasks();
+            self.apply_reconfiguration(spec.client, &tasks, now);
+        }
     }
 
     /// Activates runtime guards. Configure before stepping: requests
@@ -312,6 +405,12 @@ impl<I: ?Sized + Interconnect> System<I> {
         let now = self.now;
         let have_faults = !self.faults.is_empty();
         let tracks = self.guards.tracks();
+        // Reconfigurations apply before this cycle's releases, so a tenant
+        // joining at cycle t releases its first job at t under the new
+        // contract. The empty-plan branch keeps churn-free runs exact.
+        if !self.churn.is_empty() {
+            self.apply_churn_due(now);
+        }
         if have_faults {
             self.announce_client_faults(now);
         }
@@ -515,7 +614,38 @@ impl<I: ?Sized + Interconnect> System<I> {
                 // Marked regardless of whether the demotion takes effect,
                 // so architectures without the hook are asked only once.
                 self.guard.quarantined.insert(c);
-                if self.interconnect.demote_client(c) {
+                // A demotion is a mode change like any other: route it
+                // through the reconfiguration path (empty task set = leave)
+                // so it is admission-tested, applied at replenishment
+                // boundaries and observable as a first-class transition.
+                // Architectures without the hook fall back to the legacy
+                // immediate demotion. The rogue generator itself is *not*
+                // retasked — it keeps issuing its undeclared traffic, now
+                // without a reservation.
+                let demoted = match self
+                    .interconnect
+                    .reconfigure_client(c, &TaskSet::empty(), now)
+                {
+                    ReconfigOutcome::Admitted { transition_cycles } => {
+                        for component in [ComponentId::System, ComponentId::Client(c)] {
+                            self.registry.inc(component, Counter::Reconfigurations);
+                            if transition_cycles > 0 {
+                                self.registry.add(
+                                    component,
+                                    Counter::TransitionCycles,
+                                    transition_cycles,
+                                );
+                            }
+                        }
+                        self.registry.record(now, Event::Reconfigured { client: c });
+                        true
+                    }
+                    // Shedding load cannot fail admission; reported only
+                    // for an out-of-range client, which cannot be tracked.
+                    ReconfigOutcome::Rejected => false,
+                    ReconfigOutcome::Unsupported => self.interconnect.demote_client(c),
+                };
+                if demoted {
                     self.registry.inc(ComponentId::System, Counter::Quarantines);
                     self.registry
                         .inc(ComponentId::Client(c), Counter::Quarantines);
@@ -629,6 +759,7 @@ impl<I: ?Sized + Interconnect> System<I> {
         let hint = self.interconnect.next_event_hint(now)?;
         let reports = std::iter::once(hint)
             .chain((!self.faults.is_empty()).then(|| self.faults.next_activity(now)))
+            .chain((!self.churn.is_empty()).then(|| self.churn.next_activity(now)))
             .chain(self.guards.tracks().then(|| self.guard.next_event()))
             .chain(self.clients.iter().map(|c| c.next_event(now)));
         jump_target(now, horizon, reports)
@@ -1212,6 +1343,221 @@ mod tests {
             (m.issued(), m.completed(), m.missed(), m.mean_latency())
         };
         assert_eq!(run(false), run(true), "idle guards must not perturb");
+    }
+
+    #[test]
+    fn churn_retasks_clients_on_schedule() {
+        use crate::admission::ChurnKind;
+
+        let ic = Box::new(IdealInterconnect {
+            clients: 2,
+            queue: VecDeque::new(),
+            ready: VecDeque::new(),
+            latency: 1,
+        });
+        let mut sys = System::new(ic as Box<dyn Interconnect>, &sets(2, 100, 2));
+        let mut plan = ChurnPlan::new(3);
+        plan.push(
+            500,
+            1,
+            ChurnKind::UpdateTasks {
+                tasks: TaskSet::new(vec![Task::new(0, 100, 8).unwrap()]).unwrap(),
+            },
+        );
+        sys.set_churn_plan(plan);
+        let m = sys.run(1_000);
+        let per_client = sys.per_client_metrics();
+        // Client 1: 5 releases × 2 before the update, then 5 × 8 after
+        // (retasking restarts its release train at the churn cycle).
+        assert_eq!(per_client[1].issued(), 5 * 2 + 5 * 8);
+        assert_eq!(per_client[0].issued(), 10 * 2);
+        assert_eq!(m.issued(), per_client[0].issued() + per_client[1].issued());
+        let reg = sys.registry();
+        // The test double keeps the default hook (Unsupported): the retask
+        // is applied without guarantee, counted as a reconfiguration but
+        // never as an admission.
+        assert_eq!(
+            reg.counter(ComponentId::System, Counter::Reconfigurations),
+            1
+        );
+        assert_eq!(
+            reg.counter(ComponentId::Client(1), Counter::Reconfigurations),
+            1
+        );
+        assert_eq!(reg.counter(ComponentId::System, Counter::Admitted), 0);
+        assert_eq!(sys.churn_plan().remaining(), 0);
+    }
+
+    #[test]
+    fn churn_leave_then_join_silences_and_revives_a_client() {
+        use crate::admission::ChurnKind;
+
+        let ic = Box::new(IdealInterconnect {
+            clients: 2,
+            queue: VecDeque::new(),
+            ready: VecDeque::new(),
+            latency: 1,
+        });
+        let mut sys = System::new(ic as Box<dyn Interconnect>, &sets(2, 100, 1));
+        let mut plan = ChurnPlan::new(4);
+        plan.push(300, 1, ChurnKind::Leave);
+        plan.push(
+            700,
+            1,
+            ChurnKind::Join {
+                tasks: TaskSet::new(vec![Task::new(0, 50, 1).unwrap()]).unwrap(),
+            },
+        );
+        sys.set_churn_plan(plan);
+        sys.run(1_000);
+        let per_client = sys.per_client_metrics();
+        // Releases at 0, 100, 200 (3), silence over [300, 700), then the
+        // rejoined tenant releases at 700, 750, ..., 950 (6).
+        assert_eq!(per_client[1].issued(), 3 + 6);
+        assert_eq!(per_client[0].issued(), 10);
+        assert_eq!(
+            sys.registry()
+                .counter(ComponentId::System, Counter::Reconfigurations),
+            2
+        );
+    }
+
+    /// Vetoes every reconfiguration: exercises the rejection accounting.
+    struct RejectingInterconnect {
+        inner: IdealInterconnect,
+    }
+
+    impl Interconnect for RejectingInterconnect {
+        fn name(&self) -> &'static str {
+            "rejecting"
+        }
+        fn num_clients(&self) -> usize {
+            self.inner.num_clients()
+        }
+        fn inject(&mut self, request: MemoryRequest, now: Cycle) -> Result<(), MemoryRequest> {
+            self.inner.inject(request, now)
+        }
+        fn step(&mut self, now: Cycle) {
+            self.inner.step(now);
+        }
+        fn pop_response(&mut self) -> Option<MemoryResponse> {
+            self.inner.pop_response()
+        }
+        fn pending(&self) -> usize {
+            self.inner.pending()
+        }
+        fn reconfigure_client(
+            &mut self,
+            _client: ClientId,
+            _tasks: &TaskSet,
+            _now: Cycle,
+        ) -> ReconfigOutcome {
+            ReconfigOutcome::Rejected
+        }
+    }
+
+    #[test]
+    fn rejected_churn_leaves_the_client_untouched() {
+        use crate::admission::ChurnKind;
+
+        let ic = Box::new(RejectingInterconnect {
+            inner: IdealInterconnect {
+                clients: 2,
+                queue: VecDeque::new(),
+                ready: VecDeque::new(),
+                latency: 1,
+            },
+        });
+        let mut sys = System::new(ic as Box<dyn Interconnect>, &sets(2, 100, 2));
+        let mut plan = ChurnPlan::new(5);
+        plan.push(
+            500,
+            1,
+            ChurnKind::UpdateTasks {
+                tasks: TaskSet::new(vec![Task::new(0, 100, 8).unwrap()]).unwrap(),
+            },
+        );
+        sys.set_churn_plan(plan);
+        sys.run(1_000);
+        let per_client = sys.per_client_metrics();
+        // The rejected tenant keeps its admitted contract: both clients
+        // issue the same stream.
+        assert_eq!(per_client[1].issued(), per_client[0].issued());
+        let reg = sys.registry();
+        assert_eq!(
+            reg.counter(ComponentId::System, Counter::AdmissionRejected),
+            1
+        );
+        assert_eq!(
+            reg.counter(ComponentId::Client(1), Counter::AdmissionRejected),
+            1
+        );
+        assert_eq!(
+            reg.counter(ComponentId::System, Counter::Reconfigurations),
+            0
+        );
+    }
+
+    #[test]
+    fn misbehaviour_shim_matches_handbuilt_fault_plan() {
+        // The deprecated shim must be a pure alias for pushing a
+        // RogueDemand fault over an always-open window.
+        let run = |shim: bool| {
+            let ic = Box::new(IdealInterconnect {
+                clients: 2,
+                queue: VecDeque::new(),
+                ready: VecDeque::new(),
+                latency: 1,
+            });
+            let mut sys = System::new(ic as Box<dyn Interconnect>, &sets(2, 100, 2));
+            if shim {
+                sys.set_misbehaviour_factor(1, 4);
+            } else {
+                let mut plan = FaultPlan::default();
+                plan.push(
+                    FaultKind::RogueDemand {
+                        client: 1,
+                        factor: 4,
+                    },
+                    FaultWindow::ALWAYS,
+                );
+                sys.set_fault_plan(plan);
+            }
+            let m = sys.run(1_000);
+            let per_client: Vec<u64> = sys
+                .per_client_metrics()
+                .iter()
+                .map(|m| m.issued())
+                .collect();
+            (m.issued(), m.completed(), m.missed(), per_client)
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn empty_churn_plan_is_inert() {
+        let run = |churn: bool, fast_forward: bool| {
+            let ic = Box::new(IdealInterconnect {
+                clients: 4,
+                queue: VecDeque::new(),
+                ready: VecDeque::new(),
+                latency: 2,
+            });
+            let mut sys = System::new(ic as Box<dyn Interconnect>, &sets(4, 50, 2));
+            sys.set_fast_forward(fast_forward);
+            if churn {
+                sys.set_churn_plan(ChurnPlan::new(17));
+            }
+            let m = sys.run(2_000);
+            (m.issued(), m.completed(), m.missed(), m.mean_latency())
+        };
+        for fast_forward in [false, true] {
+            assert_eq!(
+                run(true, fast_forward),
+                run(false, fast_forward),
+                "an empty plan must not perturb (fast_forward={fast_forward})"
+            );
+        }
     }
 
     #[test]

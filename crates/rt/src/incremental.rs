@@ -1,0 +1,430 @@
+//! Incremental interface re-selection over a client quadtree.
+//!
+//! The paper resolves interface selection level-by-level from the leaves
+//! to the root (Section 5). Compositionality makes *re*-selection cheap:
+//! when one leaf client's task set changes, only the Scale Elements on the
+//! path from that client's leaf SE to the root see different inputs —
+//! every other subtree's selection problem is untouched, so its cached
+//! answer stays valid. [`IncrementalSelection`] maintains exactly that
+//! cache: per-SE interface tables, invalidated path-wise on
+//! [`update_client`](IncrementalSelection::update_client), with the exact
+//! rational root check ([`interface::root_admissible`]) deciding
+//! admission.
+//!
+//! A full recompute ([`full_selection`]) re-runs
+//! [`select_se_interfaces_with_divisor`] over every SE; the incremental
+//! path is differential-tested to produce bit-identical interfaces, and
+//! `bench::churn` measures the wall-clock gap per tree depth.
+//!
+//! # Example
+//!
+//! ```
+//! use bluescale_rt::incremental::IncrementalSelection;
+//! use bluescale_rt::task::{Task, TaskSet};
+//!
+//! let sets = vec![TaskSet::new(vec![Task::new(0, 400, 5)?])?; 16];
+//! let mut inc = IncrementalSelection::new(sets, 4, 1)?;
+//! // A feasible update is admitted and re-analyzes only the leaf→root path.
+//! let admitted = inc.admit_update(3, TaskSet::new(vec![Task::new(0, 200, 5)?])?)?;
+//! assert!(admitted);
+//! assert_eq!(inc.ses_analyzed(), inc.levels() as u64);
+//! # Ok::<(), bluescale_rt::Error>(())
+//! ```
+
+use crate::interface::{self, select_se_interfaces_with_divisor};
+use crate::supply::PeriodicResource;
+use crate::task::{Task, TaskSet};
+use crate::{Error, Time};
+
+/// Per-SE interface tables, `[depth][order][port]`, depth 0 = root. `None`
+/// marks an idle port (no server task needed).
+pub type InterfaceTree = Vec<Vec<Vec<Option<PeriodicResource>>>>;
+
+/// The smallest depth `d ≥ 1` with `branch^d ≥ num_clients` (mirrors the
+/// topology layer's `levels()`).
+fn levels_for(num_clients: usize, branch: usize) -> usize {
+    let mut d = 1;
+    let mut capacity = branch;
+    while capacity < num_clients {
+        capacity *= branch;
+        d += 1;
+    }
+    d
+}
+
+/// Converts one child SE's selected interfaces into the server task set its
+/// parent port schedules (`Tᵢ = Πᵢ, Cᵢ = Θᵢ`, task ids positional by child
+/// port — the same convention the interconnect's selector tables use).
+///
+/// Compositional inflation can push the child's interface bandwidths past
+/// one full port even when its *input* demand fits; that surfaces here as
+/// [`Error::Overutilized`], which callers treat like any other selection
+/// failure on the parent.
+fn child_task_set(interfaces: &[Option<PeriodicResource>]) -> Result<TaskSet, Error> {
+    let tasks: Vec<Task> = interfaces
+        .iter()
+        .enumerate()
+        .filter_map(|(port, r)| r.map(|r| Task::new(port as u32, r.period(), r.budget())))
+        .collect::<Result<_, _>>()?;
+    TaskSet::new(tasks)
+}
+
+/// The per-port input task sets of SE `(depth, order)`: leaf SEs read the
+/// client sets directly, inner SEs read their children's cached interfaces.
+///
+/// # Errors
+///
+/// Propagates [`Error::Overutilized`] when a child's selected interfaces
+/// overrun one full port (see [`child_task_set`]).
+fn se_inputs(
+    client_sets: &[TaskSet],
+    interfaces: &InterfaceTree,
+    levels: usize,
+    branch: usize,
+    depth: usize,
+    order: usize,
+) -> Result<Vec<TaskSet>, Error> {
+    (0..branch)
+        .map(|port| {
+            if depth == levels - 1 {
+                Ok(client_sets
+                    .get(order * branch + port)
+                    .cloned()
+                    .unwrap_or_else(TaskSet::empty))
+            } else {
+                child_task_set(&interfaces[depth + 1][order * branch + port])
+            }
+        })
+        .collect()
+}
+
+/// Full leaves→root interface selection over a `branch`-ary client tree —
+/// the non-incremental reference the cache is differential-tested against.
+///
+/// # Errors
+///
+/// Propagates the first selection failure in leaves→root, ascending-order
+/// traversal (the same order [`IncrementalSelection::new`] analyzes).
+pub fn full_selection(
+    client_sets: &[TaskSet],
+    branch: usize,
+    divisor: Time,
+) -> Result<InterfaceTree, Error> {
+    assert!(branch >= 2, "branch factor must be at least 2");
+    assert!(!client_sets.is_empty(), "at least one client required");
+    let levels = levels_for(client_sets.len(), branch);
+    let mut interfaces: InterfaceTree = (0..levels)
+        .map(|d| vec![Vec::new(); branch.pow(d as u32)])
+        .collect();
+    for depth in (0..levels).rev() {
+        for order in 0..branch.pow(depth as u32) {
+            let inputs = se_inputs(client_sets, &interfaces, levels, branch, depth, order)?;
+            interfaces[depth][order] = select_se_interfaces_with_divisor(&inputs, divisor)?;
+        }
+    }
+    Ok(interfaces)
+}
+
+/// A cached leaves→root interface selection that re-analyzes only the SEs
+/// whose inputs a client update can change: the path from the client's
+/// leaf SE to the root. See the module docs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncrementalSelection {
+    branch: usize,
+    divisor: Time,
+    levels: usize,
+    client_sets: Vec<TaskSet>,
+    interfaces: InterfaceTree,
+    ses_analyzed: u64,
+}
+
+impl IncrementalSelection {
+    /// Builds the cache with one full leaves→root selection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first selection failure (the initial workload must be
+    /// feasible before churn can be admitted against it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `branch < 2` or `client_sets` is empty.
+    pub fn new(client_sets: Vec<TaskSet>, branch: usize, divisor: Time) -> Result<Self, Error> {
+        let interfaces = full_selection(&client_sets, branch, divisor)?;
+        let levels = levels_for(client_sets.len(), branch);
+        Ok(Self {
+            branch,
+            divisor,
+            levels,
+            client_sets,
+            interfaces,
+            ses_analyzed: 0,
+        })
+    }
+
+    /// Tree depth (number of SE levels).
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Number of client ports (leaves).
+    pub fn num_clients(&self) -> usize {
+        self.client_sets.len()
+    }
+
+    /// The cached per-SE interfaces, `[depth][order][port]`.
+    pub fn interfaces(&self) -> &InterfaceTree {
+        &self.interfaces
+    }
+
+    /// The current per-client task sets.
+    pub fn client_sets(&self) -> &[TaskSet] {
+        &self.client_sets
+    }
+
+    /// SEs re-analyzed by updates since construction (or the last
+    /// [`reset_analysis_count`](Self::reset_analysis_count)) — the cache's
+    /// work metric. A path-wise update adds [`levels`](Self::levels); a
+    /// full recompute would add the whole tree.
+    pub fn ses_analyzed(&self) -> u64 {
+        self.ses_analyzed
+    }
+
+    /// Resets the [`ses_analyzed`](Self::ses_analyzed) statistic.
+    pub fn reset_analysis_count(&mut self) {
+        self.ses_analyzed = 0;
+    }
+
+    /// Exact root admission (`Σ Θ/Π ≤ 1` in rational arithmetic) over the
+    /// cached root interfaces.
+    pub fn root_admissible(&self) -> bool {
+        let root: Vec<PeriodicResource> = self.interfaces[0][0].iter().flatten().copied().collect();
+        interface::root_admissible(&root)
+    }
+
+    /// The leaf→root SE path touched by `client`, leaf first.
+    fn path(&self, client: usize) -> Vec<(usize, usize)> {
+        let mut order = client / self.branch;
+        let mut path = Vec::with_capacity(self.levels);
+        for depth in (0..self.levels).rev() {
+            path.push((depth, order));
+            order /= self.branch;
+        }
+        path
+    }
+
+    /// Replaces `client`'s task set and re-selects interfaces along its
+    /// leaf→root path only; every other SE keeps its cached answer. On a
+    /// selection failure the previous task set and cached interfaces are
+    /// restored bit-identically before the error returns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first selection failure along the path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `client` is out of range.
+    pub fn update_client(&mut self, client: usize, tasks: TaskSet) -> Result<(), Error> {
+        assert!(
+            client < self.client_sets.len(),
+            "client {client} out of range"
+        );
+        let path = self.path(client);
+        let saved: Vec<Vec<Option<PeriodicResource>>> = path
+            .iter()
+            .map(|&(d, o)| self.interfaces[d][o].clone())
+            .collect();
+        let prev_set = std::mem::replace(&mut self.client_sets[client], tasks);
+        for &(depth, order) in &path {
+            self.ses_analyzed += 1;
+            let selected = se_inputs(
+                &self.client_sets,
+                &self.interfaces,
+                self.levels,
+                self.branch,
+                depth,
+                order,
+            )
+            .and_then(|inputs| select_se_interfaces_with_divisor(&inputs, self.divisor));
+            match selected {
+                Ok(selected) => self.interfaces[depth][order] = selected,
+                Err(e) => {
+                    for (&(d, o), old) in path.iter().zip(saved) {
+                        self.interfaces[d][o] = old;
+                    }
+                    self.client_sets[client] = prev_set;
+                    return Err(e);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Admission-tests a client update: the path is re-selected and the
+    /// update commits only if every SE on it has a feasible selection *and*
+    /// the root stays admissible under the exact rational check. A rejected
+    /// update (either failure mode) restores the cache bit-identically and
+    /// reports `Ok(false)` / the selection error.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first selection failure along the path (state
+    /// restored).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `client` is out of range.
+    pub fn admit_update(&mut self, client: usize, tasks: TaskSet) -> Result<bool, Error> {
+        let path = self.path(client);
+        let saved: Vec<Vec<Option<PeriodicResource>>> = path
+            .iter()
+            .map(|&(d, o)| self.interfaces[d][o].clone())
+            .collect();
+        let prev_set = self.client_sets[client].clone();
+        self.update_client(client, tasks)?;
+        if self.root_admissible() {
+            return Ok(true);
+        }
+        for (&(d, o), old) in path.iter().zip(saved) {
+            self.interfaces[d][o] = old;
+        }
+        self.client_sets[client] = prev_set;
+        Ok(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(specs: &[(u64, u64)]) -> TaskSet {
+        TaskSet::new(
+            specs
+                .iter()
+                .enumerate()
+                .map(|(i, &(t, c))| Task::new(i as u32, t, c).unwrap())
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    /// `n` single-task clients whose combined utilization stays near 0.1
+    /// regardless of `n`, so every tree depth admits them with headroom.
+    fn light_sets(n: usize) -> Vec<TaskSet> {
+        let base = 25 * n as u64;
+        (0..n)
+            .map(|i| set(&[(base + 10 * (i as u64 % 7), 2 + i as u64 % 3)]))
+            .collect()
+    }
+
+    #[test]
+    fn initial_cache_matches_full_selection() {
+        for n in [1, 4, 5, 16, 17, 64] {
+            let sets = light_sets(n);
+            let inc = IncrementalSelection::new(sets.clone(), 4, 1).unwrap();
+            assert_eq!(
+                inc.interfaces(),
+                &full_selection(&sets, 4, 1).unwrap(),
+                "initial cache diverged for {n} clients"
+            );
+        }
+    }
+
+    #[test]
+    fn path_updates_match_full_recompute_bit_identically() {
+        // A deterministic churn sequence over a depth-3 tree: after every
+        // committed update the cache must equal a from-scratch selection.
+        let mut sets = light_sets(64);
+        let mut inc = IncrementalSelection::new(sets.clone(), 4, 2).unwrap();
+        let churn: &[(usize, &[(u64, u64)])] = &[
+            (37, &[(500, 5), (2000, 10)]),
+            (0, &[(400, 4)]),
+            (63, &[]),
+            (17, &[(900, 9)]),
+            (37, &[(600, 3)]),
+        ];
+        for &(client, specs) in churn {
+            let tasks = if specs.is_empty() {
+                TaskSet::empty()
+            } else {
+                set(specs)
+            };
+            inc.update_client(client, tasks.clone()).unwrap();
+            sets[client] = tasks;
+            assert_eq!(
+                inc.interfaces(),
+                &full_selection(&sets, 4, 2).unwrap(),
+                "cache diverged after updating client {client}"
+            );
+        }
+    }
+
+    #[test]
+    fn updates_analyze_only_the_path() {
+        let mut inc = IncrementalSelection::new(light_sets(64), 4, 1).unwrap();
+        assert_eq!(inc.levels(), 3);
+        inc.update_client(37, set(&[(70, 7)])).unwrap();
+        assert_eq!(inc.ses_analyzed(), 3, "one SE per level, not all 21");
+        inc.reset_analysis_count();
+        assert_eq!(inc.ses_analyzed(), 0);
+    }
+
+    #[test]
+    fn selection_failure_restores_state_bit_identically() {
+        let mut inc = IncrementalSelection::new(light_sets(16), 4, 1).unwrap();
+        let before = inc.clone();
+        // A client demanding an entire SE: the leaf's exact capacity check
+        // fails with Overutilized and the cache must roll back exactly.
+        let err = inc.update_client(5, set(&[(10, 10)])).unwrap_err();
+        assert!(matches!(err, Error::Overutilized { .. }));
+        assert_eq!(inc.interfaces(), before.interfaces());
+        assert_eq!(inc.client_sets(), before.client_sets());
+    }
+
+    #[test]
+    fn admit_update_rejects_inadmissible_root_and_rolls_back() {
+        // Two (4,2) clients have combined utilization exactly 1, so every
+        // per-SE capacity check passes — but no interface for (4,2) can
+        // reach bandwidth 0.5 (compositional inflation), so the selected
+        // root interfaces sum above 1 and only the exact Σ Θ/Π ≤ 1 check
+        // catches it.
+        let mut sets = vec![TaskSet::empty(); 4];
+        sets[0] = set(&[(4, 2)]);
+        let mut inc = IncrementalSelection::new(sets, 4, 1).unwrap();
+        assert!(inc.root_admissible());
+        let before = inc.clone();
+        let admitted = inc.admit_update(1, set(&[(4, 2)])).unwrap();
+        assert!(!admitted, "root interface inflation must be rejected");
+        assert_eq!(inc.interfaces(), before.interfaces());
+        assert_eq!(inc.client_sets(), before.client_sets());
+        assert_eq!(
+            inc.ses_analyzed(),
+            before.ses_analyzed() + inc.levels() as u64,
+            "the rejected probe still walked the path"
+        );
+        // A light tenant in the same slot is admitted.
+        assert!(inc.admit_update(1, set(&[(100, 1)])).unwrap());
+    }
+
+    #[test]
+    fn admitted_join_and_leave_round_trip() {
+        let sets = light_sets(16);
+        let mut inc = IncrementalSelection::new(sets.clone(), 4, 1).unwrap();
+        let before = inc.interfaces().clone();
+        assert!(inc.admit_update(9, set(&[(30, 3)])).unwrap());
+        assert!(inc.admit_update(9, sets[9].clone()).unwrap());
+        assert_eq!(
+            inc.interfaces(),
+            &before,
+            "leave back to the original set restores the original selection"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn update_rejects_out_of_range_client() {
+        let mut inc = IncrementalSelection::new(light_sets(4), 4, 1).unwrap();
+        let _ = inc.update_client(4, TaskSet::empty());
+    }
+}

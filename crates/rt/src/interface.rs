@@ -627,6 +627,40 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "period divisor must be positive")]
+    fn zero_period_divisor_rejected_at_construction() {
+        // Matching the FaultWindow empty-window fix: degenerate parameters
+        // fail loudly at construction, never as a silent divide-by-zero in
+        // the middle of a selection sweep.
+        let s = set(&[(40, 4)]);
+        let _ = SelectionContext::isolated(&s).with_period_divisor(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "period cap must be positive")]
+    fn zero_period_cap_rejected_at_construction() {
+        let s = set(&[(40, 4)]);
+        let _ = SelectionContext::isolated(&s).with_period_cap(0);
+    }
+
+    #[test]
+    fn boundary_divisor_and_cap_of_one_are_valid() {
+        // The smallest legal values: divisor 1 is the paper's bare Theorem 2
+        // bound, cap 1 degenerates the search to the single period Π = 1.
+        let s = set(&[(40, 4)]);
+        let ctx = SelectionContext::isolated(&s)
+            .with_period_divisor(1)
+            .with_period_cap(1);
+        assert_eq!(ctx.period_divisor(), 1);
+        assert_eq!(ctx.period_cap(), 1);
+        let b = feasible_period_bound(&s, &ctx);
+        assert_eq!(b.period, 1);
+        assert!(b.truncated, "cap 1 clips the analytic bound of 40");
+        let iface = select_interface(&s, &ctx).unwrap();
+        assert_eq!(iface.period(), 1, "only Π = 1 is enumerable under cap 1");
+    }
+
+    #[test]
     fn theorem2_bound_shrinks_with_contention() {
         let s = set(&[(40, 4)]); // U = 0.1, min_T = 40
         let lonely = max_feasible_period(&s, &SelectionContext::isolated(&s));

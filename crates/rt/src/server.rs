@@ -35,6 +35,9 @@ pub struct ServerTask {
     p_counter: Time,
     /// Remaining budget in the current period (the B-counter's value).
     b_counter: Time,
+    /// An interface staged by [`reprogram_at_boundary`](Self::reprogram_at_boundary),
+    /// applied at the next replenishment.
+    pending: Option<PeriodicResource>,
 }
 
 impl ServerTask {
@@ -45,6 +48,7 @@ impl ServerTask {
             interface,
             p_counter: interface.period(),
             b_counter: interface.budget(),
+            pending: None,
         }
     }
 
@@ -55,11 +59,29 @@ impl ServerTask {
 
     /// Reprograms the counters with a new interface (the interface
     /// selector's program port). Takes effect immediately, starting a fresh
-    /// period — mirroring a reset through the counter's `P`/`R` ports.
+    /// period — mirroring a reset through the counter's `P`/`R` ports. Any
+    /// staged boundary swap is discarded.
     pub fn reprogram(&mut self, interface: PeriodicResource) {
         self.interface = interface;
         self.p_counter = interface.period();
         self.b_counter = interface.budget();
+        self.pending = None;
+    }
+
+    /// Stages `interface` to take effect at the next replenishment
+    /// boundary — the safe mode-change protocol. The current countdown and
+    /// remaining budget are untouched, so the supply guaranteed to clients
+    /// already scheduled under the old parameters is delivered in full; the
+    /// very first period served under the new parameters is a complete,
+    /// fully-budgeted one. A second call before the boundary replaces the
+    /// staged interface (last write wins).
+    pub fn reprogram_at_boundary(&mut self, interface: PeriodicResource) {
+        self.pending = Some(interface);
+    }
+
+    /// The interface staged for the next replenishment boundary, if any.
+    pub fn pending_interface(&self) -> Option<PeriodicResource> {
+        self.pending
     }
 
     /// Remaining budget in the current period.
@@ -95,10 +117,15 @@ impl ServerTask {
     }
 
     /// Advances one clock cycle. Returns `true` if the period boundary was
-    /// crossed and the budget replenished.
+    /// crossed and the budget replenished. A staged interface (see
+    /// [`reprogram_at_boundary`](Self::reprogram_at_boundary)) is applied
+    /// exactly at the boundary, before the reload.
     pub fn tick(&mut self) -> bool {
         self.p_counter -= 1;
         if self.p_counter == 0 {
+            if let Some(next) = self.pending.take() {
+                self.interface = next;
+            }
             self.p_counter = self.interface.period();
             self.b_counter = self.interface.budget();
             true
@@ -120,8 +147,13 @@ impl ServerTask {
             self.p_counter -= delta;
             return 0;
         }
-        let period = self.interface.period();
         let past = delta - self.p_counter;
+        // The first boundary applies any staged interface; every later
+        // crossing inside this jump then runs on the new period.
+        if let Some(next) = self.pending.take() {
+            self.interface = next;
+        }
+        let period = self.interface.period();
         let crossings = 1 + past / period;
         // `period - rem` lands on `period` exactly at a boundary, matching
         // tick()'s reload.
@@ -246,6 +278,85 @@ mod tests {
                         jumped, reference,
                         "state for p={p} b={b} phase={phase} delta={delta}"
                     );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_reprogram_waits_for_replenishment() {
+        let mut s = ServerTask::new(iface(5, 2));
+        s.consume();
+        s.reprogram_at_boundary(iface(3, 3));
+        // Until the boundary the old parameters stay live.
+        assert_eq!(s.interface().period(), 5);
+        assert_eq!(s.budget_remaining(), 1);
+        assert_eq!(s.pending_interface(), Some(iface(3, 3)));
+        for i in 1..5 {
+            assert!(!s.tick(), "no boundary at cycle {i}");
+        }
+        assert!(s.tick(), "boundary at the old period");
+        // The swap commits exactly at the boundary: new period, full budget.
+        assert_eq!(s.interface().period(), 3);
+        assert_eq!(s.budget_remaining(), 3);
+        assert_eq!(s.until_replenish(), 3);
+        assert_eq!(s.pending_interface(), None);
+    }
+
+    #[test]
+    fn boundary_reprogram_last_write_wins() {
+        let mut s = ServerTask::new(iface(5, 2));
+        s.reprogram_at_boundary(iface(3, 3));
+        s.reprogram_at_boundary(iface(7, 1));
+        for _ in 0..5 {
+            s.tick();
+        }
+        assert_eq!(s.interface(), iface(7, 1));
+    }
+
+    #[test]
+    fn immediate_reprogram_discards_staged_swap() {
+        let mut s = ServerTask::new(iface(5, 2));
+        s.reprogram_at_boundary(iface(3, 3));
+        s.reprogram(iface(9, 4));
+        assert_eq!(s.pending_interface(), None);
+        for _ in 0..9 {
+            s.tick();
+        }
+        assert_eq!(s.interface(), iface(9, 4), "staged swap was dropped");
+    }
+
+    #[test]
+    fn advance_matches_ticks_with_staged_swap() {
+        // The closed-form jump must commit a staged interface at the first
+        // boundary and run every later crossing on the new period, exactly
+        // as unit ticks do.
+        for (p, b) in [(1u64, 1u64), (3, 1), (5, 2), (7, 7)] {
+            for (np, nb) in [(1u64, 1u64), (2, 2), (9, 4)] {
+                for phase in 0..p {
+                    for delta in 0..(3 * p + 3 * np + 3) {
+                        let mut reference = ServerTask::new(iface(p, b));
+                        for _ in 0..phase {
+                            reference.tick();
+                        }
+                        reference.reprogram_at_boundary(iface(np, nb));
+                        let mut jumped = reference;
+                        let mut crossings = 0u64;
+                        for _ in 0..delta {
+                            if reference.tick() {
+                                crossings += 1;
+                            }
+                        }
+                        assert_eq!(
+                            jumped.advance(delta),
+                            crossings,
+                            "crossings for p={p} b={b} -> np={np} nb={nb} phase={phase} delta={delta}"
+                        );
+                        assert_eq!(
+                            jumped, reference,
+                            "state for p={p} b={b} -> np={np} nb={nb} phase={phase} delta={delta}"
+                        );
+                    }
                 }
             }
         }

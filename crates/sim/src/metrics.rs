@@ -164,6 +164,19 @@ pub enum Counter {
     /// Grants committed without server budget (work-conserving overserve
     /// or an unprogrammed port) — the B-counter audit trail.
     BudgetOverruns,
+    /// Reconfiguration requests that passed admission control.
+    Admitted,
+    /// Reconfiguration requests that failed admission control and were
+    /// rolled back (distinct from [`Counter::Rejected`], which counts
+    /// requests bounced at a full port).
+    AdmissionRejected,
+    /// Reconfiguration transitions applied to a live system (joins,
+    /// leaves, task updates, quarantine demotions).
+    Reconfigurations,
+    /// Cycles between an accepted reconfiguration and the last affected
+    /// server's replenishment boundary — the mode-change transition
+    /// latency, summed over affected servers.
+    TransitionCycles,
 }
 
 impl Counter {
@@ -194,6 +207,10 @@ impl Counter {
             Counter::DuplicateResponses => "duplicate_responses",
             Counter::Quarantines => "quarantines",
             Counter::BudgetOverruns => "budget_overruns",
+            Counter::Admitted => "admitted",
+            Counter::AdmissionRejected => "admission_rejected",
+            Counter::Reconfigurations => "reconfigurations",
+            Counter::TransitionCycles => "transition_cycles",
         }
     }
 }
@@ -317,6 +334,19 @@ pub enum Event {
         /// The demoted client.
         client: u16,
     },
+    /// A reconfiguration request passed admission control; new server
+    /// parameters swap in at each affected server's replenishment
+    /// boundary.
+    Reconfigured {
+        /// The client whose reservation changed.
+        client: u16,
+    },
+    /// A reconfiguration request failed admission control and was rolled
+    /// back bit-identically.
+    ReconfigRejected {
+        /// The client whose request was refused.
+        client: u16,
+    },
 }
 
 impl fmt::Display for Event {
@@ -352,6 +382,12 @@ impl fmt::Display for Event {
                 write!(f, "client.{client} response dropped req#{request}")
             }
             Event::Quarantine { client } => write!(f, "client.{client} quarantined"),
+            Event::Reconfigured { client } => {
+                write!(f, "client.{client} reconfigured")
+            }
+            Event::ReconfigRejected { client } => {
+                write!(f, "client.{client} reconfiguration rejected")
+            }
         }
     }
 }

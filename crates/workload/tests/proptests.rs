@@ -82,6 +82,110 @@ fn generated_workloads_round_trip() {
     }
 }
 
+/// `save`/`load` round-trips through the filesystem for seeded sweeps of
+/// both generators (the on-disk path must add nothing to `to_string`).
+#[test]
+fn save_load_round_trips_for_seeded_sweeps() {
+    let dir = std::env::temp_dir().join("bluescale-proptest-saveload");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let mut meta = SimRng::seed_from(0x5AFE);
+    for case in 0..20 {
+        let seed = meta.next_u64();
+        let clients = meta.range_usize(1, 24);
+        let mut rng = SimRng::seed_from(seed);
+        let sets = if case % 2 == 0 {
+            gen_syn(&SyntheticConfig::fig6(clients), &mut rng)
+        } else {
+            gen_cs(&CaseStudyConfig::fig7(clients, 0.4), &mut rng)
+        };
+        let path = dir.join(format!("case-{case}.bsw"));
+        file::save(&path, &sets).expect("save succeeds");
+        assert_eq!(
+            file::load(&path).expect("own file loads"),
+            sets,
+            "case {case} (seed {seed}, {clients} clients)"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Line-boundary truncation: every completed client parses back exactly,
+/// and the cut-off tail can only shorten the last client's task list —
+/// never corrupt an earlier one.
+#[test]
+fn line_truncated_files_parse_to_a_prefix() {
+    let mut meta = SimRng::seed_from(0x7C07);
+    for case in 0..40 {
+        let seed = meta.next_u64();
+        let mut rng = SimRng::seed_from(seed);
+        let sets = gen_syn(&SyntheticConfig::fig6(meta.range_usize(1, 16)), &mut rng);
+        let text = file::to_string(&sets);
+        let lines: Vec<&str> = text.lines().collect();
+        let keep = rng.range_usize(1, lines.len() + 1);
+        let truncated = lines[..keep].join("\n");
+        let parsed = file::from_str(&truncated)
+            .unwrap_or_else(|e| panic!("case {case}: line-truncated input must parse: {e}"));
+        assert!(parsed.len() <= sets.len(), "case {case}: extra clients");
+        for (c, set) in parsed.iter().enumerate() {
+            if c + 1 < parsed.len() {
+                assert_eq!(set, &sets[c], "case {case}: completed client {c} corrupted");
+            } else {
+                assert_eq!(
+                    set.tasks(),
+                    &sets[c].tasks()[..set.len()],
+                    "case {case}: last client {c} must be a task prefix"
+                );
+            }
+        }
+    }
+}
+
+/// Byte-level truncation (possibly mid-token): the parser must error or
+/// return a workload that round-trips — it must never panic or produce
+/// unparsable output.
+#[test]
+fn byte_truncated_files_never_panic() {
+    let mut meta = SimRng::seed_from(0xB17E);
+    for _ in 0..60 {
+        let seed = meta.next_u64();
+        let mut rng = SimRng::seed_from(seed);
+        let sets = gen_syn(&SyntheticConfig::fig6(8), &mut rng);
+        let text = file::to_string(&sets);
+        let mut cut = rng.range_usize(0, text.len() + 1);
+        while !text.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        if let Ok(parsed) = file::from_str(&text[..cut]) {
+            assert_eq!(
+                file::from_str(&file::to_string(&parsed)).expect("reserialization parses"),
+                parsed
+            );
+        }
+    }
+}
+
+/// Filesystem error paths: a missing file and malformed on-disk content
+/// both surface as typed errors, not panics.
+#[test]
+fn load_error_paths_are_typed() {
+    let dir = std::env::temp_dir().join("bluescale-proptest-errors");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let missing = file::load(dir.join("does-not-exist.bsw"));
+    assert!(
+        matches!(missing, Err(file::ParseWorkloadError::Io(_))),
+        "missing file must be an Io error"
+    );
+    let bad = dir.join("bad.bsw");
+    std::fs::write(&bad, "not a workload\n").expect("write");
+    assert!(
+        matches!(file::load(&bad), Err(file::ParseWorkloadError::BadHeader)),
+        "garbage must be rejected at the header"
+    );
+    std::fs::remove_file(&bad).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// Synthetic generation respects its utilization band (with rounding
 /// slack) for arbitrary seeds.
 #[test]

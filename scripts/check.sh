@@ -25,6 +25,12 @@ cargo run --release -q -p bluescale-bench --bin metrics_overhead
 echo "==> fault injection smoke check (request conservation)"
 cargo run --release -q -p bluescale-bench --bin fault_smoke
 
+echo "==> admission control smoke check (join/update/leave/reject + quarantine)"
+cargo run --release -q -p bluescale-bench --bin admission_smoke
+
+echo "==> churn differential (empty-plan inertness, zero disturbance)"
+cargo test -q --release --test churn_differential
+
 echo "==> fast-forward differential (bit-identical to per-cycle stepping)"
 cargo test -q --release --test fastforward_differential
 
