@@ -1,0 +1,34 @@
+//! Runs the SoA-versus-legacy hot-core throughput benchmark on the dense
+//! fig6 64-client workload, writing `results/BENCH_soa.json`.
+//!
+//! Usage:
+//! `cargo run --release -p bluescale-bench --bin soa_busy -- \
+//!    [--clients N] [--horizon N] [--reps N] [--json path]`
+
+use bluescale_bench::soa_busy::{render_json, render_table, run, SoaBusyConfig};
+use bluescale_bench::{arg_u64, arg_usize, arg_value};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut config = SoaBusyConfig::default();
+    config.clients = arg_usize(&args, "--clients", config.clients);
+    config.horizon = arg_u64(&args, "--horizon", config.horizon);
+    config.reps = arg_u64(&args, "--reps", config.reps);
+
+    println!(
+        "# SoA hot core vs legacy engine (dense fig6, {} clients, best of {})\n",
+        config.clients, config.reps
+    );
+    let result = run(&config);
+    println!("{}", render_table(&result));
+
+    let json = render_json(&config, &result);
+    let out = arg_value(&args, "--json").unwrap_or_else(|| "results/BENCH_soa.json".to_string());
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => {
+            eprintln!("could not write {out}: {e}");
+            println!("{json}");
+        }
+    }
+}

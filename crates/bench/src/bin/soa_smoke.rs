@@ -1,0 +1,183 @@
+//! Fast SoA-engine bit-identity smoke check for `scripts/check.sh`.
+//!
+//! Runs the same seeded workload on the structure-of-arrays engine
+//! (`soa_core = true`, the default) and the legacy per-SE engine (the
+//! differential oracle) across three scenarios — the dense fig6 strict
+//! run, a live churn plan, and a windowed fault plan with guards armed —
+//! and asserts the full metric fingerprint is bit-identical each time.
+//! Exits non-zero on any divergence.
+//!
+//! Usage: `cargo run --release -p bluescale-bench --bin soa_smoke`
+
+use bluescale::{BlueScaleConfig, BlueScaleInterconnect};
+use bluescale_interconnect::admission::{ChurnKind, ChurnPlan};
+use bluescale_interconnect::guard::{GuardConfig, WatchdogConfig};
+use bluescale_interconnect::system::System;
+use bluescale_rt::task::{Task, TaskSet};
+use bluescale_sim::fault::{FaultKind, FaultPlan, FaultWindow};
+use bluescale_sim::metrics::Counter;
+use bluescale_sim::rng::SimRng;
+use bluescale_workload::synthetic::{generate, SyntheticConfig};
+
+const SEED: u64 = 0x50A_000FE;
+const HORIZON: u64 = 10_000;
+
+fn sparse_sets(clients: usize) -> Vec<TaskSet> {
+    let cfg = SyntheticConfig {
+        clients,
+        util_lo: 0.05,
+        util_hi: 0.10,
+        max_tasks_per_client: 1,
+        period_min: 2_000,
+        period_max: 4_000,
+        util_floor: 1e-4,
+    };
+    generate(&cfg, &mut SimRng::seed_from(SEED))
+}
+
+fn build_system(
+    sets: &[TaskSet],
+    work_conserving: bool,
+    soa_core: bool,
+) -> System<BlueScaleInterconnect> {
+    let mut config = BlueScaleConfig::for_clients(sets.len());
+    config.work_conserving = work_conserving;
+    config.soa_core = soa_core;
+    let ic = BlueScaleInterconnect::new(config, sets).expect("valid task sets");
+    System::new(Box::new(ic), sets)
+}
+
+/// The differential suites' fingerprint: counts, per-client counts,
+/// per-SE forwards, per-port grants and replenishments, full samples.
+fn fingerprint(sys: &mut System<BlueScaleInterconnect>) -> (Vec<u64>, Vec<f64>) {
+    let mut m = sys.run(HORIZON);
+    let mut counts = vec![m.issued(), m.completed(), m.missed(), m.backlog()];
+    for c in sys.per_client_metrics() {
+        counts.extend([c.issued(), c.completed(), c.missed()]);
+    }
+    for level in sys.interconnect().forward_counts() {
+        counts.extend(level);
+    }
+    let config = sys.interconnect().config().clone();
+    for counter in [Counter::Grants, Counter::Replenishments] {
+        for depth in 0..config.levels() {
+            for order in 0..config.elements_at(depth) {
+                counts.extend(sys.interconnect().metrics().port_counters(
+                    depth,
+                    order,
+                    config.branch,
+                    counter,
+                ));
+            }
+        }
+    }
+    let mut samples = m.latency().as_slice().to_vec();
+    samples.extend_from_slice(m.blocking().as_slice());
+    (counts, samples)
+}
+
+fn check(
+    label: &str,
+    mut soa: System<BlueScaleInterconnect>,
+    mut legacy: System<BlueScaleInterconnect>,
+) {
+    let a = fingerprint(&mut soa);
+    let b = fingerprint(&mut legacy);
+    assert!(b.0[0] > 0, "{label}: the workload must issue requests");
+    assert_eq!(a, b, "{label}: SoA engine diverged from the legacy engine");
+    println!(
+        "soa smoke: {label}: bit-identical ({} issued, {} completed)",
+        a.0[0], a.0[1]
+    );
+}
+
+fn churn_plan(sets: &[TaskSet]) -> ChurnPlan {
+    let mut plan = ChurnPlan::new(SEED ^ 0xC482);
+    plan.push(
+        3_000,
+        2,
+        ChurnKind::UpdateTasks {
+            tasks: TaskSet::new(vec![Task::new(0, 2_500, 2).unwrap()]).unwrap(),
+        },
+    )
+    .push(5_000, 9, ChurnKind::Leave)
+    .push(
+        7_000,
+        9,
+        ChurnKind::Join {
+            tasks: sets[9].clone(),
+        },
+    );
+    plan
+}
+
+fn fault_plan() -> FaultPlan {
+    let mut plan = FaultPlan::new(SEED ^ 0xF00D);
+    plan.push(
+        FaultKind::RequestBurst {
+            client: 2,
+            requests: 24,
+        },
+        FaultWindow::new(5_000, 5_001),
+    )
+    .push(
+        FaultKind::StuckGrant {
+            depth: 1,
+            order: 0,
+            port: 0,
+        },
+        FaultWindow::new(3_000, 3_400),
+    )
+    .push(
+        FaultKind::DramJitter {
+            bank: 0,
+            max_extra_cycles: 4,
+        },
+        FaultWindow::new(1_000, 9_000),
+    )
+    .push(
+        FaultKind::DropResponse {
+            client: 3,
+            every: 3,
+        },
+        FaultWindow::new(0, 8_000),
+    );
+    plan
+}
+
+fn main() {
+    // Dense fig6 workload, strict mode: the hot arbitration loop.
+    let dense = generate(&SyntheticConfig::fig6(16), &mut SimRng::seed_from(SEED));
+    check(
+        "fig6 strict",
+        build_system(&dense, false, true),
+        build_system(&dense, false, false),
+    );
+
+    // Live churn: deferred (Π,Θ) swaps, slot clears and slot reuse.
+    let sparse = sparse_sets(16);
+    let mut soa = build_system(&sparse, true, true);
+    let mut legacy = build_system(&sparse, true, false);
+    soa.set_churn_plan(churn_plan(&sparse));
+    legacy.set_churn_plan(churn_plan(&sparse));
+    check("churn plan", soa, legacy);
+
+    // Faults with guards armed: masks, jitter, drops, guard timers.
+    let guards = GuardConfig {
+        deadline_miss_detection: true,
+        watchdog: Some(WatchdogConfig {
+            timeout: 1_024,
+            max_retries: 3,
+        }),
+        quarantine: None,
+    };
+    let mut soa = build_system(&sparse, true, true);
+    let mut legacy = build_system(&sparse, true, false);
+    soa.set_fault_plan(fault_plan());
+    legacy.set_fault_plan(fault_plan());
+    soa.set_guards(guards);
+    legacy.set_guards(guards);
+    check("faults + guards", soa, legacy);
+
+    println!("soa smoke: all scenarios bit-identical");
+}

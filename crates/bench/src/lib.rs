@@ -20,6 +20,7 @@
 //! | Analytic admission-rate curve (extension) | [`admission`] | `... --bin admission` |
 //! | Hierarchical EDP laxity sweep (extension) | [`edp_sweep`] | `... --bin edp_sweep` |
 //! | Interface-selection fast path (extension) | [`interface_selection`] | `... --bin selection_bench` |
+//! | SoA hot core vs legacy engine (extension) | [`soa_busy`] | `... --bin soa_busy` |
 //!
 //! [`runner`] builds any of the six interconnects behind the common
 //! [`bluescale_interconnect::Interconnect`] trait and runs seeded trials.
@@ -41,6 +42,7 @@ pub mod isolation_fault;
 pub mod reconfig;
 pub mod runner;
 pub mod scalability;
+pub mod soa_busy;
 pub mod table1;
 pub mod wcrt;
 

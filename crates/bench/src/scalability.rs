@@ -14,7 +14,7 @@ use bluescale_interconnect::system::System;
 use bluescale_sim::rng::SimRng;
 use bluescale_sim::stats::OnlineStats;
 use bluescale_sim::Cycle;
-use bluescale_workload::synthetic::{generate, SyntheticConfig};
+use bluescale_workload::synthetic::SyntheticConfig;
 use std::time::Instant;
 
 /// Configuration of the scalability sweep.
@@ -56,9 +56,45 @@ pub struct ScalabilityPoint {
     pub miss_ratio: Vec<f64>,
 }
 
+/// Direct uniform constructor: every client carries exactly
+/// `utilization / clients` in a single task with a period drawn from
+/// `[period_min, period_max]`. No UUniFast split and no per-client
+/// utilization floor, so large sweep points stay at the target instead of
+/// being silently densified by [`SyntheticConfig::util_floor`]-style
+/// clamping (the scalability sweep's 256-client points were exactly the
+/// regime the old fixed floor distorted).
+pub fn uniform_task_sets(
+    clients: usize,
+    utilization: f64,
+    period_min: u64,
+    period_max: u64,
+    rng: &mut SimRng,
+) -> Vec<bluescale_rt::task::TaskSet> {
+    use bluescale_rt::task::{Task, TaskSet};
+    let share = utilization / clients as f64;
+    (0..clients)
+        .map(|_| {
+            // Draw only periods long enough that the share maps to an
+            // integer WCET ≥ 1, so rounding cannot inflate the share.
+            let lo = period_min.max((1.0 / share).ceil() as u64);
+            let (period, wcet) = if lo > period_max {
+                // Share too small for the period range: one unit of work
+                // at the longest period is the closest expressible task.
+                (period_max, 1)
+            } else {
+                let period = rng.range_u64(lo, period_max + 1);
+                (period, (share * period as f64).round().max(1.0) as u64)
+            };
+            let task = Task::new(0, period, wcet).expect("uniform task is valid");
+            TaskSet::new(vec![task]).expect("single uniform task is admissible")
+        })
+        .collect()
+}
+
 /// Runs the sweep.
 pub fn run(config: &ScalabilityConfig) -> Vec<ScalabilityPoint> {
     let mut master = SimRng::seed_from(config.seed);
+    let fig6 = SyntheticConfig::fig6(1);
     config
         .client_counts
         .iter()
@@ -67,12 +103,13 @@ pub fn run(config: &ScalabilityConfig) -> Vec<ScalabilityPoint> {
             let mut miss = vec![OnlineStats::new(); InterconnectKind::EXTENDED.len()];
             for _ in 0..config.trials {
                 let mut rng = master.fork();
-                let synthetic = SyntheticConfig {
-                    util_lo: config.utilization - 0.02,
-                    util_hi: config.utilization + 0.02,
-                    ..SyntheticConfig::fig6(clients)
-                };
-                let sets = generate(&synthetic, &mut rng);
+                let sets = uniform_task_sets(
+                    clients,
+                    config.utilization,
+                    fig6.period_min,
+                    fig6.period_max,
+                    &mut rng,
+                );
                 for (i, kind) in InterconnectKind::EXTENDED.into_iter().enumerate() {
                     let m = run_trial(kind, &sets, config.horizon);
                     latency[i].push(m.mean_latency());
@@ -390,6 +427,27 @@ mod tests {
         let text = render(&cfg, &run(&cfg));
         assert!(text.contains("Mean latency"));
         assert!(text.contains("miss ratio"));
+    }
+
+    #[test]
+    fn uniform_sets_hit_the_target_without_densification() {
+        // The direct constructor must land on the target utilization at
+        // every sweep size — including 256 clients, where the generator's
+        // old fixed floor used to densify the workload.
+        let mut rng = SimRng::seed_from(77);
+        for clients in [4, 64, 256] {
+            let sets = uniform_task_sets(clients, 0.6, 200, 4000, &mut rng);
+            assert_eq!(sets.len(), clients);
+            let u: f64 = sets
+                .iter()
+                .flat_map(|s| s.iter())
+                .map(|t| t.wcet() as f64 / t.period() as f64)
+                .sum();
+            assert!(
+                (u - 0.6).abs() < 0.05,
+                "{clients} clients: realized utilization {u} off target"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,296 @@
+//! Hot-core throughput benchmark: the structure-of-arrays engine versus
+//! the legacy per-SE engine on a *dense* workload
+//! (`results/BENCH_soa.json`).
+//!
+//! Where the fast-forward sweep measures how cheaply the simulator skips
+//! idle stretches, this benchmark measures the opposite regime: the
+//! paper's fig6 setup at 64 clients keeps the fabric busy nearly every
+//! cycle, so wall-clock is dominated by the per-cycle arbitration work —
+//! GEDF argmin, RAB pops, server-counter ticks. That is exactly the loop
+//! the [`bluescale::core::soa`] arena restructures (contiguous parallel
+//! slices, linear-scan argmin, batched counters), so the dense run is
+//! where its speedup must show.
+//!
+//! The timed section is the hand-rolled client/inject/step/drain loop
+//! (the same driver the metrics-overhead check uses as its cost floor),
+//! so the measurement is dominated by the engine under test rather than
+//! by harness bookkeeping that is identical across engines. Separately —
+//! and untimed — every repetition runs the identical seeded workload on
+//! both engines under the full [`System`] harness and **panics** unless
+//! the complete fingerprint — counts, per-client counts, per-SE
+//! forwards, per-port grants and replenishments, and the full
+//! latency/blocking sample sequences — is bit-identical: the benchmark
+//! doubles as a differential check at benchmark scale.
+
+use bluescale::{BlueScaleConfig, BlueScaleInterconnect};
+use bluescale_interconnect::client::TrafficGenerator;
+use bluescale_interconnect::system::System;
+use bluescale_interconnect::Interconnect;
+use bluescale_rt::task::TaskSet;
+use bluescale_sim::metrics::Counter;
+use bluescale_sim::rng::SimRng;
+use bluescale_sim::Cycle;
+use bluescale_workload::synthetic::{generate, SyntheticConfig};
+use std::time::Instant;
+
+/// Configuration of the SoA-versus-legacy throughput benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoaBusyConfig {
+    /// Number of traffic generators (64 = the paper's dense fig6 point).
+    pub clients: usize,
+    /// Repetitions; the reported wall-clock is the minimum across reps,
+    /// which is the standard noise-rejecting estimator for a
+    /// deterministic workload.
+    pub reps: u64,
+    /// Simulated horizon per repetition.
+    pub horizon: Cycle,
+    /// Master seed; each repetition forks its own workload stream.
+    pub seed: u64,
+}
+
+impl Default for SoaBusyConfig {
+    fn default() -> Self {
+        Self {
+            clients: 64,
+            reps: 5,
+            horizon: 30_000,
+            seed: 0x50A_B057,
+        }
+    }
+}
+
+/// Result of the benchmark: one dense point, both engines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoaBusyResult {
+    /// Number of clients.
+    pub clients: usize,
+    /// Simulated horizon per repetition.
+    pub horizon: Cycle,
+    /// Repetitions run.
+    pub reps: u64,
+    /// Minimum wall-clock of the legacy per-SE engine, nanoseconds.
+    pub legacy_ns: u128,
+    /// Minimum wall-clock of the SoA engine, nanoseconds.
+    pub soa_ns: u128,
+    /// Requests completed per repetition (identical across engines by
+    /// construction).
+    pub completed: u64,
+    /// Whether every repetition produced bit-identical fingerprints.
+    pub verified: bool,
+}
+
+impl SoaBusyResult {
+    /// Wall-clock speedup of the SoA engine over the legacy engine.
+    pub fn speedup(&self) -> f64 {
+        self.legacy_ns as f64 / self.soa_ns.max(1) as f64
+    }
+}
+
+fn build_config(clients: usize, soa_core: bool) -> BlueScaleConfig {
+    let mut config = BlueScaleConfig::for_clients(clients);
+    config.work_conserving = true;
+    config.soa_core = soa_core;
+    config
+}
+
+fn build_system(sets: &[TaskSet], soa_core: bool) -> System<BlueScaleInterconnect> {
+    let config = build_config(sets.len(), soa_core);
+    let ic = BlueScaleInterconnect::new(config, sets).expect("fig6 workload is admissible");
+    System::new(Box::new(ic), sets)
+}
+
+/// The timed loop: clients drive the bare interconnect with no harness
+/// registry, service log or latency accounting in the way — wall-clock
+/// here is the engine's own arbitration cost. Returns (nanoseconds,
+/// requests completed).
+fn time_engine(sets: &[TaskSet], soa_core: bool, horizon: Cycle) -> (u128, u64) {
+    let config = build_config(sets.len(), soa_core);
+    let mut ic = BlueScaleInterconnect::new(config, sets).expect("fig6 workload is admissible");
+    let mut clients: Vec<TrafficGenerator> = sets
+        .iter()
+        .enumerate()
+        .map(|(i, set)| TrafficGenerator::new(i as u16, set))
+        .collect();
+    let mut completed = 0u64;
+    let t0 = Instant::now();
+    for now in 0..horizon {
+        for client in &mut clients {
+            client.on_cycle(now);
+            if let Some(req) = client.take() {
+                if let Err(rejected) = ic.inject(req, now) {
+                    client.give_back(rejected);
+                }
+            }
+        }
+        ic.step(now);
+        while ic.pop_service_event().is_some() {}
+        while ic.pop_response().is_some() {
+            completed += 1;
+        }
+    }
+    (t0.elapsed().as_nanos(), completed)
+}
+
+/// Everything two runs must agree on to count as bit-identical — the
+/// same fingerprint the differential test suites pin.
+fn fingerprint(sys: &mut System<BlueScaleInterconnect>, horizon: Cycle) -> (Vec<u64>, Vec<f64>) {
+    let mut m = sys.run(horizon);
+    let mut counts = vec![m.issued(), m.completed(), m.missed(), m.backlog()];
+    for c in sys.per_client_metrics() {
+        counts.extend([c.issued(), c.completed(), c.missed()]);
+    }
+    for level in sys.interconnect().forward_counts() {
+        counts.extend(level);
+    }
+    let config = sys.interconnect().config().clone();
+    for counter in [Counter::Grants, Counter::Replenishments] {
+        for depth in 0..config.levels() {
+            for order in 0..config.elements_at(depth) {
+                counts.extend(sys.interconnect().metrics().port_counters(
+                    depth,
+                    order,
+                    config.branch,
+                    counter,
+                ));
+            }
+        }
+    }
+    let mut samples = m.latency().as_slice().to_vec();
+    samples.extend_from_slice(m.blocking().as_slice());
+    (counts, samples)
+}
+
+/// Runs the benchmark.
+///
+/// # Panics
+///
+/// Panics if any repetition's SoA fingerprint differs from the legacy
+/// engine's — a speedup on diverging results would be meaningless — or
+/// if the timed loops complete different request counts.
+pub fn run(config: &SoaBusyConfig) -> SoaBusyResult {
+    let mut master = SimRng::seed_from(config.seed);
+    let mut legacy_ns = u128::MAX;
+    let mut soa_ns = u128::MAX;
+    let mut completed = 0;
+    for rep in 0..config.reps {
+        let mut rng = master.fork();
+        let sets = generate(&SyntheticConfig::fig6(config.clients), &mut rng);
+
+        // Timed: the bare engine loop, both engines on the same workload.
+        let (t_legacy, c_legacy) = time_engine(&sets, false, config.horizon);
+        let (t_soa, c_soa) = time_engine(&sets, true, config.horizon);
+        legacy_ns = legacy_ns.min(t_legacy);
+        soa_ns = soa_ns.min(t_soa);
+        assert_eq!(
+            c_legacy, c_soa,
+            "rep {rep}: timed loops completed different request counts"
+        );
+
+        // Untimed: the full-harness differential check at this scale.
+        let mut legacy = build_system(&sets, false);
+        let mut soa = build_system(&sets, true);
+        let a = fingerprint(&mut legacy, config.horizon);
+        let b = fingerprint(&mut soa, config.horizon);
+        assert!(a.0[0] > 0, "rep {rep}: the dense workload must issue");
+        assert_eq!(
+            a, b,
+            "rep {rep}: the SoA engine diverged from the legacy engine"
+        );
+        completed = c_soa;
+    }
+    SoaBusyResult {
+        clients: config.clients,
+        horizon: config.horizon,
+        reps: config.reps,
+        legacy_ns,
+        soa_ns,
+        completed,
+        verified: true,
+    }
+}
+
+/// Renders the result as the `BENCH_soa.json` artefact (hand-rolled
+/// JSON; the container has no serde).
+pub fn render_json(config: &SoaBusyConfig, result: &SoaBusyResult) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"soa_core\",\n",
+            "  \"unit\": \"ns\",\n",
+            "  \"workload\": \"fig6\",\n",
+            "  \"seed\": {},\n",
+            "  \"clients\": {},\n",
+            "  \"horizon\": {},\n",
+            "  \"reps\": {},\n",
+            "  \"legacy_ns\": {},\n",
+            "  \"soa_ns\": {},\n",
+            "  \"speedup\": {:.2},\n",
+            "  \"completed\": {},\n",
+            "  \"verified\": {}\n",
+            "}}\n",
+        ),
+        config.seed,
+        result.clients,
+        result.horizon,
+        result.reps,
+        result.legacy_ns,
+        result.soa_ns,
+        result.speedup(),
+        result.completed,
+        result.verified,
+    )
+}
+
+/// Renders the result as a human-readable table for stdout.
+pub fn render_table(result: &SoaBusyResult) -> String {
+    format!(
+        "| Clients | Horizon | Legacy (ms) | SoA (ms) | Speedup |\n\
+         |---:|---:|---:|---:|---:|\n\
+         | {} | {} | {:.1} | {:.1} | {:.2}x |\n",
+        result.clients,
+        result.horizon,
+        result.legacy_ns as f64 / 1e6,
+        result.soa_ns as f64 / 1e6,
+        result.speedup(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SoaBusyConfig {
+        SoaBusyConfig {
+            clients: 8,
+            reps: 1,
+            horizon: 6_000,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn dense_run_verifies_and_completes() {
+        let r = run(&tiny());
+        assert!(r.verified);
+        assert!(r.completed > 0);
+        assert!(r.legacy_ns > 0 && r.soa_ns > 0);
+        assert!(r.speedup() > 0.0);
+    }
+
+    #[test]
+    fn json_is_well_formed() {
+        let cfg = tiny();
+        let json = render_json(&cfg, &run(&cfg));
+        assert!(json.contains("\"benchmark\": \"soa_core\""));
+        assert!(json.contains("\"verified\": true"));
+        assert_eq!(json.matches("\"speedup\"").count(), 1);
+    }
+
+    #[test]
+    fn table_has_the_speedup_column() {
+        let cfg = tiny();
+        let table = render_table(&run(&cfg));
+        assert!(table.contains("Speedup"));
+        assert!(table.contains("| 8 |"));
+    }
+}

@@ -43,6 +43,7 @@ pub mod network;
 pub mod rab;
 pub mod scheduler;
 pub mod selector;
+pub mod soa;
 pub mod topology;
 
 pub use network::{BlueScaleInterconnect, BuildError, CompositionReport, InjectError};

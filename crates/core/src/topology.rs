@@ -110,6 +110,12 @@ pub struct BlueScaleConfig {
     /// Ordering discipline of the low-level (per-port) queues — EDF in the
     /// paper; FIFO as an ablation.
     pub low_level_policy: QueuePolicy,
+    /// Run the busy-cycle path on the structure-of-arrays core
+    /// ([`crate::soa::SoaCore`]) — arena-indexed server state, linear-scan
+    /// GEDF argmin, batched counters. Semantically identical to the legacy
+    /// per-SE engine (pinned by the differential suites); `false` selects
+    /// the legacy engine, kept as the differential oracle.
+    pub soa_core: bool,
 }
 
 impl BlueScaleConfig {
@@ -132,6 +138,7 @@ impl BlueScaleConfig {
             analysis_margin: 0.9,
             granularity_divisor: 1,
             low_level_policy: QueuePolicy::EarliestDeadline,
+            soa_core: true,
         }
     }
 

@@ -56,6 +56,10 @@ pub struct TrafficGenerator {
     next_request_serial: u64,
     /// Multiplies every job's demand at release time (1 = well-behaved).
     misbehaviour_factor: u64,
+    /// Earliest `next_release` across `tasks` ([`Cycle::MAX`] when
+    /// taskless): lets [`on_cycle`](Self::on_cycle) return in one compare
+    /// on the (vast majority of) cycles with no release due.
+    earliest_release: Cycle,
 }
 
 impl TrafficGenerator {
@@ -76,14 +80,26 @@ impl TrafficGenerator {
                 addr_stride: 64,
             })
             .collect();
-        Self {
+        let mut this = Self {
             client,
             tasks: states,
             pending: EdfQueue::new(),
             issued: 0,
             next_request_serial: 0,
             misbehaviour_factor: 1,
-        }
+            earliest_release: 0,
+        };
+        this.refresh_earliest_release();
+        this
+    }
+
+    fn refresh_earliest_release(&mut self) {
+        self.earliest_release = self
+            .tasks
+            .iter()
+            .map(|t| t.next_release)
+            .min()
+            .unwrap_or(Cycle::MAX);
     }
 
     /// Creates a generator whose task `i` releases its first job at
@@ -104,6 +120,7 @@ impl TrafficGenerator {
         for (state, &offset) in this.tasks.iter_mut().zip(offsets) {
             state.next_release = offset;
         }
+        this.refresh_earliest_release();
         this
     }
 
@@ -140,6 +157,7 @@ impl TrafficGenerator {
                 addr_stride: 64,
             })
             .collect();
+        self.refresh_earliest_release();
     }
 
     /// The client port this generator feeds.
@@ -168,6 +186,9 @@ impl TrafficGenerator {
     /// fault uses to make the client exceed its declared parameters for a
     /// window of cycles without mutating the generator's own configuration.
     pub fn on_cycle_with_factor(&mut self, now: Cycle, extra_factor: u64) {
+        if now < self.earliest_release {
+            return;
+        }
         for t in &mut self.tasks {
             while t.next_release <= now {
                 let release = t.next_release;
@@ -198,6 +219,7 @@ impl TrafficGenerator {
                 t.next_release += t.period;
             }
         }
+        self.refresh_earliest_release();
     }
 
     /// Enqueues `count` extra requests released *now*, modelled on the
@@ -249,11 +271,7 @@ impl TrafficGenerator {
         if !self.pending.is_empty() {
             return now;
         }
-        self.tasks
-            .iter()
-            .map(|t| t.next_release)
-            .min()
-            .unwrap_or(Cycle::MAX)
+        self.earliest_release
     }
 
     /// Borrows the next request to offer (earliest deadline first).

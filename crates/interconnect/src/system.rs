@@ -366,7 +366,9 @@ impl<I: ?Sized + Interconnect> System<I> {
 
     /// A snapshot combining the harness registry with the interconnect's
     /// internal one (component-level grant/throttle/memory tallies). The
-    /// two registries count disjoint quantities, so merging never
+    /// two registries count disjoint quantities — in particular, churn
+    /// accounting (`Reconfigurations`/`Admitted`/`AdmissionRejected`) is
+    /// tallied by the harness registry alone — so merging never
     /// double-counts.
     pub fn merged_registry(&mut self) -> MetricsRegistry {
         let mut merged = self.registry.clone();
@@ -743,6 +745,10 @@ impl<I: ?Sized + Interconnect> System<I> {
             }
             self.step();
         }
+        // Fold in any counters the interconnect batches during the run
+        // (memory-controller stats, the SoA engine's delta arrays) so that
+        // read-only `metrics()` fingerprints taken after a run are exact.
+        self.interconnect.metrics_mut();
     }
 
     /// The cycle to jump to, when every layer promises nothing happens

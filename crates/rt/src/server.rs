@@ -134,6 +134,35 @@ impl ServerTask {
         }
     }
 
+    /// Decomposes the server into its raw counter state:
+    /// `(interface, p_counter, b_counter, pending)`. Together with
+    /// [`from_parts`](Self::from_parts) this lets arena-style storage
+    /// (structure-of-arrays hot cores) keep server state in parallel
+    /// slices while routing all staging/advance semantics through this
+    /// type — the single source of truth for counter arithmetic.
+    pub fn into_parts(self) -> (PeriodicResource, Time, Time, Option<PeriodicResource>) {
+        (self.interface, self.p_counter, self.b_counter, self.pending)
+    }
+
+    /// Reassembles a server from counter state captured by
+    /// [`into_parts`](Self::into_parts). Callers must pass values from a
+    /// real server state: `p_counter` in `[1, Π]` of the live interface
+    /// and `b_counter ≤ Θ`; this is not validated here (the arena is
+    /// trusted the same way the scheduler's own fields are).
+    pub fn from_parts(
+        interface: PeriodicResource,
+        p_counter: Time,
+        b_counter: Time,
+        pending: Option<PeriodicResource>,
+    ) -> Self {
+        Self {
+            interface,
+            p_counter,
+            b_counter,
+            pending,
+        }
+    }
+
     /// Advances `delta` cycles in closed form, exactly as `delta` consecutive
     /// [`tick`](Self::tick)s with no consumption in between would. Returns the
     /// number of period boundaries crossed (the count of `tick()`s that would

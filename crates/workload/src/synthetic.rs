@@ -8,6 +8,7 @@
 use crate::uunifast::{taskset_with_utilization, uunifast};
 use bluescale_rt::task::TaskSet;
 use bluescale_sim::rng::SimRng;
+use std::fmt;
 
 /// Parameters of one synthetic trial.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -24,6 +25,17 @@ pub struct SyntheticConfig {
     pub period_min: u64,
     /// Longest task period in cycles.
     pub period_max: u64,
+    /// Per-client utilization floor. UUniFast can hand a client an
+    /// arbitrarily small share, which would round to a zero-WCET task;
+    /// shares below this floor are raised to it. At large client counts
+    /// the raises add up and *densify* the workload beyond the drawn
+    /// target — [`generate`] tolerates that silently (compatible with the
+    /// historical fixed `1e-4` floor); [`try_generate`] reports it as
+    /// [`GenerateError::FloorClamped`] instead. Sweeps that care about
+    /// sparse large-N workloads should build task sets directly (e.g. the
+    /// scalability bench's uniform constructor) rather than go through
+    /// UUniFast.
+    pub util_floor: f64,
 }
 
 impl SyntheticConfig {
@@ -38,17 +50,54 @@ impl SyntheticConfig {
             max_tasks_per_client: 3,
             period_min: 200,
             period_max: 4000,
+            util_floor: 1e-4,
         }
     }
 }
 
+/// Why [`try_generate`] refused to produce a trial.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GenerateError {
+    /// UUniFast assigned at least one client a utilization below
+    /// [`SyntheticConfig::util_floor`]; honouring the floor would silently
+    /// densify the workload above the drawn target.
+    FloorClamped {
+        /// Clients whose share was below the floor.
+        clamped_clients: usize,
+        /// Total utilization the floor would have added.
+        added_utilization: f64,
+    },
+}
+
+impl fmt::Display for GenerateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenerateError::FloorClamped {
+                clamped_clients,
+                added_utilization,
+            } => write!(
+                f,
+                "utilization floor would clamp {clamped_clients} client(s), \
+                 silently adding {added_utilization:.6} utilization"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GenerateError {}
+
 /// Generates one synthetic trial: a task set per traffic generator whose
 /// combined utilization falls in `[util_lo, util_hi]`.
+///
+/// Clients whose UUniFast share falls below
+/// [`SyntheticConfig::util_floor`] are raised to the floor *silently*
+/// (the historical behaviour); use [`try_generate`] to turn that into an
+/// error instead.
 ///
 /// # Panics
 ///
 /// Panics if the configuration is degenerate (zero clients, empty
-/// utilization interval, empty period range).
+/// utilization interval, empty period range, negative floor).
 ///
 /// # Example
 ///
@@ -64,24 +113,66 @@ impl SyntheticConfig {
 /// assert!(u > 0.6 && u < 1.0);
 /// ```
 pub fn generate(config: &SyntheticConfig, rng: &mut SimRng) -> Vec<TaskSet> {
+    generate_impl(config, rng).0
+}
+
+/// Like [`generate`], but errors instead of silently clamping: if any
+/// client's UUniFast share falls below [`SyntheticConfig::util_floor`],
+/// the trial is rejected with the clamp's size, so densification of
+/// sparse large-N workloads cannot go unnoticed.
+///
+/// The RNG is consumed identically to [`generate`] either way, so a
+/// caller that retries with a forked seed stays reproducible.
+///
+/// # Errors
+///
+/// [`GenerateError::FloorClamped`] when the floor would have raised at
+/// least one client's share.
+///
+/// # Panics
+///
+/// As [`generate`].
+pub fn try_generate(
+    config: &SyntheticConfig,
+    rng: &mut SimRng,
+) -> Result<Vec<TaskSet>, GenerateError> {
+    let (sets, clamped_clients, added_utilization) = generate_impl(config, rng);
+    if clamped_clients > 0 {
+        return Err(GenerateError::FloorClamped {
+            clamped_clients,
+            added_utilization,
+        });
+    }
+    Ok(sets)
+}
+
+fn generate_impl(config: &SyntheticConfig, rng: &mut SimRng) -> (Vec<TaskSet>, usize, f64) {
     assert!(config.clients > 0, "at least one client required");
     assert!(
         config.util_lo > 0.0 && config.util_lo <= config.util_hi,
         "bad utilization interval"
     );
     assert!(config.max_tasks_per_client >= 1, "need at least one task");
+    assert!(config.util_floor >= 0.0, "negative utilization floor");
     let target = rng.range_f64(config.util_lo, config.util_hi);
     // Split the total over clients with UUniFast, then within each client
     // over its tasks.
     let per_client = uunifast(config.clients, target, rng);
-    per_client
+    let mut clamped = 0;
+    let mut added = 0.0;
+    let sets = per_client
         .into_iter()
         .map(|u| {
-            let u = u.max(1e-4);
+            if u < config.util_floor {
+                clamped += 1;
+                added += config.util_floor - u;
+            }
+            let u = u.max(config.util_floor);
             let tasks = rng.range_usize(1, config.max_tasks_per_client + 1);
             taskset_with_utilization(tasks, u, config.period_min, config.period_max, rng)
         })
-        .collect()
+        .collect();
+    (sets, clamped, added)
 }
 
 #[cfg(test)]
@@ -138,5 +229,62 @@ mod tests {
     fn zero_clients_panics() {
         let mut rng = SimRng::seed_from(0);
         let _ = generate(&SyntheticConfig::fig6(0), &mut rng);
+    }
+
+    #[test]
+    fn try_generate_matches_generate_when_no_clamping() {
+        // Moderate client count at fig6 density: every share clears the
+        // tiny floor, so the checked path returns the identical trial.
+        let cfg = SyntheticConfig::fig6(16);
+        let a = generate(&cfg, &mut SimRng::seed_from(11));
+        let b = try_generate(&cfg, &mut SimRng::seed_from(11)).expect("no clamping at fig6/16");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn try_generate_rejects_silent_densification() {
+        // A sparse target spread over many clients: with an aggressive
+        // floor, UUniFast's small shares must clamp and the checked path
+        // must say so instead of densifying silently.
+        let cfg = SyntheticConfig {
+            clients: 64,
+            util_lo: 0.05,
+            util_hi: 0.06,
+            max_tasks_per_client: 1,
+            period_min: 2_000,
+            period_max: 4_000,
+            util_floor: 0.01,
+        };
+        let mut hit = false;
+        for seed in 0..10 {
+            if let Err(GenerateError::FloorClamped {
+                clamped_clients,
+                added_utilization,
+            }) = try_generate(&cfg, &mut SimRng::seed_from(seed))
+            {
+                assert!(clamped_clients > 0);
+                assert!(added_utilization > 0.0);
+                hit = true;
+            }
+        }
+        assert!(hit, "0.05/64 with a 1% floor must clamp on some seed");
+    }
+
+    #[test]
+    fn configurable_floor_actually_applies() {
+        // With the floor at a visible level, every client's set must carry
+        // at least that much utilization.
+        let cfg = SyntheticConfig {
+            util_floor: 0.02,
+            ..SyntheticConfig::fig6(16)
+        };
+        for set in generate(&cfg, &mut SimRng::seed_from(3)) {
+            let u: f64 = set
+                .iter()
+                .map(|t| t.wcet() as f64 / t.period() as f64)
+                .sum();
+            // Integer WCET rounding can dip slightly below the exact floor.
+            assert!(u > 0.01, "client utilization {u} below the floor");
+        }
     }
 }

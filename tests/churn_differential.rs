@@ -41,6 +41,7 @@ fn sparse_config(clients: usize) -> SyntheticConfig {
         max_tasks_per_client: 1,
         period_min: 2_000,
         period_max: 4_000,
+        util_floor: 1e-4,
     }
 }
 
@@ -143,6 +144,43 @@ fn fast_forward_never_jumps_over_a_reconfiguration_cycle() {
             "all three churn events are feasible and must be admitted"
         );
     }
+}
+
+#[test]
+fn merged_registry_counts_churn_exactly_once() {
+    // Churn accounting (`Reconfigurations`/`Admitted`/`AdmissionRejected`)
+    // is owned by the harness registry alone; the fabric must not tally it
+    // too, or `merged_registry()` doubles every admitted transition.
+    let sets = task_sets(&sparse_config(16));
+    let mut sys = build_system(&sets);
+    sys.set_churn_plan(light_plan(&sets));
+    sys.run(HORIZON);
+    for counter in [
+        Counter::Reconfigurations,
+        Counter::Admitted,
+        Counter::AdmissionRejected,
+    ] {
+        let system_count = sys.registry().counter(ComponentId::System, counter);
+        let fabric_count = sys
+            .interconnect()
+            .metrics()
+            .counter(ComponentId::System, counter);
+        assert_eq!(
+            fabric_count, 0,
+            "{counter:?}: the fabric registry must not tally churn"
+        );
+        let merged = sys.merged_registry().counter(ComponentId::System, counter);
+        assert_eq!(
+            merged, system_count,
+            "{counter:?}: merged view must equal the harness tally"
+        );
+    }
+    assert_eq!(
+        sys.registry()
+            .counter(ComponentId::System, Counter::Admitted),
+        3,
+        "all three churn events are feasible and must be admitted"
+    );
 }
 
 #[test]

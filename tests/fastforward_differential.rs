@@ -42,6 +42,7 @@ fn sparse_config(clients: usize) -> SyntheticConfig {
         max_tasks_per_client: 1,
         period_min: 2_000,
         period_max: 4_000,
+        util_floor: 1e-4,
     }
 }
 
