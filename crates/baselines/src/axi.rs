@@ -167,7 +167,7 @@ mod tests {
     use super::*;
     use bluescale_interconnect::AccessKind;
 
-    fn req(client: u16, id: u64, deadline: u64) -> MemoryRequest {
+    fn req(client: u32, id: u64, deadline: u64) -> MemoryRequest {
         MemoryRequest {
             id,
             client,

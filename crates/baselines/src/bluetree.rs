@@ -302,7 +302,7 @@ mod tests {
     use super::*;
     use bluescale_interconnect::AccessKind;
 
-    fn req(client: u16, id: u64, deadline: u64) -> MemoryRequest {
+    fn req(client: u32, id: u64, deadline: u64) -> MemoryRequest {
         MemoryRequest {
             id,
             client,
@@ -442,7 +442,7 @@ mod tests {
     #[test]
     fn sixty_four_clients_all_complete() {
         let mut t = BlueTree::new(64, 2, 1);
-        for c in 0..64u16 {
+        for c in 0..64u32 {
             t.inject(req(c, c as u64, 100_000), 0).unwrap();
         }
         let mut done = 0;

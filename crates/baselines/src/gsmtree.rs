@@ -46,7 +46,7 @@ pub struct GsmTree {
     num_clients: usize,
     ports: Vec<FifoBuffer<MemoryRequest>>,
     /// The slot table: `frame[s]` owns slot `s`.
-    frame: Vec<u16>,
+    frame: Vec<u32>,
     /// Fixed transit pipeline through the (contention-free) tree.
     transit: DelayLine<MemoryRequest>,
     /// Requests that crossed the tree and wait for the controller.
@@ -77,7 +77,7 @@ impl GsmTree {
     pub fn with_dram(num_clients: usize, policy: SlotPolicy, dram: DramConfig) -> Self {
         assert!(num_clients > 0, "at least one client required");
         let (frame, name) = match &policy {
-            SlotPolicy::Tdm => ((0..num_clients as u16).collect::<Vec<_>>(), "GSMTree-TDM"),
+            SlotPolicy::Tdm => ((0..num_clients as u32).collect::<Vec<_>>(), "GSMTree-TDM"),
             SlotPolicy::Fbsp(weights) => {
                 assert_eq!(
                     weights.len(),
@@ -111,7 +111,7 @@ impl GsmTree {
     /// Builds a slot frame proportional to `weights` (largest remainder,
     /// frame length = 2 × clients so granularity is at least half a slot),
     /// interleaving each client's slots across the frame.
-    fn weighted_frame(weights: &[f64]) -> Vec<u16> {
+    fn weighted_frame(weights: &[f64]) -> Vec<u32> {
         let n = weights.len();
         let frame_len = 2 * n;
         let total: f64 = weights.iter().sum();
@@ -155,7 +155,7 @@ impl GsmTree {
                 .max_by(|&a, &b| credit[a].partial_cmp(&credit[b]).expect("finite"))
                 .expect("non-empty");
             credit[best] -= frame_len as f64;
-            frame.push(best as u16);
+            frame.push(best as u32);
         }
         frame
     }
@@ -166,7 +166,7 @@ impl GsmTree {
     }
 
     /// Number of slots owned by `client` in one frame.
-    pub fn slots_of(&self, client: u16) -> usize {
+    pub fn slots_of(&self, client: u32) -> usize {
         self.frame.iter().filter(|&&c| c == client).count()
     }
 }
@@ -244,7 +244,7 @@ mod tests {
     use super::*;
     use bluescale_interconnect::AccessKind;
 
-    fn req(client: u16, id: u64, deadline: u64) -> MemoryRequest {
+    fn req(client: u32, id: u64, deadline: u64) -> MemoryRequest {
         MemoryRequest {
             id,
             client,
@@ -346,7 +346,7 @@ mod tests {
         // later-deadline requests are served.
         let mut t = GsmTree::new(4, SlotPolicy::Tdm, 1);
         t.inject(req(3, 1, 2), 0).unwrap(); // urgent, but slot 3 is last
-        for c in 0..3u16 {
+        for c in 0..3u32 {
             t.inject(req(c, 10 + c as u64, 1_000_000), 0).unwrap();
         }
         let mut victim = None;

@@ -44,7 +44,7 @@ fn run_baseline(horizon: Cycle) -> u64 {
     let mut clients: Vec<TrafficGenerator> = sets
         .iter()
         .enumerate()
-        .map(|(i, set)| TrafficGenerator::new(i as u16, set))
+        .map(|(i, set)| TrafficGenerator::new(i as u32, set))
         .collect();
     let mut completed = 0u64;
     for now in 0..horizon {

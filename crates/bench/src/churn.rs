@@ -246,7 +246,7 @@ pub fn run_disturbance(config: &ChurnConfig) -> DisturbanceReport {
 
     // Churn clients 3 and 7 only; every other client must ride through
     // all four transitions without a single miss.
-    let churned = [3u16, 7u16];
+    let churned = [3u32, 7u32];
     let mut plan = ChurnPlan::new(config.seed);
     let retask = TaskSet::new(vec![
         Task::new(0, 25 * clients as u64, 2).expect("valid task")
@@ -280,13 +280,12 @@ pub fn run_disturbance(config: &ChurnConfig) -> DisturbanceReport {
         .per_client_metrics()
         .iter()
         .enumerate()
-        .filter(|(c, _)| !churned.contains(&(*c as u16)))
+        .filter(|(c, _)| !churned.contains(&(*c as u32)))
         .map(|(_, m)| m.missed())
         .sum();
-    // The harness registry's System slice: the fabric's own registry
-    // repeats Reconfigurations/TransitionCycles from its side of the
-    // protocol, so a merge would double-count them.
-    let reg = sys.registry();
+    // Churn accounting is single-owner (harness registry), so the merged
+    // view reads the same totals a harness-only read would.
+    let reg = sys.merged_registry();
     DisturbanceReport {
         clients,
         reconfigurations: reg.counter(ComponentId::System, Counter::Reconfigurations),

@@ -70,7 +70,7 @@ pub struct IsolationFaultRow {
 }
 
 /// The faulted client for client-targeted classes.
-pub const TARGET: u16 = 0;
+pub const TARGET: u32 = 0;
 
 fn scenario_plan(class: FaultClass, horizon: Cycle, seed: u64) -> FaultPlan {
     let mut plan = FaultPlan::new(seed);

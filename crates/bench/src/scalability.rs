@@ -9,7 +9,7 @@
 //! distributed BlueScale (one extra tree level per 4× clients)?
 
 use crate::runner::{run_trial, InterconnectKind};
-use bluescale::{BlueScaleConfig, BlueScaleInterconnect};
+use bluescale::{BlueScaleConfig, BlueScaleInterconnect, ShardedSystem};
 use bluescale_interconnect::system::System;
 use bluescale_sim::rng::SimRng;
 use bluescale_sim::stats::OnlineStats;
@@ -388,6 +388,257 @@ pub fn render_fastforward_table(points: &[FastForwardPoint]) -> String {
     s
 }
 
+/// Configuration of the sharded-execution scaling sweep
+/// (`results/BENCH_shards.json`).
+///
+/// The workload is deliberately *busy* — every client releases its first
+/// job at `t = 0` into its own dedicated leaf port, so the fabric drains
+/// at its full one-request-per-cycle root bandwidth for the whole
+/// horizon. That is the regime sharding exists for: per-cycle stepping
+/// dominated by the client loop and the per-subtree SE arrays, which the
+/// workers split four ways. Periods scale with the client count
+/// (`[n, 4n]`) so each point sees exactly one synchronous release and
+/// the per-cycle cost stays workload-independent after the first cycles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSweepConfig {
+    /// Client counts to sweep (the headline sweep runs 65k → 1M).
+    pub client_counts: Vec<usize>,
+    /// Worker counts to compare at every point (clamped to the branch
+    /// factor by [`ShardedSystem`]; the clamp is recorded per run).
+    pub worker_counts: Vec<usize>,
+    /// Total fabric utilization of the uniform workload.
+    pub utilization: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Fixed horizon for every point (tests); `None` scales the horizon
+    /// inversely with the client count via [`shard_horizon`].
+    pub horizon_override: Option<Cycle>,
+}
+
+impl Default for ShardSweepConfig {
+    fn default() -> Self {
+        Self {
+            client_counts: vec![65_536, 131_072, 262_144, 524_288, 1_048_576],
+            worker_counts: vec![1, 2, 4, 8],
+            utilization: 0.9,
+            seed: 0x5AA2D,
+            horizon_override: None,
+        }
+    }
+}
+
+/// Horizon for one shard-sweep point: roughly constant *work* per point
+/// (`clients × horizon ≈ 2^28` client-cycles), floored so the largest
+/// points still time a meaningful stretch.
+pub fn shard_horizon(clients: usize) -> Cycle {
+    ((1u64 << 28) / clients as u64).max(256)
+}
+
+/// One timed run of a shard-sweep point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardRun {
+    /// Worker count requested by the sweep.
+    pub workers: usize,
+    /// Worker count actually used (after the branch-factor clamp).
+    pub effective_workers: usize,
+    /// Wall-clock of `run(horizon)`, nanoseconds (construction excluded).
+    pub wall_ns: u128,
+}
+
+/// One point of the sharded-execution scaling sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardPoint {
+    /// Number of clients.
+    pub clients: usize,
+    /// Simulated horizon in cycles.
+    pub horizon: Cycle,
+    /// Timed runs, one per requested worker count.
+    pub runs: Vec<ShardRun>,
+    /// Requests issued (identical across worker counts by construction).
+    pub issued: u64,
+    /// Requests completed (identical across worker counts).
+    pub completed: u64,
+    /// Whether every worker count produced identical run metrics and
+    /// latency samples.
+    pub verified: bool,
+}
+
+impl ShardPoint {
+    /// Wall-clock speedup of the given run over the one-worker run.
+    pub fn speedup(&self, run: &ShardRun) -> f64 {
+        let base = self
+            .runs
+            .iter()
+            .find(|r| r.workers == 1)
+            .map(|r| r.wall_ns)
+            .unwrap_or(run.wall_ns);
+        base as f64 / run.wall_ns.max(1) as f64
+    }
+}
+
+/// One analysis interconnect per sweep point: interface selection
+/// dominates construction at 65k+ clients and depends only on the
+/// workload, so the worker-count comparison clones it instead of paying
+/// it once per worker count.
+fn shard_analysis(sets: &[bluescale_rt::task::TaskSet]) -> BlueScaleInterconnect {
+    let mut config = BlueScaleConfig::for_clients(sets.len());
+    config.work_conserving = true;
+    config.soa_core = false;
+    BlueScaleInterconnect::new(config, sets).expect("busy uniform workload builds")
+}
+
+fn sharded_system(
+    sets: &[bluescale_rt::task::TaskSet],
+    analysis: &BlueScaleInterconnect,
+    workers: usize,
+) -> ShardedSystem {
+    let mut config = BlueScaleConfig::for_clients(sets.len());
+    config.work_conserving = true;
+    config.soa_core = true;
+    ShardedSystem::with_analysis(config, analysis.clone(), sets, workers)
+}
+
+/// Runs the sharded-execution scaling sweep.
+///
+/// Every worker count replays the same seeded workload and **panics** if
+/// issued/completed/missed/backlog or the latency-sample sequence
+/// differs: the sweep doubles as the worker-count determinism check at
+/// sizes the differential tests cannot afford, pinning that the worker
+/// count is a pure wall-clock knob all the way to the 2^20-client point.
+pub fn run_shards(config: &ShardSweepConfig) -> Vec<ShardPoint> {
+    let mut master = SimRng::seed_from(config.seed);
+    config
+        .client_counts
+        .iter()
+        .map(|&clients| {
+            let mut rng = master.fork();
+            let n = clients as u64;
+            let sets = uniform_task_sets(clients, config.utilization, n, 4 * n, &mut rng);
+            let horizon = config
+                .horizon_override
+                .unwrap_or_else(|| shard_horizon(clients));
+            let analysis = shard_analysis(&sets);
+
+            let mut runs = Vec::new();
+            let mut reference: Option<(u64, u64, u64, u64, Vec<f64>)> = None;
+            let mut verified = true;
+            for &workers in &config.worker_counts {
+                let mut sys = sharded_system(&sets, &analysis, workers);
+                let t = Instant::now();
+                let mut m = sys.run(horizon);
+                let wall_ns = t.elapsed().as_nanos();
+                let fingerprint = (
+                    m.issued(),
+                    m.completed(),
+                    m.missed(),
+                    m.backlog(),
+                    m.latency().as_slice().to_vec(),
+                );
+                match &reference {
+                    None => reference = Some(fingerprint),
+                    Some(expected) => {
+                        verified &= *expected == fingerprint;
+                        assert_eq!(
+                            *expected, fingerprint,
+                            "sharded run diverged at {clients} clients / {workers} workers"
+                        );
+                    }
+                }
+                runs.push(ShardRun {
+                    workers,
+                    effective_workers: sys.workers(),
+                    wall_ns,
+                });
+            }
+            let (issued, completed, ..) = reference.expect("at least one worker count ran");
+            ShardPoint {
+                clients,
+                horizon,
+                runs,
+                issued,
+                completed,
+                verified,
+            }
+        })
+        .collect()
+}
+
+/// Renders the sweep as the `BENCH_shards.json` artefact (hand-rolled
+/// JSON; the container has no serde). `host_cpus` records the
+/// parallelism actually available to the run — wall-clock speedup is a
+/// hardware property, unlike the `verified` determinism bit.
+pub fn render_shards_json(config: &ShardSweepConfig, points: &[ShardPoint]) -> String {
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut s = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"shards\",\n",
+            "  \"unit\": \"ns\",\n",
+            "  \"utilization\": {:.2},\n",
+            "  \"seed\": {},\n",
+            "  \"host_cpus\": {},\n",
+            "  \"points\": [\n",
+        ),
+        config.utilization, config.seed, host_cpus
+    );
+    for (i, p) in points.iter().enumerate() {
+        s.push_str(&format!(
+            concat!(
+                "    {{\n",
+                "      \"clients\": {},\n",
+                "      \"horizon\": {},\n",
+                "      \"issued\": {},\n",
+                "      \"completed\": {},\n",
+                "      \"verified\": {},\n",
+                "      \"runs\": [\n",
+            ),
+            p.clients, p.horizon, p.issued, p.completed, p.verified,
+        ));
+        for (j, r) in p.runs.iter().enumerate() {
+            s.push_str(&format!(
+                concat!(
+                    "        {{ \"workers\": {}, \"effective_workers\": {}, ",
+                    "\"wall_ns\": {}, \"speedup\": {:.2} }}{}\n",
+                ),
+                r.workers,
+                r.effective_workers,
+                r.wall_ns,
+                p.speedup(r),
+                if j + 1 < p.runs.len() { "," } else { "" },
+            ));
+        }
+        s.push_str(&format!(
+            "      ]\n    }}{}\n",
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Renders the shard sweep as a human-readable table for stdout.
+pub fn render_shards_table(points: &[ShardPoint]) -> String {
+    let mut s = String::from(
+        "| Clients | Horizon | Workers | Wall (ms) | Speedup | Verified |\n\
+         |---:|---:|---:|---:|---:|---:|\n",
+    );
+    for p in points {
+        for r in &p.runs {
+            s.push_str(&format!(
+                "| {} | {} | {} ({}) | {:.1} | {:.2}x | {} |\n",
+                p.clients,
+                p.horizon,
+                r.workers,
+                r.effective_workers,
+                r.wall_ns as f64 / 1e6,
+                p.speedup(r),
+                p.verified,
+            ));
+        }
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -469,6 +720,88 @@ mod tests {
             );
             assert!(p.completed > 0);
         }
+    }
+
+    #[test]
+    fn shard_sweep_is_deterministic_across_worker_counts() {
+        let cfg = ShardSweepConfig {
+            client_counts: vec![64],
+            worker_counts: vec![1, 2, 4, 8],
+            horizon_override: Some(4_000),
+            ..Default::default()
+        };
+        let pts = run_shards(&cfg);
+        assert_eq!(pts.len(), 1);
+        let p = &pts[0];
+        assert!(p.verified, "worker counts must agree");
+        assert!(p.completed > 0, "the busy workload must complete requests");
+        assert_eq!(p.runs.len(), 4);
+        let effective: Vec<usize> = p.runs.iter().map(|r| r.effective_workers).collect();
+        assert_eq!(
+            effective,
+            vec![1, 2, 4, 4],
+            "8 workers clamp to the branch factor"
+        );
+    }
+
+    #[test]
+    fn shards_json_is_well_formed() {
+        let cfg = ShardSweepConfig {
+            client_counts: vec![16],
+            worker_counts: vec![1, 2],
+            horizon_override: Some(2_000),
+            ..Default::default()
+        };
+        let pts = run_shards(&cfg);
+        let json = render_shards_json(&cfg, &pts);
+        assert!(json.contains("\"benchmark\": \"shards\""));
+        assert!(json.contains("\"verified\": true"));
+        assert!(json.contains("\"host_cpus\""));
+        assert_eq!(json.matches("\"wall_ns\"").count(), 2);
+        let table = render_shards_table(&pts);
+        assert!(table.contains("Speedup"));
+    }
+
+    #[test]
+    fn uniform_sets_survive_the_million_client_boundary() {
+        // The largest sweep point (2^20 clients) crosses every
+        // narrow-width hazard this sweep has hit before: client ids used
+        // to wrap at the u16 boundary and the old 48-bit request-id
+        // packing collided. Pin the full-width path — set construction,
+        // realized utilization and id disjointness — without paying for
+        // a full system build.
+        let mut rng = SimRng::seed_from(9);
+        let clients = 1usize << 20;
+        let n = clients as u64;
+        let sets = uniform_task_sets(clients, 0.9, n, 4 * n, &mut rng);
+        assert_eq!(sets.len(), clients);
+        let u: f64 = sets
+            .iter()
+            .flat_map(|s| s.iter())
+            .map(|t| t.wcet() as f64 / t.period() as f64)
+            .sum();
+        assert!(
+            (u - 0.9).abs() < 0.05,
+            "realized utilization {u} off target at the 1M point"
+        );
+        assert!(
+            sets.iter().flat_map(|s| s.iter()).all(|t| t.period() >= n),
+            "periods must exceed the sweep horizon so the release is synchronous"
+        );
+
+        use bluescale_interconnect::client::TrafficGenerator;
+        let hi = (clients - 1) as u32;
+        let mut first = TrafficGenerator::new(0, &sets[0]);
+        let mut last = TrafficGenerator::new(hi, &sets[clients - 1]);
+        first.on_cycle(0);
+        last.on_cycle(0);
+        let a = first.take().expect("client 0 releases at t = 0");
+        let b = last.take().expect("client 2^20 - 1 releases at t = 0");
+        assert_eq!(b.client, hi, "client ids must survive the u16 boundary");
+        assert_ne!(
+            a.id, b.id,
+            "request ids from distinct clients must not collide"
+        );
     }
 
     #[test]

@@ -109,7 +109,7 @@ fn time_engine(sets: &[TaskSet], soa_core: bool, horizon: Cycle) -> (u128, u64) 
     let mut clients: Vec<TrafficGenerator> = sets
         .iter()
         .enumerate()
-        .map(|(i, set)| TrafficGenerator::new(i as u16, set))
+        .map(|(i, set)| TrafficGenerator::new(i as u32, set))
         .collect();
     let mut completed = 0u64;
     let t0 = Instant::now();

@@ -17,7 +17,7 @@ use bluescale_sim::metrics::{ComponentId, Counter, MetricsRegistry};
 use bluescale_sim::Cycle;
 
 /// One Scale Element.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ScaleElement {
     index: SeIndex,
     buffers: Vec<RandomAccessBuffer>,
@@ -259,7 +259,7 @@ mod tests {
     use super::*;
     use bluescale_interconnect::AccessKind;
 
-    fn req(id: u64, client: u16, deadline: u64) -> MemoryRequest {
+    fn req(id: u64, client: u32, deadline: u64) -> MemoryRequest {
         MemoryRequest {
             id,
             client,

@@ -43,8 +43,10 @@ pub mod network;
 pub mod rab;
 pub mod scheduler;
 pub mod selector;
+pub mod shard;
 pub mod soa;
 pub mod topology;
 
 pub use network::{BlueScaleInterconnect, BuildError, CompositionReport, InjectError};
+pub use shard::ShardedSystem;
 pub use topology::BlueScaleConfig;

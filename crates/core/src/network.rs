@@ -102,7 +102,7 @@ pub enum InjectError {
     /// The request names a client port this interconnect does not have.
     UnknownClient {
         /// The out-of-range client id carried by the request.
-        client: u16,
+        client: u32,
         /// How many client ports the interconnect has.
         num_clients: usize,
         /// The rejected request.
@@ -167,7 +167,7 @@ pub struct CompositionReport {
 /// The BlueScale memory interconnect.
 ///
 /// See the crate-level docs for an end-to-end example.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BlueScaleInterconnect {
     config: BlueScaleConfig,
     /// `elements[d]` holds the `branch^d` SEs of depth `d` (0 = root).
@@ -195,7 +195,7 @@ pub struct BlueScaleInterconnect {
 }
 
 /// One path SE's trial result: `(depth, order, selected interfaces)`.
-type PathTrial = (usize, usize, Vec<Option<PeriodicResource>>);
+pub(crate) type PathTrial = (usize, usize, Vec<Option<PeriodicResource>>);
 
 impl BlueScaleInterconnect {
     /// Builds a BlueScale instance and resolves all interface-selection
@@ -534,6 +534,66 @@ impl BlueScaleInterconnect {
         let (_, _, root) = trial.last().expect("levels >= 1");
         let root_ifaces: Vec<PeriodicResource> = root.iter().flatten().copied().collect();
         root_admissible(&root_ifaces).then_some(trial)
+    }
+
+    /// Runs admission control for `client`/`tasks` and, when admitted,
+    /// commits everything *except* runtime-engine programming: the leaf
+    /// table rows, the cached interfaces and analysis flags along the
+    /// request path, the parent table rows, and the refreshed composition
+    /// summary. Returns the admitted path (leaf first) so the caller can
+    /// program whichever runtime engine is live — the legacy per-SE
+    /// engine, the whole-tree SoA core, or the sharded engine's per-subtree
+    /// cores — or `None` when admission rejects (in which case nothing was
+    /// written; a rejection is decided entirely on cloned tables).
+    pub(crate) fn commit_reconfiguration(
+        &mut self,
+        client: usize,
+        tasks: &TaskSet,
+    ) -> Option<Vec<PathTrial>> {
+        if client >= self.config.num_clients {
+            return None;
+        }
+        let trial = self.admission_trial(client, tasks)?;
+        // Commit: rewrite the table rows and cached interfaces along the
+        // path, staging every changed server to swap at its replenishment
+        // boundary. Rows re-validate trivially (the trial already loaded
+        // identical rows into the clones).
+        let levels = self.config.levels();
+        let (leaf_order, port) = self.config.attach_point(client);
+        let rows = self.leaf_rows(port, tasks);
+        self.elements[levels - 1][leaf_order]
+            .selector_mut()
+            .reload_port(port as u8, &rows)
+            .expect("rows validated by the admission trial");
+        self.client_tasks[client] = tasks.clone();
+        for (depth, order, ifaces) in &trial {
+            self.se_analysis_ok[*depth][*order] = true;
+            self.composition.interfaces[*depth][*order] = ifaces.clone();
+            if *depth > 0 {
+                let parent_order = order / self.config.branch;
+                let parent_port = (order % self.config.branch) as u8;
+                let parent_rows = Self::interface_rows(&self.config, parent_port, ifaces);
+                self.elements[*depth - 1][parent_order]
+                    .selector_mut()
+                    .reload_port(parent_port, &parent_rows)
+                    .expect("rows validated by the admission trial");
+            }
+        }
+        self.composition.analysis_ok = self.se_analysis_ok.iter().flatten().all(|&ok| ok);
+        self.composition.root_bandwidth = Self::bandwidth_sum(&self.composition.interfaces[0][0]);
+        self.composition.schedulable =
+            self.composition.analysis_ok && self.composition.root_bandwidth <= 1.0 + 1e-9;
+        self.composition.reprogrammed_elements = trial.len();
+        self.metrics.set_gauge(
+            ComponentId::System,
+            "root_bandwidth",
+            self.composition.root_bandwidth,
+        );
+        // Deliberately no `Reconfigurations` tally here: churn accounting
+        // (`Reconfigurations`/`Admitted`/`AdmissionRejected`) is owned by
+        // the harness registry alone, so `merged_registry()` never double
+        // counts an admitted transition.
+        Some(trial)
     }
 
     /// Offers a request at its client's port, with typed rejection: a
@@ -879,7 +939,7 @@ impl Interconnect for BlueScaleInterconnect {
         self.faults = plan;
     }
 
-    fn demote_client(&mut self, client: u16) -> bool {
+    fn demote_client(&mut self, client: u32) -> bool {
         // Best-effort demotion: clear the client's declared tasks, which
         // re-runs interface selection along its request path and leaves
         // its leaf port without a reserved interface. In work-conserving
@@ -894,73 +954,23 @@ impl Interconnect for BlueScaleInterconnect {
         tasks: &TaskSet,
         _now: Cycle,
     ) -> ReconfigOutcome {
-        let client = client as usize;
-        if client >= self.config.num_clients {
-            return ReconfigOutcome::Rejected;
-        }
-        // Admission runs entirely on cloned parameter tables: a rejection
-        // returns before anything in the live fabric was written, so the
-        // rolled-back state is trivially bit-identical.
-        let Some(trial) = self.admission_trial(client, tasks) else {
+        let Some(trial) = self.commit_reconfiguration(client as usize, tasks) else {
             return ReconfigOutcome::Rejected;
         };
-        // Commit: rewrite the table rows and cached interfaces along the
-        // path, staging every changed server to swap at its replenishment
-        // boundary. Rows re-validate trivially (the trial already loaded
-        // identical rows into the clones).
-        let levels = self.config.levels();
-        let (leaf_order, port) = self.config.attach_point(client);
-        let rows = self.leaf_rows(port, tasks);
-        self.elements[levels - 1][leaf_order]
-            .selector_mut()
-            .reload_port(port as u8, &rows)
-            .expect("rows validated by the admission trial");
-        self.client_tasks[client] = tasks.clone();
+        // Program the runtime engine along the committed path. The
+        // transition latency depends on live server state, so it must come
+        // from whichever engine is actually running. No fabric-side
+        // `TransitionCycles` tally: like the rest of churn accounting, the
+        // counter is owned by the harness registry alone (fed through the
+        // returned total), so `merged_registry()` counts each transition
+        // exactly once.
         let mut transition_cycles = 0;
         for (depth, order, ifaces) in &trial {
-            // The transition latency depends on live server state, so it
-            // must come from whichever engine is actually running.
-            let staged = match self.soa.as_mut() {
+            transition_cycles += match self.soa.as_mut() {
                 Some(soa) => soa.program_se_deferred(*depth, *order, ifaces),
                 None => self.elements[*depth][*order].program_deferred(ifaces),
             };
-            if staged > 0 {
-                transition_cycles += staged;
-                self.metrics.add(
-                    ComponentId::Se {
-                        depth: *depth,
-                        order: *order,
-                    },
-                    Counter::TransitionCycles,
-                    staged,
-                );
-            }
-            self.se_analysis_ok[*depth][*order] = true;
-            self.composition.interfaces[*depth][*order] = ifaces.clone();
-            if *depth > 0 {
-                let parent_order = order / self.config.branch;
-                let parent_port = (order % self.config.branch) as u8;
-                let parent_rows = Self::interface_rows(&self.config, parent_port, ifaces);
-                self.elements[*depth - 1][parent_order]
-                    .selector_mut()
-                    .reload_port(parent_port, &parent_rows)
-                    .expect("rows validated by the admission trial");
-            }
         }
-        self.composition.analysis_ok = self.se_analysis_ok.iter().flatten().all(|&ok| ok);
-        self.composition.root_bandwidth = Self::bandwidth_sum(&self.composition.interfaces[0][0]);
-        self.composition.schedulable =
-            self.composition.analysis_ok && self.composition.root_bandwidth <= 1.0 + 1e-9;
-        self.composition.reprogrammed_elements = trial.len();
-        self.metrics.set_gauge(
-            ComponentId::System,
-            "root_bandwidth",
-            self.composition.root_bandwidth,
-        );
-        // Deliberately no `Reconfigurations` tally here: churn accounting
-        // (`Reconfigurations`/`Admitted`/`AdmissionRejected`) is owned by
-        // the harness registry alone, so `merged_registry()` never double
-        // counts an admitted transition.
         ReconfigOutcome::Admitted { transition_cycles }
     }
 
@@ -1192,7 +1202,7 @@ mod tests {
             .collect()
     }
 
-    fn request(client: u16, id: u64, now: Cycle, deadline: Cycle) -> MemoryRequest {
+    fn request(client: u32, id: u64, now: Cycle, deadline: Cycle) -> MemoryRequest {
         MemoryRequest {
             id,
             client,
@@ -1260,7 +1270,7 @@ mod tests {
         let mut ic =
             BlueScaleInterconnect::new(BlueScaleConfig::for_clients(16), &sets(16, 800, 2))
                 .unwrap();
-        for c in 0..16u16 {
+        for c in 0..16u32 {
             ic.inject(request(c, c as u64, 0, 800), 0).unwrap();
         }
         let mut done = 0;

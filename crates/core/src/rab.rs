@@ -44,7 +44,7 @@ pub enum QueuePolicy {
 /// assert_eq!(rab.peek_deadline(), Some(30)); // earliest deadline wins
 /// assert_eq!(rab.pop().expect("entry").id, 2);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct RandomAccessBuffer {
     entries: Vec<(u64, MemoryRequest)>, // (arrival seq, request)
     next_seq: u64,

@@ -1,0 +1,1151 @@
+//! Sharded deterministic parallel simulation over the SoA core.
+//!
+//! The serial harness ([`System`](bluescale_interconnect::system::System)
+//! over [`BlueScaleInterconnect`]) advances the whole tree one cycle at a
+//! time. At 65k–1M clients the per-cycle client loop and leaf sweeps
+//! dominate wall-clock, and they are embarrassingly parallel across the
+//! root's subtrees: a request born under level-1 SE `q` never touches the
+//! state of any other subtree until it reaches the root's port `q`, and a
+//! response re-enters subtree `q` only through the root's demultiplexer.
+//!
+//! [`ShardedSystem`] exploits exactly that cut (conservative PDES, DESIGN.md
+//! §14). Each level-1 subtree becomes a *shard* — a private
+//! [`SoaCore`] covering global depths `1..levels` plus the subtree's traffic
+//! generators and metrics delta buffers — advanced by a pool of workers.
+//! The coordinator keeps the root SE, the memory controller and the
+//! service log, and runs the root's GEDF argmin over the shards' boundary
+//! offers between two barrier-fenced parallel regions per cycle. The §11
+//! lookahead contract (`next_event_hint`) makes the root-arbitration
+//! barrier conservative-safe: no shard can produce a boundary event
+//! earlier than its reported hint, so jumping idle stretches in closed
+//! form remains exact.
+//!
+//! The serial engine stays the bit-identity oracle:
+//! `tests/shard_differential.rs` pins counts, per-client counts, per-SE
+//! forwards, per-port grants/replenishments and full sample sequences
+//! identical at 1/2/4/8 workers across dense, sparse, work-conserving,
+//! churn and fault scenarios. Worker count is a pure wall-clock knob — the
+//! schedule below never depends on it.
+//!
+//! Not supported in sharded mode (use the serial harness): detail
+//! recording (typed events are inherently sequential) and runtime guards.
+
+use crate::network::{BlueScaleInterconnect, BuildError, CompositionReport};
+use crate::soa::SoaCore;
+use crate::topology::BlueScaleConfig;
+use bluescale_interconnect::admission::ChurnPlan;
+use bluescale_interconnect::client::TrafficGenerator;
+use bluescale_interconnect::metrics::RunMetrics;
+use bluescale_interconnect::{ClientId, MemoryRequest, MemoryResponse, ServiceEvent};
+use bluescale_mem::{DramConfig, MemoryController};
+use bluescale_rt::task::TaskSet;
+use bluescale_sim::fault::{FaultKind, FaultPlan};
+use bluescale_sim::metrics::{ComponentId, Counter, MetricsRegistry, SampleKind};
+use bluescale_sim::next_event::jump_target;
+use bluescale_sim::Cycle;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+/// One level-1 subtree: a private slice of the tree plus everything a
+/// worker needs to advance it without touching shared state.
+///
+/// Local coordinates: the shard's core has `levels - 1` levels; its local
+/// SE `(d, o)` is the global SE `(d + 1, q·branch^d + o)`. Fault-plan
+/// queries use global coordinates (the plan is written against the full
+/// tree), metrics deltas are recorded locally and remapped on flush.
+struct Shard {
+    /// Which root port this subtree feeds (= the level-1 SE's order).
+    q: usize,
+    branch: usize,
+    /// Levels in the *local* core (= global levels - 1).
+    levels: usize,
+    /// First global client id owned by this subtree.
+    client_lo: usize,
+    core: SoaCore,
+    clients: Vec<TrafficGenerator>,
+    /// Read-only clone of the fault plan for worker-side queries
+    /// (multipliers, bursts, stuck masks — all stateless lookups).
+    faults: FaultPlan,
+    have_faults: bool,
+    /// Harness-side counters (Issued/Rejected/FaultsInjected), merged into
+    /// the coordinator's registry on flush.
+    harness_delta: MetricsRegistry,
+    /// Fabric-side counters (Enqueued, per-SE fault tallies), merged into
+    /// the coordinator's fabric registry on flush.
+    fabric_delta: MetricsRegistry,
+    /// Responses delivered by this subtree's leaves this cycle, in local
+    /// leaf order; the coordinator drains shards in `q` order, which is
+    /// exactly the serial engine's global leaf order.
+    ready: Vec<MemoryResponse>,
+    /// This cycle's boundary offer: the local root's grant, destined for
+    /// root port `q`. Pushed by the coordinator after the region-B barrier.
+    offer: Option<MemoryRequest>,
+}
+
+impl Shard {
+    /// Region A: the cycle's client phase plus the subtree's response
+    /// demultiplexers — everything that happens before root arbitration
+    /// and that touches only this shard's state.
+    fn advance_front(&mut self, now: Cycle) {
+        // 1. Client phase (the harness's loop, restricted to this
+        //    subtree). Each client owns a dedicated leaf port, so clients
+        //    are independent and the per-shard split is exact.
+        for client in &mut self.clients {
+            if self.have_faults {
+                let owner = client.client();
+                let factor = self.faults.demand_multiplier(owner, now);
+                client.on_cycle_with_factor(now, factor);
+                let burst = self.faults.burst_at(owner, now);
+                if burst > 0 && client.inject_burst(now, burst) > 0 {
+                    self.harness_delta
+                        .inc(ComponentId::System, Counter::FaultsInjected);
+                    self.harness_delta
+                        .inc(ComponentId::Client(owner), Counter::FaultsInjected);
+                }
+            } else {
+                client.on_cycle(now);
+            }
+            if let Some(req) = client.take() {
+                let owner = req.client;
+                let local = owner as usize - self.client_lo;
+                match self.core.try_accept(
+                    self.levels - 1,
+                    local / self.branch,
+                    local % self.branch,
+                    req,
+                ) {
+                    Ok(()) => {
+                        self.fabric_delta
+                            .inc(ComponentId::Client(owner), Counter::Enqueued);
+                        self.harness_delta.inc(ComponentId::System, Counter::Issued);
+                        self.harness_delta
+                            .inc(ComponentId::Client(owner), Counter::Issued);
+                    }
+                    Err(rejected) => {
+                        client.give_back(rejected);
+                        self.harness_delta
+                            .inc(ComponentId::System, Counter::Rejected);
+                        self.harness_delta
+                            .inc(ComponentId::Client(owner), Counter::Rejected);
+                    }
+                }
+            }
+        }
+        // 2. Response path, bottom-up: leaves deliver, inner demuxes route
+        //    one response per cycle toward the owning client. Global
+        //    depths `levels..1` are local depths `levels-1..0`; the global
+        //    depth-0 (root) leg runs coordinator-side after the barrier,
+        //    so its push lands here next cycle — the serial order, where
+        //    the root demux is processed last.
+        for depth in (0..self.levels).rev() {
+            if self.core.responses_at_level(depth) == 0 {
+                continue;
+            }
+            for order in 0..self.branch.pow(depth as u32) {
+                if depth == self.levels - 1 {
+                    if let Some(request) = self.core.pop_response(depth, order) {
+                        self.ready.push(MemoryResponse {
+                            request,
+                            completed_at: now,
+                        });
+                    }
+                } else if let Some(request) = self.core.pop_response(depth, order) {
+                    let leaf_order = (request.client as usize - self.client_lo) / self.branch;
+                    let child_order =
+                        leaf_order / self.branch.pow((self.levels - 2 - depth) as u32);
+                    debug_assert_eq!(
+                        child_order / self.branch.max(1),
+                        order,
+                        "response routed through the wrong subtree"
+                    );
+                    self.core.accept_response(depth + 1, child_order, request);
+                }
+            }
+        }
+    }
+
+    /// Region B: the subtree's arbitration sweep. `root_ready` is the
+    /// coordinator's post-arbitration `can_accept` verdict for root port
+    /// `q`; the local root's grant becomes this cycle's boundary offer.
+    fn advance_back(&mut self, now: Cycle, root_ready: bool) {
+        debug_assert!(self.offer.is_none(), "boundary offer was not collected");
+        self.offer = self.step_local(0, 0, now, root_ready);
+        // Deeper levels forward one request per SE toward their parents
+        // (global depths `2..levels` — the parents are all shard-local).
+        for depth in 1..self.levels {
+            for order in 0..self.branch.pow(depth as u32) {
+                let parent_order = order / self.branch;
+                let port = order % self.branch;
+                let ready = self.core.can_accept(depth - 1, parent_order, port);
+                if let Some(request) = self.step_local(depth, order, now, ready) {
+                    self.core
+                        .try_accept(depth - 1, parent_order, port, request)
+                        .expect("parent advertised a free slot");
+                }
+            }
+        }
+        // Server countdowns for the whole subtree, fused into one sweep.
+        self.core.tick_all();
+    }
+
+    /// One batched arbitration of local SE `(depth, order)`, with the
+    /// fault mask looked up under *global* coordinates and tallied into
+    /// the shard's fabric delta.
+    fn step_local(
+        &mut self,
+        depth: usize,
+        order: usize,
+        now: Cycle,
+        ready: bool,
+    ) -> Option<MemoryRequest> {
+        if self.have_faults {
+            let gd = depth + 1;
+            let go = self.q * self.branch.pow(depth as u32) + order;
+            let mask = self.faults.stuck_mask(gd, go, self.branch, now);
+            if mask.is_some() {
+                self.fabric_delta
+                    .inc(ComponentId::System, Counter::FaultsInjected);
+                self.fabric_delta.inc(
+                    ComponentId::Se {
+                        depth: gd,
+                        order: go,
+                    },
+                    Counter::FaultsInjected,
+                );
+            }
+            self.core
+                .step_se_batched(depth, order, now, ready, mask.as_deref())
+        } else {
+            self.core.step_se_batched(depth, order, now, ready, None)
+        }
+    }
+
+    /// Earliest next release across this shard's clients (fast-forward).
+    fn next_client_event(&self, now: Cycle) -> Cycle {
+        self.clients
+            .iter()
+            .map(|c| c.next_event(now))
+            .min()
+            .unwrap_or(Cycle::MAX)
+    }
+
+    fn pending(&self) -> usize {
+        self.core.buffered() + self.core.responses_queued() + self.ready.len()
+    }
+}
+
+/// Everything the coordinator owns: the root SE, the memory side, the
+/// registries and the master plans. Split from the shard vector so the
+/// coordinator can hold `&mut` state while workers hold the shard locks.
+struct Coordinator {
+    /// Admission control and composition analysis only — its legacy
+    /// elements are never stepped (`soa_core` forced off).
+    analysis: BlueScaleInterconnect,
+    config: BlueScaleConfig,
+    branch: usize,
+    num_clients: usize,
+    clients_per_shard: usize,
+    /// A one-level core holding just the root SE (global `(0,0)`).
+    root: SoaCore,
+    controller: MemoryController<MemoryRequest>,
+    service_log: Vec<ServiceEvent>,
+    /// Harness-side registry (System/Client aggregates + churn verdicts).
+    registry: MetricsRegistry,
+    /// Fabric-side registry — the sharded replica of the serial
+    /// interconnect's internal one.
+    fabric: MetricsRegistry,
+    /// Master harness-side plan (client fault announcements, FF bounds).
+    faults: FaultPlan,
+    /// Master interconnect-side plan; owns the stateful drop-response
+    /// bookkeeping, so coordinator-side queries only.
+    ic_faults: FaultPlan,
+    churn: ChurnPlan,
+    now: Cycle,
+    fast_forward: bool,
+    ff_jumps: u64,
+    ff_skipped: u64,
+}
+
+/// Shared coordination state for one threaded run.
+struct Ctrl {
+    barrier: Barrier,
+    now: AtomicU64,
+    stop: AtomicBool,
+    /// Root-port `can_accept` verdicts, written by the coordinator after
+    /// root arbitration, read by workers in region B. The barrier between
+    /// write and read provides the happens-before edge; `Relaxed` is
+    /// enough.
+    root_ready: Vec<AtomicBool>,
+}
+
+impl Coordinator {
+    /// Pre-cycle serial work: due reconfigurations, then client-side
+    /// fault-window announcements — exactly the serial harness prologue.
+    fn pre_phase(&mut self, shards: &[Mutex<Shard>], now: Cycle) {
+        if !self.churn.is_empty() {
+            while let Some(spec) = self.churn.take_due(now) {
+                let tasks = spec.kind.requested_tasks();
+                self.apply_reconfiguration(shards, spec.client, &tasks, now);
+            }
+        }
+        if !self.faults.is_empty() {
+            self.announce_client_faults(now);
+        }
+    }
+
+    /// Mid-cycle serial work, between the two parallel regions: the root
+    /// demultiplexer, memory completion, root GEDF arbitration and the
+    /// memory issue — the serial engine's phases 1 (depth 0 leg), 2 and 3.
+    /// Writes the post-arbitration per-port `can_accept` verdicts into
+    /// `root_ready`.
+    fn mid_phase(&mut self, shards: &[Mutex<Shard>], now: Cycle, root_ready: &mut [bool]) {
+        let have_faults = !self.ic_faults.is_empty();
+        // Root demux: route one response per cycle into the owning
+        // subtree's local root demux (global depth-1 SE `q` *is* shard
+        // `q`'s local `(0,0)`). The shard already ran its response sweep
+        // this cycle, so the push is observed next cycle — serial order.
+        if self.root.responses_at_level(0) > 0 {
+            if let Some(request) = self.root.pop_response(0, 0) {
+                let q = request.client as usize / self.clients_per_shard;
+                shards[q]
+                    .lock()
+                    .unwrap()
+                    .core
+                    .accept_response(0, 0, request);
+            }
+        }
+        // Memory completions enter the root's demux — unless a
+        // drop-response fault swallows the completion on the way back.
+        if let Some(done) = self.controller.poll_complete(now) {
+            if have_faults && self.ic_faults.should_drop_response(done.client, now) {
+                self.fabric
+                    .inc(ComponentId::System, Counter::FaultsInjected);
+                self.fabric
+                    .inc(ComponentId::System, Counter::ResponsesDropped);
+                self.fabric
+                    .inc(ComponentId::Client(done.client), Counter::ResponsesDropped);
+            } else {
+                self.root.accept_response(0, 0, done);
+            }
+        }
+        // Root arbitration feeds the memory controller. The root's port
+        // queues still hold last cycle's boundary offers — pushes happen
+        // in the post phase, after this cycle's arbitration, exactly as
+        // the serial phase-4 ordering has it.
+        let ready = self.controller.can_accept();
+        let granted = if have_faults {
+            let mask = self.ic_faults.stuck_mask(0, 0, self.branch, now);
+            if mask.is_some() {
+                self.fabric
+                    .inc(ComponentId::System, Counter::FaultsInjected);
+                self.fabric.inc(
+                    ComponentId::Se { depth: 0, order: 0 },
+                    Counter::FaultsInjected,
+                );
+            }
+            self.root.step_se_batched(0, 0, now, ready, mask.as_deref())
+        } else {
+            self.root.step_se_batched(0, 0, now, ready, None)
+        };
+        if let Some(request) = granted {
+            let (addr, deadline) = (request.addr, request.deadline);
+            let extra = if have_faults {
+                let (bank, _) = self.controller.decode(addr);
+                let extra = self.ic_faults.dram_jitter(bank, now);
+                if extra > 0 {
+                    self.fabric
+                        .inc(ComponentId::System, Counter::FaultsInjected);
+                    self.fabric
+                        .inc(ComponentId::Bank(bank), Counter::FaultsInjected);
+                }
+                extra
+            } else {
+                0
+            };
+            let duration = self.controller.accept_with_extra(request, addr, now, extra);
+            self.service_log.push(ServiceEvent {
+                at: now,
+                deadline,
+                duration,
+            });
+        }
+        // Each boundary offer targets its own dedicated root port, so the
+        // verdicts can be taken for all ports at once.
+        for (q, slot) in root_ready.iter_mut().enumerate() {
+            *slot = self.root.can_accept(0, 0, q);
+        }
+    }
+
+    /// Post-cycle serial work: collect boundary offers into the root's
+    /// ports (shard order = port order), account delivered responses
+    /// (shard order = the serial engine's global leaf order), tick the
+    /// root's servers, advance time.
+    fn post_phase(&mut self, shards: &[Mutex<Shard>], _now: Cycle) {
+        for shard in shards {
+            let mut s = shard.lock().unwrap();
+            let q = s.q;
+            if let Some(request) = s.offer.take() {
+                self.root
+                    .try_accept(0, 0, q, request)
+                    .expect("root advertised a free slot");
+            }
+            for mut resp in s.ready.drain(..) {
+                resp.request.blocked_cycles = blocking_in_window(
+                    &self.service_log,
+                    resp.request.issued_at,
+                    resp.completed_at,
+                    resp.request.deadline,
+                );
+                self.record_response(&resp);
+            }
+        }
+        self.root.tick_all();
+        self.now += 1;
+    }
+
+    /// Replica of the serial harness's reconfiguration path, with the
+    /// engine programming routed to the root/shard cores. Admission is
+    /// decided by the analysis interconnect on cloned tables; a rejection
+    /// writes nothing anywhere.
+    fn apply_reconfiguration(
+        &mut self,
+        shards: &[Mutex<Shard>],
+        client: ClientId,
+        tasks: &TaskSet,
+        now: Cycle,
+    ) -> bool {
+        if client as usize >= self.num_clients {
+            self.registry
+                .inc(ComponentId::System, Counter::AdmissionRejected);
+            return false;
+        }
+        match self.analysis.commit_reconfiguration(client as usize, tasks) {
+            Some(trial) => {
+                let mut transition_cycles = 0;
+                for (depth, order, ifaces) in &trial {
+                    transition_cycles += if *depth == 0 {
+                        self.root.program_se_deferred(0, 0, ifaces)
+                    } else {
+                        let per = self.branch.pow((*depth - 1) as u32);
+                        shards[order / per]
+                            .lock()
+                            .unwrap()
+                            .core
+                            .program_se_deferred(*depth - 1, order % per, ifaces)
+                    };
+                }
+                // Mirror the serial fabric's gauge (the analysis registry
+                // itself is never merged).
+                self.fabric.set_gauge(
+                    ComponentId::System,
+                    "root_bandwidth",
+                    self.analysis.composition().root_bandwidth,
+                );
+                let q = client as usize / self.clients_per_shard;
+                {
+                    let mut s = shards[q].lock().unwrap();
+                    let local = client as usize - s.client_lo;
+                    s.clients[local].set_tasks(tasks, now);
+                }
+                for component in [ComponentId::System, ComponentId::Client(client)] {
+                    self.registry.inc(component, Counter::Admitted);
+                    self.registry.inc(component, Counter::Reconfigurations);
+                    if transition_cycles > 0 {
+                        self.registry
+                            .add(component, Counter::TransitionCycles, transition_cycles);
+                    }
+                }
+                true
+            }
+            None => {
+                for component in [ComponentId::System, ComponentId::Client(client)] {
+                    self.registry.inc(component, Counter::AdmissionRejected);
+                }
+                false
+            }
+        }
+    }
+
+    /// One fault-activation counter per client-side window opening this
+    /// cycle (the serial harness's announcement, minus detail events).
+    fn announce_client_faults(&mut self, now: Cycle) {
+        for spec in self.faults.specs() {
+            if let FaultKind::RogueDemand { client, .. } = spec.kind {
+                if spec.window.start == now && spec.window.contains(now) {
+                    self.registry
+                        .inc(ComponentId::System, Counter::FaultsInjected);
+                    self.registry
+                        .inc(ComponentId::Client(client), Counter::FaultsInjected);
+                }
+            }
+        }
+    }
+
+    /// The serial harness's response accounting, verbatim.
+    fn record_response(&mut self, response: &MemoryResponse) {
+        let latency = response.latency() as f64;
+        let blocking = response.request.blocked_cycles as f64;
+        let window = response
+            .request
+            .deadline
+            .saturating_sub(response.request.issued_at)
+            .max(1);
+        let normalized = latency / window as f64;
+        let missed = response.missed_deadline();
+        for component in [
+            ComponentId::System,
+            ComponentId::Client(response.request.client),
+        ] {
+            self.registry.inc(component, Counter::Completed);
+            self.registry
+                .sample(component, SampleKind::Latency, latency);
+            self.registry
+                .sample(component, SampleKind::Blocking, blocking);
+            self.registry
+                .sample(component, SampleKind::NormalizedResponse, normalized);
+            if missed {
+                self.registry.inc(component, Counter::Missed);
+            }
+        }
+    }
+
+    /// The split-core replica of the serial `next_event_hint` (§11): busy
+    /// anywhere → step now; otherwise the memory completion bounds the
+    /// jump, tightened by interconnect-side fault windows.
+    fn next_event_hint(&self, shards: &[Mutex<Shard>], now: Cycle) -> Option<Cycle> {
+        if !self.root.is_quiescent() {
+            return Some(now);
+        }
+        for shard in shards {
+            let s = shard.lock().unwrap();
+            if !s.core.is_quiescent() || !s.ready.is_empty() {
+                return Some(now);
+            }
+        }
+        let mut next = self
+            .controller
+            .next_completion()
+            .map_or(Cycle::MAX, |done| done.max(now));
+        if !self.ic_faults.is_empty() {
+            next = next.min(self.ic_faults.next_activity(now));
+        }
+        Some(next)
+    }
+
+    /// The cycle to jump to when every layer promises nothing happens
+    /// before it (the serial `fast_forward_target`, minus guards).
+    fn fast_forward_target(&self, shards: &[Mutex<Shard>], horizon: Cycle) -> Option<Cycle> {
+        let now = self.now;
+        let hint = self.next_event_hint(shards, now)?;
+        if hint <= now {
+            return None; // busy fabric: veto before the O(clients) scan
+        }
+        let mut reports = vec![hint];
+        if !self.faults.is_empty() {
+            reports.push(self.faults.next_activity(now));
+        }
+        if !self.churn.is_empty() {
+            reports.push(self.churn.next_activity(now));
+        }
+        for shard in shards {
+            reports.push(shard.lock().unwrap().next_client_event(now));
+        }
+        jump_target(now, horizon, reports)
+    }
+
+    /// Replays `delta` provably-idle cycles in closed form on the root
+    /// and every shard core.
+    fn advance_idle(&mut self, shards: &[Mutex<Shard>], delta: Cycle) {
+        self.root.advance_idle(delta);
+        for shard in shards {
+            shard.lock().unwrap().core.advance_idle(delta);
+        }
+    }
+
+    /// Folds every batched tally into the two registries: memory-controller
+    /// counters, the root core's deltas (identity coordinates), each shard
+    /// core's deltas (remapped to global coordinates) and the per-shard
+    /// harness/fabric delta registries.
+    fn flush(&mut self, shards: &[Mutex<Shard>]) {
+        self.controller.record_metrics(&mut self.fabric);
+        self.root.flush_metrics(&mut self.fabric);
+        for shard in shards {
+            let mut s = shard.lock().unwrap();
+            let (q, branch) = (s.q, s.branch);
+            s.core
+                .flush_metrics_mapped(&mut self.fabric, |depth, order| {
+                    (depth + 1, q * branch.pow(depth as u32) + order)
+                });
+            self.registry.merge(&s.harness_delta);
+            self.fabric.merge(&s.fabric_delta);
+            s.harness_delta = MetricsRegistry::new();
+            s.fabric_delta = MetricsRegistry::new();
+        }
+    }
+}
+
+/// Blocking latency of a request that waited during `[issued, done)`:
+/// total channel time granted to later-deadline requests in that window
+/// (the serial harness's measure, over the coordinator's service log).
+fn blocking_in_window(log: &[ServiceEvent], issued: Cycle, done: Cycle, deadline: Cycle) -> u64 {
+    let start = log.partition_point(|e| e.at < issued);
+    log[start..]
+        .iter()
+        .take_while(|e| e.at < done)
+        .filter(|e| e.deadline > deadline)
+        .map(|e| e.duration)
+        .sum()
+}
+
+/// A deterministic parallel twin of the serial harness: same inputs, same
+/// seed, bit-identical outputs at any worker count (see the module docs).
+pub struct ShardedSystem {
+    coord: Coordinator,
+    shards: Vec<Mutex<Shard>>,
+    workers: usize,
+}
+
+impl ShardedSystem {
+    /// Builds the sharded system: one shard per level-1 subtree, a
+    /// one-level root core, and an analysis-only interconnect for
+    /// admission control. `workers` is clamped to the shard count (the
+    /// root's branching factor); it never affects results.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BuildError`] from interface selection, exactly as the
+    /// serial constructor does.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the topology has fewer than two levels — a single-SE
+    /// tree has no level-1 subtrees to shard; use the serial harness.
+    pub fn new(
+        config: BlueScaleConfig,
+        task_sets: &[TaskSet],
+        workers: usize,
+    ) -> Result<Self, BuildError> {
+        let mut acfg = config.clone();
+        acfg.soa_core = false;
+        let analysis = BlueScaleInterconnect::new(acfg, task_sets)?;
+        Ok(Self::with_analysis(config, analysis, task_sets, workers))
+    }
+
+    /// Builds the sharded system around a prebuilt analysis interconnect,
+    /// skipping interface selection. Construction at large client counts
+    /// is dominated by the per-SE selection math, which depends only on
+    /// the workload — a sweep comparing worker counts on one workload
+    /// pays it once and clones the analysis per call.
+    ///
+    /// `analysis` should be built with [`BlueScaleConfig::soa_core`]
+    /// disabled (it serves admission control only; [`Self::new`] does
+    /// exactly that).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `analysis` was sized for a different client count than
+    /// `task_sets`, if `workers` is zero, or on a single-level topology
+    /// (a single-SE tree has no level-1 subtrees to shard; use the
+    /// serial harness).
+    pub fn with_analysis(
+        config: BlueScaleConfig,
+        analysis: BlueScaleInterconnect,
+        task_sets: &[TaskSet],
+        workers: usize,
+    ) -> Self {
+        assert!(workers >= 1, "at least one worker is required");
+        assert_eq!(
+            analysis.config().num_clients,
+            task_sets.len(),
+            "analysis interconnect was sized for a different client count"
+        );
+        let levels = config.levels();
+        assert!(
+            levels >= 2,
+            "sharded simulation needs >= 2 tree levels (more clients than `branch`); \
+             use the serial harness for single-SE topologies"
+        );
+        let branch = config.branch;
+        let interfaces = &analysis.composition().interfaces;
+
+        let mut rcfg = config.clone();
+        rcfg.num_clients = branch;
+        debug_assert_eq!(rcfg.levels(), 1);
+        let root = SoaCore::new(&rcfg, &[interfaces[0].clone()]);
+
+        let clients_per_shard = branch.pow((levels - 1) as u32);
+        let mut scfg = config.clone();
+        scfg.num_clients = clients_per_shard;
+        debug_assert_eq!(scfg.levels(), levels - 1);
+        let num_clients = task_sets.len();
+        let shards = (0..branch)
+            .map(|q| {
+                let sub: Vec<Vec<Vec<_>>> = (0..levels - 1)
+                    .map(|d| {
+                        let per = branch.pow(d as u32);
+                        (0..per)
+                            .map(|o| interfaces[d + 1][q * per + o].clone())
+                            .collect()
+                    })
+                    .collect();
+                let client_lo = q * clients_per_shard;
+                let hi = ((q + 1) * clients_per_shard).min(num_clients);
+                let clients = (client_lo.min(hi)..hi)
+                    .map(|i| TrafficGenerator::new(i as ClientId, &task_sets[i]))
+                    .collect();
+                Mutex::new(Shard {
+                    q,
+                    branch,
+                    levels: levels - 1,
+                    client_lo,
+                    core: SoaCore::new(&scfg, &sub),
+                    clients,
+                    faults: FaultPlan::default(),
+                    have_faults: false,
+                    harness_delta: MetricsRegistry::new(),
+                    fabric_delta: MetricsRegistry::new(),
+                    ready: Vec::new(),
+                    offer: None,
+                })
+            })
+            .collect();
+        let controller = MemoryController::new(
+            config
+                .dram
+                .unwrap_or_else(|| DramConfig::flat(config.memory_service_cycles)),
+        );
+        let mut fabric = MetricsRegistry::new();
+        fabric.set_gauge(
+            ComponentId::System,
+            "root_bandwidth",
+            analysis.composition().root_bandwidth,
+        );
+        Self {
+            coord: Coordinator {
+                analysis,
+                branch,
+                num_clients,
+                clients_per_shard,
+                root,
+                controller,
+                service_log: Vec::new(),
+                registry: MetricsRegistry::new(),
+                fabric,
+                faults: FaultPlan::default(),
+                ic_faults: FaultPlan::default(),
+                churn: ChurnPlan::new(0),
+                now: 0,
+                fast_forward: true,
+                ff_jumps: 0,
+                ff_skipped: 0,
+                config,
+            },
+            shards,
+            workers: workers.min(branch).max(1),
+        }
+    }
+
+    /// Installs a fault plan: the stateful master stays coordinator-side,
+    /// each worker gets a read-only clone for its stateless queries.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        let mut ic = plan.clone();
+        ic.reset_state();
+        self.coord.ic_faults = ic;
+        for shard in &mut self.shards {
+            let s = shard.get_mut().unwrap();
+            let mut copy = plan.clone();
+            copy.reset_state();
+            s.have_faults = !copy.is_empty();
+            s.faults = copy;
+        }
+        self.coord.faults = plan;
+    }
+
+    /// Installs a churn plan (applied-state reset, like the serial setter).
+    pub fn set_churn_plan(&mut self, mut plan: ChurnPlan) {
+        plan.reset_state();
+        self.coord.churn = plan;
+    }
+
+    /// Enables or disables next-event fast-forward (on by default;
+    /// results are bit-identical either way).
+    pub fn set_fast_forward(&mut self, on: bool) {
+        self.coord.fast_forward = on;
+    }
+
+    /// Idle jumps taken so far.
+    pub fn fast_forward_jumps(&self) -> u64 {
+        self.coord.ff_jumps
+    }
+
+    /// Cycles skipped in closed form so far.
+    pub fn fast_forwarded_cycles(&self) -> u64 {
+        self.coord.ff_skipped
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Cycle {
+        self.coord.now
+    }
+
+    /// Effective worker count (clamped to the shard count).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The (global) configuration.
+    pub fn config(&self) -> &BlueScaleConfig {
+        &self.coord.config
+    }
+
+    /// The admission-control composition report.
+    pub fn composition(&self) -> &CompositionReport {
+        self.coord.analysis.composition()
+    }
+
+    /// The harness-level registry (System and Client aggregates). Exact
+    /// after a `run`/flush; per-shard deltas may be pending mid-run.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.coord.registry
+    }
+
+    /// The fabric registry (per-SE/port/bank tallies under global
+    /// coordinates), flushed — the sharded replica of the serial
+    /// interconnect's internal registry.
+    pub fn fabric_metrics(&mut self) -> &MetricsRegistry {
+        self.coord.flush(&self.shards);
+        &self.coord.fabric
+    }
+
+    /// Harness + fabric in one snapshot, flushed — mirrors the serial
+    /// `System::merged_registry`.
+    pub fn merged_registry(&mut self) -> MetricsRegistry {
+        self.coord.flush(&self.shards);
+        let mut merged = self.coord.registry.clone();
+        merged.merge(&self.coord.fabric);
+        merged
+    }
+
+    /// Per-SE forwarded-request counters, `[depth][order]` under global
+    /// coordinates — mirrors the serial `forward_counts`.
+    pub fn forward_counts(&mut self) -> Vec<Vec<u64>> {
+        self.coord.flush(&self.shards);
+        let levels = self.coord.config.levels();
+        (0..levels)
+            .map(|depth| {
+                (0..self.coord.branch.pow(depth as u32))
+                    .map(|order| {
+                        self.coord
+                            .fabric
+                            .counter(ComponentId::Se { depth, order }, Counter::Forwarded)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Metrics broken down per client, from the harness registry's
+    /// per-client slices (exact after a `run`).
+    pub fn per_client_metrics(&self) -> Vec<RunMetrics> {
+        (0..self.coord.num_clients)
+            .map(|c| RunMetrics::from_registry(&self.coord.registry, ComponentId::Client(c as u32)))
+            .collect()
+    }
+
+    /// Requests currently inside the fabric or the memory controller.
+    pub fn pending(&self) -> usize {
+        let in_service = usize::from(!self.coord.controller.can_accept());
+        let root = self.coord.root.buffered() + self.coord.root.responses_queued();
+        root + in_service
+            + self
+                .shards
+                .iter()
+                .map(|s| s.lock().unwrap().pending())
+                .sum::<usize>()
+    }
+
+    /// Runs until `horizon` cycles have elapsed, then accounts
+    /// still-pending client-side requests exactly as the serial harness
+    /// does. Returns the aggregate metrics.
+    pub fn run(&mut self, horizon: Cycle) -> RunMetrics {
+        self.advance_to(horizon);
+        let coord = &mut self.coord;
+        let mut metrics = RunMetrics::from_registry(&coord.registry, ComponentId::System);
+        for shard in &self.shards {
+            let mut s = shard.lock().unwrap();
+            for client in &mut s.clients {
+                while let Some(req) = client.take() {
+                    metrics.on_issued();
+                    metrics.on_incomplete(req.deadline, horizon);
+                    let owner = ComponentId::Client(req.client);
+                    coord.registry.inc(owner, Counter::Issued);
+                    coord.registry.inc(owner, Counter::Backlog);
+                    if req.deadline < horizon {
+                        coord.registry.inc(owner, Counter::Missed);
+                    }
+                }
+            }
+        }
+        metrics
+    }
+
+    /// Steps (or fast-forwards) up to `horizon` without end-of-run
+    /// accounting, then flushes all batched tallies.
+    pub fn advance_to(&mut self, horizon: Cycle) {
+        if self.workers <= 1 {
+            self.advance_serial(horizon);
+        } else {
+            self.advance_threaded(horizon);
+        }
+        self.coord.flush(&self.shards);
+    }
+
+    /// Single-worker path: the identical schedule, run inline. Used both
+    /// as the 1-worker mode and as the reference the threaded path must
+    /// match (they share every phase implementation).
+    fn advance_serial(&mut self, horizon: Cycle) {
+        const ATTEMPT_BACKOFF: Cycle = 16;
+        let coord = &mut self.coord;
+        let shards = &self.shards;
+        let mut root_ready = vec![false; coord.branch];
+        let mut next_attempt = coord.now;
+        while coord.now < horizon {
+            if coord.fast_forward && coord.now >= next_attempt {
+                if let Some(target) = coord.fast_forward_target(shards, horizon) {
+                    let delta = target - coord.now;
+                    coord.advance_idle(shards, delta);
+                    coord.ff_jumps += 1;
+                    coord.ff_skipped += delta;
+                    coord.now = target;
+                    if coord.now >= horizon {
+                        break;
+                    }
+                } else {
+                    next_attempt = coord.now + ATTEMPT_BACKOFF;
+                }
+            }
+            let now = coord.now;
+            coord.pre_phase(shards, now);
+            for shard in shards {
+                shard.lock().unwrap().advance_front(now);
+            }
+            coord.mid_phase(shards, now, &mut root_ready);
+            for shard in shards {
+                let mut s = shard.lock().unwrap();
+                let ready = root_ready[s.q];
+                s.advance_back(now, ready);
+            }
+            coord.post_phase(shards, now);
+        }
+    }
+
+    /// Multi-worker path: persistent scoped threads, four barrier
+    /// crossings per stepped cycle (release A, join A, release B, join B).
+    /// Workers own shards `q ≡ w (mod workers)` and lock them only inside
+    /// their regions; the coordinator runs pre/mid/post between barriers
+    /// and fast-forwards while the workers are parked.
+    fn advance_threaded(&mut self, horizon: Cycle) {
+        const ATTEMPT_BACKOFF: Cycle = 16;
+        let coord = &mut self.coord;
+        let shards: &[Mutex<Shard>] = &self.shards;
+        if coord.now >= horizon {
+            return;
+        }
+        let nworkers = self.workers;
+        let ctrl = Ctrl {
+            barrier: Barrier::new(nworkers + 1),
+            now: AtomicU64::new(coord.now),
+            stop: AtomicBool::new(false),
+            root_ready: (0..coord.branch).map(|_| AtomicBool::new(false)).collect(),
+        };
+        std::thread::scope(|scope| {
+            for w in 0..nworkers {
+                let ctrl = &ctrl;
+                scope.spawn(move || loop {
+                    ctrl.barrier.wait(); // region A release
+                    if ctrl.stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let now = ctrl.now.load(Ordering::Relaxed);
+                    for q in (w..shards.len()).step_by(nworkers) {
+                        shards[q].lock().unwrap().advance_front(now);
+                    }
+                    ctrl.barrier.wait(); // region A join
+                    ctrl.barrier.wait(); // region B release
+                    for q in (w..shards.len()).step_by(nworkers) {
+                        let ready = ctrl.root_ready[q].load(Ordering::Relaxed);
+                        shards[q].lock().unwrap().advance_back(now, ready);
+                    }
+                    ctrl.barrier.wait(); // region B join
+                });
+            }
+            let mut root_ready = vec![false; coord.branch];
+            let mut next_attempt = coord.now;
+            while coord.now < horizon {
+                if coord.fast_forward && coord.now >= next_attempt {
+                    if let Some(target) = coord.fast_forward_target(shards, horizon) {
+                        let delta = target - coord.now;
+                        coord.advance_idle(shards, delta);
+                        coord.ff_jumps += 1;
+                        coord.ff_skipped += delta;
+                        coord.now = target;
+                        if coord.now >= horizon {
+                            break;
+                        }
+                    } else {
+                        next_attempt = coord.now + ATTEMPT_BACKOFF;
+                    }
+                }
+                let now = coord.now;
+                coord.pre_phase(shards, now);
+                ctrl.now.store(now, Ordering::Relaxed);
+                ctrl.barrier.wait(); // region A release
+                ctrl.barrier.wait(); // region A join
+                coord.mid_phase(shards, now, &mut root_ready);
+                for (q, &ready) in root_ready.iter().enumerate() {
+                    ctrl.root_ready[q].store(ready, Ordering::Relaxed);
+                }
+                ctrl.barrier.wait(); // region B release
+                ctrl.barrier.wait(); // region B join
+                coord.post_phase(shards, now);
+            }
+            ctrl.stop.store(true, Ordering::Relaxed);
+            ctrl.barrier.wait(); // wake workers into the stop check
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bluescale_interconnect::admission::{ChurnKind, ChurnPlan};
+    use bluescale_interconnect::system::System;
+    use bluescale_rt::task::Task;
+
+    fn sets(n: usize, period: u64, wcet: u64) -> Vec<TaskSet> {
+        (0..n)
+            .map(|_| TaskSet::new(vec![Task::new(0, period, wcet).unwrap()]).unwrap())
+            .collect()
+    }
+
+    fn serial(sets: &[TaskSet]) -> System<BlueScaleInterconnect> {
+        let config = BlueScaleConfig::for_clients(sets.len());
+        let ic = BlueScaleInterconnect::new(config, sets).expect("valid task sets");
+        System::new(Box::new(ic), sets)
+    }
+
+    fn sharded(sets: &[TaskSet], workers: usize) -> ShardedSystem {
+        let config = BlueScaleConfig::for_clients(sets.len());
+        ShardedSystem::new(config, sets, workers).expect("valid task sets")
+    }
+
+    #[test]
+    fn with_analysis_matches_the_owning_constructor() {
+        // The amortized constructor (one analysis build shared across
+        // worker counts) must be indistinguishable from `new`.
+        let sets = sets(16, 40, 2);
+        let config = BlueScaleConfig::for_clients(16);
+        let mut owned = ShardedSystem::new(config.clone(), &sets, 4).expect("valid task sets");
+
+        let mut acfg = config.clone();
+        acfg.soa_core = false;
+        let analysis = BlueScaleInterconnect::new(acfg, &sets).expect("valid task sets");
+        let mut shared = ShardedSystem::with_analysis(config, analysis.clone(), &sets, 4);
+
+        owned.run(4_000);
+        shared.run(4_000);
+        assert_eq!(
+            owned.merged_registry().to_json(),
+            shared.merged_registry().to_json()
+        );
+        // The analysis handed over was cloned — still usable for the
+        // next worker count.
+        assert_eq!(
+            analysis.composition().interfaces.len(),
+            shared.config().levels()
+        );
+    }
+
+    #[test]
+    fn matches_serial_aggregates_on_a_dense_workload() {
+        let sets = sets(16, 40, 2);
+        let mut oracle = serial(&sets);
+        let mut a = oracle.run(4_000);
+        for workers in [1, 2, 4] {
+            let mut sys = sharded(&sets, workers);
+            let mut b = sys.run(4_000);
+            assert!(a.issued() > 0);
+            assert_eq!(a.issued(), b.issued(), "workers={workers}");
+            assert_eq!(a.completed(), b.completed(), "workers={workers}");
+            assert_eq!(a.missed(), b.missed(), "workers={workers}");
+            assert_eq!(a.backlog(), b.backlog(), "workers={workers}");
+            assert_eq!(
+                a.latency().as_slice(),
+                b.latency().as_slice(),
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn merged_registry_is_byte_identical_to_serial() {
+        let sets = sets(16, 50, 1);
+        let mut oracle = serial(&sets);
+        oracle.run(3_000);
+        let expected = oracle.merged_registry().to_json();
+        for workers in [1, 4] {
+            let mut sys = sharded(&sets, workers);
+            sys.run(3_000);
+            assert_eq!(
+                sys.merged_registry().to_json(),
+                expected,
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn churn_is_applied_identically() {
+        let sets = sets(16, 400, 2);
+        let plan = || {
+            let mut plan = ChurnPlan::new(7);
+            plan.push(
+                500,
+                3,
+                ChurnKind::UpdateTasks {
+                    tasks: TaskSet::new(vec![Task::new(0, 200, 2).unwrap()]).unwrap(),
+                },
+            )
+            .push(900, 9, ChurnKind::Leave);
+            plan
+        };
+        let mut oracle = serial(&sets);
+        oracle.set_churn_plan(plan());
+        oracle.run(2_000);
+        let expected = oracle.merged_registry().to_json();
+        let mut sys = sharded(&sets, 4);
+        sys.set_churn_plan(plan());
+        sys.run(2_000);
+        assert_eq!(sys.merged_registry().to_json(), expected);
+        assert_eq!(
+            sys.registry()
+                .counter(ComponentId::System, Counter::Admitted),
+            2
+        );
+    }
+
+    #[test]
+    fn worker_count_is_clamped_to_the_shard_count() {
+        let sets = sets(16, 40, 2);
+        let sys = sharded(&sets, 8);
+        assert_eq!(sys.workers(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "2 tree levels")]
+    fn single_level_topologies_are_rejected() {
+        let sets = sets(4, 40, 2);
+        let config = BlueScaleConfig::for_clients(4);
+        let _ = ShardedSystem::new(config, &sets, 2);
+    }
+}

@@ -1161,6 +1161,20 @@ impl SoaCore {
     /// contract as the memory-controller counters), so any mutable metrics
     /// access observes exact tallies.
     pub fn flush_metrics(&mut self, metrics: &mut MetricsRegistry) {
+        self.flush_metrics_mapped(metrics, |depth, order| (depth, order));
+    }
+
+    /// [`flush_metrics`](Self::flush_metrics) with a coordinate translation:
+    /// each local SE `(depth, order)` is tallied under the component id
+    /// `map(depth, order)` returns. A shard core covering one subtree of a
+    /// larger tree flushes under the subtree's *global* coordinates, so a
+    /// registry fed by several shard cores is indistinguishable from one
+    /// fed by a single whole-tree core.
+    pub fn flush_metrics_mapped(
+        &mut self,
+        metrics: &mut MetricsRegistry,
+        map: impl Fn(usize, usize) -> (usize, usize),
+    ) {
         if !self.dirty {
             return;
         }
@@ -1169,6 +1183,7 @@ impl SoaCore {
             let ses = self.level_base[depth + 1] - self.level_base[depth];
             for order in 0..ses {
                 let se = self.level_base[depth] + order;
+                let (depth, order) = map(depth, order);
                 let component = ComponentId::Se { depth, order };
                 for (delta, counter) in [
                     (std::mem::take(&mut self.d_grants_se[se]), Counter::Grants),

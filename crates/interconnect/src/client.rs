@@ -153,6 +153,8 @@ impl TrafficGenerator {
                 period: t.period(),
                 demand: t.wcet(),
                 next_release: now,
+                // The full 32-bit client id occupies bits 32..64, so the
+                // per-client 4 GiB windows stay disjoint for ids ≥ 65 536.
                 next_addr: (self.client as u64) << 32 | (t.id() as u64) << 24,
                 addr_stride: 64,
             })
@@ -175,6 +177,22 @@ impl TrafficGenerator {
         self.pending.len()
     }
 
+    /// The next globally unique request id: the 32-bit client id in the
+    /// high word, the per-client serial in the low word. The old layout
+    /// packed the client into the top 16 bits (`client << 48`), so client
+    /// ids ≥ 65 536 silently wrapped into the serial field and collided
+    /// with other clients' ids; 32/32 keeps ids unique up to 2³² clients
+    /// issuing 2³² requests each.
+    fn next_id(client: ClientId, serial: &mut u64) -> u64 {
+        debug_assert!(
+            *serial < (1 << 32),
+            "client {client} serial overflowed the 32-bit id field"
+        );
+        let id = ((client as u64) << 32) | *serial;
+        *serial += 1;
+        id
+    }
+
     /// Advances task releases to cycle `now`, enqueueing the requests of
     /// every job released at this cycle. Call exactly once per cycle.
     pub fn on_cycle(&mut self, now: Cycle) {
@@ -194,8 +212,7 @@ impl TrafficGenerator {
                 let release = t.next_release;
                 let deadline = release + t.period;
                 for _ in 0..t.demand * self.misbehaviour_factor * extra_factor {
-                    let id = ((self.client as u64) << 48) | self.next_request_serial;
-                    self.next_request_serial += 1;
+                    let id = Self::next_id(self.client, &mut self.next_request_serial);
                     self.issued += 1;
                     self.pending.push(
                         MemoryRequest {
@@ -234,8 +251,7 @@ impl TrafficGenerator {
         let (task_id, period, stride) = (t.task_id, t.period, t.addr_stride);
         let mut addr = t.next_addr;
         for _ in 0..count {
-            let id = ((self.client as u64) << 48) | self.next_request_serial;
-            self.next_request_serial += 1;
+            let id = Self::next_id(self.client, &mut self.next_request_serial);
             self.issued += 1;
             let deadline = now + period;
             self.pending.push(
@@ -307,6 +323,32 @@ mod tests {
         )
         .unwrap();
         TrafficGenerator::new(3, &set)
+    }
+
+    #[test]
+    fn request_ids_stay_unique_above_the_u16_client_boundary() {
+        // Regression: ids used to pack the client into bits 48..64, so
+        // client 65 536 collided with client 0's serials, 65 537 with
+        // client 1's, and so on. Generators straddling the old boundary
+        // must now produce fully disjoint id streams.
+        let set = TaskSet::new(vec![Task::new(0, 10, 4).unwrap()]).unwrap();
+        let clients: Vec<u32> = vec![0, 1, 65_535, 65_536, 65_537, 1_000_000];
+        let mut ids = std::collections::HashSet::new();
+        for &c in &clients {
+            let mut g = TrafficGenerator::new(c, &set);
+            for now in 0..40 {
+                g.on_cycle(now);
+                while let Some(r) = g.take() {
+                    assert_eq!(r.client, c);
+                    assert!(
+                        ids.insert(r.id),
+                        "duplicate request id {:#x} for client {c}",
+                        r.id
+                    );
+                    assert_eq!(r.id >> 32, c as u64, "client field occupies bits 32..64");
+                }
+            }
+        }
     }
 
     #[test]

@@ -82,7 +82,7 @@ impl GuardConfig {
 /// One tracked in-flight request.
 #[derive(Debug, Clone)]
 pub(crate) struct Outstanding {
-    pub(crate) client: u16,
+    pub(crate) client: u32,
     /// A clone for re-injection; kept only while a watchdog is armed.
     pub(crate) request: Option<MemoryRequest>,
     pub(crate) retries: u32,
@@ -101,9 +101,9 @@ pub struct GuardState {
     /// `(due, id)` watchdog timers, ordered by expiry.
     pub(crate) retry_due: BTreeSet<(Cycle, u64)>,
     /// Detected misses per client (the quarantine guard's evidence).
-    pub(crate) miss_tally: BTreeMap<u16, u64>,
+    pub(crate) miss_tally: BTreeMap<u32, u64>,
     /// Clients already demoted (or whose demotion was attempted).
-    pub(crate) quarantined: BTreeSet<u16>,
+    pub(crate) quarantined: BTreeSet<u32>,
 }
 
 impl GuardState {
@@ -121,12 +121,12 @@ impl GuardState {
     }
 
     /// Clients demoted (or attempted) by the quarantine guard, ascending.
-    pub fn quarantined(&self) -> Vec<u16> {
+    pub fn quarantined(&self) -> Vec<u32> {
         self.quarantined.iter().copied().collect()
     }
 
     /// Detected deadline misses charged to `client` so far.
-    pub fn detected_misses(&self, client: u16) -> u64 {
+    pub fn detected_misses(&self, client: u32) -> u64 {
         self.miss_tally.get(&client).copied().unwrap_or(0)
     }
 
@@ -136,7 +136,7 @@ impl GuardState {
     pub(crate) fn track(
         &mut self,
         id: u64,
-        client: u16,
+        client: u32,
         deadline: Cycle,
         keep_request: Option<MemoryRequest>,
         now: Cycle,

@@ -27,7 +27,7 @@ use std::fmt;
 
 /// Identifier of a client (processor or hardware accelerator), `µ.x` in the
 /// paper's figures.
-pub type ClientId = u16;
+pub type ClientId = u32;
 
 /// Whether a transaction reads or writes memory. Both directions traverse
 /// the same request/response paths; the kind only influences the DRAM model.

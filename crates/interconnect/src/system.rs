@@ -110,7 +110,7 @@ impl<I: ?Sized + Interconnect> System<I> {
         let clients = task_sets
             .iter()
             .enumerate()
-            .map(|(i, set)| TrafficGenerator::new(i as u16, set))
+            .map(|(i, set)| TrafficGenerator::new(i as u32, set))
             .collect();
         Self::from_generators(interconnect, clients)
     }
@@ -138,7 +138,7 @@ impl<I: ?Sized + Interconnect> System<I> {
             .map(|(i, set)| {
                 let offsets: Vec<Cycle> =
                     set.iter().map(|t| rng.range_u64(0, t.period())).collect();
-                TrafficGenerator::with_offsets(i as u16, set, &offsets)
+                TrafficGenerator::with_offsets(i as u32, set, &offsets)
             })
             .collect();
         Self::from_generators(interconnect, clients)
@@ -203,7 +203,7 @@ impl<I: ?Sized + Interconnect> System<I> {
         let mut plan = std::mem::take(&mut self.faults);
         plan.push(
             FaultKind::RogueDemand {
-                client: client as u16,
+                client: client as u32,
                 factor,
             },
             FaultWindow::ALWAYS,
@@ -328,12 +328,12 @@ impl<I: ?Sized + Interconnect> System<I> {
     }
 
     /// Clients demoted by the quarantine guard, ascending.
-    pub fn quarantined_clients(&self) -> Vec<u16> {
+    pub fn quarantined_clients(&self) -> Vec<u32> {
         self.guard.quarantined()
     }
 
     /// Deadline misses the guard layer has detected for `client`.
-    pub fn detected_misses(&self, client: u16) -> u64 {
+    pub fn detected_misses(&self, client: u32) -> u64 {
         self.guard.detected_misses(client)
     }
 
@@ -341,7 +341,7 @@ impl<I: ?Sized + Interconnect> System<I> {
     /// built from the harness registry's per-client slices.
     pub fn per_client_metrics(&self) -> Vec<RunMetrics> {
         (0..self.interconnect.num_clients())
-            .map(|c| RunMetrics::from_registry(&self.registry, ComponentId::Client(c as u16)))
+            .map(|c| RunMetrics::from_registry(&self.registry, ComponentId::Client(c as u32)))
             .collect()
     }
 
@@ -603,7 +603,7 @@ impl<I: ?Sized + Interconnect> System<I> {
             }
         }
         if let Some(policy) = self.guards.quarantine {
-            let offenders: Vec<u16> = self
+            let offenders: Vec<u32> = self
                 .guard
                 .miss_tally
                 .iter()
@@ -1134,8 +1134,8 @@ mod tests {
         queue: VecDeque<MemoryRequest>,
         ready: VecDeque<MemoryResponse>,
         lose_remaining: usize,
-        blackhole_client: Option<u16>,
-        demoted: Vec<u16>,
+        blackhole_client: Option<u32>,
+        demoted: Vec<u32>,
     }
 
     impl LossyInterconnect {
@@ -1183,7 +1183,7 @@ mod tests {
         fn pending(&self) -> usize {
             self.queue.len() + self.ready.len()
         }
-        fn demote_client(&mut self, client: u16) -> bool {
+        fn demote_client(&mut self, client: u32) -> bool {
             self.demoted.push(client);
             true
         }

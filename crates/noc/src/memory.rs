@@ -211,7 +211,7 @@ mod tests {
     use super::*;
     use bluescale_interconnect::AccessKind;
 
-    fn req(client: u16, id: u64, deadline: u64) -> MemoryRequest {
+    fn req(client: u32, id: u64, deadline: u64) -> MemoryRequest {
         MemoryRequest {
             id,
             client,
@@ -261,7 +261,7 @@ mod tests {
     #[test]
     fn all_clients_round_trip() {
         let mut noc = NocMemoryInterconnect::new(64, 1);
-        for c in 0..64u16 {
+        for c in 0..64u32 {
             noc.inject(req(c, c as u64, 100_000), 0).unwrap();
         }
         let mut done = 0;

@@ -209,12 +209,26 @@ pub fn min_budget_for_period(set: &TaskSet, period: Time) -> Option<Time> {
 /// candidate periods when sizing one set repeatedly).
 pub fn min_budget_with_curve(curve: &mut DemandCurve<'_>, period: Time) -> Option<Time> {
     debug_assert!(period > 0);
+    // Probe the analytic lower bound Θ ≥ max(1, ⌈U·Π⌉) first: no
+    // schedulable budget can lie below it, so when it passes it *is* the
+    // minimum and both the Θ=Π feasibility gate and the binary search
+    // collapse into this single test. Low-utilization ports — where the
+    // bound is 1 and almost always schedulable — hit this path at every
+    // candidate period, which is what keeps interface selection linear
+    // instead of `O(log Π)` per candidate on large sparse topologies.
+    let lb = budget_lower_bound(curve.set().utilization(), period);
+    if lb <= period {
+        let floor = PeriodicResource::new(period, lb).expect("1 ≤ lb ≤ Π");
+        if curve.is_schedulable(&floor) {
+            return Some(lb);
+        }
+    }
     let full = PeriodicResource::new(period, period).expect("Θ=Π is always valid");
     if !curve.is_schedulable(&full) {
         return None;
     }
     // Lower bound: Θ ≥ ⌈U·Π⌉ and Θ ≥ 1.
-    let mut lo = budget_lower_bound(curve.set().utilization(), period);
+    let mut lo = lb;
     let mut hi = period;
     while lo < hi {
         let mid = lo + (hi - lo) / 2;

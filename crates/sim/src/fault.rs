@@ -113,7 +113,7 @@ pub enum FaultKind {
     /// the window is active (the classic rogue of Fig 7).
     RogueDemand {
         /// The misbehaving client.
-        client: u16,
+        client: u32,
         /// Demand multiplier (≥ 1; 1 is a no-op).
         factor: u64,
     },
@@ -121,7 +121,7 @@ pub enum FaultKind {
     /// opens, cloned from its first task's parameters.
     RequestBurst {
         /// The misbehaving client.
-        client: u16,
+        client: u32,
         /// Number of extra requests injected at `window.start`.
         requests: u64,
     },
@@ -148,7 +148,7 @@ pub enum FaultKind {
     /// before it reaches the response path (starting with the first).
     DropResponse {
         /// The victim client.
-        client: u16,
+        client: u32,
         /// Drop period (1 = drop every response).
         every: u64,
     },
@@ -265,7 +265,7 @@ impl FaultPlan {
 
     /// Demand multiplier for `client` at `now`: the product of all active
     /// `RogueDemand` factors targeting it (1 when none are).
-    pub fn demand_multiplier(&self, client: u16, now: Cycle) -> u64 {
+    pub fn demand_multiplier(&self, client: u32, now: Cycle) -> u64 {
         let mut factor = 1u64;
         for spec in &self.faults {
             if let FaultKind::RogueDemand {
@@ -283,7 +283,7 @@ impl FaultPlan {
 
     /// Extra burst requests `client` must inject at `now`: the sum of
     /// `RequestBurst` faults whose window *opens* at this cycle.
-    pub fn burst_at(&self, client: u16, now: Cycle) -> u64 {
+    pub fn burst_at(&self, client: u32, now: Cycle) -> u64 {
         let mut total = 0u64;
         for spec in &self.faults {
             if let FaultKind::RequestBurst {
@@ -372,7 +372,7 @@ impl FaultPlan {
     /// Whether the response completing at `now` for `client` must be
     /// dropped. Stateful: each active `DropResponse` fault counts the
     /// responses it observes and discards the first of every `every`.
-    pub fn should_drop_response(&mut self, client: u16, now: Cycle) -> bool {
+    pub fn should_drop_response(&mut self, client: u32, now: Cycle) -> bool {
         let mut drop = false;
         for (spec, seen) in self.faults.iter().zip(&mut self.drop_seen) {
             if let FaultKind::DropResponse { client: c, every } = spec.kind {

@@ -51,7 +51,7 @@ pub enum ComponentId {
     /// The whole run (aggregates over every client).
     System,
     /// One client port (traffic generator), by client id.
-    Client(u16),
+    Client(u32),
     /// One Scale Element at `(depth, order)` in the tree (0 = root).
     Se {
         /// Tree depth (0 = root).
@@ -311,41 +311,41 @@ pub enum Event {
     /// outstanding.
     DeadlineMiss {
         /// Owning client.
-        client: u16,
+        client: u32,
         /// Request id.
         request: u64,
     },
     /// The watchdog re-injected a request whose response never arrived.
     Retry {
         /// Owning client.
-        client: u16,
+        client: u32,
         /// Request id.
         request: u64,
     },
     /// A memory response was discarded by a drop fault.
     ResponseDropped {
         /// Owning client.
-        client: u16,
+        client: u32,
         /// Request id.
         request: u64,
     },
     /// The quarantine guard demoted a client to best-effort.
     Quarantine {
         /// The demoted client.
-        client: u16,
+        client: u32,
     },
     /// A reconfiguration request passed admission control; new server
     /// parameters swap in at each affected server's replenishment
     /// boundary.
     Reconfigured {
         /// The client whose reservation changed.
-        client: u16,
+        client: u32,
     },
     /// A reconfiguration request failed admission control and was rolled
     /// back bit-identically.
     ReconfigRejected {
         /// The client whose request was refused.
-        client: u16,
+        client: u32,
     },
 }
 
@@ -409,7 +409,7 @@ pub struct TimedEvent {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LatencyBreakdown {
     /// The client that owns the request.
-    pub client: u16,
+    pub client: u32,
     /// Enqueue → first grant.
     pub queueing: u64,
     /// First grant → memory issue.
@@ -425,7 +425,7 @@ pub struct LatencyBreakdown {
 /// Per-request lifecycle record kept while a request is in flight.
 #[derive(Debug, Clone, Copy)]
 struct Lifecycle {
-    client: u16,
+    client: u32,
     enqueued_at: Cycle,
     first_grant: Option<(ComponentId, Cycle)>,
     mem_issue: Option<Cycle>,
@@ -613,7 +613,7 @@ impl MetricsRegistry {
         &mut self,
         at: Cycle,
         request: u64,
-        client: u16,
+        client: u32,
         component: ComponentId,
     ) {
         if !self.detail {

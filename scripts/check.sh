@@ -31,6 +31,9 @@ cargo run --release -q -p bluescale-bench --bin admission_smoke
 echo "==> SoA hot-core smoke check (bit-identical under churn and faults)"
 cargo run --release -q -p bluescale-bench --bin soa_smoke
 
+echo "==> sharded-execution smoke check (4 workers, conservation + serial oracle)"
+cargo run --release -q -p bluescale-bench --bin shard_smoke
+
 echo "==> churn differential (empty-plan inertness, zero disturbance)"
 cargo test -q --release --test churn_differential
 
@@ -42,5 +45,8 @@ cargo test -q --release --test soa_differential
 
 echo "==> scalability smoke (both stepping modes, small sweep points)"
 cargo test -q --release --test scalability_smoke
+
+echo "==> shard differential (1/2/4/8 workers bit-identical to serial)"
+RUST_BACKTRACE=1 cargo test -q --release --test shard_differential -- --test-threads=1
 
 echo "All checks passed."

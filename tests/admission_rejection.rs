@@ -13,7 +13,7 @@ fn sets(n: usize, period: u64, wcet: u64) -> Vec<TaskSet> {
         .collect()
 }
 
-fn request(client: u16, id: u64) -> MemoryRequest {
+fn request(client: u32, id: u64) -> MemoryRequest {
     MemoryRequest {
         id,
         client,

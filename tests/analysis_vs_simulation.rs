@@ -118,7 +118,7 @@ fn reconfiguration_preserves_running_traffic() {
     let mut ic = build(&sets, true);
     use bluescale_repro::interconnect::{AccessKind, MemoryRequest};
     // Preload traffic on several clients.
-    for c in 0..8u16 {
+    for c in 0..8u32 {
         ic.inject(
             MemoryRequest {
                 id: c as u64,

@@ -159,6 +159,7 @@ fn merged_registry_counts_churn_exactly_once() {
         Counter::Reconfigurations,
         Counter::Admitted,
         Counter::AdmissionRejected,
+        Counter::TransitionCycles,
     ] {
         let system_count = sys.registry().counter(ComponentId::System, counter);
         let fabric_count = sys
@@ -175,6 +176,34 @@ fn merged_registry_counts_churn_exactly_once() {
             "{counter:?}: merged view must equal the harness tally"
         );
     }
+    // `TransitionCycles` used to be tallied a second time per affected SE
+    // by the fabric registry; pin that no SE component carries it anymore,
+    // and that the single-owner total survives the merge untouched.
+    let config = sys.interconnect().config().clone();
+    for depth in 0..config.levels() {
+        for order in 0..config.elements_at(depth) {
+            assert_eq!(
+                sys.interconnect()
+                    .metrics()
+                    .counter(ComponentId::Se { depth, order }, Counter::TransitionCycles),
+                0,
+                "se.{depth}.{order}: the fabric must not tally transition cycles"
+            );
+        }
+    }
+    let transition_total = sys
+        .merged_registry()
+        .counter(ComponentId::System, Counter::TransitionCycles);
+    assert!(
+        transition_total > 0,
+        "admitted deferred swaps must report a nonzero transition latency"
+    );
+    assert_eq!(
+        transition_total,
+        sys.registry()
+            .counter(ComponentId::System, Counter::TransitionCycles),
+        "the merged transition-cycle total must equal the harness tally exactly"
+    );
     assert_eq!(
         sys.registry()
             .counter(ComponentId::System, Counter::Admitted),
@@ -187,7 +216,7 @@ fn merged_registry_counts_churn_exactly_once() {
 fn transitions_never_disturb_untouched_tenants() {
     // Schedulable case-study workloads under live churn: every client the
     // plan does not touch keeps its guarantee through all transitions.
-    let churned = [3u16, 7u16];
+    let churned = [3u32, 7u32];
     let mut admitted_total = 0;
     for seed in 0..3u64 {
         for &target in &[0.3, 0.5] {
@@ -217,7 +246,7 @@ fn transitions_never_disturb_untouched_tenants() {
             sys.set_churn_plan(plan);
             sys.run(HORIZON);
             for (c, m) in sys.per_client_metrics().iter().enumerate() {
-                if churned.contains(&(c as u16)) {
+                if churned.contains(&(c as u32)) {
                     continue;
                 }
                 assert_eq!(

@@ -130,7 +130,7 @@ fn responses_route_back_to_issuing_client() {
     config.work_conserving = true;
     let mut ic = BlueScaleInterconnect::new(config, &sets).expect("valid");
     use bluescale_repro::interconnect::{AccessKind, MemoryRequest};
-    for c in 0..16u16 {
+    for c in 0..16u32 {
         ic.inject(
             MemoryRequest {
                 id: 1000 + c as u64,
@@ -155,5 +155,5 @@ fn responses_route_back_to_issuing_client() {
         }
     }
     seen.sort_unstable();
-    assert_eq!(seen, (0..16).collect::<Vec<u16>>());
+    assert_eq!(seen, (0..16).collect::<Vec<u32>>());
 }

@@ -31,11 +31,11 @@ fn build_all(n: usize) -> Vec<Box<dyn Interconnect>> {
 /// the exactly-once delivery invariants.
 fn fuzz_one(ic: &mut dyn Interconnect, seed: u64, injections: usize) {
     let name = ic.name();
-    let n = ic.num_clients() as u16;
+    let n = ic.num_clients() as u32;
     let mut rng = SimRng::seed_from(seed);
     let mut offered: Vec<MemoryRequest> = (0..injections as u64)
         .map(|id| {
-            let client = rng.range_u64(0, n as u64) as u16;
+            let client = rng.range_u64(0, n as u64) as u32;
             MemoryRequest {
                 id,
                 client,
@@ -52,7 +52,7 @@ fn fuzz_one(ic: &mut dyn Interconnect, seed: u64, injections: usize) {
             }
         })
         .collect();
-    let mut accepted: HashMap<u64, u16> = HashMap::new();
+    let mut accepted: HashMap<u64, u32> = HashMap::new();
     let mut seen: HashMap<u64, u32> = HashMap::new();
     let mut now = 0;
     // Inject with random gaps, stepping as we go.
