@@ -59,7 +59,8 @@ fn main() {
         deadline_miss_detection: true,
         watchdog: None,
         quarantine: Some(QuarantinePolicy { miss_threshold: 8 }),
-    });
+    })
+    .expect("no watchdog to validate");
 
     let total = sys.run(HORIZON);
     let outstanding = sys.guard_outstanding() as u64;

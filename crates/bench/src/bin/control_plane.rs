@@ -1,0 +1,44 @@
+//! Runs the control-plane benchmark — sustained admissions/sec, p99
+//! decision latency at 10× the sustainable arrival rate, mid-bench
+//! kill/restart recovery, and injected connection faults — writing
+//! `results/BENCH_control_plane.json`.
+//!
+//! Usage:
+//! `cargo run --release -p bluescale-bench --bin control_plane -- \
+//!    [--tenants N] [--connections N] [--capacity N] [--queue-depth N] \
+//!    [--overload-factor N] [--json path]`
+
+use bluescale_bench::control_plane::{render_json, render_table, run, ControlPlaneConfig};
+use bluescale_bench::{arg_u64, arg_usize, arg_value};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut config = ControlPlaneConfig::default();
+    config.tenants = arg_usize(&args, "--tenants", config.tenants);
+    config.connections = arg_usize(&args, "--connections", config.connections);
+    config.capacity = arg_usize(&args, "--capacity", config.capacity);
+    config.queue_depth = arg_usize(&args, "--queue-depth", config.queue_depth);
+    config.overload_factor = arg_u64(&args, "--overload-factor", config.overload_factor);
+
+    println!(
+        "# Control plane under {}x overload ({} tenants over {} connections, {} slots)\n",
+        config.overload_factor, config.tenants, config.connections, config.capacity
+    );
+    let result = run(&config);
+    println!("{}", render_table(&result));
+    assert!(
+        result.holds(),
+        "control-plane robustness criteria failed: {result:?}"
+    );
+
+    let json = render_json(&config, &result);
+    let out = arg_value(&args, "--json")
+        .unwrap_or_else(|| "results/BENCH_control_plane.json".to_string());
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => {
+            eprintln!("could not write {out}: {e}");
+            println!("{json}");
+        }
+    }
+}

@@ -65,7 +65,10 @@ fn main() {
         FaultWindow::new(0, 4_000),
     );
     sys.set_fault_plan(plan);
-    sys.set_guards(GuardConfig {
+    // Timeout 256 sits below the fig6 deadline windows on purpose: the
+    // smoke wants aggressive re-injection under dropped responses, so it
+    // installs through the unchecked path.
+    sys.set_guards_unchecked(GuardConfig {
         deadline_miss_detection: true,
         watchdog: Some(WatchdogConfig {
             timeout: 256,

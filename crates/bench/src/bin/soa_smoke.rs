@@ -175,8 +175,10 @@ fn main() {
     let mut legacy = build_system(&sparse, true, false);
     soa.set_fault_plan(fault_plan());
     legacy.set_fault_plan(fault_plan());
-    soa.set_guards(guards);
-    legacy.set_guards(guards);
+    // Sub-window timeout (1024 < period_max 4000) on purpose: the
+    // differential wants live watchdog traffic in both engines.
+    soa.set_guards_unchecked(guards);
+    legacy.set_guards_unchecked(guards);
     check("faults + guards", soa, legacy);
 
     println!("soa smoke: all scenarios bit-identical");

@@ -1,0 +1,501 @@
+//! Control-plane benchmark: sustained admission throughput, p99 decision
+//! latency under overload, and crash-recovery fidelity
+//! (`results/BENCH_control_plane.json`).
+//!
+//! Four phases against a live [`Daemon`] on loopback TCP:
+//!
+//! 1. **Calibration** — one closed-loop client measures the sustainable
+//!    decision rate (join/leave pairs, every op journaled + fsynced).
+//! 2. **Overload** — thousands of tenant identities, served by a bounded
+//!    pool of concurrent connections, offer admissions at
+//!    `overload_factor ×` the calibrated rate. The daemon must keep
+//!    guaranteed-tenant decisions inside the deadline (p99 reported) and
+//!    answer everything else with an explicit verdict — shed, reject or
+//!    timed-out; never a stall, never a silent drop (asserted via the
+//!    daemon's conservation invariant).
+//! 3. **Recovery** — the overloaded daemon is killed mid-run and
+//!    restarted; the journal replay must reproduce the pre-crash
+//!    admission state digest bit-identically.
+//! 4. **Faults** — a fresh daemon is driven by clients that sever their
+//!    connection after every Nth request frame (responses lost in
+//!    flight); bounded deadline-aware retries must land every operation
+//!    exactly once.
+
+use bluescale_ctl::client::{CtlClient, RetryPolicy};
+use bluescale_ctl::proto::{Response, TaskSpec, TenantClass};
+use bluescale_ctl::server::{Daemon, DaemonConfig};
+use bluescale_sim::metrics::Counter;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Configuration of the control-plane benchmark.
+#[derive(Debug, Clone)]
+pub struct ControlPlaneConfig {
+    /// Registry slots (concurrently *admitted* tenants).
+    pub capacity: usize,
+    /// Daemon queue bound; small enough that overload sheds.
+    pub queue_depth: usize,
+    /// Tenant identities contending during the overload phase.
+    pub tenants: usize,
+    /// Concurrent client connections serving those identities.
+    pub connections: usize,
+    /// Admission requests per tenant identity in the overload phase.
+    pub requests_per_tenant: usize,
+    /// Offered load as a multiple of the calibrated sustainable rate.
+    pub overload_factor: u64,
+    /// Calibration ops (join/leave pairs count as two).
+    pub calibration_ops: usize,
+    /// Per-request decision deadline.
+    pub queue_deadline: Duration,
+    /// Fault phase: sever the connection after every Nth sent frame.
+    pub fault_every: u64,
+    /// Fault phase: tenants driven through the faulty clients.
+    pub fault_tenants: usize,
+    /// Master seed for client retry jitter.
+    pub seed: u64,
+}
+
+impl Default for ControlPlaneConfig {
+    fn default() -> Self {
+        ControlPlaneConfig {
+            capacity: 64,
+            queue_depth: 64,
+            tenants: 2048,
+            connections: 128,
+            requests_per_tenant: 2,
+            overload_factor: 10,
+            calibration_ops: 400,
+            queue_deadline: Duration::from_millis(500),
+            fault_every: 2,
+            fault_tenants: 32,
+            seed: 0xC7_1BEEF,
+        }
+    }
+}
+
+/// What the benchmark measured.
+#[derive(Debug, Clone)]
+pub struct ControlPlaneResult {
+    /// Calibrated sustainable decision rate (journaled ops/sec).
+    pub sustained_per_sec: f64,
+    /// Offered rate during the overload phase (requests/sec).
+    pub offered_per_sec: f64,
+    /// Overload-phase request dispositions (from the daemon).
+    pub admitted: u64,
+    /// Typed rejections (capacity, inadmissible, conflicts, quarantine).
+    pub rejected: u64,
+    /// Explicitly shed requests.
+    pub shed: u64,
+    /// Queue-deadline expiries.
+    pub timed_out: u64,
+    /// Requests that arrived flagged as retries.
+    pub retries: u64,
+    /// p99 client-observed decision latency for guaranteed-tenant
+    /// admissions, microseconds.
+    pub guaranteed_p99_us: f64,
+    /// p99 across every answered request, microseconds.
+    pub overall_p99_us: f64,
+    /// Guaranteed admissions that beat the decision deadline, and total.
+    pub guaranteed_within_deadline: (u64, u64),
+    /// The daemon's conservation invariant after quiescing.
+    pub conserved: bool,
+    /// Client-side transport failures during overload (must be 0 — the
+    /// daemon never stalls).
+    pub client_errors: u64,
+    /// Pre-kill and post-restart admission digests.
+    pub digest_before: u64,
+    /// Digest after recovery replay.
+    pub digest_after: u64,
+    /// Journal records replayed on restart.
+    pub recovery_replays: u64,
+    /// Fault phase: operations completed through injected faults.
+    pub faulted_ops: u64,
+    /// Fault phase: retries the faults forced.
+    pub faulted_retries: u64,
+    /// Fault phase: conservation after quiescing.
+    pub faulted_conserved: bool,
+}
+
+impl ControlPlaneResult {
+    /// The headline robustness verdict: explicit verdicts for everything,
+    /// guaranteed decisions inside the deadline, bit-identical recovery,
+    /// and fault-riddled clients still converging.
+    pub fn holds(&self) -> bool {
+        let (met, total) = self.guaranteed_within_deadline;
+        self.conserved
+            && self.client_errors == 0
+            && self.shed > 0
+            && total > 0
+            && met == total
+            && self.digest_before == self.digest_after
+            && self.faulted_conserved
+            && self.faulted_retries > 0
+    }
+}
+
+fn spec(period: u64, wcet: u64) -> TaskSpec {
+    TaskSpec { period, wcet }
+}
+
+fn daemon_config(config: &ControlPlaneConfig) -> DaemonConfig {
+    DaemonConfig {
+        capacity: config.capacity,
+        queue_depth: config.queue_depth,
+        batch_max: 32,
+        sim_cycles_per_batch: 16,
+        compact_every: 256,
+        queue_deadline: config.queue_deadline,
+        ..DaemonConfig::default()
+    }
+}
+
+fn bench_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "bluescale-ctl-bench-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Phase 1: one closed-loop client, join/leave pairs, every decision
+/// journaled and group-committed. Returns decisions/sec.
+fn calibrate(daemon: &Daemon, config: &ControlPlaneConfig) -> f64 {
+    let mut client = CtlClient::new(daemon.addr(), RetryPolicy::default(), config.seed);
+    let pairs = (config.calibration_ops / 2).max(1);
+    let t0 = Instant::now();
+    for i in 0..pairs {
+        let tenant = 1_000_000 + (i % config.capacity.max(1)) as u64;
+        let joined = client
+            .join(tenant, TenantClass::Guaranteed, vec![spec(4000, 1)])
+            .expect("calibration join transport");
+        assert!(
+            matches!(joined, Response::Admitted { .. }),
+            "calibration join must admit, got {joined:?}"
+        );
+        let left = client.leave(tenant).expect("calibration leave transport");
+        assert!(matches!(left, Response::Admitted { .. }));
+    }
+    let secs = t0.elapsed().as_secs_f64().max(1e-9);
+    (pairs * 2) as f64 / secs
+}
+
+struct OverloadTally {
+    latencies_us: Vec<u64>,
+    guaranteed_us: Vec<u64>,
+    guaranteed_admits: u64,
+    client_errors: u64,
+}
+
+/// Phase 2: `connections` worker threads sweep `tenants` identities,
+/// pacing their aggregate offered load at `offered_per_sec`. Guaranteed
+/// tenants (every 8th identity) join and stay; best-effort identities
+/// churn join/renegotiate. Returns client-side latency tallies.
+fn overload(daemon: &Daemon, config: &ControlPlaneConfig, offered_per_sec: f64) -> OverloadTally {
+    let tally = Arc::new(Mutex::new(OverloadTally {
+        latencies_us: Vec::new(),
+        guaranteed_us: Vec::new(),
+        guaranteed_admits: 0,
+        client_errors: 0,
+    }));
+    let per_conn_gap =
+        Duration::from_secs_f64((config.connections as f64 / offered_per_sec.max(1.0)).min(0.05));
+    let addr = daemon.addr();
+    std::thread::scope(|scope| {
+        for conn in 0..config.connections {
+            let tally = Arc::clone(&tally);
+            let config = &*config;
+            scope.spawn(move || {
+                // Transport retries stay bounded and inside the decision
+                // deadline; verdicts (shed/reject/timeout) are final.
+                let policy = RetryPolicy {
+                    max_attempts: 3,
+                    deadline: config.queue_deadline * 4,
+                    ..RetryPolicy::default()
+                };
+                let mut client = CtlClient::new(addr, policy, config.seed ^ (conn as u64) << 20);
+                let mut local = OverloadTally {
+                    latencies_us: Vec::new(),
+                    guaranteed_us: Vec::new(),
+                    guaranteed_admits: 0,
+                    client_errors: 0,
+                };
+                let mut tenant = conn;
+                while tenant < config.tenants {
+                    let id = tenant as u64;
+                    let guaranteed = tenant % 8 == 0;
+                    for round in 0..config.requests_per_tenant {
+                        let t0 = Instant::now();
+                        let outcome = if guaranteed {
+                            client.join(id, TenantClass::Guaranteed, vec![spec(4000, 1)])
+                        } else if round == 0 {
+                            client.join(id, TenantClass::BestEffort, vec![spec(2000, 1)])
+                        } else {
+                            client.renegotiate(id, vec![spec(2000 + round as u64, 1)])
+                        };
+                        let us = t0.elapsed().as_micros() as u64;
+                        match outcome {
+                            Ok(response) => {
+                                local.latencies_us.push(us);
+                                if guaranteed {
+                                    local.guaranteed_us.push(us);
+                                    if matches!(response, Response::Admitted { .. }) {
+                                        local.guaranteed_admits += 1;
+                                    }
+                                }
+                            }
+                            Err(_) => local.client_errors += 1,
+                        }
+                        std::thread::sleep(per_conn_gap);
+                    }
+                    tenant += config.connections;
+                }
+                let mut t = tally.lock().expect("tally");
+                t.latencies_us.extend(local.latencies_us);
+                t.guaranteed_us.extend(local.guaranteed_us);
+                t.guaranteed_admits += local.guaranteed_admits;
+                t.client_errors += local.client_errors;
+            });
+        }
+    });
+    Arc::try_unwrap(tally)
+        .map(|m| m.into_inner().expect("tally"))
+        .unwrap_or_else(|_| panic!("tally still shared"))
+}
+
+fn percentile_us(samples: &mut [u64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_unstable();
+    let rank = ((samples.len() as f64 - 1.0) * p).round() as usize;
+    samples[rank.min(samples.len() - 1)] as f64
+}
+
+/// Phase 4: clients that drop their connection after every Nth sent
+/// frame. Returns (ops completed, retries forced, conserved).
+fn faulted_phase(config: &ControlPlaneConfig) -> (u64, u64, bool) {
+    let dir = bench_dir("faults");
+    let daemon = Daemon::start(&dir, daemon_config(config)).expect("fault daemon");
+    let policy = RetryPolicy {
+        drop_after_send_every: Some(config.fault_every),
+        deadline: Duration::from_secs(10),
+        max_attempts: 8,
+        ..RetryPolicy::default()
+    };
+    let mut ops = 0u64;
+    let mut client = CtlClient::new(daemon.addr(), policy, config.seed ^ 0xFA17);
+    for t in 0..config.fault_tenants {
+        let id = 5_000_000 + t as u64;
+        let joined = client
+            .join(id, TenantClass::BestEffort, vec![spec(4000, 1)])
+            .expect("faulted join must converge");
+        assert!(
+            matches!(joined, Response::Admitted { .. }),
+            "faulted join verdict: {joined:?}"
+        );
+        ops += 1;
+        if t % 2 == 0 {
+            let left = client.leave(id).expect("faulted leave must converge");
+            assert!(matches!(left, Response::Admitted { .. }));
+            ops += 1;
+        }
+    }
+    let retries = daemon.sim_counter(Counter::Retries);
+    let stats = daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    (ops, retries, stats.conservation_holds())
+}
+
+/// Runs the full benchmark.
+///
+/// # Panics
+///
+/// Panics when a phase cannot complete at all (daemon fails to start,
+/// calibration transport fails) — *verdict*-level regressions are
+/// reported through [`ControlPlaneResult::holds`], not panics.
+pub fn run(config: &ControlPlaneConfig) -> ControlPlaneResult {
+    let dir = bench_dir("main");
+    let daemon = Daemon::start(&dir, daemon_config(config)).expect("start daemon");
+
+    // Phase 1: sustainable rate.
+    let sustained_per_sec = calibrate(&daemon, config);
+    let offered_per_sec = sustained_per_sec * config.overload_factor as f64;
+
+    // Phase 2: overload at overload_factor × sustainable.
+    let mut tally = overload(&daemon, config, offered_per_sec);
+    let overall_p99_us = percentile_us(&mut tally.latencies_us, 0.99);
+    let guaranteed_p99_us = percentile_us(&mut tally.guaranteed_us, 0.99);
+    let deadline_us = (config.queue_deadline * 4).as_micros() as u64;
+    let met = tally
+        .guaranteed_us
+        .iter()
+        .filter(|&&us| us <= deadline_us)
+        .count() as u64;
+    let total = tally.guaranteed_us.len() as u64;
+
+    // Phase 3: kill mid-bench state, restart, compare digests.
+    let digest_before = daemon.state_digest();
+    let stats = daemon.kill();
+    let revived = Daemon::start(&dir, daemon_config(config)).expect("restart daemon");
+    let digest_after = revived.state_digest();
+    let recovery_replays = revived.sim_counter(Counter::RecoveryReplays);
+    revived.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Phase 4: injected connection faults on a fresh daemon.
+    let (faulted_ops, faulted_retries, faulted_conserved) = faulted_phase(config);
+
+    ControlPlaneResult {
+        sustained_per_sec,
+        offered_per_sec,
+        admitted: stats.admitted,
+        rejected: stats.rejected,
+        shed: stats.shed,
+        timed_out: stats.timed_out,
+        retries: stats.retries,
+        guaranteed_p99_us,
+        overall_p99_us,
+        guaranteed_within_deadline: (met, total),
+        conserved: stats.conservation_holds(),
+        client_errors: tally.client_errors,
+        digest_before,
+        digest_after,
+        recovery_replays,
+        faulted_ops,
+        faulted_retries,
+        faulted_conserved,
+    }
+}
+
+/// Renders the result as the `BENCH_control_plane.json` artefact
+/// (hand-rolled JSON; the container has no serde).
+pub fn render_json(config: &ControlPlaneConfig, result: &ControlPlaneResult) -> String {
+    let (met, total) = result.guaranteed_within_deadline;
+    format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"control_plane\",\n",
+            "  \"seed\": {},\n",
+            "  \"capacity\": {},\n",
+            "  \"queue_depth\": {},\n",
+            "  \"tenants\": {},\n",
+            "  \"connections\": {},\n",
+            "  \"overload_factor\": {},\n",
+            "  \"sustained_per_sec\": {:.1},\n",
+            "  \"offered_per_sec\": {:.1},\n",
+            "  \"admitted\": {},\n",
+            "  \"rejected\": {},\n",
+            "  \"shed\": {},\n",
+            "  \"timed_out\": {},\n",
+            "  \"retries\": {},\n",
+            "  \"guaranteed_p99_us\": {:.1},\n",
+            "  \"overall_p99_us\": {:.1},\n",
+            "  \"guaranteed_within_deadline\": [{}, {}],\n",
+            "  \"conserved\": {},\n",
+            "  \"client_errors\": {},\n",
+            "  \"digest_before\": \"{:#018x}\",\n",
+            "  \"digest_after\": \"{:#018x}\",\n",
+            "  \"recovery_bit_identical\": {},\n",
+            "  \"recovery_replays\": {},\n",
+            "  \"faulted_ops\": {},\n",
+            "  \"faulted_retries\": {},\n",
+            "  \"faulted_conserved\": {},\n",
+            "  \"holds\": {}\n",
+            "}}\n",
+        ),
+        config.seed,
+        config.capacity,
+        config.queue_depth,
+        config.tenants,
+        config.connections,
+        config.overload_factor,
+        result.sustained_per_sec,
+        result.offered_per_sec,
+        result.admitted,
+        result.rejected,
+        result.shed,
+        result.timed_out,
+        result.retries,
+        result.guaranteed_p99_us,
+        result.overall_p99_us,
+        met,
+        total,
+        result.conserved,
+        result.client_errors,
+        result.digest_before,
+        result.digest_after,
+        result.digest_before == result.digest_after,
+        result.recovery_replays,
+        result.faulted_ops,
+        result.faulted_retries,
+        result.faulted_conserved,
+        result.holds(),
+    )
+}
+
+/// Renders the headline numbers as a table for stdout.
+pub fn render_table(result: &ControlPlaneResult) -> String {
+    let (met, total) = result.guaranteed_within_deadline;
+    format!(
+        "| Sustained/s | Offered/s | Admitted | Rejected | Shed | TimedOut | G p99 (us) | G in-deadline | Recovery |\n\
+         |---:|---:|---:|---:|---:|---:|---:|---:|---:|\n\
+         | {:.0} | {:.0} | {} | {} | {} | {} | {:.0} | {}/{} | {} |\n",
+        result.sustained_per_sec,
+        result.offered_per_sec,
+        result.admitted,
+        result.rejected,
+        result.shed,
+        result.timed_out,
+        result.guaranteed_p99_us,
+        met,
+        total,
+        if result.digest_before == result.digest_after {
+            "bit-identical"
+        } else {
+            "DIVERGED"
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ControlPlaneConfig {
+        ControlPlaneConfig {
+            capacity: 8,
+            queue_depth: 8,
+            tenants: 48,
+            connections: 12,
+            requests_per_tenant: 2,
+            calibration_ops: 20,
+            queue_deadline: Duration::from_millis(250),
+            fault_tenants: 4,
+            ..ControlPlaneConfig::default()
+        }
+    }
+
+    #[test]
+    fn tiny_bench_holds() {
+        let r = run(&tiny());
+        assert!(r.conserved, "conservation: {r:?}");
+        assert_eq!(r.client_errors, 0, "daemon stalled: {r:?}");
+        assert_eq!(r.digest_before, r.digest_after, "recovery diverged");
+        assert!(r.faulted_conserved);
+        assert!(r.faulted_retries > 0, "fault injection was inert");
+    }
+
+    #[test]
+    fn json_is_well_formed() {
+        let cfg = tiny();
+        let json = render_json(&cfg, &run(&cfg));
+        assert!(json.contains("\"benchmark\": \"control_plane\""));
+        assert_eq!(json.matches("\"holds\"").count(), 1);
+        assert!(json.contains("\"recovery_bit_identical\""));
+    }
+}

@@ -227,7 +227,8 @@ fn run_scenario(
     if let Some(class) = class {
         sys.set_fault_plan(scenario_plan(class, config.horizon, config.seed));
     }
-    sys.set_guards(scenario_guards(class));
+    sys.set_guards(scenario_guards(class))
+        .expect("scenario guards clear the 4000-cycle deadline window");
     let total = sys.run(config.horizon);
 
     let (mut victim_missed, mut victim_worst) = (0u64, 0.0f64);

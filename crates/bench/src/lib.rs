@@ -21,6 +21,7 @@
 //! | Hierarchical EDP laxity sweep (extension) | [`edp_sweep`] | `... --bin edp_sweep` |
 //! | Interface-selection fast path (extension) | [`interface_selection`] | `... --bin selection_bench` |
 //! | SoA hot core vs legacy engine (extension) | [`soa_busy`] | `... --bin soa_busy` |
+//! | Fault-tolerant control plane (extension) | [`control_plane`] | `... --bin control_plane` |
 //!
 //! [`runner`] builds any of the six interconnects behind the common
 //! [`bluescale_interconnect::Interconnect`] trait and runs seeded trials.
@@ -30,6 +31,7 @@
 pub mod ablation;
 pub mod admission;
 pub mod churn;
+pub mod control_plane;
 pub mod dram;
 pub mod edp_sweep;
 pub mod export;

@@ -16,7 +16,7 @@ use crate::element::ScaleElement;
 use crate::selector::TableRow;
 use crate::soa::SoaCore;
 use crate::topology::{BlueScaleConfig, SeIndex};
-use bluescale_interconnect::admission::ReconfigOutcome;
+use bluescale_interconnect::admission::{CancelToken, ReconfigOutcome};
 use bluescale_interconnect::{ClientId, Interconnect, MemoryRequest, MemoryResponse, ServiceEvent};
 use bluescale_mem::{DramConfig, MemoryController};
 use bluescale_rt::interface::root_admissible;
@@ -196,6 +196,18 @@ pub struct BlueScaleInterconnect {
 
 /// One path SE's trial result: `(depth, order, selected interfaces)`.
 pub(crate) type PathTrial = (usize, usize, Vec<Option<PeriodicResource>>);
+
+/// Why a cancellable admission trial produced no path: a final analytical
+/// rejection versus a caller-side cancellation that decided nothing (the
+/// request may be retried). Both leave the fabric untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TrialAbort {
+    /// The analysis rejected the update (infeasible path SE, off-path
+    /// fallback, or root overshoot).
+    Rejected,
+    /// The caller's [`CancelToken`] fired mid-analysis.
+    Cancelled,
+}
 
 impl BlueScaleInterconnect {
     /// Builds a BlueScale instance and resolves all interface-selection
@@ -495,7 +507,16 @@ impl BlueScaleInterconnect {
     /// a valid analysis, and the root passes the **exact** admission test
     /// `Σ Θ/Π ≤ 1` ([`root_admissible`] — no floating-point tolerance, so
     /// a compositional overshoot of even one part in 2⁵³ is caught).
-    fn admission_trial(&self, client: usize, tasks: &TaskSet) -> Option<Vec<PathTrial>> {
+    /// The cancellation token (when supplied) is polled once per path SE —
+    /// each `compute()` is the expensive unit of work — and an expired
+    /// token aborts the trial with [`TrialAbort::Cancelled`]. The trial
+    /// mutates nothing, so abandoning it mid-path needs no rollback.
+    fn admission_trial_cancellable(
+        &self,
+        client: usize,
+        tasks: &TaskSet,
+        cancel: Option<&CancelToken>,
+    ) -> Result<Vec<PathTrial>, TrialAbort> {
         let levels = self.config.levels();
         let (leaf_order, port) = self.config.attach_point(client);
         let mut trial: Vec<PathTrial> = Vec::with_capacity(levels);
@@ -503,18 +524,21 @@ impl BlueScaleInterconnect {
         let mut reload = port as u8;
         let mut child_ifaces: Option<Vec<Option<PeriodicResource>>> = None;
         for depth in (0..levels).rev() {
+            if cancel.is_some_and(|c| c.is_cancelled()) {
+                return Err(TrialAbort::Cancelled);
+            }
             let rows = match &child_ifaces {
                 None => self.leaf_rows(port, tasks),
                 Some(ifaces) => Self::interface_rows(&self.config, reload, ifaces),
             };
             let mut sel = self.elements[depth][order].selector().clone();
             if sel.reload_port(reload, &rows).is_err() {
-                return None;
+                return Err(TrialAbort::Rejected);
             }
             // Admission has no fallback: an analytically infeasible path
             // SE rejects the request outright.
             let Ok(ifaces) = sel.compute() else {
-                return None;
+                return Err(TrialAbort::Rejected);
             };
             trial.push((depth, order, ifaces.clone()));
             reload = (order % self.config.branch) as u8;
@@ -527,13 +551,17 @@ impl BlueScaleInterconnect {
         for (depth, row) in self.se_analysis_ok.iter().enumerate() {
             for (order, &ok) in row.iter().enumerate() {
                 if !ok && !path.contains(&(depth, order)) {
-                    return None;
+                    return Err(TrialAbort::Rejected);
                 }
             }
         }
         let (_, _, root) = trial.last().expect("levels >= 1");
         let root_ifaces: Vec<PeriodicResource> = root.iter().flatten().copied().collect();
-        root_admissible(&root_ifaces).then_some(trial)
+        if root_admissible(&root_ifaces) {
+            Ok(trial)
+        } else {
+            Err(TrialAbort::Rejected)
+        }
     }
 
     /// Runs admission control for `client`/`tasks` and, when admitted,
@@ -550,10 +578,24 @@ impl BlueScaleInterconnect {
         client: usize,
         tasks: &TaskSet,
     ) -> Option<Vec<PathTrial>> {
+        self.commit_reconfiguration_cancellable(client, tasks, None)
+            .ok()
+    }
+
+    /// [`commit_reconfiguration`](Self::commit_reconfiguration) with the
+    /// cancellation hook threaded through to the admission trial. A
+    /// cancelled request commits nothing — cancellation is only ever
+    /// observed on cloned tables, so no rollback exists to get wrong.
+    pub(crate) fn commit_reconfiguration_cancellable(
+        &mut self,
+        client: usize,
+        tasks: &TaskSet,
+        cancel: Option<&CancelToken>,
+    ) -> Result<Vec<PathTrial>, TrialAbort> {
         if client >= self.config.num_clients {
-            return None;
+            return Err(TrialAbort::Rejected);
         }
-        let trial = self.admission_trial(client, tasks)?;
+        let trial = self.admission_trial_cancellable(client, tasks, cancel)?;
         // Commit: rewrite the table rows and cached interfaces along the
         // path, staging every changed server to swap at its replenishment
         // boundary. Rows re-validate trivially (the trial already loaded
@@ -593,7 +635,21 @@ impl BlueScaleInterconnect {
         // (`Reconfigurations`/`Admitted`/`AdmissionRejected`) is owned by
         // the harness registry alone, so `merged_registry()` never double
         // counts an admitted transition.
-        Some(trial)
+        Ok(trial)
+    }
+
+    /// Programs whichever runtime engine is live along a committed path and
+    /// returns the total transition latency (shared by both reconfiguration
+    /// entry points).
+    fn program_trial(&mut self, trial: &[PathTrial]) -> u64 {
+        let mut transition_cycles = 0;
+        for (depth, order, ifaces) in trial {
+            transition_cycles += match self.soa.as_mut() {
+                Some(soa) => soa.program_se_deferred(*depth, *order, ifaces),
+                None => self.elements[*depth][*order].program_deferred(ifaces),
+            };
+        }
+        transition_cycles
     }
 
     /// Offers a request at its client's port, with typed rejection: a
@@ -964,14 +1020,33 @@ impl Interconnect for BlueScaleInterconnect {
         // counter is owned by the harness registry alone (fed through the
         // returned total), so `merged_registry()` counts each transition
         // exactly once.
-        let mut transition_cycles = 0;
-        for (depth, order, ifaces) in &trial {
-            transition_cycles += match self.soa.as_mut() {
-                Some(soa) => soa.program_se_deferred(*depth, *order, ifaces),
-                None => self.elements[*depth][*order].program_deferred(ifaces),
-            };
-        }
+        let transition_cycles = self.program_trial(&trial);
         ReconfigOutcome::Admitted { transition_cycles }
+    }
+
+    fn reconfigure_client_cancellable(
+        &mut self,
+        client: ClientId,
+        tasks: &TaskSet,
+        _now: Cycle,
+        cancel: &CancelToken,
+    ) -> ReconfigOutcome {
+        // The token is polled at every path SE of the admission trial (one
+        // poll per interface-selection solve), so a deadline that expires
+        // mid-analysis aborts within one solve's worth of work instead of
+        // after the whole leaf→root pass. Cancellation is decided entirely
+        // on cloned tables: an aborted request leaves the fabric
+        // bit-identical. Once the trial commits, the engines are programmed
+        // unconditionally — admission already succeeded, and answering
+        // `Cancelled` after mutating state would desynchronize the caller.
+        match self.commit_reconfiguration_cancellable(client as usize, tasks, Some(cancel)) {
+            Ok(trial) => {
+                let transition_cycles = self.program_trial(&trial);
+                ReconfigOutcome::Admitted { transition_cycles }
+            }
+            Err(TrialAbort::Rejected) => ReconfigOutcome::Rejected,
+            Err(TrialAbort::Cancelled) => ReconfigOutcome::Cancelled,
+        }
     }
 
     fn step(&mut self, now: Cycle) {
@@ -1419,6 +1494,30 @@ mod tests {
                 .counter(ComponentId::System, Counter::Reconfigurations),
             0
         );
+    }
+
+    #[test]
+    fn cancelled_reconfigure_leaves_fabric_bit_identical() {
+        use bluescale_interconnect::admission::CancelToken;
+
+        let mut ic =
+            BlueScaleInterconnect::new(BlueScaleConfig::for_clients(16), &sets(16, 400, 4))
+                .unwrap();
+        let interfaces = ic.composition().interfaces.clone();
+        let tasks = ic.client_tasks().to_vec();
+        let update = TaskSet::new(vec![Task::new(0, 400, 8).unwrap()]).unwrap();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        assert_eq!(
+            ic.reconfigure_client_cancellable(5, &update, 0, &cancel),
+            ReconfigOutcome::Cancelled
+        );
+        assert_eq!(ic.composition().interfaces, interfaces);
+        assert_eq!(ic.client_tasks(), tasks);
+        // A live token behaves exactly like the plain entry point.
+        let outcome = ic.reconfigure_client_cancellable(5, &update, 0, &CancelToken::new());
+        assert!(matches!(outcome, ReconfigOutcome::Admitted { .. }));
+        assert_eq!(ic.client_tasks()[5].tasks()[0].wcet(), 8);
     }
 
     #[test]

@@ -29,6 +29,12 @@
 //!
 //! Not supported in sharded mode (use the serial harness): detail
 //! recording (typed events are inherently sequential) and runtime guards.
+//!
+//! Worker panics are contained: a panic inside a shard advance is caught
+//! at the shard boundary, surfaced as [`ShardError::WorkerPanicked`], and
+//! the rest of the run continues on the serial engine over the surviving
+//! state (`ShardFallbacks` counts the demotion). A degraded run completes
+//! but is *not* bit-identical — the interrupted cycle was half-applied.
 
 use crate::network::{BlueScaleInterconnect, BuildError, CompositionReport};
 use crate::soa::SoaCore;
@@ -40,11 +46,56 @@ use bluescale_interconnect::{ClientId, MemoryRequest, MemoryResponse, ServiceEve
 use bluescale_mem::{DramConfig, MemoryController};
 use bluescale_rt::task::TaskSet;
 use bluescale_sim::fault::{FaultKind, FaultPlan};
-use bluescale_sim::metrics::{ComponentId, Counter, MetricsRegistry, SampleKind};
+use bluescale_sim::metrics::{ComponentId, Counter, Event, MetricsRegistry, SampleKind};
 use bluescale_sim::next_event::jump_target;
 use bluescale_sim::Cycle;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Barrier, Mutex};
+use std::fmt;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex, MutexGuard, PoisonError};
+
+/// A contained shard-worker failure. A panicking worker used to propagate
+/// through the scoped-thread join and abort the whole run; it is now caught
+/// at the shard boundary, the threaded engine is retired for the remainder
+/// of the run, and the serial SoA path drives the surviving state instead
+/// (best-effort: the interrupted cycle may have been half-applied, so a
+/// degraded run is *not* bit-identical to an undisturbed one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardError {
+    /// A worker panicked while advancing `shard` at cycle `at`.
+    WorkerPanicked {
+        /// The level-1 subtree whose advance panicked.
+        shard: usize,
+        /// Simulation cycle of the interrupted advance.
+        at: Cycle,
+    },
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::WorkerPanicked { shard, at } => write!(
+                f,
+                "shard {shard} worker panicked at cycle {at}; \
+                 continuing on the serial engine (degraded, not bit-identical)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// Sentinel for "no worker failure" in [`Ctrl::failed`].
+const NO_FAILURE: usize = usize::MAX;
+
+/// Locks a shard, tolerating poison: a contained worker panic poisons the
+/// shard's mutex, and both the failure bookkeeping and the serial fallback
+/// must still reach the surviving state. The data is a plain simulation
+/// core — no invariant depends on the interrupted critical section having
+/// completed, beyond the documented loss of bit-identity.
+fn lock_shard(shard: &Mutex<Shard>) -> MutexGuard<'_, Shard> {
+    shard.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// One level-1 subtree: a private slice of the tree plus everything a
 /// worker needs to advance it without touching shared state.
@@ -80,6 +131,10 @@ struct Shard {
     /// This cycle's boundary offer: the local root's grant, destined for
     /// root port `q`. Pushed by the coordinator after the region-B barrier.
     offer: Option<MemoryRequest>,
+    /// Test probe: panic inside the next `advance_front` whose cycle is
+    /// `>= panic_at` (fire-once). Exercises the worker-panic containment
+    /// path without needing a genuinely buggy kernel.
+    panic_at: Option<Cycle>,
 }
 
 impl Shard {
@@ -87,6 +142,10 @@ impl Shard {
     /// demultiplexers — everything that happens before root arbitration
     /// and that touches only this shard's state.
     fn advance_front(&mut self, now: Cycle) {
+        if self.panic_at.is_some_and(|at| at <= now) {
+            self.panic_at = None;
+            panic!("injected shard-worker panic (test probe) at cycle {now}");
+        }
         // 1. Client phase (the harness's loop, restricted to this
         //    subtree). Each client owns a dedicated leaf port, so clients
         //    are independent and the per-shard split is exact.
@@ -276,6 +335,11 @@ struct Ctrl {
     /// write and read provides the happens-before edge; `Relaxed` is
     /// enough.
     root_ready: Vec<AtomicBool>,
+    /// First failed shard (`NO_FAILURE` = healthy). Written by the first
+    /// worker to catch a panic; once set, every worker skips its shard
+    /// work but keeps hitting the barriers, so the coordinator can never
+    /// deadlock on a dead participant.
+    failed: AtomicUsize,
 }
 
 impl Coordinator {
@@ -307,11 +371,7 @@ impl Coordinator {
         if self.root.responses_at_level(0) > 0 {
             if let Some(request) = self.root.pop_response(0, 0) {
                 let q = request.client as usize / self.clients_per_shard;
-                shards[q]
-                    .lock()
-                    .unwrap()
-                    .core
-                    .accept_response(0, 0, request);
+                lock_shard(&shards[q]).core.accept_response(0, 0, request);
             }
         }
         // Memory completions enter the root's demux — unless a
@@ -382,7 +442,7 @@ impl Coordinator {
     /// root's servers, advance time.
     fn post_phase(&mut self, shards: &[Mutex<Shard>], _now: Cycle) {
         for shard in shards {
-            let mut s = shard.lock().unwrap();
+            let mut s = lock_shard(shard);
             let q = s.q;
             if let Some(request) = s.offer.take() {
                 self.root
@@ -443,7 +503,7 @@ impl Coordinator {
                 );
                 let q = client as usize / self.clients_per_shard;
                 {
-                    let mut s = shards[q].lock().unwrap();
+                    let mut s = lock_shard(&shards[q]);
                     let local = client as usize - s.client_lo;
                     s.clients[local].set_tasks(tasks, now);
                 }
@@ -517,7 +577,7 @@ impl Coordinator {
             return Some(now);
         }
         for shard in shards {
-            let s = shard.lock().unwrap();
+            let s = lock_shard(shard);
             if !s.core.is_quiescent() || !s.ready.is_empty() {
                 return Some(now);
             }
@@ -548,7 +608,7 @@ impl Coordinator {
             reports.push(self.churn.next_activity(now));
         }
         for shard in shards {
-            reports.push(shard.lock().unwrap().next_client_event(now));
+            reports.push(lock_shard(shard).next_client_event(now));
         }
         jump_target(now, horizon, reports)
     }
@@ -558,7 +618,7 @@ impl Coordinator {
     fn advance_idle(&mut self, shards: &[Mutex<Shard>], delta: Cycle) {
         self.root.advance_idle(delta);
         for shard in shards {
-            shard.lock().unwrap().core.advance_idle(delta);
+            lock_shard(shard).core.advance_idle(delta);
         }
     }
 
@@ -570,7 +630,7 @@ impl Coordinator {
         self.controller.record_metrics(&mut self.fabric);
         self.root.flush_metrics(&mut self.fabric);
         for shard in shards {
-            let mut s = shard.lock().unwrap();
+            let mut s = lock_shard(shard);
             let (q, branch) = (s.q, s.branch);
             s.core
                 .flush_metrics_mapped(&mut self.fabric, |depth, order| {
@@ -603,6 +663,9 @@ pub struct ShardedSystem {
     coord: Coordinator,
     shards: Vec<Mutex<Shard>>,
     workers: usize,
+    /// A contained worker failure. Once set, every subsequent advance runs
+    /// on the serial engine (`ShardFallbacks` counts the demotion).
+    error: Option<ShardError>,
 }
 
 impl ShardedSystem {
@@ -706,6 +769,7 @@ impl ShardedSystem {
                     fabric_delta: MetricsRegistry::new(),
                     ready: Vec::new(),
                     offer: None,
+                    panic_at: None,
                 })
             })
             .collect();
@@ -742,7 +806,32 @@ impl ShardedSystem {
             },
             shards,
             workers: workers.min(branch).max(1),
+            error: None,
         }
+    }
+
+    /// The contained worker failure, if any advance so far panicked in a
+    /// worker ([`ShardError::WorkerPanicked`]). A degraded system keeps
+    /// running — on the serial engine — and keeps this as the permanent
+    /// record of the demotion.
+    pub fn shard_error(&self) -> Option<&ShardError> {
+        self.error.as_ref()
+    }
+
+    /// Test probe: make `shard`'s worker panic at the first region-A
+    /// advance whose cycle is `>= at` (fire-once). Exercises the
+    /// containment path; not part of the public API surface.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    #[doc(hidden)]
+    pub fn inject_worker_panic(&mut self, shard: usize, at: Cycle) {
+        assert!(shard < self.shards.len(), "shard out of range");
+        self.shards[shard]
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner)
+            .panic_at = Some(at);
     }
 
     /// Installs a fault plan: the stateful master stays coordinator-side,
@@ -752,7 +841,7 @@ impl ShardedSystem {
         ic.reset_state();
         self.coord.ic_faults = ic;
         for shard in &mut self.shards {
-            let s = shard.get_mut().unwrap();
+            let s = shard.get_mut().unwrap_or_else(PoisonError::into_inner);
             let mut copy = plan.clone();
             copy.reset_state();
             s.have_faults = !copy.is_empty();
@@ -860,7 +949,7 @@ impl ShardedSystem {
             + self
                 .shards
                 .iter()
-                .map(|s| s.lock().unwrap().pending())
+                .map(|s| lock_shard(s).pending())
                 .sum::<usize>()
     }
 
@@ -872,7 +961,7 @@ impl ShardedSystem {
         let coord = &mut self.coord;
         let mut metrics = RunMetrics::from_registry(&coord.registry, ComponentId::System);
         for shard in &self.shards {
-            let mut s = shard.lock().unwrap();
+            let mut s = lock_shard(shard);
             for client in &mut s.clients {
                 while let Some(req) = client.take() {
                     metrics.on_issued();
@@ -892,10 +981,16 @@ impl ShardedSystem {
     /// Steps (or fast-forwards) up to `horizon` without end-of-run
     /// accounting, then flushes all batched tallies.
     pub fn advance_to(&mut self, horizon: Cycle) {
-        if self.workers <= 1 {
+        if self.workers <= 1 || self.error.is_some() {
             self.advance_serial(horizon);
         } else {
             self.advance_threaded(horizon);
+            // A contained worker panic leaves the run short of the
+            // horizon: finish it on the serial engine. Degraded, not
+            // bit-identical — the interrupted cycle was half-applied.
+            if self.error.is_some() && self.coord.now < horizon {
+                self.advance_serial(horizon);
+            }
         }
         self.coord.flush(&self.shards);
     }
@@ -927,11 +1022,11 @@ impl ShardedSystem {
             let now = coord.now;
             coord.pre_phase(shards, now);
             for shard in shards {
-                shard.lock().unwrap().advance_front(now);
+                lock_shard(shard).advance_front(now);
             }
             coord.mid_phase(shards, now, &mut root_ready);
             for shard in shards {
-                let mut s = shard.lock().unwrap();
+                let mut s = lock_shard(shard);
                 let ready = root_ready[s.q];
                 s.advance_back(now, ready);
             }
@@ -957,7 +1052,9 @@ impl ShardedSystem {
             now: AtomicU64::new(coord.now),
             stop: AtomicBool::new(false),
             root_ready: (0..coord.branch).map(|_| AtomicBool::new(false)).collect(),
+            failed: AtomicUsize::new(NO_FAILURE),
         };
+        let mut failed_at = coord.now;
         std::thread::scope(|scope| {
             for w in 0..nworkers {
                 let ctrl = &ctrl;
@@ -967,14 +1064,45 @@ impl ShardedSystem {
                         break;
                     }
                     let now = ctrl.now.load(Ordering::Relaxed);
-                    for q in (w..shards.len()).step_by(nworkers) {
-                        shards[q].lock().unwrap().advance_front(now);
+                    // Once any worker has failed, every worker skips its
+                    // shard work but keeps hitting all four barriers:
+                    // abandoning a barrier would deadlock the coordinator.
+                    let mut healthy = ctrl.failed.load(Ordering::Acquire) == NO_FAILURE;
+                    if healthy {
+                        for q in (w..shards.len()).step_by(nworkers) {
+                            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                                lock_shard(&shards[q]).advance_front(now);
+                            }));
+                            if outcome.is_err() {
+                                let _ = ctrl.failed.compare_exchange(
+                                    NO_FAILURE,
+                                    q,
+                                    Ordering::AcqRel,
+                                    Ordering::Acquire,
+                                );
+                                healthy = false;
+                                break;
+                            }
+                        }
                     }
                     ctrl.barrier.wait(); // region A join
                     ctrl.barrier.wait(); // region B release
-                    for q in (w..shards.len()).step_by(nworkers) {
-                        let ready = ctrl.root_ready[q].load(Ordering::Relaxed);
-                        shards[q].lock().unwrap().advance_back(now, ready);
+                    if healthy && ctrl.failed.load(Ordering::Acquire) == NO_FAILURE {
+                        for q in (w..shards.len()).step_by(nworkers) {
+                            let ready = ctrl.root_ready[q].load(Ordering::Relaxed);
+                            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                                lock_shard(&shards[q]).advance_back(now, ready);
+                            }));
+                            if outcome.is_err() {
+                                let _ = ctrl.failed.compare_exchange(
+                                    NO_FAILURE,
+                                    q,
+                                    Ordering::AcqRel,
+                                    Ordering::Acquire,
+                                );
+                                break;
+                            }
+                        }
                     }
                     ctrl.barrier.wait(); // region B join
                 });
@@ -1008,10 +1136,34 @@ impl ShardedSystem {
                 ctrl.barrier.wait(); // region B release
                 ctrl.barrier.wait(); // region B join
                 coord.post_phase(shards, now);
+                // The barrier gives the happens-before edge on `failed`.
+                // The interrupted cycle is half-applied; finishing the
+                // post phase keeps root offers and time consistent before
+                // the serial engine takes over.
+                if ctrl.failed.load(Ordering::Acquire) != NO_FAILURE {
+                    failed_at = now;
+                    break;
+                }
             }
             ctrl.stop.store(true, Ordering::Relaxed);
             ctrl.barrier.wait(); // wake workers into the stop check
         });
+        let failed = ctrl.failed.load(Ordering::Acquire);
+        if failed != NO_FAILURE {
+            coord
+                .registry
+                .inc(ComponentId::System, Counter::ShardFallbacks);
+            coord.registry.record(
+                failed_at,
+                Event::ShardFallback {
+                    shard: failed as u32,
+                },
+            );
+            self.error = Some(ShardError::WorkerPanicked {
+                shard: failed,
+                at: failed_at,
+            });
+        }
     }
 }
 
@@ -1147,5 +1299,57 @@ mod tests {
         let sets = sets(4, 40, 2);
         let config = BlueScaleConfig::for_clients(4);
         let _ = ShardedSystem::new(config, &sets, 2);
+    }
+
+    #[test]
+    fn worker_panic_falls_back_to_serial() {
+        // A shard worker panicking mid-run must not abort the simulation:
+        // the failure is contained, recorded, and the remainder of the
+        // horizon runs on the serial engine over the surviving state.
+        let sets = sets(16, 40, 2);
+        let mut sys = sharded(&sets, 4);
+        sys.inject_worker_panic(2, 100);
+        assert!(sys.shard_error().is_none(), "healthy before the probe");
+        let m = sys.run(4_000);
+        match sys.shard_error() {
+            Some(&ShardError::WorkerPanicked { shard, at }) => {
+                assert_eq!(shard, 2);
+                assert!((100..4_000).contains(&at), "at={at}");
+            }
+            other => panic!("expected a contained worker panic, got {other:?}"),
+        }
+        assert_eq!(
+            sys.registry()
+                .counter(ComponentId::System, Counter::ShardFallbacks),
+            1,
+            "exactly one demotion to the serial engine"
+        );
+        assert!(
+            m.issued() > 0 && m.completed() > 0,
+            "the degraded run must still make progress to the horizon"
+        );
+
+        // A later advance stays on the serial engine and keeps the error.
+        sys.advance_to(5_000);
+        assert!(sys.shard_error().is_some());
+        assert_eq!(
+            sys.registry()
+                .counter(ComponentId::System, Counter::ShardFallbacks),
+            1,
+            "the demotion is counted once, not per advance"
+        );
+    }
+
+    #[test]
+    fn a_panic_free_run_reports_no_shard_error() {
+        let sets = sets(16, 40, 2);
+        let mut sys = sharded(&sets, 4);
+        sys.run(2_000);
+        assert!(sys.shard_error().is_none());
+        assert_eq!(
+            sys.registry()
+                .counter(ComponentId::System, Counter::ShardFallbacks),
+            0
+        );
     }
 }

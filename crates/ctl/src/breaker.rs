@@ -1,0 +1,215 @@
+//! Per-tenant admission circuit breaker.
+//!
+//! A tenant that flaps — hammering the admission queue with requests
+//! that keep getting rejected — burns decision bandwidth every other
+//! tenant needs. The breaker watches each tenant's recent admission
+//! outcomes and, past a rejection threshold, **opens**: further requests
+//! fast-fail with [`RejectReason::Quarantined`](crate::proto::RejectReason)
+//! before touching the registry, and the daemon trips the tenant's slot
+//! into the guard quarantine path
+//! ([`ControlRegistry::quarantine`](crate::registry::ControlRegistry::quarantine)).
+//!
+//! The clock is the daemon's **operation counter**, not wall time: the
+//! breaker's decisions depend only on the sequence of outcomes, so a
+//! replayed request stream trips it at exactly the same point.
+//!
+//! State machine per tenant: `Closed` (sliding window of the last
+//! `window` outcomes; ≥ `trip_threshold` rejections opens) → `Open`
+//! (fast-fail until `cooldown` further global operations pass) →
+//! `HalfOpen` (one probe request runs the real admission; success closes,
+//! rejection re-opens).
+
+use std::collections::{BTreeMap, VecDeque};
+
+/// Breaker tuning. Window and cooldown are in admission operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Sliding outcome window per tenant.
+    pub window: u32,
+    /// Rejections within the window that open the breaker.
+    pub trip_threshold: u32,
+    /// Global operations the breaker stays open before a probe.
+    pub cooldown: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            window: 16,
+            trip_threshold: 8,
+            cooldown: 64,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum State {
+    Closed { recent: VecDeque<bool> },
+    Open { until_op: u64 },
+    HalfOpen,
+}
+
+/// Deterministic per-tenant breaker over a global operation clock.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    ops_seen: u64,
+    tenants: BTreeMap<u64, State>,
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    /// Builds a breaker with the given tuning.
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            ops_seen: 0,
+            tenants: BTreeMap::new(),
+            trips: 0,
+        }
+    }
+
+    /// Total times any tenant's breaker opened.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Must requests from `tenant` fast-fail right now? Transitions
+    /// `Open → HalfOpen` when the cooldown has elapsed (the caller's
+    /// current request becomes the probe).
+    pub fn is_open(&mut self, tenant: u64) -> bool {
+        match self.tenants.get_mut(&tenant) {
+            Some(State::Open { until_op }) => {
+                if self.ops_seen >= *until_op {
+                    self.tenants.insert(tenant, State::HalfOpen);
+                    false
+                } else {
+                    true
+                }
+            }
+            _ => false,
+        }
+    }
+
+    /// Records the outcome of an admission operation that ran (fast-fails
+    /// are NOT recorded — an open breaker must not feed itself). Returns
+    /// true when this outcome trips the breaker open, at which point the
+    /// caller quarantines the tenant's slot.
+    pub fn record(&mut self, tenant: u64, rejected: bool) -> bool {
+        self.ops_seen += 1;
+        let state = self.tenants.entry(tenant).or_insert_with(|| State::Closed {
+            recent: VecDeque::new(),
+        });
+        match state {
+            State::Closed { recent } => {
+                recent.push_back(rejected);
+                if recent.len() > self.config.window as usize {
+                    recent.pop_front();
+                }
+                let rejections = recent.iter().filter(|&&r| r).count() as u32;
+                if rejections >= self.config.trip_threshold {
+                    *state = State::Open {
+                        until_op: self.ops_seen + self.config.cooldown,
+                    };
+                    self.trips += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            State::HalfOpen => {
+                if rejected {
+                    *state = State::Open {
+                        until_op: self.ops_seen + self.config.cooldown,
+                    };
+                    self.trips += 1;
+                    true
+                } else {
+                    *state = State::Closed {
+                        recent: VecDeque::new(),
+                    };
+                    false
+                }
+            }
+            // A racing record for an open tenant (request dequeued before
+            // the trip): ignore, the breaker is already open.
+            State::Open { .. } => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            window: 8,
+            trip_threshold: 4,
+            cooldown: 10,
+        })
+    }
+
+    #[test]
+    fn trips_at_the_rejection_threshold() {
+        let mut b = breaker();
+        assert!(!b.record(1, true));
+        assert!(!b.record(1, true));
+        assert!(!b.record(1, true));
+        assert!(b.record(1, true), "4th rejection in the window trips");
+        assert!(b.is_open(1));
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn successes_age_rejections_out_of_the_window() {
+        let mut b = breaker();
+        for _ in 0..3 {
+            b.record(2, true);
+        }
+        for _ in 0..8 {
+            assert!(!b.record(2, false), "successes refill the window");
+        }
+        for _ in 0..3 {
+            assert!(!b.record(2, true), "old rejections aged out");
+        }
+    }
+
+    #[test]
+    fn cooldown_leads_to_half_open_probe() {
+        let mut b = breaker();
+        for _ in 0..4 {
+            b.record(3, true);
+        }
+        assert!(b.is_open(3));
+        // Other tenants' traffic advances the global op clock.
+        for _ in 0..10 {
+            b.record(4, false);
+        }
+        assert!(!b.is_open(3), "cooldown elapsed: half-open probe allowed");
+        // Probe fails → re-open immediately.
+        assert!(b.record(3, true));
+        assert!(b.is_open(3));
+        // Next cooldown, probe succeeds → closed.
+        for _ in 0..10 {
+            b.record(4, false);
+        }
+        assert!(!b.is_open(3));
+        assert!(!b.record(3, false));
+        assert!(!b.is_open(3));
+        for _ in 0..3 {
+            b.record(3, true);
+        }
+        assert!(!b.is_open(3), "closed state starts with a fresh window");
+    }
+
+    #[test]
+    fn tenants_are_isolated() {
+        let mut b = breaker();
+        for _ in 0..4 {
+            b.record(7, true);
+        }
+        assert!(b.is_open(7));
+        assert!(!b.is_open(8), "tenant 8 unaffected");
+    }
+}

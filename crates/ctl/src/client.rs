@@ -1,0 +1,272 @@
+//! Control-plane client: one tenant's connection to the daemon, with
+//! deadline-aware bounded retry.
+//!
+//! Every request carries a total deadline. Transport failures (refused
+//! connection, dropped stream, read timeout) retry with exponential
+//! backoff and seeded jitter — the jitter comes from a [`SimRng`] fork so
+//! a given client id retries on the same schedule in every run. Retries
+//! resend the request with an incremented `attempt` counter; the daemon's
+//! idempotent admission makes a retry of an applied-but-unacknowledged
+//! operation safe.
+//!
+//! Application verdicts ([`Response::Rejected`], [`Response::Shed`],
+//! [`Response::TimedOut`]) are **not** retried here — they are answers,
+//! not failures; the caller decides whether to back off and try again.
+//!
+//! For fault-injection tests, [`RetryPolicy::drop_after_send_every`]
+//! makes the client sever its own connection after every Nth request
+//! frame is sent — the response is lost in flight, forcing the
+//! reconnect-and-retry path against a daemon that already applied the op.
+
+use crate::proto::{read_frame, write_frame, Request, Response, TaskSpec, TenantClass};
+use bluescale_sim::rng::SimRng;
+use std::fmt;
+use std::io::{self, ErrorKind};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Retry tuning for one client.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Attempts per request (first try included).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub base_backoff: Duration,
+    /// Backoff cap.
+    pub max_backoff: Duration,
+    /// Total per-request deadline across all attempts.
+    pub deadline: Duration,
+    /// Fault injection: sever the connection after every Nth sent
+    /// request frame (the in-flight response is lost). `None` disables.
+    pub drop_after_send_every: Option<u64>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(100),
+            deadline: Duration::from_secs(5),
+            drop_after_send_every: None,
+        }
+    }
+}
+
+/// Why a request ultimately failed.
+#[derive(Debug)]
+pub enum CtlError {
+    /// Transport failure on the final attempt.
+    Io(io::Error),
+    /// Attempts or the deadline ran out.
+    DeadlineExceeded {
+        /// Attempts actually made.
+        attempts: u32,
+    },
+    /// The daemon answered with an internal error code.
+    Daemon(u16),
+}
+
+impl fmt::Display for CtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CtlError::Io(e) => write!(f, "transport failed: {e}"),
+            CtlError::DeadlineExceeded { attempts } => {
+                write!(f, "deadline exceeded after {attempts} attempts")
+            }
+            CtlError::Daemon(code) => write!(f, "daemon error {code}"),
+        }
+    }
+}
+
+impl std::error::Error for CtlError {}
+
+impl From<io::Error> for CtlError {
+    fn from(e: io::Error) -> Self {
+        CtlError::Io(e)
+    }
+}
+
+/// A tenant's connection to the control-plane daemon.
+pub struct CtlClient {
+    addr: SocketAddr,
+    policy: RetryPolicy,
+    rng: SimRng,
+    stream: Option<TcpStream>,
+    sends: u64,
+}
+
+impl CtlClient {
+    /// Builds a client for the daemon at `addr`. `seed` pins the retry
+    /// jitter schedule; clients with distinct seeds desynchronize their
+    /// retry storms.
+    pub fn new(addr: SocketAddr, policy: RetryPolicy, seed: u64) -> Self {
+        CtlClient {
+            addr,
+            policy,
+            rng: SimRng::seed_from(seed),
+            stream: None,
+            sends: 0,
+        }
+    }
+
+    /// Liveness probe (retried like any request).
+    pub fn ping(&mut self) -> Result<Response, CtlError> {
+        self.request(|_| Request::Ping)
+    }
+
+    /// Submits a task set for admission.
+    pub fn join(
+        &mut self,
+        tenant: u64,
+        class: TenantClass,
+        tasks: Vec<TaskSpec>,
+    ) -> Result<Response, CtlError> {
+        self.request(move |attempt| Request::Join {
+            tenant,
+            class,
+            tasks: tasks.clone(),
+            attempt,
+        })
+    }
+
+    /// Renegotiates the tenant's task set.
+    pub fn renegotiate(&mut self, tenant: u64, tasks: Vec<TaskSpec>) -> Result<Response, CtlError> {
+        self.request(move |attempt| Request::Renegotiate {
+            tenant,
+            tasks: tasks.clone(),
+            attempt,
+        })
+    }
+
+    /// Releases the tenant's reservation.
+    pub fn leave(&mut self, tenant: u64) -> Result<Response, CtlError> {
+        self.request(move |attempt| Request::Leave { tenant, attempt })
+    }
+
+    /// Fetches the tenant's miss/latency stream.
+    pub fn stats(&mut self, tenant: u64) -> Result<Response, CtlError> {
+        self.request(move |_| Request::Stats { tenant })
+    }
+
+    fn connect(&mut self, remaining: Duration) -> io::Result<&mut TcpStream> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addr, remaining.max(MIN_IO_BUDGET))?;
+            stream.set_nodelay(true)?;
+            self.stream = Some(stream);
+        }
+        Ok(self.stream.as_mut().expect("connected above"))
+    }
+
+    /// Runs one request to completion under the retry policy.
+    fn request(&mut self, build: impl Fn(u32) -> Request) -> Result<Response, CtlError> {
+        let start = Instant::now();
+        let mut last_io: Option<io::Error> = None;
+        let mut attempts = 0u32;
+        for attempt in 0..self.policy.max_attempts {
+            let elapsed = start.elapsed();
+            if elapsed >= self.policy.deadline {
+                break;
+            }
+            let remaining = self.policy.deadline - elapsed;
+            attempts = attempt + 1;
+            match self.attempt_once(&build(attempt), remaining) {
+                Ok(Response::Err { code }) => return Err(CtlError::Daemon(code)),
+                Ok(response) => return Ok(response),
+                Err(e) => {
+                    self.stream = None;
+                    last_io = Some(e);
+                }
+            }
+            self.backoff(attempt, start);
+        }
+        match last_io {
+            Some(e) if attempts == self.policy.max_attempts => Err(CtlError::Io(e)),
+            _ => Err(CtlError::DeadlineExceeded { attempts }),
+        }
+    }
+
+    fn attempt_once(&mut self, request: &Request, remaining: Duration) -> io::Result<Response> {
+        let drop_every = self.policy.drop_after_send_every;
+        let sends = self.sends;
+        let stream = self.connect(remaining)?;
+        stream.set_read_timeout(Some(remaining.max(MIN_IO_BUDGET)))?;
+        write_frame(stream, &request.encode())?;
+        self.sends += 1;
+        if let Some(n) = drop_every {
+            if n > 0 && (sends + 1).is_multiple_of(n) {
+                // Injected fault: the request is on the wire, but we
+                // drop the connection before the response lands.
+                self.stream = None;
+                return Err(io::Error::new(
+                    ErrorKind::ConnectionReset,
+                    "injected connection drop",
+                ));
+            }
+        }
+        let stream = self.stream.as_mut().expect("still connected");
+        let payload = read_frame(stream)?;
+        Response::decode(&payload).map_err(io::Error::from)
+    }
+
+    /// Exponential backoff with seeded jitter: half the step is fixed,
+    /// half uniform random, so synchronized failures fan out.
+    fn backoff(&mut self, attempt: u32, start: Instant) {
+        let exp = self
+            .policy
+            .base_backoff
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.policy.max_backoff);
+        let micros = exp.as_micros() as u64;
+        let jittered = micros / 2 + self.rng.range_u64(0, micros / 2 + 1);
+        let sleep = Duration::from_micros(jittered);
+        let elapsed = start.elapsed();
+        if elapsed + sleep < self.policy.deadline {
+            std::thread::sleep(sleep);
+        }
+    }
+}
+
+/// Floor for connect/read timeouts — zero would mean "block forever".
+const MIN_IO_BUDGET: Duration = Duration::from_millis(1);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_per_seed_and_bounded() {
+        let policy = RetryPolicy::default();
+        let addr: SocketAddr = "127.0.0.1:9".parse().unwrap();
+        let mut a = CtlClient::new(addr, policy, 42);
+        let mut b = CtlClient::new(addr, policy, 42);
+        let mut c = CtlClient::new(addr, policy, 7);
+        let draw = |cl: &mut CtlClient| {
+            (0..8)
+                .map(|_| cl.rng.range_u64(0, 1_000_000))
+                .collect::<Vec<_>>()
+        };
+        let da = draw(&mut a);
+        assert_eq!(da, draw(&mut b), "same seed, same jitter schedule");
+        assert_ne!(da, draw(&mut c), "different seed desynchronizes");
+    }
+
+    #[test]
+    fn unreachable_daemon_exhausts_attempts() {
+        // A port from the discard range with nothing listening; connects
+        // are refused immediately, so five attempts finish fast.
+        let addr: SocketAddr = "127.0.0.1:9".parse().unwrap();
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_micros(100),
+            max_backoff: Duration::from_micros(400),
+            deadline: Duration::from_secs(2),
+            drop_after_send_every: None,
+        };
+        let mut client = CtlClient::new(addr, policy, 1);
+        match client.ping() {
+            Err(CtlError::Io(_)) => {}
+            other => panic!("expected transport failure, got {other:?}"),
+        }
+    }
+}

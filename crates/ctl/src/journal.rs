@@ -1,0 +1,742 @@
+//! Crash-consistent admission journal: CRC-framed write-ahead log plus
+//! atomic snapshot compaction.
+//!
+//! # Write path
+//!
+//! Only **admitted** operations are journaled — a rejected or shed
+//! request changes no durable state. The daemon's ordering per batch is
+//! apply → append → `sync` → reply: a client that has seen
+//! [`Response::Admitted`](crate::proto::Response::Admitted) is guaranteed
+//! the operation survives a crash, and a torn record at the tail can only
+//! belong to a request that was never acknowledged.
+//!
+//! # Record layout
+//!
+//! ```text
+//! [u32 le len][u32 le crc32][payload]      payload = [u64 le seq][op]
+//! ```
+//!
+//! `crc32` (IEEE) covers the payload. Sequence numbers are dense and
+//! monotone across compactions; the snapshot pins the sequence number the
+//! log resumes from.
+//!
+//! # Compaction
+//!
+//! `compact` writes the full tenant table to `snapshot.tmp`, fsyncs,
+//! renames over `snapshot.bin` (atomic on POSIX), fsyncs the directory,
+//! then truncates the log. A crash between the rename and the truncate
+//! leaves stale records whose sequence numbers predate the snapshot;
+//! recovery skips those explicitly, so every crash point lands in a
+//! well-defined state.
+//!
+//! # Recovery
+//!
+//! [`recover`] replays: decoded snapshot (if present), then every whole,
+//! CRC-valid, in-sequence log record. A short/corrupt tail is **not** an
+//! error — it is reported via [`Recovery::torn_tail`] and truncated on
+//! the next [`Journal::open`]. A corrupt *snapshot* is an error: the
+//! snapshot write is atomic, so damage there means real storage
+//! corruption, which must not be silently repaired.
+
+use crate::proto::{put_tasks, take_tasks, Cursor, ProtoError, TaskSpec, TenantClass};
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// File name of the write-ahead log inside the journal directory.
+pub const WAL_FILE: &str = "wal.log";
+/// File name of the compacted snapshot inside the journal directory.
+pub const SNAP_FILE: &str = "snapshot.bin";
+const SNAP_TMP: &str = "snapshot.tmp";
+const SNAP_MAGIC: u32 = 0xB5CA_5A01;
+/// Records cannot exceed a frame: one op per tenant request.
+const MAX_RECORD: u32 = crate::proto::MAX_FRAME;
+
+/// CRC-32 (IEEE 802.3, reflected), bitwise. The journal writes one small
+/// record per admission — table-free simplicity beats throughput here.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &byte in data {
+        crc ^= byte as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// One durable admission operation. The `slot` is recorded at append time
+/// and cross-checked on replay: replay re-runs the deterministic
+/// admission path, so a slot divergence means the journal and the code
+/// disagree about history — a structural error, not a torn tail.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Tenant admitted with the declared task set.
+    Join {
+        /// Tenant identity.
+        tenant: u64,
+        /// Service class.
+        class: TenantClass,
+        /// Client slot the admission assigned.
+        slot: u32,
+        /// Declared tasks.
+        tasks: Vec<TaskSpec>,
+    },
+    /// Tenant's task set replaced.
+    Renegotiate {
+        /// Tenant identity.
+        tenant: u64,
+        /// The tenant's slot (unchanged by renegotiation).
+        slot: u32,
+        /// Replacement tasks.
+        tasks: Vec<TaskSpec>,
+    },
+    /// Tenant's reservation released.
+    Leave {
+        /// Tenant identity.
+        tenant: u64,
+        /// The slot being freed.
+        slot: u32,
+    },
+}
+
+impl Op {
+    /// The tenant the operation concerns.
+    pub fn tenant(&self) -> u64 {
+        match *self {
+            Op::Join { tenant, .. } | Op::Renegotiate { tenant, .. } | Op::Leave { tenant, .. } => {
+                tenant
+            }
+        }
+    }
+
+    /// The slot recorded at append time.
+    pub fn slot(&self) -> u32 {
+        match *self {
+            Op::Join { slot, .. } | Op::Renegotiate { slot, .. } | Op::Leave { slot, .. } => slot,
+        }
+    }
+
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Op::Join {
+                tenant,
+                class,
+                slot,
+                tasks,
+            } => {
+                buf.push(1);
+                buf.extend_from_slice(&tenant.to_le_bytes());
+                buf.push(match class {
+                    TenantClass::Guaranteed => 0,
+                    TenantClass::BestEffort => 1,
+                });
+                buf.extend_from_slice(&slot.to_le_bytes());
+                put_tasks(buf, tasks);
+            }
+            Op::Renegotiate {
+                tenant,
+                slot,
+                tasks,
+            } => {
+                buf.push(2);
+                buf.extend_from_slice(&tenant.to_le_bytes());
+                buf.extend_from_slice(&slot.to_le_bytes());
+                put_tasks(buf, tasks);
+            }
+            Op::Leave { tenant, slot } => {
+                buf.push(3);
+                buf.extend_from_slice(&tenant.to_le_bytes());
+                buf.extend_from_slice(&slot.to_le_bytes());
+            }
+        }
+    }
+
+    fn decode(c: &mut Cursor<'_>) -> Result<Self, ProtoError> {
+        Ok(match c.take_u8()? {
+            1 => {
+                let tenant = c.take_u64()?;
+                let class = match c.take_u8()? {
+                    0 => TenantClass::Guaranteed,
+                    1 => TenantClass::BestEffort,
+                    other => return Err(ProtoError::BadTag(other)),
+                };
+                let slot = c.take_u32()?;
+                let tasks = take_tasks(c)?;
+                Op::Join {
+                    tenant,
+                    class,
+                    slot,
+                    tasks,
+                }
+            }
+            2 => {
+                let tenant = c.take_u64()?;
+                let slot = c.take_u32()?;
+                let tasks = take_tasks(c)?;
+                Op::Renegotiate {
+                    tenant,
+                    slot,
+                    tasks,
+                }
+            }
+            3 => Op::Leave {
+                tenant: c.take_u64()?,
+                slot: c.take_u32()?,
+            },
+            other => return Err(ProtoError::BadTag(other)),
+        })
+    }
+}
+
+/// One admitted tenant inside a snapshot, slot-ascending.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotTenant {
+    /// Tenant identity.
+    pub tenant: u64,
+    /// Service class.
+    pub class: TenantClass,
+    /// Assigned client slot.
+    pub slot: u32,
+    /// Currently-declared tasks.
+    pub tasks: Vec<TaskSpec>,
+}
+
+/// The compacted state: the full tenant table plus the sequence number
+/// the write-ahead log resumes from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// First sequence number NOT folded into this snapshot.
+    pub next_seq: u64,
+    /// Admitted tenants, slot-ascending.
+    pub tenants: Vec<SnapshotTenant>,
+}
+
+impl Snapshot {
+    /// Encodes the snapshot with a trailing CRC over everything before it.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&SNAP_MAGIC.to_le_bytes());
+        buf.extend_from_slice(&self.next_seq.to_le_bytes());
+        buf.extend_from_slice(&(self.tenants.len() as u32).to_le_bytes());
+        for t in &self.tenants {
+            buf.extend_from_slice(&t.tenant.to_le_bytes());
+            buf.push(match t.class {
+                TenantClass::Guaranteed => 0,
+                TenantClass::BestEffort => 1,
+            });
+            buf.extend_from_slice(&t.slot.to_le_bytes());
+            put_tasks(&mut buf, &t.tasks);
+        }
+        let crc = crc32(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        buf
+    }
+
+    /// Decodes and CRC-verifies an encoded snapshot.
+    pub fn decode(bytes: &[u8]) -> Result<Self, RecoveryError> {
+        if bytes.len() < 4 {
+            return Err(RecoveryError::CorruptSnapshot("shorter than its CRC"));
+        }
+        let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+        let expected = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+        if crc32(body) != expected {
+            return Err(RecoveryError::CorruptSnapshot("CRC mismatch"));
+        }
+        let mut c = Cursor::new(body);
+        let magic = c.take_u32().map_err(|_| truncated_snapshot())?;
+        if magic != SNAP_MAGIC {
+            return Err(RecoveryError::CorruptSnapshot("bad magic"));
+        }
+        let next_seq = c.take_u64().map_err(|_| truncated_snapshot())?;
+        let count = c.take_u32().map_err(|_| truncated_snapshot())?;
+        let mut tenants = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let tenant = c.take_u64().map_err(|_| truncated_snapshot())?;
+            let class = match c.take_u8().map_err(|_| truncated_snapshot())? {
+                0 => TenantClass::Guaranteed,
+                1 => TenantClass::BestEffort,
+                _ => return Err(RecoveryError::CorruptSnapshot("bad tenant class")),
+            };
+            let slot = c.take_u32().map_err(|_| truncated_snapshot())?;
+            let tasks = take_tasks(&mut c).map_err(|_| truncated_snapshot())?;
+            tenants.push(SnapshotTenant {
+                tenant,
+                class,
+                slot,
+                tasks,
+            });
+        }
+        c.finish()
+            .map_err(|_| RecoveryError::CorruptSnapshot("trailing bytes"))?;
+        Ok(Snapshot { next_seq, tenants })
+    }
+}
+
+fn truncated_snapshot() -> RecoveryError {
+    RecoveryError::CorruptSnapshot("truncated body")
+}
+
+/// What [`recover`] reconstructed from the journal directory.
+#[derive(Debug)]
+pub struct Recovery {
+    /// Decoded snapshot, if one was ever compacted.
+    pub snapshot: Option<Snapshot>,
+    /// Whole, CRC-valid, in-sequence log records after the snapshot.
+    pub ops: Vec<(u64, Op)>,
+    /// The sequence number the journal resumes appending at.
+    pub next_seq: u64,
+    /// True when the log ended in a short or corrupt record. The torn
+    /// bytes belong to an operation that was never acknowledged; they are
+    /// dropped (and truncated by [`Journal::open`]), never half-applied.
+    pub torn_tail: bool,
+    /// Log bytes that survived validation (the truncation point).
+    pub valid_len: u64,
+}
+
+/// A recovery failure that must stop the daemon (unlike a torn tail).
+#[derive(Debug)]
+pub enum RecoveryError {
+    /// Reading the directory, snapshot or log failed.
+    Io(io::Error),
+    /// The snapshot exists but fails validation — real storage damage,
+    /// since its write was atomic.
+    CorruptSnapshot(&'static str),
+    /// A CRC-valid record carries an out-of-order sequence number: the
+    /// journal and the code disagree about history.
+    SeqGap {
+        /// Sequence number recovery expected next.
+        expected: u64,
+        /// Sequence number the record carries.
+        got: u64,
+    },
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryError::Io(e) => write!(f, "journal I/O failed: {e}"),
+            RecoveryError::CorruptSnapshot(why) => write!(f, "snapshot is corrupt: {why}"),
+            RecoveryError::SeqGap { expected, got } => write!(
+                f,
+                "journal sequence gap: expected record {expected}, found {got}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RecoveryError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for RecoveryError {
+    fn from(e: io::Error) -> Self {
+        RecoveryError::Io(e)
+    }
+}
+
+/// Scans the journal directory and reconstructs the replayable history.
+/// Never panics on torn or garbage log bytes; see [`Recovery::torn_tail`].
+pub fn recover(dir: &Path) -> Result<Recovery, RecoveryError> {
+    let snap_path = dir.join(SNAP_FILE);
+    let snapshot = if snap_path.exists() {
+        let bytes = fs::read(&snap_path)?;
+        Some(Snapshot::decode(&bytes)?)
+    } else {
+        None
+    };
+    let mut next_seq = snapshot.as_ref().map_or(0, |s| s.next_seq);
+
+    let wal_path = dir.join(WAL_FILE);
+    let bytes = if wal_path.exists() {
+        fs::read(&wal_path)?
+    } else {
+        Vec::new()
+    };
+
+    let mut ops = Vec::new();
+    let mut pos = 0usize;
+    let mut valid_len = 0u64;
+    let mut torn_tail = false;
+    while pos < bytes.len() {
+        let Some(header) = bytes.get(pos..pos + 8) else {
+            torn_tail = true;
+            break;
+        };
+        let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+        let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        if len > MAX_RECORD {
+            torn_tail = true;
+            break;
+        }
+        let body_start = pos + 8;
+        let Some(payload) = bytes.get(body_start..body_start + len as usize) else {
+            torn_tail = true;
+            break;
+        };
+        if crc32(payload) != crc {
+            torn_tail = true;
+            break;
+        }
+        let mut c = Cursor::new(payload);
+        let (seq, op) = match c
+            .take_u64()
+            .and_then(|seq| Op::decode(&mut c).map(|op| (seq, op)))
+        {
+            Ok(rec) => rec,
+            // A CRC-valid but undecodable payload is treated as tail
+            // corruption: drop it and everything after.
+            Err(_) => {
+                torn_tail = true;
+                break;
+            }
+        };
+        pos = body_start + len as usize;
+        if seq < next_seq {
+            // Stale pre-compaction record (crash between snapshot rename
+            // and log truncate): already folded into the snapshot.
+            valid_len = pos as u64;
+            continue;
+        }
+        if seq != next_seq {
+            return Err(RecoveryError::SeqGap {
+                expected: next_seq,
+                got: seq,
+            });
+        }
+        next_seq += 1;
+        valid_len = pos as u64;
+        ops.push((seq, op));
+    }
+    torn_tail |= valid_len < bytes.len() as u64;
+
+    Ok(Recovery {
+        snapshot,
+        ops,
+        next_seq,
+        torn_tail,
+        valid_len,
+    })
+}
+
+/// The append-side handle. Obtained from [`Journal::open`] after
+/// [`recover`]; appends are durable only after [`sync`](Journal::sync).
+#[derive(Debug)]
+pub struct Journal {
+    wal: File,
+    dir: PathBuf,
+    next_seq: u64,
+    /// Log bytes currently on disk (post-truncation).
+    len: u64,
+}
+
+impl Journal {
+    /// Opens the log for appending, truncating any torn tail the given
+    /// recovery reported.
+    pub fn open(dir: &Path, recovery: &Recovery) -> io::Result<Journal> {
+        fs::create_dir_all(dir)?;
+        let mut wal = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .write(true)
+            .read(true)
+            .open(dir.join(WAL_FILE))?;
+        wal.set_len(recovery.valid_len)?;
+        wal.seek(SeekFrom::Start(recovery.valid_len))?;
+        if recovery.torn_tail {
+            wal.sync_data()?;
+        }
+        Ok(Journal {
+            wal,
+            dir: dir.to_path_buf(),
+            next_seq: recovery.next_seq,
+            len: recovery.valid_len,
+        })
+    }
+
+    /// The sequence number the next append will receive.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Current log length in bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends one record. NOT durable until [`sync`](Self::sync) — the
+    /// daemon group-commits a batch with a single sync, and replies only
+    /// after it.
+    pub fn append(&mut self, op: &Op) -> io::Result<u64> {
+        let seq = self.next_seq;
+        let mut payload = Vec::with_capacity(64);
+        payload.extend_from_slice(&seq.to_le_bytes());
+        op.encode(&mut payload);
+        let mut record = Vec::with_capacity(payload.len() + 8);
+        record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        record.extend_from_slice(&crc32(&payload).to_le_bytes());
+        record.extend_from_slice(&payload);
+        self.wal.write_all(&record)?;
+        self.next_seq += 1;
+        self.len += record.len() as u64;
+        Ok(seq)
+    }
+
+    /// Makes every append so far durable.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.wal.sync_data()
+    }
+
+    /// Atomically replaces the snapshot with `snapshot` and truncates the
+    /// log. `snapshot.next_seq` must equal [`next_seq`](Self::next_seq)
+    /// (everything appended so far is folded in).
+    pub fn compact(&mut self, snapshot: &Snapshot) -> io::Result<()> {
+        assert_eq!(
+            snapshot.next_seq, self.next_seq,
+            "compaction must fold in every appended record"
+        );
+        let tmp = self.dir.join(SNAP_TMP);
+        let mut f = File::create(&tmp)?;
+        f.write_all(&snapshot.encode())?;
+        f.sync_all()?;
+        drop(f);
+        fs::rename(&tmp, self.dir.join(SNAP_FILE))?;
+        // Make the rename itself durable before dropping the log records
+        // it supersedes.
+        File::open(&self.dir)?.sync_all()?;
+        self.wal.set_len(0)?;
+        self.wal.seek(SeekFrom::Start(0))?;
+        self.wal.sync_data()?;
+        self.len = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn test_dir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "bluescale-ctl-journal-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("create test dir");
+        dir
+    }
+
+    fn sample_ops() -> Vec<Op> {
+        vec![
+            Op::Join {
+                tenant: 10,
+                class: TenantClass::Guaranteed,
+                slot: 0,
+                tasks: vec![TaskSpec {
+                    period: 400,
+                    wcet: 3,
+                }],
+            },
+            Op::Join {
+                tenant: 11,
+                class: TenantClass::BestEffort,
+                slot: 1,
+                tasks: vec![TaskSpec {
+                    period: 1000,
+                    wcet: 5,
+                }],
+            },
+            Op::Renegotiate {
+                tenant: 10,
+                slot: 0,
+                tasks: vec![TaskSpec {
+                    period: 200,
+                    wcet: 2,
+                }],
+            },
+            Op::Leave {
+                tenant: 11,
+                slot: 1,
+            },
+        ]
+    }
+
+    fn fresh_journal(dir: &Path) -> Journal {
+        let recovery = recover(dir).expect("recover empty");
+        Journal::open(dir, &recovery).expect("open")
+    }
+
+    #[test]
+    fn append_sync_recover_roundtrips() {
+        let dir = test_dir("roundtrip");
+        let mut j = fresh_journal(&dir);
+        for (i, op) in sample_ops().iter().enumerate() {
+            assert_eq!(j.append(op).expect("append"), i as u64);
+        }
+        j.sync().expect("sync");
+        drop(j);
+
+        let r = recover(&dir).expect("recover");
+        assert!(!r.torn_tail);
+        assert!(r.snapshot.is_none());
+        assert_eq!(r.next_seq, 4);
+        assert_eq!(
+            r.ops.iter().map(|(_, op)| op.clone()).collect::<Vec<_>>(),
+            sample_ops()
+        );
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_not_fatal() {
+        let dir = test_dir("torn");
+        let mut j = fresh_journal(&dir);
+        for op in &sample_ops() {
+            j.append(op).expect("append");
+        }
+        j.sync().expect("sync");
+        drop(j);
+
+        let full = fs::read(dir.join(WAL_FILE)).expect("read wal");
+        // Cut the last record in half.
+        let cut = full.len() - 7;
+        fs::write(dir.join(WAL_FILE), &full[..cut]).expect("truncate");
+
+        let r = recover(&dir).expect("torn tail is recoverable");
+        assert!(r.torn_tail);
+        assert_eq!(r.ops.len(), 3, "only whole records replay");
+        assert_eq!(r.next_seq, 3);
+
+        // Re-opening truncates the torn bytes and appends continue.
+        let mut j = Journal::open(&dir, &r).expect("open");
+        assert_eq!(j.append(&sample_ops()[3]).expect("append"), 3);
+        j.sync().expect("sync");
+        let r = recover(&dir).expect("recover");
+        assert!(!r.torn_tail);
+        assert_eq!(r.ops.len(), 4);
+    }
+
+    #[test]
+    fn corrupt_record_body_is_a_torn_tail() {
+        let dir = test_dir("corrupt");
+        let mut j = fresh_journal(&dir);
+        for op in &sample_ops() {
+            j.append(op).expect("append");
+        }
+        j.sync().expect("sync");
+        drop(j);
+
+        let mut bytes = fs::read(dir.join(WAL_FILE)).expect("read wal");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(dir.join(WAL_FILE), &bytes).expect("write");
+
+        let r = recover(&dir).expect("bit flip must not panic");
+        assert!(r.torn_tail);
+        assert_eq!(r.ops.len(), 3);
+    }
+
+    #[test]
+    fn compaction_snapshots_and_resumes_sequence_numbers() {
+        let dir = test_dir("compact");
+        let mut j = fresh_journal(&dir);
+        for op in &sample_ops() {
+            j.append(op).expect("append");
+        }
+        j.sync().expect("sync");
+        let snap = Snapshot {
+            next_seq: j.next_seq(),
+            tenants: vec![SnapshotTenant {
+                tenant: 10,
+                class: TenantClass::Guaranteed,
+                slot: 0,
+                tasks: vec![TaskSpec {
+                    period: 200,
+                    wcet: 2,
+                }],
+            }],
+        };
+        j.compact(&snap).expect("compact");
+        assert!(j.is_empty());
+        let post = Op::Join {
+            tenant: 12,
+            class: TenantClass::Guaranteed,
+            slot: 1,
+            tasks: vec![TaskSpec {
+                period: 800,
+                wcet: 4,
+            }],
+        };
+        assert_eq!(j.append(&post).expect("append"), 4, "seq continues");
+        j.sync().expect("sync");
+        drop(j);
+
+        let r = recover(&dir).expect("recover");
+        assert_eq!(r.snapshot, Some(snap));
+        assert_eq!(r.ops, vec![(4, post)]);
+        assert_eq!(r.next_seq, 5);
+        assert!(!r.torn_tail);
+    }
+
+    #[test]
+    fn stale_pre_compaction_records_are_skipped() {
+        // Simulate a crash between the snapshot rename and the log
+        // truncate: snapshot says next_seq=4 but the log still holds
+        // records 0..4. Recovery must skip them, not SeqGap.
+        let dir = test_dir("stale");
+        let mut j = fresh_journal(&dir);
+        for op in &sample_ops() {
+            j.append(op).expect("append");
+        }
+        j.sync().expect("sync");
+        let snap = Snapshot {
+            next_seq: 4,
+            tenants: Vec::new(),
+        };
+        fs::write(dir.join(SNAP_FILE), snap.encode()).expect("write snapshot");
+        drop(j);
+
+        let r = recover(&dir).expect("recover");
+        assert_eq!(r.snapshot, Some(snap));
+        assert!(r.ops.is_empty(), "stale records fold into the snapshot");
+        assert_eq!(r.next_seq, 4);
+        assert!(!r.torn_tail);
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_fatal() {
+        let dir = test_dir("snapbad");
+        let snap = Snapshot {
+            next_seq: 1,
+            tenants: Vec::new(),
+        };
+        let mut bytes = snap.encode();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 1;
+        fs::write(dir.join(SNAP_FILE), &bytes).expect("write");
+        assert!(matches!(
+            recover(&dir),
+            Err(RecoveryError::CorruptSnapshot(_))
+        ));
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+}

@@ -1,0 +1,653 @@
+//! Wire protocol for the control-plane daemon.
+//!
+//! Frames are length-prefixed: `[u32 le length][payload]`, with the
+//! length bounded by [`MAX_FRAME`] so a corrupt or hostile peer cannot
+//! make the daemon allocate unbounded memory. Payloads are hand-rolled
+//! tagged encodings (one leading tag byte, little-endian fixed-width
+//! integers) — the workspace carries no serialization dependency, and the
+//! protocol is small enough that an explicit byte layout doubles as its
+//! specification (DESIGN.md §15).
+//!
+//! The conversation is strictly request/response per connection: a client
+//! writes one [`Request`] frame and reads exactly one [`Response`] frame
+//! before writing the next. Admission requests carry an `attempt`
+//! counter so the daemon can tally deadline-aware retries
+//! (`Counter::Retries`) without trusting wall-clock correlation.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Hard upper bound on a frame payload, in bytes.
+pub const MAX_FRAME: u32 = 64 * 1024;
+
+/// Most tasks a single tenant may declare in one request.
+pub const MAX_TASKS: u32 = 64;
+
+/// Service class a tenant negotiates at join time. Guaranteed tenants are
+/// shed last and their admissions must complete within the request
+/// deadline even at overload; best-effort tenants absorb the shedding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TenantClass {
+    /// Shed last; the overload bench asserts zero misses for this class.
+    Guaranteed,
+    /// Shed first under pressure.
+    BestEffort,
+}
+
+impl TenantClass {
+    fn to_byte(self) -> u8 {
+        match self {
+            TenantClass::Guaranteed => 0,
+            TenantClass::BestEffort => 1,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, ProtoError> {
+        match b {
+            0 => Ok(TenantClass::Guaranteed),
+            1 => Ok(TenantClass::BestEffort),
+            other => Err(ProtoError::BadTag(other)),
+        }
+    }
+
+    /// Short stable name used in logs and exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            TenantClass::Guaranteed => "guaranteed",
+            TenantClass::BestEffort => "best-effort",
+        }
+    }
+}
+
+/// One periodic task as declared over the wire (implicit deadline =
+/// period, matching [`bluescale_rt::task::Task::new`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskSpec {
+    /// Release period in cycles.
+    pub period: u64,
+    /// Worst-case execution (service) demand per job, in cycles.
+    pub wcet: u64,
+}
+
+/// A client-to-daemon message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe; answered with [`Response::Pong`] without touching
+    /// the admission queue.
+    Ping,
+    /// Admit `tenant` with the declared task set. Idempotent: retrying an
+    /// already-applied join with identical parameters re-reports the
+    /// original admission instead of failing.
+    Join {
+        /// Caller-chosen stable tenant identity.
+        tenant: u64,
+        /// Service class, fixed for the tenant's lifetime.
+        class: TenantClass,
+        /// Declared periodic demand.
+        tasks: Vec<TaskSpec>,
+        /// 0 on the first send, incremented per client-side retry.
+        attempt: u32,
+    },
+    /// Replace the tenant's declared task set (a software mode change;
+    /// must pass admission before taking effect).
+    Renegotiate {
+        /// The tenant being renegotiated.
+        tenant: u64,
+        /// The replacement task set.
+        tasks: Vec<TaskSpec>,
+        /// 0 on the first send, incremented per client-side retry.
+        attempt: u32,
+    },
+    /// Release the tenant's reservation. Never shed.
+    Leave {
+        /// The tenant leaving.
+        tenant: u64,
+        /// 0 on the first send, incremented per client-side retry.
+        attempt: u32,
+    },
+    /// Read the tenant's own miss/latency stream from the sim registry.
+    Stats {
+        /// The tenant whose stream is requested.
+        tenant: u64,
+    },
+}
+
+impl Request {
+    /// Client-side retry attempt carried by admission requests (0 for the
+    /// read-only requests).
+    pub fn attempt(&self) -> u32 {
+        match *self {
+            Request::Join { attempt, .. }
+            | Request::Renegotiate { attempt, .. }
+            | Request::Leave { attempt, .. } => attempt,
+            Request::Ping | Request::Stats { .. } => 0,
+        }
+    }
+
+    /// Short stable name used in logs and exports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Request::Ping => "ping",
+            Request::Join { .. } => "join",
+            Request::Renegotiate { .. } => "renegotiate",
+            Request::Leave { .. } => "leave",
+            Request::Stats { .. } => "stats",
+        }
+    }
+
+    /// Encodes the payload (without the frame length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Request::Ping => buf.push(0),
+            Request::Join {
+                tenant,
+                class,
+                tasks,
+                attempt,
+            } => {
+                buf.push(1);
+                put_u64(&mut buf, *tenant);
+                buf.push(class.to_byte());
+                put_u32(&mut buf, *attempt);
+                put_tasks(&mut buf, tasks);
+            }
+            Request::Renegotiate {
+                tenant,
+                tasks,
+                attempt,
+            } => {
+                buf.push(2);
+                put_u64(&mut buf, *tenant);
+                put_u32(&mut buf, *attempt);
+                put_tasks(&mut buf, tasks);
+            }
+            Request::Leave { tenant, attempt } => {
+                buf.push(3);
+                put_u64(&mut buf, *tenant);
+                put_u32(&mut buf, *attempt);
+            }
+            Request::Stats { tenant } => {
+                buf.push(4);
+                put_u64(&mut buf, *tenant);
+            }
+        }
+        buf
+    }
+
+    /// Decodes a payload produced by [`encode`](Self::encode).
+    pub fn decode(payload: &[u8]) -> Result<Self, ProtoError> {
+        let mut c = Cursor::new(payload);
+        let req = match c.take_u8()? {
+            0 => Request::Ping,
+            1 => {
+                let tenant = c.take_u64()?;
+                let class = TenantClass::from_byte(c.take_u8()?)?;
+                let attempt = c.take_u32()?;
+                let tasks = take_tasks(&mut c)?;
+                Request::Join {
+                    tenant,
+                    class,
+                    tasks,
+                    attempt,
+                }
+            }
+            2 => {
+                let tenant = c.take_u64()?;
+                let attempt = c.take_u32()?;
+                let tasks = take_tasks(&mut c)?;
+                Request::Renegotiate {
+                    tenant,
+                    tasks,
+                    attempt,
+                }
+            }
+            3 => Request::Leave {
+                tenant: c.take_u64()?,
+                attempt: c.take_u32()?,
+            },
+            4 => Request::Stats {
+                tenant: c.take_u64()?,
+            },
+            other => return Err(ProtoError::BadTag(other)),
+        };
+        c.finish()?;
+        Ok(req)
+    }
+}
+
+/// Why the daemon refused an admission request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The root admission test `Σ Θ/Π ≤ 1` failed for the composition.
+    Inadmissible,
+    /// The tenant is not currently admitted.
+    UnknownTenant,
+    /// A join for an already-admitted tenant with different parameters.
+    AlreadyJoined,
+    /// Every tenant slot is occupied.
+    CapacityFull,
+    /// The tenant's circuit breaker is open (flapping → quarantined).
+    Quarantined,
+    /// The declared tasks are empty, too many, or fail validation.
+    InvalidTasks,
+}
+
+impl RejectReason {
+    fn to_byte(self) -> u8 {
+        match self {
+            RejectReason::Inadmissible => 0,
+            RejectReason::UnknownTenant => 1,
+            RejectReason::AlreadyJoined => 2,
+            RejectReason::CapacityFull => 3,
+            RejectReason::Quarantined => 4,
+            RejectReason::InvalidTasks => 5,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, ProtoError> {
+        Ok(match b {
+            0 => RejectReason::Inadmissible,
+            1 => RejectReason::UnknownTenant,
+            2 => RejectReason::AlreadyJoined,
+            3 => RejectReason::CapacityFull,
+            4 => RejectReason::Quarantined,
+            5 => RejectReason::InvalidTasks,
+            other => return Err(ProtoError::BadTag(other)),
+        })
+    }
+
+    /// Short stable name used in logs and exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            RejectReason::Inadmissible => "inadmissible",
+            RejectReason::UnknownTenant => "unknown-tenant",
+            RejectReason::AlreadyJoined => "already-joined",
+            RejectReason::CapacityFull => "capacity-full",
+            RejectReason::Quarantined => "quarantined",
+            RejectReason::InvalidTasks => "invalid-tasks",
+        }
+    }
+}
+
+/// Per-tenant counters and latency tail returned by [`Request::Stats`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantStats {
+    /// Requests the tenant's traffic generator issued.
+    pub issued: u64,
+    /// Requests that completed service.
+    pub completed: u64,
+    /// Deadline misses.
+    pub missed: u64,
+    /// p99 of the tenant's end-to-end latency samples (0 if none yet).
+    pub p99_latency: f64,
+}
+
+/// A daemon-to-client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// The admission request was applied and is durable in the journal.
+    Admitted {
+        /// Journal sequence number of the committed operation.
+        seq: u64,
+        /// Mode-change transition latency reported by the interconnect.
+        transition_cycles: u64,
+    },
+    /// The admission request was refused (never silently dropped).
+    Rejected {
+        /// Why.
+        reason: RejectReason,
+    },
+    /// The request was shed by tiered overload control before reaching
+    /// the admission queue; the client may retry after backoff.
+    Shed {
+        /// Shedding tier that fired (0 = shed first).
+        tier: u8,
+    },
+    /// The request's queueing deadline expired before the admission
+    /// worker reached it.
+    TimedOut,
+    /// Answer to [`Request::Stats`].
+    Stats(TenantStats),
+    /// Daemon-side failure (journal I/O, internal shutdown).
+    Err {
+        /// Coarse error code; 1 = internal, 2 = journal write failed.
+        code: u16,
+    },
+}
+
+impl Response {
+    /// Encodes the payload (without the frame length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Response::Pong => buf.push(0),
+            Response::Admitted {
+                seq,
+                transition_cycles,
+            } => {
+                buf.push(1);
+                put_u64(&mut buf, *seq);
+                put_u64(&mut buf, *transition_cycles);
+            }
+            Response::Rejected { reason } => {
+                buf.push(2);
+                buf.push(reason.to_byte());
+            }
+            Response::Shed { tier } => {
+                buf.push(3);
+                buf.push(*tier);
+            }
+            Response::TimedOut => buf.push(4),
+            Response::Stats(s) => {
+                buf.push(5);
+                put_u64(&mut buf, s.issued);
+                put_u64(&mut buf, s.completed);
+                put_u64(&mut buf, s.missed);
+                put_u64(&mut buf, s.p99_latency.to_bits());
+            }
+            Response::Err { code } => {
+                buf.push(6);
+                buf.extend_from_slice(&code.to_le_bytes());
+            }
+        }
+        buf
+    }
+
+    /// Decodes a payload produced by [`encode`](Self::encode).
+    pub fn decode(payload: &[u8]) -> Result<Self, ProtoError> {
+        let mut c = Cursor::new(payload);
+        let resp = match c.take_u8()? {
+            0 => Response::Pong,
+            1 => Response::Admitted {
+                seq: c.take_u64()?,
+                transition_cycles: c.take_u64()?,
+            },
+            2 => Response::Rejected {
+                reason: RejectReason::from_byte(c.take_u8()?)?,
+            },
+            3 => Response::Shed { tier: c.take_u8()? },
+            4 => Response::TimedOut,
+            5 => Response::Stats(TenantStats {
+                issued: c.take_u64()?,
+                completed: c.take_u64()?,
+                missed: c.take_u64()?,
+                p99_latency: f64::from_bits(c.take_u64()?),
+            }),
+            6 => Response::Err {
+                code: u16::from_le_bytes([c.take_u8()?, c.take_u8()?]),
+            },
+            other => return Err(ProtoError::BadTag(other)),
+        };
+        c.finish()?;
+        Ok(resp)
+    }
+}
+
+/// Decode/validation failure for a frame payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The payload ended before the advertised fields.
+    Truncated,
+    /// The payload continued past the last field.
+    TrailingBytes,
+    /// Unknown tag or enum discriminant.
+    BadTag(u8),
+    /// Frame length prefix exceeds [`MAX_FRAME`].
+    FrameTooLarge(u32),
+    /// Task count exceeds [`MAX_TASKS`].
+    TooManyTasks(u32),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Truncated => write!(f, "payload truncated"),
+            ProtoError::TrailingBytes => write!(f, "payload has trailing bytes"),
+            ProtoError::BadTag(t) => write!(f, "unknown tag {t}"),
+            ProtoError::FrameTooLarge(n) => {
+                write!(f, "frame length {n} exceeds the {MAX_FRAME}-byte bound")
+            }
+            ProtoError::TooManyTasks(n) => {
+                write!(f, "task count {n} exceeds the {MAX_TASKS}-task bound")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<ProtoError> for io::Error {
+    fn from(e: ProtoError) -> Self {
+        io::Error::new(io::ErrorKind::InvalidData, e)
+    }
+}
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME as usize);
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame, rejecting oversized prefixes before
+/// allocating.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len);
+    if len > MAX_FRAME {
+        return Err(ProtoError::FrameTooLarge(len).into());
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_tasks(buf: &mut Vec<u8>, tasks: &[TaskSpec]) {
+    put_u32(buf, tasks.len() as u32);
+    for t in tasks {
+        put_u64(buf, t.period);
+        put_u64(buf, t.wcet);
+    }
+}
+
+pub(crate) fn take_tasks(c: &mut Cursor<'_>) -> Result<Vec<TaskSpec>, ProtoError> {
+    let n = c.take_u32()?;
+    if n > MAX_TASKS {
+        return Err(ProtoError::TooManyTasks(n));
+    }
+    let mut tasks = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        tasks.push(TaskSpec {
+            period: c.take_u64()?,
+            wcet: c.take_u64()?,
+        });
+    }
+    Ok(tasks)
+}
+
+/// Bounds-checked payload reader shared by the protocol and the journal.
+pub(crate) struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    pub(crate) fn take_u8(&mut self) -> Result<u8, ProtoError> {
+        let b = *self.buf.get(self.pos).ok_or(ProtoError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    pub(crate) fn take_u32(&mut self) -> Result<u32, ProtoError> {
+        let end = self.pos.checked_add(4).ok_or(ProtoError::Truncated)?;
+        let bytes = self.buf.get(self.pos..end).ok_or(ProtoError::Truncated)?;
+        self.pos = end;
+        Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+    }
+
+    pub(crate) fn take_u64(&mut self) -> Result<u64, ProtoError> {
+        let end = self.pos.checked_add(8).ok_or(ProtoError::Truncated)?;
+        let bytes = self.buf.get(self.pos..end).ok_or(ProtoError::Truncated)?;
+        self.pos = end;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+
+    /// Asserts the payload was consumed exactly.
+    pub(crate) fn finish(self) -> Result<(), ProtoError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(ProtoError::TrailingBytes)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let bytes = req.encode();
+        assert_eq!(Request::decode(&bytes).expect("decodes"), req);
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let bytes = resp.encode();
+        assert_eq!(Response::decode(&bytes).expect("decodes"), resp);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(Request::Ping);
+        roundtrip_request(Request::Join {
+            tenant: 42,
+            class: TenantClass::Guaranteed,
+            tasks: vec![
+                TaskSpec {
+                    period: 400,
+                    wcet: 3,
+                },
+                TaskSpec {
+                    period: 1000,
+                    wcet: 7,
+                },
+            ],
+            attempt: 2,
+        });
+        roundtrip_request(Request::Renegotiate {
+            tenant: 7,
+            tasks: vec![TaskSpec {
+                period: 250,
+                wcet: 1,
+            }],
+            attempt: 0,
+        });
+        roundtrip_request(Request::Leave {
+            tenant: u64::MAX,
+            attempt: 1,
+        });
+        roundtrip_request(Request::Stats { tenant: 3 });
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_response(Response::Pong);
+        roundtrip_response(Response::Admitted {
+            seq: 9,
+            transition_cycles: 128,
+        });
+        for reason in [
+            RejectReason::Inadmissible,
+            RejectReason::UnknownTenant,
+            RejectReason::AlreadyJoined,
+            RejectReason::CapacityFull,
+            RejectReason::Quarantined,
+            RejectReason::InvalidTasks,
+        ] {
+            roundtrip_response(Response::Rejected { reason });
+        }
+        roundtrip_response(Response::Shed { tier: 3 });
+        roundtrip_response(Response::TimedOut);
+        roundtrip_response(Response::Stats(TenantStats {
+            issued: 10,
+            completed: 9,
+            missed: 1,
+            p99_latency: 123.5,
+        }));
+        roundtrip_response(Response::Err { code: 2 });
+    }
+
+    #[test]
+    fn truncated_payloads_are_rejected_not_panicked() {
+        let full = Request::Join {
+            tenant: 1,
+            class: TenantClass::BestEffort,
+            tasks: vec![TaskSpec {
+                period: 100,
+                wcet: 2,
+            }],
+            attempt: 0,
+        }
+        .encode();
+        for cut in 0..full.len() {
+            let err = Request::decode(&full[..cut]).expect_err("truncation must fail");
+            assert!(
+                matches!(err, ProtoError::Truncated | ProtoError::BadTag(_)),
+                "cut={cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = Request::Ping.encode();
+        bytes.push(0xFF);
+        assert_eq!(Request::decode(&bytes), Err(ProtoError::TrailingBytes));
+    }
+
+    #[test]
+    fn oversized_frames_are_refused_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        let err = read_frame(&mut buf.as_slice()).expect_err("too large");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn task_count_is_bounded() {
+        let mut buf = vec![2u8]; // Renegotiate
+        buf.extend_from_slice(&7u64.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&(MAX_TASKS + 1).to_le_bytes());
+        assert_eq!(
+            Request::decode(&buf),
+            Err(ProtoError::TooManyTasks(MAX_TASKS + 1))
+        );
+    }
+
+    #[test]
+    fn frames_roundtrip_over_a_byte_stream() {
+        let payload = Request::Stats { tenant: 5 }.encode();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).expect("write");
+        let got = read_frame(&mut wire.as_slice()).expect("read");
+        assert_eq!(got, payload);
+    }
+}

@@ -1,0 +1,821 @@
+//! The control-plane daemon: a TCP admission front-end over the tenant
+//! registry, hardened for overload and crashes.
+//!
+//! # Threads
+//!
+//! * **Acceptor** — non-blocking accept loop; one handler thread per
+//!   connection.
+//! * **Handlers** — decode one request frame at a time. Read-only
+//!   requests (`Ping`, `Stats`) answer immediately. Admission requests
+//!   pass tiered overload control and enter the bounded queue with a
+//!   per-request decision deadline; the handler blocks on its reply
+//!   channel and writes whatever verdict the worker sends.
+//! * **Worker** — the single owner of the journal and circuit breaker.
+//!   Drains the queue in batches; for each request: expire (TimedOut) →
+//!   breaker fast-fail → registry apply → journal append. One
+//!   `sync` per batch (group commit) and **replies are sent only after
+//!   the sync** — an acknowledged admission is durable. Between batches
+//!   the worker advances the live simulation so admitted tenants' traffic
+//!   generates the miss/latency streams `Stats` serves.
+//!
+//! # Shedding tiers
+//!
+//! The queue is bounded. As occupancy rises, tiers shed in a fixed
+//! severity order — best-effort renegotiations first, guaranteed joins
+//! last, leaves never (shrinking load must always get through):
+//!
+//! | tier | class      | op          | shed at occupancy ≥ |
+//! |------|------------|-------------|---------------------|
+//! | 0    | best-effort| renegotiate | 50% of depth        |
+//! | 1    | best-effort| join        | 65%                 |
+//! | 2    | guaranteed | renegotiate | 80%                 |
+//! | 3    | guaranteed | join        | 95%                 |
+//!
+//! A shed request receives an explicit [`Response::Shed`] — the daemon
+//! degrades by refusing work, never by stalling or silently dropping.
+
+use crate::breaker::{BreakerConfig, CircuitBreaker};
+use crate::journal::{self, Journal, Op, RecoveryError};
+use crate::proto::{
+    read_frame, write_frame, RejectReason, Request, Response, TaskSpec, TenantClass,
+};
+use crate::registry::{ApplyOutcome, ControlRegistry, ReplayDiverged};
+use bluescale::BuildError;
+use bluescale_sim::metrics::Counter;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::io::{self, ErrorKind};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Daemon tuning.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Tenant slots in the registry (clients in the BlueScale tree).
+    pub capacity: usize,
+    /// Bound on queued admission requests (leaves may exceed it).
+    pub queue_depth: usize,
+    /// Most requests decided under one registry lock / journal sync.
+    pub batch_max: usize,
+    /// Simulation cycles advanced after each batch.
+    pub sim_cycles_per_batch: u64,
+    /// Journal records between snapshot compactions (0 = never).
+    pub compact_every: u64,
+    /// Per-request decision deadline once queued.
+    pub queue_deadline: Duration,
+    /// Circuit-breaker tuning.
+    pub breaker: BreakerConfig,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            capacity: 64,
+            queue_depth: 256,
+            batch_max: 32,
+            sim_cycles_per_batch: 64,
+            compact_every: 0,
+            queue_deadline: Duration::from_secs(1),
+            breaker: BreakerConfig::default(),
+        }
+    }
+}
+
+/// Why the daemon failed to start.
+#[derive(Debug)]
+pub enum StartError {
+    /// Journal recovery failed (I/O, corrupt snapshot, sequence gap).
+    Recovery(RecoveryError),
+    /// Replaying the journal against the admission path diverged.
+    Replay(ReplayDiverged),
+    /// Building the BlueScale system failed.
+    Build(BuildError),
+    /// Binding the listener or spawning threads failed.
+    Io(io::Error),
+}
+
+impl fmt::Display for StartError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StartError::Recovery(e) => write!(f, "journal recovery failed: {e}"),
+            StartError::Replay(e) => write!(f, "journal replay diverged: {e}"),
+            StartError::Build(e) => write!(f, "system build failed: {e}"),
+            StartError::Io(e) => write!(f, "daemon I/O failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StartError {}
+
+impl From<io::Error> for StartError {
+    fn from(e: io::Error) -> Self {
+        StartError::Io(e)
+    }
+}
+
+/// Monotone request accounting, for the conservation invariant.
+#[derive(Debug, Default)]
+struct Stats {
+    received: AtomicU64,
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    shed: AtomicU64,
+    timed_out: AtomicU64,
+    retries: AtomicU64,
+    /// Sheds not yet folded into the sim registry's `Sheds` counter.
+    shed_unfolded: AtomicU64,
+}
+
+/// A point-in-time copy of the daemon's request accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Admission requests that entered the daemon.
+    pub received: u64,
+    /// Requests applied and made durable.
+    pub admitted: u64,
+    /// Requests refused with a typed reason.
+    pub rejected: u64,
+    /// Requests shed by tiered overload control.
+    pub shed: u64,
+    /// Requests whose queueing deadline expired.
+    pub timed_out: u64,
+    /// Requests that arrived with `attempt > 0`.
+    pub retries: u64,
+}
+
+impl StatsSnapshot {
+    /// Every admission request got exactly one disposition. Holds once
+    /// the daemon is quiescent (no queued requests in flight).
+    pub fn conservation_holds(&self) -> bool {
+        self.received == self.admitted + self.rejected + self.shed + self.timed_out
+    }
+}
+
+/// One queued admission request.
+struct Pending {
+    op: PendingOp,
+    attempt: u32,
+    deadline: Instant,
+    reply: mpsc::Sender<Response>,
+}
+
+enum PendingOp {
+    Join {
+        tenant: u64,
+        class: TenantClass,
+        tasks: Vec<TaskSpec>,
+    },
+    Renegotiate {
+        tenant: u64,
+        tasks: Vec<TaskSpec>,
+    },
+    Leave {
+        tenant: u64,
+    },
+}
+
+impl PendingOp {
+    fn tenant(&self) -> u64 {
+        match *self {
+            PendingOp::Join { tenant, .. }
+            | PendingOp::Renegotiate { tenant, .. }
+            | PendingOp::Leave { tenant } => tenant,
+        }
+    }
+}
+
+struct QueueState {
+    items: VecDeque<Pending>,
+    closed: bool,
+}
+
+struct Queue {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+}
+
+/// Shedding tier for an admission op, or `None` when the op must never
+/// be shed (leaves).
+fn shed_tier(op: &PendingOp, classes: &BTreeMap<u64, TenantClass>) -> Option<u8> {
+    match op {
+        PendingOp::Leave { .. } => None,
+        PendingOp::Join { class, .. } => Some(match class {
+            TenantClass::BestEffort => 1,
+            TenantClass::Guaranteed => 3,
+        }),
+        PendingOp::Renegotiate { tenant, .. } => Some(match classes.get(tenant) {
+            Some(TenantClass::Guaranteed) => 2,
+            // Unknown tenants shed with best-effort renegotiations: the
+            // request would be rejected anyway.
+            Some(TenantClass::BestEffort) | None => 0,
+        }),
+    }
+}
+
+/// Occupancy at which each tier starts shedding, as a fraction of depth.
+fn watermarks(depth: usize) -> [usize; 4] {
+    let at = |pct: usize| (depth * pct / 100).max(1);
+    [at(50), at(65), at(80), at(95)]
+}
+
+/// A running control-plane daemon. Dropping the handle does NOT stop the
+/// daemon; call [`shutdown`](Self::shutdown) (graceful drain) or
+/// [`kill`](Self::kill) (simulated crash).
+pub struct Daemon {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    /// When set with `stop`, the worker abandons the queue (crash-style).
+    abandon: Arc<AtomicBool>,
+    queue: Arc<Queue>,
+    registry: Arc<Mutex<ControlRegistry>>,
+    stats: Arc<Stats>,
+    acceptor: Option<JoinHandle<()>>,
+    worker: Option<JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Daemon {
+    /// Recovers the journal in `dir`, replays it to the pre-crash
+    /// admission state, and starts serving on an ephemeral loopback port.
+    pub fn start(dir: &Path, config: DaemonConfig) -> Result<Daemon, StartError> {
+        std::fs::create_dir_all(dir).map_err(StartError::Io)?;
+        let recovery = journal::recover(dir).map_err(StartError::Recovery)?;
+        let mut registry = ControlRegistry::new(config.capacity).map_err(StartError::Build)?;
+        if let Some(snapshot) = &recovery.snapshot {
+            registry.restore(snapshot).map_err(StartError::Replay)?;
+        }
+        for (seq, op) in &recovery.ops {
+            registry.replay(*seq, op).map_err(StartError::Replay)?;
+        }
+        let journal = Journal::open(dir, &recovery).map_err(StartError::Io)?;
+
+        let classes: BTreeMap<u64, TenantClass> = recovery
+            .snapshot
+            .iter()
+            .flat_map(|s| s.tenants.iter().map(|t| (t.tenant, t.class)))
+            .chain(recovery.ops.iter().filter_map(|(_, op)| match op {
+                Op::Join { tenant, class, .. } => Some((*tenant, *class)),
+                _ => None,
+            }))
+            .filter(|(tenant, _)| registry.tenant(*tenant).is_some())
+            .collect();
+
+        let listener = TcpListener::bind("127.0.0.1:0").map_err(StartError::Io)?;
+        listener.set_nonblocking(true).map_err(StartError::Io)?;
+        let addr = listener.local_addr().map_err(StartError::Io)?;
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let abandon = Arc::new(AtomicBool::new(false));
+        let queue = Arc::new(Queue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+        });
+        let registry = Arc::new(Mutex::new(registry));
+        let stats = Arc::new(Stats::default());
+        let classes = Arc::new(Mutex::new(classes));
+        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            let queue = Arc::clone(&queue);
+            let registry = Arc::clone(&registry);
+            let stats = Arc::clone(&stats);
+            let classes = Arc::clone(&classes);
+            let handlers = Arc::clone(&handlers);
+            let config = config.clone();
+            std::thread::spawn(move || loop {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let ctx = HandlerCtx {
+                            stop: Arc::clone(&stop),
+                            queue: Arc::clone(&queue),
+                            registry: Arc::clone(&registry),
+                            stats: Arc::clone(&stats),
+                            classes: Arc::clone(&classes),
+                            config: config.clone(),
+                        };
+                        let handle = std::thread::spawn(move || handle_connection(stream, &ctx));
+                        handlers.lock().expect("handler list").push(handle);
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => {
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                }
+            })
+        };
+
+        let worker = {
+            let stop = Arc::clone(&stop);
+            let abandon = Arc::clone(&abandon);
+            let queue = Arc::clone(&queue);
+            let registry = Arc::clone(&registry);
+            let stats = Arc::clone(&stats);
+            let classes = Arc::clone(&classes);
+            let config = config.clone();
+            std::thread::spawn(move || {
+                admission_worker(
+                    journal, &config, &stop, &abandon, &queue, &registry, &stats, &classes,
+                )
+            })
+        };
+
+        Ok(Daemon {
+            addr,
+            stop,
+            abandon,
+            queue,
+            registry,
+            stats,
+            acceptor: Some(acceptor),
+            worker: Some(worker),
+            handlers,
+        })
+    }
+
+    /// The loopback address the daemon serves on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Point-in-time request accounting.
+    pub fn stats(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            received: self.stats.received.load(Ordering::Relaxed),
+            admitted: self.stats.admitted.load(Ordering::Relaxed),
+            rejected: self.stats.rejected.load(Ordering::Relaxed),
+            shed: self.stats.shed.load(Ordering::Relaxed),
+            timed_out: self.stats.timed_out.load(Ordering::Relaxed),
+            retries: self.stats.retries.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The admission-state digest (see
+    /// [`ControlRegistry::state_digest`]). Stable once every in-flight
+    /// request has been answered.
+    pub fn state_digest(&self) -> u64 {
+        self.registry.lock().expect("registry").state_digest()
+    }
+
+    /// Reads a System-scope sim counter (AdmissionTimeouts, Sheds,
+    /// Retries, RecoveryReplays, ...).
+    pub fn sim_counter(&self, counter: Counter) -> u64 {
+        self.registry.lock().expect("registry").counter(counter)
+    }
+
+    /// Admitted tenant count.
+    pub fn tenant_count(&self) -> usize {
+        self.registry.lock().expect("registry").tenant_count()
+    }
+
+    fn stop_threads(&mut self, abandon: bool) {
+        self.abandon.store(abandon, Ordering::SeqCst);
+        self.stop.store(true, Ordering::SeqCst);
+        {
+            let mut q = self.queue.state.lock().expect("queue");
+            q.closed = true;
+        }
+        self.queue.cv.notify_all();
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        let handlers: Vec<_> = std::mem::take(&mut *self.handlers.lock().expect("handler list"));
+        for h in handlers {
+            let _ = h.join();
+        }
+        if let Some(h) = self.worker.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Graceful stop: drains the queue (every queued request still gets
+    /// its verdict), then joins all threads.
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        self.stop_threads(false);
+        self.stats()
+    }
+
+    /// Simulated crash: stops without draining. Queued requests are
+    /// dropped (their clients see a connection-level error, never a fake
+    /// verdict); the journal keeps only what was synced. Use with a
+    /// subsequent [`Daemon::start`] on the same directory to exercise
+    /// recovery.
+    pub fn kill(mut self) -> StatsSnapshot {
+        self.stop_threads(true);
+        self.stats()
+    }
+}
+
+struct HandlerCtx {
+    stop: Arc<AtomicBool>,
+    queue: Arc<Queue>,
+    registry: Arc<Mutex<ControlRegistry>>,
+    stats: Arc<Stats>,
+    classes: Arc<Mutex<BTreeMap<u64, TenantClass>>>,
+    config: DaemonConfig,
+}
+
+fn handle_connection(mut stream: TcpStream, ctx: &HandlerCtx) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(p) => p,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if ctx.stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                continue;
+            }
+            // Disconnect or protocol violation: drop the connection.
+            Err(_) => return,
+        };
+        let request = match Request::decode(&payload) {
+            Ok(r) => r,
+            Err(_) => {
+                let _ = write_frame(&mut stream, &Response::Err { code: 1 }.encode());
+                return;
+            }
+        };
+        let response = dispatch(request, ctx);
+        if write_frame(&mut stream, &response.encode()).is_err() {
+            return;
+        }
+    }
+}
+
+fn dispatch(request: Request, ctx: &HandlerCtx) -> Response {
+    let (op, attempt) = match request {
+        Request::Ping => return Response::Pong,
+        Request::Stats { tenant } => {
+            let reg = ctx.registry.lock().expect("registry");
+            return match reg.stats_for(tenant) {
+                Some(stats) => Response::Stats(stats),
+                None => Response::Rejected {
+                    reason: RejectReason::UnknownTenant,
+                },
+            };
+        }
+        Request::Join {
+            tenant,
+            class,
+            tasks,
+            attempt,
+        } => (
+            PendingOp::Join {
+                tenant,
+                class,
+                tasks,
+            },
+            attempt,
+        ),
+        Request::Renegotiate {
+            tenant,
+            tasks,
+            attempt,
+        } => (PendingOp::Renegotiate { tenant, tasks }, attempt),
+        Request::Leave { tenant, attempt } => (PendingOp::Leave { tenant }, attempt),
+    };
+
+    ctx.stats.received.fetch_add(1, Ordering::Relaxed);
+    if attempt > 0 {
+        ctx.stats.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    // Tiered overload control, decided against current queue occupancy
+    // without touching the registry lock (the worker may be mid-batch).
+    let tier = {
+        let classes = ctx.classes.lock().expect("classes");
+        shed_tier(&op, &classes)
+    };
+    let marks = watermarks(ctx.config.queue_depth);
+
+    let (tx, rx) = mpsc::channel();
+    {
+        let mut q = ctx.queue.state.lock().expect("queue");
+        if q.closed {
+            return Response::Err { code: 1 };
+        }
+        let occupancy = q.items.len();
+        if let Some(tier) = tier {
+            if occupancy >= marks[tier as usize] {
+                drop(q);
+                ctx.stats.shed.fetch_add(1, Ordering::Relaxed);
+                ctx.stats.shed_unfolded.fetch_add(1, Ordering::Relaxed);
+                return Response::Shed { tier };
+            }
+        }
+        q.items.push_back(Pending {
+            op,
+            attempt,
+            deadline: Instant::now() + ctx.config.queue_deadline,
+            reply: tx,
+        });
+    }
+    ctx.queue.cv.notify_one();
+
+    // The worker replies to every drained request; a dropped sender means
+    // the daemon died (or was killed) with the request queued.
+    rx.recv().unwrap_or(Response::Err { code: 1 })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn admission_worker(
+    mut journal: Journal,
+    config: &DaemonConfig,
+    stop: &AtomicBool,
+    abandon: &AtomicBool,
+    queue: &Queue,
+    registry: &Mutex<ControlRegistry>,
+    stats: &Stats,
+    classes: &Mutex<BTreeMap<u64, TenantClass>>,
+) {
+    let mut breaker = CircuitBreaker::new(config.breaker);
+    let mut records_since_compact = 0u64;
+    loop {
+        // Collect one batch (blocking until work, stop, or a sim tick is
+        // due).
+        let mut batch = Vec::new();
+        {
+            let mut q = queue.state.lock().expect("queue");
+            while q.items.is_empty() && !q.closed {
+                let (next, _timeout) = queue
+                    .cv
+                    .wait_timeout(q, Duration::from_millis(20))
+                    .expect("queue wait");
+                q = next;
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                // Periodic sim advance even when idle, so admitted
+                // tenants' streams keep flowing.
+                if q.items.is_empty() {
+                    drop(q);
+                    registry
+                        .lock()
+                        .expect("registry")
+                        .step(config.sim_cycles_per_batch);
+                    q = queue.state.lock().expect("queue");
+                }
+            }
+            if q.items.is_empty() && (stop.load(Ordering::Relaxed) || q.closed) {
+                break;
+            }
+            if abandon.load(Ordering::SeqCst) {
+                // Simulated crash: drop queued requests unanswered.
+                q.items.clear();
+                break;
+            }
+            for _ in 0..config.batch_max {
+                match q.items.pop_front() {
+                    Some(p) => batch.push(p),
+                    None => break,
+                }
+            }
+        }
+        if batch.is_empty() {
+            continue;
+        }
+
+        let mut reg = registry.lock().expect("registry");
+        // Deferred replies: admitted ops reply only after the group sync.
+        let mut durable: Vec<(mpsc::Sender<Response>, Response)> = Vec::new();
+        let mut appended = 0u64;
+        for pending in batch {
+            let now = Instant::now();
+            if now >= pending.deadline {
+                reg.count(Counter::AdmissionTimeouts);
+                stats.timed_out.fetch_add(1, Ordering::Relaxed);
+                let _ = pending.reply.send(Response::TimedOut);
+                continue;
+            }
+            if pending.attempt > 0 {
+                reg.count(Counter::Retries);
+            }
+            let tenant = pending.op.tenant();
+            if breaker.is_open(tenant) {
+                stats.rejected.fetch_add(1, Ordering::Relaxed);
+                let _ = pending.reply.send(Response::Rejected {
+                    reason: RejectReason::Quarantined,
+                });
+                continue;
+            }
+            let (outcome, journal_op) = apply(&mut reg, &pending.op);
+            match outcome {
+                ApplyOutcome::Admitted {
+                    slot,
+                    transition_cycles,
+                } => {
+                    let op = journal_op.expect("admitted ops are journaled");
+                    match journal.append(&op) {
+                        Ok(seq) => {
+                            appended += 1;
+                            durable.push((
+                                pending.reply,
+                                Response::Admitted {
+                                    seq,
+                                    transition_cycles,
+                                },
+                            ));
+                        }
+                        Err(_) => {
+                            // Applied but not durable: fatal. Stop the
+                            // daemon rather than serve un-journaled state.
+                            let _ = pending.reply.send(Response::Err { code: 2 });
+                            stop.store(true, Ordering::SeqCst);
+                        }
+                    }
+                    let _ = slot;
+                    breaker.record(tenant, false);
+                    let mut c = classes.lock().expect("classes");
+                    match &pending.op {
+                        PendingOp::Join { class, .. } => {
+                            c.insert(tenant, *class);
+                        }
+                        PendingOp::Leave { .. } => {
+                            c.remove(&tenant);
+                        }
+                        PendingOp::Renegotiate { .. } => {}
+                    }
+                }
+                ApplyOutcome::Rejected(RejectReason::UnknownTenant)
+                    if pending.attempt > 0 && matches!(pending.op, PendingOp::Leave { .. }) =>
+                {
+                    // Idempotent leave retry: the first attempt applied
+                    // (and journaled) but its response was lost in
+                    // flight. "Ensure absent" already holds — acknowledge
+                    // without a second journal record, which would replay
+                    // as UnknownTenant and poison recovery.
+                    stats.admitted.fetch_add(1, Ordering::Relaxed);
+                    let _ = pending.reply.send(Response::Admitted {
+                        seq: 0,
+                        transition_cycles: 0,
+                    });
+                }
+                ApplyOutcome::Rejected(reason) => {
+                    stats.rejected.fetch_add(1, Ordering::Relaxed);
+                    // Only admission failures count as flapping evidence;
+                    // a leave for an unknown tenant is noise, not flap.
+                    let flap = matches!(
+                        reason,
+                        RejectReason::Inadmissible
+                            | RejectReason::AlreadyJoined
+                            | RejectReason::InvalidTasks
+                    );
+                    if flap && breaker.record(tenant, true) {
+                        reg.quarantine(tenant);
+                    }
+                    let _ = pending.reply.send(Response::Rejected { reason });
+                }
+            }
+        }
+
+        // Group commit: one sync covers the whole batch, then reply.
+        if appended > 0 {
+            match journal.sync() {
+                Ok(()) => {
+                    stats.admitted.fetch_add(appended, Ordering::Relaxed);
+                    for (reply, response) in durable {
+                        let _ = reply.send(response);
+                    }
+                }
+                Err(_) => {
+                    for (reply, _) in durable {
+                        let _ = reply.send(Response::Err { code: 2 });
+                    }
+                    stop.store(true, Ordering::SeqCst);
+                }
+            }
+            records_since_compact += appended;
+            if config.compact_every > 0 && records_since_compact >= config.compact_every {
+                let snapshot = reg.snapshot(journal.next_seq());
+                if journal.compact(&snapshot).is_ok() {
+                    records_since_compact = 0;
+                }
+            }
+        }
+
+        // Fold handler-side shed tallies into the sim registry.
+        let sheds = stats.shed_unfolded.swap(0, Ordering::Relaxed);
+        if sheds > 0 {
+            reg.count_by(Counter::Sheds, sheds);
+        }
+        reg.step(config.sim_cycles_per_batch);
+    }
+    let _ = journal.sync();
+    // Fold any sheds recorded after the last batch.
+    let sheds = stats.shed_unfolded.swap(0, Ordering::Relaxed);
+    if sheds > 0 {
+        registry
+            .lock()
+            .expect("registry")
+            .count_by(Counter::Sheds, sheds);
+    }
+}
+
+/// Runs one pending op against the registry, returning the outcome and —
+/// for admitted ops — the journal record (with the slot the admission
+/// assigned).
+fn apply(reg: &mut ControlRegistry, op: &PendingOp) -> (ApplyOutcome, Option<Op>) {
+    match op {
+        PendingOp::Join {
+            tenant,
+            class,
+            tasks,
+        } => {
+            let outcome = reg.try_join(*tenant, *class, tasks);
+            let journal_op = match outcome {
+                ApplyOutcome::Admitted { slot, .. } => Some(Op::Join {
+                    tenant: *tenant,
+                    class: *class,
+                    slot,
+                    tasks: tasks.clone(),
+                }),
+                _ => None,
+            };
+            (outcome, journal_op)
+        }
+        PendingOp::Renegotiate { tenant, tasks } => {
+            let outcome = reg.try_renegotiate(*tenant, tasks);
+            let journal_op = match outcome {
+                ApplyOutcome::Admitted { slot, .. } => Some(Op::Renegotiate {
+                    tenant: *tenant,
+                    slot,
+                    tasks: tasks.clone(),
+                }),
+                _ => None,
+            };
+            (outcome, journal_op)
+        }
+        PendingOp::Leave { tenant } => {
+            let outcome = reg.try_leave(*tenant);
+            let journal_op = match outcome {
+                ApplyOutcome::Admitted { slot, .. } => Some(Op::Leave {
+                    tenant: *tenant,
+                    slot,
+                }),
+                _ => None,
+            };
+            (outcome, journal_op)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watermarks_rise_with_tier() {
+        let m = watermarks(256);
+        assert!(m[0] < m[1] && m[1] < m[2] && m[2] < m[3]);
+        assert_eq!(m, [128, 166, 204, 243]);
+        // Tiny queues still shed in order without zero watermarks.
+        let tiny = watermarks(2);
+        assert!(tiny.iter().all(|&w| w >= 1));
+    }
+
+    #[test]
+    fn leaves_are_never_shed() {
+        let classes = BTreeMap::new();
+        assert_eq!(shed_tier(&PendingOp::Leave { tenant: 1 }, &classes), None);
+    }
+
+    #[test]
+    fn tier_order_matches_the_severity_table() {
+        let mut classes = BTreeMap::new();
+        classes.insert(1, TenantClass::BestEffort);
+        classes.insert(2, TenantClass::Guaranteed);
+        let re = |tenant| PendingOp::Renegotiate {
+            tenant,
+            tasks: vec![],
+        };
+        let join = |class| PendingOp::Join {
+            tenant: 9,
+            class,
+            tasks: vec![],
+        };
+        assert_eq!(shed_tier(&re(1), &classes), Some(0));
+        assert_eq!(shed_tier(&join(TenantClass::BestEffort), &classes), Some(1));
+        assert_eq!(shed_tier(&re(2), &classes), Some(2));
+        assert_eq!(shed_tier(&join(TenantClass::Guaranteed), &classes), Some(3));
+        // Unknown tenant renegotiation sheds first.
+        assert_eq!(shed_tier(&re(99), &classes), Some(0));
+    }
+}

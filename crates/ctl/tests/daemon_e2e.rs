@@ -1,0 +1,235 @@
+//! End-to-end daemon tests: real TCP clients against a running daemon,
+//! covering the retry path under injected connection faults, the circuit
+//! breaker, and crash/restart recovery.
+
+use bluescale_ctl::client::{CtlClient, RetryPolicy};
+use bluescale_ctl::proto::{RejectReason, Response, TaskSpec, TenantClass};
+use bluescale_ctl::server::{Daemon, DaemonConfig};
+use bluescale_sim::metrics::Counter;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+fn test_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "bluescale-ctl-e2e-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn spec(period: u64, wcet: u64) -> TaskSpec {
+    TaskSpec { period, wcet }
+}
+
+fn small_config() -> DaemonConfig {
+    DaemonConfig {
+        capacity: 8,
+        queue_depth: 64,
+        batch_max: 8,
+        sim_cycles_per_batch: 32,
+        compact_every: 0,
+        queue_deadline: Duration::from_secs(2),
+        ..DaemonConfig::default()
+    }
+}
+
+#[test]
+fn join_renegotiate_leave_over_tcp() {
+    let dir = test_dir("basic");
+    let daemon = Daemon::start(&dir, small_config()).expect("start");
+    let mut client = CtlClient::new(daemon.addr(), RetryPolicy::default(), 1);
+
+    assert!(matches!(client.ping(), Ok(Response::Pong)));
+    let joined = client
+        .join(7, TenantClass::Guaranteed, vec![spec(400, 2)])
+        .expect("join");
+    assert!(
+        matches!(joined, Response::Admitted { .. }),
+        "got {joined:?}"
+    );
+    assert!(matches!(
+        client
+            .renegotiate(7, vec![spec(200, 2)])
+            .expect("renegotiate"),
+        Response::Admitted { .. }
+    ));
+    assert!(matches!(
+        client.stats(7).expect("stats"),
+        Response::Stats(_)
+    ));
+    assert!(matches!(
+        client.stats(99).expect("stats unknown"),
+        Response::Rejected {
+            reason: RejectReason::UnknownTenant
+        }
+    ));
+    assert!(matches!(
+        client.leave(7).expect("leave"),
+        Response::Admitted { .. }
+    ));
+    assert_eq!(daemon.tenant_count(), 0);
+
+    let stats = daemon.shutdown();
+    assert!(stats.conservation_holds(), "leaky accounting: {stats:?}");
+    // Read-only requests (ping, stats) never enter the admission queue
+    // and are outside conservation.
+    assert_eq!(stats.received, 3, "join + renegotiate + leave");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn dropped_responses_are_survived_by_retries() {
+    let dir = test_dir("faults");
+    let daemon = Daemon::start(&dir, small_config()).expect("start");
+    // Sever the connection after every 2nd sent frame: every other
+    // response is lost in flight and the client must reconnect + resend.
+    let policy = RetryPolicy {
+        drop_after_send_every: Some(2),
+        ..RetryPolicy::default()
+    };
+    let mut client = CtlClient::new(daemon.addr(), policy, 99);
+
+    for tenant in 0..4u64 {
+        let r = client
+            .join(tenant, TenantClass::BestEffort, vec![spec(1000, 2)])
+            .unwrap_or_else(|e| panic!("join {tenant} failed under faults: {e}"));
+        assert!(matches!(r, Response::Admitted { .. }), "got {r:?}");
+    }
+    assert_eq!(daemon.tenant_count(), 4);
+    let retries = daemon.sim_counter(Counter::Retries);
+    assert!(retries > 0, "fault injection must force retries");
+
+    let stats = daemon.shutdown();
+    assert!(stats.retries > 0);
+    // Retried requests are counted once per arrival; conservation still
+    // holds because every arrival got exactly one verdict.
+    assert!(stats.conservation_holds(), "leaky accounting: {stats:?}");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn flapping_tenant_trips_the_breaker_into_quarantine() {
+    let dir = test_dir("breaker");
+    let daemon = Daemon::start(&dir, small_config()).expect("start");
+    let mut client = CtlClient::new(daemon.addr(), RetryPolicy::default(), 3);
+
+    assert!(matches!(
+        client
+            .join(5, TenantClass::BestEffort, vec![spec(400, 2)])
+            .expect("join"),
+        Response::Admitted { .. }
+    ));
+    // Flap: conflicting joins keep getting rejected until the breaker
+    // (threshold 8 within a window of 16) trips.
+    let mut saw_quarantined = false;
+    for _ in 0..12 {
+        match client
+            .join(5, TenantClass::Guaranteed, vec![spec(400, 2)])
+            .expect("flapping join")
+        {
+            Response::Rejected {
+                reason: RejectReason::AlreadyJoined,
+            } => {}
+            Response::Rejected {
+                reason: RejectReason::Quarantined,
+            } => {
+                saw_quarantined = true;
+                break;
+            }
+            other => panic!("unexpected verdict {other:?}"),
+        }
+    }
+    assert!(saw_quarantined, "breaker never tripped");
+    let stats = daemon.shutdown();
+    assert!(stats.conservation_holds(), "leaky accounting: {stats:?}");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn kill_and_restart_replays_to_the_same_state() {
+    let dir = test_dir("restart");
+    let config = small_config();
+    let daemon = Daemon::start(&dir, config.clone()).expect("start");
+    let mut client = CtlClient::new(daemon.addr(), RetryPolicy::default(), 4);
+
+    for (tenant, class, tasks) in [
+        (1u64, TenantClass::Guaranteed, vec![spec(400, 2)]),
+        (2, TenantClass::BestEffort, vec![spec(1000, 5)]),
+        (3, TenantClass::Guaranteed, vec![spec(500, 1)]),
+    ] {
+        assert!(matches!(
+            client.join(tenant, class, tasks).expect("join"),
+            Response::Admitted { .. }
+        ));
+    }
+    assert!(matches!(
+        client
+            .renegotiate(1, vec![spec(200, 2)])
+            .expect("renegotiate"),
+        Response::Admitted { .. }
+    ));
+    assert!(matches!(
+        client.leave(2).expect("leave"),
+        Response::Admitted { .. }
+    ));
+    // Every acknowledged op is durable: the digest here is the recovery
+    // target.
+    let digest = daemon.state_digest();
+    daemon.kill();
+
+    let revived = Daemon::start(&dir, config).expect("restart");
+    assert_eq!(
+        revived.state_digest(),
+        digest,
+        "recovery must replay to the exact pre-crash admission state"
+    );
+    assert_eq!(revived.tenant_count(), 2);
+    assert_eq!(revived.sim_counter(Counter::RecoveryReplays), 5);
+
+    // The revived daemon keeps serving: the freed slot is reusable.
+    let mut client = CtlClient::new(revived.addr(), RetryPolicy::default(), 5);
+    assert!(matches!(
+        client
+            .join(9, TenantClass::BestEffort, vec![spec(800, 2)])
+            .expect("post-recovery join"),
+        Response::Admitted { .. }
+    ));
+    revived.shutdown();
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn compaction_mid_run_preserves_recovery() {
+    let dir = test_dir("compacted");
+    let config = DaemonConfig {
+        compact_every: 3,
+        ..small_config()
+    };
+    let daemon = Daemon::start(&dir, config.clone()).expect("start");
+    let mut client = CtlClient::new(daemon.addr(), RetryPolicy::default(), 6);
+    for tenant in 0..6u64 {
+        assert!(matches!(
+            client
+                .join(tenant, TenantClass::BestEffort, vec![spec(2000, 2)])
+                .expect("join"),
+            Response::Admitted { .. }
+        ));
+    }
+    assert!(matches!(
+        client.leave(0).expect("leave"),
+        Response::Admitted { .. }
+    ));
+    let digest = daemon.state_digest();
+    daemon.kill();
+
+    let revived = Daemon::start(&dir, config).expect("restart");
+    assert_eq!(revived.state_digest(), digest);
+    assert_eq!(revived.tenant_count(), 5);
+    revived.shutdown();
+    fs::remove_dir_all(&dir).ok();
+}

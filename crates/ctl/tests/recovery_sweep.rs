@@ -1,0 +1,268 @@
+//! Kill-at-every-journal-byte recovery sweep.
+//!
+//! Builds a reference history of admission operations, journaling each
+//! like the daemon does, and records the admission-state digest after
+//! every durable record. Then, for **every byte length** of the journal
+//! file, simulates a crash by truncating the log at that boundary and
+//! recovering into a fresh registry. The invariant:
+//!
+//! * recovery never panics and never reports a corrupt journal for a
+//!   mere torn tail;
+//! * the recovered state equals (digest-identical) the reference state
+//!   after the longest whole-record prefix — a half-written record is
+//!   torn tail, never a half-admitted tenant;
+//! * `torn_tail` is reported exactly when the cut falls inside a record.
+
+use bluescale_ctl::journal::{self, Journal, Op};
+use bluescale_ctl::proto::{TaskSpec, TenantClass};
+use bluescale_ctl::registry::{ApplyOutcome, ControlRegistry};
+use std::fs::{self, OpenOptions};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn test_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "bluescale-ctl-sweep-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create test dir");
+    dir
+}
+
+fn spec(period: u64, wcet: u64) -> TaskSpec {
+    TaskSpec { period, wcet }
+}
+
+/// The reference history: joins, renegotiations, leaves, and a rejoin
+/// into a freed slot — enough op variety to cover every record type.
+fn history() -> Vec<(u64, TenantClass, Vec<TaskSpec>, HistoryOp)> {
+    use HistoryOp::*;
+    let g = TenantClass::Guaranteed;
+    let b = TenantClass::BestEffort;
+    vec![
+        (10, g, vec![spec(400, 2)], Join),
+        (11, b, vec![spec(1000, 5)], Join),
+        (12, g, vec![spec(500, 1), spec(2000, 4)], Join),
+        (10, g, vec![spec(200, 2)], Renegotiate),
+        (11, b, vec![], Leave),
+        (13, b, vec![spec(800, 3)], Join),
+        (12, g, vec![spec(400, 1)], Renegotiate),
+        (13, b, vec![], Leave),
+        (14, g, vec![spec(1000, 2)], Join),
+        (10, g, vec![], Leave),
+        (15, b, vec![spec(600, 2)], Join),
+        (14, g, vec![spec(500, 2)], Renegotiate),
+    ]
+}
+
+#[derive(Clone, Copy)]
+enum HistoryOp {
+    Join,
+    Renegotiate,
+    Leave,
+}
+
+/// Applies the history to a registry + journal exactly like the daemon's
+/// admission worker: apply, append the journaled op, sync per op (the
+/// sweep needs every record boundary durable). Returns the digest after
+/// each record, indexed by record count.
+fn run_reference(dir: &Path) -> Vec<u64> {
+    let recovery = journal::recover(dir).expect("fresh dir recovers empty");
+    assert!(recovery.snapshot.is_none());
+    assert!(recovery.ops.is_empty());
+    let mut journal = Journal::open(dir, &recovery).expect("open journal");
+    let mut reg = ControlRegistry::new(8).expect("build registry");
+    let mut digests = vec![reg.state_digest()];
+    for (tenant, class, tasks, op) in history() {
+        let (outcome, journal_op) = match op {
+            HistoryOp::Join => {
+                let o = reg.try_join(tenant, class, &tasks);
+                let jop = match o {
+                    ApplyOutcome::Admitted { slot, .. } => Some(Op::Join {
+                        tenant,
+                        class,
+                        slot,
+                        tasks: tasks.clone(),
+                    }),
+                    _ => None,
+                };
+                (o, jop)
+            }
+            HistoryOp::Renegotiate => {
+                let o = reg.try_renegotiate(tenant, &tasks);
+                let jop = match o {
+                    ApplyOutcome::Admitted { slot, .. } => Some(Op::Renegotiate {
+                        tenant,
+                        slot,
+                        tasks: tasks.clone(),
+                    }),
+                    _ => None,
+                };
+                (o, jop)
+            }
+            HistoryOp::Leave => {
+                let o = reg.try_leave(tenant);
+                let jop = match o {
+                    ApplyOutcome::Admitted { slot, .. } => Some(Op::Leave { tenant, slot }),
+                    _ => None,
+                };
+                (o, jop)
+            }
+        };
+        let op =
+            journal_op.unwrap_or_else(|| panic!("reference history must admit, got {outcome:?}"));
+        journal.append(&op).expect("append");
+        journal.sync().expect("sync");
+        digests.push(reg.state_digest());
+    }
+    digests
+}
+
+/// Record boundaries (byte offsets after each whole record) of the WAL.
+fn record_boundaries(wal: &[u8]) -> Vec<usize> {
+    let mut bounds = vec![0usize];
+    let mut pos = 0usize;
+    while pos + 8 <= wal.len() {
+        let len = u32::from_le_bytes(wal[pos..pos + 4].try_into().unwrap()) as usize;
+        let end = pos + 8 + len;
+        if end > wal.len() {
+            break;
+        }
+        pos = end;
+        bounds.push(pos);
+    }
+    assert_eq!(pos, wal.len(), "reference WAL has no torn tail");
+    bounds
+}
+
+#[test]
+fn crash_at_every_byte_recovers_the_longest_whole_prefix() {
+    let ref_dir = test_dir("ref");
+    let digests = run_reference(&ref_dir);
+    let wal = fs::read(ref_dir.join(journal::WAL_FILE)).expect("read reference WAL");
+    let bounds = record_boundaries(&wal);
+    assert_eq!(
+        bounds.len(),
+        digests.len(),
+        "one digest per record boundary"
+    );
+
+    for cut in 0..=wal.len() {
+        let dir = test_dir("cut");
+        fs::write(dir.join(journal::WAL_FILE), &wal[..cut]).expect("write truncated WAL");
+
+        // Recovery must never panic or hard-fail on a torn tail.
+        let recovery = journal::recover(&dir)
+            .unwrap_or_else(|e| panic!("cut at byte {cut}: recovery failed: {e}"));
+
+        // The longest whole-record prefix at or below the cut.
+        let prefix = bounds.iter().rposition(|&b| b <= cut).expect("bound 0");
+        assert_eq!(
+            recovery.ops.len(),
+            prefix,
+            "cut at byte {cut}: wrong record count"
+        );
+        let torn = cut != bounds[prefix];
+        assert_eq!(
+            recovery.torn_tail, torn,
+            "cut at byte {cut}: torn-tail misreported"
+        );
+        assert_eq!(
+            recovery.valid_len, bounds[prefix] as u64,
+            "cut at byte {cut}: wrong valid length"
+        );
+
+        // Replay reaches the reference state for that prefix — never a
+        // half-admitted tenant.
+        let mut reg = ControlRegistry::new(8).expect("build");
+        for (seq, op) in &recovery.ops {
+            reg.replay(*seq, op)
+                .unwrap_or_else(|e| panic!("cut at byte {cut}: replay diverged: {e}"));
+        }
+        assert_eq!(
+            reg.state_digest(),
+            digests[prefix],
+            "cut at byte {cut}: recovered state diverges from reference"
+        );
+
+        // Re-opening truncates the torn tail and accepts new appends.
+        let mut journal = Journal::open(&dir, &recovery).expect("reopen");
+        assert_eq!(journal.len(), bounds[prefix] as u64);
+        assert_eq!(journal.next_seq(), prefix as u64);
+        let extra = Op::Join {
+            tenant: 99,
+            class: TenantClass::BestEffort,
+            slot: 7,
+            tasks: vec![spec(4000, 1)],
+        };
+        journal.append(&extra).expect("append after truncation");
+        journal.sync().expect("sync after truncation");
+        let reopened = journal::recover(&dir).expect("recover appended");
+        assert_eq!(reopened.ops.len(), prefix + 1);
+        assert!(!reopened.torn_tail);
+
+        fs::remove_dir_all(&dir).ok();
+    }
+    fs::remove_dir_all(&ref_dir).ok();
+}
+
+#[test]
+fn crash_between_compaction_rename_and_truncate_is_recovered() {
+    // Build a journal, compact it, then re-append the pre-compaction
+    // records to simulate a crash after the snapshot rename but before
+    // the WAL truncation. Recovery must skip the stale records.
+    let dir = test_dir("compact-crash");
+    let recovery = journal::recover(&dir).expect("fresh");
+    let mut journal = Journal::open(&dir, &recovery).expect("open");
+    let mut reg = ControlRegistry::new(8).expect("build");
+
+    let mut pre_compaction = Vec::new();
+    for (tenant, tasks) in [(1u64, spec(400, 2)), (2, spec(1000, 3))] {
+        let ApplyOutcome::Admitted { slot, .. } =
+            reg.try_join(tenant, TenantClass::Guaranteed, &[tasks])
+        else {
+            panic!("join must admit");
+        };
+        let op = Op::Join {
+            tenant,
+            class: TenantClass::Guaranteed,
+            slot,
+            tasks: vec![tasks],
+        };
+        journal.append(&op).expect("append");
+        pre_compaction.push(op);
+    }
+    journal.sync().expect("sync");
+    let wal_before = fs::read(dir.join(journal::WAL_FILE)).expect("read WAL");
+
+    journal
+        .compact(&reg.snapshot(journal.next_seq()))
+        .expect("compact");
+    // Undo the truncation: put the stale records back under the snapshot.
+    {
+        use std::io::Write as _;
+        let mut f = OpenOptions::new()
+            .write(true)
+            .open(dir.join(journal::WAL_FILE))
+            .expect("reopen WAL");
+        f.write_all(&wal_before).expect("restore stale WAL");
+        f.sync_data().expect("sync stale WAL");
+    }
+
+    let recovered = journal::recover(&dir).expect("recover post-crash");
+    assert!(recovered.snapshot.is_some(), "snapshot survived");
+    assert!(
+        recovered.ops.is_empty(),
+        "stale pre-compaction records are skipped, got {:?}",
+        recovered.ops
+    );
+    let mut fresh = ControlRegistry::new(8).expect("build");
+    fresh
+        .restore(recovered.snapshot.as_ref().unwrap())
+        .expect("restore");
+    assert_eq!(fresh.state_digest(), reg.state_digest());
+    fs::remove_dir_all(&dir).ok();
+}

@@ -172,6 +172,16 @@ impl TrafficGenerator {
         self.issued
     }
 
+    /// The longest deadline window across this generator's tasks: with
+    /// implicit deadlines (absolute deadline = release + period) a request
+    /// can legitimately stay outstanding for up to its task's period, so
+    /// the maximum period bounds how long *any* healthy request may be in
+    /// flight. Zero for a taskless generator. Guard validation compares
+    /// watchdog timeouts against this value.
+    pub fn longest_deadline_window(&self) -> Cycle {
+        self.tasks.iter().map(|t| t.period).max().unwrap_or(0)
+    }
+
     /// Requests released but not yet accepted by the interconnect.
     pub fn backlog(&self) -> usize {
         self.pending.len()

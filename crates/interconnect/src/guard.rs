@@ -29,6 +29,42 @@ use crate::MemoryRequest;
 use bluescale_sim::Cycle;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::fmt;
+
+/// Why a [`GuardConfig`] was rejected by [`GuardConfig::validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuardConfigError {
+    /// The watchdog timeout is shorter than the longest deadline window of
+    /// the guarded workload. Such a watchdog re-injects *healthy* slow
+    /// requests — the duplicates steal budget from admitted traffic and the
+    /// guard itself breaks isolation (the PR-3 isolation-bench finding,
+    /// now enforced instead of documented).
+    WatchdogBelowDeadlineWindow {
+        /// The configured watchdog timeout.
+        timeout: Cycle,
+        /// The longest deadline window (max task period) in the workload.
+        longest_window: Cycle,
+    },
+}
+
+impl fmt::Display for GuardConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GuardConfigError::WatchdogBelowDeadlineWindow {
+                timeout,
+                longest_window,
+            } => write!(
+                f,
+                "watchdog timeout {timeout} is below the longest deadline window \
+                 {longest_window}: the watchdog would re-inject healthy slow requests \
+                 and break isolation (raise the timeout above every deadline window, \
+                 or use Cycle::MAX for detection-only)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GuardConfigError {}
 
 /// Watchdog parameters: when to give up waiting and how often to retry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,6 +112,29 @@ impl GuardConfig {
     /// the quarantine guard feeds on them).
     pub fn detects_misses(&self) -> bool {
         self.deadline_miss_detection || self.quarantine.is_some()
+    }
+
+    /// Checks this configuration against the workload it is about to
+    /// guard. `longest_window` is the longest deadline window (max task
+    /// period) across all guarded clients — a request can legitimately
+    /// stay outstanding for that many cycles, so a watchdog timeout below
+    /// it re-injects healthy requests and breaks the isolation the guard
+    /// exists to protect.
+    ///
+    /// # Errors
+    ///
+    /// [`GuardConfigError::WatchdogBelowDeadlineWindow`] when a watchdog is
+    /// armed with `timeout < longest_window`.
+    pub fn validate(&self, longest_window: Cycle) -> Result<(), GuardConfigError> {
+        if let Some(w) = &self.watchdog {
+            if w.timeout < longest_window {
+                return Err(GuardConfigError::WatchdogBelowDeadlineWindow {
+                    timeout: w.timeout,
+                    longest_window,
+                });
+            }
+        }
+        Ok(())
     }
 }
 

@@ -1,9 +1,9 @@
 //! The system harness: clients + interconnect + metrics, stepped in
 //! lock-step for a fixed horizon.
 
-use crate::admission::{ChurnPlan, ReconfigOutcome};
+use crate::admission::{CancelToken, ChurnPlan, ReconfigOutcome};
 use crate::client::TrafficGenerator;
-use crate::guard::{GuardConfig, GuardState};
+use crate::guard::{GuardConfig, GuardConfigError, GuardState};
 use crate::metrics::RunMetrics;
 use crate::{ClientId, Interconnect, MemoryResponse, ServiceEvent};
 use bluescale_rt::task::TaskSet;
@@ -264,7 +264,50 @@ impl<I: ?Sized + Interconnect> System<I> {
                 .record(now, Event::ReconfigRejected { client });
             return false;
         }
-        match self.interconnect.reconfigure_client(client, tasks, now) {
+        let outcome = self.interconnect.reconfigure_client(client, tasks, now);
+        self.account_reconfiguration(client, tasks, now, &outcome)
+    }
+
+    /// [`apply_reconfiguration`](Self::apply_reconfiguration) with a
+    /// cooperative cancellation/timeout hook: the interconnect polls
+    /// `cancel` at cheap checkpoints inside its admission analysis and
+    /// abandons the request — having mutated nothing — once the token
+    /// reports cancelled. Returns the full [`ReconfigOutcome`] so a control
+    /// plane can distinguish a rejection (final) from a cancellation
+    /// (retryable). A cancelled request counts `AdmissionTimeouts` and
+    /// records a typed `AdmissionTimeout` event.
+    pub fn apply_reconfiguration_cancellable(
+        &mut self,
+        client: ClientId,
+        tasks: &TaskSet,
+        now: Cycle,
+        cancel: &CancelToken,
+    ) -> ReconfigOutcome {
+        if client as usize >= self.clients.len() {
+            self.registry
+                .inc(ComponentId::System, Counter::AdmissionRejected);
+            self.registry
+                .record(now, Event::ReconfigRejected { client });
+            return ReconfigOutcome::Rejected;
+        }
+        let outcome = self
+            .interconnect
+            .reconfigure_client_cancellable(client, tasks, now, cancel);
+        self.account_reconfiguration(client, tasks, now, &outcome);
+        outcome
+    }
+
+    /// Shared accounting for the reconfiguration entry points: applies the
+    /// client-side retask for outcomes that took effect and tallies the
+    /// verdict counters/events. Returns whether the request was applied.
+    fn account_reconfiguration(
+        &mut self,
+        client: ClientId,
+        tasks: &TaskSet,
+        now: Cycle,
+        outcome: &ReconfigOutcome,
+    ) -> bool {
+        match *outcome {
             ReconfigOutcome::Admitted { transition_cycles } => {
                 self.clients[client as usize].set_tasks(tasks, now);
                 for component in [ComponentId::System, ComponentId::Client(client)] {
@@ -284,6 +327,18 @@ impl<I: ?Sized + Interconnect> System<I> {
                 }
                 self.registry
                     .record(now, Event::ReconfigRejected { client });
+                false
+            }
+            ReconfigOutcome::Cancelled => {
+                // The caller's deadline expired (or it gave up) before the
+                // admission analysis finished; nothing was mutated, and the
+                // caller may retry. Counted separately from rejections so
+                // overload shows up as timeouts, not capacity exhaustion.
+                for component in [ComponentId::System, ComponentId::Client(client)] {
+                    self.registry.inc(component, Counter::AdmissionTimeouts);
+                }
+                self.registry
+                    .record(now, Event::AdmissionTimeout { client });
                 false
             }
             ReconfigOutcome::Unsupported => {
@@ -312,7 +367,37 @@ impl<I: ?Sized + Interconnect> System<I> {
     /// Activates runtime guards. Configure before stepping: requests
     /// accepted while tracking was off are unknown to the guard layer and
     /// their responses would be suppressed as duplicates.
-    pub fn set_guards(&mut self, config: GuardConfig) {
+    ///
+    /// The configuration is validated against the current workload (see
+    /// [`GuardConfig::validate`]): a watchdog timeout below the longest
+    /// deadline window of any client is rejected, because it would
+    /// re-inject *healthy* slow requests and break isolation — the PR-3
+    /// isolation-bench finding, now enforced. On error the previous guard
+    /// configuration stays active.
+    ///
+    /// # Errors
+    ///
+    /// [`GuardConfigError::WatchdogBelowDeadlineWindow`] for a watchdog
+    /// timeout below the longest deadline window across clients.
+    pub fn set_guards(&mut self, config: GuardConfig) -> Result<(), GuardConfigError> {
+        let longest = self
+            .clients
+            .iter()
+            .map(|c| c.longest_deadline_window())
+            .max()
+            .unwrap_or(0);
+        config.validate(longest)?;
+        self.guards = config;
+        Ok(())
+    }
+
+    /// Activates runtime guards *without* workload validation. This is the
+    /// escape hatch for experiments that deliberately install a pathological
+    /// configuration — the isolation bench measures exactly what a
+    /// sub-window watchdog timeout does to healthy tenants, and tests
+    /// exercise duplicate suppression the same way. Production-style
+    /// callers use [`set_guards`](Self::set_guards).
+    pub fn set_guards_unchecked(&mut self, config: GuardConfig) {
         self.guards = config;
     }
 
@@ -330,6 +415,22 @@ impl<I: ?Sized + Interconnect> System<I> {
     /// Clients demoted by the quarantine guard, ascending.
     pub fn quarantined_clients(&self) -> Vec<u32> {
         self.guard.quarantined()
+    }
+
+    /// Force-demotes `client` through the quarantine path, exactly as if
+    /// the quarantine guard's miss threshold had tripped: the client is
+    /// marked quarantined and its reservation is shed via the
+    /// admission-tested reconfiguration path (empty task set). External
+    /// policy hook — the control plane's circuit breaker feeds flapping
+    /// tenants here. Returns `false` if the client was already
+    /// quarantined (nothing is re-applied).
+    pub fn quarantine_client(&mut self, client: u32) -> bool {
+        if self.guard.quarantined.contains(&client) {
+            return false;
+        }
+        self.guard.quarantined.insert(client);
+        let now = self.now;
+        self.demote_quarantined(client, now)
     }
 
     /// Deadline misses the guard layer has detected for `client`.
@@ -616,45 +717,48 @@ impl<I: ?Sized + Interconnect> System<I> {
                 // Marked regardless of whether the demotion takes effect,
                 // so architectures without the hook are asked only once.
                 self.guard.quarantined.insert(c);
-                // A demotion is a mode change like any other: route it
-                // through the reconfiguration path (empty task set = leave)
-                // so it is admission-tested, applied at replenishment
-                // boundaries and observable as a first-class transition.
-                // Architectures without the hook fall back to the legacy
-                // immediate demotion. The rogue generator itself is *not*
-                // retasked — it keeps issuing its undeclared traffic, now
-                // without a reservation.
-                let demoted = match self
-                    .interconnect
-                    .reconfigure_client(c, &TaskSet::empty(), now)
-                {
-                    ReconfigOutcome::Admitted { transition_cycles } => {
-                        for component in [ComponentId::System, ComponentId::Client(c)] {
-                            self.registry.inc(component, Counter::Reconfigurations);
-                            if transition_cycles > 0 {
-                                self.registry.add(
-                                    component,
-                                    Counter::TransitionCycles,
-                                    transition_cycles,
-                                );
-                            }
-                        }
-                        self.registry.record(now, Event::Reconfigured { client: c });
-                        true
-                    }
-                    // Shedding load cannot fail admission; reported only
-                    // for an out-of-range client, which cannot be tracked.
-                    ReconfigOutcome::Rejected => false,
-                    ReconfigOutcome::Unsupported => self.interconnect.demote_client(c),
-                };
-                if demoted {
-                    self.registry.inc(ComponentId::System, Counter::Quarantines);
-                    self.registry
-                        .inc(ComponentId::Client(c), Counter::Quarantines);
-                    self.registry.record(now, Event::Quarantine { client: c });
-                }
+                self.demote_quarantined(c, now);
             }
         }
+    }
+
+    /// Sheds a quarantined client's reservation. A demotion is a mode
+    /// change like any other: route it through the reconfiguration path
+    /// (empty task set = leave) so it is admission-tested, applied at
+    /// replenishment boundaries and observable as a first-class
+    /// transition. Architectures without the hook fall back to the legacy
+    /// immediate demotion. The rogue generator itself is *not* retasked —
+    /// it keeps issuing its undeclared traffic, now without a reservation.
+    fn demote_quarantined(&mut self, c: u32, now: Cycle) -> bool {
+        let demoted = match self
+            .interconnect
+            .reconfigure_client(c, &TaskSet::empty(), now)
+        {
+            ReconfigOutcome::Admitted { transition_cycles } => {
+                for component in [ComponentId::System, ComponentId::Client(c)] {
+                    self.registry.inc(component, Counter::Reconfigurations);
+                    if transition_cycles > 0 {
+                        self.registry
+                            .add(component, Counter::TransitionCycles, transition_cycles);
+                    }
+                }
+                self.registry.record(now, Event::Reconfigured { client: c });
+                true
+            }
+            // Shedding load cannot fail admission; reported only for an
+            // out-of-range client, which cannot be tracked. Cancelled
+            // cannot occur on the non-cancellable entry point; treated as
+            // not-demoted for exhaustiveness.
+            ReconfigOutcome::Rejected | ReconfigOutcome::Cancelled => false,
+            ReconfigOutcome::Unsupported => self.interconnect.demote_client(c),
+        };
+        if demoted {
+            self.registry.inc(ComponentId::System, Counter::Quarantines);
+            self.registry
+                .inc(ComponentId::Client(c), Counter::Quarantines);
+            self.registry.record(now, Event::Quarantine { client: c });
+        }
+        demoted
     }
 
     /// Records a delivered response into the System aggregate and the
@@ -981,7 +1085,8 @@ mod tests {
                 max_retries: 3,
             }),
             quarantine: None,
-        });
+        })
+        .expect("a Cycle::MAX timeout exceeds every deadline window");
         sys.run(500);
         assert!(sys.detected_misses(1) > 0, "misses still detected");
         let reg = sys.registry();
@@ -1223,7 +1328,11 @@ mod tests {
         let mut ic = Box::new(LossyInterconnect::new(2));
         ic.lose_remaining = 3;
         let mut sys = System::new(ic as Box<dyn Interconnect>, &sets(2, 100, 1));
-        sys.set_guards(GuardConfig {
+        // Timeout 10 is below the 100-cycle deadline window on purpose:
+        // with an interconnect that *loses* requests, fast re-injection is
+        // the recovery mechanism under test — the unchecked path installs
+        // what validation would (correctly) refuse for healthy transport.
+        sys.set_guards_unchecked(GuardConfig {
             deadline_miss_detection: true,
             watchdog: Some(WatchdogConfig {
                 timeout: 10,
@@ -1292,7 +1401,10 @@ mod tests {
             delay: 30,
         });
         let mut sys = System::new(ic as Box<dyn Interconnect>, &sets(1, 200, 1));
-        sys.set_guards(GuardConfig {
+        // Deliberately pathological (timeout 5 ≪ window 200) to provoke
+        // the duplicate delivery this test suppresses; validation would
+        // reject it, so install through the unchecked path.
+        sys.set_guards_unchecked(GuardConfig {
             deadline_miss_detection: false,
             watchdog: Some(WatchdogConfig {
                 timeout: 5,
@@ -1315,7 +1427,8 @@ mod tests {
             deadline_miss_detection: false,
             watchdog: None,
             quarantine: Some(QuarantinePolicy { miss_threshold: 2 }),
-        });
+        })
+        .expect("no watchdog to validate");
         sys.run(500);
         assert_eq!(sys.quarantined_clients(), vec![1]);
         assert!(sys.detected_misses(1) >= 2);
@@ -1339,11 +1452,12 @@ mod tests {
                 sys.set_guards(GuardConfig {
                     deadline_miss_detection: true,
                     watchdog: Some(WatchdogConfig {
-                        timeout: 40,
+                        timeout: 60,
                         max_retries: 2,
                     }),
                     quarantine: Some(QuarantinePolicy { miss_threshold: 3 }),
-                });
+                })
+                .expect("timeout 60 clears the 50-cycle window");
             }
             let m = sys.run(2_000);
             (m.issued(), m.completed(), m.missed(), m.mean_latency())
@@ -1564,6 +1678,92 @@ mod tests {
                 "an empty plan must not perturb (fast_forward={fast_forward})"
             );
         }
+    }
+
+    #[test]
+    fn set_guards_rejects_subwindow_watchdog() {
+        use crate::guard::GuardConfigError;
+
+        let ic = Box::new(IdealInterconnect {
+            clients: 2,
+            queue: VecDeque::new(),
+            ready: VecDeque::new(),
+            latency: 1,
+        });
+        // Periods 100 and 40: the longest deadline window is 100.
+        let sets = vec![
+            TaskSet::new(vec![Task::new(0, 100, 1).unwrap()]).unwrap(),
+            TaskSet::new(vec![Task::new(0, 40, 1).unwrap()]).unwrap(),
+        ];
+        let mut sys = System::new(ic as Box<dyn Interconnect>, &sets);
+        let bad = GuardConfig {
+            deadline_miss_detection: true,
+            watchdog: Some(WatchdogConfig {
+                timeout: 99,
+                max_retries: 1,
+            }),
+            quarantine: None,
+        };
+        assert_eq!(
+            sys.set_guards(bad),
+            Err(GuardConfigError::WatchdogBelowDeadlineWindow {
+                timeout: 99,
+                longest_window: 100,
+            })
+        );
+        assert!(
+            !sys.guards().tracks(),
+            "a rejected config leaves the previous guards active"
+        );
+        let ok = GuardConfig {
+            deadline_miss_detection: true,
+            watchdog: Some(WatchdogConfig {
+                timeout: 100,
+                max_retries: 1,
+            }),
+            quarantine: None,
+        };
+        assert_eq!(sys.set_guards(ok), Ok(()));
+        assert!(sys.guards().tracks());
+    }
+
+    #[test]
+    fn cancelled_reconfiguration_counts_timeouts_and_mutates_nothing() {
+        let ic = Box::new(IdealInterconnect {
+            clients: 2,
+            queue: VecDeque::new(),
+            ready: VecDeque::new(),
+            latency: 1,
+        });
+        let mut sys = System::new(ic as Box<dyn Interconnect>, &sets(2, 100, 2));
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let tasks = TaskSet::new(vec![Task::new(0, 100, 8).unwrap()]).unwrap();
+        let outcome = sys.apply_reconfiguration_cancellable(1, &tasks, 0, &cancel);
+        assert_eq!(outcome, ReconfigOutcome::Cancelled);
+        let reg = sys.registry();
+        assert_eq!(
+            reg.counter(ComponentId::System, Counter::AdmissionTimeouts),
+            1
+        );
+        assert_eq!(
+            reg.counter(ComponentId::Client(1), Counter::AdmissionTimeouts),
+            1
+        );
+        assert_eq!(
+            reg.counter(ComponentId::System, Counter::Reconfigurations),
+            0,
+            "a cancelled request must not retask the client"
+        );
+        // A live token goes through: the test double reports Unsupported,
+        // so the retask applies without an admission guarantee.
+        let outcome = sys.apply_reconfiguration_cancellable(1, &tasks, 0, &CancelToken::new());
+        assert_eq!(outcome, ReconfigOutcome::Unsupported);
+        assert_eq!(
+            sys.registry()
+                .counter(ComponentId::System, Counter::Reconfigurations),
+            1
+        );
     }
 
     #[test]

@@ -177,6 +177,19 @@ pub enum Counter {
     /// server's replenishment boundary — the mode-change transition
     /// latency, summed over affected servers.
     TransitionCycles,
+    /// Admission requests abandoned because their decision deadline passed
+    /// (or their caller cancelled) before the verdict was produced. The
+    /// control plane's per-request timeout discipline.
+    AdmissionTimeouts,
+    /// Admission requests refused by overload shedding (bounded queue over
+    /// its tier watermark) — explicit rejections, never silent drops.
+    Sheds,
+    /// Journal records replayed while rebuilding control-plane state after
+    /// a restart (crash-consistent recovery).
+    RecoveryReplays,
+    /// Runs that abandoned sharded parallel execution after a worker
+    /// panicked and fell back to the serial engine for the remainder.
+    ShardFallbacks,
 }
 
 impl Counter {
@@ -211,6 +224,10 @@ impl Counter {
             Counter::AdmissionRejected => "admission_rejected",
             Counter::Reconfigurations => "reconfigurations",
             Counter::TransitionCycles => "transition_cycles",
+            Counter::AdmissionTimeouts => "admission_timeouts",
+            Counter::Sheds => "sheds",
+            Counter::RecoveryReplays => "recovery_replays",
+            Counter::ShardFallbacks => "shard_fallbacks",
         }
     }
 }
@@ -347,6 +364,30 @@ pub enum Event {
         /// The client whose request was refused.
         client: u32,
     },
+    /// An admission request's decision deadline passed (or its caller
+    /// cancelled) before a verdict was produced; the request was abandoned
+    /// without mutating any state.
+    AdmissionTimeout {
+        /// The client (tenant slot) the abandoned request concerned.
+        client: u32,
+    },
+    /// Overload shedding refused an admission request with an explicit
+    /// rejection (bounded queue over its tier watermark).
+    Shed {
+        /// The client (tenant slot) the shed request concerned.
+        client: u32,
+    },
+    /// A journal record was replayed during crash recovery.
+    RecoveryReplay {
+        /// Sequence number of the replayed record.
+        seq: u64,
+    },
+    /// A sharded run abandoned parallel execution after a worker panicked
+    /// and continued on the serial engine.
+    ShardFallback {
+        /// The shard whose worker panicked.
+        shard: u32,
+    },
 }
 
 impl fmt::Display for Event {
@@ -387,6 +428,14 @@ impl fmt::Display for Event {
             }
             Event::ReconfigRejected { client } => {
                 write!(f, "client.{client} reconfiguration rejected")
+            }
+            Event::AdmissionTimeout { client } => {
+                write!(f, "client.{client} admission timed out")
+            }
+            Event::Shed { client } => write!(f, "client.{client} shed"),
+            Event::RecoveryReplay { seq } => write!(f, "recovery replay #{seq}"),
+            Event::ShardFallback { shard } => {
+                write!(f, "shard.{shard} fell back to serial execution")
             }
         }
     }

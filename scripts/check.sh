@@ -34,6 +34,9 @@ cargo run --release -q -p bluescale-bench --bin soa_smoke
 echo "==> sharded-execution smoke check (4 workers, conservation + serial oracle)"
 cargo run --release -q -p bluescale-bench --bin shard_smoke
 
+echo "==> control-plane smoke check (faulted clients, conservation + recovery)"
+cargo run --release -q -p bluescale-bench --bin ctl_smoke
+
 echo "==> churn differential (empty-plan inertness, zero disturbance)"
 cargo test -q --release --test churn_differential
 

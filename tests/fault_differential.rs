@@ -94,14 +94,16 @@ fn idle_guards_are_bit_identical_to_baseline() {
     let mut guarded = build_system(&sets);
     // Detection observes; the watchdog's timeout exceeds the horizon so it
     // never fires; no quarantine. Nothing may perturb the run.
-    guarded.set_guards(GuardConfig {
-        deadline_miss_detection: true,
-        watchdog: Some(WatchdogConfig {
-            timeout: HORIZON,
-            max_retries: 1,
-        }),
-        quarantine: None,
-    });
+    guarded
+        .set_guards(GuardConfig {
+            deadline_miss_detection: true,
+            watchdog: Some(WatchdogConfig {
+                timeout: HORIZON,
+                max_retries: 1,
+            }),
+            quarantine: None,
+        })
+        .expect("the horizon exceeds every deadline window");
 
     let a = fingerprint(&mut baseline, HORIZON);
     let b = fingerprint(&mut guarded, HORIZON);
@@ -154,7 +156,9 @@ fn faulted_system(sets: &[TaskSet]) -> System<BlueScaleInterconnect> {
         FaultWindow::new(0, 8_000),
     );
     sys.set_fault_plan(plan);
-    sys.set_guards(GuardConfig {
+    // Sub-window timeout (1024 < period_max 4000) on purpose: the
+    // differential needs live retry traffic to pin.
+    sys.set_guards_unchecked(GuardConfig {
         deadline_miss_detection: true,
         watchdog: Some(WatchdogConfig {
             timeout: 1_024,
@@ -211,7 +215,8 @@ fn rogue_client_is_quarantined_and_victims_stay_bounded() {
         deadline_miss_detection: true,
         watchdog: None,
         quarantine: Some(QuarantinePolicy { miss_threshold: 20 }),
-    });
+    })
+    .expect("no watchdog to validate");
     sys.run(HORIZON);
 
     assert_eq!(sys.quarantined_clients(), vec![0], "the rogue is contained");
@@ -241,7 +246,9 @@ fn watchdog_recovers_dropped_responses_without_double_counting() {
         FaultWindow::new(0, 10_000),
     );
     sys.set_fault_plan(plan);
-    sys.set_guards(GuardConfig {
+    // Sub-window timeout (512 < period_max 4000) on purpose: this scenario
+    // measures recovery from dropped responses via fast re-injection.
+    sys.set_guards_unchecked(GuardConfig {
         deadline_miss_detection: true,
         watchdog: Some(WatchdogConfig {
             timeout: 512,

@@ -155,7 +155,9 @@ fn faulted_guarded_system(sets: &[TaskSet], soa_core: bool) -> System<BlueScaleI
         FaultWindow::new(0, 8_000),
     );
     sys.set_fault_plan(plan);
-    sys.set_guards(GuardConfig {
+    // Sub-window timeout (1024 < period_max 4000) on purpose: the
+    // differential needs live retry traffic to pin.
+    sys.set_guards_unchecked(GuardConfig {
         deadline_miss_detection: true,
         watchdog: Some(WatchdogConfig {
             timeout: 1_024,
