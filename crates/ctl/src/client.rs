@@ -210,7 +210,10 @@ impl CtlClient {
     }
 
     /// Exponential backoff with seeded jitter: half the step is fixed,
-    /// half uniform random, so synchronized failures fan out.
+    /// half uniform random, so synchronized failures fan out. The sleep
+    /// is clamped to the remaining deadline (never skipped): retrying
+    /// without any pause near the deadline would hammer a struggling
+    /// daemon in a tight loop, the opposite of backing off.
     fn backoff(&mut self, attempt: u32, start: Instant) {
         let exp = self
             .policy
@@ -220,10 +223,10 @@ impl CtlClient {
         let micros = exp.as_micros() as u64;
         let jittered = micros / 2 + self.rng.range_u64(0, micros / 2 + 1);
         let sleep = Duration::from_micros(jittered);
-        let elapsed = start.elapsed();
-        if elapsed + sleep < self.policy.deadline {
-            std::thread::sleep(sleep);
-        }
+        let Some(remaining) = self.policy.deadline.checked_sub(start.elapsed()) else {
+            return;
+        };
+        std::thread::sleep(sleep.min(remaining));
     }
 }
 

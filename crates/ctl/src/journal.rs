@@ -3,8 +3,10 @@
 //!
 //! # Write path
 //!
-//! Only **admitted** operations are journaled — a rejected or shed
-//! request changes no durable state. The daemon's ordering per batch is
+//! Only operations that change admission state are journaled: admitted
+//! requests and circuit-breaker quarantine demotions ([`Op::Quarantine`]
+//! sheds a reservation, so it must replay). A rejected or shed request
+//! changes no durable state. The daemon's ordering per batch is
 //! apply → append → `sync` → reply: a client that has seen
 //! [`Response::Admitted`](crate::proto::Response::Admitted) is guaranteed
 //! the operation survives a crash, and a torn record at the tail can only
@@ -49,7 +51,7 @@ pub const WAL_FILE: &str = "wal.log";
 /// File name of the compacted snapshot inside the journal directory.
 pub const SNAP_FILE: &str = "snapshot.bin";
 const SNAP_TMP: &str = "snapshot.tmp";
-const SNAP_MAGIC: u32 = 0xB5CA_5A01;
+const SNAP_MAGIC: u32 = 0xB5CA_5A02;
 /// Records cannot exceed a frame: one op per tenant request.
 const MAX_RECORD: u32 = crate::proto::MAX_FRAME;
 
@@ -100,22 +102,40 @@ pub enum Op {
         /// The slot being freed.
         slot: u32,
     },
+    /// Tenant's slot demoted through the guard quarantine path (a
+    /// circuit-breaker trip). The tenant stays registered — identity,
+    /// class and declared tasks survive — but its reservation is shed,
+    /// freeing capacity later admissions may consume. The demotion
+    /// changes durable admission capacity, so it must be journaled:
+    /// replay re-sheds the slot, keeping recovered capacity identical to
+    /// live capacity (otherwise a post-demotion join that only fit
+    /// because of the freed reservation would replay as Rejected).
+    Quarantine {
+        /// Tenant identity.
+        tenant: u64,
+        /// The slot being demoted.
+        slot: u32,
+    },
 }
 
 impl Op {
     /// The tenant the operation concerns.
     pub fn tenant(&self) -> u64 {
         match *self {
-            Op::Join { tenant, .. } | Op::Renegotiate { tenant, .. } | Op::Leave { tenant, .. } => {
-                tenant
-            }
+            Op::Join { tenant, .. }
+            | Op::Renegotiate { tenant, .. }
+            | Op::Leave { tenant, .. }
+            | Op::Quarantine { tenant, .. } => tenant,
         }
     }
 
     /// The slot recorded at append time.
     pub fn slot(&self) -> u32 {
         match *self {
-            Op::Join { slot, .. } | Op::Renegotiate { slot, .. } | Op::Leave { slot, .. } => slot,
+            Op::Join { slot, .. }
+            | Op::Renegotiate { slot, .. }
+            | Op::Leave { slot, .. }
+            | Op::Quarantine { slot, .. } => slot,
         }
     }
 
@@ -148,6 +168,11 @@ impl Op {
             }
             Op::Leave { tenant, slot } => {
                 buf.push(3);
+                buf.extend_from_slice(&tenant.to_le_bytes());
+                buf.extend_from_slice(&slot.to_le_bytes());
+            }
+            Op::Quarantine { tenant, slot } => {
+                buf.push(4);
                 buf.extend_from_slice(&tenant.to_le_bytes());
                 buf.extend_from_slice(&slot.to_le_bytes());
             }
@@ -186,6 +211,10 @@ impl Op {
                 tenant: c.take_u64()?,
                 slot: c.take_u32()?,
             },
+            4 => Op::Quarantine {
+                tenant: c.take_u64()?,
+                slot: c.take_u32()?,
+            },
             other => return Err(ProtoError::BadTag(other)),
         })
     }
@@ -212,6 +241,11 @@ pub struct Snapshot {
     pub next_seq: u64,
     /// Admitted tenants, slot-ascending.
     pub tenants: Vec<SnapshotTenant>,
+    /// Slots demoted through the quarantine path, ascending. A
+    /// quarantined slot holds no reservation even when a tenant still
+    /// owns it (the demotion shed it), and may appear here with no
+    /// owning tenant at all (the tenant left after the demotion).
+    pub quarantined: Vec<u32>,
 }
 
 impl Snapshot {
@@ -229,6 +263,10 @@ impl Snapshot {
             });
             buf.extend_from_slice(&t.slot.to_le_bytes());
             put_tasks(&mut buf, &t.tasks);
+        }
+        buf.extend_from_slice(&(self.quarantined.len() as u32).to_le_bytes());
+        for &slot in &self.quarantined {
+            buf.extend_from_slice(&slot.to_le_bytes());
         }
         let crc = crc32(&buf);
         buf.extend_from_slice(&crc.to_le_bytes());
@@ -269,9 +307,18 @@ impl Snapshot {
                 tasks,
             });
         }
+        let qcount = c.take_u32().map_err(|_| truncated_snapshot())?;
+        let mut quarantined = Vec::with_capacity(qcount as usize);
+        for _ in 0..qcount {
+            quarantined.push(c.take_u32().map_err(|_| truncated_snapshot())?);
+        }
         c.finish()
             .map_err(|_| RecoveryError::CorruptSnapshot("trailing bytes"))?;
-        Ok(Snapshot { next_seq, tenants })
+        Ok(Snapshot {
+            next_seq,
+            tenants,
+            quarantined,
+        })
     }
 }
 
@@ -573,6 +620,10 @@ mod tests {
                 tenant: 11,
                 slot: 1,
             },
+            Op::Quarantine {
+                tenant: 10,
+                slot: 0,
+            },
         ]
     }
 
@@ -594,7 +645,7 @@ mod tests {
         let r = recover(&dir).expect("recover");
         assert!(!r.torn_tail);
         assert!(r.snapshot.is_none());
-        assert_eq!(r.next_seq, 4);
+        assert_eq!(r.next_seq, 5);
         assert_eq!(
             r.ops.iter().map(|(_, op)| op.clone()).collect::<Vec<_>>(),
             sample_ops()
@@ -618,16 +669,16 @@ mod tests {
 
         let r = recover(&dir).expect("torn tail is recoverable");
         assert!(r.torn_tail);
-        assert_eq!(r.ops.len(), 3, "only whole records replay");
-        assert_eq!(r.next_seq, 3);
+        assert_eq!(r.ops.len(), 4, "only whole records replay");
+        assert_eq!(r.next_seq, 4);
 
         // Re-opening truncates the torn bytes and appends continue.
         let mut j = Journal::open(&dir, &r).expect("open");
-        assert_eq!(j.append(&sample_ops()[3]).expect("append"), 3);
+        assert_eq!(j.append(&sample_ops()[4]).expect("append"), 4);
         j.sync().expect("sync");
         let r = recover(&dir).expect("recover");
         assert!(!r.torn_tail);
-        assert_eq!(r.ops.len(), 4);
+        assert_eq!(r.ops.len(), 5);
     }
 
     #[test]
@@ -647,7 +698,7 @@ mod tests {
 
         let r = recover(&dir).expect("bit flip must not panic");
         assert!(r.torn_tail);
-        assert_eq!(r.ops.len(), 3);
+        assert_eq!(r.ops.len(), 4);
     }
 
     #[test]
@@ -669,6 +720,7 @@ mod tests {
                     wcet: 2,
                 }],
             }],
+            quarantined: vec![0],
         };
         j.compact(&snap).expect("compact");
         assert!(j.is_empty());
@@ -681,22 +733,22 @@ mod tests {
                 wcet: 4,
             }],
         };
-        assert_eq!(j.append(&post).expect("append"), 4, "seq continues");
+        assert_eq!(j.append(&post).expect("append"), 5, "seq continues");
         j.sync().expect("sync");
         drop(j);
 
         let r = recover(&dir).expect("recover");
         assert_eq!(r.snapshot, Some(snap));
-        assert_eq!(r.ops, vec![(4, post)]);
-        assert_eq!(r.next_seq, 5);
+        assert_eq!(r.ops, vec![(5, post)]);
+        assert_eq!(r.next_seq, 6);
         assert!(!r.torn_tail);
     }
 
     #[test]
     fn stale_pre_compaction_records_are_skipped() {
         // Simulate a crash between the snapshot rename and the log
-        // truncate: snapshot says next_seq=4 but the log still holds
-        // records 0..4. Recovery must skip them, not SeqGap.
+        // truncate: snapshot says next_seq=5 but the log still holds
+        // records 0..5. Recovery must skip them, not SeqGap.
         let dir = test_dir("stale");
         let mut j = fresh_journal(&dir);
         for op in &sample_ops() {
@@ -704,8 +756,9 @@ mod tests {
         }
         j.sync().expect("sync");
         let snap = Snapshot {
-            next_seq: 4,
+            next_seq: 5,
             tenants: Vec::new(),
+            quarantined: Vec::new(),
         };
         fs::write(dir.join(SNAP_FILE), snap.encode()).expect("write snapshot");
         drop(j);
@@ -713,7 +766,7 @@ mod tests {
         let r = recover(&dir).expect("recover");
         assert_eq!(r.snapshot, Some(snap));
         assert!(r.ops.is_empty(), "stale records fold into the snapshot");
-        assert_eq!(r.next_seq, 4);
+        assert_eq!(r.next_seq, 5);
         assert!(!r.torn_tail);
     }
 
@@ -723,6 +776,7 @@ mod tests {
         let snap = Snapshot {
             next_seq: 1,
             tenants: Vec::new(),
+            quarantined: Vec::new(),
         };
         let mut bytes = snap.encode();
         let last = bytes.len() - 1;

@@ -15,7 +15,7 @@
 //! (`Counter::Retries`) without trusting wall-clock correlation.
 
 use std::fmt;
-use std::io::{self, Read, Write};
+use std::io::{self, ErrorKind, Read, Write};
 
 /// Hard upper bound on a frame payload, in bytes.
 pub const MAX_FRAME: u32 = 64 * 1024;
@@ -435,6 +435,12 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
 
 /// Reads one length-prefixed frame, rejecting oversized prefixes before
 /// allocating.
+///
+/// Uses `read_exact`, whose contract leaves consumed bytes unspecified on
+/// error — so this is only safe on streams where an error means the
+/// connection is abandoned. A reader that must *survive* read timeouts
+/// mid-frame (the daemon's per-connection handler) needs [`FrameReader`],
+/// which buffers partial progress across calls.
 pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
     let mut len = [0u8; 4];
     r.read_exact(&mut len)?;
@@ -445,6 +451,84 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
     let mut payload = vec![0u8; len as usize];
     r.read_exact(&mut payload)?;
     Ok(payload)
+}
+
+/// Incremental frame reader that survives read timeouts mid-frame.
+///
+/// A bounded read timeout can fire after part of the length prefix or
+/// payload has been consumed; restarting `read_frame` at that point would
+/// desynchronize the framing and turn a slow-but-healthy peer's bytes
+/// into garbage requests. `FrameReader` keeps partial progress across
+/// calls instead: a `WouldBlock`/`TimedOut` error yields `Ok(None)` with
+/// every consumed byte retained, and the next call resumes exactly where
+/// the stream paused.
+#[derive(Debug)]
+pub struct FrameReader {
+    /// Bytes being filled: the 4-byte length prefix, then the payload.
+    buf: Vec<u8>,
+    filled: usize,
+    in_payload: bool,
+}
+
+impl Default for FrameReader {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FrameReader {
+    /// A reader positioned at a frame boundary.
+    pub fn new() -> Self {
+        FrameReader {
+            buf: vec![0; 4],
+            filled: 0,
+            in_payload: false,
+        }
+    }
+
+    /// True when part of a frame has been consumed (a timeout now means
+    /// a slow peer mid-frame, not an idle connection).
+    pub fn mid_frame(&self) -> bool {
+        self.in_payload || self.filled > 0
+    }
+
+    /// Drives the reader forward. Returns `Ok(Some(payload))` once a
+    /// whole frame is buffered, `Ok(None)` on a read timeout (state
+    /// preserved; call again), and `Err` on disconnect, oversized frame
+    /// or I/O failure.
+    pub fn read(&mut self, r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+        loop {
+            while self.filled < self.buf.len() {
+                match r.read(&mut self.buf[self.filled..]) {
+                    Ok(0) => {
+                        return Err(io::Error::new(
+                            ErrorKind::UnexpectedEof,
+                            "stream closed before the frame completed",
+                        ))
+                    }
+                    Ok(n) => self.filled += n,
+                    Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                        return Ok(None)
+                    }
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(e) => return Err(e),
+                }
+            }
+            if self.in_payload {
+                let payload = std::mem::replace(&mut self.buf, vec![0; 4]);
+                self.filled = 0;
+                self.in_payload = false;
+                return Ok(Some(payload));
+            }
+            let len = u32::from_le_bytes(self.buf[..4].try_into().expect("4 bytes"));
+            if len > MAX_FRAME {
+                return Err(ProtoError::FrameTooLarge(len).into());
+            }
+            self.buf = vec![0; len as usize];
+            self.filled = 0;
+            self.in_payload = true;
+        }
+    }
 }
 
 fn put_u32(buf: &mut Vec<u8>, v: u32) {
@@ -649,5 +733,111 @@ mod tests {
         write_frame(&mut wire, &payload).expect("write");
         let got = read_frame(&mut wire.as_slice()).expect("read");
         assert_eq!(got, payload);
+    }
+
+    /// Yields the wire bytes one at a time, with a timeout error between
+    /// every delivered byte — the worst-case slow peer.
+    struct TrickleReader {
+        wire: Vec<u8>,
+        pos: usize,
+        ready: bool,
+    }
+
+    impl Read for TrickleReader {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if !self.ready {
+                self.ready = true;
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "timeout"));
+            }
+            self.ready = false;
+            if self.pos == self.wire.len() {
+                return Ok(0);
+            }
+            buf[0] = self.wire[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn frame_reader_survives_timeouts_mid_frame() {
+        let requests = [
+            Request::Join {
+                tenant: 3,
+                class: TenantClass::Guaranteed,
+                tasks: vec![TaskSpec {
+                    period: 400,
+                    wcet: 2,
+                }],
+                attempt: 1,
+            },
+            Request::Ping,
+            Request::Stats { tenant: 3 },
+        ];
+        let mut wire = Vec::new();
+        for req in &requests {
+            write_frame(&mut wire, &req.encode()).expect("write");
+        }
+        let mut stream = TrickleReader {
+            wire,
+            pos: 0,
+            ready: false,
+        };
+        let mut reader = FrameReader::new();
+        let mut decoded = Vec::new();
+        let mut timeouts = 0u32;
+        while decoded.len() < requests.len() {
+            match reader.read(&mut stream) {
+                Ok(Some(payload)) => {
+                    decoded.push(Request::decode(&payload).expect("framing stayed in sync"));
+                }
+                Ok(None) => timeouts += 1,
+                Err(e) => panic!("trickled stream must reassemble: {e}"),
+            }
+        }
+        assert_eq!(decoded, requests);
+        assert!(timeouts > 0, "every byte was preceded by a timeout");
+        assert!(!reader.mid_frame(), "ends at a frame boundary");
+    }
+
+    #[test]
+    fn frame_reader_reports_mid_frame_progress_and_eof() {
+        let payload = Request::Ping.encode();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).expect("write");
+
+        // Deliver only half the length prefix, then time out forever.
+        let mut half = TrickleReader {
+            wire: wire[..2].to_vec(),
+            pos: 0,
+            ready: false,
+        };
+        let mut reader = FrameReader::new();
+        assert!(matches!(reader.read(&mut half), Ok(None)));
+        assert!(matches!(reader.read(&mut half), Ok(None)));
+        assert!(reader.mid_frame(), "partial prefix is mid-frame");
+        // The stream closing mid-frame is an error, not a silent None.
+        let mut eof = std::io::empty();
+        // Drain the remaining trickle first: each call delivers one byte.
+        loop {
+            match reader.read(&mut half) {
+                Ok(None) if half.pos < half.wire.len() => continue,
+                Ok(None) => break,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        let err = reader.read(&mut eof).expect_err("EOF mid-frame");
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn frame_reader_rejects_oversized_frames() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        let mut reader = FrameReader::new();
+        let err = reader
+            .read(&mut wire.as_slice())
+            .expect_err("oversized prefix");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 }

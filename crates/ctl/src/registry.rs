@@ -256,6 +256,13 @@ impl ControlRegistry {
             } => self.try_join(*tenant, *class, tasks),
             Op::Renegotiate { tenant, tasks, .. } => self.try_renegotiate(*tenant, tasks),
             Op::Leave { tenant, .. } => self.try_leave(*tenant),
+            Op::Quarantine { tenant, .. } => match self.quarantine(*tenant) {
+                Some(slot) => ApplyOutcome::Admitted {
+                    slot,
+                    transition_cycles: 0,
+                },
+                None => ApplyOutcome::Rejected(RejectReason::UnknownTenant),
+            },
         };
         match outcome {
             ApplyOutcome::Admitted { slot, .. } if slot == op.slot() => {
@@ -277,8 +284,25 @@ impl ControlRegistry {
     /// Restores the compacted tenant table, forcing the snapshot's slot
     /// assignments (compaction may leave slot holes that first-free
     /// assignment would not reproduce).
+    ///
+    /// Quarantined tenants are registered without re-installing their
+    /// declared reservation: the demotion shed it, and later admissions
+    /// may have consumed the freed capacity, so re-installing could fail
+    /// the root test against state that was legal live.
     pub fn restore(&mut self, snapshot: &Snapshot) -> Result<(), ReplayDiverged> {
         for t in &snapshot.tenants {
+            if snapshot.quarantined.contains(&t.slot) {
+                self.free.remove(&t.slot);
+                self.tenants.insert(
+                    t.tenant,
+                    TenantEntry {
+                        class: t.class,
+                        slot: t.slot,
+                        tasks: t.tasks.clone(),
+                    },
+                );
+                continue;
+            }
             let set = match Self::build_task_set(&t.tasks) {
                 Ok(set) => set,
                 Err(reason) => {
@@ -323,6 +347,12 @@ impl ControlRegistry {
                 }
             }
         }
+        // Re-mark every demoted slot (owned or orphaned — a tenant may
+        // have left after its demotion). The slots hold no reservation,
+        // so the demotion's empty-set reconfiguration is a no-op shed.
+        for &slot in &snapshot.quarantined {
+            self.sys.quarantine_client(slot);
+        }
         Ok(())
     }
 
@@ -340,11 +370,17 @@ impl ControlRegistry {
             })
             .collect();
         tenants.sort_by_key(|t| t.slot);
-        Snapshot { next_seq, tenants }
+        Snapshot {
+            next_seq,
+            tenants,
+            quarantined: self.sys.quarantined_clients(),
+        }
     }
 
     /// FNV-1a digest over the admission state: capacity, the tenant
-    /// table (identity, class, slot, tasks) and the free-slot set. Two
+    /// table (identity, class, slot, tasks), the free-slot set and the
+    /// quarantined-slot set (a demoted slot holds no reservation, so two
+    /// states differing only in quarantine hold different capacity). Two
     /// registries with equal digests hold the same reservations — the
     /// recovery invariant asserts digest equality across a crash.
     pub fn state_digest(&self) -> u64 {
@@ -372,6 +408,11 @@ impl ControlRegistry {
             }
         }
         for &slot in &self.free {
+            eat(slot as u64);
+        }
+        let quarantined = self.sys.quarantined_clients();
+        eat(quarantined.len() as u64);
+        for slot in quarantined {
             eat(slot as u64);
         }
         h
@@ -405,14 +446,18 @@ impl ControlRegistry {
     }
 
     /// Trips the tenant into the guard quarantine path (the circuit
-    /// breaker's demotion). Returns false for unknown or already
-    /// quarantined tenants.
-    pub fn quarantine(&mut self, tenant: u64) -> bool {
-        let Some(entry) = self.tenants.get(&tenant) else {
-            return false;
-        };
+    /// breaker's demotion): the slot's reservation is shed through the
+    /// admission-tested reconfiguration path. Returns the demoted slot,
+    /// or `None` for unknown or already-quarantined tenants.
+    ///
+    /// The demotion changes durable admission capacity — later joins may
+    /// fit only because of the freed reservation — so the caller must
+    /// journal it ([`Op::Quarantine`]); [`replay`](Self::replay) re-sheds
+    /// the slot to keep recovered capacity identical to live capacity.
+    pub fn quarantine(&mut self, tenant: u64) -> Option<u32> {
+        let entry = self.tenants.get(&tenant)?;
         let slot = entry.slot;
-        self.sys.quarantine_client(slot)
+        self.sys.quarantine_client(slot).then_some(slot)
     }
 
     /// Increments a System-scope counter in the sim registry (the control
@@ -635,9 +680,99 @@ mod tests {
     fn quarantine_demotes_the_tenant_slot() {
         let mut reg = ControlRegistry::new(4).expect("build");
         reg.try_join(5, TenantClass::BestEffort, &[spec(400, 2)]);
-        assert!(reg.quarantine(5));
-        assert!(!reg.quarantine(5), "second trip is a no-op");
+        assert_eq!(reg.quarantine(5), Some(0));
+        assert_eq!(reg.quarantine(5), None, "second trip is a no-op");
         assert_eq!(reg.quarantined_slots(), vec![0]);
-        assert!(!reg.quarantine(99), "unknown tenant");
+        assert_eq!(reg.quarantine(99), None, "unknown tenant");
+    }
+
+    #[test]
+    fn quarantine_moves_the_digest_and_replays() {
+        // Two tenants saturating the root budget; quarantining one frees
+        // capacity a third join consumes. Replay must reproduce that
+        // sequence exactly — the regression this guards: an unjournaled
+        // demotion made the post-demotion join replay as Rejected.
+        let mut live = ControlRegistry::new(4).expect("build");
+        for t in 0..3u64 {
+            assert!(matches!(
+                live.try_join(t, TenantClass::Guaranteed, &[spec(16, 3)]),
+                ApplyOutcome::Admitted { .. }
+            ));
+        }
+        let before = live.state_digest();
+        assert_eq!(live.quarantine(1), Some(1));
+        assert_ne!(
+            live.state_digest(),
+            before,
+            "demotion changes capacity, so it must move the digest"
+        );
+        // The freed reservation admits a tenant that did not fit before.
+        assert!(matches!(
+            live.try_join(9, TenantClass::Guaranteed, &[spec(16, 3)]),
+            ApplyOutcome::Admitted { slot: 3, .. }
+        ));
+
+        let ops = [
+            Op::Join {
+                tenant: 0,
+                class: TenantClass::Guaranteed,
+                slot: 0,
+                tasks: vec![spec(16, 3)],
+            },
+            Op::Join {
+                tenant: 1,
+                class: TenantClass::Guaranteed,
+                slot: 1,
+                tasks: vec![spec(16, 3)],
+            },
+            Op::Join {
+                tenant: 2,
+                class: TenantClass::Guaranteed,
+                slot: 2,
+                tasks: vec![spec(16, 3)],
+            },
+            Op::Quarantine { tenant: 1, slot: 1 },
+            Op::Join {
+                tenant: 9,
+                class: TenantClass::Guaranteed,
+                slot: 3,
+                tasks: vec![spec(16, 3)],
+            },
+        ];
+        let mut recovered = ControlRegistry::new(4).expect("build");
+        for (seq, op) in ops.iter().enumerate() {
+            recovered.replay(seq as u64, op).expect("replay admits");
+        }
+        assert_eq!(recovered.state_digest(), live.state_digest());
+        assert_eq!(recovered.quarantined_slots(), vec![1]);
+    }
+
+    #[test]
+    fn restore_skips_quarantined_reservations() {
+        // Live history: a big tenant joins, is quarantined (frees its
+        // reservation), then other tenants consume the freed capacity.
+        // Restoring the snapshot must NOT re-install the quarantined
+        // reservation — doing so would fail the root test against
+        // tenants that were legally admitted after the demotion.
+        let mut live = ControlRegistry::new(4).expect("build");
+        assert!(matches!(
+            live.try_join(1, TenantClass::Guaranteed, &[spec(8, 3)]),
+            ApplyOutcome::Admitted { slot: 0, .. }
+        ));
+        assert_eq!(live.quarantine(1), Some(0));
+        for t in 2..=3u64 {
+            assert!(matches!(
+                live.try_join(t, TenantClass::Guaranteed, &[spec(16, 3)]),
+                ApplyOutcome::Admitted { .. }
+            ));
+        }
+
+        let snap = live.snapshot(3);
+        assert_eq!(snap.quarantined, vec![0]);
+        let mut recovered = ControlRegistry::new(4).expect("build");
+        recovered.restore(&snap).expect("restore admits");
+        assert_eq!(recovered.state_digest(), live.state_digest());
+        assert_eq!(recovered.quarantined_slots(), vec![0]);
+        assert_eq!(recovered.tenant_count(), 3);
     }
 }

@@ -37,7 +37,7 @@
 use crate::breaker::{BreakerConfig, CircuitBreaker};
 use crate::journal::{self, Journal, Op, RecoveryError};
 use crate::proto::{
-    read_frame, write_frame, RejectReason, Request, Response, TaskSpec, TenantClass,
+    write_frame, FrameReader, RejectReason, Request, Response, TaskSpec, TenantClass,
 };
 use crate::registry::{ApplyOutcome, ControlRegistry, ReplayDiverged};
 use bluescale::BuildError;
@@ -306,7 +306,19 @@ impl Daemon {
                             config: config.clone(),
                         };
                         let handle = std::thread::spawn(move || handle_connection(stream, &ctx));
-                        handlers.lock().expect("handler list").push(handle);
+                        let mut list = handlers.lock().expect("handler list");
+                        // Reap finished handlers so a long-lived daemon
+                        // serving many short connections doesn't grow the
+                        // list (and retain dead threads) without bound.
+                        let mut i = 0;
+                        while i < list.len() {
+                            if list[i].is_finished() {
+                                let _ = list.swap_remove(i).join();
+                            } else {
+                                i += 1;
+                            }
+                        }
+                        list.push(handle);
                     }
                     Err(e) if e.kind() == ErrorKind::WouldBlock => {
                         std::thread::sleep(Duration::from_millis(2));
@@ -384,6 +396,11 @@ impl Daemon {
         self.registry.lock().expect("registry").tenant_count()
     }
 
+    /// Slots demoted through the quarantine path (circuit-breaker trips).
+    pub fn quarantined_slots(&self) -> Vec<u32> {
+        self.registry.lock().expect("registry").quarantined_slots()
+    }
+
     fn stop_threads(&mut self, abandon: bool) {
         self.abandon.store(abandon, Ordering::SeqCst);
         self.stop.store(true, Ordering::SeqCst);
@@ -434,10 +451,15 @@ struct HandlerCtx {
 fn handle_connection(mut stream: TcpStream, ctx: &HandlerCtx) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    // The reader buffers partial progress across the 100ms poll timeouts:
+    // a timeout that fires mid-frame (slow-but-healthy peer) must not
+    // restart the framing mid-stream.
+    let mut reader = FrameReader::new();
     loop {
-        let payload = match read_frame(&mut stream) {
-            Ok(p) => p,
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+        let payload = match reader.read(&mut stream) {
+            Ok(Some(p)) => p,
+            // Poll timeout — idle or mid-frame, consumed bytes are kept.
+            Ok(None) => {
                 if ctx.stop.load(Ordering::Relaxed) {
                     return;
                 }
@@ -510,6 +532,10 @@ fn dispatch(request: Request, ctx: &HandlerCtx) -> Response {
     {
         let mut q = ctx.queue.state.lock().expect("queue");
         if q.closed {
+            drop(q);
+            // Refused at the door (shutdown or journal failure): a typed
+            // verdict that keeps the conservation invariant.
+            ctx.stats.rejected.fetch_add(1, Ordering::Relaxed);
             return Response::Err { code: 1 };
         }
         let occupancy = q.items.len();
@@ -597,7 +623,11 @@ fn admission_worker(
         // Deferred replies: admitted ops reply only after the group sync.
         let mut durable: Vec<(mpsc::Sender<Response>, Response)> = Vec::new();
         let mut appended = 0u64;
-        for pending in batch {
+        // Set when a journal append fails: the daemon can no longer make
+        // state changes durable and must stop serving admissions.
+        let mut journal_failed = false;
+        let mut batch_iter = batch.into_iter();
+        for pending in batch_iter.by_ref() {
             let now = Instant::now();
             if now >= pending.deadline {
                 reg.count(Counter::AdmissionTimeouts);
@@ -637,8 +667,9 @@ fn admission_worker(
                         Err(_) => {
                             // Applied but not durable: fatal. Stop the
                             // daemon rather than serve un-journaled state.
+                            stats.rejected.fetch_add(1, Ordering::Relaxed);
                             let _ = pending.reply.send(Response::Err { code: 2 });
-                            stop.store(true, Ordering::SeqCst);
+                            journal_failed = true;
                         }
                     }
                     let _ = slot;
@@ -679,27 +710,67 @@ fn admission_worker(
                             | RejectReason::InvalidTasks
                     );
                     if flap && breaker.record(tenant, true) {
-                        reg.quarantine(tenant);
+                        // The demotion sheds the tenant's reservation —
+                        // durable capacity later admissions may consume —
+                        // so it must be journaled: replay re-sheds it, or
+                        // a post-demotion join that only fit because of
+                        // the freed capacity would replay as Rejected.
+                        if let Some(slot) = reg.quarantine(tenant) {
+                            match journal.append(&Op::Quarantine { tenant, slot }) {
+                                Ok(_) => appended += 1,
+                                Err(_) => journal_failed = true,
+                            }
+                        }
                     }
                     let _ = pending.reply.send(Response::Rejected { reason });
                 }
             }
+            if journal_failed {
+                break;
+            }
+        }
+
+        if journal_failed {
+            // Nothing appended in this batch can be promised durable, and
+            // nothing still queued ever will be: answer everything with a
+            // typed error (never a silent drop, never a blocked handler)
+            // and close the queue so no new requests enqueue.
+            for (reply, _) in durable {
+                stats.rejected.fetch_add(1, Ordering::Relaxed);
+                let _ = reply.send(Response::Err { code: 2 });
+            }
+            for pending in batch_iter {
+                stats.rejected.fetch_add(1, Ordering::Relaxed);
+                let _ = pending.reply.send(Response::Err { code: 2 });
+            }
+            drop(reg);
+            fail_queue(queue, stats);
+            stop.store(true, Ordering::SeqCst);
+            break;
         }
 
         // Group commit: one sync covers the whole batch, then reply.
         if appended > 0 {
             match journal.sync() {
                 Ok(()) => {
-                    stats.admitted.fetch_add(appended, Ordering::Relaxed);
+                    stats
+                        .admitted
+                        .fetch_add(durable.len() as u64, Ordering::Relaxed);
                     for (reply, response) in durable {
                         let _ = reply.send(response);
                     }
                 }
                 Err(_) => {
+                    // Same fatality as a failed append: answer the batch,
+                    // close and drain the queue, stop the daemon.
                     for (reply, _) in durable {
+                        stats.rejected.fetch_add(1, Ordering::Relaxed);
                         let _ = reply.send(Response::Err { code: 2 });
                     }
+                    drop(reg);
+                    fail_queue(queue, stats);
                     stop.store(true, Ordering::SeqCst);
+                    break;
                 }
             }
             records_since_compact += appended;
@@ -726,6 +797,24 @@ fn admission_worker(
             .lock()
             .expect("registry")
             .count_by(Counter::Sheds, sheds);
+    }
+}
+
+/// Journal failure: the daemon can no longer make admissions durable.
+/// Closes the queue (handlers stop enqueueing; dispatch answers at the
+/// door) and answers everything still queued with a typed error, so no
+/// handler blocks forever on a reply that will never come and every
+/// received request keeps its disposition.
+fn fail_queue(queue: &Queue, stats: &Stats) {
+    let drained: Vec<Pending> = {
+        let mut q = queue.state.lock().expect("queue");
+        q.closed = true;
+        q.items.drain(..).collect()
+    };
+    queue.cv.notify_all();
+    for pending in drained {
+        stats.rejected.fetch_add(1, Ordering::Relaxed);
+        let _ = pending.reply.send(Response::Err { code: 2 });
     }
 }
 

@@ -151,6 +151,111 @@ fn flapping_tenant_trips_the_breaker_into_quarantine() {
 }
 
 #[test]
+fn quarantine_frees_capacity_durably_across_restart() {
+    let dir = test_dir("quarantine-restart");
+    let config = small_config();
+    let daemon = Daemon::start(&dir, config.clone()).expect("start");
+    let mut client = CtlClient::new(daemon.addr(), RetryPolicy::default(), 7);
+
+    // Three tenants at ~19% demand each saturate the root budget.
+    for t in 1..=3u64 {
+        assert!(matches!(
+            client
+                .join(t, TenantClass::Guaranteed, vec![spec(16, 3)])
+                .expect("join"),
+            Response::Admitted { .. }
+        ));
+    }
+    // Tenant 3 flaps: renegotiations that cannot fit keep getting
+    // rejected until the breaker (threshold 8, window 16) trips it into
+    // quarantine, shedding its reservation.
+    let mut quarantined = false;
+    for _ in 0..12 {
+        match client.renegotiate(3, vec![spec(8, 3)]).expect("flap") {
+            Response::Rejected {
+                reason: RejectReason::Inadmissible,
+            } => {}
+            Response::Rejected {
+                reason: RejectReason::Quarantined,
+            } => {
+                quarantined = true;
+                break;
+            }
+            other => panic!("unexpected verdict {other:?}"),
+        }
+    }
+    assert!(quarantined, "breaker never tripped");
+    assert_eq!(daemon.quarantined_slots(), vec![2]);
+
+    // The demotion freed tenant 3's reservation: a 4th identical tenant
+    // now fits, and its admission is journaled AFTER the quarantine.
+    assert!(matches!(
+        client
+            .join(4, TenantClass::Guaranteed, vec![spec(16, 3)])
+            .expect("post-demotion join"),
+        Response::Admitted { .. }
+    ));
+    let digest = daemon.state_digest();
+    daemon.kill();
+
+    // Replay must re-shed the quarantined reservation; an unjournaled
+    // demotion would make tenant 4's join replay as Rejected and the
+    // daemon refuse to start (ReplayDiverged).
+    let revived = Daemon::start(&dir, config).expect("restart after breaker trip");
+    assert_eq!(
+        revived.state_digest(),
+        digest,
+        "recovery must reproduce the post-demotion admission state"
+    );
+    assert_eq!(revived.quarantined_slots(), vec![2]);
+    assert_eq!(revived.tenant_count(), 4);
+    revived.shutdown();
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn slow_trickled_frames_stay_in_sync() {
+    // A healthy-but-slow client that dribbles its frame across several
+    // of the daemon's 100ms read-poll windows: the handler must buffer
+    // the partial frame, not restart the framing mid-stream.
+    use bluescale_ctl::proto::{read_frame, write_frame, Request};
+    use std::io::Write as _;
+    use std::net::TcpStream;
+
+    let dir = test_dir("trickle");
+    let daemon = Daemon::start(&dir, small_config()).expect("start");
+    let mut stream = TcpStream::connect(daemon.addr()).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+
+    let payload = Request::Join {
+        tenant: 21,
+        class: TenantClass::Guaranteed,
+        tasks: vec![spec(400, 2)],
+        attempt: 0,
+    }
+    .encode();
+    let mut frame = Vec::new();
+    write_frame(&mut frame, &payload).expect("encode frame");
+    // Trickle: split inside the length prefix AND inside the payload,
+    // pausing past the read timeout between every piece.
+    for piece in [&frame[..2], &frame[2..6], &frame[6..]] {
+        stream.write_all(piece).expect("write piece");
+        stream.flush().expect("flush");
+        std::thread::sleep(Duration::from_millis(250));
+    }
+    let response = read_frame(&mut stream).expect("response arrives");
+    assert!(matches!(
+        Response::decode(&response).expect("decodes"),
+        Response::Admitted { .. }
+    ));
+    assert_eq!(daemon.tenant_count(), 1);
+
+    let stats = daemon.shutdown();
+    assert!(stats.conservation_holds(), "leaky accounting: {stats:?}");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn kill_and_restart_replays_to_the_same_state() {
     let dir = test_dir("restart");
     let config = small_config();

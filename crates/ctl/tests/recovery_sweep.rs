@@ -36,8 +36,9 @@ fn spec(period: u64, wcet: u64) -> TaskSpec {
     TaskSpec { period, wcet }
 }
 
-/// The reference history: joins, renegotiations, leaves, and a rejoin
-/// into a freed slot — enough op variety to cover every record type.
+/// The reference history: joins, renegotiations, leaves, a
+/// circuit-breaker quarantine demotion, and a rejoin into a freed slot —
+/// enough op variety to cover every record type.
 fn history() -> Vec<(u64, TenantClass, Vec<TaskSpec>, HistoryOp)> {
     use HistoryOp::*;
     let g = TenantClass::Guaranteed;
@@ -50,6 +51,7 @@ fn history() -> Vec<(u64, TenantClass, Vec<TaskSpec>, HistoryOp)> {
         (11, b, vec![], Leave),
         (13, b, vec![spec(800, 3)], Join),
         (12, g, vec![spec(400, 1)], Renegotiate),
+        (12, g, vec![], Quarantine),
         (13, b, vec![], Leave),
         (14, g, vec![spec(1000, 2)], Join),
         (10, g, vec![], Leave),
@@ -63,6 +65,7 @@ enum HistoryOp {
     Join,
     Renegotiate,
     Leave,
+    Quarantine,
 }
 
 /// Applies the history to a registry + journal exactly like the daemon's
@@ -110,6 +113,16 @@ fn run_reference(dir: &Path) -> Vec<u64> {
                     _ => None,
                 };
                 (o, jop)
+            }
+            HistoryOp::Quarantine => {
+                let slot = reg.quarantine(tenant).expect("quarantine demotes");
+                (
+                    ApplyOutcome::Admitted {
+                        slot,
+                        transition_cycles: 0,
+                    },
+                    Some(Op::Quarantine { tenant, slot }),
+                )
             }
         };
         let op =
