@@ -1,0 +1,36 @@
+//! Runs the memory-policy zoo matrix — 4 policies × 2 seam-bearing
+//! interconnects × fault scenarios, plus the dense throughput side of
+//! the frontier — writing `results/BENCH_mem_policy.json`.
+//!
+//! The run asserts its headline claim: under `RogueDemand` on AXI-IC^RT,
+//! per-bank regulation keeps every victim miss-free while the
+//! unregulated controller shows measurable victim degradation.
+//!
+//! Usage:
+//! `cargo run --release -p bluescale-bench --bin mem_policy -- \
+//!    [--clients N] [--horizon N] [--seed N] [--json path]`
+
+use bluescale_bench::mem_policy::{render, render_json, run, MemPolicyConfigSweep};
+use bluescale_bench::{arg_u64, arg_usize, arg_value};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut config = MemPolicyConfigSweep::default();
+    config.clients = arg_usize(&args, "--clients", config.clients);
+    config.horizon = arg_u64(&args, "--horizon", config.horizon);
+    config.seed = arg_u64(&args, "--seed", config.seed);
+
+    let report = run(&config);
+    println!("{}", render(&report));
+
+    let json = render_json(&report);
+    let out =
+        arg_value(&args, "--json").unwrap_or_else(|| "results/BENCH_mem_policy.json".to_string());
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => {
+            eprintln!("could not write {out}: {e}");
+            println!("{json}");
+        }
+    }
+}

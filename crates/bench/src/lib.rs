@@ -22,6 +22,7 @@
 //! | Interface-selection fast path (extension) | [`interface_selection`] | `... --bin selection_bench` |
 //! | SoA hot core vs legacy engine (extension) | [`soa_busy`] | `... --bin soa_busy` |
 //! | Fault-tolerant control plane (extension) | [`control_plane`] | `... --bin control_plane` |
+//! | Memory-policy zoo × faults (extension) | [`mem_policy`] | `... --bin mem_policy` |
 //!
 //! [`runner`] builds any of the six interconnects behind the common
 //! [`bluescale_interconnect::Interconnect`] trait and runs seeded trials.
@@ -41,6 +42,7 @@ pub mod fig7;
 pub mod interface_selection;
 pub mod isolation;
 pub mod isolation_fault;
+pub mod mem_policy;
 pub mod reconfig;
 pub mod runner;
 pub mod scalability;

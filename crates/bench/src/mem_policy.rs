@@ -1,0 +1,803 @@
+//! Extension experiment: the memory-policy zoo × interconnects × fault
+//! classes (`results/BENCH_mem_policy.json`).
+//!
+//! The paper fixes one memory controller and varies the interconnect;
+//! the controller-side literature does the opposite. This experiment
+//! crosses the two axes and adds PR-3's fault classes as the third:
+//!
+//! * **Policies** — the four [`MemPolicyConfig`] variants: `Unregulated`
+//!   (pass-through), `PerBankRegulation` (Sullivan & Yun), `Blacklisting`
+//!   (Subramanian et al.) and `DeterministicMemory` (Farshchi et al.).
+//! * **Interconnects** — BlueScale (the policy seam sits at the root SE)
+//!   and AXI-IC^RT (the seam sits at the central-queue pull), holding the
+//!   policy constant across them. The other baselines have no policy
+//!   seam and are out of scope here.
+//! * **Scenarios** — fault-free control plus the five fault classes on
+//!   BlueScale; on AXI-IC^RT only the client-side classes (rogue demand,
+//!   request burst) exist — its [`Interconnect::install_fault_plan`]
+//!   implementation is a no-op, so the interconnect-side classes would
+//!   silently degrade to a second control run.
+//!
+//! Clients are confined to per-client DRAM bank stripes
+//! ([`System::set_bank_partition`], PALLOC style) with `clients = banks`,
+//! so per-*bank* regulation is per-*client* regulation — the MemGuard
+//! configuration. The regulation budget is **calibrated from the declared
+//! task sets** (1.5× the heaviest bank's declared demand per window): the
+//! declared workload never saturates it, an 8× rogue flood does.
+//!
+//! The headline comparison, asserted by [`run`]: under `RogueDemand` on
+//! AXI-IC^RT, `PerBankRegulation` keeps every victim miss-free while
+//! `Unregulated` shows measurable victim degradation. A per-policy dense
+//! (Fig 6-style) run adds the throughput side of the frontier, and the
+//! Fig 5 hardware quantities are attached per policy — identical across
+//! policies, because the zoo lives behind the controller's existing
+//! arbitration stage and adds no area/power/f_max term.
+//!
+//! [`Interconnect::install_fault_plan`]: bluescale_interconnect::Interconnect::install_fault_plan
+
+use crate::fig5;
+use bluescale::{BlueScaleConfig, BlueScaleInterconnect};
+use bluescale_baselines::AxiIcRt;
+use bluescale_interconnect::guard::{GuardConfig, WatchdogConfig};
+use bluescale_interconnect::system::System;
+use bluescale_interconnect::Interconnect;
+use bluescale_mem::{ControllerStats, DramConfig, MemPolicyConfig};
+use bluescale_rt::task::TaskSet;
+use bluescale_sim::fault::{FaultClass, FaultKind, FaultPlan, FaultWindow};
+use bluescale_sim::metrics::{ComponentId, Counter};
+use bluescale_sim::rng::SimRng;
+use bluescale_sim::Cycle;
+use bluescale_workload::synthetic::{generate, SyntheticConfig};
+
+/// Configuration of the policy-matrix experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemPolicyConfigSweep {
+    /// Clients; kept equal to the DRAM bank count so the bank partition
+    /// gives every client its own stripe.
+    pub clients: usize,
+    /// Horizon per cell.
+    pub horizon: Cycle,
+    /// Master seed (workload).
+    pub seed: u64,
+}
+
+impl Default for MemPolicyConfigSweep {
+    fn default() -> Self {
+        Self {
+            clients: 8,
+            horizon: 20_000,
+            seed: 0x3E9,
+        }
+    }
+}
+
+/// The two interconnects with a policy seam.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyIc {
+    /// The proposed architecture; the seam is the root SE's arbitration.
+    BlueScale,
+    /// The centralized baseline; the seam is the central-queue pull.
+    AxiIcRt,
+}
+
+impl PolicyIc {
+    /// Both seam-bearing interconnects.
+    pub const ALL: [PolicyIc; 2] = [PolicyIc::BlueScale, PolicyIc::AxiIcRt];
+
+    /// Display name matching the paper's legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicyIc::BlueScale => "BlueScale",
+            PolicyIc::AxiIcRt => "AXI-IC^RT",
+        }
+    }
+}
+
+/// One cell of the policy × interconnect × scenario matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixRow {
+    /// Policy name ([`MemPolicyConfig::name`]).
+    pub policy: &'static str,
+    /// Interconnect under test.
+    pub interconnect: PolicyIc,
+    /// Injected fault class (`None` = fault-free control).
+    pub class: Option<FaultClass>,
+    /// Victim (non-target clients) deadline misses.
+    pub victim_missed: u64,
+    /// Victim misses over victim issues.
+    pub victim_miss_ratio: f64,
+    /// Worst normalized response time over all victims.
+    pub victim_worst_normalized: f64,
+    /// The fault target's own miss ratio.
+    pub target_miss_ratio: f64,
+    /// Requests issued / completed / left queued / guard-tracked.
+    pub issued: u64,
+    /// Completed requests.
+    pub completed: u64,
+    /// Requests still queued when the horizon ended.
+    pub backlog: u64,
+    /// Guard-tracked requests never delivered (DropResponse watchdog).
+    pub outstanding: u64,
+    /// Controller row-hit ratio over completed requests.
+    pub row_hit_ratio: f64,
+    /// Grants the policy deferred (candidate-cycles).
+    pub policy_deferred: u64,
+    /// Fault activations recorded.
+    pub faults_injected: u64,
+}
+
+/// One point of the throughput (dense, fault-free) side of the frontier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputRow {
+    /// Policy name.
+    pub policy: &'static str,
+    /// Interconnect under test.
+    pub interconnect: PolicyIc,
+    /// Overall deadline-miss ratio under the dense workload.
+    pub miss_ratio: f64,
+    /// Mean end-to-end latency, cycles.
+    pub mean_latency: f64,
+    /// Worst observed end-to-end latency, cycles.
+    pub worst_latency: f64,
+    /// Controller row-hit ratio.
+    pub row_hit_ratio: f64,
+    /// Grants the policy deferred.
+    pub policy_deferred: u64,
+}
+
+/// The full experiment result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemPolicyReport {
+    /// The configuration that produced it.
+    pub config: MemPolicyConfigSweep,
+    /// The fault target (the heaviest declared client — the worst-case
+    /// attacker).
+    pub target: u32,
+    /// Calibrated regulation window.
+    pub window: Cycle,
+    /// Calibrated per-bank budget.
+    pub budget: u64,
+    /// Clients given deterministic (closed-page) service.
+    pub dm_clients: Vec<u32>,
+    /// The isolation matrix.
+    pub matrix: Vec<MatrixRow>,
+    /// The throughput rows.
+    pub throughput: Vec<ThroughputRow>,
+    /// Fig 5 hardware quantities at this client count (policy-invariant:
+    /// the policies add no area/power/f_max term). `None` when the client
+    /// count is not a Fig 5 sweep point.
+    pub hw: Option<(f64, f64, f64)>,
+}
+
+/// Mean DRAM service cycles under the bank partition (sequential stripes
+/// row-hit almost always), used to express workload utilization in
+/// channel time as `bench::dram` does.
+const MEAN_SERVICE: f64 = 4.0;
+
+fn dram() -> DramConfig {
+    DramConfig::default()
+}
+
+/// The heaviest declared client: the worst-case attacker for the
+/// client-targeted fault classes.
+pub fn pick_target(sets: &[TaskSet]) -> u32 {
+    sets.iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| {
+            a.utilization()
+                .partial_cmp(&b.utilization())
+                .expect("utilizations are finite")
+        })
+        .map(|(i, _)| i as u32)
+        .expect("non-empty task sets")
+}
+
+/// Calibrates per-bank regulation from the declared task sets: budget =
+/// 1.5× the heaviest bank's declared request demand per window (min 2).
+/// Declared traffic never saturates it; a multi-x flood does.
+pub fn regulation_for(sets: &[TaskSet], window: Cycle, banks: u32) -> MemPolicyConfig {
+    let mut per_bank = vec![0.0f64; banks as usize];
+    for (client, set) in sets.iter().enumerate() {
+        per_bank[client % banks as usize] += set.utilization();
+    }
+    let heaviest = per_bank.iter().cloned().fold(0.0f64, f64::max);
+    let budget = ((heaviest * window as f64 * 1.5).ceil() as u64).max(2);
+    MemPolicyConfig::PerBankRegulation { window, budget }
+}
+
+/// The four policies of the matrix, calibrated against `sets`.
+pub fn policies(sets: &[TaskSet], window: Cycle, banks: u32) -> Vec<MemPolicyConfig> {
+    let target = pick_target(sets);
+    vec![
+        MemPolicyConfig::Unregulated,
+        regulation_for(sets, window, banks),
+        MemPolicyConfig::Blacklisting {
+            threshold: 4,
+            clear_interval: window,
+        },
+        MemPolicyConfig::DeterministicMemory {
+            dm_clients: dm_clients(sets, target),
+        },
+    ]
+}
+
+/// The two heaviest victims get deterministic service (critical clients
+/// are typically the heavy ones; the attacker stays best-effort).
+pub fn dm_clients(sets: &[TaskSet], target: u32) -> Vec<u32> {
+    let mut by_util: Vec<u32> = (0..sets.len() as u32).filter(|&c| c != target).collect();
+    by_util.sort_by(|&a, &b| {
+        sets[b as usize]
+            .utilization()
+            .partial_cmp(&sets[a as usize].utilization())
+            .expect("utilizations are finite")
+    });
+    by_util.truncate(2);
+    by_util.sort_unstable();
+    by_util
+}
+
+/// The fault plan of one scenario (the `isolation_fault` plans, with a
+/// configurable target).
+pub fn scenario_plan(class: FaultClass, horizon: Cycle, seed: u64, target: u32) -> FaultPlan {
+    let mut plan = FaultPlan::new(seed);
+    match class {
+        FaultClass::RogueDemand => plan.push(
+            FaultKind::RogueDemand {
+                client: target,
+                factor: 8,
+            },
+            FaultWindow::ALWAYS,
+        ),
+        FaultClass::RequestBurst => plan.push(
+            FaultKind::RequestBurst {
+                client: target,
+                requests: 60,
+            },
+            FaultWindow::new(horizon / 4, horizon / 4 + 1),
+        ),
+        FaultClass::StuckGrant => plan.push(
+            FaultKind::StuckGrant {
+                depth: 1,
+                order: 0,
+                port: 0,
+            },
+            FaultWindow::new(horizon / 4, horizon / 2),
+        ),
+        FaultClass::DramJitter => plan.push(
+            FaultKind::DramJitter {
+                bank: 0,
+                max_extra_cycles: 2,
+            },
+            FaultWindow::new(0, horizon / 2),
+        ),
+        FaultClass::DropResponse => plan.push(
+            FaultKind::DropResponse {
+                client: target,
+                every: 2,
+            },
+            FaultWindow::new(0, horizon / 2),
+        ),
+    };
+    plan
+}
+
+/// Scenario classes per interconnect: all five on BlueScale; only the
+/// client-side classes on AXI-IC^RT (its fault-plan hook is a no-op, so
+/// the interconnect-side classes would be silent second controls).
+pub fn scenario_classes(ic: PolicyIc) -> Vec<Option<FaultClass>> {
+    match ic {
+        PolicyIc::BlueScale => std::iter::once(None)
+            .chain(FaultClass::ALL.into_iter().map(Some))
+            .collect(),
+        PolicyIc::AxiIcRt => vec![
+            None,
+            Some(FaultClass::RogueDemand),
+            Some(FaultClass::RequestBurst),
+        ],
+    }
+}
+
+fn build_bluescale(sets: &[TaskSet], policy: &MemPolicyConfig) -> BlueScaleInterconnect {
+    let mut config = BlueScaleConfig::for_clients(sets.len());
+    config.work_conserving = true;
+    config.dram = Some(dram());
+    config.mem_policy = policy.clone();
+    BlueScaleInterconnect::new(config, sets).expect("client count matches task sets")
+}
+
+fn build_axi(sets: &[TaskSet], policy: &MemPolicyConfig) -> AxiIcRt {
+    AxiIcRt::with_dram_policy(sets.len(), 8, dram(), policy)
+}
+
+/// Applies the shared per-cell harness setup: bank partition, scenario
+/// fault plan, and (for DropResponse) the recovery watchdog — dropped
+/// responses would otherwise break request conservation. No quarantine
+/// anywhere: the *policy* must be the only defense against the rogue.
+fn prepare<IC: Interconnect + ?Sized>(
+    sys: &mut System<IC>,
+    config: &MemPolicyConfigSweep,
+    class: Option<FaultClass>,
+    target: u32,
+) {
+    let geometry = dram();
+    sys.set_bank_partition(geometry.banks, geometry.row_bytes);
+    if let Some(class) = class {
+        sys.set_fault_plan(scenario_plan(class, config.horizon, config.seed, target));
+    }
+    // Miss detection stays on everywhere so the guard layer *tracks*
+    // requests (its `outstanding` closes the conservation equation over
+    // end-of-horizon in-flight traffic); the watchdog re-injects dropped
+    // responses, which would otherwise be conservation leaks.
+    let watchdog = (class == Some(FaultClass::DropResponse)).then_some(WatchdogConfig {
+        timeout: 4_096,
+        max_retries: 4,
+    });
+    sys.set_guards(GuardConfig {
+        deadline_miss_detection: true,
+        watchdog,
+        quarantine: None,
+    })
+    .expect("the watchdog timeout clears the longest deadline window");
+}
+
+struct CellStats {
+    victim_missed: u64,
+    victim_miss_ratio: f64,
+    victim_worst_normalized: f64,
+    target_miss_ratio: f64,
+    issued: u64,
+    completed: u64,
+    backlog: u64,
+    outstanding: u64,
+    faults_injected: u64,
+}
+
+fn measure<IC: Interconnect + ?Sized>(
+    sys: &mut System<IC>,
+    horizon: Cycle,
+    target: u32,
+) -> CellStats {
+    let total = sys.run(horizon);
+    let (mut victim_missed, mut victim_issued, mut victim_worst) = (0u64, 0u64, 0.0f64);
+    let mut per_client = sys.per_client_metrics();
+    for (c, m) in per_client.iter_mut().enumerate() {
+        if c == target as usize {
+            continue;
+        }
+        victim_missed += m.missed();
+        victim_issued += m.issued();
+        victim_worst = victim_worst.max(m.normalized_response().max().unwrap_or(0.0));
+    }
+    CellStats {
+        victim_missed,
+        victim_miss_ratio: if victim_issued == 0 {
+            0.0
+        } else {
+            victim_missed as f64 / victim_issued as f64
+        },
+        victim_worst_normalized: victim_worst,
+        target_miss_ratio: per_client[target as usize].miss_ratio(),
+        issued: total.issued(),
+        completed: total.completed(),
+        backlog: total.backlog(),
+        outstanding: sys.guard_outstanding() as u64,
+        faults_injected: sys
+            .merged_registry()
+            .counter(ComponentId::System, Counter::FaultsInjected),
+    }
+}
+
+fn run_cell(
+    config: &MemPolicyConfigSweep,
+    sets: &[TaskSet],
+    policy: &MemPolicyConfig,
+    ic: PolicyIc,
+    class: Option<FaultClass>,
+    target: u32,
+) -> MatrixRow {
+    let (stats, controller, deferred): (CellStats, ControllerStats, u64) = match ic {
+        PolicyIc::BlueScale => {
+            let mut sys = System::new(Box::new(build_bluescale(sets, policy)), sets);
+            prepare(&mut sys, config, class, target);
+            let stats = measure(&mut sys, config.horizon, target);
+            let deferred = sys
+                .merged_registry()
+                .counter(ComponentId::Memory, Counter::PolicyDeferred);
+            (stats, sys.interconnect().memory_stats(), deferred)
+        }
+        PolicyIc::AxiIcRt => {
+            let mut sys = System::new(Box::new(build_axi(sets, policy)), sets);
+            prepare(&mut sys, config, class, target);
+            let stats = measure(&mut sys, config.horizon, target);
+            let deferred = sys.interconnect().policy_deferred();
+            (stats, sys.interconnect().memory_stats(), deferred)
+        }
+    };
+    let row = MatrixRow {
+        policy: policy.name(),
+        interconnect: ic,
+        class,
+        victim_missed: stats.victim_missed,
+        victim_miss_ratio: stats.victim_miss_ratio,
+        victim_worst_normalized: stats.victim_worst_normalized,
+        target_miss_ratio: stats.target_miss_ratio,
+        issued: stats.issued,
+        completed: stats.completed,
+        backlog: stats.backlog,
+        outstanding: stats.outstanding,
+        row_hit_ratio: controller.hit_ratio(),
+        policy_deferred: deferred,
+        faults_injected: stats.faults_injected,
+    };
+    let label = format!(
+        "{}/{}/{}",
+        row.policy,
+        ic.name(),
+        class.map_or("control", |c| c.name())
+    );
+    // Request conservation, every cell: everything issued either
+    // completed, is still queued, or is tracked by the DropResponse
+    // watchdog. A deferred grant stays in its RAB — deferral can never
+    // leak requests.
+    assert_eq!(
+        row.issued,
+        row.completed + row.backlog + row.outstanding,
+        "[{label}] conservation: issued = completed + backlog + outstanding"
+    );
+    match class {
+        None => assert_eq!(
+            row.faults_injected, 0,
+            "[{label}] control must be fault-free"
+        ),
+        Some(_) => assert!(row.faults_injected > 0, "[{label}] fault never fired"),
+    }
+    if policy.name() == "unregulated" {
+        assert_eq!(row.policy_deferred, 0, "[{label}] unregulated never defers");
+    }
+    row
+}
+
+fn throughput_cell(
+    sets: &[TaskSet],
+    policy: &MemPolicyConfig,
+    ic: PolicyIc,
+    horizon: Cycle,
+) -> ThroughputRow {
+    let geometry = dram();
+    let (mut metrics, controller, deferred): (_, ControllerStats, u64) = match ic {
+        PolicyIc::BlueScale => {
+            let mut sys = System::new(Box::new(build_bluescale(sets, policy)), sets);
+            sys.set_bank_partition(geometry.banks, geometry.row_bytes);
+            let m = sys.run(horizon);
+            let deferred = sys
+                .merged_registry()
+                .counter(ComponentId::Memory, Counter::PolicyDeferred);
+            (m, sys.interconnect().memory_stats(), deferred)
+        }
+        PolicyIc::AxiIcRt => {
+            let mut sys = System::new(Box::new(build_axi(sets, policy)), sets);
+            sys.set_bank_partition(geometry.banks, geometry.row_bytes);
+            let m = sys.run(horizon);
+            let deferred = sys.interconnect().policy_deferred();
+            (m, sys.interconnect().memory_stats(), deferred)
+        }
+    };
+    ThroughputRow {
+        policy: policy.name(),
+        interconnect: ic,
+        miss_ratio: metrics.miss_ratio(),
+        mean_latency: metrics.mean_latency(),
+        worst_latency: metrics.latency().max().unwrap_or(0.0),
+        row_hit_ratio: controller.hit_ratio(),
+        policy_deferred: deferred,
+    }
+}
+
+/// Runs the experiment and asserts its headline properties as it goes.
+///
+/// # Panics
+///
+/// Panics if request conservation fails in any cell, if a fault scenario
+/// never fires (or a control does), or if the headline isolation claim
+/// breaks: under `RogueDemand` on AXI-IC^RT, `PerBankRegulation` must
+/// keep every victim miss-free while `Unregulated` shows measurable
+/// victim degradation.
+pub fn run(config: &MemPolicyConfigSweep) -> MemPolicyReport {
+    let window: Cycle = 1_000;
+    let banks = dram().banks;
+    let mut rng = SimRng::seed_from(config.seed);
+    // Moderate declared load in channel time (~40-50 % of capacity):
+    // headroom exists, so only the faults threaten victims.
+    let synthetic = SyntheticConfig {
+        util_lo: 0.40 / MEAN_SERVICE,
+        util_hi: 0.50 / MEAN_SERVICE,
+        ..SyntheticConfig::fig6(config.clients)
+    };
+    let sets = generate(&synthetic, &mut rng);
+    let target = pick_target(&sets);
+    let policy_list = policies(&sets, window, banks);
+    let (regulated, budget) = match policy_list[1] {
+        MemPolicyConfig::PerBankRegulation { budget, .. } => ("per_bank_regulation", budget),
+        _ => unreachable!("policies()[1] is the calibrated regulator"),
+    };
+    let dm = match &policy_list[3] {
+        MemPolicyConfig::DeterministicMemory { dm_clients } => dm_clients.clone(),
+        _ => unreachable!("policies()[3] is deterministic memory"),
+    };
+
+    let mut matrix = Vec::new();
+    for policy in &policy_list {
+        for ic in PolicyIc::ALL {
+            for class in scenario_classes(ic) {
+                matrix.push(run_cell(config, &sets, policy, ic, class, target));
+            }
+        }
+    }
+
+    // The headline frontier point (the acceptance claim of this PR).
+    let cell = |policy: &str, ic: PolicyIc, class: Option<FaultClass>| {
+        matrix
+            .iter()
+            .find(|r| r.policy == policy && r.interconnect == ic && r.class == class)
+            .expect("matrix covers the full cross product")
+    };
+    let rogue = Some(FaultClass::RogueDemand);
+    let unregulated = cell("unregulated", PolicyIc::AxiIcRt, rogue);
+    assert!(
+        unregulated.victim_miss_ratio > 0.01,
+        "the 8x flood must measurably degrade unregulated AXI victims \
+         (got {:.4})",
+        unregulated.victim_miss_ratio
+    );
+    let banked = cell(regulated, PolicyIc::AxiIcRt, rogue);
+    assert_eq!(
+        banked.victim_missed, 0,
+        "per-bank regulation must keep AXI victims miss-free under the flood"
+    );
+    assert!(
+        banked.policy_deferred > 0,
+        "the calibrated budget must actually defer the flood"
+    );
+
+    // The throughput side: dense, fault-free (~60-70 % channel load).
+    let dense = SyntheticConfig {
+        util_lo: 0.60 / MEAN_SERVICE,
+        util_hi: 0.70 / MEAN_SERVICE,
+        ..SyntheticConfig::fig6(config.clients)
+    };
+    let dense_sets = generate(&dense, &mut rng);
+    let dense_policies = policies(&dense_sets, window, banks);
+    let mut throughput = Vec::new();
+    for policy in &dense_policies {
+        for ic in PolicyIc::ALL {
+            throughput.push(throughput_cell(&dense_sets, policy, ic, config.horizon));
+        }
+    }
+
+    let hw = fig5::sweep()
+        .into_iter()
+        .find(|p| p.clients == config.clients)
+        .map(|p| (p.bluescale_area, p.bluescale_power_w, p.bluescale_fmax));
+
+    MemPolicyReport {
+        config: *config,
+        target,
+        window,
+        budget,
+        dm_clients: dm,
+        matrix,
+        throughput,
+        hw,
+    }
+}
+
+/// Renders the report as markdown tables.
+pub fn render(report: &MemPolicyReport) -> String {
+    let c = &report.config;
+    let mut s = format!(
+        "# Extension: memory-policy zoo × interconnects × fault classes \
+         ({} clients = {} bank stripes, horizon {}, window {}, calibrated \
+         budget {}, target client {}, dm clients {:?})\n\n\
+         Victim = any client the fault does not target.\n\n",
+        c.clients,
+        dram().banks,
+        c.horizon,
+        report.window,
+        report.budget,
+        report.target,
+        report.dm_clients,
+    );
+    s.push_str(
+        "| Policy | Interconnect | Scenario | Victim miss | Victim worst norm. | \
+         Target miss | Row-hit | Deferred | Faults |\n\
+         |---|---|---|---:|---:|---:|---:|---:|---:|\n",
+    );
+    for r in &report.matrix {
+        s.push_str(&format!(
+            "| {} | {} | {} | {:.2}% | {:.3} | {:.1}% | {:.1}% | {} | {} |\n",
+            r.policy,
+            r.interconnect.name(),
+            r.class.map_or("control", |c| c.name()),
+            100.0 * r.victim_miss_ratio,
+            r.victim_worst_normalized,
+            100.0 * r.target_miss_ratio,
+            100.0 * r.row_hit_ratio,
+            r.policy_deferred,
+            r.faults_injected,
+        ));
+    }
+    s.push_str(
+        "\nDense fault-free throughput (the other side of the frontier):\n\n\
+         | Policy | Interconnect | Miss | Mean lat. | Worst lat. | Row-hit | Deferred |\n\
+         |---|---|---:|---:|---:|---:|---:|\n",
+    );
+    for r in &report.throughput {
+        s.push_str(&format!(
+            "| {} | {} | {:.2}% | {:.1} | {:.0} | {:.1}% | {} |\n",
+            r.policy,
+            r.interconnect.name(),
+            100.0 * r.miss_ratio,
+            r.mean_latency,
+            r.worst_latency,
+            100.0 * r.row_hit_ratio,
+            r.policy_deferred,
+        ));
+    }
+    if let Some((area, power, fmax)) = report.hw {
+        s.push_str(&format!(
+            "\nFig 5 at this scale (identical for every policy — the zoo \
+             adds no hardware): area fraction {area:.4}, power {power:.3} W, \
+             f_max {fmax:.0} MHz.\n"
+        ));
+    }
+    s
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders the report as the `BENCH_mem_policy.json` artefact
+/// (hand-rolled JSON in the style of the other `BENCH_*` exports).
+pub fn render_json(report: &MemPolicyReport) -> String {
+    let c = &report.config;
+    let mut s = String::from("{\n");
+    s.push_str(" \"benchmark\": \"mem_policy\",\n");
+    s.push_str(&format!(" \"clients\": {},\n", c.clients));
+    s.push_str(&format!(" \"horizon\": {},\n", c.horizon));
+    s.push_str(&format!(" \"seed\": {},\n", c.seed));
+    s.push_str(&format!(" \"banks\": {},\n", dram().banks));
+    s.push_str(&format!(" \"target\": {},\n", report.target));
+    s.push_str(&format!(" \"window\": {},\n", report.window));
+    s.push_str(&format!(" \"budget\": {},\n", report.budget));
+    s.push_str(&format!(
+        " \"dm_clients\": [{}],\n",
+        report
+            .dm_clients
+            .iter()
+            .map(u32::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    s.push_str(" \"matrix\": [\n");
+    for (i, r) in report.matrix.iter().enumerate() {
+        s.push_str(&format!(
+            "  {{\"policy\": \"{}\", \"interconnect\": \"{}\", \"scenario\": \"{}\", \
+             \"victim_missed\": {}, \"victim_miss_ratio\": {}, \
+             \"victim_worst_normalized\": {}, \"target_miss_ratio\": {}, \
+             \"issued\": {}, \"completed\": {}, \"backlog\": {}, \
+             \"outstanding\": {}, \"row_hit_ratio\": {}, \
+             \"policy_deferred\": {}, \"faults_injected\": {}}}{}\n",
+            r.policy,
+            r.interconnect.name(),
+            r.class.map_or("control", |c| c.name()),
+            r.victim_missed,
+            json_f(r.victim_miss_ratio),
+            json_f(r.victim_worst_normalized),
+            json_f(r.target_miss_ratio),
+            r.issued,
+            r.completed,
+            r.backlog,
+            r.outstanding,
+            json_f(r.row_hit_ratio),
+            r.policy_deferred,
+            r.faults_injected,
+            if i + 1 < report.matrix.len() { "," } else { "" },
+        ));
+    }
+    s.push_str(" ],\n \"throughput\": [\n");
+    for (i, r) in report.throughput.iter().enumerate() {
+        s.push_str(&format!(
+            "  {{\"policy\": \"{}\", \"interconnect\": \"{}\", \"miss_ratio\": {}, \
+             \"mean_latency\": {}, \"worst_latency\": {}, \"row_hit_ratio\": {}, \
+             \"policy_deferred\": {}}}{}\n",
+            r.policy,
+            r.interconnect.name(),
+            json_f(r.miss_ratio),
+            json_f(r.mean_latency),
+            json_f(r.worst_latency),
+            json_f(r.row_hit_ratio),
+            r.policy_deferred,
+            if i + 1 < report.throughput.len() {
+                ","
+            } else {
+                ""
+            },
+        ));
+    }
+    s.push_str(" ],\n");
+    match report.hw {
+        Some((area, power, fmax)) => s.push_str(&format!(
+            " \"fig5_policy_invariant\": {{\"bluescale_area\": {}, \
+             \"bluescale_power_w\": {}, \"bluescale_fmax_mhz\": {}}}\n",
+            json_f(area),
+            json_f(power),
+            json_f(fmax)
+        )),
+        None => s.push_str(" \"fig5_policy_invariant\": null\n"),
+    }
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> MemPolicyConfigSweep {
+        MemPolicyConfigSweep {
+            clients: 8,
+            horizon: 10_000,
+            seed: 0x3E9,
+        }
+    }
+
+    #[test]
+    fn matrix_covers_the_cross_product_and_holds() {
+        // run() asserts conservation + the headline claim internally.
+        let report = run(&tiny());
+        // 4 policies x (6 BlueScale scenarios + 3 AXI scenarios).
+        assert_eq!(report.matrix.len(), 4 * (6 + 3));
+        assert_eq!(report.throughput.len(), 4 * 2);
+        assert!(report.budget >= 2);
+        assert_eq!(report.dm_clients.len(), 2);
+        assert!(report.hw.is_some(), "8 clients is a Fig 5 sweep point");
+    }
+
+    #[test]
+    fn calibration_tracks_declared_demand() {
+        let mut rng = SimRng::seed_from(7);
+        let sets = generate(&SyntheticConfig::fig6(8), &mut rng);
+        let MemPolicyConfig::PerBankRegulation { window, budget } = regulation_for(&sets, 1_000, 8)
+        else {
+            panic!("regulation_for builds a regulator");
+        };
+        assert_eq!(window, 1_000);
+        let heaviest = sets.iter().map(|s| s.utilization()).fold(0.0f64, f64::max);
+        assert!(budget as f64 >= heaviest * 1_000.0, "declared demand fits");
+        let target = pick_target(&sets);
+        assert!(!dm_clients(&sets, target).contains(&target));
+    }
+
+    #[test]
+    fn render_names_every_policy_and_json_parses_shallowly() {
+        let report = run(&tiny());
+        let text = render(&report);
+        let json = render_json(&report);
+        for p in [
+            "unregulated",
+            "per_bank_regulation",
+            "blacklisting",
+            "deterministic_memory",
+        ] {
+            assert!(text.contains(p), "markdown missing {p}");
+            assert!(json.contains(p), "json missing {p}");
+        }
+        assert!(json.contains("\"benchmark\": \"mem_policy\""));
+        assert_eq!(json.matches("{").count(), json.matches("}").count());
+    }
+}

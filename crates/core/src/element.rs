@@ -160,6 +160,13 @@ impl ScaleElement {
         !self.buffers[port].is_full()
     }
 
+    /// The request `port`'s buffer would release next (the grant
+    /// candidate a memory policy inspects before arbitration), without
+    /// removing it.
+    pub fn peek_port(&self, port: usize) -> Option<&MemoryRequest> {
+        self.buffers[port].peek()
+    }
+
     /// Offers a request at `port`.
     ///
     /// # Errors

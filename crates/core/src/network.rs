@@ -18,7 +18,7 @@ use crate::soa::SoaCore;
 use crate::topology::{BlueScaleConfig, SeIndex};
 use bluescale_interconnect::admission::{CancelToken, ReconfigOutcome};
 use bluescale_interconnect::{ClientId, Interconnect, MemoryRequest, MemoryResponse, ServiceEvent};
-use bluescale_mem::{DramConfig, MemoryController};
+use bluescale_mem::{ControllerStats, DramConfig, GrantCandidate, MemoryController, MemoryPolicy};
 use bluescale_rt::interface::root_admissible;
 use bluescale_rt::supply::PeriodicResource;
 use bluescale_rt::task::TaskSet;
@@ -180,6 +180,10 @@ pub struct BlueScaleInterconnect {
     /// engine, kept as the differential oracle.
     soa: Option<SoaCore>,
     controller: MemoryController<MemoryRequest>,
+    /// Memory-scheduling policy at the root-arbitration seam
+    /// ([`BlueScaleConfig::mem_policy`]). A passive policy keeps the
+    /// arbitration hot path byte-identical to having none.
+    policy: Box<dyn MemoryPolicy>,
     ready: VecDeque<MemoryResponse>,
     service_events: VecDeque<ServiceEvent>,
     client_tasks: Vec<TaskSet>,
@@ -272,6 +276,7 @@ impl BlueScaleInterconnect {
                     .dram
                     .unwrap_or(DramConfig::flat(config.memory_service_cycles)),
             ),
+            policy: config.mem_policy.build(),
             ready: VecDeque::new(),
             service_events: VecDeque::new(),
             client_tasks: task_sets.to_vec(),
@@ -345,9 +350,26 @@ impl BlueScaleInterconnect {
 
     /// Read access to the metrics registry. Memory-controller counters may
     /// lag behind [`MemoryController::stats`](bluescale_mem::MemoryController::stats)
-    /// until the next [`metrics_mut`](Self::metrics_mut) call.
+    /// until the next [`metrics_mut`](Self::metrics_mut) call — that lag is
+    /// a pinned part of the contract (a `&self` read cannot flush), and
+    /// `metrics_mut` reconverges the mirror *exactly* (pinned by
+    /// `registry_lag_reconverges_exactly`). Callers needing mid-run memory
+    /// statistics without a flush read [`memory_stats`](Self::memory_stats),
+    /// which never lags.
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
+    }
+
+    /// The memory controller's live statistics. Unlike the registry mirror
+    /// (refreshed only on [`metrics_mut`](Self::metrics_mut)), this reads
+    /// the controller directly and can never be stale.
+    pub fn memory_stats(&self) -> ControllerStats {
+        self.controller.stats()
+    }
+
+    /// The active memory policy's stable name (bench/export labelling).
+    pub fn memory_policy_name(&self) -> &'static str {
+        self.policy.name()
     }
 
     /// Per-SE forwarded-request counters, indexed `[depth][order]`
@@ -891,10 +913,15 @@ impl BlueScaleInterconnect {
                 soa.accept_response(0, 0, done);
             }
         }
-        // 3. Root arbitration feeds the memory controller.
+        // 3. Root arbitration feeds the memory controller. An active
+        //    memory policy widens the stuck-grant mask before arbitration:
+        //    deferred candidates stay queued in their RABs, so request
+        //    conservation is untouched.
         let root_ready = self.controller.can_accept();
-        let granted = if have_faults {
-            let mask = self.faults.stuck_mask(0, 0, branch, now);
+        let passive = self.policy.is_passive();
+        let mut mask: Option<Vec<bool>> = None;
+        if have_faults {
+            mask = self.faults.stuck_mask(0, 0, branch, now);
             if mask.is_some() {
                 self.metrics
                     .inc(ComponentId::System, Counter::FaultsInjected);
@@ -903,18 +930,45 @@ impl BlueScaleInterconnect {
                     Counter::FaultsInjected,
                 );
             }
-            if detail {
-                soa.step_se(0, 0, now, root_ready, mask.as_deref(), &mut self.metrics)
-            } else {
-                soa.step_se_batched(0, 0, now, root_ready, mask.as_deref())
+        }
+        if !passive && root_ready {
+            let mut candidates: Vec<GrantCandidate> = Vec::with_capacity(branch);
+            for port in 0..branch {
+                if mask.as_ref().is_some_and(|m| m[port]) {
+                    continue;
+                }
+                if let Some(head) = soa.peek_head(0, 0, port) {
+                    let (bank, _) = self.controller.decode(head.addr);
+                    candidates.push(GrantCandidate {
+                        port,
+                        client: head.client,
+                        bank,
+                        deadline: head.deadline,
+                    });
+                }
             }
-        } else if detail {
-            soa.step_se(0, 0, now, root_ready, None, &mut self.metrics)
+            if !candidates.is_empty() {
+                let defer = self.policy.defer_mask(now, &candidates);
+                if defer != 0 {
+                    let m = mask.get_or_insert_with(|| vec![false; branch]);
+                    for (i, c) in candidates.iter().enumerate() {
+                        if defer & (1 << i) != 0 {
+                            m[c.port] = true;
+                            self.metrics
+                                .inc(ComponentId::Memory, Counter::PolicyDeferred);
+                        }
+                    }
+                }
+            }
+        }
+        let granted = if detail {
+            soa.step_se(0, 0, now, root_ready, mask.as_deref(), &mut self.metrics)
         } else {
-            soa.step_se_batched(0, 0, now, root_ready, None)
+            soa.step_se_batched(0, 0, now, root_ready, mask.as_deref())
         };
         if let Some(request) = granted {
-            let (id, addr, deadline) = (request.id, request.addr, request.deadline);
+            let (id, addr, client, deadline) =
+                (request.id, request.addr, request.client, request.deadline);
             let extra = if have_faults {
                 let (bank, _) = self.controller.decode(addr);
                 let extra = self.faults.dram_jitter(bank, now);
@@ -928,7 +982,14 @@ impl BlueScaleInterconnect {
             } else {
                 0
             };
-            let duration = self.controller.accept_with_extra(request, addr, now, extra);
+            let class = self.policy.service_class(client);
+            let duration = self
+                .controller
+                .accept_classed(request, addr, now, extra, class);
+            if !passive {
+                let (bank, _) = self.controller.decode(addr);
+                self.policy.on_issue(now, client, bank);
+            }
             self.metrics.request_mem_issue(now, id, duration);
             self.service_events.push_back(ServiceEvent {
                 at: now,
@@ -1119,10 +1180,14 @@ impl Interconnect for BlueScaleInterconnect {
         }
         // 3. Root arbitration feeds the memory controller. A stuck-grant
         //    fault hides the affected port from the scheduler; a DRAM
-        //    jitter fault stretches the granted request's service time.
+        //    jitter fault stretches the granted request's service time. An
+        //    active memory policy widens the same mask: deferred candidates
+        //    stay queued in their RABs, preserving request conservation.
         let root_ready = self.controller.can_accept();
-        let granted = if have_faults {
-            let mask = self.faults.stuck_mask(0, 0, self.config.branch, now);
+        let passive = self.policy.is_passive();
+        let mut mask: Option<Vec<bool>> = None;
+        if have_faults {
+            mask = self.faults.stuck_mask(0, 0, self.config.branch, now);
             if mask.is_some() {
                 self.metrics
                     .inc(ComponentId::System, Counter::FaultsInjected);
@@ -1131,12 +1196,43 @@ impl Interconnect for BlueScaleInterconnect {
                     Counter::FaultsInjected,
                 );
             }
-            self.elements[0][0].step_masked(now, root_ready, &mut self.metrics, mask.as_deref())
-        } else {
-            self.elements[0][0].step(now, root_ready, &mut self.metrics)
-        };
+        }
+        if !passive && root_ready {
+            let branch = self.config.branch;
+            let mut candidates: Vec<GrantCandidate> = Vec::with_capacity(branch);
+            for port in 0..branch {
+                if mask.as_ref().is_some_and(|m| m[port]) {
+                    continue;
+                }
+                if let Some(head) = self.elements[0][0].peek_port(port) {
+                    let (bank, _) = self.controller.decode(head.addr);
+                    candidates.push(GrantCandidate {
+                        port,
+                        client: head.client,
+                        bank,
+                        deadline: head.deadline,
+                    });
+                }
+            }
+            if !candidates.is_empty() {
+                let defer = self.policy.defer_mask(now, &candidates);
+                if defer != 0 {
+                    let m = mask.get_or_insert_with(|| vec![false; branch]);
+                    for (i, c) in candidates.iter().enumerate() {
+                        if defer & (1 << i) != 0 {
+                            m[c.port] = true;
+                            self.metrics
+                                .inc(ComponentId::Memory, Counter::PolicyDeferred);
+                        }
+                    }
+                }
+            }
+        }
+        let granted =
+            self.elements[0][0].step_masked(now, root_ready, &mut self.metrics, mask.as_deref());
         if let Some(request) = granted {
-            let (id, addr, deadline) = (request.id, request.addr, request.deadline);
+            let (id, addr, client, deadline) =
+                (request.id, request.addr, request.client, request.deadline);
             let extra = if have_faults {
                 let (bank, _) = self.controller.decode(addr);
                 let extra = self.faults.dram_jitter(bank, now);
@@ -1150,7 +1246,14 @@ impl Interconnect for BlueScaleInterconnect {
             } else {
                 0
             };
-            let duration = self.controller.accept_with_extra(request, addr, now, extra);
+            let class = self.policy.service_class(client);
+            let duration = self
+                .controller
+                .accept_classed(request, addr, now, extra, class);
+            if !passive {
+                let (bank, _) = self.controller.decode(addr);
+                self.policy.on_issue(now, client, bank);
+            }
             self.metrics.request_mem_issue(now, id, duration);
             self.service_events.push_back(ServiceEvent {
                 at: now,
@@ -1245,6 +1348,13 @@ impl Interconnect for BlueScaleInterconnect {
             // cycle; jitter and drops key off the current cycle) force
             // per-cycle stepping; future windows bound the jump.
             next = next.min(self.faults.next_activity(now));
+        }
+        if !self.policy.is_passive() {
+            // A policy can only defer pending requests, and pending
+            // requests already pin the hint to `now` above — but bounding
+            // the jump by the policy's next unblock keeps the lookahead
+            // conservative even if a policy ever tracked cross-idle state.
+            next = next.min(self.policy.next_unblock(now));
         }
         Some(next)
     }
@@ -1813,5 +1923,118 @@ mod tests {
         assert!(BuildError::UnknownClient { client: 3 }
             .to_string()
             .contains('3'));
+    }
+
+    #[test]
+    fn registry_lag_reconverges_exactly() {
+        use bluescale_mem::DramConfig;
+        for soa_core in [false, true] {
+            let cfg = BlueScaleConfig {
+                dram: Some(DramConfig::default()),
+                soa_core,
+                ..BlueScaleConfig::for_clients(16)
+            };
+            let mut ic = BlueScaleInterconnect::new(cfg, &sets(16, 400, 4)).unwrap();
+            for c in 0..16u32 {
+                ic.inject(request(c, c as u64, 0, 400), 0).unwrap();
+            }
+            for now in 0..120 {
+                ic.step(now);
+                while ic.pop_response().is_some() {}
+            }
+            let live = ic.memory_stats();
+            assert!(live.accepted > 0, "workload must reach the controller");
+            // The &self read may lag the live stats, but never exceeds them.
+            let lagged = ic
+                .metrics()
+                .counter(ComponentId::Memory, Counter::MemAccepted);
+            assert!(lagged <= live.accepted, "mirror may lag, never lead");
+            // metrics_mut flushes: the mirror reconverges *exactly*.
+            let flushed = ic.metrics_mut();
+            let m = ComponentId::Memory;
+            assert_eq!(flushed.counter(m, Counter::MemAccepted), live.accepted);
+            assert_eq!(flushed.counter(m, Counter::MemCompleted), live.completed);
+            assert_eq!(flushed.counter(m, Counter::RowHits), live.row_hits);
+            assert_eq!(flushed.counter(m, Counter::RowMisses), live.row_misses);
+            assert_eq!(flushed.counter(m, Counter::BusyCycles), live.busy_cycles);
+        }
+    }
+
+    #[test]
+    fn per_bank_regulation_defers_and_conserves_on_both_engines() {
+        use bluescale_mem::{DramConfig, MemPolicyConfig};
+        for soa_core in [false, true] {
+            let cfg = BlueScaleConfig {
+                dram: Some(DramConfig::default()),
+                mem_policy: MemPolicyConfig::PerBankRegulation {
+                    window: 200,
+                    budget: 1,
+                },
+                soa_core,
+                ..BlueScaleConfig::for_clients(16)
+            };
+            let mut ic = BlueScaleInterconnect::new(cfg, &sets(16, 4000, 4)).unwrap();
+            // All default test addresses share bank 0, so a 1-per-200
+            // budget must defer heavily yet lose nothing.
+            let mut id = 0;
+            for c in 0..16u32 {
+                for _ in 0..2 {
+                    id += 1;
+                    let mut r = request(c, id, 0, 40_000);
+                    r.addr = 0;
+                    ic.inject(r, 0).unwrap();
+                }
+            }
+            let mut done = 0;
+            for now in 0..40_000 {
+                ic.step(now);
+                while ic.pop_response().is_some() {
+                    done += 1;
+                }
+                if done == id {
+                    break;
+                }
+            }
+            assert_eq!(done, id, "soa_core={soa_core}: deferred requests drain");
+            let deferred = ic
+                .metrics_mut()
+                .counter(ComponentId::Memory, Counter::PolicyDeferred);
+            assert!(deferred > 0, "soa_core={soa_core}: budget must bite");
+        }
+    }
+
+    #[test]
+    fn deterministic_memory_closes_pages_for_dm_clients_only() {
+        use bluescale_mem::{DramConfig, MemPolicyConfig};
+        // Client 3 is deterministic; everyone idle. Same-row streaks from
+        // the dm client must never hit; the best-effort client must.
+        let run = |dm: bool| {
+            let cfg = BlueScaleConfig {
+                dram: Some(DramConfig::default()),
+                mem_policy: MemPolicyConfig::DeterministicMemory {
+                    dm_clients: if dm { vec![3] } else { vec![] },
+                },
+                ..BlueScaleConfig::for_clients(16)
+            };
+            let mut ic = BlueScaleInterconnect::new(cfg, &sets(16, 4000, 4)).unwrap();
+            for id in 1..=8u64 {
+                let mut r = request(3, id, 0, 4000);
+                r.addr = id * 64; // one row, sequential words
+                ic.inject(r, 0).unwrap();
+            }
+            for now in 0..2_000 {
+                ic.step(now);
+                while ic.pop_response().is_some() {}
+            }
+            ic.memory_stats()
+        };
+        let deterministic = run(true);
+        let best_effort = run(false);
+        assert_eq!(deterministic.row_hits, 0, "dm requests never ride the row");
+        assert!(best_effort.row_hits > 0, "best-effort keeps the fast path");
+        assert!(
+            deterministic.busy_cycles > best_effort.busy_cycles,
+            "closed-page service pays for its determinism"
+        );
     }
 }

@@ -43,7 +43,7 @@ use bluescale_interconnect::admission::ChurnPlan;
 use bluescale_interconnect::client::TrafficGenerator;
 use bluescale_interconnect::metrics::RunMetrics;
 use bluescale_interconnect::{ClientId, MemoryRequest, MemoryResponse, ServiceEvent};
-use bluescale_mem::{DramConfig, MemoryController};
+use bluescale_mem::{DramConfig, GrantCandidate, MemoryController, MemoryPolicy};
 use bluescale_rt::task::TaskSet;
 use bluescale_sim::fault::{FaultKind, FaultPlan};
 use bluescale_sim::metrics::{ComponentId, Counter, Event, MetricsRegistry, SampleKind};
@@ -307,6 +307,10 @@ struct Coordinator {
     /// A one-level core holding just the root SE (global `(0,0)`).
     root: SoaCore,
     controller: MemoryController<MemoryRequest>,
+    /// Memory-scheduling policy at the root seam — the coordinator-owned
+    /// replica of [`BlueScaleConfig::mem_policy`]. Fed absolute cycles
+    /// only, so it stays in lock-step with the serial engines.
+    policy: Box<dyn MemoryPolicy>,
     service_log: Vec<ServiceEvent>,
     /// Harness-side registry (System/Client aggregates + churn verdicts).
     registry: MetricsRegistry,
@@ -393,8 +397,10 @@ impl Coordinator {
         // in the post phase, after this cycle's arbitration, exactly as
         // the serial phase-4 ordering has it.
         let ready = self.controller.can_accept();
-        let granted = if have_faults {
-            let mask = self.ic_faults.stuck_mask(0, 0, self.branch, now);
+        let passive = self.policy.is_passive();
+        let mut mask: Option<Vec<bool>> = None;
+        if have_faults {
+            mask = self.ic_faults.stuck_mask(0, 0, self.branch, now);
             if mask.is_some() {
                 self.fabric
                     .inc(ComponentId::System, Counter::FaultsInjected);
@@ -403,12 +409,44 @@ impl Coordinator {
                     Counter::FaultsInjected,
                 );
             }
-            self.root.step_se_batched(0, 0, now, ready, mask.as_deref())
-        } else {
-            self.root.step_se_batched(0, 0, now, ready, None)
-        };
+        }
+        // An active policy widens the stuck mask before arbitration, just
+        // like the serial engines: deferred candidates stay queued in the
+        // root's port buffers, so conservation and the boundary protocol
+        // are untouched.
+        if !passive && ready {
+            let mut candidates: Vec<GrantCandidate> = Vec::with_capacity(self.branch);
+            for port in 0..self.branch {
+                if mask.as_ref().is_some_and(|m| m[port]) {
+                    continue;
+                }
+                if let Some(head) = self.root.peek_head(0, 0, port) {
+                    let (bank, _) = self.controller.decode(head.addr);
+                    candidates.push(GrantCandidate {
+                        port,
+                        client: head.client,
+                        bank,
+                        deadline: head.deadline,
+                    });
+                }
+            }
+            if !candidates.is_empty() {
+                let defer = self.policy.defer_mask(now, &candidates);
+                if defer != 0 {
+                    let m = mask.get_or_insert_with(|| vec![false; self.branch]);
+                    for (i, c) in candidates.iter().enumerate() {
+                        if defer & (1 << i) != 0 {
+                            m[c.port] = true;
+                            self.fabric
+                                .inc(ComponentId::Memory, Counter::PolicyDeferred);
+                        }
+                    }
+                }
+            }
+        }
+        let granted = self.root.step_se_batched(0, 0, now, ready, mask.as_deref());
         if let Some(request) = granted {
-            let (addr, deadline) = (request.addr, request.deadline);
+            let (addr, client, deadline) = (request.addr, request.client, request.deadline);
             let extra = if have_faults {
                 let (bank, _) = self.controller.decode(addr);
                 let extra = self.ic_faults.dram_jitter(bank, now);
@@ -422,7 +460,14 @@ impl Coordinator {
             } else {
                 0
             };
-            let duration = self.controller.accept_with_extra(request, addr, now, extra);
+            let class = self.policy.service_class(client);
+            let duration = self
+                .controller
+                .accept_classed(request, addr, now, extra, class);
+            if !passive {
+                let (bank, _) = self.controller.decode(addr);
+                self.policy.on_issue(now, client, bank);
+            }
             self.service_log.push(ServiceEvent {
                 at: now,
                 deadline,
@@ -588,6 +633,10 @@ impl Coordinator {
             .map_or(Cycle::MAX, |done| done.max(now));
         if !self.ic_faults.is_empty() {
             next = next.min(self.ic_faults.next_activity(now));
+        }
+        if !self.policy.is_passive() {
+            // Mirrors the serial hint: conservative bound, see §16.
+            next = next.min(self.policy.next_unblock(now));
         }
         Some(next)
     }
@@ -792,6 +841,7 @@ impl ShardedSystem {
                 clients_per_shard,
                 root,
                 controller,
+                policy: config.mem_policy.build(),
                 service_log: Vec::new(),
                 registry: MetricsRegistry::new(),
                 fabric,

@@ -404,6 +404,40 @@ impl BucketedDeadlineQueue {
         }
     }
 
+    /// The request [`pop`](Self::pop) would return, without removing it —
+    /// same occupied-word scan, same `(deadline, seq)` tie-break, so
+    /// pre-arbitration policy peeks see exactly the grant candidate.
+    pub fn peek(&self) -> Option<&MemoryRequest> {
+        if self.len == 0 {
+            return None;
+        }
+        match &self.inner {
+            Inner::Buckets {
+                buckets, occupied, ..
+            } => {
+                let word = occupied
+                    .iter()
+                    .position(|&w| w != 0)
+                    .expect("non-empty queue has an occupied bucket");
+                let bit = occupied[word].trailing_zeros() as usize;
+                let bucket = &buckets[word * 64 + bit];
+                let mut best = 0;
+                for i in 1..bucket.len() {
+                    if (bucket[i].1.deadline, bucket[i].0)
+                        < (bucket[best].1.deadline, bucket[best].0)
+                    {
+                        best = i;
+                    }
+                }
+                Some(&bucket[best].1)
+            }
+            Inner::Heap { heap, slab, .. } => {
+                let Reverse((_, _, i)) = heap.peek().expect("non-empty queue has a heap entry");
+                Some(slab[*i].as_ref().expect("heap entry is backed by the slab"))
+            }
+        }
+    }
+
     /// Charges one blocked cycle to every resident request with a deadline
     /// strictly earlier than `served_deadline`. Returns how many were
     /// charged. Only `blocked_cycles` mutates, so heap/bucket keys stay
@@ -640,6 +674,48 @@ impl PortQueues {
             PortQueues::Bucketed(queues) => queues[slot].pop(),
         }
     }
+
+    /// The request [`pop`](Self::pop) would return for `slot`, without
+    /// removing it (identical selection scan).
+    fn peek(&self, slot: usize) -> Option<&MemoryRequest> {
+        match self {
+            PortQueues::Slab {
+                capacity,
+                policy,
+                reqs,
+                seqs,
+                len,
+                ..
+            } => {
+                let n = len[slot] as usize;
+                if n == 0 {
+                    return None;
+                }
+                let base = slot * *capacity;
+                let mut best = 0;
+                match policy {
+                    QueuePolicy::EarliestDeadline => {
+                        for i in 1..n {
+                            if (reqs[base + i].deadline, seqs[base + i])
+                                < (reqs[base + best].deadline, seqs[base + best])
+                            {
+                                best = i;
+                            }
+                        }
+                    }
+                    QueuePolicy::Fifo => {
+                        for i in 1..n {
+                            if seqs[base + i] < seqs[base + best] {
+                                best = i;
+                            }
+                        }
+                    }
+                }
+                Some(&reqs[base + best])
+            }
+            PortQueues::Bucketed(queues) => queues[slot].peek(),
+        }
+    }
 }
 
 /// The flattened runtime engine: all SEs' arbitration state in one arena.
@@ -791,6 +867,14 @@ impl SoaCore {
     /// Whether `(depth, order, port)`'s buffer can accept a request.
     pub fn can_accept(&self, depth: usize, order: usize, port: usize) -> bool {
         !self.queues.is_full(self.slot(depth, order, port).index())
+    }
+
+    /// The request that would be granted next from `(depth, order, port)`
+    /// if the scheduler selected that port — the policy peek used for
+    /// pre-arbitration deferral. Non-destructive; mirrors the pop scan
+    /// exactly.
+    pub fn peek_head(&self, depth: usize, order: usize, port: usize) -> Option<&MemoryRequest> {
+        self.queues.peek(self.slot(depth, order, port).index())
     }
 
     /// Offers a request at `(depth, order, port)`.

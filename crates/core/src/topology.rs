@@ -8,7 +8,7 @@
 //! SE level.
 
 use crate::rab::QueuePolicy;
-use bluescale_mem::DramConfig;
+use bluescale_mem::{DramConfig, MemPolicyConfig};
 use std::fmt;
 
 /// Index of a Scale Element in the tree: depth `x` (0 = root) and order `y`.
@@ -116,6 +116,11 @@ pub struct BlueScaleConfig {
     /// per-SE engine (pinned by the differential suites); `false` selects
     /// the legacy engine, kept as the differential oracle.
     pub soa_core: bool,
+    /// Memory-scheduling policy applied at the root-arbitration seam
+    /// (before the controller). `Unregulated` is bit-identical to having
+    /// no policy at all; active policies may defer per-port grants (the
+    /// request stays queued) or reclassify a request's DRAM service.
+    pub mem_policy: MemPolicyConfig,
 }
 
 impl BlueScaleConfig {
@@ -139,6 +144,7 @@ impl BlueScaleConfig {
             granularity_divisor: 1,
             low_level_policy: QueuePolicy::EarliestDeadline,
             soa_core: true,
+            mem_policy: MemPolicyConfig::Unregulated,
         }
     }
 

@@ -60,6 +60,10 @@ pub struct TrafficGenerator {
     /// taskless): lets [`on_cycle`](Self::on_cycle) return in one compare
     /// on the (vast majority of) cycles with no release due.
     earliest_release: Cycle,
+    /// PALLOC-style bank partition `(banks, row_bytes)`: when set, this
+    /// client's address walk stays inside DRAM bank `client % banks`
+    /// under the modulo address map (`bank = (addr / row_bytes) % banks`).
+    partition: Option<(u32, u64)>,
 }
 
 impl TrafficGenerator {
@@ -88,6 +92,7 @@ impl TrafficGenerator {
             next_request_serial: 0,
             misbehaviour_factor: 1,
             earliest_release: 0,
+            partition: None,
         };
         this.refresh_earliest_release();
         this
@@ -137,6 +142,49 @@ impl TrafficGenerator {
         self.misbehaviour_factor = factor;
     }
 
+    /// Confines this client's address walk to DRAM bank `client % banks`
+    /// under the modulo address map (`bank = (addr / row_bytes) % banks`)
+    /// — software bank partitioning in the PALLOC style, the workload
+    /// shape per-bank regulation assumes. Every task's stream is rebased
+    /// onto the client's bank stripe; subsequent strides skip foreign
+    /// banks' rows at each row crossing. The default layout
+    /// (`client << 32 | task << 24`, stride 64) puts *every* stream in
+    /// bank 0 of the default map — all clients collide on one bank — so
+    /// bank-sensitive experiments opt in via this call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` or `row_bytes` is zero, or if `row_bytes` is not
+    /// a multiple of the address stride (the row-crossing skip must land
+    /// exactly on a row boundary).
+    pub fn set_bank_partition(&mut self, banks: u32, row_bytes: u64) {
+        assert!(banks > 0, "at least one bank required");
+        assert!(row_bytes > 0, "row size must be positive");
+        self.partition = Some((banks, row_bytes));
+        let client = self.client;
+        for t in &mut self.tasks {
+            assert!(
+                row_bytes.is_multiple_of(t.addr_stride),
+                "row size must be a multiple of the address stride"
+            );
+            let base = (client as u64) << 32 | (t.task_id as u64) << 24;
+            t.next_addr = base + (client % banks) as u64 * row_bytes;
+        }
+    }
+
+    /// One stride forward in a task's address stream, staying inside the
+    /// client's bank stripe when a partition is set: a walk that just
+    /// crossed a row boundary jumps over the other banks' rows.
+    fn advance_addr(addr: u64, stride: u64, partition: Option<(u32, u64)>) -> u64 {
+        let next = addr.wrapping_add(stride);
+        match partition {
+            Some((banks, row_bytes)) if next.is_multiple_of(row_bytes) => {
+                next.wrapping_add((banks as u64 - 1) * row_bytes)
+            }
+            _ => next,
+        }
+    }
+
     /// Replaces the generator's task set from cycle `now` onward — the
     /// client-side half of a live reconfiguration (join, leave, task
     /// update). The request serial counter and the issued tally continue,
@@ -159,6 +207,9 @@ impl TrafficGenerator {
                 addr_stride: 64,
             })
             .collect();
+        if let Some((banks, row_bytes)) = self.partition {
+            self.set_bank_partition(banks, row_bytes);
+        }
         self.refresh_earliest_release();
     }
 
@@ -241,7 +292,7 @@ impl TrafficGenerator {
                         },
                         deadline,
                     );
-                    t.next_addr = t.next_addr.wrapping_add(t.addr_stride);
+                    t.next_addr = Self::advance_addr(t.next_addr, t.addr_stride, self.partition);
                 }
                 t.next_release += t.period;
             }
@@ -281,7 +332,7 @@ impl TrafficGenerator {
                 },
                 deadline,
             );
-            addr = addr.wrapping_add(stride);
+            addr = Self::advance_addr(addr, stride, self.partition);
         }
         self.tasks[0].next_addr = addr;
         count
@@ -415,6 +466,64 @@ mod tests {
         assert_eq!(g.next_event(11), 20);
         let empty = TrafficGenerator::new(0, &TaskSet::new(vec![]).unwrap());
         assert_eq!(empty.next_event(5), Cycle::MAX);
+    }
+
+    #[test]
+    fn bank_partition_confines_each_client_to_its_stripe() {
+        const BANKS: u32 = 8;
+        const ROW_BYTES: u64 = 8192;
+        let bank_of = |addr: u64| ((addr / ROW_BYTES) % BANKS as u64) as u32;
+        let set = TaskSet::new(vec![Task::new(0, 10, 4).unwrap()]).unwrap();
+        for client in [0u32, 3, 9, 17] {
+            let mut g = TrafficGenerator::new(client, &set);
+            g.set_bank_partition(BANKS, ROW_BYTES);
+            // Walk far enough to cross several row boundaries
+            // (8192 / 64 = 128 requests per row).
+            let mut banks_seen = std::collections::HashSet::new();
+            for now in 0..1_000 {
+                g.on_cycle(now);
+                while let Some(r) = g.take() {
+                    banks_seen.insert(bank_of(r.addr));
+                }
+            }
+            assert_eq!(
+                banks_seen.into_iter().collect::<Vec<_>>(),
+                vec![client % BANKS],
+                "client {client} must stay in its own bank"
+            );
+        }
+    }
+
+    #[test]
+    fn unpartitioned_default_walk_shares_bank_zero() {
+        // Documents the aliasing the partition exists to break: the default
+        // layout puts every client's stream in bank 0 of the default map.
+        let set = TaskSet::new(vec![Task::new(0, 10, 1).unwrap()]).unwrap();
+        for client in [0u32, 5, 11] {
+            let mut g = TrafficGenerator::new(client, &set);
+            g.on_cycle(0);
+            let addr = g.take().unwrap().addr;
+            assert_eq!((addr / 8192) % 8, 0);
+        }
+    }
+
+    #[test]
+    fn bank_partition_survives_set_tasks_and_bursts() {
+        const BANKS: u32 = 8;
+        const ROW_BYTES: u64 = 8192;
+        let bank_of = |addr: u64| ((addr / ROW_BYTES) % BANKS as u64) as u32;
+        let set = TaskSet::new(vec![Task::new(0, 10, 2).unwrap()]).unwrap();
+        let mut g = TrafficGenerator::new(5, &set);
+        g.set_bank_partition(BANKS, ROW_BYTES);
+        let replacement = TaskSet::new(vec![Task::new(1, 20, 2).unwrap()]).unwrap();
+        g.set_tasks(&replacement, 40);
+        g.inject_burst(40, 300); // crosses at least two row boundaries
+        g.on_cycle(40);
+        let mut banks_seen = std::collections::HashSet::new();
+        while let Some(r) = g.take() {
+            banks_seen.insert(bank_of(r.addr));
+        }
+        assert_eq!(banks_seen.into_iter().collect::<Vec<_>>(), vec![5]);
     }
 
     #[test]

@@ -211,6 +211,23 @@ impl<I: ?Sized + Interconnect> System<I> {
         self.set_fault_plan(plan);
     }
 
+    /// Confines every client's address walk to its own DRAM bank stripe
+    /// (bank `client % banks`) — software bank partitioning in the PALLOC
+    /// style; see
+    /// [`TrafficGenerator::set_bank_partition`](crate::client::TrafficGenerator::set_bank_partition).
+    /// Pass the DRAM geometry of the interconnect's controller so the
+    /// stripes line up with its address map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` or `row_bytes` is zero, or `row_bytes` is not a
+    /// multiple of the generators' address stride.
+    pub fn set_bank_partition(&mut self, banks: u32, row_bytes: u64) {
+        for client in &mut self.clients {
+            client.set_bank_partition(banks, row_bytes);
+        }
+    }
+
     /// Installs a fault plan: client-side faults (rogue demand, bursts)
     /// are applied by the harness each cycle; interconnect-side faults
     /// (stuck grants, DRAM jitter, dropped responses) are handed to the

@@ -30,8 +30,10 @@
 #![warn(missing_docs)]
 
 pub mod dram;
+pub mod policy;
 
 pub use dram::{AddressMap, DramConfig, PagePolicy};
+pub use policy::{GrantCandidate, MemPolicyConfig, MemoryPolicy, ServiceClass};
 
 use bluescale_sim::metrics::{ComponentId, Counter, MetricsRegistry};
 use bluescale_sim::next_event::NextEvent;
@@ -143,19 +145,45 @@ impl<T> MemoryController<T> {
     ///
     /// Panics if the controller is busy (see [`accept`](Self::accept)).
     pub fn accept_with_extra(&mut self, payload: T, addr: u64, now: Cycle, extra: Cycle) -> Cycle {
+        self.accept_classed(payload, addr, now, extra, ServiceClass::Inherit)
+    }
+
+    /// [`accept_with_extra`](Self::accept_with_extra) with an explicit
+    /// per-request [`ServiceClass`] — the hook for two-tier policies such
+    /// as deterministic memory. `Inherit` follows the configured
+    /// [`PagePolicy`]; `ClosedPage` pays the full precharge+activate cost
+    /// and leaves the bank precharged regardless of configuration, so a
+    /// deterministic request's latency never depends on another client's
+    /// row-buffer footprint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the controller is busy (see [`accept`](Self::accept)).
+    pub fn accept_classed(
+        &mut self,
+        payload: T,
+        addr: u64,
+        now: Cycle,
+        extra: Cycle,
+        class: ServiceClass,
+    ) -> Cycle {
         assert!(
             self.in_service.is_none(),
             "memory controller accept() while busy"
         );
         let (bank, row) = self.address_map.decode(addr);
         let open = &mut self.open_rows[bank as usize];
-        let hit = self.config.page_policy == dram::PagePolicy::Open && *open == Some(row);
+        let closed_page = class == ServiceClass::ClosedPage
+            || self.config.page_policy == dram::PagePolicy::Closed;
+        let hit = !closed_page && *open == Some(row);
         let service = if hit {
             self.stats.row_hits += 1;
             self.config.row_hit_cycles
         } else {
             self.stats.row_misses += 1;
-            *open = Some(row);
+            // A closed-page access (configured or per-request) precharges
+            // the bank on the way out; only open-page leaves the row open.
+            *open = if closed_page { None } else { Some(row) };
             self.config.row_miss_cycles
         } + extra;
         self.stats.accepted += 1;
@@ -206,20 +234,29 @@ impl<T> MemoryController<T> {
         &self.bank_accepted
     }
 
+    /// The row currently open in `bank`, or `None` when the bank is
+    /// precharged. Policies that reason about row-buffer state (and the
+    /// closed-page regression tests) read this instead of re-deriving it
+    /// from timing.
+    pub fn open_row(&self, bank: u32) -> Option<u64> {
+        self.open_rows.get(bank as usize).copied().flatten()
+    }
+
     /// Mirrors controller statistics into `registry`: the scalar tallies
     /// under [`ComponentId::Memory`] and per-bank accept counts under
     /// [`ComponentId::Bank`]. Absolute values (idempotent; see
     /// [`ControllerStats::record_into`]).
     pub fn record_metrics(&self, registry: &mut MetricsRegistry) {
         self.stats.record_into(registry);
+        // Every bank is written unconditionally: skipping zero banks would
+        // leave a stale non-zero value behind in a merged or reused
+        // registry, breaking the absolute/idempotent contract.
         for (bank, &accepted) in self.bank_accepted.iter().enumerate() {
-            if accepted > 0 {
-                registry.set_counter(
-                    ComponentId::Bank(bank as u32),
-                    Counter::MemAccepted,
-                    accepted,
-                );
-            }
+            registry.set_counter(
+                ComponentId::Bank(bank as u32),
+                Counter::MemAccepted,
+                accepted,
+            );
         }
     }
 }
@@ -350,6 +387,82 @@ mod tests {
         assert_eq!(mc.accept(2, 0x8, 100), 8);
         let _ = mc.poll_complete(200).unwrap();
         assert_eq!(mc.stats().row_hits, 0);
+    }
+
+    #[test]
+    fn closed_page_leaves_bank_precharged() {
+        let cfg = DramConfig {
+            row_hit_cycles: 2,
+            row_miss_cycles: 8,
+            page_policy: dram::PagePolicy::Closed,
+            ..DramConfig::default()
+        };
+        let mut mc: MemoryController<u32> = MemoryController::new(cfg);
+        mc.accept(1, 0x0, 0);
+        let (bank, _) = mc.decode(0x0);
+        // Regression: closed-page must not record the row as open — the
+        // access precharged the bank on the way out.
+        assert_eq!(mc.open_row(bank), None);
+        let _ = mc.poll_complete(100).unwrap();
+        assert_eq!(mc.open_row(bank), None);
+    }
+
+    #[test]
+    fn open_page_records_open_row() {
+        let mut mc: MemoryController<u32> = MemoryController::new(uniform(4));
+        let (bank, row) = mc.decode(0x0);
+        assert_eq!(mc.open_row(bank), None);
+        mc.accept(1, 0x0, 0);
+        assert_eq!(mc.open_row(bank), Some(row));
+    }
+
+    #[test]
+    fn classed_closed_page_is_deterministic_and_precharges() {
+        let cfg = DramConfig {
+            row_hit_cycles: 2,
+            row_miss_cycles: 8,
+            ..DramConfig::default()
+        };
+        let mut mc: MemoryController<u32> = MemoryController::new(cfg);
+        let (bank, row) = mc.decode(0x0);
+        // A best-effort access opens the row.
+        mc.accept(1, 0x0, 0);
+        let _ = mc.poll_complete(100).unwrap();
+        assert_eq!(mc.open_row(bank), Some(row));
+        // A deterministic access to the open row still pays the full cost
+        // and leaves the bank precharged.
+        assert_eq!(
+            mc.accept_classed(2, 0x8, 100, 0, ServiceClass::ClosedPage),
+            8
+        );
+        let _ = mc.poll_complete(200).unwrap();
+        assert_eq!(mc.open_row(bank), None);
+        assert_eq!(mc.stats().row_hits, 0);
+        // The following best-effort access misses again (bank precharged).
+        assert_eq!(mc.accept_classed(3, 0x10, 200, 0, ServiceClass::Inherit), 8);
+        assert_eq!(mc.open_row(bank), Some(row));
+    }
+
+    #[test]
+    fn bank_mirror_overwrites_stale_registry_values() {
+        let cfg = DramConfig {
+            banks: 4,
+            row_bytes: 1024,
+            ..uniform(2)
+        };
+        let mc: MemoryController<u32> = MemoryController::new(cfg);
+        let mut reg = MetricsRegistry::new();
+        // A reused registry carries a stale count for bank 2 from an
+        // earlier run; a fresh controller must write it back down to zero.
+        reg.set_counter(ComponentId::Bank(2), Counter::MemAccepted, 99);
+        mc.record_metrics(&mut reg);
+        for bank in 0..4 {
+            assert_eq!(
+                reg.counter(ComponentId::Bank(bank), Counter::MemAccepted),
+                0,
+                "bank {bank} mirror must be absolute"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,565 @@
+//! Pluggable memory-controller policies.
+//!
+//! The controller itself stays a dumb single-channel service model
+//! ([`MemoryController`](crate::MemoryController)); what the literature
+//! calls a "memory scheduling policy" acts one stage earlier, at the seam
+//! where an interconnect engine picks the request it offers the channel.
+//! [`MemoryPolicy`] captures exactly that seam:
+//!
+//! * **defer** — before arbitration, the engine shows the policy the
+//!   per-port head candidates ([`GrantCandidate`]); the policy may mark a
+//!   subset *deferred*. A deferred candidate is hidden from the scheduler
+//!   this cycle (the same mechanism as a stuck-grant fault), so the
+//!   request stays queued in its random-access buffer — nothing is
+//!   dropped, reordered within a port, or double-counted.
+//! * **classify** — at issue time the policy assigns a
+//!   [`ServiceClass`]: `Inherit` uses the configured
+//!   [`PagePolicy`](crate::PagePolicy), `ClosedPage` forces a
+//!   deterministic precharged access regardless of row state.
+//! * **account** — [`MemoryPolicy::on_issue`] observes every grant that
+//!   actually reached the channel, which is where budget windows and
+//!   streak counters live.
+//!
+//! Three policies from the related-work literature are provided alongside
+//! the pass-through default:
+//!
+//! * [`Unregulated`] — today's behavior, bit-identical (it is *passive*:
+//!   engines skip the whole peek/defer path).
+//! * [`PerBankRegulation`] — per-bank bandwidth budgets over fixed
+//!   windows (Sullivan & Yun): a bank that used up its window budget has
+//!   its candidates deferred until the next window boundary.
+//! * [`Blacklisting`] — streak-based demotion (Subramanian et al.,
+//!   BLISS): a client granted `threshold` consecutive channel slots is
+//!   blacklisted until the next clearing interval; blacklisted candidates
+//!   are deferred only while a non-blacklisted candidate is pending, so
+//!   the policy can never starve the channel.
+//! * [`DeterministicMemory`] — two-tier service (Farshchi et al.): marked
+//!   clients get closed-page, worst-case-free service; best-effort
+//!   clients share the open-row fast path.
+//!
+//! All window/epoch state is derived from the absolute cycle (`now /
+//! window`), never from counting calls, so a fast-forwarding harness that
+//! jumps the clock lands in exactly the window a per-cycle run would be
+//! in. Deferral itself needs a pending candidate, and a pending request
+//! already pins the engines to per-cycle stepping.
+
+use bluescale_sim::Cycle;
+
+/// One port-head request as seen by the policy before arbitration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GrantCandidate {
+    /// Caller-side tag (root port or central-queue index) — opaque to the
+    /// policy, which answers in candidate-index space.
+    pub port: usize,
+    /// Issuing client.
+    pub client: u32,
+    /// DRAM bank the candidate's address decodes to.
+    pub bank: u32,
+    /// Absolute request deadline.
+    pub deadline: Cycle,
+}
+
+/// How the controller should time one accepted request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServiceClass {
+    /// Follow the configured [`PagePolicy`](crate::PagePolicy) (row hits
+    /// possible under open-page).
+    #[default]
+    Inherit,
+    /// Deterministic access: pay the full precharge+activate cost and
+    /// leave the bank precharged, regardless of the configured policy.
+    ClosedPage,
+}
+
+/// A memory-scheduling policy mediating the controller seam.
+///
+/// Implementations must be deterministic functions of their own state and
+/// the arguments — engines replicate runs bit-for-bit across execution
+/// modes, and a policy that consulted wall-clock time or ambient
+/// randomness would break the differential suites.
+pub trait MemoryPolicy: std::fmt::Debug + Send {
+    /// Short stable name (used in benches and exports).
+    fn name(&self) -> &'static str;
+
+    /// A passive policy never defers, never reclassifies and needs no
+    /// issue feedback; engines skip the candidate peek entirely, keeping
+    /// the hot path byte-identical to the pre-policy code.
+    fn is_passive(&self) -> bool {
+        false
+    }
+
+    /// Bitmask over `candidates` (bit `i` = `candidates[i]`) of the
+    /// candidates to defer this cycle. Only called when the channel could
+    /// actually accept a grant. At most 64 candidates are presented.
+    fn defer_mask(&mut self, _now: Cycle, _candidates: &[GrantCandidate]) -> u64 {
+        0
+    }
+
+    /// Service class for a request from `client` at issue time.
+    fn service_class(&self, _client: u32) -> ServiceClass {
+        ServiceClass::Inherit
+    }
+
+    /// Observes a grant that reached the channel (bank accounting,
+    /// streak tracking).
+    fn on_issue(&mut self, _now: Cycle, _client: u32, _bank: u32) {}
+
+    /// Earliest cycle `>= now` at which a currently-deferred candidate
+    /// could become eligible again ([`Cycle::MAX`] = no self-imposed
+    /// block). Folded into the engines' `next_event` lookahead so a
+    /// fast-forward jump can never leap over a window boundary that
+    /// would have unblocked a bank.
+    fn next_unblock(&self, _now: Cycle) -> Cycle {
+        Cycle::MAX
+    }
+
+    /// Clones the policy behind the object (engine snapshots clone whole
+    /// interconnects).
+    fn box_clone(&self) -> Box<dyn MemoryPolicy>;
+}
+
+impl Clone for Box<dyn MemoryPolicy> {
+    fn clone(&self) -> Self {
+        self.box_clone()
+    }
+}
+
+/// Serializable policy selection — the configuration-surface twin of the
+/// trait objects, so interconnect configs stay `Clone + PartialEq`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum MemPolicyConfig {
+    /// Pass-through (today's behavior, bit-identical).
+    #[default]
+    Unregulated,
+    /// Per-bank bandwidth regulation (Sullivan & Yun).
+    PerBankRegulation {
+        /// Budget window length in cycles.
+        window: Cycle,
+        /// Grants allowed per bank per window.
+        budget: u64,
+    },
+    /// Streak-based client blacklisting (Subramanian et al., BLISS).
+    Blacklisting {
+        /// Consecutive grants to one client before it is blacklisted.
+        threshold: u64,
+        /// Blacklist clearing interval in cycles.
+        clear_interval: Cycle,
+    },
+    /// Two-tier deterministic/best-effort service (Farshchi et al.).
+    DeterministicMemory {
+        /// Clients whose requests get deterministic closed-page service.
+        dm_clients: Vec<u32>,
+    },
+}
+
+impl MemPolicyConfig {
+    /// Instantiates the runtime policy object.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate parameters (zero window, budget, threshold or
+    /// clearing interval).
+    pub fn build(&self) -> Box<dyn MemoryPolicy> {
+        match self {
+            MemPolicyConfig::Unregulated => Box::new(Unregulated),
+            MemPolicyConfig::PerBankRegulation { window, budget } => {
+                Box::new(PerBankRegulation::new(*window, *budget))
+            }
+            MemPolicyConfig::Blacklisting {
+                threshold,
+                clear_interval,
+            } => Box::new(Blacklisting::new(*threshold, *clear_interval)),
+            MemPolicyConfig::DeterministicMemory { dm_clients } => {
+                Box::new(DeterministicMemory::new(dm_clients.clone()))
+            }
+        }
+    }
+
+    /// The policy's stable name without building it.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MemPolicyConfig::Unregulated => "unregulated",
+            MemPolicyConfig::PerBankRegulation { .. } => "per_bank_regulation",
+            MemPolicyConfig::Blacklisting { .. } => "blacklisting",
+            MemPolicyConfig::DeterministicMemory { .. } => "deterministic_memory",
+        }
+    }
+}
+
+/// The pass-through default: exactly today's controller behavior.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Unregulated;
+
+impl MemoryPolicy for Unregulated {
+    fn name(&self) -> &'static str {
+        "unregulated"
+    }
+
+    fn is_passive(&self) -> bool {
+        true
+    }
+
+    fn box_clone(&self) -> Box<dyn MemoryPolicy> {
+        Box::new(*self)
+    }
+}
+
+/// Per-bank bandwidth regulation (Sullivan & Yun): each bank may receive
+/// at most `budget` grants per `window` cycles; over-budget banks'
+/// candidates are deferred to the next window boundary.
+///
+/// The window index is `now / window` — a pure function of absolute time,
+/// so jumped clocks resynchronize for free.
+#[derive(Debug, Clone)]
+pub struct PerBankRegulation {
+    window: Cycle,
+    budget: u64,
+    epoch: Cycle,
+    used: Vec<u64>,
+}
+
+impl PerBankRegulation {
+    /// Creates the regulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` or `budget` is zero (a zero budget could never
+    /// grant anything; deferral must always have a future unblock).
+    pub fn new(window: Cycle, budget: u64) -> Self {
+        assert!(window > 0, "regulation window must be positive");
+        assert!(budget > 0, "per-bank budget must be positive");
+        Self {
+            window,
+            budget,
+            epoch: 0,
+            used: Vec::new(),
+        }
+    }
+
+    fn resync(&mut self, now: Cycle) {
+        let epoch = now / self.window;
+        if epoch != self.epoch {
+            self.epoch = epoch;
+            self.used.fill(0);
+        }
+    }
+
+    fn used_mut(&mut self, bank: u32) -> &mut u64 {
+        let bank = bank as usize;
+        if bank >= self.used.len() {
+            self.used.resize(bank + 1, 0);
+        }
+        &mut self.used[bank]
+    }
+}
+
+impl MemoryPolicy for PerBankRegulation {
+    fn name(&self) -> &'static str {
+        "per_bank_regulation"
+    }
+
+    fn defer_mask(&mut self, now: Cycle, candidates: &[GrantCandidate]) -> u64 {
+        self.resync(now);
+        let mut mask = 0u64;
+        for (i, c) in candidates.iter().enumerate() {
+            if *self.used_mut(c.bank) >= self.budget {
+                mask |= 1 << i;
+            }
+        }
+        mask
+    }
+
+    fn on_issue(&mut self, now: Cycle, _client: u32, bank: u32) {
+        self.resync(now);
+        *self.used_mut(bank) += 1;
+    }
+
+    fn next_unblock(&self, now: Cycle) -> Cycle {
+        // Conservative: any saturated bank (even from a stale epoch —
+        // resync happens on the next defer/issue) pins the lookahead to
+        // the next window boundary. An early wake-up is harmless; a late
+        // one would delay a deferred grant.
+        if self.used.iter().any(|&u| u >= self.budget) {
+            (now / self.window + 1) * self.window
+        } else {
+            Cycle::MAX
+        }
+    }
+
+    fn box_clone(&self) -> Box<dyn MemoryPolicy> {
+        Box::new(self.clone())
+    }
+}
+
+/// Streak-based blacklisting (Subramanian et al., BLISS): a client
+/// granted `threshold` consecutive channel slots is blacklisted; its
+/// candidates are deferred **only while a non-blacklisted candidate is
+/// pending** (so the channel never idles on account of the policy), and
+/// the blacklist clears every `clear_interval` cycles.
+#[derive(Debug, Clone)]
+pub struct Blacklisting {
+    threshold: u64,
+    clear_interval: Cycle,
+    epoch: Cycle,
+    streak_client: Option<u32>,
+    streak: u64,
+    blacklisted: Vec<u32>,
+}
+
+impl Blacklisting {
+    /// Creates the blacklister.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` or `clear_interval` is zero.
+    pub fn new(threshold: u64, clear_interval: Cycle) -> Self {
+        assert!(threshold > 0, "blacklist threshold must be positive");
+        assert!(clear_interval > 0, "clearing interval must be positive");
+        Self {
+            threshold,
+            clear_interval,
+            epoch: 0,
+            streak_client: None,
+            streak: 0,
+            blacklisted: Vec::new(),
+        }
+    }
+
+    fn resync(&mut self, now: Cycle) {
+        let epoch = now / self.clear_interval;
+        if epoch != self.epoch {
+            self.epoch = epoch;
+            self.blacklisted.clear();
+        }
+    }
+
+    /// Clients currently blacklisted (test/bench introspection).
+    pub fn blacklisted(&self) -> &[u32] {
+        &self.blacklisted
+    }
+}
+
+impl MemoryPolicy for Blacklisting {
+    fn name(&self) -> &'static str {
+        "blacklisting"
+    }
+
+    fn defer_mask(&mut self, now: Cycle, candidates: &[GrantCandidate]) -> u64 {
+        self.resync(now);
+        if self.blacklisted.is_empty() {
+            return 0;
+        }
+        let mut mask = 0u64;
+        let mut any_clean = false;
+        for (i, c) in candidates.iter().enumerate() {
+            if self.blacklisted.contains(&c.client) {
+                mask |= 1 << i;
+            } else {
+                any_clean = true;
+            }
+        }
+        // Starvation guard: with every candidate blacklisted, deferring
+        // would stall the channel for the rest of the interval. Serve the
+        // blacklisted traffic instead (BLISS falls back to baseline order
+        // among blacklisted applications).
+        if any_clean {
+            mask
+        } else {
+            0
+        }
+    }
+
+    fn on_issue(&mut self, now: Cycle, client: u32, _bank: u32) {
+        self.resync(now);
+        if self.streak_client == Some(client) {
+            self.streak += 1;
+        } else {
+            self.streak_client = Some(client);
+            self.streak = 1;
+        }
+        if self.streak >= self.threshold {
+            if !self.blacklisted.contains(&client) {
+                self.blacklisted.push(client);
+            }
+            self.streak = 0;
+        }
+    }
+
+    fn next_unblock(&self, now: Cycle) -> Cycle {
+        if self.blacklisted.is_empty() {
+            Cycle::MAX
+        } else {
+            (now / self.clear_interval + 1) * self.clear_interval
+        }
+    }
+
+    fn box_clone(&self) -> Box<dyn MemoryPolicy> {
+        Box::new(self.clone())
+    }
+}
+
+/// Two-tier deterministic/best-effort service (Farshchi et al.,
+/// DeterministicMemory): requests from `dm_clients` are serviced
+/// closed-page — every access pays the full precharge+activate cost and
+/// leaves the bank precharged, so their latency is independent of any
+/// other client's row-buffer footprint. Best-effort clients keep the
+/// open-row fast path.
+#[derive(Debug, Clone)]
+pub struct DeterministicMemory {
+    dm_clients: Vec<u32>,
+}
+
+impl DeterministicMemory {
+    /// Creates the two-tier classifier.
+    pub fn new(dm_clients: Vec<u32>) -> Self {
+        Self { dm_clients }
+    }
+}
+
+impl MemoryPolicy for DeterministicMemory {
+    fn name(&self) -> &'static str {
+        "deterministic_memory"
+    }
+
+    fn service_class(&self, client: u32) -> ServiceClass {
+        if self.dm_clients.contains(&client) {
+            ServiceClass::ClosedPage
+        } else {
+            ServiceClass::Inherit
+        }
+    }
+
+    fn box_clone(&self) -> Box<dyn MemoryPolicy> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(port: usize, client: u32, bank: u32, deadline: Cycle) -> GrantCandidate {
+        GrantCandidate {
+            port,
+            client,
+            bank,
+            deadline,
+        }
+    }
+
+    #[test]
+    fn unregulated_is_passive_and_inert() {
+        let mut p = Unregulated;
+        assert!(p.is_passive());
+        assert_eq!(p.defer_mask(0, &[cand(0, 0, 0, 10)]), 0);
+        assert_eq!(p.service_class(3), ServiceClass::Inherit);
+        assert_eq!(p.next_unblock(5), Cycle::MAX);
+    }
+
+    #[test]
+    fn config_builds_matching_names() {
+        for cfg in [
+            MemPolicyConfig::Unregulated,
+            MemPolicyConfig::PerBankRegulation {
+                window: 100,
+                budget: 4,
+            },
+            MemPolicyConfig::Blacklisting {
+                threshold: 4,
+                clear_interval: 1_000,
+            },
+            MemPolicyConfig::DeterministicMemory {
+                dm_clients: vec![0, 1],
+            },
+        ] {
+            assert_eq!(cfg.build().name(), cfg.name());
+        }
+        assert_eq!(MemPolicyConfig::default(), MemPolicyConfig::Unregulated);
+    }
+
+    #[test]
+    fn per_bank_budget_defers_saturated_bank_only() {
+        let mut p = PerBankRegulation::new(100, 2);
+        p.on_issue(0, 0, 3);
+        p.on_issue(1, 0, 3);
+        // Bank 3 exhausted its budget; bank 5 untouched.
+        let cands = [cand(0, 0, 3, 50), cand(1, 1, 5, 60)];
+        assert_eq!(p.defer_mask(2, &cands), 0b01);
+        assert_eq!(p.next_unblock(2), 100, "unblocks at the window boundary");
+    }
+
+    #[test]
+    fn per_bank_window_resets_at_boundary() {
+        let mut p = PerBankRegulation::new(100, 1);
+        p.on_issue(10, 0, 0);
+        assert_eq!(p.defer_mask(20, &[cand(0, 0, 0, 99)]), 0b1);
+        // Next window (even reached by a fast-forward jump): clean slate.
+        assert_eq!(p.defer_mask(250, &[cand(0, 0, 0, 300)]), 0);
+        assert_eq!(p.next_unblock(250), Cycle::MAX);
+    }
+
+    #[test]
+    fn blacklisting_trips_on_streak_and_clears() {
+        let mut p = Blacklisting::new(3, 1_000);
+        for now in 0..3 {
+            p.on_issue(now, 7, 0);
+        }
+        assert_eq!(p.blacklisted(), &[7]);
+        // Deferred only while a clean candidate is pending.
+        let mixed = [cand(0, 7, 0, 50), cand(1, 2, 1, 60)];
+        assert_eq!(p.defer_mask(5, &mixed), 0b01);
+        let only_blacklisted = [cand(0, 7, 0, 50)];
+        assert_eq!(
+            p.defer_mask(6, &only_blacklisted),
+            0,
+            "never starve the channel"
+        );
+        assert_eq!(p.next_unblock(6), 1_000);
+        // The clearing boundary wipes the list.
+        assert_eq!(p.defer_mask(1_000, &mixed), 0);
+        assert!(p.blacklisted().is_empty());
+    }
+
+    #[test]
+    fn blacklisting_streak_resets_on_interleaving() {
+        let mut p = Blacklisting::new(3, 1_000);
+        p.on_issue(0, 7, 0);
+        p.on_issue(1, 7, 0);
+        p.on_issue(2, 2, 0); // breaks the streak
+        p.on_issue(3, 7, 0);
+        p.on_issue(4, 7, 0);
+        assert!(p.blacklisted().is_empty());
+    }
+
+    #[test]
+    fn deterministic_memory_classifies_by_client() {
+        let mut p = DeterministicMemory::new(vec![1, 4]);
+        assert_eq!(p.service_class(1), ServiceClass::ClosedPage);
+        assert_eq!(p.service_class(4), ServiceClass::ClosedPage);
+        assert_eq!(p.service_class(0), ServiceClass::Inherit);
+        assert_eq!(p.defer_mask(0, &[cand(0, 1, 0, 10)]) & 0b1, 0);
+    }
+
+    #[test]
+    fn boxed_policies_clone() {
+        let p: Box<dyn MemoryPolicy> = MemPolicyConfig::PerBankRegulation {
+            window: 10,
+            budget: 1,
+        }
+        .build();
+        let q = p.clone();
+        assert_eq!(q.name(), "per_bank_regulation");
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        let _ = PerBankRegulation::new(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "budget must be positive")]
+    fn zero_budget_rejected() {
+        let _ = PerBankRegulation::new(10, 0);
+    }
+}

@@ -190,6 +190,9 @@ pub enum Counter {
     /// Runs that abandoned sharded parallel execution after a worker
     /// panicked and fell back to the serial engine for the remainder.
     ShardFallbacks,
+    /// Root-arbitration grants deferred by the active memory policy (the
+    /// request stays queued; counted once per deferred candidate-cycle).
+    PolicyDeferred,
 }
 
 impl Counter {
@@ -228,6 +231,7 @@ impl Counter {
             Counter::Sheds => "sheds",
             Counter::RecoveryReplays => "recovery_replays",
             Counter::ShardFallbacks => "shard_fallbacks",
+            Counter::PolicyDeferred => "policy_deferred",
         }
     }
 }

@@ -37,6 +37,9 @@ cargo run --release -q -p bluescale-bench --bin shard_smoke
 echo "==> control-plane smoke check (faulted clients, conservation + recovery)"
 cargo run --release -q -p bluescale-bench --bin ctl_smoke
 
+echo "==> memory-policy smoke check (conservation under deferral, regulated isolation)"
+cargo run --release -q -p bluescale-bench --bin mem_policy_smoke
+
 echo "==> churn differential (empty-plan inertness, zero disturbance)"
 cargo test -q --release --test churn_differential
 
@@ -51,5 +54,8 @@ cargo test -q --release --test scalability_smoke
 
 echo "==> shard differential (1/2/4/8 workers bit-identical to serial)"
 RUST_BACKTRACE=1 cargo test -q --release --test shard_differential -- --test-threads=1
+
+echo "==> memory-policy differential (Unregulated bit-identical; active policies agree)"
+RUST_BACKTRACE=1 cargo test -q --release --test mem_policy_differential -- --test-threads=1
 
 echo "All checks passed."
