@@ -1,18 +1,25 @@
 //! Smoke check: the observability layer must be near-free when detail is
 //! off and must never change simulation results.
 //!
-//! Three configurations drive identical BlueScale traffic (fig6-style
+//! Four configurations drive identical BlueScale traffic (fig6-style
 //! synthetic task sets, fixed seed):
 //!
 //! 1. **baseline** — a hand-rolled client/interconnect loop with no
 //!    harness registry at all (the pre-observability cost floor),
 //! 2. **disabled** — the `System` harness with detail recording off (the
-//!    default for every experiment), and
-//! 3. **detail** — the harness with typed events + request lifecycles on.
+//!    default for every experiment),
+//! 3. **detail** — the harness with typed events + request lifecycles on,
+//!    and
+//! 4. **streaming** — the harness with a live telemetry pipeline flushing
+//!    delta epochs (SLO derivation + JSONL to a temp file) every 1024
+//!    cycles.
 //!
-//! The check asserts bit-identical completion counts across all three and
-//! that the disabled-metrics harness stays within a generous noise bound
-//! of the baseline. Run via `scripts/check.sh`; exits non-zero on failure.
+//! The check asserts bit-identical completion counts across all four and
+//! that both the disabled-metrics harness and the streaming harness stay
+//! within generous noise bounds of the baseline — the streaming bound
+//! pins the invariant that telemetry flushes run between simulation
+//! spans, never inside the per-cycle hot loop. Run via
+//! `scripts/check.sh`; exits non-zero on failure.
 //!
 //! Usage: `cargo run --release -p bluescale-bench --bin metrics_overhead -- [--horizon N] [--reps N]`
 
@@ -22,6 +29,7 @@ use bluescale_interconnect::client::TrafficGenerator;
 use bluescale_interconnect::system::System;
 use bluescale_sim::rng::SimRng;
 use bluescale_sim::Cycle;
+use bluescale_telemetry::{JsonlSink, Pipeline, SloConfig};
 use bluescale_workload::synthetic::{generate, SyntheticConfig};
 use std::time::Instant;
 
@@ -30,6 +38,12 @@ use std::time::Instant;
 /// accounting the baseline skips, so this is a noise bound, not a tight
 /// one; regressions that make counters hot show up far above it.
 const MAX_DISABLED_SLOWDOWN: f64 = 3.0;
+
+/// Allowed slowdown of the streaming-telemetry harness over the same
+/// baseline. Streaming adds delta extraction + SLO derivation + JSONL
+/// serialization at every flush boundary — bounded work per epoch, never
+/// per cycle — so it must stay within noise of the detail-off harness.
+const MAX_STREAMING_SLOWDOWN: f64 = 4.0;
 
 fn task_sets(clients: usize) -> Vec<bluescale_rt::task::TaskSet> {
     let mut rng = SimRng::seed_from(0x00BE_5EAD);
@@ -76,6 +90,20 @@ fn run_harness(horizon: Cycle, detail: bool) -> u64 {
     m.completed()
 }
 
+/// The harness with a live telemetry pipeline: 1024-cycle flush period,
+/// SLO derivation and a JSONL sink writing to a temp file.
+fn run_streaming(horizon: Cycle, path: &std::path::Path) -> u64 {
+    let sets = task_sets(16);
+    let ic = build(InterconnectKind::BlueScale, &sets);
+    let mut system = System::new(ic, &sets);
+    let mut pipe = Pipeline::new(1_024, SloConfig::default());
+    pipe.add_sink(JsonlSink::create(path).expect("create jsonl sink"));
+    system.attach_telemetry(pipe);
+    let m = system.run(horizon);
+    system.finish_telemetry();
+    m.completed()
+}
+
 /// Minimum wall time over `reps` runs (the usual noise-robust estimator).
 fn min_time<F: FnMut() -> u64>(reps: usize, mut f: F) -> (f64, u64) {
     let mut best = f64::INFINITY;
@@ -96,6 +124,12 @@ fn main() {
     let (t_base, c_base) = min_time(reps, || run_baseline(horizon));
     let (t_off, c_off) = min_time(reps, || run_harness(horizon, false));
     let (t_on, c_on) = min_time(reps, || run_harness(horizon, true));
+    let jsonl = std::env::temp_dir().join(format!(
+        "bluescale-metrics-overhead-{}.jsonl",
+        std::process::id()
+    ));
+    let (t_stream, c_stream) = min_time(reps, || run_streaming(horizon, &jsonl));
+    let _ = std::fs::remove_file(&jsonl);
 
     println!("# Metrics overhead smoke check ({horizon} cycles, min of {reps} runs)\n");
     println!("| Configuration | Completed | Time (ms) | vs baseline |");
@@ -114,10 +148,15 @@ fn main() {
         t_on * 1e3,
         t_on / t_base
     );
+    println!(
+        "| harness, streaming telemetry | {c_stream} | {:.2} | {:.2}x |",
+        t_stream * 1e3,
+        t_stream / t_base
+    );
 
     let mut failed = false;
-    if c_base != c_off || c_off != c_on {
-        eprintln!("FAIL: completion counts diverge: {c_base} / {c_off} / {c_on}");
+    if c_base != c_off || c_off != c_on || c_on != c_stream {
+        eprintln!("FAIL: completion counts diverge: {c_base} / {c_off} / {c_on} / {c_stream}");
         failed = true;
     }
     if t_off > t_base * MAX_DISABLED_SLOWDOWN {
@@ -127,8 +166,15 @@ fn main() {
         );
         failed = true;
     }
+    if t_stream > t_base * MAX_STREAMING_SLOWDOWN {
+        eprintln!(
+            "FAIL: streaming harness {:.2}x over baseline (bound {MAX_STREAMING_SLOWDOWN}x)",
+            t_stream / t_base
+        );
+        failed = true;
+    }
     if failed {
         std::process::exit(1);
     }
-    println!("\nok: metrics are observation-only and the disabled path is within noise");
+    println!("\nok: metrics and streaming are observation-only and within noise bounds");
 }

@@ -1,0 +1,257 @@
+//! Streaming-telemetry smoke check for `scripts/check.sh`: a live daemon
+//! with the telemetry pipeline enabled, eight tenants admitted over
+//! loopback, two of them subscribed to their own SLO stream — all while
+//! dropped-response faults force the admission retry path.
+//!
+//! Asserts, loudly:
+//! * **own-tenant, monotone delivery** — every pushed update carries the
+//!   subscriber's tenant id and a strictly increasing epoch; both
+//!   subscribers receive live updates while churn traffic runs;
+//! * **shed, never backpressure** — a deliberately slow subscriber (tiny
+//!   channel depth + per-frame write delay) drives `SubscriberLagged`
+//!   above zero while concurrent admission requests keep completing and
+//!   the surviving stream stays monotone;
+//! * **request conservation** — after graceful shutdown every admission
+//!   request still has exactly one verdict, and the JSONL mirror written
+//!   by the daemon folds cleanly (schema v1 parses end to end).
+
+use bluescale_ctl::client::{CtlClient, RetryPolicy};
+use bluescale_ctl::proto::{Response, TaskSpec, TenantClass};
+use bluescale_ctl::server::{Daemon, DaemonConfig, TelemetryConfig};
+use bluescale_sim::metrics::Counter;
+use bluescale_telemetry::jsonl::fold_jsonl;
+use std::time::{Duration, Instant};
+
+const TENANTS: u64 = 8;
+const SUBSCRIBERS: u64 = 2;
+const UPDATES_PER_SUBSCRIBER: usize = 4;
+const CHURN_ROUNDS: usize = 3;
+
+fn spec(period: u64, wcet: u64) -> TaskSpec {
+    TaskSpec { period, wcet }
+}
+
+fn base_config(telemetry: TelemetryConfig) -> DaemonConfig {
+    DaemonConfig {
+        capacity: 32,
+        queue_depth: 64,
+        batch_max: 16,
+        sim_cycles_per_batch: 32,
+        queue_deadline: Duration::from_secs(2),
+        telemetry: Some(telemetry),
+        ..DaemonConfig::default()
+    }
+}
+
+fn faulty_policy() -> RetryPolicy {
+    RetryPolicy {
+        // Every 2nd frame's response is lost in flight.
+        drop_after_send_every: Some(2),
+        max_attempts: 8,
+        deadline: Duration::from_secs(10),
+        ..RetryPolicy::default()
+    }
+}
+
+/// Drain updates from one subscription, asserting own-tenant stamping
+/// and strict epoch monotonicity. Returns the number of updates seen.
+fn drain_updates(
+    sub: &mut bluescale_ctl::client::TelemetrySubscription,
+    tenant: u64,
+    want: usize,
+    budget: Duration,
+) -> usize {
+    let start = Instant::now();
+    let mut last_epoch: Option<u64> = None;
+    let mut seen = 0usize;
+    while seen < want && start.elapsed() < budget {
+        match sub.next_update(Duration::from_millis(500)) {
+            Ok(Some(update)) => {
+                assert_eq!(
+                    update.tenant, tenant,
+                    "subscriber for tenant {tenant} received a foreign update"
+                );
+                if let Some(prev) = last_epoch {
+                    assert!(
+                        update.epoch > prev,
+                        "epochs must be strictly monotone: {prev} then {}",
+                        update.epoch
+                    );
+                }
+                last_epoch = Some(update.epoch);
+                seen += 1;
+            }
+            Ok(None) => {}
+            Err(e) => panic!("subscription for tenant {tenant} failed: {e}"),
+        }
+    }
+    seen
+}
+
+/// Phase 1: live streaming under admission faults. Eight tenants join,
+/// two subscribe; churn traffic with dropped responses runs alongside.
+fn phase_live(dir: &std::path::Path) {
+    let jsonl = dir.join("telemetry.jsonl");
+    let config = base_config(TelemetryConfig {
+        period: 64,
+        jsonl_path: Some(jsonl.clone()),
+        ..TelemetryConfig::default()
+    });
+    let daemon = Daemon::start(dir, config).expect("daemon start");
+    let addr = daemon.addr();
+
+    let mut admit = CtlClient::new(addr, faulty_policy(), 0x7E1E_0001);
+    for t in 0..TENANTS {
+        let class = if t % 2 == 0 {
+            TenantClass::Guaranteed
+        } else {
+            TenantClass::BestEffort
+        };
+        let resp = admit.join(t, class, vec![spec(64, 1)]).expect("join io");
+        assert!(
+            matches!(resp, Response::Admitted { .. }),
+            "tenant {t} must admit into an empty daemon, got {resp:?}"
+        );
+    }
+
+    std::thread::scope(|scope| {
+        for t in 0..SUBSCRIBERS {
+            scope.spawn(move || {
+                let mut client = CtlClient::new(addr, RetryPolicy::default(), 0x7E1E_1000 + t);
+                let mut sub = client.subscribe(t).expect("subscribe");
+                let seen =
+                    drain_updates(&mut sub, t, UPDATES_PER_SUBSCRIBER, Duration::from_secs(20));
+                assert!(
+                    seen >= UPDATES_PER_SUBSCRIBER,
+                    "tenant {t} subscriber saw only {seen} updates"
+                );
+            });
+        }
+        // Concurrent churn with dropped responses: admission must stay
+        // live (and retried) while subscriptions stream.
+        scope.spawn(move || {
+            let mut client = CtlClient::new(addr, faulty_policy(), 0x7E1E_2000);
+            for round in 0..CHURN_ROUNDS {
+                for t in TENANTS..TENANTS + 4 {
+                    let _ = client.join(t, TenantClass::BestEffort, vec![spec(64, 1)]);
+                    let _ = client.renegotiate(t, vec![spec(48 + round as u64, 1)]);
+                    let _ = client.leave(t);
+                }
+            }
+        });
+    });
+
+    let retries = daemon.sim_counter(Counter::Retries);
+    assert!(retries > 0, "fault injection was inert: no retries forced");
+    let stats = daemon.shutdown();
+    assert!(
+        stats.conservation_holds(),
+        "request conservation violated: {stats:?}"
+    );
+
+    let stream = std::fs::read_to_string(&jsonl).expect("read daemon jsonl mirror");
+    assert!(!stream.is_empty(), "daemon wrote no telemetry epochs");
+    let folded = fold_jsonl(&stream).expect("daemon jsonl stream must fold");
+    assert!(
+        folded.epochs > 1,
+        "daemon stream must cross several flush boundaries"
+    );
+    println!(
+        "telemetry smoke (live): {TENANTS} tenants, {SUBSCRIBERS} subscribers x \
+         {UPDATES_PER_SUBSCRIBER}+ monotone own-tenant updates, {retries} retries, \
+         {} received / {} admitted, {} jsonl epochs folded",
+        stats.received, stats.admitted, folded.epochs
+    );
+}
+
+/// Phase 2: a subscriber that cannot keep up. Channel depth 1 plus an
+/// artificial per-frame write delay back the push channel up; the daemon
+/// must shed (counting `SubscriberLagged`) instead of backpressuring
+/// flushes or admission.
+fn phase_slow_subscriber(dir: &std::path::Path) {
+    let config = base_config(TelemetryConfig {
+        period: 32,
+        subscriber_depth: 1,
+        slow_subscriber_writes: Some(Duration::from_millis(50)),
+        ..TelemetryConfig::default()
+    });
+    let daemon = Daemon::start(dir, config).expect("daemon start");
+    let addr = daemon.addr();
+    let daemon_ref = &daemon;
+
+    let mut admit = CtlClient::new(addr, RetryPolicy::default(), 0x7E1E_0002);
+    let resp = admit
+        .join(0, TenantClass::Guaranteed, vec![spec(64, 1)])
+        .expect("join io");
+    assert!(matches!(resp, Response::Admitted { .. }));
+
+    std::thread::scope(|scope| {
+        // The slow reader: the server sleeps before every pushed frame,
+        // so its depth-1 channel overflows regardless of how fast we
+        // drain here. Surviving epochs must still be monotone.
+        scope.spawn(move || {
+            let mut client = CtlClient::new(addr, RetryPolicy::default(), 0x7E1E_3000);
+            let mut sub = client.subscribe(0).expect("subscribe");
+            let seen = drain_updates(&mut sub, 0, usize::MAX, Duration::from_secs(4));
+            assert!(seen > 0, "slow subscriber received nothing at all");
+        });
+        // Admission must not stall behind the lagging subscriber.
+        scope.spawn(move || {
+            let mut client = CtlClient::new(addr, RetryPolicy::default(), 0x7E1E_4000);
+            for t in 1..5u64 {
+                let start = Instant::now();
+                let resp = client
+                    .join(t, TenantClass::BestEffort, vec![spec(64, 1)])
+                    .expect("join io");
+                assert!(
+                    matches!(resp, Response::Admitted { .. }),
+                    "tenant {t} join refused while subscriber lagged: {resp:?}"
+                );
+                client.leave(t).expect("leave io");
+                assert!(
+                    start.elapsed() < Duration::from_secs(5),
+                    "admission stalled behind a lagging subscriber"
+                );
+            }
+        });
+        // Wait for the shed counter to fire while both threads run.
+        scope.spawn(move || {
+            let start = Instant::now();
+            while daemon_ref.sim_counter(Counter::SubscriberLagged) == 0 {
+                assert!(
+                    start.elapsed() < Duration::from_secs(10),
+                    "SubscriberLagged never fired under a slow reader"
+                );
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        });
+    });
+
+    let lagged = daemon.sim_counter(Counter::SubscriberLagged);
+    assert!(lagged > 0, "slow subscriber was never shed");
+    let stats = daemon.shutdown();
+    assert!(
+        stats.conservation_holds(),
+        "request conservation violated under shedding: {stats:?}"
+    );
+    println!(
+        "telemetry smoke (slow subscriber): {lagged} updates shed, admission live, \
+         {} received / {} admitted, conservation OK",
+        stats.received, stats.admitted
+    );
+}
+
+fn main() {
+    let root =
+        std::env::temp_dir().join(format!("bluescale-telemetry-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    let live_dir = root.join("live");
+    phase_live(&live_dir);
+
+    let slow_dir = root.join("slow");
+    phase_slow_subscriber(&slow_dir);
+
+    let _ = std::fs::remove_dir_all(&root);
+    println!("telemetry smoke: all invariants hold");
+}

@@ -49,6 +49,7 @@ use bluescale_sim::fault::{FaultKind, FaultPlan};
 use bluescale_sim::metrics::{ComponentId, Counter, Event, MetricsRegistry, SampleKind};
 use bluescale_sim::next_event::jump_target;
 use bluescale_sim::Cycle;
+use bluescale_telemetry::Pipeline;
 use std::fmt;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -715,6 +716,9 @@ pub struct ShardedSystem {
     /// A contained worker failure. Once set, every subsequent advance runs
     /// on the serial engine (`ShardFallbacks` counts the demotion).
     error: Option<ShardError>,
+    /// Attached telemetry pipeline, flushed at span boundaries on the
+    /// coordinator (never inside a worker or the per-cycle loop).
+    telemetry: Option<Pipeline>,
 }
 
 impl ShardedSystem {
@@ -857,6 +861,7 @@ impl ShardedSystem {
             shards,
             workers: workers.min(branch).max(1),
             error: None,
+            telemetry: None,
         }
     }
 
@@ -1029,8 +1034,74 @@ impl ShardedSystem {
     }
 
     /// Steps (or fast-forwards) up to `horizon` without end-of-run
-    /// accounting, then flushes all batched tallies.
+    /// accounting, then flushes all batched tallies. With telemetry
+    /// attached the span is chunked at flush boundaries; chunking only
+    /// moves where the coordinator pauses, never what it computes, so
+    /// results stay bit-identical streaming on or off.
     pub fn advance_to(&mut self, horizon: Cycle) {
+        if self.telemetry.is_none() {
+            self.advance_span(horizon);
+            return;
+        }
+        while self.coord.now < horizon {
+            let due = self.telemetry.as_ref().expect("checked above").next_flush();
+            let bound = horizon.min(due.max(self.coord.now + 1));
+            self.advance_span(bound);
+            self.flush_telemetry_due();
+        }
+    }
+
+    /// Attaches a telemetry pipeline, aligning its first flush one period
+    /// past the current cycle. Returns the previously attached pipeline.
+    pub fn attach_telemetry(&mut self, mut pipeline: Pipeline) -> Option<Pipeline> {
+        pipeline.align(self.coord.now);
+        self.telemetry.replace(pipeline)
+    }
+
+    /// Detaches and returns the telemetry pipeline, if any.
+    pub fn detach_telemetry(&mut self) -> Option<Pipeline> {
+        self.telemetry.take()
+    }
+
+    /// Whether a telemetry pipeline is attached.
+    pub fn telemetry_attached(&self) -> bool {
+        self.telemetry.is_some()
+    }
+
+    /// Epochs flushed by the attached pipeline (0 when detached).
+    pub fn telemetry_epochs(&self) -> u64 {
+        self.telemetry.as_ref().map_or(0, Pipeline::epochs_flushed)
+    }
+
+    /// Final telemetry flush + sink finalization. Call after the run's
+    /// end-of-run accounting so the stream's tail matches the final
+    /// registries. Idempotent; no-op when detached.
+    pub fn finish_telemetry(&mut self) {
+        self.coord.flush(&self.shards);
+        let coord = &self.coord;
+        if let Some(pipe) = self.telemetry.as_mut() {
+            let sources = [("harness", &coord.registry), ("fabric", &coord.fabric)];
+            pipe.finish(coord.now, &sources);
+        }
+    }
+
+    /// Flushes one telemetry epoch if the pipeline's boundary has been
+    /// reached. Runs on the coordinator between spans; extraction is
+    /// read-only on the (already flushed) registries.
+    pub fn flush_telemetry_due(&mut self) {
+        let coord = &self.coord;
+        if let Some(pipe) = self.telemetry.as_mut() {
+            if coord.now < pipe.next_flush() {
+                return;
+            }
+            let sources = [("harness", &coord.registry), ("fabric", &coord.fabric)];
+            pipe.flush(coord.now, &sources);
+        }
+    }
+
+    /// One uninterrupted span: serial-or-threaded advance plus the
+    /// coordinator flush that makes the registries exact.
+    fn advance_span(&mut self, horizon: Cycle) {
         if self.workers <= 1 || self.error.is_some() {
             self.advance_serial(horizon);
         } else {

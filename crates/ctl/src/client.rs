@@ -18,7 +18,9 @@
 //! frame is sent — the response is lost in flight, forcing the
 //! reconnect-and-retry path against a daemon that already applied the op.
 
-use crate::proto::{read_frame, write_frame, Request, Response, TaskSpec, TenantClass};
+use crate::proto::{
+    read_frame, write_frame, FrameReader, Request, Response, TaskSpec, TelemetryUpdate, TenantClass,
+};
 use bluescale_sim::rng::SimRng;
 use std::fmt;
 use std::io::{self, ErrorKind};
@@ -65,6 +67,9 @@ pub enum CtlError {
     },
     /// The daemon answered with an internal error code.
     Daemon(u16),
+    /// The daemon refused the operation with a typed verdict (e.g. a
+    /// subscription for an unknown tenant).
+    Refused(Response),
 }
 
 impl fmt::Display for CtlError {
@@ -75,6 +80,7 @@ impl fmt::Display for CtlError {
                 write!(f, "deadline exceeded after {attempts} attempts")
             }
             CtlError::Daemon(code) => write!(f, "daemon error {code}"),
+            CtlError::Refused(resp) => write!(f, "daemon refused: {resp:?}"),
         }
     }
 }
@@ -147,6 +153,28 @@ impl CtlClient {
     /// Fetches the tenant's miss/latency stream.
     pub fn stats(&mut self, tenant: u64) -> Result<Response, CtlError> {
         self.request(move |_| Request::Stats { tenant })
+    }
+
+    /// Opens a live telemetry stream for `tenant` on a dedicated
+    /// connection (the request/response connection stays usable). The
+    /// subscribe handshake is one-shot — callers retry at their own
+    /// cadence; a subscription is a live feed, not an admission.
+    pub fn subscribe(&mut self, tenant: u64) -> Result<TelemetrySubscription, CtlError> {
+        let stream = TcpStream::connect_timeout(&self.addr, self.policy.deadline)?;
+        stream.set_nodelay(true)?;
+        let mut sub = TelemetrySubscription {
+            stream,
+            reader: FrameReader::new(),
+        };
+        write_frame(&mut sub.stream, &Request::Subscribe { tenant }.encode())?;
+        sub.stream
+            .set_read_timeout(Some(self.policy.deadline.max(MIN_IO_BUDGET)))?;
+        let payload = read_frame(&mut sub.stream)?;
+        match Response::decode(&payload).map_err(io::Error::from)? {
+            Response::Subscribed => Ok(sub),
+            Response::Err { code } => Err(CtlError::Daemon(code)),
+            other => Err(CtlError::Refused(other)),
+        }
     }
 
     fn connect(&mut self, remaining: Duration) -> io::Result<&mut TcpStream> {
@@ -232,6 +260,45 @@ impl CtlClient {
 
 /// Floor for connect/read timeouts — zero would mean "block forever".
 const MIN_IO_BUDGET: Duration = Duration::from_millis(1);
+
+/// A live telemetry stream for one tenant: [`TelemetryUpdate`] frames
+/// pushed by the daemon on every flush epoch, read at the subscriber's
+/// own pace. A subscriber that falls behind the daemon's per-subscriber
+/// channel depth is shed server-side (it keeps receiving *later* epochs;
+/// the skipped ones are counted in `subscriber_lagged`).
+pub struct TelemetrySubscription {
+    stream: TcpStream,
+    reader: FrameReader,
+}
+
+impl TelemetrySubscription {
+    /// Waits up to `timeout` for the next pushed update. `Ok(None)` means
+    /// the wait elapsed with no epoch pushed (partial frame progress is
+    /// kept for the next call); errors mean the stream is dead.
+    pub fn next_update(&mut self, timeout: Duration) -> Result<Option<TelemetryUpdate>, CtlError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Ok(None);
+            }
+            self.stream
+                .set_read_timeout(Some(remaining.max(MIN_IO_BUDGET)))
+                .map_err(CtlError::Io)?;
+            match self.reader.read(&mut self.stream) {
+                Ok(Some(payload)) => {
+                    return match Response::decode(&payload).map_err(io::Error::from)? {
+                        Response::Telemetry(update) => Ok(Some(update)),
+                        Response::Err { code } => Err(CtlError::Daemon(code)),
+                        other => Err(CtlError::Refused(other)),
+                    }
+                }
+                Ok(None) => continue,
+                Err(e) => return Err(CtlError::Io(e)),
+            }
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

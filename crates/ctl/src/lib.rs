@@ -36,8 +36,10 @@ pub mod registry;
 pub mod server;
 
 pub use breaker::{BreakerConfig, CircuitBreaker};
-pub use client::{CtlClient, CtlError, RetryPolicy};
+pub use client::{CtlClient, CtlError, RetryPolicy, TelemetrySubscription};
 pub use journal::{recover, Journal, Op, Recovery, Snapshot};
-pub use proto::{RejectReason, Request, Response, TaskSpec, TenantClass, TenantStats};
+pub use proto::{
+    RejectReason, Request, Response, TaskSpec, TelemetryUpdate, TenantClass, TenantStats,
+};
 pub use registry::{ApplyOutcome, ControlRegistry};
-pub use server::{Daemon, DaemonConfig, StartError, StatsSnapshot};
+pub use server::{Daemon, DaemonConfig, StartError, StatsSnapshot, TelemetryConfig};

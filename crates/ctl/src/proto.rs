@@ -110,6 +110,16 @@ pub enum Request {
         /// The tenant whose stream is requested.
         tenant: u64,
     },
+    /// Switch this connection into a one-way telemetry stream for the
+    /// tenant's own SLO series. The daemon answers with
+    /// [`Response::Subscribed`] and then pushes [`Response::Telemetry`]
+    /// frames on every flush epoch until the client disconnects. A slow
+    /// reader is shed (updates dropped, `subscriber_lagged` counted) —
+    /// never allowed to backpressure the simulation.
+    Subscribe {
+        /// The tenant whose stream is requested (must be admitted).
+        tenant: u64,
+    },
 }
 
 impl Request {
@@ -120,7 +130,7 @@ impl Request {
             Request::Join { attempt, .. }
             | Request::Renegotiate { attempt, .. }
             | Request::Leave { attempt, .. } => attempt,
-            Request::Ping | Request::Stats { .. } => 0,
+            Request::Ping | Request::Stats { .. } | Request::Subscribe { .. } => 0,
         }
     }
 
@@ -132,6 +142,7 @@ impl Request {
             Request::Renegotiate { .. } => "renegotiate",
             Request::Leave { .. } => "leave",
             Request::Stats { .. } => "stats",
+            Request::Subscribe { .. } => "subscribe",
         }
     }
 
@@ -171,6 +182,10 @@ impl Request {
                 buf.push(4);
                 put_u64(&mut buf, *tenant);
             }
+            Request::Subscribe { tenant } => {
+                buf.push(5);
+                put_u64(&mut buf, *tenant);
+            }
         }
         buf
     }
@@ -207,6 +222,9 @@ impl Request {
                 attempt: c.take_u32()?,
             },
             4 => Request::Stats {
+                tenant: c.take_u64()?,
+            },
+            5 => Request::Subscribe {
                 tenant: c.take_u64()?,
             },
             other => return Err(ProtoError::BadTag(other)),
@@ -283,6 +301,31 @@ pub struct TenantStats {
     pub p99_latency: f64,
 }
 
+/// One pushed telemetry epoch for a subscribed tenant: cumulative
+/// counters plus the SLO values derived at the flush boundary
+/// (windowed over the daemon's configured number of recent epochs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TelemetryUpdate {
+    /// The subscribed tenant (caller-chosen identity, not the slot).
+    pub tenant: u64,
+    /// Monotone flush epoch within the daemon's pipeline.
+    pub epoch: u64,
+    /// Simulation cycle of the flush.
+    pub cycle: u64,
+    /// Requests issued, cumulative.
+    pub issued: u64,
+    /// Requests completed, cumulative.
+    pub completed: u64,
+    /// Deadline misses, cumulative.
+    pub missed: u64,
+    /// Windowed miss rate (`slo_miss_rate`).
+    pub miss_rate: f64,
+    /// Windowed p99 normalized response time (`slo_p99_normalized`).
+    pub p99_normalized: f64,
+    /// Windowed budget-overrun rate (`slo_overrun_rate`).
+    pub overrun_rate: f64,
+}
+
 /// A daemon-to-client message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -313,9 +356,15 @@ pub enum Response {
     Stats(TenantStats),
     /// Daemon-side failure (journal I/O, internal shutdown).
     Err {
-        /// Coarse error code; 1 = internal, 2 = journal write failed.
+        /// Coarse error code; 1 = internal, 2 = journal write failed,
+        /// 3 = telemetry streaming disabled on this daemon.
         code: u16,
     },
+    /// Answer to [`Request::Subscribe`]: the stream is live; every
+    /// following frame on this connection is [`Response::Telemetry`].
+    Subscribed,
+    /// One pushed telemetry epoch (only after [`Response::Subscribed`]).
+    Telemetry(TelemetryUpdate),
 }
 
 impl Response {
@@ -352,6 +401,19 @@ impl Response {
                 buf.push(6);
                 buf.extend_from_slice(&code.to_le_bytes());
             }
+            Response::Subscribed => buf.push(7),
+            Response::Telemetry(u) => {
+                buf.push(8);
+                put_u64(&mut buf, u.tenant);
+                put_u64(&mut buf, u.epoch);
+                put_u64(&mut buf, u.cycle);
+                put_u64(&mut buf, u.issued);
+                put_u64(&mut buf, u.completed);
+                put_u64(&mut buf, u.missed);
+                put_u64(&mut buf, u.miss_rate.to_bits());
+                put_u64(&mut buf, u.p99_normalized.to_bits());
+                put_u64(&mut buf, u.overrun_rate.to_bits());
+            }
         }
         buf
     }
@@ -379,6 +441,18 @@ impl Response {
             6 => Response::Err {
                 code: u16::from_le_bytes([c.take_u8()?, c.take_u8()?]),
             },
+            7 => Response::Subscribed,
+            8 => Response::Telemetry(TelemetryUpdate {
+                tenant: c.take_u64()?,
+                epoch: c.take_u64()?,
+                cycle: c.take_u64()?,
+                issued: c.take_u64()?,
+                completed: c.take_u64()?,
+                missed: c.take_u64()?,
+                miss_rate: f64::from_bits(c.take_u64()?),
+                p99_normalized: f64::from_bits(c.take_u64()?),
+                overrun_rate: f64::from_bits(c.take_u64()?),
+            }),
             other => return Err(ProtoError::BadTag(other)),
         };
         c.finish()?;
@@ -648,6 +722,7 @@ mod tests {
             attempt: 1,
         });
         roundtrip_request(Request::Stats { tenant: 3 });
+        roundtrip_request(Request::Subscribe { tenant: 11 });
     }
 
     #[test]
@@ -676,6 +751,18 @@ mod tests {
             p99_latency: 123.5,
         }));
         roundtrip_response(Response::Err { code: 2 });
+        roundtrip_response(Response::Subscribed);
+        roundtrip_response(Response::Telemetry(TelemetryUpdate {
+            tenant: 11,
+            epoch: 4,
+            cycle: 8192,
+            issued: 40,
+            completed: 39,
+            missed: 1,
+            miss_rate: 0.025,
+            p99_normalized: 1.75,
+            overrun_rate: 0.0,
+        }));
     }
 
     #[test]

@@ -420,11 +420,14 @@ impl ControlRegistry {
 
     /// Advances the live simulation, driving tenant traffic through the
     /// admitted reservations (releases, arbitration, completions, the
-    /// miss/latency streams Stats reads).
+    /// miss/latency streams Stats reads). With telemetry attached, due
+    /// epochs are flushed after the batch — between simulated spans,
+    /// never inside the cycle loop.
     pub fn step(&mut self, cycles: u64) {
         for _ in 0..cycles {
             self.sys.step();
         }
+        self.sys.flush_telemetry_due();
     }
 
     /// Current simulation cycle.
@@ -486,6 +489,25 @@ impl ControlRegistry {
     /// Slots demoted through the quarantine path.
     pub fn quarantined_slots(&self) -> Vec<u32> {
         self.sys.quarantined_clients()
+    }
+
+    /// The client slot backing `tenant`, if admitted.
+    pub fn slot_of(&self, tenant: u64) -> Option<u32> {
+        self.tenants.get(&tenant).map(|e| e.slot)
+    }
+
+    /// Attaches a telemetry pipeline to the live system (flushed from
+    /// [`step`](Self::step) batch boundaries). Returns any previous one.
+    pub fn attach_telemetry(
+        &mut self,
+        pipeline: bluescale_telemetry::Pipeline,
+    ) -> Option<bluescale_telemetry::Pipeline> {
+        self.sys.attach_telemetry(pipeline)
+    }
+
+    /// Final telemetry flush + sink finalization (no-op when detached).
+    pub fn finish_telemetry(&mut self) {
+        self.sys.finish_telemetry();
     }
 }
 

@@ -36,22 +36,55 @@
 
 use crate::breaker::{BreakerConfig, CircuitBreaker};
 use crate::journal::{self, Journal, Op, RecoveryError};
+use crate::proto::TelemetryUpdate;
 use crate::proto::{
     write_frame, FrameReader, RejectReason, Request, Response, TaskSpec, TenantClass,
 };
 use crate::registry::{ApplyOutcome, ControlRegistry, ReplayDiverged};
 use bluescale::BuildError;
 use bluescale_sim::metrics::Counter;
+use bluescale_telemetry::{FanOut, FanOutSink, JsonlSink, Pipeline, SloConfig};
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::io::{self, ErrorKind};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Streaming-telemetry tuning. Enabling telemetry never changes what the
+/// daemon simulates — extraction is read-only and flushes run between
+/// simulated spans from the worker thread.
+#[derive(Debug, Clone)]
+pub struct TelemetryConfig {
+    /// Flush period in simulation cycles.
+    pub period: u64,
+    /// SLO derivation window, in flush epochs.
+    pub slo_window: usize,
+    /// Per-subscriber channel depth; a subscriber this far behind is
+    /// shed (updates dropped, `subscriber_lagged` counted).
+    pub subscriber_depth: usize,
+    /// Mirror every epoch to this JSONL file, if set.
+    pub jsonl_path: Option<PathBuf>,
+    /// Test knob: sleep this long before each pushed frame, simulating a
+    /// subscriber whose reads cannot keep up.
+    pub slow_subscriber_writes: Option<Duration>,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            period: 256,
+            slo_window: 16,
+            subscriber_depth: 32,
+            jsonl_path: None,
+            slow_subscriber_writes: None,
+        }
+    }
+}
 
 /// Daemon tuning.
 #[derive(Debug, Clone)]
@@ -70,6 +103,9 @@ pub struct DaemonConfig {
     pub queue_deadline: Duration,
     /// Circuit-breaker tuning.
     pub breaker: BreakerConfig,
+    /// Streaming telemetry; `None` (the default) disables it and
+    /// [`Request::Subscribe`] answers `Err { code: 3 }`.
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl Default for DaemonConfig {
@@ -82,6 +118,7 @@ impl Default for DaemonConfig {
             compact_every: 0,
             queue_deadline: Duration::from_secs(1),
             breaker: BreakerConfig::default(),
+            telemetry: None,
         }
     }
 }
@@ -237,6 +274,8 @@ pub struct Daemon {
     acceptor: Option<JoinHandle<()>>,
     worker: Option<JoinHandle<()>>,
     handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    /// Telemetry fan-out hub, present when streaming is enabled.
+    fanout: Option<Arc<FanOut>>,
 }
 
 impl Daemon {
@@ -253,6 +292,26 @@ impl Daemon {
             registry.replay(*seq, op).map_err(StartError::Replay)?;
         }
         let journal = Journal::open(dir, &recovery).map_err(StartError::Io)?;
+
+        let fanout = match &config.telemetry {
+            Some(tcfg) => {
+                let mut pipeline = Pipeline::new(
+                    tcfg.period,
+                    SloConfig {
+                        window_epochs: tcfg.slo_window,
+                        ..SloConfig::default()
+                    },
+                );
+                if let Some(path) = &tcfg.jsonl_path {
+                    pipeline.add_sink(JsonlSink::create(path).map_err(StartError::Io)?);
+                }
+                let hub = FanOut::new();
+                pipeline.add_sink(FanOutSink::new(Arc::clone(&hub)));
+                registry.attach_telemetry(pipeline);
+                Some(hub)
+            }
+            None => None,
+        };
 
         let classes: BTreeMap<u64, TenantClass> = recovery
             .snapshot
@@ -291,6 +350,7 @@ impl Daemon {
             let classes = Arc::clone(&classes);
             let handlers = Arc::clone(&handlers);
             let config = config.clone();
+            let fanout = fanout.as_ref().map(Arc::clone);
             std::thread::spawn(move || loop {
                 if stop.load(Ordering::Relaxed) {
                     break;
@@ -304,6 +364,7 @@ impl Daemon {
                             stats: Arc::clone(&stats),
                             classes: Arc::clone(&classes),
                             config: config.clone(),
+                            fanout: fanout.as_ref().map(Arc::clone),
                         };
                         let handle = std::thread::spawn(move || handle_connection(stream, &ctx));
                         let mut list = handlers.lock().expect("handler list");
@@ -341,9 +402,18 @@ impl Daemon {
             let stats = Arc::clone(&stats);
             let classes = Arc::clone(&classes);
             let config = config.clone();
+            let fanout = fanout.as_ref().map(Arc::clone);
             std::thread::spawn(move || {
                 admission_worker(
-                    journal, &config, &stop, &abandon, &queue, &registry, &stats, &classes,
+                    journal,
+                    &config,
+                    &stop,
+                    &abandon,
+                    &queue,
+                    &registry,
+                    &stats,
+                    &classes,
+                    fanout.as_deref(),
                 )
             })
         };
@@ -358,6 +428,7 @@ impl Daemon {
             acceptor: Some(acceptor),
             worker: Some(worker),
             handlers,
+            fanout,
         })
     }
 
@@ -399,6 +470,11 @@ impl Daemon {
     /// Slots demoted through the quarantine path (circuit-breaker trips).
     pub fn quarantined_slots(&self) -> Vec<u32> {
         self.registry.lock().expect("registry").quarantined_slots()
+    }
+
+    /// Live telemetry subscribers (0 when streaming is disabled).
+    pub fn subscriber_count(&self) -> usize {
+        self.fanout.as_ref().map_or(0, |f| f.subscriber_count())
     }
 
     fn stop_threads(&mut self, abandon: bool) {
@@ -446,6 +522,7 @@ struct HandlerCtx {
     stats: Arc<Stats>,
     classes: Arc<Mutex<BTreeMap<u64, TenantClass>>>,
     config: DaemonConfig,
+    fanout: Option<Arc<FanOut>>,
 }
 
 fn handle_connection(mut stream: TcpStream, ctx: &HandlerCtx) {
@@ -475,6 +552,14 @@ fn handle_connection(mut stream: TcpStream, ctx: &HandlerCtx) {
                 return;
             }
         };
+        if let Request::Subscribe { tenant } = request {
+            // The connection becomes a one-way push stream (or gets a
+            // typed refusal and stays in request/response mode).
+            if serve_subscription(&mut stream, tenant, ctx) {
+                return;
+            }
+            continue;
+        }
         let response = dispatch(request, ctx);
         if write_frame(&mut stream, &response.encode()).is_err() {
             return;
@@ -482,9 +567,84 @@ fn handle_connection(mut stream: TcpStream, ctx: &HandlerCtx) {
     }
 }
 
+/// Streams the tenant's own SLO series over `stream` until the client
+/// disconnects or the daemon stops. Returns `true` when the connection
+/// was converted to a stream (and is now done), `false` when the
+/// subscription was refused with a typed response and the connection
+/// should continue serving requests.
+fn serve_subscription(stream: &mut TcpStream, tenant: u64, ctx: &HandlerCtx) -> bool {
+    let Some(fanout) = &ctx.fanout else {
+        // Streaming disabled on this daemon.
+        let _ = write_frame(stream, &Response::Err { code: 3 }.encode());
+        return false;
+    };
+    let slot = {
+        let reg = ctx.registry.lock().expect("registry");
+        reg.slot_of(tenant)
+    };
+    let Some(slot) = slot else {
+        let _ = write_frame(
+            stream,
+            &Response::Rejected {
+                reason: RejectReason::UnknownTenant,
+            }
+            .encode(),
+        );
+        return false;
+    };
+    let depth = ctx
+        .config
+        .telemetry
+        .as_ref()
+        .map_or(32, |t| t.subscriber_depth);
+    let slow = ctx
+        .config
+        .telemetry
+        .as_ref()
+        .and_then(|t| t.slow_subscriber_writes);
+    let (id, rx) = fanout.subscribe(slot, depth);
+    if write_frame(stream, &Response::Subscribed.encode()).is_err() {
+        fanout.unsubscribe(id);
+        return true;
+    }
+    loop {
+        match rx.recv_timeout(Duration::from_millis(100)) {
+            Ok(point) => {
+                if let Some(delay) = slow {
+                    std::thread::sleep(delay);
+                }
+                let update = TelemetryUpdate {
+                    tenant,
+                    epoch: point.epoch,
+                    cycle: point.cycle,
+                    issued: point.issued,
+                    completed: point.completed,
+                    missed: point.missed,
+                    miss_rate: point.miss_rate,
+                    p99_normalized: point.p99_normalized,
+                    overrun_rate: point.overrun_rate,
+                };
+                if write_frame(stream, &Response::Telemetry(update).encode()).is_err() {
+                    break;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if ctx.stop.load(Ordering::Relaxed) {
+                    break;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    fanout.unsubscribe(id);
+    true
+}
+
 fn dispatch(request: Request, ctx: &HandlerCtx) -> Response {
     let (op, attempt) = match request {
         Request::Ping => return Response::Pong,
+        // Intercepted in handle_connection; unreachable here.
+        Request::Subscribe { .. } => return Response::Err { code: 1 },
         Request::Stats { tenant } => {
             let reg = ctx.registry.lock().expect("registry");
             return match reg.stats_for(tenant) {
@@ -571,7 +731,19 @@ fn admission_worker(
     registry: &Mutex<ControlRegistry>,
     stats: &Stats,
     classes: &Mutex<BTreeMap<u64, TenantClass>>,
+    fanout: Option<&FanOut>,
 ) {
+    // Folds the fan-out's shed tally into the sim registry. Runs right
+    // after each sim advance, so the counter lives next to the metrics
+    // stream it explains.
+    let fold_lagged = |reg: &mut ControlRegistry| {
+        if let Some(hub) = fanout {
+            let lagged = hub.take_lagged();
+            if lagged > 0 {
+                reg.count_by(Counter::SubscriberLagged, lagged);
+            }
+        }
+    };
     let mut breaker = CircuitBreaker::new(config.breaker);
     let mut records_since_compact = 0u64;
     loop {
@@ -593,10 +765,11 @@ fn admission_worker(
                 // tenants' streams keep flowing.
                 if q.items.is_empty() {
                     drop(q);
-                    registry
-                        .lock()
-                        .expect("registry")
-                        .step(config.sim_cycles_per_batch);
+                    {
+                        let mut reg = registry.lock().expect("registry");
+                        reg.step(config.sim_cycles_per_batch);
+                        fold_lagged(&mut reg);
+                    }
                     q = queue.state.lock().expect("queue");
                 }
             }
@@ -788,15 +961,23 @@ fn admission_worker(
             reg.count_by(Counter::Sheds, sheds);
         }
         reg.step(config.sim_cycles_per_batch);
+        fold_lagged(&mut reg);
     }
     let _ = journal.sync();
     // Fold any sheds recorded after the last batch.
-    let sheds = stats.shed_unfolded.swap(0, Ordering::Relaxed);
-    if sheds > 0 {
-        registry
-            .lock()
-            .expect("registry")
-            .count_by(Counter::Sheds, sheds);
+    {
+        let mut reg = registry.lock().expect("registry");
+        let sheds = stats.shed_unfolded.swap(0, Ordering::Relaxed);
+        if sheds > 0 {
+            reg.count_by(Counter::Sheds, sheds);
+        }
+        fold_lagged(&mut reg);
+        // Graceful stop: flush the telemetry tail so the JSONL stream's
+        // fold matches the final registry. A simulated crash keeps the
+        // stream truncated, exactly as a real crash would.
+        if !abandon.load(Ordering::SeqCst) {
+            reg.finish_telemetry();
+        }
     }
 }
 

@@ -11,6 +11,7 @@ use bluescale_sim::fault::{FaultClass, FaultKind, FaultPlan, FaultWindow};
 use bluescale_sim::metrics::{ComponentId, Counter, Event, MetricsRegistry, SampleKind};
 use bluescale_sim::next_event::jump_target;
 use bluescale_sim::Cycle;
+use bluescale_telemetry::Pipeline;
 use std::cmp::Reverse;
 
 /// Harness-level knobs (distinct from any interconnect configuration).
@@ -92,6 +93,12 @@ pub struct System<I: ?Sized + Interconnect> {
     /// bit-identical between stepping modes.
     ff_jumps: u64,
     ff_skipped: u64,
+    /// Streaming telemetry, if attached. Flushes happen at span
+    /// boundaries inside [`advance_to`](Self::advance_to) — never inside
+    /// the per-cycle loop — and extraction is read-only on the
+    /// registries, so an attached pipeline cannot perturb results
+    /// (pinned by `tests/telemetry_differential.rs`).
+    telemetry: Option<Pipeline>,
 }
 
 impl<I: ?Sized + Interconnect> System<I> {
@@ -158,6 +165,7 @@ impl<I: ?Sized + Interconnect> System<I> {
             config: SystemConfig::default(),
             ff_jumps: 0,
             ff_skipped: 0,
+            telemetry: None,
         }
     }
 
@@ -812,10 +820,12 @@ impl<I: ?Sized + Interconnect> System<I> {
     /// state only.
     pub fn reset_metrics(&mut self) {
         let detail = self.registry.detail();
+        let window = self.registry.sample_window();
         self.registry = MetricsRegistry::new();
         if detail {
             self.registry.enable_detail();
         }
+        self.registry.set_sample_window(window);
     }
 
     /// Runs until `horizon`, discarding everything recorded before
@@ -832,9 +842,91 @@ impl<I: ?Sized + Interconnect> System<I> {
         self.run(horizon)
     }
 
+    /// Attaches a streaming-telemetry pipeline; its first flush boundary
+    /// is aligned one period after the current cycle. Replaces (and
+    /// returns) any previously attached pipeline without finishing it.
+    pub fn attach_telemetry(&mut self, mut pipeline: Pipeline) -> Option<Pipeline> {
+        pipeline.align(self.now);
+        self.telemetry.replace(pipeline)
+    }
+
+    /// Removes the attached pipeline without a final flush.
+    pub fn detach_telemetry(&mut self) -> Option<Pipeline> {
+        self.telemetry.take()
+    }
+
+    /// Whether a telemetry pipeline is attached.
+    pub fn telemetry_attached(&self) -> bool {
+        self.telemetry.is_some()
+    }
+
+    /// Epochs the attached pipeline has flushed (0 when none attached).
+    pub fn telemetry_epochs(&self) -> u64 {
+        self.telemetry.as_ref().map_or(0, Pipeline::epochs_flushed)
+    }
+
+    /// Final telemetry flush + sink finalization. Call after the last
+    /// [`run`](Self::run) so the stream's tail captures end-of-run
+    /// accounting (backlog misses land after the horizon is reached).
+    pub fn finish_telemetry(&mut self) {
+        // Fold interconnect-batched tallies before the last extraction.
+        self.interconnect.metrics_mut();
+        let now = self.now;
+        let Some(pipeline) = self.telemetry.as_mut() else {
+            return;
+        };
+        let fabric = self.interconnect.metrics();
+        let mut sources: Vec<(&'static str, &MetricsRegistry)> = vec![("harness", &self.registry)];
+        if let Some(m) = fabric {
+            sources.push(("fabric", m));
+        }
+        pipeline.finish(now, &sources);
+    }
+
+    /// Flushes the attached pipeline if the current cycle has reached its
+    /// boundary. Hosts that step the system manually (the control-plane
+    /// daemon steps in small batches) call this between batches; `run`
+    /// and `advance_to` call it at span boundaries automatically.
+    pub fn flush_telemetry_due(&mut self) {
+        let now = self.now;
+        match &self.telemetry {
+            Some(p) if now >= p.next_flush() => {}
+            _ => return,
+        }
+        // Fold any counters the interconnect batches (memory-controller
+        // stats, the SoA engine's delta arrays) so the epoch sees them.
+        self.interconnect.metrics_mut();
+        let fabric = self.interconnect.metrics();
+        let pipeline = self.telemetry.as_mut().expect("checked above");
+        let mut sources: Vec<(&'static str, &MetricsRegistry)> = vec![("harness", &self.registry)];
+        if let Some(m) = fabric {
+            sources.push(("fabric", m));
+        }
+        pipeline.flush(now, &sources);
+    }
+
     /// Steps (or fast-forwards) the simulation up to `horizon` without any
-    /// end-of-run accounting.
-    fn advance_to(&mut self, horizon: Cycle) {
+    /// end-of-run accounting. With telemetry attached, the horizon is
+    /// covered as a sequence of spans bounded by flush boundaries; the
+    /// per-cycle loop itself never checks for flushes.
+    pub fn advance_to(&mut self, horizon: Cycle) {
+        if self.telemetry.is_none() {
+            self.advance_span(horizon);
+            return;
+        }
+        while self.now < horizon {
+            let due = self.telemetry.as_ref().expect("checked above").next_flush();
+            // `max(now + 1)` guarantees progress even if a boundary is
+            // somehow at or behind `now`; `flush` advances the boundary
+            // strictly past `now` afterwards.
+            let bound = horizon.min(due.max(self.now + 1));
+            self.advance_span(bound);
+            self.flush_telemetry_due();
+        }
+    }
+
+    /// One uninterrupted simulation span (the pre-telemetry `advance_to`).
+    fn advance_span(&mut self, horizon: Cycle) {
         // Fast-forward is gated off while detail recording is on: typed
         // per-cycle events (e.g. `Replenish` at every period boundary)
         // cannot be replayed in closed form, and detail runs are

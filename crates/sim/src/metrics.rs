@@ -193,6 +193,10 @@ pub enum Counter {
     /// Root-arbitration grants deferred by the active memory policy (the
     /// request stays queued; counted once per deferred candidate-cycle).
     PolicyDeferred,
+    /// Telemetry updates dropped because a subscriber's channel was full.
+    /// Slow external readers shed their own stream instead of
+    /// backpressuring the simulator.
+    SubscriberLagged,
 }
 
 impl Counter {
@@ -232,6 +236,44 @@ impl Counter {
             Counter::RecoveryReplays => "recovery_replays",
             Counter::ShardFallbacks => "shard_fallbacks",
             Counter::PolicyDeferred => "policy_deferred",
+            Counter::SubscriberLagged => "subscriber_lagged",
+        }
+    }
+
+    /// Unit of the counted quantity, for self-describing exports.
+    pub fn unit(&self) -> &'static str {
+        match self {
+            Counter::Issued
+            | Counter::Completed
+            | Counter::Missed
+            | Counter::Backlog
+            | Counter::Rejected
+            | Counter::Enqueued
+            | Counter::Grants
+            | Counter::Forwarded
+            | Counter::MemAccepted
+            | Counter::MemCompleted
+            | Counter::RowHits
+            | Counter::RowMisses
+            | Counter::Retries
+            | Counter::ResponsesDropped
+            | Counter::DuplicateResponses => "requests",
+            Counter::ThrottledCycles | Counter::BusyCycles | Counter::TransitionCycles => "cycles",
+            Counter::Trials | Counter::Successes => "trials",
+            Counter::Replenishments
+            | Counter::FaultsInjected
+            | Counter::MissesDetected
+            | Counter::Quarantines
+            | Counter::BudgetOverruns
+            | Counter::Admitted
+            | Counter::AdmissionRejected
+            | Counter::Reconfigurations
+            | Counter::AdmissionTimeouts
+            | Counter::Sheds
+            | Counter::RecoveryReplays
+            | Counter::ShardFallbacks
+            | Counter::PolicyDeferred
+            | Counter::SubscriberLagged => "events",
         }
     }
 }
@@ -258,6 +300,22 @@ pub enum SampleKind {
     MissRatio,
     /// An experiment-defined distribution.
     Custom(&'static str),
+}
+
+impl SampleKind {
+    /// Unit of the observed quantity, for self-describing exports.
+    pub fn unit(&self) -> &'static str {
+        match self {
+            SampleKind::Latency
+            | SampleKind::Blocking
+            | SampleKind::Queueing
+            | SampleKind::NocTransit
+            | SampleKind::Service
+            | SampleKind::ResponseTransit => "cycles",
+            SampleKind::NormalizedResponse | SampleKind::MissRatio => "ratio",
+            SampleKind::Custom(_) => "value",
+        }
+    }
 }
 
 impl fmt::Display for SampleKind {
@@ -490,6 +548,9 @@ struct Lifecycle {
 pub struct MetricsRegistry {
     detail: bool,
     event_capacity: usize,
+    /// Default retention window applied to raw-sample collectors created
+    /// after it is set ([`Samples::set_window`]); `None` retains everything.
+    sample_window: Option<usize>,
     counters: BTreeMap<(ComponentId, Counter), u64>,
     gauges: BTreeMap<(ComponentId, &'static str), f64>,
     stats: BTreeMap<(ComponentId, SampleKind), OnlineStats>,
@@ -534,6 +595,22 @@ impl MetricsRegistry {
     /// Turns detail recording off (retained events are kept).
     pub fn disable_detail(&mut self) {
         self.detail = false;
+    }
+
+    /// Sets the default retention window for raw-sample collectors and
+    /// applies it to every existing collector. Long streaming runs use this
+    /// to bound memory; figure-producing runs leave it `None` so full
+    /// sequences (and their exact percentiles) are preserved.
+    pub fn set_sample_window(&mut self, window: Option<usize>) {
+        self.sample_window = window;
+        for samples in self.samples.values_mut() {
+            samples.set_window(window);
+        }
+    }
+
+    /// The default retention window for raw-sample collectors.
+    pub fn sample_window(&self) -> Option<usize> {
+        self.sample_window
     }
 
     // ----- counters --------------------------------------------------
@@ -615,11 +692,13 @@ impl MetricsRegistry {
     }
 
     /// Pushes a raw observation into a [`Samples`] collector (retained for
-    /// percentile reporting).
+    /// percentile reporting; bounded by the registry's sample window, if
+    /// one is set).
     pub fn sample(&mut self, component: ComponentId, kind: SampleKind, value: f64) {
+        let window = self.sample_window;
         self.samples
             .entry((component, kind))
-            .or_default()
+            .or_insert_with(|| Samples::with_window(window))
             .push(value);
     }
 
@@ -631,7 +710,32 @@ impl MetricsRegistry {
     /// Mutable view of a raw-sample collector (percentile queries sort in
     /// place), creating it if absent.
     pub fn samples_mut(&mut self, component: ComponentId, kind: SampleKind) -> &mut Samples {
-        self.samples.entry((component, kind)).or_default()
+        let window = self.sample_window;
+        self.samples
+            .entry((component, kind))
+            .or_insert_with(|| Samples::with_window(window))
+    }
+
+    // ----- iteration (delta extraction, exports) ----------------------
+
+    /// Iterates every counter in deterministic key order.
+    pub fn counters_iter(&self) -> impl Iterator<Item = ((ComponentId, Counter), u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Iterates every gauge in deterministic key order.
+    pub fn gauges_iter(&self) -> impl Iterator<Item = ((ComponentId, &'static str), f64)> + '_ {
+        self.gauges.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Iterates every accumulator in deterministic key order.
+    pub fn stats_iter(&self) -> impl Iterator<Item = ((ComponentId, SampleKind), &OnlineStats)> {
+        self.stats.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// Iterates every raw-sample collector in deterministic key order.
+    pub fn samples_iter(&self) -> impl Iterator<Item = ((ComponentId, SampleKind), &Samples)> {
+        self.samples.iter().map(|(&k, v)| (k, v))
     }
 
     // ----- events ----------------------------------------------------
@@ -801,10 +905,11 @@ impl MetricsRegistry {
         for (&key, stats) in &other.stats {
             self.stats.entry(key).or_default().merge(stats);
         }
+        let window = self.sample_window;
         for (&key, samples) in &other.samples {
             self.samples
                 .entry(key)
-                .or_default()
+                .or_insert_with(|| Samples::with_window(window))
                 .extend(samples.as_slice().iter().copied());
         }
         for ev in &other.events {
@@ -1130,6 +1235,56 @@ mod tests {
             a.matches('}').count(),
             "balanced JSON:\n{a}"
         );
+    }
+
+    #[test]
+    fn registry_sample_window_bounds_collectors() {
+        let mut reg = MetricsRegistry::new();
+        reg.sample(ComponentId::System, SampleKind::Latency, 0.0);
+        reg.set_sample_window(Some(8));
+        for v in 1..=100 {
+            reg.sample(ComponentId::System, SampleKind::Latency, v as f64);
+            // A collector created after the window is set is bounded too.
+            reg.sample(ComponentId::Client(0), SampleKind::Service, v as f64);
+        }
+        let sys = reg
+            .samples(ComponentId::System, SampleKind::Latency)
+            .unwrap();
+        assert!(sys.len() < 16, "existing collector bounded: {}", sys.len());
+        assert_eq!(sys.total_pushed(), 101);
+        let cli = reg
+            .samples(ComponentId::Client(0), SampleKind::Service)
+            .unwrap();
+        assert!(cli.len() < 16, "new collector bounded: {}", cli.len());
+        assert_eq!(cli.as_slice().last().copied(), Some(100.0));
+    }
+
+    #[test]
+    fn iteration_accessors_cover_all_layers() {
+        let mut reg = MetricsRegistry::new();
+        reg.inc(SE, Counter::Grants);
+        reg.inc(ComponentId::Memory, Counter::RowHits);
+        reg.set_gauge(ComponentId::System, "util", 0.5);
+        reg.observe(SE, SampleKind::Queueing, 3.0);
+        reg.sample(ComponentId::Client(1), SampleKind::Latency, 7.0);
+        assert_eq!(reg.counters_iter().count(), 2);
+        assert_eq!(reg.gauges_iter().count(), 1);
+        assert_eq!(reg.stats_iter().count(), 1);
+        let all: Vec<_> = reg.samples_iter().collect();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].0, (ComponentId::Client(1), SampleKind::Latency));
+        assert_eq!(all[0].1.as_slice(), &[7.0]);
+    }
+
+    #[test]
+    fn counter_units_are_total() {
+        // Every counter has a unit (the match is exhaustive by
+        // construction); spot-check the semantics.
+        assert_eq!(Counter::Issued.unit(), "requests");
+        assert_eq!(Counter::BusyCycles.unit(), "cycles");
+        assert_eq!(Counter::SubscriberLagged.unit(), "events");
+        assert_eq!(SampleKind::Latency.unit(), "cycles");
+        assert_eq!(SampleKind::MissRatio.unit(), "ratio");
     }
 
     #[test]

@@ -149,6 +149,15 @@ impl OnlineStats {
 pub struct Samples {
     values: Vec<f64>,
     sorted: bool,
+    /// Lifetime number of observations pushed, including evicted ones.
+    total_pushed: u64,
+    /// Observations discarded by window eviction (never by the caller).
+    evicted: u64,
+    /// `Some(cap)` bounds memory: at least the most recent `cap`
+    /// observations are retained and never more than `2·cap - 1` (eviction
+    /// is amortized). `None` (the default) retains everything, exactly as
+    /// before.
+    window: Option<usize>,
 }
 
 impl Samples {
@@ -157,10 +166,25 @@ impl Samples {
         Self::default()
     }
 
+    /// Creates an empty collector with an optional retention window.
+    pub fn with_window(window: Option<usize>) -> Self {
+        let mut s = Self::default();
+        s.set_window(window);
+        s
+    }
+
     /// Adds one observation.
     pub fn push(&mut self, x: f64) {
         self.values.push(x);
         self.sorted = false;
+        self.total_pushed += 1;
+        if let Some(cap) = self.window {
+            // Amortized eviction: let the vector grow to 2×cap, then drop
+            // the oldest half in one memmove instead of shifting per push.
+            if self.values.len() >= cap.saturating_mul(2) {
+                self.evict_to(cap);
+            }
+        }
     }
 
     /// Number of observations.
@@ -196,22 +220,37 @@ impl Samples {
         if self.values.is_empty() {
             return None;
         }
-        self.ensure_sorted();
         let n = self.values.len();
         // Multiply before dividing so exact cases (e.g. p=7, n=100) don't
         // pick up a ULP of error and ceil to the wrong rank.
         let rank = (p * n as f64 / 100.0).ceil() as usize;
-        Some(self.values[rank.clamp(1, n) - 1])
+        let idx = rank.clamp(1, n) - 1;
+        if self.window.is_some() {
+            // Windowed collectors must keep insertion order intact (it is
+            // the coordinate system for `tail_from` cursors and eviction),
+            // so rank on a scratch copy instead of sorting in place.
+            let mut scratch = self.values.clone();
+            scratch.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+            return Some(scratch[idx]);
+        }
+        self.ensure_sorted();
+        Some(self.values[idx])
     }
 
     /// Maximum observation; `None` when empty.
     pub fn max(&mut self) -> Option<f64> {
+        if self.window.is_some() {
+            return self.values.iter().copied().reduce(f64::max);
+        }
         self.ensure_sorted();
         self.values.last().copied()
     }
 
     /// Minimum observation; `None` when empty.
     pub fn min(&mut self) -> Option<f64> {
+        if self.window.is_some() {
+            return self.values.iter().copied().reduce(f64::min);
+        }
         self.ensure_sorted();
         self.values.first().copied()
     }
@@ -231,6 +270,60 @@ impl Samples {
     /// Borrowed view of the raw observations (unsorted order not guaranteed).
     pub fn as_slice(&self) -> &[f64] {
         &self.values
+    }
+
+    /// Lifetime number of observations pushed, including evicted ones.
+    pub fn total_pushed(&self) -> u64 {
+        self.total_pushed
+    }
+
+    /// Observations discarded so far by window eviction.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// The retention window, if bounded.
+    pub fn window(&self) -> Option<usize> {
+        self.window
+    }
+
+    /// Sets or clears the retention window. A cap of 0 is clamped to 1.
+    ///
+    /// Shrinking below the current length evicts the oldest observations
+    /// immediately. Windowed collectors preserve insertion order (they never
+    /// sort in place), so enable the window before querying percentiles on
+    /// an unbounded collector — an earlier in-place sort makes "oldest"
+    /// meaningless for the retained prefix.
+    pub fn set_window(&mut self, window: Option<usize>) {
+        self.window = window.map(|cap| cap.max(1));
+        if let Some(cap) = self.window {
+            if self.values.len() > cap {
+                self.evict_to(cap);
+            }
+        }
+    }
+
+    /// Returns the observations pushed at or after `cursor` (a position in
+    /// `total_pushed` coordinates, i.e. the value of [`Samples::total_pushed`]
+    /// at the previous visit), plus how many of them were already evicted.
+    ///
+    /// Unsorted collectors and windowed collectors keep insertion order, so
+    /// the returned slice is exactly the new observations in push order.
+    /// Advance the cursor to `total_pushed()` after consuming the slice.
+    pub fn tail_from(&self, cursor: u64) -> (&[f64], u64) {
+        let new = self.total_pushed.saturating_sub(cursor);
+        let retained = self.values.len() as u64;
+        let lost = new.saturating_sub(retained);
+        let keep = (new - lost) as usize;
+        (&self.values[self.values.len() - keep..], lost)
+    }
+
+    fn evict_to(&mut self, cap: usize) {
+        let excess = self.values.len().saturating_sub(cap);
+        if excess > 0 {
+            self.values.drain(..excess);
+            self.evicted += excess as u64;
+        }
     }
 
     fn ensure_sorted(&mut self) {
@@ -506,5 +599,97 @@ mod tests {
     fn samples_bad_percentile_panics() {
         let mut s: Samples = [1.0].into_iter().collect();
         let _ = s.percentile(101.0);
+    }
+
+    #[test]
+    fn samples_unwindowed_behavior_unchanged() {
+        // The default collector must behave exactly as before the window
+        // mode existed: retain everything, report nothing evicted.
+        let mut s = Samples::new();
+        for x in 1..=1000 {
+            s.push(x as f64);
+        }
+        assert_eq!(s.len(), 1000);
+        assert_eq!(s.total_pushed(), 1000);
+        assert_eq!(s.evicted(), 0);
+        assert_eq!(s.window(), None);
+        assert_eq!(s.percentile(99.0), Some(990.0));
+    }
+
+    #[test]
+    fn samples_window_bounds_memory() {
+        let mut s = Samples::with_window(Some(100));
+        for x in 1..=10_000 {
+            s.push(x as f64);
+        }
+        assert!(s.len() >= 100 && s.len() < 200, "len = {}", s.len());
+        assert_eq!(s.total_pushed(), 10_000);
+        assert_eq!(s.evicted() + s.len() as u64, 10_000);
+        // Retained values are the most recent ones, in push order.
+        let tail = s.as_slice();
+        let first = tail[0];
+        for (i, &v) in tail.iter().enumerate() {
+            assert_eq!(v, first + i as f64);
+        }
+        assert_eq!(tail.last().copied(), Some(10_000.0));
+    }
+
+    #[test]
+    fn samples_window_percentiles_match_retained_set() {
+        let mut s = Samples::with_window(Some(50));
+        for x in 1..=137 {
+            s.push(x as f64);
+        }
+        let retained: Vec<f64> = s.as_slice().to_vec();
+        let mut reference: Samples = retained.iter().copied().collect();
+        for p in [0.0, 25.0, 50.0, 99.0, 100.0] {
+            assert_eq!(s.percentile(p), reference.percentile(p), "p{p}");
+        }
+        assert_eq!(s.min(), reference.min());
+        assert_eq!(s.max(), reference.max());
+        // Percentile queries must not disturb insertion order.
+        assert_eq!(s.as_slice(), retained.as_slice());
+    }
+
+    #[test]
+    fn samples_tail_from_tracks_pushes_and_eviction() {
+        let mut s = Samples::with_window(Some(4));
+        s.push(1.0);
+        s.push(2.0);
+        let (tail, lost) = s.tail_from(0);
+        assert_eq!(tail, &[1.0, 2.0]);
+        assert_eq!(lost, 0);
+        let cursor = s.total_pushed();
+        for x in 3..=20 {
+            s.push(x as f64);
+        }
+        let (tail, lost) = s.tail_from(cursor);
+        // Everything since the cursor is 3..=20 (18 values); whatever the
+        // window evicted is reported as lost, the rest in push order.
+        assert_eq!(lost + tail.len() as u64, 18);
+        let expected_start = 21.0 - tail.len() as f64;
+        for (i, &v) in tail.iter().enumerate() {
+            assert_eq!(v, expected_start + i as f64);
+        }
+        // A cursor at the current position yields an empty tail.
+        let (tail, lost) = s.tail_from(s.total_pushed());
+        assert!(tail.is_empty());
+        assert_eq!(lost, 0);
+    }
+
+    #[test]
+    fn samples_set_window_shrinks_immediately() {
+        let mut s = Samples::new();
+        for x in 1..=10 {
+            s.push(x as f64);
+        }
+        s.set_window(Some(3));
+        assert_eq!(s.as_slice(), &[8.0, 9.0, 10.0]);
+        assert_eq!(s.evicted(), 7);
+        s.set_window(None);
+        for x in 11..=100 {
+            s.push(x as f64);
+        }
+        assert_eq!(s.len(), 93);
     }
 }

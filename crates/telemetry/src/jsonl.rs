@@ -1,0 +1,651 @@
+//! JSONL encoding of epochs, plus a parser/folder for replay.
+//!
+//! The line format is documented in the crate docs. The folder
+//! ([`fold_jsonl`]) reconstructs end-of-run state from a stream: summing
+//! signed counter deltas, concatenating sample windows per source, and
+//! taking the last value of every instant record. A differential test in
+//! the workspace pins that the fold reproduces the final registry exactly.
+//!
+//! The parser is a minimal recursive-descent JSON reader for the subset
+//! this crate emits (objects, arrays, strings with simple escapes,
+//! integer and float numbers, literals). It exists so the replay path has
+//! no external dependencies.
+
+use crate::delta::EpochDelta;
+use bluescale_sim::metrics::MetricsRegistry;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Schema version stamped on every line.
+pub const SCHEMA_VERSION: u64 = 1;
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+/// Renders one epoch as a single JSONL line (trailing newline included).
+pub fn to_jsonl(delta: &EpochDelta) -> String {
+    let mut out = String::with_capacity(256);
+    let _ = write!(
+        out,
+        "{{\"v\":{},\"epoch\":{},\"cycle\":{},\"records\":[",
+        SCHEMA_VERSION, delta.epoch, delta.cycle
+    );
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+    };
+    for c in &delta.counters {
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"src\":\"{}\",\"comp\":\"{}\",\"metric\":\"{}\",\"unit\":\"{}\",\
+             \"sem\":\"delta\",\"delta\":{},\"total\":{}}}",
+            c.source,
+            c.component,
+            c.counter.name(),
+            c.counter.unit(),
+            c.delta,
+            c.total
+        );
+    }
+    for g in &delta.gauges {
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"src\":\"{}\",\"comp\":\"{}\",\"metric\":\"{}\",\"unit\":\"value\",\
+             \"sem\":\"instant\",\"value\":{}}}",
+            g.source,
+            g.component,
+            g.name,
+            json_f64(g.value)
+        );
+    }
+    for s in &delta.stats {
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"src\":\"{}\",\"comp\":\"{}\",\"metric\":\"{}\",\"unit\":\"{}\",\
+             \"sem\":\"stat\",\"count\":{},\"mean\":{},\"min\":{},\"max\":{}}}",
+            s.source,
+            s.component,
+            s.kind,
+            s.kind.unit(),
+            s.count,
+            json_f64(s.mean),
+            json_opt(s.min),
+            json_opt(s.max)
+        );
+    }
+    for w in &delta.windows {
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"src\":\"{}\",\"comp\":\"{}\",\"metric\":\"{}\",\"unit\":\"{}\",\
+             \"sem\":\"window\",\"dropped\":{},\"values\":[",
+            w.source,
+            w.component,
+            w.kind,
+            w.kind.unit(),
+            w.dropped
+        );
+        for (i, v) in w.values.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_f64(*v));
+        }
+        out.push_str("]}");
+    }
+    for s in &delta.slo {
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"src\":\"slo\",\"comp\":\"client.{}\",\"metric\":\"{}\",\"unit\":\"ratio\",\
+             \"sem\":\"instant\",\"value\":{}}}",
+            s.tenant,
+            s.metric,
+            json_f64(s.value)
+        );
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Shortest-roundtrip rendering of a finite f64 (`null` otherwise).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+fn json_opt(v: Option<f64>) -> String {
+    v.map(json_f64).unwrap_or_else(|| "null".to_owned())
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON parsing
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value (the subset this crate emits).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number with no fraction or exponent.
+    Int(i64),
+    /// Any other number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, fields in source order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Field lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an i64 (integers only).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            JsonValue::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as an f64 (integers widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Int(v) => Some(*v as f64),
+            JsonValue::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document, requiring it to consume the whole input.
+pub fn parse_json(input: &str) -> Result<JsonValue, String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, ch: u8) -> Result<(), String> {
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == ch {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", ch as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => Ok(JsonValue::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_literal(b, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_literal(b, pos, "false", JsonValue::Bool(false)),
+        Some(b'n') => parse_literal(b, pos, "null", JsonValue::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        _ => Err(format!("unexpected byte at {}", *pos)),
+    }
+}
+
+fn parse_literal(
+    b: &[u8],
+    pos: &mut usize,
+    lit: &str,
+    value: JsonValue,
+) -> Result<JsonValue, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("bad literal at byte {}", *pos))
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(b, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Obj(fields));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        expect(b, pos, b':')?;
+        let value = parse_value(b, pos)?;
+        fields.push((key, value));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Obj(fields));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {}", *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let esc = b.get(*pos).copied().ok_or("unterminated escape")?;
+                *pos += 1;
+                out.push(match esc {
+                    b'"' => '"',
+                    b'\\' => '\\',
+                    b'/' => '/',
+                    b'n' => '\n',
+                    b't' => '\t',
+                    b'r' => '\r',
+                    other => return Err(format!("unsupported escape '\\{}'", other as char)),
+                });
+            }
+            _ => out.push(c as char),
+        }
+    }
+    Err("unterminated string".to_owned())
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+    if is_float {
+        text.parse::<f64>()
+            .map(JsonValue::Float)
+            .map_err(|e| format!("bad number '{text}': {e}"))
+    } else {
+        text.parse::<i64>()
+            .map(JsonValue::Int)
+            .map_err(|e| format!("bad number '{text}': {e}"))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Folding
+// ---------------------------------------------------------------------
+
+/// Identity of one folded series: `(source, component, metric)`.
+pub type FoldKey = (String, String, String);
+
+/// Last folded stat summary: `(count, mean, min, max)`.
+pub type FoldedStat = (u64, f64, Option<f64>, Option<f64>);
+
+/// End-of-run state reconstructed from a JSONL stream.
+#[derive(Debug, Default, PartialEq)]
+pub struct FoldedTelemetry {
+    /// Epochs folded, in order.
+    pub epochs: u64,
+    /// Cycle of the last folded epoch.
+    pub last_cycle: u64,
+    /// Counter totals: [`FoldKey`] `-> Σ deltas`.
+    pub counters: BTreeMap<FoldKey, i64>,
+    /// Sample sequences: [`FoldKey`] `-> concatenated windows` plus the
+    /// summed dropped count.
+    pub samples: BTreeMap<FoldKey, (Vec<f64>, u64)>,
+    /// Last value of every instant record (gauges and SLO values).
+    pub instants: BTreeMap<FoldKey, f64>,
+    /// Last stat summary per [`FoldKey`].
+    pub stats: BTreeMap<FoldKey, FoldedStat>,
+}
+
+/// Folds a JSONL stream (one epoch per line; blank lines skipped) into
+/// end-of-run state. Fails on schema-version mismatches, non-monotone
+/// epochs or malformed lines.
+pub fn fold_jsonl(stream: &str) -> Result<FoldedTelemetry, String> {
+    let mut out = FoldedTelemetry::default();
+    let mut last_epoch: Option<u64> = None;
+    for (lineno, line) in stream.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let doc = parse_json(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let version = doc.get("v").and_then(JsonValue::as_i64).unwrap_or(-1);
+        if version != SCHEMA_VERSION as i64 {
+            return Err(format!("line {}: schema version {version}", lineno + 1));
+        }
+        let epoch =
+            doc.get("epoch")
+                .and_then(JsonValue::as_i64)
+                .ok_or_else(|| format!("line {}: missing epoch", lineno + 1))? as u64;
+        if let Some(prev) = last_epoch {
+            if epoch <= prev {
+                return Err(format!("line {}: epoch {epoch} after {prev}", lineno + 1));
+            }
+        }
+        last_epoch = Some(epoch);
+        out.epochs += 1;
+        out.last_cycle = doc.get("cycle").and_then(JsonValue::as_i64).unwrap_or(0) as u64;
+        let records = doc
+            .get("records")
+            .and_then(JsonValue::as_arr)
+            .ok_or_else(|| format!("line {}: missing records", lineno + 1))?;
+        for rec in records {
+            let key = (
+                rec.get("src")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("")
+                    .to_owned(),
+                rec.get("comp")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("")
+                    .to_owned(),
+                rec.get("metric")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("")
+                    .to_owned(),
+            );
+            match rec.get("sem").and_then(JsonValue::as_str) {
+                Some("delta") => {
+                    let delta = rec.get("delta").and_then(JsonValue::as_i64).unwrap_or(0);
+                    *out.counters.entry(key).or_insert(0) += delta;
+                }
+                Some("window") => {
+                    let entry = out.samples.entry(key).or_default();
+                    entry.1 += rec.get("dropped").and_then(JsonValue::as_i64).unwrap_or(0) as u64;
+                    for v in rec.get("values").and_then(JsonValue::as_arr).unwrap_or(&[]) {
+                        entry
+                            .0
+                            .push(v.as_f64().ok_or_else(|| "non-numeric sample".to_owned())?);
+                    }
+                }
+                Some("instant") => {
+                    let value = rec.get("value").and_then(JsonValue::as_f64).unwrap_or(0.0);
+                    out.instants.insert(key, value);
+                }
+                Some("stat") => {
+                    out.stats.insert(
+                        key,
+                        (
+                            rec.get("count").and_then(JsonValue::as_i64).unwrap_or(0) as u64,
+                            rec.get("mean").and_then(JsonValue::as_f64).unwrap_or(0.0),
+                            rec.get("min").and_then(JsonValue::as_f64),
+                            rec.get("max").and_then(JsonValue::as_f64),
+                        ),
+                    );
+                }
+                other => {
+                    return Err(format!("line {}: bad sem {other:?}", lineno + 1));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+impl FoldedTelemetry {
+    /// Checks that the folded stream for `source` reconstructs `registry`
+    /// exactly: every counter total matches, every raw-sample sequence
+    /// matches bit-for-bit (modulo window eviction, where the retained
+    /// suffix must match and the accounting must balance), every gauge
+    /// matches its last streamed value, and every accumulator's count,
+    /// mean, min and max match its last streamed summary.
+    ///
+    /// The registry is mutated only through its public sample accessors
+    /// (no sorting): call this after the run, on the final snapshot.
+    pub fn matches_registry(&self, source: &str, registry: &MetricsRegistry) -> Result<(), String> {
+        for ((component, counter), total) in registry.counters_iter() {
+            let key = (
+                source.to_owned(),
+                component.to_string(),
+                counter.name().to_owned(),
+            );
+            let folded = self.counters.get(&key).copied().unwrap_or(0);
+            if folded != total as i64 {
+                return Err(format!(
+                    "{source}/{component}/{}: folded {folded} != registry {total}",
+                    counter.name()
+                ));
+            }
+        }
+        for (key, &folded) in &self.counters {
+            if key.0 == source && folded != 0 {
+                let found = registry
+                    .counters_iter()
+                    .any(|((c, k), _)| c.to_string() == key.1 && k.name() == key.2);
+                if !found {
+                    return Err(format!("folded counter {key:?} missing from registry"));
+                }
+            }
+        }
+        for ((component, kind), samples) in registry.samples_iter() {
+            let key = (source.to_owned(), component.to_string(), kind.to_string());
+            let (folded, folded_dropped) = self
+                .samples
+                .get(&key)
+                .ok_or_else(|| format!("no folded samples for {key:?}"))?;
+            if samples.evicted() == 0 && *folded_dropped == 0 {
+                if folded.as_slice() != samples.as_slice() {
+                    return Err(format!(
+                        "{source}/{component}/{kind}: folded sequence ({} values) != registry ({})",
+                        folded.len(),
+                        samples.len()
+                    ));
+                }
+            } else {
+                // Windowed collector: the stream saw everything except
+                // what was evicted between flushes; totals must balance
+                // and the retained suffix must agree.
+                if folded.len() as u64 + folded_dropped != samples.total_pushed() {
+                    return Err(format!(
+                        "{source}/{component}/{kind}: folded {} + dropped {} != pushed {}",
+                        folded.len(),
+                        folded_dropped,
+                        samples.total_pushed()
+                    ));
+                }
+                let retained = samples.as_slice();
+                let suffix = &folded[folded.len() - retained.len().min(folded.len())..];
+                if &retained[retained.len() - suffix.len()..] != suffix {
+                    return Err(format!("{source}/{component}/{kind}: suffix mismatch"));
+                }
+            }
+        }
+        for ((component, name), value) in registry.gauges_iter() {
+            let key = (source.to_owned(), component.to_string(), name.to_owned());
+            match self.instants.get(&key) {
+                Some(v) if v.to_bits() == value.to_bits() => {}
+                other => {
+                    return Err(format!(
+                        "{source}/{component}/{name}: folded gauge {other:?} != {value}"
+                    ))
+                }
+            }
+        }
+        for ((component, kind), stats) in registry.stats_iter() {
+            let key = (source.to_owned(), component.to_string(), kind.to_string());
+            let (count, mean, min, max) = self
+                .stats
+                .get(&key)
+                .copied()
+                .ok_or_else(|| format!("no folded stat for {key:?}"))?;
+            if count != stats.count()
+                || (mean - stats.mean()).abs() > 1e-9
+                || min != stats.min()
+                || max != stats.max()
+            {
+                return Err(format!(
+                    "{source}/{component}/{kind}: stat summary mismatch"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delta::DeltaEngine;
+    use bluescale_sim::metrics::{ComponentId, Counter, SampleKind};
+
+    #[test]
+    fn parser_roundtrips_basics() {
+        let v = parse_json(r#"{"a":1,"b":-2.5,"c":[true,null,"x\" y"],"d":{}}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_i64(), Some(1));
+        assert_eq!(v.get("b").unwrap().as_f64(), Some(-2.5));
+        let arr = v.get("c").unwrap().as_arr().unwrap();
+        assert_eq!(arr[0], JsonValue::Bool(true));
+        assert_eq!(arr[1], JsonValue::Null);
+        assert_eq!(arr[2].as_str(), Some("x\" y"));
+        assert_eq!(v.get("d").unwrap(), &JsonValue::Obj(vec![]));
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("{} extra").is_err());
+    }
+
+    #[test]
+    fn fold_reconstructs_engine_output() {
+        let mut reg = MetricsRegistry::new();
+        let mut engine = DeltaEngine::new();
+        let mut stream = String::new();
+        let client = ComponentId::Client(2);
+        for round in 0u64..5 {
+            reg.add(client, Counter::Issued, round + 1);
+            reg.sample(client, SampleKind::Latency, round as f64 * 1.5);
+            reg.observe(client, SampleKind::Queueing, round as f64);
+            reg.set_gauge(ComponentId::System, "util", round as f64 / 10.0);
+            let delta = engine.extract(round * 100, &[("harness", &reg)]);
+            stream.push_str(&to_jsonl(&delta));
+        }
+        let folded = fold_jsonl(&stream).unwrap();
+        assert_eq!(folded.epochs, 5);
+        assert_eq!(folded.last_cycle, 400);
+        folded.matches_registry("harness", &reg).unwrap();
+    }
+
+    #[test]
+    fn fold_detects_divergence() {
+        let mut reg = MetricsRegistry::new();
+        let mut engine = DeltaEngine::new();
+        reg.add(ComponentId::System, Counter::Grants, 3);
+        let stream = to_jsonl(&engine.extract(0, &[("harness", &reg)]));
+        let folded = fold_jsonl(&stream).unwrap();
+        folded.matches_registry("harness", &reg).unwrap();
+        // A counter bumped after the last flush must be caught.
+        reg.inc(ComponentId::System, Counter::Grants);
+        assert!(folded.matches_registry("harness", &reg).is_err());
+    }
+
+    #[test]
+    fn fold_rejects_non_monotone_epochs() {
+        let mut reg = MetricsRegistry::new();
+        let mut engine = DeltaEngine::new();
+        reg.inc(ComponentId::System, Counter::Grants);
+        let line = to_jsonl(&engine.extract(0, &[("harness", &reg)]));
+        let doubled = format!("{line}{line}");
+        assert!(fold_jsonl(&doubled).is_err());
+    }
+
+    #[test]
+    fn windowed_fold_balances_accounting() {
+        let mut reg = MetricsRegistry::new();
+        reg.set_sample_window(Some(4));
+        let mut engine = DeltaEngine::new();
+        let mut stream = String::new();
+        let client = ComponentId::Client(0);
+        for round in 0..10 {
+            for i in 0..7 {
+                reg.sample(client, SampleKind::Latency, (round * 7 + i) as f64);
+            }
+            stream.push_str(&to_jsonl(
+                &engine.extract(round as u64, &[("harness", &reg)]),
+            ));
+        }
+        let folded = fold_jsonl(&stream).unwrap();
+        folded.matches_registry("harness", &reg).unwrap();
+    }
+}

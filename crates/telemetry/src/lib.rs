@@ -1,0 +1,223 @@
+//! Streaming telemetry for the BlueScale reproduction.
+//!
+//! Turns the end-of-run [`MetricsRegistry`] snapshot into a live stream:
+//! a [`Pipeline`] periodically extracts **epoch deltas** (what changed
+//! since the last flush) from one or more registries and hands them to
+//! [`TelemetrySink`]s — a JSONL file, an in-process ring-buffered
+//! subscriber, or a bounded fan-out to external readers.
+//!
+//! # Invariants
+//!
+//! * **Bit-identical simulation, streaming on or off.** Extraction is
+//!   read-only on the registries, derived SLO values live only in the
+//!   stream, and flushes run between simulation spans — never inside the
+//!   per-cycle hot loop. A differential test in the workspace pins this.
+//! * **Slow consumers shed, never backpressure.** External subscribers
+//!   sit behind bounded channels; a full channel drops the update and
+//!   grows a lagged tally that the host folds into a `subscriber_lagged`
+//!   counter. The simulation thread never blocks on a reader.
+//! * **The stream is lossless for results.** Folding a JSONL stream
+//!   ([`jsonl::fold_jsonl`]) reconstructs the final registry exactly:
+//!   counters by summing signed deltas, raw-sample sequences by
+//!   concatenating windows per source, gauges and accumulator summaries
+//!   by last-value-wins.
+//!
+//! # JSONL schema (version 1)
+//!
+//! One line per epoch, one JSON object per line:
+//!
+//! ```json
+//! {"v":1,"epoch":3,"cycle":16384,"records":[...]}
+//! ```
+//!
+//! * `v` — schema version (this document describes version 1).
+//! * `epoch` — monotone flush number within one pipeline.
+//! * `cycle` — simulation cycle at which the flush ran.
+//! * `records` — what changed since the previous epoch. Every record is
+//!   self-describing with `src` (registry of origin: `"harness"`,
+//!   `"fabric"`, or `"slo"` for derived values), `comp` (component id,
+//!   e.g. `"client.3"`, `"se.1.0"`, `"mem"`), `metric` (stable
+//!   snake_case name), `unit` (`"requests"`, `"cycles"`, `"events"`,
+//!   `"trials"`, `"ratio"`, `"value"`), and `sem` (semantics):
+//!
+//! | `sem` | meaning | extra fields |
+//! |---|---|---|
+//! | `delta` | counter change since last epoch | `delta` (signed), `total` (absolute) |
+//! | `window` | raw observations pushed since last epoch, push order | `values`, `dropped` (evicted before the flush saw them) |
+//! | `instant` | last-write-wins value (gauges, SLO) | `value` |
+//! | `stat` | accumulator summary at this epoch | `count`, `mean`, `min`, `max` |
+//!
+//! Derived per-tenant SLO records (`src == "slo"`, `sem == "instant"`)
+//! are `slo_miss_rate`, `slo_p99_normalized` and `slo_overrun_rate`,
+//! windowed over the pipeline's configured number of recent epochs (see
+//! [`slo::SloConfig`]).
+
+#![warn(missing_docs)]
+
+pub mod delta;
+pub mod jsonl;
+pub mod sink;
+pub mod slo;
+
+pub use delta::{CounterDelta, DeltaEngine, EpochDelta, SampleRecord, SloRecord, StatRecord};
+pub use sink::{FanOut, FanOutSink, JsonlSink, RingHandle, RingSink, TelemetrySink, TenantPoint};
+pub use slo::{LeafPortMap, SloConfig, SloTracker};
+
+use bluescale_sim::metrics::MetricsRegistry;
+use bluescale_sim::Cycle;
+
+/// A configured telemetry pipeline: delta engine + SLO tracker + sinks,
+/// flushed every `period` cycles by the host system.
+///
+/// Hosts integrate it in three steps: [`Pipeline::align`] when attaching,
+/// [`Pipeline::next_flush`] to bound each simulation span, and
+/// [`Pipeline::flush`] once the span reaches the boundary. The host calls
+/// [`Pipeline::finish`] after the run's final accounting so the stream's
+/// tail matches the end-of-run snapshot.
+pub struct Pipeline {
+    period: Cycle,
+    next_flush: Cycle,
+    engine: DeltaEngine,
+    slo: SloTracker,
+    sinks: Vec<Box<dyn TelemetrySink + Send>>,
+    finished: bool,
+}
+
+impl Pipeline {
+    /// Creates a pipeline flushing every `period` cycles (min 1).
+    pub fn new(period: Cycle, slo: SloConfig) -> Self {
+        Self {
+            period: period.max(1),
+            next_flush: period.max(1),
+            engine: DeltaEngine::new(),
+            slo: SloTracker::new(slo),
+            sinks: Vec::new(),
+            finished: false,
+        }
+    }
+
+    /// Registers a sink. Epochs are delivered to sinks in registration
+    /// order.
+    pub fn add_sink<S: TelemetrySink + Send + 'static>(&mut self, sink: S) {
+        self.sinks.push(Box::new(sink));
+    }
+
+    /// Aligns the first flush boundary to one period after `now` (called
+    /// by the host when attaching mid-run).
+    pub fn align(&mut self, now: Cycle) {
+        self.next_flush = now + self.period;
+    }
+
+    /// The cycle at or after which the next flush is due.
+    pub fn next_flush(&self) -> Cycle {
+        self.next_flush
+    }
+
+    /// The flush period, cycles.
+    pub fn period(&self) -> Cycle {
+        self.period
+    }
+
+    /// Epochs flushed so far.
+    pub fn epochs_flushed(&self) -> u64 {
+        self.engine.next_epoch()
+    }
+
+    /// Extracts and delivers one epoch if `cycle` has reached the flush
+    /// boundary; returns whether a flush happened. The boundary then
+    /// advances to the first period multiple strictly beyond `cycle`, so
+    /// the host's span loop always makes progress.
+    pub fn flush_due(
+        &mut self,
+        cycle: Cycle,
+        sources: &[(&'static str, &MetricsRegistry)],
+    ) -> bool {
+        if cycle < self.next_flush {
+            return false;
+        }
+        self.flush(cycle, sources);
+        true
+    }
+
+    /// Unconditionally extracts and delivers one epoch.
+    pub fn flush(&mut self, cycle: Cycle, sources: &[(&'static str, &MetricsRegistry)]) {
+        let mut delta = self.engine.extract(cycle, sources);
+        delta.slo = self.slo.on_epoch(&delta);
+        if !delta.is_empty() {
+            for sink in &mut self.sinks {
+                sink.on_epoch(&delta);
+            }
+        }
+        while self.next_flush <= cycle {
+            self.next_flush += self.period;
+        }
+    }
+
+    /// Final flush (captures anything recorded after the last boundary,
+    /// e.g. end-of-run accounting) followed by sink finalization.
+    /// Idempotent; later flush calls are not prevented but the host
+    /// should treat the pipeline as closed.
+    pub fn finish(&mut self, cycle: Cycle, sources: &[(&'static str, &MetricsRegistry)]) {
+        if self.finished {
+            return;
+        }
+        self.flush(cycle, sources);
+        for sink in &mut self.sinks {
+            sink.finish();
+        }
+        self.finished = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bluescale_sim::metrics::{ComponentId, Counter};
+
+    #[test]
+    fn pipeline_flushes_on_period_boundaries() {
+        let mut reg = MetricsRegistry::new();
+        let mut pipe = Pipeline::new(100, SloConfig::default());
+        let (sink, handle) = RingSink::new(8);
+        pipe.add_sink(sink);
+        pipe.align(0);
+        assert_eq!(pipe.next_flush(), 100);
+        reg.add(ComponentId::Client(0), Counter::Issued, 1);
+        assert!(!pipe.flush_due(99, &[("harness", &reg)]));
+        assert!(pipe.flush_due(100, &[("harness", &reg)]));
+        assert_eq!(pipe.next_flush(), 200);
+        assert_eq!(handle.epochs_seen(), 1);
+        // Overshooting a boundary still advances strictly past `cycle`.
+        reg.add(ComponentId::Client(0), Counter::Issued, 1);
+        assert!(pipe.flush_due(450, &[("harness", &reg)]));
+        assert_eq!(pipe.next_flush(), 500);
+    }
+
+    #[test]
+    fn empty_epochs_are_not_delivered() {
+        let reg = MetricsRegistry::new();
+        let mut pipe = Pipeline::new(10, SloConfig::default());
+        let (sink, handle) = RingSink::new(8);
+        pipe.add_sink(sink);
+        pipe.flush(10, &[("harness", &reg)]);
+        pipe.flush(20, &[("harness", &reg)]);
+        assert_eq!(handle.epochs_seen(), 0, "nothing changed, nothing sent");
+        // Epoch numbers still advance, so later epochs stay monotone.
+        assert_eq!(pipe.epochs_flushed(), 2);
+    }
+
+    #[test]
+    fn finish_is_idempotent_and_captures_the_tail() {
+        let mut reg = MetricsRegistry::new();
+        let mut pipe = Pipeline::new(1000, SloConfig::default());
+        let (sink, handle) = RingSink::new(8);
+        pipe.add_sink(sink);
+        reg.add(ComponentId::Client(3), Counter::Missed, 2);
+        pipe.finish(50, &[("harness", &reg)]);
+        pipe.finish(50, &[("harness", &reg)]);
+        assert_eq!(handle.epochs_seen(), 1);
+        let series = handle.series(3);
+        assert_eq!(series.len(), 1);
+        assert_eq!(series[0].missed, 2);
+    }
+}

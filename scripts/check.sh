@@ -40,6 +40,9 @@ cargo run --release -q -p bluescale-bench --bin ctl_smoke
 echo "==> memory-policy smoke check (conservation under deferral, regulated isolation)"
 cargo run --release -q -p bluescale-bench --bin mem_policy_smoke
 
+echo "==> streaming-telemetry smoke check (live subscribers, shed-not-backpressure)"
+cargo run --release -q -p bluescale-bench --bin telemetry_smoke
+
 echo "==> churn differential (empty-plan inertness, zero disturbance)"
 cargo test -q --release --test churn_differential
 
@@ -57,5 +60,8 @@ RUST_BACKTRACE=1 cargo test -q --release --test shard_differential -- --test-thr
 
 echo "==> memory-policy differential (Unregulated bit-identical; active policies agree)"
 RUST_BACKTRACE=1 cargo test -q --release --test mem_policy_differential -- --test-threads=1
+
+echo "==> telemetry differential (streaming invisible + JSONL fold lossless)"
+RUST_BACKTRACE=1 cargo test -q --release --test telemetry_differential -- --test-threads=1
 
 echo "All checks passed."

@@ -1,0 +1,289 @@
+//! Differential tests pinning the streaming-telemetry invariants.
+//!
+//! Two hard guarantees from DESIGN.md §17:
+//!
+//! * **Streaming never changes the simulation.** A run with a telemetry
+//!   pipeline attached (JSONL file + in-process ring subscriber) must
+//!   produce a byte-identical `merged_registry` JSON to the same seeded
+//!   run with streaming off — on the serial harness (legacy and SoA
+//!   engines) and on the sharded coordinator at 1/2/4 workers, across
+//!   dense, sparse+fault and churn scenarios.
+//! * **The stream is lossless.** Folding the JSONL epochs
+//!   ([`fold_jsonl`]) must reconstruct the final harness and fabric
+//!   registries exactly — counters by signed-delta sums, sample
+//!   sequences by window concatenation, gauges and accumulator
+//!   summaries by last-value-wins.
+
+use bluescale::{BlueScaleConfig, BlueScaleInterconnect, ShardedSystem};
+use bluescale_interconnect::admission::{ChurnKind, ChurnPlan};
+use bluescale_interconnect::system::System;
+use bluescale_rt::task::{Task, TaskSet};
+use bluescale_sim::fault::{FaultKind, FaultPlan, FaultWindow};
+use bluescale_sim::rng::SimRng;
+use bluescale_telemetry::jsonl::fold_jsonl;
+use bluescale_telemetry::{JsonlSink, Pipeline, RingSink, SloConfig};
+use bluescale_workload::synthetic::{generate, SyntheticConfig};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const SEED: u64 = 0x7E1E;
+const HORIZON: u64 = 20_000;
+const PERIOD: u64 = 1_024;
+
+fn task_sets(config: &SyntheticConfig) -> Vec<TaskSet> {
+    let mut rng = SimRng::seed_from(SEED);
+    generate(config, &mut rng)
+}
+
+fn sparse_config(clients: usize) -> SyntheticConfig {
+    SyntheticConfig {
+        clients,
+        util_lo: 0.05,
+        util_hi: 0.10,
+        max_tasks_per_client: 1,
+        period_min: 2_000,
+        period_max: 4_000,
+        util_floor: 1e-4,
+    }
+}
+
+fn config_for(sets: &[TaskSet], soa: bool) -> BlueScaleConfig {
+    let mut config = BlueScaleConfig::for_clients(sets.len());
+    config.work_conserving = true;
+    config.soa_core = soa;
+    config
+}
+
+fn build_serial(sets: &[TaskSet], soa: bool) -> System<BlueScaleInterconnect> {
+    let ic = BlueScaleInterconnect::new(config_for(sets, soa), sets).expect("valid sets");
+    System::new(Box::new(ic), sets)
+}
+
+fn jsonl_path(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "bluescale-telemetry-{tag}-{}-{}.jsonl",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn pipeline(path: &Path) -> Pipeline {
+    let mut pipe = Pipeline::new(PERIOD, SloConfig::default());
+    pipe.add_sink(JsonlSink::create(path).expect("create jsonl sink"));
+    let (ring, _handle) = RingSink::new(64);
+    pipe.add_sink(ring);
+    pipe
+}
+
+fn fault_plan() -> FaultPlan {
+    let mut plan = FaultPlan::new(SEED ^ 0xF00D);
+    plan.push(
+        FaultKind::RequestBurst {
+            client: 2,
+            requests: 24,
+        },
+        FaultWindow::new(5_000, 5_001),
+    )
+    .push(
+        FaultKind::StuckGrant {
+            depth: 1,
+            order: 0,
+            port: 0,
+        },
+        FaultWindow::new(3_000, 3_400),
+    )
+    .push(
+        FaultKind::DramJitter {
+            bank: 0,
+            max_extra_cycles: 4,
+        },
+        FaultWindow::new(1_000, 9_000),
+    )
+    .push(
+        FaultKind::DropResponse {
+            client: 3,
+            every: 3,
+        },
+        FaultWindow::new(0, 8_000),
+    );
+    plan
+}
+
+fn churn_plan(sets: &[TaskSet]) -> ChurnPlan {
+    let mut plan = ChurnPlan::new(SEED ^ 0xC482);
+    plan.push(
+        6_000,
+        2,
+        ChurnKind::UpdateTasks {
+            tasks: TaskSet::new(vec![Task::new(0, 2_500, 2).unwrap()]).unwrap(),
+        },
+    )
+    .push(9_000, 9, ChurnKind::Leave)
+    .push(
+        13_000,
+        9,
+        ChurnKind::Join {
+            tasks: sets[9].clone(),
+        },
+    );
+    plan
+}
+
+/// Streaming on vs off on the serial harness: byte-identical registries,
+/// and the JSONL fold must reconstruct both final registries exactly.
+fn assert_serial_scenario(
+    sets: &[TaskSet],
+    soa: bool,
+    prepare: impl Fn(&mut System<BlueScaleInterconnect>),
+    label: &str,
+) {
+    let mut baseline = build_serial(sets, soa);
+    prepare(&mut baseline);
+    baseline.run(HORIZON);
+    let expected = baseline.merged_registry().to_json();
+
+    let mut streaming = build_serial(sets, soa);
+    prepare(&mut streaming);
+    let path = jsonl_path(label);
+    streaming.attach_telemetry(pipeline(&path));
+    streaming.run(HORIZON);
+    streaming.finish_telemetry();
+    assert!(
+        streaming.telemetry_epochs() > 1,
+        "{label}: the run must cross several flush boundaries"
+    );
+    assert_eq!(
+        streaming.merged_registry().to_json(),
+        expected,
+        "{label}: streaming must not perturb the simulation"
+    );
+
+    let stream = std::fs::read_to_string(&path).expect("read jsonl");
+    let folded = fold_jsonl(&stream).expect("stream folds");
+    folded
+        .matches_registry("harness", streaming.registry())
+        .unwrap_or_else(|e| panic!("{label}: harness fold diverged: {e}"));
+    folded
+        .matches_registry("fabric", streaming.interconnect().metrics())
+        .unwrap_or_else(|e| panic!("{label}: fabric fold diverged: {e}"));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn dense_serial_soa_streaming_is_invisible_and_lossless() {
+    let sets = task_sets(&SyntheticConfig::fig6(16));
+    assert_serial_scenario(&sets, true, |_| {}, "dense-soa");
+}
+
+#[test]
+fn dense_serial_legacy_streaming_is_invisible_and_lossless() {
+    let sets = task_sets(&SyntheticConfig::fig6(16));
+    assert_serial_scenario(&sets, false, |_| {}, "dense-legacy");
+}
+
+#[test]
+fn sparse_faulted_streaming_is_invisible_and_lossless() {
+    // Fast-forward jumps interleave with flush boundaries here: the
+    // chunked advance clamps jumps at each boundary, which must change
+    // wall-clock only, never state.
+    let sets = task_sets(&sparse_config(16));
+    assert_serial_scenario(
+        &sets,
+        true,
+        |sys| sys.set_fault_plan(fault_plan()),
+        "sparse-faults",
+    );
+}
+
+#[test]
+fn churn_streaming_is_invisible_and_lossless() {
+    let sets = task_sets(&sparse_config(16));
+    assert_serial_scenario(
+        &sets,
+        true,
+        |sys| sys.set_churn_plan(churn_plan(&sets)),
+        "churn",
+    );
+}
+
+#[test]
+fn sharded_streaming_is_invisible_and_lossless_across_worker_counts() {
+    // The coordinator flushes telemetry between spans; the worker count
+    // must stay a pure wall-clock knob with streaming attached, and the
+    // stream must fold to the coordinator's final registries.
+    let sets = task_sets(&sparse_config(16));
+    let mut expected: Option<String> = None;
+    for &workers in &[1usize, 2, 4] {
+        let mut baseline =
+            ShardedSystem::new(config_for(&sets, true), &sets, workers).expect("valid sets");
+        baseline.set_fault_plan(fault_plan());
+        baseline.run(HORIZON);
+        let off = baseline.merged_registry().to_json();
+        match &expected {
+            None => expected = Some(off.clone()),
+            Some(e) => assert_eq!(
+                &off, e,
+                "streaming-off runs must agree at {workers} workers"
+            ),
+        }
+
+        let mut streaming =
+            ShardedSystem::new(config_for(&sets, true), &sets, workers).expect("valid sets");
+        streaming.set_fault_plan(fault_plan());
+        let path = jsonl_path(&format!("shard-{workers}w"));
+        streaming.attach_telemetry(pipeline(&path));
+        streaming.run(HORIZON);
+        streaming.finish_telemetry();
+        assert!(
+            streaming.telemetry_epochs() > 1,
+            "sharded run must cross several flush boundaries"
+        );
+        assert_eq!(
+            streaming.merged_registry().to_json(),
+            off,
+            "streaming must not perturb the sharded simulation at {workers} workers"
+        );
+
+        let stream = std::fs::read_to_string(&path).expect("read jsonl");
+        let folded = fold_jsonl(&stream).expect("stream folds");
+        folded
+            .matches_registry("harness", streaming.registry())
+            .unwrap_or_else(|e| panic!("{workers}w: harness fold diverged: {e}"));
+        folded
+            .matches_registry("fabric", streaming.fabric_metrics())
+            .unwrap_or_else(|e| panic!("{workers}w: fabric fold diverged: {e}"));
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+#[test]
+fn windowed_samples_stream_losslessly_under_eviction() {
+    // With a small sample window the registry evicts between flushes;
+    // the fold can no longer match sequences bit-exact, but accounting
+    // (folded + dropped == pushed) and the retained suffix must hold —
+    // and streaming must still be invisible to the simulation.
+    let sets = task_sets(&SyntheticConfig::fig6(16));
+    let mut baseline = build_serial(&sets, true);
+    baseline.registry_mut().set_sample_window(Some(32));
+    baseline.run(HORIZON);
+    let expected = baseline.merged_registry().to_json();
+
+    let mut streaming = build_serial(&sets, true);
+    streaming.registry_mut().set_sample_window(Some(32));
+    let path = jsonl_path("windowed");
+    streaming.attach_telemetry(pipeline(&path));
+    streaming.run(HORIZON);
+    streaming.finish_telemetry();
+    assert_eq!(
+        streaming.merged_registry().to_json(),
+        expected,
+        "windowed streaming must not perturb the simulation"
+    );
+    let stream = std::fs::read_to_string(&path).expect("read jsonl");
+    let folded = fold_jsonl(&stream).expect("stream folds");
+    folded
+        .matches_registry("harness", streaming.registry())
+        .unwrap_or_else(|e| panic!("windowed harness fold diverged: {e}"));
+    let _ = std::fs::remove_file(&path);
+}
